@@ -1,0 +1,37 @@
+package main
+
+import (
+	"testing"
+
+	"repro/internal/agent"
+	"repro/internal/machine"
+)
+
+func TestRunPolicyProducesThroughput(t *testing.T) {
+	m := machine.PaperModel()
+	over := runPolicy(m, nil)
+	if over < 100 {
+		t.Errorf("over-subscribed baseline = %.1f GFLOPS, want > 100", over)
+	}
+	oracle := runPolicy(m, func() agent.Policy {
+		return &agent.RooflineOptimal{Specs: []agent.AppSpec{{AI: 0.5}, {AI: 0.5}, {AI: 0.5}, {AI: 10}}}
+	})
+	if oracle <= over {
+		t.Errorf("oracle policy %.1f should beat over-subscription %.1f", oracle, over)
+	}
+}
+
+func TestRunPolicyDeterministic(t *testing.T) {
+	m := machine.PaperModel()
+	mk := func() agent.Policy { return agent.FairShare{PerNode: true} }
+	if a, b := runPolicy(m, mk), runPolicy(m, mk); a != b {
+		t.Errorf("non-deterministic: %v vs %v", a, b)
+	}
+}
+
+func TestPaperMix(t *testing.T) {
+	apps := paperMix()
+	if len(apps) != 4 || apps[3].AI != 10 {
+		t.Errorf("paperMix wrong: %+v", apps)
+	}
+}

@@ -1,0 +1,187 @@
+// Command paperrepro regenerates every table and figure of the paper
+// "NUMA-aware CPU core allocation in cooperating dynamic applications"
+// (Dokulil & Benkner) and prints paper-vs-reproduction comparisons.
+//
+// Usage:
+//
+//	paperrepro                  # everything
+//	paperrepro -table 1         # Table I worked example
+//	paperrepro -table 2         # Table II worked example
+//	paperrepro -table 3         # Table III model vs simulation
+//	paperrepro -figure 2        # Fig. 2 allocation scenarios
+//	paperrepro -figure 3        # Fig. 3 NUMA-bad ranking reversal
+//	paperrepro -stream          # STREAM-style bandwidth probe
+//	paperrepro -duration 0.5    # simulated seconds per measurement
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/des"
+	"repro/internal/machine"
+	"repro/internal/metrics"
+	"repro/internal/osched"
+	"repro/internal/roofline"
+)
+
+func main() {
+	table := flag.Int("table", 0, "print only this table (1, 2 or 3)")
+	figure := flag.Int("figure", 0, "print only this figure (2 or 3)")
+	stream := flag.Bool("stream", false, "print only the STREAM probe")
+	curve := flag.Bool("curve", false, "print only the roofline curve of the calibrated machine")
+	duration := flag.Float64("duration", 1.0, "simulated seconds per measurement")
+	flag.Parse()
+
+	all := *table == 0 && *figure == 0 && !*stream && !*curve
+	if *table == 1 || all {
+		printWorked("Table I — uneven allocation (1,1,1,5), paper total: 254 GFLOPS", []int{1, 1, 1, 5})
+	}
+	if *table == 2 || all {
+		printWorked("Table II — even allocation (2,2,2,2), paper total: 140 GFLOPS", []int{2, 2, 2, 2})
+	}
+	if *figure == 2 || all {
+		printFig2()
+	}
+	if *figure == 3 || all {
+		printFig3()
+	}
+	if *table == 3 || all {
+		printTableIII(des.Time(*duration))
+	}
+	if *stream || all {
+		printSTREAM()
+	}
+	if *curve || all {
+		printCurve()
+	}
+}
+
+func printCurve() {
+	m := machine.SkylakeQuad()
+	fmt.Printf("== Roofline curve of the calibrated machine (ridge at AI = %.3f FLOP/byte)\n",
+		roofline.Ridge(m))
+	t := metrics.NewTable("", "AI (FLOP/byte)", "GFLOPS", "regime")
+	for _, p := range roofline.Curve(m, 0.004, 4, 13) {
+		regime := "bandwidth-bound"
+		if p.AI >= roofline.Ridge(m) {
+			regime = "compute-bound"
+		}
+		t.AddRow(p.AI, p.GFLOPS, regime)
+	}
+	fmt.Println(t)
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "paperrepro:", err)
+	os.Exit(1)
+}
+
+// printWorked reproduces the step-by-step derivations of Tables I/II.
+func printWorked(title string, counts []int) {
+	m := machine.PaperModel()
+	apps := []roofline.App{
+		{Name: "mem-bound", AI: 0.5}, {Name: "mem-bound", AI: 0.5},
+		{Name: "mem-bound", AI: 0.5}, {Name: "comp-bound", AI: 10},
+	}
+	tab, err := roofline.Worked(m, apps, counts)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Println("==", title)
+	fmt.Println(tab)
+}
+
+func printFig2() {
+	fmt.Println("== Figure 2 — the three allocation scenarios (model machine 4x8, 10 GFLOPS/core, 32 GB/s/node)")
+	names := []string{"a) uneven (1,1,1,5)", "b) even (2,2,2,2)", "c) one node per app"}
+	paper := []float64{254, 140, 128}
+	t := metrics.NewTable("", "scenario", "paper GFLOPS", "model GFLOPS")
+	for i, s := range core.Fig2Scenarios() {
+		r, err := s.RunModel()
+		if err != nil {
+			fail(err)
+		}
+		t.AddRow(names[i], paper[i], r.TotalGFLOPS)
+	}
+	fmt.Println(t)
+}
+
+func printFig3() {
+	fmt.Println("== Figure 3 — NUMA-bad application reverses the ranking (60 GB/s nodes, 10 GB/s links)")
+	even, npa := core.Fig3Scenarios()
+	re, err := even.RunModel()
+	if err != nil {
+		fail(err)
+	}
+	rn, err := npa.RunModel()
+	if err != nil {
+		fail(err)
+	}
+	t := metrics.NewTable("", "scenario", "paper GFLOPS", "model GFLOPS")
+	t.AddRow("even (2,2,2,2), bad app homed on node 0", 138.0, re.TotalGFLOPS)
+	t.AddRow("one node per app, bad app on its home node", 150.0, rn.TotalGFLOPS)
+	fmt.Println(t)
+	fmt.Println("ranking reversal reproduced:", rn.TotalGFLOPS > re.TotalGFLOPS)
+	fmt.Println()
+}
+
+func printTableIII(duration des.Time) {
+	fmt.Println("== Table III — model vs synthetic benchmark (Skylake 4x20, 100 GB/s/node, 0.29 GFLOPS/thread)")
+	t := metrics.NewTable("", "scenario", "paper model", "paper real", "our model", "our simulated")
+	for _, row := range core.TableIIIScenarios() {
+		row.Scenario.Sim.Duration = duration
+		cmp, err := row.Scenario.Run(row.Name)
+		if err != nil {
+			fail(err)
+		}
+		t.AddRow(row.Name, row.PaperModel, row.PaperReal, cmp.Model.TotalGFLOPS, cmp.Sim.TotalGFLOPS)
+	}
+	fmt.Println(t)
+}
+
+func printSTREAM() {
+	fmt.Println("== STREAM-style probe of the simulated Skylake machine (measured GB/s)")
+	m := machine.SkylakeQuad()
+	res := streamProbe(m)
+	t := metrics.NewTable("", "from \\ to", "node 0", "node 1", "node 2", "node 3")
+	for i, row := range res {
+		cells := make([]any, 0, 5)
+		cells = append(cells, fmt.Sprintf("node %d", i))
+		for _, v := range row {
+			cells = append(cells, v)
+		}
+		t.AddRow(cells...)
+	}
+	fmt.Println(t)
+}
+
+func streamProbe(m *machine.Machine) [][]float64 {
+	// Inline probe to keep the dependency on calibrate optional here.
+	out := make([][]float64, m.NumNodes())
+	for src := range out {
+		out[src] = make([]float64, m.NumNodes())
+		for dst := range out[src] {
+			eng := des.NewEngine(7)
+			o := osched.New(eng, osched.Config{
+				Machine:           m,
+				ContextSwitchCost: -1,
+				MigrationPenalty:  -1,
+				LoadBalancePeriod: -1,
+			})
+			o.Start()
+			p := o.NewProcess("stream")
+			memNode := machine.NodeID(dst)
+			for _, c := range m.CoresOfNode(machine.NodeID(src)) {
+				p.NewThread("s", osched.RunnerFunc(func(*osched.Thread) osched.Work {
+					return osched.Work{Kind: osched.WorkCompute, GFlop: 1e9, AI: 1.0 / 1024, MemNode: memNode}
+				}), osched.SingleCore(m, c))
+			}
+			eng.RunUntil(0.05)
+			out[src][dst] = p.GFlopDone() * 1024 / 0.05
+		}
+	}
+	return out
+}

@@ -1,0 +1,73 @@
+// Distributed: the paper's Section V scenario. A four-node cluster runs
+// an MPI-like application while one node's cores are partly owned by a
+// co-located component. The example shows how much of the node-local
+// slowdown leaks into the overall runtime under barrier vs loose
+// synchronization and static vs dynamic work distribution.
+//
+//	go run ./examples/distributed
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/des"
+	"repro/internal/machine"
+	"repro/internal/metrics"
+	"repro/internal/osched"
+	"repro/internal/taskrt"
+)
+
+func run(dist cluster.DistMode, sync cluster.SyncMode, slowNode bool) float64 {
+	c := cluster.New(cluster.Config{
+		Nodes:      4,
+		Machine:    machine.PaperModel(),
+		OS:         osched.Config{},
+		NetLatency: 50 * des.Microsecond,
+		Seed:       1,
+	})
+	j := cluster.NewJob(c, cluster.JobConfig{
+		TotalChunks:   48,
+		TasksPerChunk: 32,
+		TaskGFlop:     0.05,
+		Dist:          dist,
+		Sync:          sync,
+		RuntimeConfig: taskrt.Config{BindMode: taskrt.BindCore},
+	})
+	if slowNode {
+		// A co-located application owns 24 of node 0's 32 cores.
+		j.Runtime(0).SetTotalThreads(8)
+	}
+	j.Run(nil)
+	c.Eng.RunUntil(600)
+	done, at := j.Done()
+	if !done {
+		panic("job did not finish")
+	}
+	return float64(at)
+}
+
+func main() {
+	configs := []struct {
+		name string
+		dist cluster.DistMode
+		sync cluster.SyncMode
+	}{
+		{"static + barrier every round", cluster.Static, cluster.Barrier},
+		{"static + loose", cluster.Static, cluster.Loose},
+		{"dynamic work queue", cluster.Dynamic, cluster.Loose},
+	}
+
+	t := metrics.NewTable("distributed run, 48 chunks over 4 nodes",
+		"scheme", "all nodes full (s)", "node 0 at 1/4 cores (s)", "slowdown")
+	for _, cfg := range configs {
+		fast := run(cfg.dist, cfg.sync, false)
+		slow := run(cfg.dist, cfg.sync, true)
+		t.AddRow(cfg.name, fast, slow, slow/fast)
+	}
+	fmt.Println(t)
+	fmt.Println("Barrier-synchronized codes are dragged down by the slowest node, so")
+	fmt.Println("node-local core reallocation barely helps; loosely-synchronized and")
+	fmt.Println("dynamically-distributed codes let the faster nodes absorb the work —")
+	fmt.Println("the paper's argument for which applications benefit from on-node speedup.")
+}

@@ -1,0 +1,120 @@
+// OCR stencil: an iterative 1-D stencil written against the OCR-style
+// API (EDTs, data blocks, events) — the kind of scientific code the
+// paper's runtime (OCR-Vx) hosts. The domain is partitioned into
+// NUMA-placed data blocks; every iteration runs one EDT per partition,
+// each depending on the previous iteration's EDT of itself and its two
+// neighbours (halo exchange). The example compares the NUMA-aware
+// scheduler against a NUMA-oblivious FIFO.
+//
+//	go run ./examples/ocr_stencil
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/des"
+	"repro/internal/machine"
+	"repro/internal/metrics"
+	"repro/internal/ocr"
+	"repro/internal/osched"
+	"repro/internal/taskrt"
+)
+
+const (
+	partitions        = 64 // 16 per NUMA node
+	iterations        = 30
+	gflopPerPartition = 0.05
+	ai                = 1.0 / 16 // memory-bound stencil sweep
+)
+
+func run(numaAware bool) (seconds float64, localFrac float64) {
+	m := machine.SkylakeQuad()
+	eng := des.NewEngine(1)
+	o := osched.New(eng, osched.Config{Machine: m})
+	o.Start()
+
+	cfg := ocr.Config{Name: "stencil", BindMode: taskrt.BindCore, StrictLocality: true}
+	if !numaAware {
+		// The oblivious baseline: random work stealing, tasks run
+		// wherever a worker is free. (The OCR veneer replaces a
+		// zero-value scheduler with NUMA-aware, so ask explicitly.)
+		cfg.Scheduler = taskrt.WorkStealing
+		cfg.StrictLocality = false
+	}
+	r := ocr.NewRuntime(o, cfg)
+
+	// One data block per partition, round-robin across NUMA nodes —
+	// a NUMA-perfect decomposition.
+	blocks := make([]*ocr.DataBlock, partitions)
+	for p := range blocks {
+		blocks[p] = r.CreateDataBlock(fmt.Sprintf("part%d", p),
+			1.0, machine.NodeID(p%m.NumNodes()))
+	}
+
+	tmpl := &ocr.Template{Name: "sweep", GFlop: gflopPerPartition, AI: ai}
+
+	// prev[p] is the output event of partition p's previous iteration.
+	prev := make([]*ocr.Event, partitions)
+	var edts []*ocr.EDT
+	for it := 0; it < iterations; it++ {
+		next := make([]*ocr.Event, partitions)
+		for p := 0; p < partitions; p++ {
+			deps := 1 // own block
+			if it > 0 {
+				deps = 4 // block + self + two neighbours
+			}
+			e := r.CreateEDT(tmpl, deps)
+			e.AddDependence(blocks[p], 0)
+			if it > 0 {
+				left := (p - 1 + partitions) % partitions
+				right := (p + 1) % partitions
+				e.AddDependence(prev[p], 1)
+				e.AddDependence(prev[left], 2)
+				e.AddDependence(prev[right], 3)
+			}
+			next[p] = e.OutputEvent()
+			edts = append(edts, e)
+		}
+		prev = next
+	}
+
+	var doneAt des.Time
+	pending := partitions
+	for p := 0; p < partitions; p++ {
+		prev[p].OnSatisfy(func() {
+			pending--
+			if pending == 0 {
+				doneAt = eng.Now()
+				eng.Halt()
+			}
+		})
+	}
+	eng.RunUntil(600)
+
+	local := 0
+	for i, e := range edts {
+		if core, ok := e.ExecutedOn(); ok {
+			if m.NodeOfCore(core) == blocks[i%partitions].Node() {
+				local++
+			}
+		}
+	}
+	return float64(doneAt), float64(local) / float64(len(edts))
+}
+
+func main() {
+	numaSec, numaLocal := run(true)
+	fifoSec, fifoLocal := run(false)
+
+	t := metrics.NewTable("OCR 1-D stencil, 64 partitions x 30 iterations on the Skylake machine",
+		"scheduler", "runtime (s)", "local executions")
+	t.AddRow("NUMA-aware (OCR-Vx style)", numaSec, fmt.Sprintf("%.0f%%", numaLocal*100))
+	t.AddRow("NUMA-oblivious (work stealing)", fifoSec, fmt.Sprintf("%.0f%%", fifoLocal*100))
+	fmt.Println(t)
+	fmt.Printf("speedup from NUMA-aware scheduling: %.2fx\n", fifoSec/numaSec)
+	fmt.Println()
+	fmt.Println("Each partition's data block lives on one NUMA node; the NUMA-aware")
+	fmt.Println("scheduler runs the sweep EDTs next to their data, so nearly all memory")
+	fmt.Println("traffic stays local — the paper's [11] observation that NUMA-aware OCR")
+	fmt.Println("codes clearly outperform NUMA-oblivious ones.")
+}

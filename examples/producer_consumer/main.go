@@ -1,0 +1,71 @@
+// Producer-consumer: the paper's cooperating-applications experiment.
+// Two task-runtime applications share a machine; an agent adjusts their
+// thread counts so the producer stays only a few iterations ahead,
+// bounding the intermediate data, and the run is compared against the
+// uncoordinated baseline.
+//
+//	go run ./examples/producer_consumer
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/agent"
+	"repro/internal/des"
+	"repro/internal/machine"
+	"repro/internal/metrics"
+	"repro/internal/osched"
+	"repro/internal/taskrt"
+	"repro/internal/workload"
+)
+
+type outcome struct {
+	seconds   float64
+	maxItems  int
+	meanItems float64
+}
+
+func run(coordinated bool) outcome {
+	m := machine.PaperModel()
+	eng := des.NewEngine(1)
+	o := osched.New(eng, osched.Config{Machine: m})
+	o.Start()
+
+	prod := taskrt.New(o, taskrt.Config{Name: "producer", BindMode: taskrt.BindNode})
+	cons := taskrt.New(o, taskrt.Config{Name: "consumer", BindMode: taskrt.BindNode})
+	p := &workload.Pipeline{
+		Producer: prod, Consumer: cons,
+		TasksPerIter:      16,
+		ProducerTaskGFlop: 0.02,
+		ConsumerTaskGFlop: 0.08,
+		Iterations:        80,
+		ItemSizeGB:        1,
+	}
+	if coordinated {
+		pol := &agent.Align{Pipeline: p, ProducerClient: 0, ConsumerClient: 1, MinLead: 1, MaxLead: 4}
+		agent.New(o, agent.Config{Period: 5 * des.Millisecond}, pol, prod, cons).Start()
+	}
+	var doneAt des.Time
+	p.Start(func() { doneAt = eng.Now(); eng.Halt() })
+	eng.RunUntil(600)
+	return outcome{seconds: float64(doneAt), maxItems: p.MaxQueueDepth(), meanItems: p.MeanQueueDepth()}
+}
+
+func main() {
+	free := run(false)
+	coord := run(true)
+
+	t := metrics.NewTable("producer-consumer: coordinated vs uncoordinated",
+		"setup", "runtime (s)", "max intermediate items", "mean intermediate items")
+	t.AddRow("uncoordinated (full thread pools)", free.seconds, free.maxItems, free.meanItems)
+	t.AddRow("agent-coordinated (lead band [1,4])", coord.seconds, coord.maxItems, coord.meanItems)
+	fmt.Println(t)
+
+	fmt.Printf("intermediate-data reduction: %.1fx (mean)\n", free.meanItems/coord.meanItems)
+	fmt.Printf("runtime ratio (coordinated/uncoordinated): %.3f\n", coord.seconds/free.seconds)
+	fmt.Println()
+	fmt.Println("This mirrors the paper's observation: coordination clearly shrinks the")
+	fmt.Println("intermediate data, while the end-to-end runtime does not suffer (here it")
+	fmt.Println("even improves slightly, because the uncoordinated run over-subscribes")
+	fmt.Println("every core with both applications' worker threads).")
+}

@@ -1,0 +1,300 @@
+// Package agent implements the paper's resource-arbitration agent
+// (Fig. 1): a coordinator that periodically receives execution
+// statistics from the runtimes of cooperating applications (tasks
+// executed, running threads), queries the simulated operating system
+// for the CPU load the applications actually generate, and issues
+// commands instructing each runtime how many worker threads to use —
+// in total (option 1) or per NUMA node (option 3).
+//
+// Policies are pluggable: fair sharing, producer-consumer alignment,
+// and a roofline-model-driven optimizer are provided; the library-boost
+// mechanism for tightly-integrated "delegation" scenarios is exposed as
+// direct agent calls hooked to application events.
+package agent
+
+import (
+	"fmt"
+
+	"repro/internal/des"
+	"repro/internal/machine"
+	"repro/internal/metrics"
+	"repro/internal/osched"
+	"repro/internal/taskrt"
+)
+
+// Client is the control interface a runtime exposes to the agent.
+// *taskrt.Runtime implements it.
+type Client interface {
+	// Name labels the application.
+	Name() string
+	// Stats returns the runtime's monitoring snapshot.
+	Stats() taskrt.Stats
+	// SetTotalThreads applies thread-control option 1.
+	SetTotalThreads(n int)
+	// SetNodeThreads applies thread-control option 3.
+	SetNodeThreads(counts []int) error
+	// Process exposes the OS process for load queries.
+	Process() *osched.Process
+}
+
+var _ Client = (*taskrt.Runtime)(nil)
+
+// balancedClient is the optional NUMA-balanced variant of option 1.
+type balancedClient interface {
+	SetTotalThreadsBalanced(n int)
+}
+
+var _ balancedClient = (*taskrt.Runtime)(nil)
+
+// Info is the per-client view handed to policies each period.
+type Info struct {
+	// Name is the client's label.
+	Name string
+	// Stats is the runtime snapshot.
+	Stats taskrt.Stats
+	// Load is the CPU load over the last period, in cores (busy-time
+	// delta divided by period length) — the "actual CPU load" the
+	// paper's agent queries from the operating system.
+	Load float64
+	// TaskRate is completed tasks per second over the last period.
+	TaskRate float64
+	// GFlopRate is the compute rate over the last period (GFLOP/s).
+	GFlopRate float64
+	// GBRate is the memory traffic rate over the last period (GB/s).
+	// GFlopRate/GBRate is an online estimate of the application's
+	// arithmetic intensity — the paper's "way to figure out the access
+	// patterns" without cooperation from the application.
+	GBRate float64
+}
+
+// Command adjusts one client's thread allocation. Exactly one of Total
+// and PerNode should be set.
+type Command struct {
+	// Client indexes into the agent's client list.
+	Client int
+	// Total, when non-nil, applies SetTotalThreads (option 1).
+	Total *int
+	// Balanced upgrades a Total command to SetTotalThreadsBalanced for
+	// clients that support it (spreading the active threads across
+	// NUMA nodes — the paper's suggested option-1 refinement).
+	Balanced bool
+	// PerNode, when non-nil, applies SetNodeThreads (option 3).
+	PerNode []int
+}
+
+// Policy decides thread allocations from periodic observations.
+type Policy interface {
+	// Name labels the policy in reports.
+	Name() string
+	// Decide returns commands to apply this period (may be empty).
+	Decide(now des.Time, m *machine.Machine, infos []Info) []Command
+}
+
+// Config tunes the agent.
+type Config struct {
+	// Period is the monitoring/decision interval. Default 10 ms.
+	Period des.Time
+	// DecisionGFlop models a CPU-intensive scheduling algorithm
+	// (Section IV): the agent occupies a core computing this much work
+	// every period. 0 means the agent's decisions are free.
+	DecisionGFlop float64
+	// DecisionAffinity restricts the agent's dedicated thread. Empty
+	// means any core. Only used when DecisionGFlop > 0.
+	DecisionAffinity osched.CoreSet
+	// OnError receives command-application errors (nil: counted only).
+	OnError func(err error)
+}
+
+// Agent is the coordinator process.
+type Agent struct {
+	os      *osched.OS
+	cfg     Config
+	policy  Policy
+	clients []Client
+
+	prevBusy  []float64
+	prevTasks []uint64
+	prevGFlop []float64
+	prevGB    []float64
+	lastCmd   []string // dedup: textual form of last applied command
+
+	loadSeries []*metrics.Series
+	rateSeries []*metrics.Series
+
+	decisions uint64
+	commands  uint64
+	errors    uint64
+	stop      func()
+}
+
+// New creates an agent coordinating the given clients under the policy.
+func New(os *osched.OS, cfg Config, policy Policy, clients ...Client) *Agent {
+	if policy == nil {
+		panic("agent: nil policy")
+	}
+	if len(clients) == 0 {
+		panic("agent: no clients")
+	}
+	if cfg.Period <= 0 {
+		cfg.Period = 10 * des.Millisecond
+	}
+	a := &Agent{
+		os:        os,
+		cfg:       cfg,
+		policy:    policy,
+		clients:   clients,
+		prevBusy:  make([]float64, len(clients)),
+		prevTasks: make([]uint64, len(clients)),
+		prevGFlop: make([]float64, len(clients)),
+		prevGB:    make([]float64, len(clients)),
+		lastCmd:   make([]string, len(clients)),
+	}
+	for _, c := range clients {
+		a.loadSeries = append(a.loadSeries, metrics.NewSeries(c.Name()+".load"))
+		a.rateSeries = append(a.rateSeries, metrics.NewSeries(c.Name()+".task_rate"))
+	}
+	return a
+}
+
+// Start begins the periodic decision loop (and the dedicated
+// decision-cost thread if configured).
+func (a *Agent) Start() {
+	if a.stop != nil {
+		return
+	}
+	a.stop = a.os.Engine().Ticker(a.cfg.Period, func(now des.Time) { a.tick(now) })
+	if a.cfg.DecisionGFlop > 0 {
+		proc := a.os.NewProcess("agent")
+		period := a.cfg.Period
+		gflop := a.cfg.DecisionGFlop
+		compute := true
+		proc.NewThread("agent-decide", osched.RunnerFunc(func(*osched.Thread) osched.Work {
+			if compute {
+				compute = false
+				return osched.Work{Kind: osched.WorkCompute, GFlop: gflop}
+			}
+			compute = true
+			return osched.Work{Kind: osched.WorkSleep, Duration: period}
+		}), a.cfg.DecisionAffinity)
+	}
+}
+
+// Stop halts the decision loop.
+func (a *Agent) Stop() {
+	if a.stop != nil {
+		a.stop()
+		a.stop = nil
+	}
+}
+
+func (a *Agent) tick(now des.Time) {
+	infos := make([]Info, len(a.clients))
+	period := float64(a.cfg.Period)
+	for i, c := range a.clients {
+		st := c.Stats()
+		proc := c.Process()
+		busy := proc.BusySeconds()
+		gflop := proc.GFlopDone()
+		gb := proc.GBMoved()
+		infos[i] = Info{
+			Name:      c.Name(),
+			Stats:     st,
+			Load:      (busy - a.prevBusy[i]) / period,
+			TaskRate:  float64(st.TasksExecuted-a.prevTasks[i]) / period,
+			GFlopRate: (gflop - a.prevGFlop[i]) / period,
+			GBRate:    (gb - a.prevGB[i]) / period,
+		}
+		a.prevBusy[i] = busy
+		a.prevTasks[i] = st.TasksExecuted
+		a.prevGFlop[i] = gflop
+		a.prevGB[i] = gb
+		a.loadSeries[i].Add(float64(now), infos[i].Load)
+		a.rateSeries[i].Add(float64(now), infos[i].TaskRate)
+	}
+	a.decisions++
+	for _, cmd := range a.policy.Decide(now, a.os.Machine(), infos) {
+		a.apply(cmd)
+	}
+}
+
+// apply executes one command, deduplicating repeats.
+func (a *Agent) apply(cmd Command) {
+	if cmd.Client < 0 || cmd.Client >= len(a.clients) {
+		a.fail(fmt.Errorf("agent: command for unknown client %d", cmd.Client))
+		return
+	}
+	key := ""
+	switch {
+	case cmd.Total != nil:
+		key = fmt.Sprintf("total=%d,balanced=%v", *cmd.Total, cmd.Balanced)
+	case cmd.PerNode != nil:
+		key = fmt.Sprintf("pernode=%v", cmd.PerNode)
+	default:
+		a.fail(fmt.Errorf("agent: empty command for client %d", cmd.Client))
+		return
+	}
+	if a.lastCmd[cmd.Client] == key {
+		return // unchanged
+	}
+	c := a.clients[cmd.Client]
+	if cmd.Total != nil {
+		if bc, ok := c.(balancedClient); ok && cmd.Balanced {
+			bc.SetTotalThreadsBalanced(*cmd.Total)
+		} else {
+			c.SetTotalThreads(*cmd.Total)
+		}
+	} else if err := c.SetNodeThreads(cmd.PerNode); err != nil {
+		a.fail(fmt.Errorf("agent: %s: %w", c.Name(), err))
+		return
+	}
+	a.lastCmd[cmd.Client] = key
+	a.commands++
+}
+
+func (a *Agent) fail(err error) {
+	a.errors++
+	if a.cfg.OnError != nil {
+		a.cfg.OnError(err)
+	}
+}
+
+// Boost gives one client the whole machine and parks every other
+// client's workers, remembering nothing: callers pair it with Restore.
+// It is the fast core-shift used by the delegation scenario ("quickly
+// shifting resources to the library application when it is called").
+func (a *Agent) Boost(client int) {
+	for i, c := range a.clients {
+		if i == client {
+			c.SetTotalThreads(c.Stats().Workers)
+		} else {
+			c.SetTotalThreads(0)
+		}
+		a.lastCmd[i] = "" // force future policy commands through
+	}
+	a.commands++
+}
+
+// Restore distributes threads evenly again after a Boost.
+func (a *Agent) Restore() {
+	n := a.os.Machine().TotalCores() / len(a.clients)
+	for i, c := range a.clients {
+		c.SetTotalThreads(n)
+		a.lastCmd[i] = ""
+	}
+	a.commands++
+}
+
+// Decisions returns the number of decision rounds taken.
+func (a *Agent) Decisions() uint64 { return a.decisions }
+
+// Commands returns the number of commands applied (deduplicated).
+func (a *Agent) Commands() uint64 { return a.commands }
+
+// Errors returns the number of failed command applications.
+func (a *Agent) Errors() uint64 { return a.errors }
+
+// LoadSeries returns the recorded per-client CPU-load history.
+func (a *Agent) LoadSeries(client int) *metrics.Series { return a.loadSeries[client] }
+
+// RateSeries returns the recorded per-client task-rate history.
+func (a *Agent) RateSeries(client int) *metrics.Series { return a.rateSeries[client] }

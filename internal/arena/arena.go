@@ -1,0 +1,513 @@
+// Package arena implements a TBB-like runtime on the simulated OS: task
+// arenas bound to NUMA nodes, a Resource Management Layer (RML) that
+// dynamically moves worker threads between arenas, and master
+// (non-worker) threads that submit parallel work and participate in
+// executing it while they wait — the behaviour the paper discusses in
+// Sections II and IV.
+//
+// The paper observes that binding all threads of an arena to a NUMA
+// node and using RML to adjust per-arena thread counts reproduces the
+// OCR-Vx runtime's thread-control option 3; this package demonstrates
+// that equivalence (it implements the same agent.Client interface as
+// internal/taskrt), and additionally models the non-worker threads —
+// the application main thread and blocking I/O threads — that a
+// TBB-style runtime does not control.
+package arena
+
+import (
+	"fmt"
+
+	"repro/internal/des"
+	"repro/internal/machine"
+	"repro/internal/osched"
+	"repro/internal/taskrt"
+)
+
+// job is one unit of arena work.
+type job struct {
+	gflop  float64
+	ai     float64
+	node   machine.NodeID // memory accessed; LocalNode for local
+	onDone func()
+}
+
+// Arena is a collection of worker slots bound to one NUMA node, like a
+// tbb::task_arena constrained to a NUMA node.
+type Arena struct {
+	rt          *Runtime
+	node        machine.NodeID
+	queue       []job
+	outstanding int // submitted, not completed
+	workers     []*worker
+	executed    uint64
+}
+
+// Node returns the NUMA node the arena is bound to.
+func (a *Arena) Node() machine.NodeID { return a.node }
+
+// Workers returns the number of worker threads currently assigned.
+func (a *Arena) Workers() int { return len(a.workers) }
+
+// Pending returns queued (not yet started) jobs.
+func (a *Arena) Pending() int { return len(a.queue) }
+
+// Executed returns the number of completed jobs.
+func (a *Arena) Executed() uint64 { return a.executed }
+
+// Submit enqueues one job on the arena. onDone may be nil.
+func (a *Arena) Submit(gflop, ai float64, onDone func()) {
+	if gflop < 0 {
+		panic("arena: negative job size")
+	}
+	a.queue = append(a.queue, job{gflop: gflop, ai: ai, node: osched.LocalNode, onDone: onDone})
+	a.outstanding++
+	a.wakeOne()
+}
+
+// SubmitRemote enqueues a job whose memory traffic targets an explicit
+// node (for NUMA-bad workloads).
+func (a *Arena) SubmitRemote(gflop, ai float64, node machine.NodeID, onDone func()) {
+	if gflop < 0 {
+		panic("arena: negative job size")
+	}
+	a.queue = append(a.queue, job{gflop: gflop, ai: ai, node: node, onDone: onDone})
+	a.outstanding++
+	a.wakeOne()
+}
+
+func (a *Arena) wakeOne() {
+	for _, w := range a.workers {
+		if w.idle {
+			w.idle = false
+			w.thread.Wake()
+			return
+		}
+	}
+	// Also wake a waiting master attached to this arena.
+	for _, m := range a.rt.masters {
+		if m.waitingOn == a {
+			m.waitingOn = nil
+			m.thread.Wake()
+			return
+		}
+	}
+}
+
+func (a *Arena) pop() (job, bool) {
+	if len(a.queue) == 0 {
+		return job{}, false
+	}
+	j := a.queue[0]
+	a.queue = a.queue[1:]
+	return j, true
+}
+
+func (a *Arena) jobDone(j job) {
+	a.executed++
+	a.outstanding--
+	a.rt.tasksExecuted++
+	if j.onDone != nil {
+		j.onDone()
+	}
+	// A master waiting for the arena to drain is woken when the last
+	// job completes.
+	if a.outstanding == 0 {
+		for _, m := range a.rt.masters {
+			if m.waitingOn == a {
+				m.waitingOn = nil
+				m.thread.Wake()
+			}
+		}
+	}
+}
+
+// worker is an RML-managed thread, currently serving one arena (or
+// parked in the RML pool when arena is nil).
+type worker struct {
+	rt     *Runtime
+	id     int
+	arena  *Arena
+	target *Arena // pending reassignment, applied at job boundary
+	thread *osched.Thread
+	idle   bool
+	pooled bool
+}
+
+// Next implements osched.Runner.
+func (w *worker) Next(*osched.Thread) osched.Work {
+	// Apply a pending reassignment at the job boundary.
+	if w.target != w.arena {
+		w.rt.applyReassign(w)
+	}
+	if w.arena == nil {
+		w.pooled = true
+		return osched.Work{Kind: osched.WorkBlock}
+	}
+	j, ok := w.arena.pop()
+	if !ok {
+		w.idle = true
+		return osched.Work{Kind: osched.WorkBlock}
+	}
+	return osched.Work{
+		Kind:    osched.WorkCompute,
+		GFlop:   j.gflop,
+		AI:      j.ai,
+		MemNode: j.node,
+		OnDone:  func() { w.arena.jobDone(j) },
+	}
+}
+
+// Config configures the arena runtime.
+type Config struct {
+	// Name labels the runtime's OS process.
+	Name string
+	// Workers is the RML thread-pool size; 0 means one per core.
+	Workers int
+}
+
+// Runtime is a TBB-like runtime instance: one arena per NUMA node plus
+// an RML pool of workers.
+type Runtime struct {
+	os      *osched.OS
+	proc    *osched.Process
+	name    string
+	arenas  []*Arena
+	workers []*worker
+	masters []*Master
+
+	tasksExecuted uint64
+}
+
+// New creates the runtime with one NUMA-bound arena per node and the
+// worker pool distributed evenly across arenas.
+func New(os *osched.OS, cfg Config) *Runtime {
+	m := os.Machine()
+	if cfg.Workers <= 0 {
+		cfg.Workers = m.TotalCores()
+	}
+	rt := &Runtime{os: os, proc: os.NewProcess(cfg.Name), name: cfg.Name}
+	for n := 0; n < m.NumNodes(); n++ {
+		rt.arenas = append(rt.arenas, &Arena{rt: rt, node: machine.NodeID(n)})
+	}
+	for i := 0; i < cfg.Workers; i++ {
+		w := &worker{rt: rt, id: i}
+		a := rt.arenas[assignNode(m, i)]
+		w.arena, w.target = a, a
+		aff := osched.NodeCores(m, a.node)
+		w.thread = rt.proc.NewThread(fmt.Sprintf("%s-rml%d", cfg.Name, i), w, aff)
+		a.workers = append(a.workers, w)
+		rt.workers = append(rt.workers, w)
+	}
+	return rt
+}
+
+// assignNode fills nodes up to their core counts in order, wrapping.
+func assignNode(m *machine.Machine, i int) int {
+	total := m.TotalCores()
+	i %= total
+	for n, nd := range m.Nodes {
+		if i < nd.Cores {
+			return n
+		}
+		i -= nd.Cores
+	}
+	return 0
+}
+
+// Name implements agent.Client.
+func (rt *Runtime) Name() string { return rt.name }
+
+// Process implements agent.Client.
+func (rt *Runtime) Process() *osched.Process { return rt.proc }
+
+// Arena returns the arena bound to the given node.
+func (rt *Runtime) Arena(n machine.NodeID) *Arena {
+	if int(n) < 0 || int(n) >= len(rt.arenas) {
+		panic(fmt.Sprintf("arena: node %d out of range", n))
+	}
+	return rt.arenas[n]
+}
+
+// applyReassign moves a worker to its target arena (or pool).
+func (rt *Runtime) applyReassign(w *worker) {
+	if w.arena != nil {
+		ws := w.arena.workers
+		for i, x := range ws {
+			if x == w {
+				w.arena.workers = append(ws[:i], ws[i+1:]...)
+				break
+			}
+		}
+	}
+	w.arena = w.target
+	if w.arena != nil {
+		w.arena.workers = append(w.arena.workers, w)
+		w.thread.SetAffinity(osched.NodeCores(rt.os.Machine(), w.arena.node))
+	}
+}
+
+// SetArenaThreads is the RML operation: adjust one arena's worker count
+// by pulling threads from (or releasing them to) the pool. Workers
+// leave at job boundaries; joining workers wake immediately.
+func (rt *Runtime) SetArenaThreads(node machine.NodeID, n int) error {
+	if int(node) < 0 || int(node) >= len(rt.arenas) {
+		return fmt.Errorf("arena: node %d out of range", node)
+	}
+	if n < 0 {
+		n = 0
+	}
+	a := rt.arenas[node]
+	// Count workers targeted at this arena (assigned or inbound).
+	current := 0
+	for _, w := range rt.workers {
+		if w.target == a {
+			current++
+		}
+	}
+	for ; current > n; current-- {
+		// Release one: prefer idle workers for immediacy.
+		w := rt.pickRelease(a)
+		if w == nil {
+			break
+		}
+		w.target = nil
+		if w.idle {
+			w.idle = false
+			w.thread.Wake() // let it park into the pool
+		}
+	}
+	for ; current < n; current++ {
+		w := rt.pickPooled()
+		if w == nil {
+			break
+		}
+		w.target = a
+		w.pooled = false
+		w.thread.Wake()
+	}
+	return nil
+}
+
+func (rt *Runtime) pickRelease(a *Arena) *worker {
+	var busy *worker
+	for _, w := range rt.workers {
+		if w.target != a {
+			continue
+		}
+		if w.idle {
+			return w
+		}
+		busy = w
+	}
+	return busy
+}
+
+func (rt *Runtime) pickPooled() *worker {
+	for _, w := range rt.workers {
+		if w.target == nil {
+			return w
+		}
+	}
+	return nil
+}
+
+// SetNodeThreads implements agent.Client (thread-control option 3): the
+// per-node counts map directly onto per-arena RML adjustments — the
+// equivalence the paper points out for TBB.
+func (rt *Runtime) SetNodeThreads(counts []int) error {
+	if len(counts) != len(rt.arenas) {
+		return fmt.Errorf("arena: got %d counts, machine has %d nodes", len(counts), len(rt.arenas))
+	}
+	// Shrink first so released workers are available for growth.
+	for n, c := range counts {
+		if c < rt.arenas[n].Workers() {
+			if err := rt.SetArenaThreads(machine.NodeID(n), c); err != nil {
+				return err
+			}
+		}
+	}
+	for n, c := range counts {
+		if err := rt.SetArenaThreads(machine.NodeID(n), c); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// SetTotalThreads implements agent.Client (option 1): the total is
+// spread across arenas as evenly as possible.
+func (rt *Runtime) SetTotalThreads(n int) {
+	if n < 0 {
+		n = 0
+	}
+	if n > len(rt.workers) {
+		n = len(rt.workers)
+	}
+	counts := make([]int, len(rt.arenas))
+	per := n / len(rt.arenas)
+	extra := n % len(rt.arenas)
+	for i := range counts {
+		counts[i] = per
+		if i < extra {
+			counts[i]++
+		}
+	}
+	_ = rt.SetNodeThreads(counts)
+}
+
+// Stats implements agent.Client using the same snapshot shape as the
+// task runtime.
+func (rt *Runtime) Stats() taskrt.Stats {
+	s := taskrt.Stats{
+		TasksExecuted: rt.tasksExecuted,
+		Workers:       len(rt.workers),
+		GFlopDone:     rt.proc.GFlopDone(),
+		BusySeconds:   rt.proc.BusySeconds(),
+	}
+	for _, a := range rt.arenas {
+		s.Pending += a.Pending()
+		s.Outstanding += a.outstanding
+	}
+	for _, w := range rt.workers {
+		switch {
+		case w.pooled || w.target == nil:
+			s.Suspended++
+		case w.idle:
+			s.Idle++
+		default:
+			s.Running++
+		}
+	}
+	return s
+}
+
+// --- Master (non-worker) threads, Section IV ---
+
+// StepKind selects a master-script step.
+type StepKind int
+
+const (
+	// StepSerial runs compute work on the master thread itself.
+	StepSerial StepKind = iota
+	// StepParallel submits Tasks jobs to the Node's arena and
+	// participates in executing them until all complete (like a TBB
+	// parallel_for: the waiting master runs tasks too).
+	StepParallel
+	// StepIO blocks the master in a simulated I/O call for Duration.
+	StepIO
+)
+
+// Step is one element of a master thread's script.
+type Step struct {
+	Kind StepKind
+	// GFlop/AI size serial work or each parallel task.
+	GFlop float64
+	AI    float64
+	// Node and Tasks configure StepParallel.
+	Node  machine.NodeID
+	Tasks int
+	// Duration configures StepIO.
+	Duration des.Time
+	// OnDone fires when the step completes (may be nil).
+	OnDone func()
+}
+
+// Master is an application main thread: not an RML worker, but it
+// executes arena jobs while waiting for a parallel region to finish.
+type Master struct {
+	rt     *Runtime
+	thread *osched.Thread
+	steps  []Step
+	pos    int
+	// inParallel tracks the arena of the active parallel region.
+	region    *Arena
+	regionEnd func()
+	waitingOn *Arena
+	loops     bool
+	done      bool
+}
+
+// NewMaster creates a master thread running the script once (loop =
+// false) or forever (loop = true). The master is unbound (any core),
+// like a typical application main thread.
+func (rt *Runtime) NewMaster(name string, steps []Step, loop bool) *Master {
+	if len(steps) == 0 {
+		panic("arena: empty master script")
+	}
+	m := &Master{rt: rt, steps: steps, loops: loop}
+	m.thread = rt.proc.NewThread(name, m, osched.AllCores(rt.os.Machine()))
+	rt.masters = append(rt.masters, m)
+	return m
+}
+
+// Done reports whether a non-looping master finished its script.
+func (m *Master) Done() bool { return m.done }
+
+// Next implements osched.Runner: the master's state machine.
+func (m *Master) Next(*osched.Thread) osched.Work {
+	// Inside a parallel region: help execute the arena's jobs.
+	if m.region != nil {
+		if j, ok := m.region.pop(); ok {
+			region := m.region
+			return osched.Work{
+				Kind:    osched.WorkCompute,
+				GFlop:   j.gflop,
+				AI:      j.ai,
+				MemNode: j.node,
+				OnDone:  func() { region.jobDone(j) },
+			}
+		}
+		if m.region.outstanding > 0 {
+			// Nothing to steal but jobs still running: wait.
+			m.waitingOn = m.region
+			return osched.Work{Kind: osched.WorkBlock}
+		}
+		// Region complete.
+		end := m.regionEnd
+		m.region, m.regionEnd = nil, nil
+		if end != nil {
+			end()
+		}
+	}
+	if m.pos >= len(m.steps) {
+		if !m.loops {
+			m.done = true
+			return osched.Work{Kind: osched.WorkExit}
+		}
+		m.pos = 0
+	}
+	step := m.steps[m.pos]
+	m.pos++
+	switch step.Kind {
+	case StepSerial:
+		return osched.Work{Kind: osched.WorkCompute, GFlop: step.GFlop, AI: step.AI, OnDone: step.OnDone}
+	case StepParallel:
+		a := m.rt.Arena(step.Node)
+		for i := 0; i < step.Tasks; i++ {
+			a.Submit(step.GFlop, step.AI, nil)
+		}
+		m.region = a
+		m.regionEnd = step.OnDone
+		// Loop around: the master immediately starts helping.
+		return m.Next(nil)
+	case StepIO:
+		return osched.Work{Kind: osched.WorkSleep, Duration: step.Duration, OnDone: step.OnDone}
+	default:
+		panic(fmt.Sprintf("arena: unknown step kind %d", step.Kind))
+	}
+}
+
+// NewIOThread creates a non-worker thread that repeatedly performs
+// blockingIO for ioTime then a small amount of processing — the paper's
+// "extra threads created by the application to do the I/O".
+func (rt *Runtime) NewIOThread(name string, ioTime des.Time, processGFlop float64) *osched.Thread {
+	io := true
+	return rt.proc.NewThread(name, osched.RunnerFunc(func(*osched.Thread) osched.Work {
+		if io {
+			io = false
+			return osched.Work{Kind: osched.WorkSleep, Duration: ioTime}
+		}
+		io = true
+		return osched.Work{Kind: osched.WorkCompute, GFlop: processGFlop, AI: 0}
+	}), osched.AllCores(rt.os.Machine()))
+}

@@ -1,0 +1,367 @@
+package arena
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/des"
+	"repro/internal/machine"
+	"repro/internal/osched"
+)
+
+func newSim(m *machine.Machine) (*des.Engine, *osched.OS) {
+	eng := des.NewEngine(1)
+	o := osched.New(eng, osched.Config{
+		Machine:           m,
+		ContextSwitchCost: -1,
+		MigrationPenalty:  -1,
+		LoadBalancePeriod: -1,
+	})
+	o.Start()
+	return eng, o
+}
+
+func TestArenaExecutesJobs(t *testing.T) {
+	m := machine.PaperModel()
+	eng, o := newSim(m)
+	rt := New(o, Config{Name: "tbb"})
+	done := 0
+	for i := 0; i < 16; i++ {
+		rt.Arena(0).Submit(0.05, 0, func() { done++ })
+	}
+	eng.RunUntil(1)
+	if done != 16 {
+		t.Errorf("done = %d, want 16", done)
+	}
+	if rt.Arena(0).Executed() != 16 || rt.Arena(0).Pending() != 0 {
+		t.Errorf("arena counters wrong: exec=%d pend=%d", rt.Arena(0).Executed(), rt.Arena(0).Pending())
+	}
+	if rt.Stats().TasksExecuted != 16 {
+		t.Errorf("stats executed = %d", rt.Stats().TasksExecuted)
+	}
+}
+
+func TestArenaWorkersStayOnNode(t *testing.T) {
+	m := machine.PaperModel()
+	eng, o := newSim(m)
+	rt := New(o, Config{Name: "tbb"})
+	// Default: 8 workers per arena. Arena 2's jobs must run on node 2.
+	for i := 0; i < 64; i++ {
+		rt.Arena(2).Submit(0.02, 0.5, nil)
+	}
+	eng.RunUntil(1)
+	loads := o.CoreLoads()
+	for c := 0; c < 32; c++ {
+		node := m.NodeOfCore(machine.CoreID(c))
+		if node == 2 && loads[c] == 0 {
+			t.Errorf("node-2 core %d never used", c)
+		}
+		if node != 2 && loads[c] > 0.01 {
+			t.Errorf("core %d (node %d) used %.3fs for node-2 arena work", c, node, loads[c])
+		}
+	}
+}
+
+func TestRMLMovesThreads(t *testing.T) {
+	m := machine.PaperModel()
+	eng, o := newSim(m)
+	rt := New(o, Config{Name: "tbb"})
+	if got := rt.Arena(0).Workers(); got != 8 {
+		t.Fatalf("initial arena-0 workers = %d, want 8", got)
+	}
+	// Shrink arena 0 to 2, grow arena 1 to 14.
+	if err := rt.SetArenaThreads(0, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.SetArenaThreads(1, 14); err != nil {
+		t.Fatal(err)
+	}
+	eng.RunUntil(0.1)
+	if got := rt.Arena(0).Workers(); got != 2 {
+		t.Errorf("arena-0 workers = %d, want 2", got)
+	}
+	if got := rt.Arena(1).Workers(); got != 14 {
+		t.Errorf("arena-1 workers = %d, want 14", got)
+	}
+	// Moved workers must now carry node-1 affinity.
+	for _, w := range rt.arenas[1].workers {
+		aff := w.thread.Affinity()
+		for _, c := range aff.Cores() {
+			if m.NodeOfCore(c) != 1 {
+				t.Errorf("arena-1 worker allows core %d on node %d", c, m.NodeOfCore(c))
+			}
+		}
+	}
+	if err := rt.SetArenaThreads(99, 1); err == nil {
+		t.Error("expected error for bad node")
+	}
+}
+
+func TestSetNodeThreadsOption3Equivalence(t *testing.T) {
+	// The paper: binding arena threads to NUMA nodes + RML adjustments
+	// == OCR-Vx option 3. Throughput must track the per-node counts.
+	m := machine.PaperModel()
+	eng, o := newSim(m)
+	rt := New(o, Config{Name: "tbb"})
+	// Continuous feed into every arena.
+	var feed func(n machine.NodeID)
+	feed = func(n machine.NodeID) {
+		rt.Arena(n).Submit(0.01, 0, func() { feed(n) })
+	}
+	for n := 0; n < 4; n++ {
+		for i := 0; i < 16; i++ {
+			feed(machine.NodeID(n))
+		}
+	}
+	if err := rt.SetNodeThreads([]int{4, 2, 0, 0}); err != nil {
+		t.Fatal(err)
+	}
+	eng.RunUntil(1)
+	st := rt.Stats()
+	// ~6 active cores * 10 GFLOPS; allow dispatch losses.
+	if st.GFlopDone < 52 || st.GFlopDone > 62 {
+		t.Errorf("GFlopDone = %.2f, want ~60", st.GFlopDone)
+	}
+	if err := rt.SetNodeThreads([]int{1, 1}); err == nil {
+		t.Error("expected error for wrong counts length")
+	}
+}
+
+func TestSetTotalThreadsSpreads(t *testing.T) {
+	m := machine.PaperModel()
+	eng, o := newSim(m)
+	rt := New(o, Config{Name: "tbb"})
+	rt.SetTotalThreads(8)
+	eng.RunUntil(0.1)
+	total := 0
+	for n := 0; n < 4; n++ {
+		w := rt.Arena(machine.NodeID(n)).Workers()
+		if w != 2 {
+			t.Errorf("arena %d workers = %d, want 2", n, w)
+		}
+		total += w
+	}
+	if total != 8 {
+		t.Errorf("total = %d, want 8", total)
+	}
+	st := rt.Stats()
+	if st.Suspended != 24 {
+		t.Errorf("suspended = %d, want 24", st.Suspended)
+	}
+}
+
+func TestMasterParticipates(t *testing.T) {
+	// A parallel region on an arena with zero workers must still finish
+	// because the master executes the jobs itself (TBB semantics).
+	m := machine.PaperModel()
+	eng, o := newSim(m)
+	rt := New(o, Config{Name: "tbb", Workers: 4})
+	for n := 0; n < 4; n++ {
+		if err := rt.SetArenaThreads(machine.NodeID(n), 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	eng.RunUntil(0.01)
+	var regionDone bool
+	master := rt.NewMaster("main", []Step{
+		{Kind: StepSerial, GFlop: 0.05},
+		{Kind: StepParallel, Node: 1, Tasks: 8, GFlop: 0.02, OnDone: func() { regionDone = true }},
+		{Kind: StepSerial, GFlop: 0.05},
+	}, false)
+	eng.RunUntil(2)
+	if !regionDone {
+		t.Error("parallel region never completed")
+	}
+	if !master.Done() {
+		t.Error("master script not finished")
+	}
+	if got := rt.Arena(1).Executed(); got != 8 {
+		t.Errorf("arena executed = %d, want 8", got)
+	}
+}
+
+func TestMasterAndWorkersShareRegion(t *testing.T) {
+	m := machine.PaperModel()
+	eng, o := newSim(m)
+	rt := New(o, Config{Name: "tbb"})
+	var doneAt des.Time
+	rt.NewMaster("main", []Step{
+		{Kind: StepParallel, Node: 0, Tasks: 64, GFlop: 0.05, OnDone: func() { doneAt = eng.Now() }},
+	}, false)
+	eng.RunUntil(2)
+	if doneAt == 0 {
+		t.Fatal("region never finished")
+	}
+	// 64 x 0.05 GFlop = 3.2 GFlop; 8 node-0 workers + master ~ 9 cores
+	// at 10 GFLOPS -> ~36-45 ms.
+	if doneAt > 0.07 {
+		t.Errorf("region took %v, want < 0.07 s (workers + master)", doneAt)
+	}
+}
+
+func TestMasterLoop(t *testing.T) {
+	m := machine.PaperModel()
+	eng, o := newSim(m)
+	rt := New(o, Config{Name: "tbb", Workers: 4})
+	iters := 0
+	rt.NewMaster("main", []Step{
+		{Kind: StepSerial, GFlop: 0.01, OnDone: func() { iters++ }},
+		{Kind: StepIO, Duration: 5 * des.Millisecond},
+	}, true)
+	eng.RunUntil(0.5)
+	if iters < 10 {
+		t.Errorf("looping master iterations = %d, want many", iters)
+	}
+}
+
+func TestIOThread(t *testing.T) {
+	m := machine.PaperModel()
+	eng, o := newSim(m)
+	rt := New(o, Config{Name: "tbb", Workers: 1})
+	th := rt.NewIOThread("io", 10*des.Millisecond, 0.001)
+	eng.RunUntil(1)
+	// The I/O thread spends most time blocked: tiny busy fraction.
+	if busy := th.BusySeconds(); busy > 0.1 {
+		t.Errorf("I/O thread busy %.3f s, want mostly blocked", busy)
+	}
+	if th.GFlopDone() == 0 {
+		t.Error("I/O thread never processed data")
+	}
+}
+
+func TestMasterValidation(t *testing.T) {
+	m := machine.PaperModel()
+	_, o := newSim(m)
+	rt := New(o, Config{Name: "tbb"})
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for empty script")
+		}
+	}()
+	rt.NewMaster("main", nil, false)
+}
+
+func TestSubmitValidation(t *testing.T) {
+	m := machine.PaperModel()
+	_, o := newSim(m)
+	rt := New(o, Config{Name: "tbb"})
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for negative job")
+		}
+	}()
+	rt.Arena(0).Submit(-1, 0, nil)
+}
+
+func TestSubmitRemote(t *testing.T) {
+	// Jobs in arena 1 accessing node 0 memory are limited by the link.
+	m := machine.Uniform("m", 2, 4, 10, 40, 5)
+	eng, o := newSim(m)
+	rt := New(o, Config{Name: "tbb"})
+	var feed func()
+	feed = func() { rt.Arena(1).SubmitRemote(0.01, 1, 0, feed) }
+	for i := 0; i < 8; i++ {
+		feed()
+	}
+	eng.RunUntil(1)
+	// 4 workers on node 1 demanding 10 GB/s each over a 5 GB/s link:
+	// 5 GB/s * AI 1 = 5 GFLOPS total.
+	got := rt.Stats().GFlopDone
+	if math.Abs(got-5) > 0.5 {
+		t.Errorf("remote GFlop = %.2f, want ~5", got)
+	}
+}
+
+func TestStatsShape(t *testing.T) {
+	m := machine.PaperModel()
+	eng, o := newSim(m)
+	rt := New(o, Config{Name: "tbb"})
+	st := rt.Stats()
+	if st.Workers != 32 {
+		t.Errorf("workers = %d, want 32", st.Workers)
+	}
+	rt.Arena(0).Submit(1, 0, nil)
+	eng.RunUntil(0.01)
+	st = rt.Stats()
+	if st.Running != 1 {
+		t.Errorf("running = %d, want 1", st.Running)
+	}
+	if rt.Name() != "tbb" || rt.Process() == nil {
+		t.Error("accessors wrong")
+	}
+}
+
+func TestArenaPanicsOnBadNode(t *testing.T) {
+	m := machine.PaperModel()
+	_, o := newSim(m)
+	rt := New(o, Config{Name: "tbb"})
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	rt.Arena(99)
+}
+
+func TestRMLChurnUnderLoad(t *testing.T) {
+	// Rapidly shuffling threads between arenas while jobs flow must
+	// neither lose jobs nor leave workers stranded.
+	m := machine.PaperModel()
+	eng, o := newSim(m)
+	rt := New(o, Config{Name: "tbb"})
+	var feed func(n machine.NodeID)
+	feed = func(n machine.NodeID) {
+		rt.Arena(n).Submit(0.01, 0.5, func() { feed(n) })
+	}
+	for n := 0; n < 4; n++ {
+		for i := 0; i < 8; i++ {
+			feed(machine.NodeID(n))
+		}
+	}
+	// Shuffle every 20 ms between two lopsided layouts.
+	flip := false
+	eng.Ticker(20*des.Millisecond, func(des.Time) {
+		flip = !flip
+		if flip {
+			_ = rt.SetNodeThreads([]int{16, 8, 4, 4})
+		} else {
+			_ = rt.SetNodeThreads([]int{4, 4, 8, 16})
+		}
+	})
+	eng.RunUntil(1)
+	st := rt.Stats()
+	if st.TasksExecuted < 1000 {
+		t.Errorf("executed only %d jobs under churn", st.TasksExecuted)
+	}
+	// No worker may be lost: accounted states must sum to the pool.
+	if st.Suspended+st.Idle+st.Running > st.Workers {
+		t.Errorf("worker states overflow: %+v", st)
+	}
+	// Allocation converges to whichever layout was last applied.
+	eng.RunUntil(1.25)
+	total := 0
+	for n := 0; n < 4; n++ {
+		total += rt.Arena(machine.NodeID(n)).Workers()
+	}
+	if total != 32 {
+		t.Errorf("workers across arenas = %d, want 32", total)
+	}
+}
+
+func TestMasterSurvivesArenaShuffle(t *testing.T) {
+	m := machine.PaperModel()
+	eng, o := newSim(m)
+	rt := New(o, Config{Name: "tbb"})
+	regions := 0
+	rt.NewMaster("main", []Step{
+		{Kind: StepParallel, Node: 1, Tasks: 16, GFlop: 0.02, OnDone: func() { regions++ }},
+		{Kind: StepSerial, GFlop: 0.01},
+	}, true)
+	eng.Ticker(15*des.Millisecond, func(des.Time) {
+		_ = rt.SetArenaThreads(1, 1+regions%8)
+	})
+	eng.RunUntil(2)
+	if regions < 10 {
+		t.Errorf("regions completed = %d, want many despite RML churn", regions)
+	}
+}

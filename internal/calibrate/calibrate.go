@@ -1,0 +1,198 @@
+// Package calibrate reproduces the paper's Section III.B methodology:
+// instead of deriving machine parameters from spec sheets, it measures
+// a synthetic benchmark and estimates the effective peak compute rate
+// and memory bandwidth from the observations ("we have ... estimated
+// the parameters of the machine from the measured performance of the
+// application"), exactly as the paper fits 100 GB/s and 0.29 GFLOPS per
+// thread from the even-allocation run.
+//
+// It also provides a STREAM-like probe (McCalpin's benchmark, the
+// paper's reference for remote-memory behaviour) that measures local
+// node bandwidth and the inter-node link bandwidth matrix of a
+// simulated machine.
+package calibrate
+
+import (
+	"fmt"
+
+	"repro/internal/des"
+	"repro/internal/machine"
+	"repro/internal/osched"
+	"repro/internal/roofline"
+)
+
+// StreamResult holds measured bandwidths in GB/s.
+type StreamResult struct {
+	// Node[i] is node i's measured local bandwidth.
+	Node []float64
+	// Link[i][j] is the measured bandwidth from cores on node i to
+	// memory on node j (diagonal = local measurement).
+	Link [][]float64
+}
+
+// streamAI is small enough that every thread is bandwidth-bound.
+const streamAI = 1.0 / 1024
+
+// STREAM measures the machine's local and remote bandwidths by running
+// saturating memory-bound threads for the given duration per probe.
+func STREAM(m *machine.Machine, osCfg osched.Config, duration des.Time) *StreamResult {
+	if duration <= 0 {
+		duration = 100 * des.Millisecond
+	}
+	n := m.NumNodes()
+	res := &StreamResult{Node: make([]float64, n), Link: make([][]float64, n)}
+	for i := range res.Link {
+		res.Link[i] = make([]float64, n)
+	}
+	for src := 0; src < n; src++ {
+		for dst := 0; dst < n; dst++ {
+			bw := measureBandwidth(m, osCfg, machine.NodeID(src), machine.NodeID(dst), duration)
+			res.Link[src][dst] = bw
+			if src == dst {
+				res.Node[src] = bw
+			}
+		}
+	}
+	return res
+}
+
+// measureBandwidth runs one probe: all cores of src stream from dst's
+// memory.
+func measureBandwidth(m *machine.Machine, osCfg osched.Config, src, dst machine.NodeID, duration des.Time) float64 {
+	eng := des.NewEngine(7)
+	osCfg.Machine = m
+	o := osched.New(eng, osCfg)
+	o.Start()
+	p := o.NewProcess("stream")
+	memNode := dst
+	for _, c := range m.CoresOfNode(src) {
+		p.NewThread("s", osched.RunnerFunc(func(*osched.Thread) osched.Work {
+			return osched.Work{Kind: osched.WorkCompute, GFlop: 1e9, AI: streamAI, MemNode: memNode}
+		}), osched.SingleCore(m, c))
+	}
+	eng.RunUntil(duration)
+	// bytes = flops / AI.
+	return p.GFlopDone() / streamAI / float64(duration)
+}
+
+// Estimate is a fitted machine parameterization.
+type Estimate struct {
+	// PeakGFLOPS is the effective per-thread compute rate.
+	PeakGFLOPS float64
+	// NodeBandwidth is the effective per-node memory bandwidth (GB/s).
+	NodeBandwidth float64
+}
+
+// Machine builds a uniform machine with the estimated parameters,
+// copying node/core counts and link bandwidths from the template.
+func (e Estimate) Machine(template *machine.Machine, linkBW float64) *machine.Machine {
+	return machine.Uniform(template.Name+"-fitted", template.NumNodes(), template.Nodes[0].Cores,
+		e.PeakGFLOPS, e.NodeBandwidth, linkBW)
+}
+
+// FitEvenAllocation estimates machine parameters from the measured
+// per-application GFLOPS of an even-allocation run, following the
+// paper: the most compute-bound application runs at the core's peak
+// (giving PeakGFLOPS directly), and the node bandwidth is the value
+// under which the analytic model reproduces the memory-bound
+// applications' measured rates (found by bisection — the model's output
+// grows monotonically with bandwidth).
+//
+// apps and counts describe the run (uniform per-node thread counts);
+// measured[i] is application i's machine-wide GFLOPS. The template
+// machine supplies node/core counts only.
+func FitEvenAllocation(template *machine.Machine, apps []roofline.App, counts []int, measured []float64) (Estimate, error) {
+	if len(apps) != len(counts) || len(apps) != len(measured) {
+		return Estimate{}, fmt.Errorf("calibrate: mismatched lengths (%d apps, %d counts, %d measurements)",
+			len(apps), len(counts), len(measured))
+	}
+	// The highest-AI application is the compute-bound reference.
+	comp := 0
+	for i, a := range apps {
+		if a.AI > apps[comp].AI {
+			comp = i
+		}
+	}
+	threads := counts[comp] * template.NumNodes()
+	if threads == 0 || measured[comp] <= 0 {
+		return Estimate{}, fmt.Errorf("calibrate: compute-bound app has no threads or no measurement")
+	}
+	peak := measured[comp] / float64(threads)
+
+	// Most memory-bound application anchors the bandwidth fit.
+	mem := 0
+	for i, a := range apps {
+		if a.AI < apps[mem].AI {
+			mem = i
+		}
+	}
+	if mem == comp {
+		return Estimate{}, fmt.Errorf("calibrate: need both memory- and compute-bound applications")
+	}
+	target := measured[mem]
+	if target <= 0 {
+		return Estimate{}, fmt.Errorf("calibrate: memory-bound app has no measurement")
+	}
+
+	predict := func(bw float64) float64 {
+		m := machine.Uniform("fit", template.NumNodes(), template.Nodes[0].Cores, peak, bw, 0)
+		al, err := roofline.PerNodeCounts(m, counts)
+		if err != nil {
+			return 0
+		}
+		r, err := roofline.Evaluate(m, apps, al)
+		if err != nil {
+			return 0
+		}
+		return r.AppGFLOPS[mem]
+	}
+
+	// Bracket the bandwidth.
+	lo, hi := 1e-6, 1.0
+	for predict(hi) < target && hi < 1e9 {
+		hi *= 2
+	}
+	if predict(hi) < target {
+		return Estimate{}, fmt.Errorf("calibrate: measured %g GFLOPS unreachable at any bandwidth (AI too low?)", target)
+	}
+	for iter := 0; iter < 200; iter++ {
+		mid := (lo + hi) / 2
+		if predict(mid) < target {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return Estimate{PeakGFLOPS: peak, NodeBandwidth: (lo + hi) / 2}, nil
+}
+
+// Prediction compares a fitted model against a measurement.
+type Prediction struct {
+	Scenario  string
+	Model     float64
+	Measured  float64
+	RelErrPct float64
+}
+
+// Validate evaluates the fitted machine on scenarios and reports
+// model-vs-measured errors, mirroring the paper's Table III check.
+func Validate(fitted *machine.Machine, scenarios []struct {
+	Name     string
+	Apps     []roofline.App
+	Alloc    roofline.Allocation
+	Measured float64
+}) ([]Prediction, error) {
+	var out []Prediction
+	for _, s := range scenarios {
+		r, err := roofline.Evaluate(fitted, s.Apps, s.Alloc)
+		if err != nil {
+			return nil, fmt.Errorf("calibrate: scenario %s: %w", s.Name, err)
+		}
+		p := Prediction{Scenario: s.Name, Model: r.TotalGFLOPS, Measured: s.Measured}
+		if s.Measured != 0 {
+			p.RelErrPct = 100 * (r.TotalGFLOPS - s.Measured) / s.Measured
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}

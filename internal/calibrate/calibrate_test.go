@@ -1,0 +1,186 @@
+package calibrate
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/des"
+	"repro/internal/machine"
+	"repro/internal/osched"
+	"repro/internal/roofline"
+)
+
+func desEngine() *des.Engine { return des.NewEngine(1) }
+
+func zeroCostOS() osched.Config {
+	return osched.Config{
+		ContextSwitchCost: -1,
+		MigrationPenalty:  -1,
+		LoadBalancePeriod: -1,
+	}
+}
+
+func TestSTREAMMeasuresLocalBandwidth(t *testing.T) {
+	m := machine.SkylakeQuad() // 100 GB/s nodes, 10 GB/s links
+	res := STREAM(m, zeroCostOS(), 0.05)
+	for i, bw := range res.Node {
+		if math.Abs(bw-100) > 3 {
+			t.Errorf("node %d measured %.1f GB/s, want ~100", i, bw)
+		}
+	}
+}
+
+func TestSTREAMMeasuresLinks(t *testing.T) {
+	m := machine.SkylakeQuad()
+	res := STREAM(m, zeroCostOS(), 0.05)
+	for i := range res.Link {
+		for j := range res.Link[i] {
+			want := 100.0
+			if i != j {
+				want = 10
+			}
+			if math.Abs(res.Link[i][j]-want) > want*0.05 {
+				t.Errorf("link %d->%d measured %.2f GB/s, want ~%.0f", i, j, res.Link[i][j], want)
+			}
+		}
+	}
+}
+
+func TestFitRecoversKnownParameters(t *testing.T) {
+	// Generate "measurements" from the analytic model on the true
+	// machine; the fit must recover its parameters.
+	truth := machine.SkylakeQuad() // peak 0.29, 100 GB/s
+	apps := []roofline.App{
+		{Name: "m1", AI: 1.0 / 32}, {Name: "m2", AI: 1.0 / 32}, {Name: "m3", AI: 1.0 / 32},
+		{Name: "c", AI: 1},
+	}
+	counts := []int{5, 5, 5, 5}
+	r := roofline.MustEvaluate(truth, apps, roofline.MustPerNodeCounts(truth, counts))
+	est, err := FitEvenAllocation(truth, apps, counts, r.AppGFLOPS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(est.PeakGFLOPS-0.29) > 0.001 {
+		t.Errorf("fitted peak = %.4f, want 0.29", est.PeakGFLOPS)
+	}
+	if math.Abs(est.NodeBandwidth-100) > 0.5 {
+		t.Errorf("fitted bandwidth = %.2f, want 100", est.NodeBandwidth)
+	}
+}
+
+func TestFitFromSimulatedMeasurement(t *testing.T) {
+	// Full paper methodology: measure the even-allocation scenario on
+	// the simulator, fit parameters, and predict the uneven scenario.
+	truth := machine.SkylakeQuad()
+	apps := []roofline.App{
+		{Name: "m1", AI: 1.0 / 32}, {Name: "m2", AI: 1.0 / 32}, {Name: "m3", AI: 1.0 / 32},
+		{Name: "c", AI: 1},
+	}
+	counts := []int{5, 5, 5, 5}
+	measured := simulateScenario(t, truth, apps, counts)
+
+	est, err := FitEvenAllocation(truth, apps, counts, measured)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fitted := est.Machine(truth, 10)
+
+	// Predict scenario 1 (1,1,1,17) with the fitted machine and check
+	// against its simulation.
+	pred := roofline.MustEvaluate(fitted, apps, roofline.MustPerNodeCounts(fitted, []int{1, 1, 1, 17}))
+	meas := simulateScenario(t, truth, apps, []int{1, 1, 1, 17})
+	total := 0.0
+	for _, g := range meas {
+		total += g
+	}
+	if rel := math.Abs(pred.TotalGFLOPS-total) / total; rel > 0.05 {
+		t.Errorf("fitted prediction %.3f vs simulated %.3f (%.1f%% off)", pred.TotalGFLOPS, total, rel*100)
+	}
+}
+
+// simulateScenario measures per-app GFLOPS for a uniform per-node
+// allocation on the simulator (1 second).
+func simulateScenario(t *testing.T, m *machine.Machine, apps []roofline.App, counts []int) []float64 {
+	t.Helper()
+	eng := desEngine()
+	cfg := zeroCostOS()
+	cfg.Machine = m
+	o := osched.New(eng, cfg)
+	o.Start()
+	procs := make([]*osched.Process, len(apps))
+	for i := range apps {
+		procs[i] = o.NewProcess(apps[i].Name)
+	}
+	for node := 0; node < m.NumNodes(); node++ {
+		cores := m.CoresOfNode(machine.NodeID(node))
+		next := 0
+		for i, app := range apps {
+			target := osched.LocalNode
+			if app.Placement == roofline.NUMABad {
+				target = app.HomeNode
+			}
+			ai := app.AI
+			for k := 0; k < counts[i]; k++ {
+				procs[i].NewThread("w", osched.RunnerFunc(func(*osched.Thread) osched.Work {
+					return osched.Work{Kind: osched.WorkCompute, GFlop: 1e9, AI: ai, MemNode: target}
+				}), osched.SingleCore(m, cores[next]))
+				next++
+			}
+		}
+	}
+	eng.RunUntil(1)
+	out := make([]float64, len(apps))
+	for i, p := range procs {
+		out[i] = p.GFlopDone()
+	}
+	return out
+}
+
+func TestFitErrors(t *testing.T) {
+	m := machine.SkylakeQuad()
+	apps := []roofline.App{{Name: "a", AI: 0.1}, {Name: "b", AI: 1}}
+	if _, err := FitEvenAllocation(m, apps, []int{1}, []float64{1, 2}); err == nil {
+		t.Error("expected length mismatch error")
+	}
+	if _, err := FitEvenAllocation(m, apps, []int{1, 1}, []float64{1, 0}); err == nil {
+		t.Error("expected error for zero compute measurement")
+	}
+	if _, err := FitEvenAllocation(m, []roofline.App{{Name: "only", AI: 1}}, []int{1}, []float64{1}); err == nil {
+		t.Error("expected error when only one app kind present")
+	}
+	// Target unreachable: memory app measurement too high for any bw.
+	if _, err := FitEvenAllocation(m, apps, []int{1, 1}, []float64{1e15, 1}); err == nil {
+		t.Error("expected unreachable error")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	m := machine.SkylakeQuad()
+	apps := []roofline.App{
+		{Name: "m1", AI: 1.0 / 32}, {Name: "m2", AI: 1.0 / 32}, {Name: "m3", AI: 1.0 / 32},
+		{Name: "c", AI: 1},
+	}
+	scenarios := []struct {
+		Name     string
+		Apps     []roofline.App
+		Alloc    roofline.Allocation
+		Measured float64
+	}{
+		{"uneven", apps, roofline.MustPerNodeCounts(m, []int{1, 1, 1, 17}), 22.82},
+		{"even", apps, roofline.MustPerNodeCounts(m, []int{5, 5, 5, 5}), 18.14},
+	}
+	preds, err := Validate(m, scenarios)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(preds) != 2 {
+		t.Fatalf("got %d predictions", len(preds))
+	}
+	// Model values are the Table III model column.
+	if math.Abs(preds[0].Model-23.20) > 0.01 || math.Abs(preds[1].Model-18.12) > 0.01 {
+		t.Errorf("model values %.2f/%.2f, want 23.20/18.12", preds[0].Model, preds[1].Model)
+	}
+	if preds[0].RelErrPct <= 0 {
+		t.Errorf("uneven model should overestimate 22.82: err = %.2f%%", preds[0].RelErrPct)
+	}
+}

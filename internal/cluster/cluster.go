@@ -1,0 +1,335 @@
+// Package cluster simulates the paper's Section V: a distributed
+// (MPI-like) application whose components run across several compute
+// nodes while cooperating applications share each node.
+//
+// Each cluster node hosts its own simulated operating system (on one
+// shared discrete-event engine) and task runtime; nodes exchange
+// messages with a configurable network latency. Work can be
+// distributed statically (fixed chunks per node) or dynamically
+// (a central work queue), with tight (barrier-per-round) or loose
+// synchronization — the knobs the paper argues determine how much of a
+// node-local speedup translates into overall speedup.
+package cluster
+
+import (
+	"fmt"
+
+	"repro/internal/des"
+	"repro/internal/machine"
+	"repro/internal/osched"
+	"repro/internal/taskrt"
+)
+
+// Config describes the cluster.
+type Config struct {
+	// Nodes is the number of compute nodes.
+	Nodes int
+	// Machine is the per-node NUMA machine (shared template).
+	Machine *machine.Machine
+	// OS carries per-node scheduler knobs (Machine is overwritten).
+	OS osched.Config
+	// NetLatency is the one-way message latency between nodes.
+	// Default 10 µs.
+	NetLatency des.Time
+	// Seed seeds the shared simulation engine.
+	Seed int64
+}
+
+// Cluster is a set of simulated compute nodes on one engine.
+type Cluster struct {
+	Eng   *des.Engine
+	cfg   Config
+	nodes []*Node
+	sent  uint64
+}
+
+// Node is one compute node.
+type Node struct {
+	Index int
+	OS    *osched.OS
+}
+
+// New builds the cluster and starts every node's OS.
+func New(cfg Config) *Cluster {
+	if cfg.Nodes <= 0 {
+		panic("cluster: need at least one node")
+	}
+	if cfg.Machine == nil {
+		panic("cluster: nil machine")
+	}
+	if cfg.NetLatency <= 0 {
+		cfg.NetLatency = 10 * des.Microsecond
+	}
+	c := &Cluster{Eng: des.NewEngine(cfg.Seed), cfg: cfg}
+	for i := 0; i < cfg.Nodes; i++ {
+		osCfg := cfg.OS
+		osCfg.Machine = cfg.Machine
+		o := osched.New(c.Eng, osCfg)
+		o.Start()
+		c.nodes = append(c.nodes, &Node{Index: i, OS: o})
+	}
+	return c
+}
+
+// Node returns the i-th compute node.
+func (c *Cluster) Node(i int) *Node {
+	if i < 0 || i >= len(c.nodes) {
+		panic(fmt.Sprintf("cluster: node %d out of range", i))
+	}
+	return c.nodes[i]
+}
+
+// Nodes returns the node count.
+func (c *Cluster) Nodes() int { return len(c.nodes) }
+
+// MessagesSent returns the number of network messages delivered.
+func (c *Cluster) MessagesSent() uint64 { return c.sent }
+
+// Send delivers fn on the destination node after the network latency
+// (the destination index is informational; all nodes share the engine).
+func (c *Cluster) Send(to int, fn func()) {
+	if to < 0 || to >= len(c.nodes) {
+		panic(fmt.Sprintf("cluster: send to unknown node %d", to))
+	}
+	c.sent++
+	c.Eng.After(c.cfg.NetLatency, fn)
+}
+
+// SyncMode selects cross-node synchronization for static distribution.
+type SyncMode int
+
+const (
+	// Loose runs every node's chunk list independently.
+	Loose SyncMode = iota
+	// Barrier synchronizes all nodes after every round (one chunk per
+	// node per round), like an iterative code with a global barrier.
+	Barrier
+)
+
+// String names the mode.
+func (s SyncMode) String() string {
+	if s == Barrier {
+		return "barrier"
+	}
+	return "loose"
+}
+
+// DistMode selects how chunks are assigned to nodes.
+type DistMode int
+
+const (
+	// Static pre-assigns chunks round-robin.
+	Static DistMode = iota
+	// Dynamic keeps a central queue on node 0; nodes request the next
+	// chunk over the network when they finish one.
+	Dynamic
+)
+
+// String names the mode.
+func (d DistMode) String() string {
+	if d == Dynamic {
+		return "dynamic"
+	}
+	return "static"
+}
+
+// JobConfig describes a distributed application run.
+type JobConfig struct {
+	// TotalChunks is the global work-unit count.
+	TotalChunks int
+	// TasksPerChunk is the intra-node parallelism of one chunk.
+	TasksPerChunk int
+	// TaskGFlop and AI size each task.
+	TaskGFlop float64
+	AI        float64
+	// Dist selects static or dynamic distribution.
+	Dist DistMode
+	// Sync selects loose or barrier synchronization (Static only;
+	// Dynamic is inherently loose).
+	Sync SyncMode
+	// RuntimeConfig tunes each node's task runtime (Name is suffixed
+	// with the node index).
+	RuntimeConfig taskrt.Config
+}
+
+// Job is one distributed application across all cluster nodes.
+type Job struct {
+	c   *Cluster
+	cfg JobConfig
+	rts []*taskrt.Runtime
+
+	chunksDone   []int // per node
+	nextChunk    int   // dynamic: central counter (lives on node 0)
+	round        int   // barrier: current round
+	roundPending int   // barrier: nodes still working
+	finishedAt   des.Time
+	running      int // nodes still executing (loose/dynamic)
+	done         bool
+	onDone       func()
+}
+
+// NewJob creates the job's per-node runtimes.
+func NewJob(c *Cluster, cfg JobConfig) *Job {
+	if cfg.TotalChunks <= 0 || cfg.TasksPerChunk <= 0 {
+		panic("cluster: job needs positive chunks and tasks")
+	}
+	j := &Job{c: c, cfg: cfg, chunksDone: make([]int, c.Nodes())}
+	for i := 0; i < c.Nodes(); i++ {
+		rc := cfg.RuntimeConfig
+		rc.Name = fmt.Sprintf("%s-n%d", orDefault(rc.Name, "job"), i)
+		j.rts = append(j.rts, taskrt.New(c.Node(i).OS, rc))
+	}
+	return j
+}
+
+func orDefault(s, d string) string {
+	if s == "" {
+		return d
+	}
+	return s
+}
+
+// Runtime returns the job's runtime on one node, e.g. for a per-node
+// agent to control its thread allocation.
+func (j *Job) Runtime(node int) *taskrt.Runtime { return j.rts[node] }
+
+// ChunksDone returns per-node completed chunk counts.
+func (j *Job) ChunksDone() []int { return append([]int(nil), j.chunksDone...) }
+
+// Done reports completion and the makespan.
+func (j *Job) Done() (bool, des.Time) { return j.done, j.finishedAt }
+
+// Run starts the job. onDone (may be nil) fires at completion.
+func (j *Job) Run(onDone func()) {
+	j.onDone = onDone
+	switch j.cfg.Dist {
+	case Dynamic:
+		j.running = j.c.Nodes()
+		for i := 0; i < j.c.Nodes(); i++ {
+			j.requestChunk(i)
+		}
+	default:
+		if j.cfg.Sync == Barrier {
+			j.startRound()
+			return
+		}
+		j.running = j.c.Nodes()
+		for i := 0; i < j.c.Nodes(); i++ {
+			j.runStaticList(i)
+		}
+	}
+}
+
+// chunksOf lists the chunk ids statically assigned to a node
+// (round-robin).
+func (j *Job) chunksOf(node int) []int {
+	var out []int
+	for c := node; c < j.cfg.TotalChunks; c += j.c.Nodes() {
+		out = append(out, c)
+	}
+	return out
+}
+
+// executeChunk runs one chunk's tasks on a node and calls then().
+func (j *Job) executeChunk(node, chunk int, then func()) {
+	rt := j.rts[node]
+	barrier := rt.NewTask(fmt.Sprintf("chunk-%d-done", chunk), 1e-6, 0, nil)
+	for i := 0; i < j.cfg.TasksPerChunk; i++ {
+		t := rt.NewTask("t", j.cfg.TaskGFlop, j.cfg.AI, nil)
+		barrier.DependsOn(t)
+		rt.Submit(t)
+	}
+	barrier.OnComplete = func() {
+		j.chunksDone[node]++
+		then()
+	}
+	rt.Submit(barrier)
+}
+
+// --- static + loose ---
+
+func (j *Job) runStaticList(node int) {
+	chunks := j.chunksOf(node)
+	var next func(i int)
+	next = func(i int) {
+		if i >= len(chunks) {
+			j.nodeFinished()
+			return
+		}
+		j.executeChunk(node, chunks[i], func() { next(i + 1) })
+	}
+	next(0)
+}
+
+func (j *Job) nodeFinished() {
+	j.running--
+	if j.running == 0 {
+		j.finish()
+	}
+}
+
+// --- static + barrier ---
+
+func (j *Job) startRound() {
+	base := j.round * j.c.Nodes()
+	if base >= j.cfg.TotalChunks {
+		j.finish()
+		return
+	}
+	count := j.c.Nodes()
+	if base+count > j.cfg.TotalChunks {
+		count = j.cfg.TotalChunks - base
+	}
+	j.roundPending = count
+	for i := 0; i < count; i++ {
+		node := i
+		chunk := base + i
+		j.executeChunk(node, chunk, func() {
+			// Report to the coordinator (node 0) over the network.
+			j.c.Send(0, func() { j.roundDone() })
+		})
+	}
+}
+
+func (j *Job) roundDone() {
+	j.roundPending--
+	if j.roundPending > 0 {
+		return
+	}
+	j.round++
+	// Broadcast "next round" to all nodes (modelled as one latency hop).
+	round := j.round
+	j.c.Send(0, func() {
+		if j.round == round {
+			j.startRound()
+		}
+	})
+}
+
+// --- dynamic ---
+
+// requestChunk models node -> coordinator request + reply.
+func (j *Job) requestChunk(node int) {
+	j.c.Send(0, func() { // request arrives at coordinator
+		if j.nextChunk >= j.cfg.TotalChunks {
+			j.c.Send(node, func() { j.nodeFinished() })
+			return
+		}
+		chunk := j.nextChunk
+		j.nextChunk++
+		j.c.Send(node, func() { // reply arrives at worker node
+			j.executeChunk(node, chunk, func() { j.requestChunk(node) })
+		})
+	})
+}
+
+func (j *Job) finish() {
+	if j.done {
+		return
+	}
+	j.done = true
+	j.finishedAt = j.c.Eng.Now()
+	if j.onDone != nil {
+		j.onDone()
+	}
+}

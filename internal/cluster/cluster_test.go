@@ -1,0 +1,218 @@
+package cluster
+
+import (
+	"testing"
+
+	"repro/internal/des"
+	"repro/internal/machine"
+	"repro/internal/osched"
+	"repro/internal/taskrt"
+)
+
+func testConfig(nodes int) Config {
+	return Config{
+		Nodes:   nodes,
+		Machine: machine.PaperModel(),
+		OS: osched.Config{
+			ContextSwitchCost: -1,
+			MigrationPenalty:  -1,
+			LoadBalancePeriod: -1,
+		},
+		NetLatency: 50 * des.Microsecond,
+		Seed:       1,
+	}
+}
+
+func jobConfig(dist DistMode, sync SyncMode) JobConfig {
+	return JobConfig{
+		TotalChunks:   32,
+		TasksPerChunk: 32,
+		TaskGFlop:     0.05,
+		AI:            0,
+		Dist:          dist,
+		Sync:          sync,
+		RuntimeConfig: taskrt.Config{BindMode: taskrt.BindCore},
+	}
+}
+
+// runJob runs to completion and returns the makespan.
+func runJob(t *testing.T, c *Cluster, j *Job) des.Time {
+	t.Helper()
+	j.Run(nil)
+	c.Eng.RunUntil(60)
+	done, at := j.Done()
+	if !done {
+		t.Fatalf("job did not finish (chunks done: %v)", j.ChunksDone())
+	}
+	return at
+}
+
+func TestStaticLooseCompletes(t *testing.T) {
+	c := New(testConfig(4))
+	j := NewJob(c, jobConfig(Static, Loose))
+	runJob(t, c, j)
+	for i, n := range j.ChunksDone() {
+		if n != 8 {
+			t.Errorf("node %d did %d chunks, want 8", i, n)
+		}
+	}
+}
+
+func TestBarrierCompletes(t *testing.T) {
+	c := New(testConfig(4))
+	j := NewJob(c, jobConfig(Static, Barrier))
+	runJob(t, c, j)
+	total := 0
+	for _, n := range j.ChunksDone() {
+		total += n
+	}
+	if total != 32 {
+		t.Errorf("total chunks = %d, want 32", total)
+	}
+	if c.MessagesSent() == 0 {
+		t.Error("barrier mode should exchange messages")
+	}
+}
+
+func TestDynamicCompletes(t *testing.T) {
+	c := New(testConfig(4))
+	j := NewJob(c, jobConfig(Dynamic, Loose))
+	runJob(t, c, j)
+	total := 0
+	for _, n := range j.ChunksDone() {
+		total += n
+	}
+	if total != 32 {
+		t.Errorf("total chunks = %d, want 32", total)
+	}
+}
+
+func TestHomogeneousModesComparable(t *testing.T) {
+	// With identical nodes, all three schemes have similar makespans.
+	mk := func(dist DistMode, sync SyncMode) des.Time {
+		c := New(testConfig(4))
+		j := NewJob(c, jobConfig(dist, sync))
+		return runJob(t, c, j)
+	}
+	loose := mk(Static, Loose)
+	barrier := mk(Static, Barrier)
+	dynamic := mk(Dynamic, Loose)
+	if barrier < loose || float64(barrier) > float64(loose)*1.3 {
+		t.Errorf("homogeneous: barrier %v should be close above loose %v", barrier, loose)
+	}
+	if float64(dynamic) > float64(loose)*1.3 {
+		t.Errorf("homogeneous: dynamic %v should be close to loose %v", dynamic, loose)
+	}
+}
+
+// TestSectionVSpeedupTranslation reproduces the paper's core Section V
+// claim. One node is slow (its job runtime only gets 8 of 32 cores,
+// as if a co-located application owns the rest):
+//   - with a barrier after every round, speeding up the other nodes
+//     barely helps — the makespan tracks the slow node;
+//   - with loose synchronization and dynamic distribution, the fast
+//     nodes absorb the work and most of the local speedup translates
+//     to overall speedup.
+func TestSectionVSpeedupTranslation(t *testing.T) {
+	run := func(dist DistMode, sync SyncMode, slowNode bool) des.Time {
+		c := New(testConfig(4))
+		j := NewJob(c, jobConfig(dist, sync))
+		if slowNode {
+			j.Runtime(0).SetTotalThreads(8) // co-located app owns 24 cores
+		}
+		return runJob(t, c, j)
+	}
+
+	barrierFast := run(Static, Barrier, false)
+	barrierSlow := run(Static, Barrier, true)
+	dynamicFast := run(Dynamic, Loose, false)
+	dynamicSlow := run(Dynamic, Loose, true)
+
+	barrierPenalty := float64(barrierSlow) / float64(barrierFast)
+	dynamicPenalty := float64(dynamicSlow) / float64(dynamicFast)
+
+	// The slow node executes chunks ~4x slower. Barrier rounds wait for
+	// it (penalty approaching 4x); dynamic rebalancing keeps the
+	// penalty small.
+	if barrierPenalty < 2 {
+		t.Errorf("barrier penalty = %.2fx, want >= 2x (slow node dominates rounds)", barrierPenalty)
+	}
+	if dynamicPenalty > 1.7 {
+		t.Errorf("dynamic penalty = %.2fx, want < 1.7x (work rebalances)", dynamicPenalty)
+	}
+	if dynamicPenalty >= barrierPenalty {
+		t.Errorf("dynamic (%.2fx) should beat barrier (%.2fx) with a slow node", dynamicPenalty, barrierPenalty)
+	}
+
+	// Dynamic distribution shifts chunks away from the slow node.
+	c := New(testConfig(4))
+	j := NewJob(c, jobConfig(Dynamic, Loose))
+	j.Runtime(0).SetTotalThreads(8)
+	runJob(t, c, j)
+	counts := j.ChunksDone()
+	if counts[0] >= counts[1] {
+		t.Errorf("slow node did %d chunks, fast node %d: dynamic should shift work", counts[0], counts[1])
+	}
+}
+
+func TestUnevenChunkCounts(t *testing.T) {
+	// 10 chunks over 4 nodes: static round-robin gives 3/3/2/2.
+	cfg := jobConfig(Static, Loose)
+	cfg.TotalChunks = 10
+	c := New(testConfig(4))
+	j := NewJob(c, cfg)
+	runJob(t, c, j)
+	want := []int{3, 3, 2, 2}
+	for i, n := range j.ChunksDone() {
+		if n != want[i] {
+			t.Errorf("node %d chunks = %d, want %d", i, n, want[i])
+		}
+	}
+}
+
+func TestBarrierUnevenLastRound(t *testing.T) {
+	cfg := jobConfig(Static, Barrier)
+	cfg.TotalChunks = 6 // last round uses only 2 of 4 nodes
+	c := New(testConfig(4))
+	j := NewJob(c, cfg)
+	runJob(t, c, j)
+	total := 0
+	for _, n := range j.ChunksDone() {
+		total += n
+	}
+	if total != 6 {
+		t.Errorf("total = %d, want 6", total)
+	}
+}
+
+func TestSingleNodeCluster(t *testing.T) {
+	cfg := jobConfig(Dynamic, Loose)
+	cfg.TotalChunks = 4
+	c := New(testConfig(1))
+	j := NewJob(c, cfg)
+	runJob(t, c, j)
+	if j.ChunksDone()[0] != 4 {
+		t.Errorf("chunks = %d, want 4", j.ChunksDone()[0])
+	}
+}
+
+func TestValidation(t *testing.T) {
+	expectPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected panic", name)
+			}
+		}()
+		fn()
+	}
+	expectPanic("zero nodes", func() { New(Config{Machine: machine.PaperModel()}) })
+	expectPanic("nil machine", func() { New(Config{Nodes: 1}) })
+	c := New(testConfig(2))
+	expectPanic("bad node index", func() { c.Node(5) })
+	expectPanic("bad send", func() { c.Send(9, func() {}) })
+	expectPanic("bad job", func() { NewJob(c, JobConfig{}) })
+	if Loose.String() != "loose" || Barrier.String() != "barrier" || Static.String() != "static" || Dynamic.String() != "dynamic" {
+		t.Error("mode names wrong")
+	}
+}

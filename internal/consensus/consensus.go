@@ -1,0 +1,397 @@
+// Package consensus implements the paper's alternative to the central
+// agent: "it would also be possible to have the different runtime
+// systems cooperatively come to an agreement" on CPU core allocation.
+//
+// Participants (runtimes) exchange their per-NUMA-node thread demands
+// over a simulated message bus with delivery latency. Once a
+// participant has seen every demand for the current negotiation epoch,
+// it computes a deterministic partition function of the machine —
+// identical inputs give identical outputs, so all participants arrive
+// at the same plan without a coordinator — applies its own slice via
+// thread-control option 3, and broadcasts the plan for cross-checking.
+// Disagreements (which would indicate divergent inputs) are counted.
+//
+// The partition function rotates tie-breaking across NUMA nodes and
+// participants, which resolves the hazard the paper warns about: "we
+// would not want all runtime systems to decide that ... they will all
+// use node 0".
+package consensus
+
+import (
+	"fmt"
+
+	"repro/internal/agent"
+	"repro/internal/des"
+	"repro/internal/machine"
+)
+
+// Bus is a simulated interconnect between participants with a fixed
+// delivery latency (e.g. shared-memory mailboxes or local sockets).
+// A DropRate > 0 injects message loss; the protocol tolerates it by
+// periodically re-announcing until agreement (see Participant).
+type Bus struct {
+	eng          *des.Engine
+	m            *machine.Machine
+	latency      des.Time
+	participants []*Participant
+	messages     uint64
+	dropped      uint64
+	dropRate     float64
+}
+
+// NewBus creates a bus for the machine with the given one-way delivery
+// latency.
+func NewBus(eng *des.Engine, m *machine.Machine, latency des.Time) *Bus {
+	if latency < 0 {
+		panic("consensus: negative latency")
+	}
+	return &Bus{eng: eng, m: m, latency: latency}
+}
+
+// SetDropRate injects failures: each message is lost independently with
+// the given probability (0 <= p < 1), drawn from the engine's
+// deterministic RNG.
+func (b *Bus) SetDropRate(p float64) {
+	if p < 0 || p >= 1 {
+		panic("consensus: drop rate must be in [0,1)")
+	}
+	b.dropRate = p
+}
+
+// Messages returns the total number of messages delivered.
+func (b *Bus) Messages() uint64 { return b.messages }
+
+// Dropped returns the number of injected message losses.
+func (b *Bus) Dropped() uint64 { return b.dropped }
+
+// broadcast delivers fn(p) to every participant except the sender
+// after the bus latency, subject to injected loss.
+func (b *Bus) broadcast(from *Participant, fn func(p *Participant)) {
+	for _, p := range b.participants {
+		if p == from {
+			continue
+		}
+		if b.dropRate > 0 && b.eng.Rand().Float64() < b.dropRate {
+			b.dropped++
+			continue
+		}
+		p := p
+		b.messages++
+		b.eng.After(b.latency, func() { fn(p) })
+	}
+}
+
+// send delivers fn(to) after the bus latency, subject to injected loss.
+func (b *Bus) send(to *Participant, fn func(p *Participant)) {
+	if b.dropRate > 0 && b.eng.Rand().Float64() < b.dropRate {
+		b.dropped++
+		return
+	}
+	b.messages++
+	b.eng.After(b.latency, func() { fn(to) })
+}
+
+// demandMsg is a participant's announced requirement.
+type demandMsg struct {
+	epoch    int
+	id       int
+	perNode  []int
+	flexible bool
+}
+
+// Participant is one runtime taking part in the negotiation.
+type Participant struct {
+	bus      *Bus
+	id       int
+	client   agent.Client
+	epoch    int
+	demand   []int
+	flexible bool
+
+	seen      map[int]demandMsg // by participant id, current epoch
+	plans     map[int]string    // plan fingerprints by participant id
+	decided   bool              // computed a plan for this epoch
+	verified  bool              // counted the cross-check for this epoch
+	myPlanFP  string
+	agreed    uint64
+	conflicts uint64
+	applied   [][]int // last applied full plan
+}
+
+// Join adds a runtime to the bus. demand is the initial per-node thread
+// requirement; flexible marks demand that may be relocated to other
+// nodes when the preferred ones are contended (NUMA-perfect codes are
+// flexible, NUMA-bad codes are not).
+func (b *Bus) Join(client agent.Client, demand []int, flexible bool) *Participant {
+	if len(demand) != b.m.NumNodes() {
+		panic(fmt.Sprintf("consensus: demand has %d nodes, machine has %d", len(demand), b.m.NumNodes()))
+	}
+	p := &Participant{
+		bus:      b,
+		id:       len(b.participants),
+		client:   client,
+		demand:   append([]int(nil), demand...),
+		flexible: flexible,
+		seen:     map[int]demandMsg{},
+		plans:    map[int]string{},
+	}
+	b.participants = append(b.participants, p)
+	return p
+}
+
+// Start begins the first negotiation epoch and the participants'
+// re-announce timers (which make the protocol robust to message loss).
+// Call after all participants joined.
+func (b *Bus) Start() {
+	for _, p := range b.participants {
+		p.announce(1)
+	}
+	retry := 20 * b.latency
+	if retry < des.Millisecond {
+		retry = des.Millisecond
+	}
+	for _, p := range b.participants {
+		p := p
+		b.eng.Ticker(retry, func(des.Time) { p.retransmit() })
+	}
+}
+
+// retransmit re-sends state until the epoch fully verifies. The demand
+// is always re-announced while unverified — having received everyone
+// else's demand does not mean they received ours (losing only our
+// message leaves the peer's set incomplete while ours looks done) —
+// and the plan fingerprint is re-sent once computed. Duplicates are
+// idempotent at the receivers.
+func (p *Participant) retransmit() {
+	if p.verified {
+		return
+	}
+	msg := demandMsg{epoch: p.epoch, id: p.id, perNode: append([]int(nil), p.demand...), flexible: p.flexible}
+	p.bus.broadcast(p, func(q *Participant) { q.receiveDemand(msg) })
+	if p.decided {
+		fp := p.myPlanFP
+		epoch := p.epoch
+		p.bus.broadcast(p, func(q *Participant) { q.receivePlan(p.id, epoch, fp) })
+	}
+}
+
+// SetDemand changes the participant's requirement and triggers a new
+// negotiation epoch.
+func (p *Participant) SetDemand(perNode []int) {
+	if len(perNode) != p.bus.m.NumNodes() {
+		panic("consensus: wrong demand length")
+	}
+	p.demand = append([]int(nil), perNode...)
+	next := p.epoch + 1
+	p.announce(next)
+	// Tell everyone a new epoch started; they re-announce.
+	p.bus.broadcast(p, func(q *Participant) {
+		if q.epoch < next {
+			q.announce(next)
+		}
+	})
+}
+
+// announce enters epoch e and broadcasts the participant's demand.
+func (p *Participant) announce(e int) {
+	if e <= p.epoch && p.epoch != 0 {
+		return
+	}
+	if e > p.epoch {
+		p.epoch = e
+		p.seen = map[int]demandMsg{}
+		p.plans = map[int]string{}
+		p.decided = false
+		p.verified = false
+	}
+	msg := demandMsg{epoch: e, id: p.id, perNode: append([]int(nil), p.demand...), flexible: p.flexible}
+	p.receiveDemand(msg) // own demand
+	p.bus.broadcast(p, func(q *Participant) { q.receiveDemand(msg) })
+}
+
+func (p *Participant) receiveDemand(msg demandMsg) {
+	if msg.epoch > p.epoch {
+		// A newer epoch started elsewhere: join it and re-announce.
+		p.announce(msg.epoch)
+		// announce() recorded our own demand; fall through to store
+		// the sender's.
+	}
+	if msg.epoch < p.epoch {
+		return // stale
+	}
+	p.seen[msg.id] = msg
+	if !p.decided && len(p.seen) == len(p.bus.participants) {
+		p.decide()
+	}
+	// A verified participant receiving a (re)announcement answers the
+	// sender directly with its own demand and plan: the sender is still
+	// converging and may have lost our earlier broadcasts, and we will
+	// not retransmit on our own anymore.
+	if p.verified && msg.id != p.id {
+		sender := p.bus.participants[msg.id]
+		reply := demandMsg{epoch: p.epoch, id: p.id, perNode: append([]int(nil), p.demand...), flexible: p.flexible}
+		fp := p.myPlanFP
+		epoch := p.epoch
+		from := p.id
+		p.bus.send(sender, func(q *Participant) {
+			q.receiveDemand(reply)
+			q.receivePlan(from, epoch, fp)
+		})
+	}
+}
+
+// decide computes the deterministic partition and applies this
+// participant's slice.
+func (p *Participant) decide() {
+	p.decided = true
+	n := len(p.bus.participants)
+	demands := make([][]int, n)
+	flex := make([]bool, n)
+	for id, msg := range p.seen {
+		demands[id] = msg.perNode
+		flex[id] = msg.flexible
+	}
+	plan := Partition(p.bus.m, demands, flex)
+	p.applied = plan
+	if err := p.client.SetNodeThreads(plan[p.id]); err != nil {
+		// Fall back to option 1 with the plan's total.
+		total := 0
+		for _, c := range plan[p.id] {
+			total += c
+		}
+		p.client.SetTotalThreads(total)
+	}
+	// Cross-check: broadcast the fingerprint of the full plan.
+	fp := fingerprint(plan)
+	p.myPlanFP = fp
+	epoch := p.epoch
+	p.receivePlan(p.id, epoch, fp)
+	p.bus.broadcast(p, func(q *Participant) { q.receivePlan(p.id, epoch, fp) })
+}
+
+func (p *Participant) receivePlan(from, epoch int, fp string) {
+	if epoch != p.epoch {
+		return
+	}
+	p.plans[from] = fp
+	if !p.verified && len(p.plans) == len(p.bus.participants) {
+		p.verified = true
+		mine := p.plans[p.id]
+		ok := true
+		for _, other := range p.plans {
+			if other != mine {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			p.agreed++
+		} else {
+			p.conflicts++
+		}
+	}
+}
+
+// Agreed returns the number of epochs that ended in verified agreement.
+func (p *Participant) Agreed() uint64 { return p.agreed }
+
+// Conflicts returns the number of epochs with divergent plans.
+func (p *Participant) Conflicts() uint64 { return p.conflicts }
+
+// Epoch returns the current negotiation epoch.
+func (p *Participant) Epoch() int { return p.epoch }
+
+// Applied returns the participant's view of the last agreed plan
+// (plan[i][j] = threads of participant i on node j), or nil.
+func (p *Participant) Applied() [][]int { return p.applied }
+
+func fingerprint(plan [][]int) string {
+	return fmt.Sprint(plan)
+}
+
+// Partition is the deterministic allocation function all participants
+// evaluate. For every node it grants each participant up to its demand
+// within the node's core capacity (fair water-filling with round-robin
+// remainders rotated by node index, so no participant systematically
+// wins ties). Afterwards, unsatisfied demand of flexible participants
+// is relocated onto nodes with spare cores, visiting nodes in an order
+// rotated by participant id — which spreads relocated applications
+// across nodes instead of piling them all onto node 0.
+func Partition(m *machine.Machine, demands [][]int, flexible []bool) [][]int {
+	n := len(demands)
+	nodes := m.NumNodes()
+	plan := make([][]int, n)
+	for i := range plan {
+		plan[i] = make([]int, nodes)
+	}
+	free := make([]int, nodes)
+	shortfall := make([]int, n)
+
+	for j := 0; j < nodes; j++ {
+		capacity := m.Nodes[j].Cores
+		want := make([]int, n)
+		total := 0
+		for i := 0; i < n; i++ {
+			if j < len(demands[i]) {
+				want[i] = demands[i][j]
+			}
+			total += want[i]
+		}
+		if total <= capacity {
+			for i := 0; i < n; i++ {
+				plan[i][j] = want[i]
+			}
+			free[j] = capacity - total
+			continue
+		}
+		// Water-fill: grant fair share, round-robin the remainder
+		// starting at participant (j mod n).
+		granted := 0
+		fair := capacity / n
+		for i := 0; i < n; i++ {
+			g := min(want[i], fair)
+			plan[i][j] = g
+			granted += g
+		}
+		for k := 0; granted < capacity; k++ {
+			i := (j + k) % n
+			if k >= 2*n*capacity {
+				break // all demands satisfied
+			}
+			if plan[i][j] < want[i] {
+				plan[i][j]++
+				granted++
+			} else if allSatisfied(plan, want, j) {
+				break
+			}
+		}
+		for i := 0; i < n; i++ {
+			shortfall[i] += want[i] - plan[i][j]
+		}
+	}
+
+	// Relocate flexible shortfall onto free cores; participant i starts
+	// scanning at node (i mod nodes) to spread placements.
+	for i := 0; i < n; i++ {
+		if i < len(flexible) && !flexible[i] {
+			continue
+		}
+		for k := 0; k < nodes && shortfall[i] > 0; k++ {
+			j := (i + k) % nodes
+			take := min(shortfall[i], free[j])
+			plan[i][j] += take
+			free[j] -= take
+			shortfall[i] -= take
+		}
+	}
+	return plan
+}
+
+func allSatisfied(plan [][]int, want []int, j int) bool {
+	for i := range want {
+		if plan[i][j] < want[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,373 @@
+package consensus
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/des"
+	"repro/internal/machine"
+	"repro/internal/osched"
+	"repro/internal/taskrt"
+)
+
+func newSim(m *machine.Machine) (*des.Engine, *osched.OS) {
+	eng := des.NewEngine(1)
+	o := osched.New(eng, osched.Config{
+		Machine:           m,
+		ContextSwitchCost: -1,
+		MigrationPenalty:  -1,
+		LoadBalancePeriod: -1,
+	})
+	o.Start()
+	return eng, o
+}
+
+func TestPartitionFitsDemand(t *testing.T) {
+	m := machine.PaperModel()
+	demands := [][]int{{1, 1, 1, 1}, {2, 2, 2, 2}, {5, 5, 5, 5}}
+	plan := Partition(m, demands, []bool{true, true, true})
+	for i, row := range plan {
+		for j, c := range row {
+			if c != demands[i][j] {
+				t.Errorf("uncontended partition should equal demand: plan[%d][%d]=%d want %d", i, j, c, demands[i][j])
+			}
+		}
+	}
+}
+
+func TestPartitionRespectsCapacity(t *testing.T) {
+	m := machine.PaperModel()
+	demands := [][]int{{8, 8, 8, 8}, {8, 8, 8, 8}, {8, 8, 8, 8}, {8, 8, 8, 8}}
+	plan := Partition(m, demands, []bool{true, true, true, true})
+	for j := 0; j < 4; j++ {
+		total := 0
+		for i := range plan {
+			total += plan[i][j]
+		}
+		if total > 8 {
+			t.Errorf("node %d over-subscribed: %d", j, total)
+		}
+		if total != 8 {
+			t.Errorf("node %d under-used: %d (demand saturates)", j, total)
+		}
+	}
+	// Fair: everyone gets 2 per node.
+	for i, row := range plan {
+		for j, c := range row {
+			if c != 2 {
+				t.Errorf("plan[%d][%d] = %d, want 2", i, j, c)
+			}
+		}
+	}
+}
+
+func TestPartitionNode0Hazard(t *testing.T) {
+	// Four flexible apps all prefer node 0 exclusively. Without the
+	// rotation remedy they would share node 0's 8 cores and leave 24
+	// cores idle; the partition must relocate them across nodes.
+	m := machine.PaperModel()
+	demands := [][]int{{8, 0, 0, 0}, {8, 0, 0, 0}, {8, 0, 0, 0}, {8, 0, 0, 0}}
+	plan := Partition(m, demands, []bool{true, true, true, true})
+	for i, row := range plan {
+		total := 0
+		for _, c := range row {
+			total += c
+		}
+		if total != 8 {
+			t.Errorf("app %d got %d cores, want 8 (relocated)", i, total)
+		}
+	}
+	// All machine cores used.
+	used := 0
+	for _, row := range plan {
+		for _, c := range row {
+			used += c
+		}
+	}
+	if used != 32 {
+		t.Errorf("used = %d cores, want 32", used)
+	}
+}
+
+func TestPartitionInflexibleNotRelocated(t *testing.T) {
+	m := machine.PaperModel()
+	// A NUMA-bad app (inflexible, data on node 0) and a flexible app
+	// both want all of node 0.
+	demands := [][]int{{8, 0, 0, 0}, {8, 0, 0, 0}}
+	plan := Partition(m, demands, []bool{false, true})
+	// Inflexible app keeps only its node-0 share.
+	if plan[0][1]+plan[0][2]+plan[0][3] != 0 {
+		t.Errorf("inflexible app relocated: %v", plan[0])
+	}
+	// Flexible app's shortfall moved elsewhere.
+	flexTotal := 0
+	for _, c := range plan[1] {
+		flexTotal += c
+	}
+	if flexTotal != 8 {
+		t.Errorf("flexible app got %d, want 8", flexTotal)
+	}
+}
+
+// Property: partitions never over-subscribe a node and never grant a
+// participant more on a node than it asked for (plus relocations on
+// other nodes only for flexible apps).
+func TestPartitionInvariants(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nodes := 1 + rng.Intn(4)
+		cores := 1 + rng.Intn(8)
+		m := machine.Uniform("p", nodes, cores, 1, 1, 0)
+		n := 1 + rng.Intn(5)
+		demands := make([][]int, n)
+		flex := make([]bool, n)
+		for i := range demands {
+			demands[i] = make([]int, nodes)
+			for j := range demands[i] {
+				demands[i][j] = rng.Intn(cores + 2)
+			}
+			flex[i] = rng.Intn(2) == 0
+		}
+		plan := Partition(m, demands, flex)
+		for j := 0; j < nodes; j++ {
+			total := 0
+			for i := 0; i < n; i++ {
+				if plan[i][j] < 0 {
+					return false
+				}
+				total += plan[i][j]
+			}
+			if total > cores {
+				return false
+			}
+		}
+		// Inflexible apps never exceed their per-node demand.
+		for i := 0; i < n; i++ {
+			if flex[i] {
+				continue
+			}
+			for j := 0; j < nodes; j++ {
+				if plan[i][j] > demands[i][j] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNegotiationReachesAgreement(t *testing.T) {
+	m := machine.PaperModel()
+	eng, o := newSim(m)
+	bus := NewBus(eng, m, des.Millisecond)
+	var parts []*Participant
+	for i := 0; i < 3; i++ {
+		rt := taskrt.New(o, taskrt.Config{Name: "app", BindMode: taskrt.BindNode})
+		parts = append(parts, bus.Join(rt, []int{4, 4, 4, 4}, true))
+	}
+	bus.Start()
+	eng.RunUntil(0.1)
+	for i, p := range parts {
+		if p.Agreed() != 1 || p.Conflicts() != 0 {
+			t.Errorf("participant %d: agreed=%d conflicts=%d, want 1/0", i, p.Agreed(), p.Conflicts())
+		}
+		if p.Epoch() != 1 {
+			t.Errorf("participant %d epoch = %d, want 1", i, p.Epoch())
+		}
+	}
+	// All participants hold identical plans.
+	base := parts[0].Applied()
+	for i, p := range parts[1:] {
+		got := p.Applied()
+		for a := range base {
+			for j := range base[a] {
+				if got[a][j] != base[a][j] {
+					t.Fatalf("participant %d plan differs at [%d][%d]", i+1, a, j)
+				}
+			}
+		}
+	}
+	// 3 apps x 4 per node over 8-core nodes: total 12 > 8, water-fill
+	// grants fair share 2 each + 2 remainder -> node sums = 8.
+	for j := 0; j < 4; j++ {
+		sum := 0
+		for a := range base {
+			sum += base[a][j]
+		}
+		if sum != 8 {
+			t.Errorf("node %d allocation sum = %d, want 8", j, sum)
+		}
+	}
+}
+
+func TestNegotiationAppliesToRuntimes(t *testing.T) {
+	m := machine.PaperModel()
+	eng, o := newSim(m)
+	bus := NewBus(eng, m, des.Millisecond)
+	var rts []*taskrt.Runtime
+	for i := 0; i < 2; i++ {
+		rt := taskrt.New(o, taskrt.Config{Name: "app", BindMode: taskrt.BindNode})
+		rts = append(rts, rt)
+		bus.Join(rt, []int{8, 8, 8, 8}, true)
+	}
+	bus.Start()
+	eng.RunUntil(0.1)
+	for i, rt := range rts {
+		st := rt.Stats()
+		// Each should end with 16 active workers (half the machine).
+		if st.Suspended != 16 {
+			t.Errorf("runtime %d suspended = %d, want 16", i, st.Suspended)
+		}
+	}
+}
+
+func TestRenegotiationOnDemandChange(t *testing.T) {
+	m := machine.PaperModel()
+	eng, o := newSim(m)
+	bus := NewBus(eng, m, des.Millisecond)
+	a := taskrt.New(o, taskrt.Config{Name: "a", BindMode: taskrt.BindNode})
+	b := taskrt.New(o, taskrt.Config{Name: "b", BindMode: taskrt.BindNode})
+	pa := bus.Join(a, []int{4, 4, 4, 4}, true)
+	pb := bus.Join(b, []int{4, 4, 4, 4}, true)
+	bus.Start()
+	eng.RunUntil(0.1)
+	if pa.Agreed() != 1 {
+		t.Fatalf("initial agreement missing")
+	}
+	// Application a now wants the whole machine.
+	eng.Schedule(0.2, func() { pa.SetDemand([]int{8, 8, 8, 8}) })
+	eng.RunUntil(0.4)
+	if pa.Epoch() != 2 || pb.Epoch() != 2 {
+		t.Errorf("epochs = %d/%d, want 2/2", pa.Epoch(), pb.Epoch())
+	}
+	if pa.Agreed() != 2 || pb.Conflicts() != 0 {
+		t.Errorf("agreed=%d conflicts=%d after renegotiation", pa.Agreed(), pb.Conflicts())
+	}
+	// New plan: a gets 4 + remainder rotation; node sums stay at 8.
+	plan := pa.Applied()
+	for j := 0; j < 4; j++ {
+		if plan[0][j]+plan[1][j] != 8 {
+			t.Errorf("node %d sum = %d, want 8", j, plan[0][j]+plan[1][j])
+		}
+		if plan[0][j] < plan[1][j] {
+			t.Errorf("node %d: bigger demand should get at least as much (%d vs %d)", j, plan[0][j], plan[1][j])
+		}
+	}
+	if bus.Messages() == 0 {
+		t.Error("no messages counted")
+	}
+}
+
+func TestJoinValidation(t *testing.T) {
+	m := machine.PaperModel()
+	eng, o := newSim(m)
+	bus := NewBus(eng, m, des.Millisecond)
+	rt := taskrt.New(o, taskrt.Config{Name: "x", BindMode: taskrt.BindNode})
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for wrong demand length")
+		}
+	}()
+	bus.Join(rt, []int{1, 2}, true)
+}
+
+func TestNegativeLatencyPanics(t *testing.T) {
+	m := machine.PaperModel()
+	eng, _ := newSim(m)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	NewBus(eng, m, -1)
+}
+
+func TestFallbackToOption1(t *testing.T) {
+	// Unbound runtimes reject SetNodeThreads; the participant must fall
+	// back to SetTotalThreads with the plan's total.
+	m := machine.PaperModel()
+	eng, o := newSim(m)
+	bus := NewBus(eng, m, des.Millisecond)
+	a := taskrt.New(o, taskrt.Config{Name: "a", BindMode: taskrt.BindNone})
+	b := taskrt.New(o, taskrt.Config{Name: "b", BindMode: taskrt.BindNone})
+	bus.Join(a, []int{8, 8, 8, 8}, true)
+	bus.Join(b, []int{8, 8, 8, 8}, true)
+	bus.Start()
+	eng.RunUntil(0.1)
+	if st := a.Stats(); st.Suspended != 16 {
+		t.Errorf("fallback suspended = %d, want 16", st.Suspended)
+	}
+}
+
+// TestAgreementUnderMessageLoss injects heavy message loss; the
+// periodic retransmission must still converge every participant onto
+// the same verified plan.
+func TestAgreementUnderMessageLoss(t *testing.T) {
+	m := machine.PaperModel()
+	eng, o := newSim(m)
+	bus := NewBus(eng, m, des.Millisecond)
+	bus.SetDropRate(0.4)
+	var parts []*Participant
+	for i := 0; i < 4; i++ {
+		rt := taskrt.New(o, taskrt.Config{Name: "app", BindMode: taskrt.BindNode})
+		parts = append(parts, bus.Join(rt, []int{4, 4, 4, 4}, true))
+	}
+	bus.Start()
+	eng.RunUntil(5)
+	if bus.Dropped() == 0 {
+		t.Fatal("no messages were dropped; injection inactive")
+	}
+	for i, p := range parts {
+		if p.Agreed() != 1 || p.Conflicts() != 0 {
+			t.Errorf("participant %d: agreed=%d conflicts=%d under loss", i, p.Agreed(), p.Conflicts())
+		}
+	}
+	// All hold the same plan.
+	base := fingerprint(parts[0].Applied())
+	for i, p := range parts[1:] {
+		if fingerprint(p.Applied()) != base {
+			t.Errorf("participant %d diverged", i+1)
+		}
+	}
+}
+
+// TestRenegotiationUnderMessageLoss combines demand changes with loss.
+func TestRenegotiationUnderMessageLoss(t *testing.T) {
+	m := machine.PaperModel()
+	eng, o := newSim(m)
+	bus := NewBus(eng, m, des.Millisecond)
+	bus.SetDropRate(0.3)
+	a := taskrt.New(o, taskrt.Config{Name: "a", BindMode: taskrt.BindNode})
+	b := taskrt.New(o, taskrt.Config{Name: "b", BindMode: taskrt.BindNode})
+	pa := bus.Join(a, []int{4, 4, 4, 4}, true)
+	pb := bus.Join(b, []int{4, 4, 4, 4}, true)
+	bus.Start()
+	eng.RunUntil(2)
+	eng.Schedule(2.5, func() { pa.SetDemand([]int{8, 8, 8, 8}) })
+	eng.RunUntil(10)
+	if pa.Epoch() != 2 || pb.Epoch() != 2 {
+		t.Fatalf("epochs = %d/%d, want 2/2", pa.Epoch(), pb.Epoch())
+	}
+	if pa.Agreed() != 2 || pb.Agreed() != 2 {
+		t.Errorf("agreed = %d/%d, want 2/2", pa.Agreed(), pb.Agreed())
+	}
+	if pa.Conflicts()+pb.Conflicts() != 0 {
+		t.Error("conflicts under loss")
+	}
+}
+
+func TestBadDropRatePanics(t *testing.T) {
+	m := machine.PaperModel()
+	eng, _ := newSim(m)
+	bus := NewBus(eng, m, des.Millisecond)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	bus.SetDropRate(1)
+}

@@ -1,0 +1,237 @@
+// Package core is the library's orchestration facade: it ties the NUMA
+// machine model, the analytic roofline evaluator, and the full
+// discrete-event simulation stack (OS scheduler, memory arbiter, task
+// runtime, synthetic workloads) into one Scenario API.
+//
+// A Scenario is a machine, a set of applications (arithmetic intensity
+// plus NUMA placement), and a per-NUMA-node thread allocation. It can
+// be evaluated two ways:
+//
+//   - RunModel applies the paper's analytic roofline model
+//     (Section III.A), and
+//   - RunSim executes the equivalent synthetic benchmark on the
+//     simulated machine (the stand-in for the paper's real-hardware
+//     runs in Section III.B),
+//
+// so paper-style model-vs-measured tables (Table III) fall out of
+// running both.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/des"
+	"repro/internal/machine"
+	"repro/internal/metrics"
+	"repro/internal/osched"
+	"repro/internal/roofline"
+	"repro/internal/taskrt"
+	"repro/internal/workload"
+)
+
+// AppConfig describes one application in a scenario.
+type AppConfig struct {
+	// Name labels the application.
+	Name string
+	// AI is the arithmetic intensity (FLOP/byte).
+	AI float64
+	// Placement selects NUMA-perfect or NUMA-bad data layout.
+	Placement roofline.Placement
+	// HomeNode holds a NUMA-bad application's data.
+	HomeNode machine.NodeID
+	// TaskGFlop is the simulation's task granularity; 0 picks a size
+	// giving roughly 20 ms tasks on an uncontended core.
+	TaskGFlop float64
+}
+
+// App converts the config to the analytic model's application type.
+func (a AppConfig) App() roofline.App {
+	return roofline.App{Name: a.Name, AI: a.AI, Placement: a.Placement, HomeNode: a.HomeNode}
+}
+
+// SimOptions tunes the simulation realism.
+type SimOptions struct {
+	// Duration is the measured window. Default 1 s.
+	Duration des.Time
+	// Seed seeds the engine. Default 1.
+	Seed int64
+	// Ideal zeroes scheduling costs and remote inefficiency so the
+	// simulator reproduces the analytic model (used for validation).
+	// The default (false) keeps realistic costs, which makes simulated
+	// results deviate from the model the way the paper's hardware does.
+	Ideal bool
+	// RemoteEfficiency overrides the remote-access efficiency factor
+	// (0 keeps the default: 1.0 when Ideal, 0.92 otherwise).
+	RemoteEfficiency float64
+	// Scheduler selects the task-runtime scheduler. Default NUMAAware.
+	Scheduler taskrt.SchedulerKind
+}
+
+// Scenario couples a machine, applications and an allocation.
+type Scenario struct {
+	// Machine is the NUMA machine.
+	Machine *machine.Machine
+	// Apps lists the co-running applications.
+	Apps []AppConfig
+	// Allocation assigns threads per app per node (no over-subscription).
+	Allocation roofline.Allocation
+	// Sim tunes the simulation.
+	Sim SimOptions
+}
+
+// Validate checks the scenario.
+func (s *Scenario) Validate() error {
+	if s.Machine == nil {
+		return fmt.Errorf("core: scenario has no machine")
+	}
+	if err := s.Machine.Validate(); err != nil {
+		return err
+	}
+	if len(s.Apps) == 0 {
+		return fmt.Errorf("core: scenario has no applications")
+	}
+	apps := make([]roofline.App, len(s.Apps))
+	for i, a := range s.Apps {
+		apps[i] = a.App()
+	}
+	return s.Allocation.Validate(s.Machine, apps)
+}
+
+// RunModel evaluates the analytic roofline model.
+func (s *Scenario) RunModel() (*roofline.Result, error) {
+	apps := make([]roofline.App, len(s.Apps))
+	for i, a := range s.Apps {
+		apps[i] = a.App()
+	}
+	return roofline.Evaluate(s.Machine, apps, s.Allocation)
+}
+
+// SimResult is the outcome of a simulated run.
+type SimResult struct {
+	// AppGFLOPS is each application's measured rate (GFLOP completed
+	// divided by the measured window).
+	AppGFLOPS []float64
+	// TotalGFLOPS sums the applications.
+	TotalGFLOPS float64
+	// TasksExecuted counts completed tasks across applications.
+	TasksExecuted uint64
+	// Utilization is machine-wide CPU utilization in [0,1].
+	Utilization float64
+}
+
+// RunSim executes the scenario's synthetic benchmark on the simulated
+// machine: one task runtime per application with workers pinned to the
+// allocated cores, saturated by a continuous workload of the
+// application's arithmetic intensity and placement.
+func (s *Scenario) RunSim() (*SimResult, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	opt := s.Sim
+	if opt.Duration <= 0 {
+		opt.Duration = des.Second
+	}
+	if opt.Seed == 0 {
+		opt.Seed = 1
+	}
+	eng := des.NewEngine(opt.Seed)
+	osCfg := osched.Config{Machine: s.Machine}
+	if opt.Ideal {
+		osCfg.ContextSwitchCost = -1
+		osCfg.MigrationPenalty = -1
+		osCfg.LoadBalancePeriod = -1
+		osCfg.RemoteEfficiency = 1
+	} else {
+		osCfg.RemoteEfficiency = 0.92
+	}
+	if opt.RemoteEfficiency > 0 {
+		osCfg.RemoteEfficiency = opt.RemoteEfficiency
+	}
+	o := osched.New(eng, osCfg)
+	o.Start()
+
+	// Assign concrete cores per application from each node's pool.
+	next := make([]int, s.Machine.NumNodes())
+	rts := make([]*taskrt.Runtime, len(s.Apps))
+	for i, a := range s.Apps {
+		var cores []machine.CoreID
+		for j := 0; j < s.Machine.NumNodes(); j++ {
+			nodeCores := s.Machine.CoresOfNode(machine.NodeID(j))
+			for k := 0; k < s.Allocation.Threads[i][j]; k++ {
+				cores = append(cores, nodeCores[next[j]])
+				next[j]++
+			}
+		}
+		if len(cores) == 0 {
+			continue
+		}
+		rts[i] = taskrt.New(o, taskrt.Config{
+			Name:      a.Name,
+			BindMode:  taskrt.BindCore,
+			Scheduler: opt.Scheduler,
+			Cores:     cores,
+		})
+		gflop := a.TaskGFlop
+		if gflop <= 0 {
+			// ~20 ms per task on an uncontended core.
+			gflop = s.Machine.Nodes[0].PeakGFLOPS * 0.02
+		}
+		w := &workload.Continuous{
+			RT:        rts[i],
+			TaskGFlop: gflop,
+			AI:        a.AI,
+			Placement: a.Placement,
+			HomeNode:  a.HomeNode,
+		}
+		w.Start()
+	}
+
+	eng.RunUntil(opt.Duration)
+
+	res := &SimResult{AppGFLOPS: make([]float64, len(s.Apps))}
+	for i, rt := range rts {
+		if rt == nil {
+			continue
+		}
+		st := rt.Stats()
+		res.AppGFLOPS[i] = st.GFlopDone / float64(opt.Duration)
+		res.TotalGFLOPS += res.AppGFLOPS[i]
+		res.TasksExecuted += st.TasksExecuted
+	}
+	res.Utilization = o.Utilization()
+	return res, nil
+}
+
+// Comparison pairs model and simulation outcomes for one scenario.
+type Comparison struct {
+	Name  string
+	Model *roofline.Result
+	Sim   *SimResult
+}
+
+// Run evaluates both the model and the simulation.
+func (s *Scenario) Run(name string) (*Comparison, error) {
+	model, err := s.RunModel()
+	if err != nil {
+		return nil, err
+	}
+	sim, err := s.RunSim()
+	if err != nil {
+		return nil, err
+	}
+	return &Comparison{Name: name, Model: model, Sim: sim}, nil
+}
+
+// CompareTable renders comparisons as a paper-style model-vs-measured
+// table.
+func CompareTable(title string, comparisons []*Comparison) *metrics.Table {
+	t := metrics.NewTable(title, "scenario", "model GFLOPS", "simulated GFLOPS", "sim/model")
+	for _, c := range comparisons {
+		ratio := 0.0
+		if c.Model.TotalGFLOPS > 0 {
+			ratio = c.Sim.TotalGFLOPS / c.Model.TotalGFLOPS
+		}
+		t.AddRow(c.Name, c.Model.TotalGFLOPS, c.Sim.TotalGFLOPS, ratio)
+	}
+	return t
+}

@@ -1,0 +1,217 @@
+package core
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/machine"
+	"repro/internal/roofline"
+)
+
+func TestTableIModelValue(t *testing.T) {
+	r, err := TableIScenario().RunModel()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r.TotalGFLOPS-254) > 1e-9 {
+		t.Errorf("Table I model = %.3f, want 254", r.TotalGFLOPS)
+	}
+}
+
+func TestTableIIModelValue(t *testing.T) {
+	r, err := TableIIScenario().RunModel()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r.TotalGFLOPS-140) > 1e-9 {
+		t.Errorf("Table II model = %.3f, want 140", r.TotalGFLOPS)
+	}
+}
+
+func TestNodePerAppModelValue(t *testing.T) {
+	r, err := NodePerAppScenario().RunModel()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r.TotalGFLOPS-128) > 1e-9 {
+		t.Errorf("node-per-app model = %.3f, want 128", r.TotalGFLOPS)
+	}
+}
+
+func TestFig3RankingReversal(t *testing.T) {
+	even, npa := Fig3Scenarios()
+	re, err := even.RunModel()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rn, err := npa.RunModel()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(re.TotalGFLOPS-138.75) > 1e-9 {
+		t.Errorf("Fig3 even = %.4f, want 138.75", re.TotalGFLOPS)
+	}
+	if math.Abs(rn.TotalGFLOPS-150) > 1e-9 {
+		t.Errorf("Fig3 node-per-app = %.4f, want 150", rn.TotalGFLOPS)
+	}
+}
+
+func TestTableIIIModelColumn(t *testing.T) {
+	for _, row := range TableIIIScenarios() {
+		r, err := row.Scenario.RunModel()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(r.TotalGFLOPS-row.PaperModel) > 0.01 {
+			t.Errorf("%s: model = %.4f, paper prints %.2f", row.Name, r.TotalGFLOPS, row.PaperModel)
+		}
+	}
+}
+
+func TestIdealSimMatchesModel(t *testing.T) {
+	// With ideal simulation options, the simulated benchmark must land
+	// within ~2% of the analytic model on every Table III row.
+	for _, row := range TableIIIScenarios() {
+		row.Scenario.Sim.Ideal = true
+		cmp, err := row.Scenario.Run(row.Name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rel := math.Abs(cmp.Sim.TotalGFLOPS-cmp.Model.TotalGFLOPS) / cmp.Model.TotalGFLOPS
+		if rel > 0.02 {
+			t.Errorf("%s: sim %.4f vs model %.4f (%.1f%% off)",
+				row.Name, cmp.Sim.TotalGFLOPS, cmp.Model.TotalGFLOPS, rel*100)
+		}
+	}
+}
+
+func TestRealisticSimTracksPaperShape(t *testing.T) {
+	// With realistic costs, the simulation plays the role of the
+	// paper's hardware: close to the model, never wildly off, and
+	// (like the paper's Table III) below the model on the NUMA-bad
+	// rows where the model ignores remote-access inefficiency.
+	rows := TableIIIScenarios()
+	for i, row := range rows {
+		cmp, err := row.Scenario.Run(row.Name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ratio := cmp.Sim.TotalGFLOPS / cmp.Model.TotalGFLOPS
+		if ratio < 0.90 || ratio > 1.03 {
+			t.Errorf("%s: sim/model = %.3f, want within [0.90, 1.03]", row.Name, ratio)
+		}
+		if i >= 3 && ratio > 1.0 {
+			t.Errorf("%s: NUMA-bad row should fall below the model (ratio %.3f)", row.Name, ratio)
+		}
+	}
+}
+
+func TestSimRankingMatchesModelRanking(t *testing.T) {
+	// The headline claim: who wins must be preserved by the simulator.
+	// Table III rows 1-3 are ordered uneven > even > node-per-app.
+	rows := TableIIIScenarios()[:3]
+	var sim []float64
+	for _, row := range rows {
+		r, err := row.Scenario.RunSim()
+		if err != nil {
+			t.Fatal(err)
+		}
+		sim = append(sim, r.TotalGFLOPS)
+	}
+	if !(sim[0] > sim[1] && sim[1] > sim[2]) {
+		t.Errorf("simulated ranking broken: %v", sim)
+	}
+}
+
+func TestScenarioValidate(t *testing.T) {
+	s := &Scenario{}
+	if err := s.Validate(); err == nil {
+		t.Error("expected error for empty scenario")
+	}
+	s.Machine = machine.PaperModel()
+	if err := s.Validate(); err == nil {
+		t.Error("expected error for no apps")
+	}
+	s.Apps = PaperApps()
+	s.Allocation = roofline.NewAllocation(4, 4)
+	s.Allocation.Threads[0][0] = 99
+	if err := s.Validate(); err == nil {
+		t.Error("expected error for over-subscription")
+	}
+	if _, err := s.RunSim(); err == nil {
+		t.Error("RunSim must validate")
+	}
+}
+
+func TestEmptyAllocationApp(t *testing.T) {
+	// An app with zero threads simply measures zero.
+	m := machine.PaperModel()
+	s := &Scenario{
+		Machine:    m,
+		Apps:       []AppConfig{{Name: "a", AI: 1}, {Name: "idle", AI: 1}},
+		Allocation: roofline.NewAllocation(2, 4).Set(0, 0, 4),
+	}
+	s.Sim.Duration = 0.2
+	r, err := s.RunSim()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.AppGFLOPS[1] != 0 {
+		t.Errorf("idle app measured %.3f, want 0", r.AppGFLOPS[1])
+	}
+	if r.AppGFLOPS[0] <= 0 {
+		t.Error("active app measured nothing")
+	}
+}
+
+func TestCompareTable(t *testing.T) {
+	s := TableIScenario()
+	s.Sim.Duration = 0.2
+	cmp, err := s.Run("table I")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab := CompareTable("Paper vs repro", []*Comparison{cmp})
+	out := tab.String()
+	if !strings.Contains(out, "table I") || !strings.Contains(out, "254") {
+		t.Errorf("table missing content:\n%s", out)
+	}
+}
+
+func TestSimResultFields(t *testing.T) {
+	s := TableIIScenario()
+	s.Sim.Duration = 0.2
+	r, err := s.RunSim()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.TasksExecuted == 0 {
+		t.Error("no tasks executed")
+	}
+	if r.Utilization <= 0 || r.Utilization > 1 {
+		t.Errorf("utilization = %.3f", r.Utilization)
+	}
+	sum := 0.0
+	for _, g := range r.AppGFLOPS {
+		sum += g
+	}
+	if math.Abs(sum-r.TotalGFLOPS) > 1e-9 {
+		t.Error("total != sum of apps")
+	}
+}
+
+func TestDeterministicSim(t *testing.T) {
+	run := func() float64 {
+		s := TableIScenario()
+		s.Sim.Duration = 0.3
+		r, err := s.RunSim()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r.TotalGFLOPS
+	}
+	if a, b := run(), run(); a != b {
+		t.Errorf("non-deterministic sim: %v vs %v", a, b)
+	}
+}

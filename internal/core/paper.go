@@ -1,0 +1,149 @@
+package core
+
+import (
+	"repro/internal/machine"
+	"repro/internal/roofline"
+)
+
+// PaperApps returns the four applications of the paper's Tables I/II:
+// three memory-bound (AI=0.5) and one compute-bound (AI=10).
+func PaperApps() []AppConfig {
+	return []AppConfig{
+		{Name: "mem1", AI: 0.5},
+		{Name: "mem2", AI: 0.5},
+		{Name: "mem3", AI: 0.5},
+		{Name: "comp", AI: 10},
+	}
+}
+
+// PaperNUMABadApps returns the Fig. 3 mix: three NUMA-perfect
+// memory-bound applications and one NUMA-bad application homed on
+// node 0.
+func PaperNUMABadApps() []AppConfig {
+	return []AppConfig{
+		{Name: "mem1", AI: 0.5},
+		{Name: "mem2", AI: 0.5},
+		{Name: "mem3", AI: 0.5},
+		{Name: "bad", AI: 1, Placement: roofline.NUMABad, HomeNode: 0},
+	}
+}
+
+// TableIIIApps returns the calibrated Skylake applications of
+// Section III.B (memory-bound AI=1/32, compute-bound AI=1).
+func TableIIIApps() []AppConfig {
+	return []AppConfig{
+		{Name: "mem1", AI: 1.0 / 32},
+		{Name: "mem2", AI: 1.0 / 32},
+		{Name: "mem3", AI: 1.0 / 32},
+		{Name: "comp", AI: 1},
+	}
+}
+
+// TableIIIBadApps returns the NUMA-bad mix of Table III rows 4-5
+// (memory-bound AI=1/32, NUMA-bad AI=1/16 homed on node 0).
+func TableIIIBadApps() []AppConfig {
+	return []AppConfig{
+		{Name: "mem1", AI: 1.0 / 32},
+		{Name: "mem2", AI: 1.0 / 32},
+		{Name: "mem3", AI: 1.0 / 32},
+		{Name: "bad", AI: 1.0 / 16, Placement: roofline.NUMABad, HomeNode: 0},
+	}
+}
+
+// TableIScenario is the paper's Table I: uneven allocation (1,1,1,5) on
+// the 4x8 model machine. The model yields 254 GFLOPS.
+func TableIScenario() *Scenario {
+	m := machine.PaperModel()
+	return &Scenario{
+		Machine:    m,
+		Apps:       PaperApps(),
+		Allocation: roofline.MustPerNodeCounts(m, []int{1, 1, 1, 5}),
+	}
+}
+
+// TableIIScenario is the paper's Table II: even allocation (2,2,2,2).
+// The model yields 140 GFLOPS.
+func TableIIScenario() *Scenario {
+	m := machine.PaperModel()
+	return &Scenario{
+		Machine:    m,
+		Apps:       PaperApps(),
+		Allocation: roofline.MustPerNodeCounts(m, []int{2, 2, 2, 2}),
+	}
+}
+
+// NodePerAppScenario is the paper's in-text third allocation: one node
+// per application. The model yields 128 GFLOPS.
+func NodePerAppScenario() *Scenario {
+	m := machine.PaperModel()
+	return &Scenario{
+		Machine:    m,
+		Apps:       PaperApps(),
+		Allocation: roofline.MustNodePerApp(m, 4, nil),
+	}
+}
+
+// Fig2Scenarios returns the three allocation scenarios of the paper's
+// Fig. 2 in order (uneven, even, node-per-app).
+func Fig2Scenarios() []*Scenario {
+	return []*Scenario{TableIScenario(), TableIIScenario(), NodePerAppScenario()}
+}
+
+// Fig3Scenarios returns the NUMA-bad comparison of Fig. 3 and the
+// surrounding text: even allocation (~138 GFLOPS in the model) versus
+// one node per application with the NUMA-bad code on its home node
+// (150 GFLOPS) — the ranking reversal.
+func Fig3Scenarios() (even, nodePerApp *Scenario) {
+	m := machine.PaperModelNUMABad()
+	even = &Scenario{
+		Machine:    m,
+		Apps:       PaperNUMABadApps(),
+		Allocation: roofline.MustPerNodeCounts(m, []int{2, 2, 2, 2}),
+	}
+	nodePerApp = &Scenario{
+		Machine:    m.Clone(),
+		Apps:       PaperNUMABadApps(),
+		Allocation: roofline.MustNodePerApp(m, 4, []machine.NodeID{1, 2, 3, 0}),
+	}
+	return even, nodePerApp
+}
+
+// TableIIIScenario identifies one row of the paper's Table III.
+type TableIIIScenario struct {
+	Name string
+	// PaperModel and PaperReal are the values printed in the paper.
+	PaperModel float64
+	PaperReal  float64
+	Scenario   *Scenario
+}
+
+// TableIIIScenarios returns all five rows of the paper's Table III on
+// the calibrated Skylake machine.
+func TableIIIScenarios() []TableIIIScenario {
+	m := machine.SkylakeQuad()
+	mk := func(apps []AppConfig, al roofline.Allocation) *Scenario {
+		return &Scenario{Machine: m, Apps: apps, Allocation: al}
+	}
+	return []TableIIIScenario{
+		{
+			Name: "uneven (1,1,1,17)", PaperModel: 23.20, PaperReal: 22.82,
+			Scenario: mk(TableIIIApps(), roofline.MustPerNodeCounts(m, []int{1, 1, 1, 17})),
+		},
+		{
+			Name: "even (5,5,5,5)", PaperModel: 18.12, PaperReal: 18.14,
+			Scenario: mk(TableIIIApps(), roofline.MustPerNodeCounts(m, []int{5, 5, 5, 5})),
+		},
+		{
+			Name: "node per app", PaperModel: 15.18, PaperReal: 15.28,
+			Scenario: mk(TableIIIApps(), roofline.MustNodePerApp(m, 4, nil)),
+		},
+		{
+			Name: "NUMA-bad cross-node, even", PaperModel: 13.98, PaperReal: 13.25,
+			Scenario: mk(TableIIIBadApps(), roofline.MustPerNodeCounts(m, []int{5, 5, 5, 5})),
+		},
+		{
+			Name: "NUMA-bad on-node, node per app", PaperModel: 15.18, PaperReal: 14.52,
+			Scenario: mk(TableIIIBadApps(), roofline.MustNodePerApp(m, 4, []machine.NodeID{1, 2, 3, 0})),
+		},
+	}
+}

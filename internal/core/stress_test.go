@@ -1,0 +1,101 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/des"
+	"repro/internal/machine"
+	"repro/internal/osched"
+	"repro/internal/roofline"
+	"repro/internal/taskrt"
+	"repro/internal/workload"
+)
+
+// TestLargeMachineScenario scales the model and simulator to a machine
+// well beyond the paper's (16 nodes x 32 cores = 512 cores) and checks
+// they still agree in ideal mode.
+func TestLargeMachineScenario(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large machine scenario")
+	}
+	m := machine.Uniform("big", 16, 32, 2, 150, 25)
+	apps := []AppConfig{
+		{Name: "mem", AI: 0.05},
+		{Name: "mid", AI: 0.5},
+		{Name: "comp", AI: 50},
+		{Name: "bad", AI: 0.2, Placement: roofline.NUMABad, HomeNode: 3},
+	}
+	al := roofline.MustPerNodeCounts(m, []int{8, 8, 8, 8})
+	s := &Scenario{Machine: m, Apps: apps, Allocation: al}
+	s.Sim.Ideal = true
+	s.Sim.Duration = 0.3
+	cmp, err := s.Run("big")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel := math.Abs(cmp.Sim.TotalGFLOPS-cmp.Model.TotalGFLOPS) / cmp.Model.TotalGFLOPS
+	if rel > 0.03 {
+		t.Errorf("512-core machine: sim %.2f vs model %.2f (%.1f%% off)",
+			cmp.Sim.TotalGFLOPS, cmp.Model.TotalGFLOPS, rel*100)
+	}
+}
+
+// TestManyTasksThroughput pushes 20k tasks through the runtime and
+// checks completion and bounded simulation effort.
+func TestManyTasksThroughput(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large DAG")
+	}
+	m := machine.PaperModel()
+	eng := des.NewEngine(1)
+	o := osched.New(eng, osched.Config{
+		Machine:           m,
+		ContextSwitchCost: -1,
+		MigrationPenalty:  -1,
+		LoadBalancePeriod: -1,
+	})
+	o.Start()
+	rt := taskrt.New(o, taskrt.Config{Name: "app", BindMode: taskrt.BindCore, Scheduler: taskrt.WorkStealing})
+	done := false
+	workload.RandomDAG(rt, workload.DAGSpec{
+		Tasks:     20000,
+		TaskGFlop: 0.002,
+		AI:        0.8,
+		MaxDeps:   2,
+		Seed:      11,
+	}, func() { done = true })
+	eng.RunUntil(60)
+	if !done {
+		t.Fatalf("20k-task DAG incomplete: %d done", rt.Stats().TasksExecuted)
+	}
+	if rt.Stats().TasksExecuted != 20000 {
+		t.Errorf("executed = %d", rt.Stats().TasksExecuted)
+	}
+}
+
+// TestLongRunDeterminism runs a complex mixed scenario twice for 10
+// simulated seconds and requires bit-identical outcomes.
+func TestLongRunDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long determinism run")
+	}
+	run := func() (float64, uint64) {
+		m := machine.SkylakeQuad()
+		eng := des.NewEngine(99)
+		o := osched.New(eng, osched.Config{Machine: m})
+		o.Start()
+		a := taskrt.New(o, taskrt.Config{Name: "a", BindMode: taskrt.BindNode, Scheduler: taskrt.WorkStealing})
+		b := taskrt.New(o, taskrt.Config{Name: "b", BindMode: taskrt.BindNode, Scheduler: taskrt.NUMAAware})
+		(&workload.Continuous{RT: a, TaskGFlop: 0.003, AI: 1.0 / 32}).Start()
+		(&workload.Continuous{RT: b, TaskGFlop: 0.003, AI: 1}).Start()
+		eng.RunUntil(10)
+		return a.Stats().GFlopDone + b.Stats().GFlopDone,
+			a.Stats().TasksExecuted + b.Stats().TasksExecuted
+	}
+	g1, t1 := run()
+	g2, t2 := run()
+	if g1 != g2 || t1 != t2 {
+		t.Errorf("non-deterministic long run: (%v,%v) vs (%v,%v)", g1, t1, g2, t2)
+	}
+}

@@ -1,0 +1,194 @@
+// Package des is a small deterministic discrete-event simulation kernel.
+// Simulated components schedule callbacks at future simulated times; the
+// engine executes them in time order (FIFO among equal times), advancing
+// a virtual clock. There are no goroutines: execution is single-threaded
+// and fully deterministic, which makes simulation results reproducible
+// and race-free by construction.
+package des
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+)
+
+// Time is simulated time in seconds since the start of the simulation.
+type Time float64
+
+// Common durations, in seconds.
+const (
+	Microsecond Time = 1e-6
+	Millisecond Time = 1e-3
+	Second      Time = 1
+)
+
+// Event is a scheduled callback. It can be cancelled before it fires.
+type Event struct {
+	at    Time
+	seq   uint64
+	fn    func()
+	index int // heap index; -1 when not queued
+}
+
+// Time returns the simulated time the event is scheduled for.
+func (e *Event) Time() Time { return e.at }
+
+// Cancelled reports whether the event was cancelled or already fired.
+func (e *Event) Cancelled() bool { return e.index == -1 && e.fn == nil }
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*h = old[:n-1]
+	return e
+}
+
+// Engine is the simulation clock and event queue.
+type Engine struct {
+	now    Time
+	queue  eventHeap
+	seq    uint64
+	rng    *rand.Rand
+	fired  uint64
+	halted bool
+}
+
+// NewEngine returns an engine at time 0 with a deterministic RNG seeded
+// by seed.
+func NewEngine(seed int64) *Engine {
+	return &Engine{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Now returns the current simulated time.
+func (e *Engine) Now() Time { return e.now }
+
+// Rand returns the engine's deterministic random source. Components
+// must draw randomness only from here so runs reproduce exactly.
+func (e *Engine) Rand() *rand.Rand { return e.rng }
+
+// Fired returns the number of events executed so far.
+func (e *Engine) Fired() uint64 { return e.fired }
+
+// Pending returns the number of queued events.
+func (e *Engine) Pending() int { return len(e.queue) }
+
+// Schedule queues fn to run at absolute time at. Scheduling in the past
+// panics: it would silently reorder causality.
+func (e *Engine) Schedule(at Time, fn func()) *Event {
+	if at < e.now {
+		panic(fmt.Sprintf("des: scheduling event at %v before now %v", at, e.now))
+	}
+	if fn == nil {
+		panic("des: nil event function")
+	}
+	ev := &Event{at: at, seq: e.seq, fn: fn}
+	e.seq++
+	heap.Push(&e.queue, ev)
+	return ev
+}
+
+// After queues fn to run d seconds from now.
+func (e *Engine) After(d Time, fn func()) *Event {
+	if d < 0 {
+		panic(fmt.Sprintf("des: negative delay %v", d))
+	}
+	return e.Schedule(e.now+d, fn)
+}
+
+// Cancel removes a queued event; it is a no-op if the event already
+// fired or was cancelled.
+func (e *Engine) Cancel(ev *Event) {
+	if ev == nil || ev.index < 0 {
+		return
+	}
+	heap.Remove(&e.queue, ev.index)
+	ev.fn = nil
+	ev.index = -1
+}
+
+// Step fires the next event. It returns false when the queue is empty.
+func (e *Engine) Step() bool {
+	for len(e.queue) > 0 {
+		ev := heap.Pop(&e.queue).(*Event)
+		if ev.fn == nil {
+			continue // cancelled
+		}
+		e.now = ev.at
+		fn := ev.fn
+		ev.fn = nil
+		e.fired++
+		fn()
+		return true
+	}
+	return false
+}
+
+// Run fires events until the queue is empty or Halt is called.
+func (e *Engine) Run() {
+	e.halted = false
+	for !e.halted && e.Step() {
+	}
+}
+
+// RunUntil fires events with time <= t, then advances the clock to t.
+// Events scheduled beyond t stay queued.
+func (e *Engine) RunUntil(t Time) {
+	e.halted = false
+	for !e.halted && len(e.queue) > 0 && e.queue[0].at <= t {
+		e.Step()
+	}
+	if !e.halted && t > e.now {
+		e.now = t
+	}
+}
+
+// Halt stops Run/RunUntil after the current event returns.
+func (e *Engine) Halt() { e.halted = true }
+
+// Ticker invokes fn every period until cancelled via the returned stop
+// function. fn receives the tick time. The first tick fires one period
+// from now.
+func (e *Engine) Ticker(period Time, fn func(Time)) (stop func()) {
+	if period <= 0 {
+		panic(fmt.Sprintf("des: non-positive ticker period %v", period))
+	}
+	stopped := false
+	var ev *Event
+	var tick func()
+	tick = func() {
+		if stopped {
+			return
+		}
+		fn(e.now)
+		if !stopped {
+			ev = e.After(period, tick)
+		}
+	}
+	ev = e.After(period, tick)
+	return func() {
+		stopped = true
+		e.Cancel(ev)
+	}
+}

@@ -1,0 +1,288 @@
+package des
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestScheduleOrder(t *testing.T) {
+	e := NewEngine(1)
+	var order []int
+	e.Schedule(3, func() { order = append(order, 3) })
+	e.Schedule(1, func() { order = append(order, 1) })
+	e.Schedule(2, func() { order = append(order, 2) })
+	e.Run()
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Errorf("order = %v, want [1 2 3]", order)
+	}
+	if e.Now() != 3 {
+		t.Errorf("Now = %v, want 3", e.Now())
+	}
+	if e.Fired() != 3 {
+		t.Errorf("Fired = %d, want 3", e.Fired())
+	}
+}
+
+func TestFIFOAmongEqualTimes(t *testing.T) {
+	e := NewEngine(1)
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.Schedule(5, func() { order = append(order, i) })
+	}
+	e.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("equal-time events fired out of insertion order: %v", order)
+		}
+	}
+}
+
+func TestAfter(t *testing.T) {
+	e := NewEngine(1)
+	var at Time
+	e.Schedule(10, func() {
+		e.After(5, func() { at = e.Now() })
+	})
+	e.Run()
+	if at != 15 {
+		t.Errorf("After fired at %v, want 15", at)
+	}
+}
+
+func TestCancel(t *testing.T) {
+	e := NewEngine(1)
+	fired := false
+	ev := e.Schedule(1, func() { fired = true })
+	e.Cancel(ev)
+	e.Run()
+	if fired {
+		t.Error("cancelled event fired")
+	}
+	e.Cancel(ev) // double cancel is a no-op
+	e.Cancel(nil)
+}
+
+func TestCancelDuringRun(t *testing.T) {
+	e := NewEngine(1)
+	fired := false
+	var ev *Event
+	e.Schedule(1, func() { e.Cancel(ev) })
+	ev = e.Schedule(2, func() { fired = true })
+	e.Run()
+	if fired {
+		t.Error("event cancelled mid-run still fired")
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	e := NewEngine(1)
+	var fired []Time
+	for _, at := range []Time{1, 2, 3, 4, 5} {
+		at := at
+		e.Schedule(at, func() { fired = append(fired, at) })
+	}
+	e.RunUntil(3)
+	if len(fired) != 3 {
+		t.Errorf("fired %v, want events at 1,2,3", fired)
+	}
+	if e.Now() != 3 {
+		t.Errorf("Now = %v, want 3", e.Now())
+	}
+	if e.Pending() != 2 {
+		t.Errorf("Pending = %d, want 2", e.Pending())
+	}
+	e.RunUntil(10)
+	if e.Now() != 10 {
+		t.Errorf("Now = %v, want 10 (clock advances to target)", e.Now())
+	}
+}
+
+func TestHalt(t *testing.T) {
+	e := NewEngine(1)
+	count := 0
+	for i := 1; i <= 10; i++ {
+		e.Schedule(Time(i), func() {
+			count++
+			if count == 3 {
+				e.Halt()
+			}
+		})
+	}
+	e.Run()
+	if count != 3 {
+		t.Errorf("count = %d, want 3 after Halt", count)
+	}
+	// Run resumes.
+	e.Run()
+	if count != 10 {
+		t.Errorf("count = %d, want 10 after resumed Run", count)
+	}
+}
+
+func TestPastSchedulingPanics(t *testing.T) {
+	e := NewEngine(1)
+	e.Schedule(5, func() {})
+	e.Run()
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic scheduling in the past")
+		}
+	}()
+	e.Schedule(1, func() {})
+}
+
+func TestNilFnPanics(t *testing.T) {
+	e := NewEngine(1)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for nil fn")
+		}
+	}()
+	e.Schedule(1, nil)
+}
+
+func TestNegativeAfterPanics(t *testing.T) {
+	e := NewEngine(1)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for negative delay")
+		}
+	}()
+	e.After(-1, func() {})
+}
+
+func TestTicker(t *testing.T) {
+	e := NewEngine(1)
+	var ticks []Time
+	stop := e.Ticker(2, func(now Time) {
+		ticks = append(ticks, now)
+		if len(ticks) == 4 {
+			// stop is captured below; cancel via closure variable.
+		}
+	})
+	e.Schedule(9, func() { stop() })
+	e.Run()
+	want := []Time{2, 4, 6, 8}
+	if len(ticks) != len(want) {
+		t.Fatalf("ticks = %v, want %v", ticks, want)
+	}
+	for i := range want {
+		if ticks[i] != want[i] {
+			t.Errorf("tick %d at %v, want %v", i, ticks[i], want[i])
+		}
+	}
+}
+
+func TestTickerStopInsideCallback(t *testing.T) {
+	e := NewEngine(1)
+	count := 0
+	var stop func()
+	stop = e.Ticker(1, func(Time) {
+		count++
+		if count == 2 {
+			stop()
+		}
+	})
+	e.Run()
+	if count != 2 {
+		t.Errorf("count = %d, want 2", count)
+	}
+}
+
+func TestTickerBadPeriodPanics(t *testing.T) {
+	e := NewEngine(1)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for non-positive ticker period")
+		}
+	}()
+	e.Ticker(0, func(Time) {})
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() []float64 {
+		e := NewEngine(42)
+		var samples []float64
+		e.Ticker(1, func(now Time) {
+			samples = append(samples, e.Rand().Float64())
+			if now >= 10 {
+				e.Halt()
+			}
+		})
+		e.Run()
+		return samples
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("sample %d differs: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+// Property: events fire in non-decreasing time order regardless of
+// insertion order.
+func TestMonotonicClockProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		e := NewEngine(seed)
+		n := 50 + rng.Intn(100)
+		times := make([]Time, n)
+		for i := range times {
+			times[i] = Time(rng.Float64() * 100)
+		}
+		var fired []Time
+		for _, at := range times {
+			at := at
+			e.Schedule(at, func() { fired = append(fired, at) })
+		}
+		e.Run()
+		if len(fired) != n {
+			return false
+		}
+		return sort.SliceIsSorted(fired, func(i, j int) bool { return fired[i] < fired[j] })
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: nested scheduling from inside events preserves ordering.
+func TestNestedScheduling(t *testing.T) {
+	e := NewEngine(7)
+	var fired []Time
+	var recurse func(depth int)
+	recurse = func(depth int) {
+		fired = append(fired, e.Now())
+		if depth < 5 {
+			e.After(1, func() { recurse(depth + 1) })
+			e.After(0.5, func() { fired = append(fired, e.Now()) })
+		}
+	}
+	e.Schedule(0, func() { recurse(0) })
+	e.Run()
+	if !sort.SliceIsSorted(fired, func(i, j int) bool { return fired[i] < fired[j] }) {
+		t.Errorf("nested events out of order: %v", fired)
+	}
+}
+
+func TestEventAccessors(t *testing.T) {
+	e := NewEngine(1)
+	ev := e.Schedule(3, func() {})
+	if ev.Time() != 3 {
+		t.Errorf("Time = %v, want 3", ev.Time())
+	}
+	if ev.Cancelled() {
+		t.Error("pending event reported cancelled")
+	}
+	e.Cancel(ev)
+	if !ev.Cancelled() {
+		t.Error("cancelled event not reported cancelled")
+	}
+}

@@ -1,0 +1,220 @@
+// Package memsim arbitrates memory bandwidth among concurrently running
+// threads of a simulated NUMA machine, one scheduling quantum at a time.
+//
+// It applies the same sharing rules as the analytic model in
+// internal/roofline — remote requests served first (capped per link),
+// then a per-core baseline guarantee, then a proportional split of the
+// remainder — but over the *actual* set of requests in a quantum, so the
+// simulated machine reacts to threads blocking, migrating and finishing
+// mid-run. An optional remote-efficiency factor models the throughput
+// loss of remote accesses that the analytic model ignores (latency,
+// directory traffic); it is one source of the simulator's deviation from
+// the model, mirroring the paper's model-vs-hardware gap.
+package memsim
+
+import (
+	"fmt"
+
+	"repro/internal/machine"
+)
+
+// Request is one running thread's memory demand for the current quantum.
+type Request struct {
+	// Core the thread is running on; its node defines which link a
+	// remote access uses.
+	Core machine.CoreID
+	// Node whose memory is accessed.
+	Node machine.NodeID
+	// Demand in GB/s the thread would consume unconstrained.
+	Demand float64
+}
+
+// Grant is the arbitration outcome for one request.
+type Grant struct {
+	// BW is the granted bandwidth in GB/s.
+	BW float64
+	// Remote reports whether the access crossed nodes.
+	Remote bool
+}
+
+// NodeStats accumulates utilization per memory node.
+type NodeStats struct {
+	// LocalGB and RemoteGB are data volumes served, in GB.
+	LocalGB  float64
+	RemoteGB float64
+	// BusySeconds is simulated time with nonzero traffic.
+	BusySeconds float64
+}
+
+// Arbiter performs quantum arbitration and keeps per-node statistics.
+type Arbiter struct {
+	m *machine.Machine
+	// RemoteEfficiency scales the bandwidth remote accessors can
+	// actually realize over a link (0 < e <= 1). 1 reproduces the
+	// analytic model exactly.
+	RemoteEfficiency float64
+	// ContentionEfficiency scales a node's effective bandwidth when
+	// demand exceeds capacity (0 < e <= 1): real DRAM loses efficiency
+	// under heavy bank/row contention, an effect the analytic model
+	// ignores. 1 reproduces the model exactly.
+	ContentionEfficiency float64
+	stats                []NodeStats
+
+	// scratch buffers reused across quanta to avoid allocation
+	perLink []float64
+	order   []int
+}
+
+// NewArbiter returns an arbiter for the machine with the given remote
+// efficiency (values <= 0 or > 1 default to 1) and full contention
+// efficiency; adjust ContentionEfficiency directly if needed.
+func NewArbiter(m *machine.Machine, remoteEfficiency float64) *Arbiter {
+	if remoteEfficiency <= 0 || remoteEfficiency > 1 {
+		remoteEfficiency = 1
+	}
+	return &Arbiter{
+		m:                    m,
+		RemoteEfficiency:     remoteEfficiency,
+		ContentionEfficiency: 1,
+		stats:                make([]NodeStats, m.NumNodes()),
+		perLink:              make([]float64, m.NumNodes()),
+	}
+}
+
+// Machine returns the arbitrated machine.
+func (a *Arbiter) Machine() *machine.Machine { return a.m }
+
+// Stats returns a copy of the per-node statistics.
+func (a *Arbiter) Stats() []NodeStats {
+	return append([]NodeStats(nil), a.stats...)
+}
+
+// Arbitrate splits bandwidth among the requests for a quantum of the
+// given length (seconds) and returns one grant per request. dt is only
+// used for statistics; grants are rates. Requests with non-positive
+// demand receive zero. It panics on out-of-range cores or nodes.
+func (a *Arbiter) Arbitrate(reqs []Request, dt float64) []Grant {
+	grants := make([]Grant, len(reqs))
+	nNodes := a.m.NumNodes()
+
+	// Group request indices by target memory node.
+	byNode := make([][]int, nNodes)
+	for i, r := range reqs {
+		if int(r.Node) < 0 || int(r.Node) >= nNodes {
+			panic(fmt.Sprintf("memsim: request %d targets node %d, out of range", i, r.Node))
+		}
+		if r.Demand <= 0 {
+			continue
+		}
+		byNode[r.Node] = append(byNode[r.Node], i)
+	}
+
+	for h := 0; h < nNodes; h++ {
+		idxs := byNode[h]
+		if len(idxs) == 0 {
+			continue
+		}
+		bw := a.m.Nodes[h].MemBandwidth
+		// Under over-demand, the controller's effective bandwidth drops
+		// by the contention-efficiency factor.
+		if a.ContentionEfficiency > 0 && a.ContentionEfficiency < 1 {
+			demand := 0.0
+			for _, i := range idxs {
+				demand += reqs[i].Demand
+			}
+			if demand > bw {
+				bw *= a.ContentionEfficiency
+			}
+		}
+
+		// Remote first: per requesting node, cap by the link and the
+		// remote-efficiency factor, splitting a saturated link
+		// proportionally to demand.
+		for j := range a.perLink {
+			a.perLink[j] = 0
+		}
+		var remoteIdx, localIdx []int
+		for _, i := range idxs {
+			src := a.m.NodeOfCore(reqs[i].Core)
+			if src != machine.NodeID(h) {
+				a.perLink[src] += reqs[i].Demand
+				remoteIdx = append(remoteIdx, i)
+			} else {
+				localIdx = append(localIdx, i)
+			}
+		}
+		remoteServed := 0.0
+		for _, i := range remoteIdx {
+			src := a.m.NodeOfCore(reqs[i].Core)
+			link := a.m.Link(src, machine.NodeID(h)) * a.RemoteEfficiency
+			g := reqs[i].Demand
+			if a.perLink[src] > link {
+				g = reqs[i].Demand * link / a.perLink[src]
+			}
+			grants[i] = Grant{BW: g, Remote: true}
+			remoteServed += g
+		}
+		if remoteServed > bw {
+			scale := bw / remoteServed
+			for _, i := range remoteIdx {
+				grants[i].BW *= scale
+			}
+			remoteServed = bw
+		}
+
+		// Local: baseline guarantee per core, then proportional
+		// remainder (single proportional round; see roofline).
+		avail := bw - remoteServed
+		baseline := avail / float64(a.m.Nodes[h].Cores)
+		allocated := 0.0
+		for _, i := range localIdx {
+			g := min(reqs[i].Demand, baseline)
+			grants[i] = Grant{BW: g}
+			allocated += g
+		}
+		// More local requests than cores (transient over-subscription)
+		// can push the baseline grants past the available bandwidth;
+		// scale down so the controller is never over-committed.
+		if allocated > avail && allocated > 0 {
+			scale := avail / allocated
+			for _, i := range localIdx {
+				grants[i].BW *= scale
+			}
+			allocated = avail
+		}
+		remaining := avail - allocated
+		residualTotal := 0.0
+		for _, i := range localIdx {
+			residualTotal += reqs[i].Demand - grants[i].BW
+		}
+		if remaining > 1e-12 && residualTotal > 1e-12 {
+			share := remaining / residualTotal
+			if share > 1 {
+				share = 1
+			}
+			for _, i := range localIdx {
+				grants[i].BW += (reqs[i].Demand - grants[i].BW) * share
+			}
+		}
+
+		// Statistics.
+		st := &a.stats[h]
+		for _, i := range localIdx {
+			st.LocalGB += grants[i].BW * dt
+		}
+		for _, i := range remoteIdx {
+			st.RemoteGB += grants[i].BW * dt
+		}
+		if remoteServed+avail-remaining > 1e-12 || remoteServed > 1e-12 {
+			st.BusySeconds += dt
+		}
+	}
+	return grants
+}
+
+// ResetStats zeroes the accumulated statistics.
+func (a *Arbiter) ResetStats() {
+	for i := range a.stats {
+		a.stats[i] = NodeStats{}
+	}
+}

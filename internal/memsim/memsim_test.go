@@ -1,0 +1,313 @@
+package memsim
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/machine"
+	"repro/internal/roofline"
+)
+
+func TestLocalSplitBaseline(t *testing.T) {
+	// Table I, node view: 3 memory-bound threads (20 GB/s each) + 5
+	// compute-bound threads (1 GB/s each) on one 8-core 32 GB/s node.
+	m := machine.PaperModel()
+	a := NewArbiter(m, 1)
+	var reqs []Request
+	for i := 0; i < 3; i++ {
+		reqs = append(reqs, Request{Core: machine.CoreID(i), Node: 0, Demand: 20})
+	}
+	for i := 3; i < 8; i++ {
+		reqs = append(reqs, Request{Core: machine.CoreID(i), Node: 0, Demand: 1})
+	}
+	g := a.Arbitrate(reqs, 0.001)
+	for i := 0; i < 3; i++ {
+		if math.Abs(g[i].BW-9) > 1e-9 {
+			t.Errorf("mem thread %d got %.4f GB/s, want 9", i, g[i].BW)
+		}
+	}
+	for i := 3; i < 8; i++ {
+		if math.Abs(g[i].BW-1) > 1e-9 {
+			t.Errorf("comp thread %d got %.4f GB/s, want 1", i, g[i].BW)
+		}
+	}
+}
+
+func TestZeroAndEmpty(t *testing.T) {
+	m := machine.PaperModel()
+	a := NewArbiter(m, 1)
+	if g := a.Arbitrate(nil, 0.001); len(g) != 0 {
+		t.Error("empty request list should yield empty grants")
+	}
+	g := a.Arbitrate([]Request{{Core: 0, Node: 0, Demand: 0}}, 0.001)
+	if g[0].BW != 0 {
+		t.Error("zero demand should get zero grant")
+	}
+}
+
+func TestRemotePriority(t *testing.T) {
+	// One remote accessor (via a 10 GB/s link) and local threads that
+	// would consume everything: remote must still get its link share.
+	m := machine.Uniform("m", 2, 4, 10, 40, 10)
+	a := NewArbiter(m, 1)
+	reqs := []Request{
+		{Core: 4, Node: 0, Demand: 25}, // core on node 1 accessing node 0
+		{Core: 0, Node: 0, Demand: 100},
+		{Core: 1, Node: 0, Demand: 100},
+	}
+	g := a.Arbitrate(reqs, 0.001)
+	if math.Abs(g[0].BW-10) > 1e-9 {
+		t.Errorf("remote got %.3f GB/s, want link cap 10", g[0].BW)
+	}
+	if !g[0].Remote {
+		t.Error("remote grant not flagged")
+	}
+	// Locals split the remaining 30: baseline 7.5 each, then remainder
+	// 15 split between the two unsatisfied -> 15 each.
+	for i := 1; i <= 2; i++ {
+		if math.Abs(g[i].BW-15) > 1e-9 {
+			t.Errorf("local %d got %.3f GB/s, want 15", i, g[i].BW)
+		}
+		if g[i].Remote {
+			t.Error("local grant flagged remote")
+		}
+	}
+}
+
+func TestLinkSharedProportionally(t *testing.T) {
+	m := machine.Uniform("m", 2, 4, 10, 40, 12)
+	a := NewArbiter(m, 1)
+	// Two remote accessors share one 12 GB/s link, demands 18 and 6
+	// (total 24 > 12): split 9 / 3.
+	reqs := []Request{
+		{Core: 4, Node: 0, Demand: 18},
+		{Core: 5, Node: 0, Demand: 6},
+	}
+	g := a.Arbitrate(reqs, 0.001)
+	if math.Abs(g[0].BW-9) > 1e-9 || math.Abs(g[1].BW-3) > 1e-9 {
+		t.Errorf("link split = %.3f/%.3f, want 9/3", g[0].BW, g[1].BW)
+	}
+}
+
+func TestRemoteCappedByController(t *testing.T) {
+	// Remote demand via many links can exceed the controller bandwidth;
+	// total served must not.
+	m := machine.Uniform("m", 5, 4, 10, 30, 20)
+	a := NewArbiter(m, 1)
+	var reqs []Request
+	for n := 1; n < 5; n++ {
+		c := m.FirstCoreOfNode(machine.NodeID(n))
+		reqs = append(reqs, Request{Core: c, Node: 0, Demand: 20})
+	}
+	g := a.Arbitrate(reqs, 0.001)
+	total := 0.0
+	for _, gr := range g {
+		total += gr.BW
+	}
+	if total > 30+1e-9 {
+		t.Errorf("remote served %.3f > controller bandwidth 30", total)
+	}
+	// Equal demands -> equal shares.
+	for _, gr := range g {
+		if math.Abs(gr.BW-7.5) > 1e-9 {
+			t.Errorf("grant %.3f, want 7.5", gr.BW)
+		}
+	}
+}
+
+func TestRemoteEfficiency(t *testing.T) {
+	m := machine.Uniform("m", 2, 4, 10, 40, 10)
+	full := NewArbiter(m, 1)
+	eff := NewArbiter(m, 0.8)
+	reqs := []Request{{Core: 4, Node: 0, Demand: 25}}
+	gf := full.Arbitrate(reqs, 0.001)
+	ge := eff.Arbitrate(reqs, 0.001)
+	if math.Abs(gf[0].BW-10) > 1e-9 {
+		t.Errorf("full efficiency grant %.3f, want 10", gf[0].BW)
+	}
+	if math.Abs(ge[0].BW-8) > 1e-9 {
+		t.Errorf("0.8 efficiency grant %.3f, want 8", ge[0].BW)
+	}
+	// Out-of-range efficiency defaults to 1.
+	if NewArbiter(m, 0).RemoteEfficiency != 1 || NewArbiter(m, 2).RemoteEfficiency != 1 {
+		t.Error("bad efficiency should default to 1")
+	}
+}
+
+func TestStats(t *testing.T) {
+	m := machine.Uniform("m", 2, 4, 10, 40, 10)
+	a := NewArbiter(m, 1)
+	reqs := []Request{
+		{Core: 0, Node: 0, Demand: 8},
+		{Core: 4, Node: 0, Demand: 5},
+	}
+	a.Arbitrate(reqs, 0.5)
+	st := a.Stats()
+	if math.Abs(st[0].LocalGB-4) > 1e-9 { // 8 GB/s * 0.5 s
+		t.Errorf("LocalGB = %.3f, want 4", st[0].LocalGB)
+	}
+	if math.Abs(st[0].RemoteGB-2.5) > 1e-9 {
+		t.Errorf("RemoteGB = %.3f, want 2.5", st[0].RemoteGB)
+	}
+	if st[0].BusySeconds != 0.5 {
+		t.Errorf("BusySeconds = %v, want 0.5", st[0].BusySeconds)
+	}
+	if st[1].LocalGB != 0 {
+		t.Error("node 1 should be idle")
+	}
+	a.ResetStats()
+	if s := a.Stats(); s[0].LocalGB != 0 || s[0].BusySeconds != 0 {
+		t.Error("ResetStats did not zero")
+	}
+}
+
+func TestPanicsOnBadNode(t *testing.T) {
+	m := machine.PaperModel()
+	a := NewArbiter(m, 1)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for out-of-range node")
+		}
+	}()
+	a.Arbitrate([]Request{{Core: 0, Node: 99, Demand: 1}}, 0.001)
+}
+
+// TestMatchesRooflineModel cross-validates the quantum arbiter against
+// the analytic model: for a static allocation the per-thread grants must
+// be identical (remote efficiency 1).
+func TestMatchesRooflineModel(t *testing.T) {
+	cases := []struct {
+		name   string
+		m      *machine.Machine
+		apps   []roofline.App
+		counts []int
+	}{
+		{
+			name: "tableI",
+			m:    machine.PaperModel(),
+			apps: []roofline.App{
+				{Name: "m1", AI: 0.5}, {Name: "m2", AI: 0.5}, {Name: "m3", AI: 0.5}, {Name: "c", AI: 10},
+			},
+			counts: []int{1, 1, 1, 5},
+		},
+		{
+			name: "tableIII-S4",
+			m:    machine.SkylakeQuad(),
+			apps: []roofline.App{
+				{Name: "m1", AI: 1.0 / 32}, {Name: "m2", AI: 1.0 / 32}, {Name: "m3", AI: 1.0 / 32},
+				{Name: "bad", AI: 1.0 / 16, Placement: roofline.NUMABad, HomeNode: 0},
+			},
+			counts: []int{5, 5, 5, 5},
+		},
+		{
+			name: "fig3-even",
+			m:    machine.PaperModelNUMABad(),
+			apps: []roofline.App{
+				{Name: "m1", AI: 0.5}, {Name: "m2", AI: 0.5}, {Name: "m3", AI: 0.5},
+				{Name: "bad", AI: 1, Placement: roofline.NUMABad, HomeNode: 0},
+			},
+			counts: []int{2, 2, 2, 2},
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			al := roofline.MustPerNodeCounts(c.m, c.counts)
+			model := roofline.MustEvaluate(c.m, c.apps, al)
+
+			arb := NewArbiter(c.m, 1)
+			type ref struct{ app, node int }
+			var reqs []Request
+			var refs []ref
+			for j := 0; j < c.m.NumNodes(); j++ {
+				cores := c.m.CoresOfNode(machine.NodeID(j))
+				next := 0
+				for i, app := range c.apps {
+					target := machine.NodeID(j)
+					if app.Placement == roofline.NUMABad {
+						target = app.HomeNode
+					}
+					demand := c.m.Nodes[j].PeakGFLOPS / app.AI
+					for k := 0; k < al.Threads[i][j]; k++ {
+						reqs = append(reqs, Request{Core: cores[next], Node: target, Demand: demand})
+						refs = append(refs, ref{i, j})
+						next++
+					}
+				}
+			}
+			grants := arb.Arbitrate(reqs, 0.001)
+			for idx, g := range grants {
+				want := model.PerApp[refs[idx].app][refs[idx].node].BWPerThread
+				if math.Abs(g.BW-want) > 1e-6 {
+					t.Errorf("req %d (app %d node %d): grant %.6f, model %.6f",
+						idx, refs[idx].app, refs[idx].node, g.BW, want)
+				}
+			}
+		})
+	}
+}
+
+// Property: grants never exceed demands, totals never exceed controller
+// bandwidth, and all grants are non-negative.
+func TestArbitrationInvariants(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nodes := 1 + rng.Intn(4)
+		cores := 1 + rng.Intn(6)
+		m := machine.Uniform("p", nodes, cores, 1, 1+rng.Float64()*100, 1+rng.Float64()*20)
+		a := NewArbiter(m, 0.5+rng.Float64()*0.5)
+		n := rng.Intn(20)
+		reqs := make([]Request, n)
+		for i := range reqs {
+			reqs[i] = Request{
+				Core:   machine.CoreID(rng.Intn(m.TotalCores())),
+				Node:   machine.NodeID(rng.Intn(nodes)),
+				Demand: rng.Float64() * 50,
+			}
+		}
+		g := a.Arbitrate(reqs, 0.001)
+		perNode := make([]float64, nodes)
+		for i, gr := range g {
+			if gr.BW < 0 || gr.BW > reqs[i].Demand+1e-9 {
+				return false
+			}
+			perNode[reqs[i].Node] += gr.BW
+		}
+		for j, total := range perNode {
+			if total > m.Nodes[j].MemBandwidth+1e-6 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestContentionEfficiency(t *testing.T) {
+	m := machine.PaperModel() // 32 GB/s nodes
+	a := NewArbiter(m, 1)
+	a.ContentionEfficiency = 0.9
+
+	// Under-demand: full bandwidth behaviour, factor inactive.
+	g := a.Arbitrate([]Request{{Core: 0, Node: 0, Demand: 20}}, 0.001)
+	if math.Abs(g[0].BW-20) > 1e-9 {
+		t.Errorf("under-demand grant %.3f, want 20", g[0].BW)
+	}
+
+	// Over-demand: effective bandwidth 32*0.9 = 28.8, split over 8.
+	var reqs []Request
+	for i := 0; i < 8; i++ {
+		reqs = append(reqs, Request{Core: machine.CoreID(i), Node: 0, Demand: 20})
+	}
+	g = a.Arbitrate(reqs, 0.001)
+	total := 0.0
+	for _, gr := range g {
+		total += gr.BW
+	}
+	if math.Abs(total-28.8) > 1e-9 {
+		t.Errorf("contended total %.3f, want 28.8", total)
+	}
+}

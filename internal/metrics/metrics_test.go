@@ -1,0 +1,155 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestTableRendering(t *testing.T) {
+	tab := NewTable("Demo", "name", "value")
+	tab.AddRow("alpha", 1.5)
+	tab.AddRow("b", 254.0)
+	out := tab.String()
+	if !strings.Contains(out, "Demo") || !strings.Contains(out, "alpha") || !strings.Contains(out, "254") {
+		t.Errorf("rendering missing content:\n%s", out)
+	}
+	if tab.NumRows() != 2 {
+		t.Errorf("NumRows = %d, want 2", tab.NumRows())
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // title, header, separator, 2 rows
+		t.Errorf("line count = %d, want 5:\n%s", len(lines), out)
+	}
+}
+
+func TestTableNoTitle(t *testing.T) {
+	tab := NewTable("", "a")
+	tab.AddRow(1)
+	if strings.HasPrefix(tab.String(), "\n") {
+		t.Error("empty title should not emit a blank line")
+	}
+}
+
+func TestCSV(t *testing.T) {
+	tab := NewTable("x", "name", "v")
+	tab.AddRow("with,comma", 2.0)
+	tab.AddRow("with\"quote", 3.0)
+	csv := tab.CSV()
+	if !strings.Contains(csv, "\"with,comma\"") {
+		t.Errorf("comma cell not quoted: %s", csv)
+	}
+	if !strings.Contains(csv, "\"with\"\"quote\"") {
+		t.Errorf("quote cell not escaped: %s", csv)
+	}
+	if !strings.HasPrefix(csv, "name,v\n") {
+		t.Errorf("missing header: %s", csv)
+	}
+}
+
+func TestFormatFloat(t *testing.T) {
+	cases := []struct {
+		in   float64
+		want string
+	}{
+		{1.5, "1.5"}, {254, "254"}, {0, "0"}, {13.984375, "13.9844"},
+		{math.NaN(), "NaN"}, {math.Inf(1), "+Inf"}, {math.Inf(-1), "-Inf"},
+		{-0.0001, "-0.0001"},
+	}
+	for _, c := range cases {
+		if got := FormatFloat(c.in); got != c.want {
+			t.Errorf("FormatFloat(%v) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestSeries(t *testing.T) {
+	s := NewSeries("gflops")
+	for i := 0; i < 10; i++ {
+		s.Add(float64(i), float64(i)*2)
+	}
+	if s.Len() != 10 {
+		t.Errorf("Len = %d", s.Len())
+	}
+	if last := s.Last(); last.T != 9 || last.V != 18 {
+		t.Errorf("Last = %+v", last)
+	}
+	if r := s.Rate(); math.Abs(r-2) > 1e-12 {
+		t.Errorf("Rate = %v, want 2", r)
+	}
+	st := s.Stats()
+	if st.Count != 10 || st.Min != 0 || st.Max != 18 || math.Abs(st.Mean-9) > 1e-12 {
+		t.Errorf("Stats = %+v", st)
+	}
+	if st.P50 != 9 {
+		t.Errorf("P50 = %v, want 9", st.P50)
+	}
+	pts := s.Points()
+	pts[0].V = 999
+	if s.Points()[0].V == 999 {
+		t.Error("Points should return a copy")
+	}
+}
+
+func TestSeriesEmpty(t *testing.T) {
+	s := NewSeries("x")
+	if s.Stats().Count != 0 || s.Rate() != 0 || s.Last() != (Point{}) {
+		t.Error("empty series should return zeros")
+	}
+	s.Add(1, 5)
+	if s.Rate() != 0 {
+		t.Error("single-sample rate should be 0")
+	}
+	s.Add(1, 6) // same time ok
+	if s.Rate() != 0 {
+		t.Error("zero-dt rate should be 0")
+	}
+}
+
+func TestSeriesOutOfOrderPanics(t *testing.T) {
+	s := NewSeries("x")
+	s.Add(5, 1)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for out-of-order sample")
+		}
+	}()
+	s.Add(4, 1)
+}
+
+func TestPercentileInterpolation(t *testing.T) {
+	s := NewSeries("x")
+	s.Add(0, 10)
+	s.Add(1, 20)
+	st := s.Stats()
+	if math.Abs(st.P50-15) > 1e-12 {
+		t.Errorf("P50 = %v, want 15 (interpolated)", st.P50)
+	}
+	if math.Abs(st.P95-19.5) > 1e-12 {
+		t.Errorf("P95 = %v, want 19.5", st.P95)
+	}
+	if math.Abs(st.StdDev-5) > 1e-12 {
+		t.Errorf("StdDev = %v, want 5", st.StdDev)
+	}
+}
+
+func TestBarChart(t *testing.T) {
+	out := BarChart("Chart", []string{"a", "bb"}, []float64{10, 5}, 10)
+	if !strings.Contains(out, "Chart") {
+		t.Error("missing title")
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("lines = %d, want 3", len(lines))
+	}
+	if !strings.Contains(lines[1], strings.Repeat("#", 10)) {
+		t.Errorf("max bar not full width: %q", lines[1])
+	}
+	if !strings.Contains(lines[2], "#####") || strings.Contains(lines[2], "######") {
+		t.Errorf("half bar wrong: %q", lines[2])
+	}
+	// Degenerate inputs render without panicking.
+	if BarChart("", nil, []float64{0, -1}, 0) == "" {
+		t.Error("empty chart output")
+	}
+}

@@ -1,0 +1,323 @@
+// Package ocr provides an Open Community Runtime (OCR) flavored API on
+// top of the task runtime — the programming model of OCR-Vx, the system
+// the paper's experiments are built on (references [1], [3], [9]).
+//
+// The core OCR objects are reproduced in simplified form:
+//
+//   - DataBlocks: runtime-managed data with explicit NUMA affinity,
+//     acquired by tasks through dependence slots;
+//   - Events: once-satisfiable synchronization objects that may carry a
+//     data block as payload;
+//   - EDTs (event-driven tasks): tasks with a fixed number of
+//     dependence slots; an EDT becomes ready when every slot is
+//     satisfied (by an event or a pre-satisfied data block), executes
+//     work derived from its template, and then satisfies its output
+//     event;
+//   - finish EDTs: EDTs whose output event fires only after the EDT
+//     *and every child EDT created under it* complete (a latch scope).
+//
+// Because the runtime manages the data blocks, it can migrate them
+// between NUMA nodes (see taskrt.MigrateBlock) — the capability the
+// paper singles out as easy in OCR and very difficult in TBB.
+package ocr
+
+import (
+	"fmt"
+
+	"repro/internal/machine"
+	"repro/internal/osched"
+	"repro/internal/taskrt"
+)
+
+// Config configures the OCR runtime veneer.
+type Config struct {
+	// Name labels the OS process.
+	Name string
+	// BindMode and Scheduler select the worker layout; the defaults
+	// (node-bound workers, NUMA-aware scheduler) match OCR-Vx's
+	// NUMA-aware configuration.
+	BindMode  taskrt.BindMode
+	Scheduler taskrt.SchedulerKind
+	// Workers is the worker count (0: one per core).
+	Workers int
+	// StrictLocality forbids remote stealing in the NUMA-aware
+	// scheduler: EDTs only ever run on their data's node.
+	StrictLocality bool
+}
+
+// Runtime is an OCR-style runtime instance.
+type Runtime struct {
+	rt *taskrt.Runtime
+
+	edtsCreated  uint64
+	edtsFinished uint64
+}
+
+// NewRuntime creates the runtime. Zero-value BindMode/Scheduler are
+// replaced by OCR-Vx-like defaults (node-bound, NUMA-aware).
+func NewRuntime(os *osched.OS, cfg Config) *Runtime {
+	tc := taskrt.Config{
+		Name:          cfg.Name,
+		BindMode:      cfg.BindMode,
+		Scheduler:     cfg.Scheduler,
+		Workers:       cfg.Workers,
+		NoRemoteSteal: cfg.StrictLocality,
+	}
+	if tc.BindMode == taskrt.BindNone {
+		tc.BindMode = taskrt.BindNode
+	}
+	if tc.Scheduler == taskrt.FIFO {
+		tc.Scheduler = taskrt.NUMAAware
+	}
+	return &Runtime{rt: taskrt.New(os, tc)}
+}
+
+// Task exposes the underlying task runtime (thread control, stats,
+// migration).
+func (r *Runtime) Task() *taskrt.Runtime { return r.rt }
+
+// Stats returns the runtime snapshot.
+func (r *Runtime) Stats() taskrt.Stats { return r.rt.Stats() }
+
+// EDTsCreated returns the number of EDTs created.
+func (r *Runtime) EDTsCreated() uint64 { return r.edtsCreated }
+
+// EDTsFinished returns the number of EDTs completed.
+func (r *Runtime) EDTsFinished() uint64 { return r.edtsFinished }
+
+// DataBlock is an OCR data block: runtime-managed data with NUMA
+// affinity.
+type DataBlock struct {
+	blk *taskrt.DataBlock
+}
+
+// CreateDataBlock allocates a data block of sizeGB on the given node.
+func (r *Runtime) CreateDataBlock(name string, sizeGB float64, node machine.NodeID) *DataBlock {
+	if sizeGB < 0 {
+		panic("ocr: negative data block size")
+	}
+	return &DataBlock{blk: &taskrt.DataBlock{Name: name, Node: node, SizeGB: sizeGB}}
+}
+
+// Node returns the block's current NUMA node.
+func (db *DataBlock) Node() machine.NodeID { return db.blk.Node }
+
+// SizeGB returns the block's size.
+func (db *DataBlock) SizeGB() float64 { return db.blk.SizeGB }
+
+// Migrate moves the block to dst (asynchronously; onDone may be nil).
+// The runtime manages the data, so this is a first-class operation —
+// the paper's key OCR-vs-TBB distinction.
+func (r *Runtime) Migrate(db *DataBlock, dst machine.NodeID, onDone func()) error {
+	_, err := r.rt.MigrateBlock(db.blk, dst, onDone)
+	return err
+}
+
+// Event is a once event, optionally carrying a data block payload.
+type Event struct {
+	ev      *taskrt.Event
+	payload *DataBlock
+}
+
+// CreateEvent creates an unsatisfied once event.
+func (r *Runtime) CreateEvent() *Event {
+	return &Event{ev: r.rt.NewEvent()}
+}
+
+// Satisfy fires the event with an optional payload (nil allowed).
+// Satisfying twice panics, matching OCR once-event semantics.
+func (e *Event) Satisfy(payload *DataBlock) {
+	e.payload = payload
+	e.ev.Satisfy()
+}
+
+// Satisfied reports whether the event fired.
+func (e *Event) Satisfied() bool { return e.ev.Satisfied() }
+
+// OnSatisfy registers fn to run when the event fires (immediately if it
+// already did).
+func (e *Event) OnSatisfy(fn func()) { e.ev.OnSatisfy(fn) }
+
+// Payload returns the data block the event carried (nil if none or not
+// yet satisfied).
+func (e *Event) Payload() *DataBlock { return e.payload }
+
+// Template describes a family of EDTs: its work is a function of the
+// data blocks acquired through the dependence slots.
+type Template struct {
+	// Name labels EDT instances.
+	Name string
+	// GFlop and AI give the fixed work per EDT when Work is nil.
+	GFlop float64
+	AI    float64
+	// Work, when set, computes (gflop, ai) from the acquired blocks.
+	Work func(deps []*DataBlock) (gflop, ai float64)
+}
+
+// EDT is an event-driven task.
+type EDT struct {
+	r        *Runtime
+	tmpl     *Template
+	deps     []*DataBlock // slot payloads
+	slots    int
+	pending  int
+	task     *taskrt.Task
+	out      *Event
+	launched bool
+	finish   *taskrt.LatchEvent // non-nil for finish EDTs
+	parent   *EDT
+}
+
+// CreateEDT creates an EDT with the given number of dependence slots.
+// The EDT launches automatically once every slot is satisfied; an EDT
+// with zero slots launches immediately.
+func (r *Runtime) CreateEDT(tmpl *Template, slots int) *EDT {
+	return r.createEDT(tmpl, slots, false, nil)
+}
+
+// CreateFinishEDT creates an EDT whose output event fires only after
+// the EDT and all child EDTs created via CreateChild complete.
+func (r *Runtime) CreateFinishEDT(tmpl *Template, slots int) *EDT {
+	return r.createEDT(tmpl, slots, true, nil)
+}
+
+// CreateChild creates an EDT inside this EDT's finish scope (this EDT
+// or its nearest finish ancestor must be a finish EDT for the scope to
+// matter; otherwise the child is an ordinary EDT).
+func (e *EDT) CreateChild(tmpl *Template, slots int) *EDT {
+	return e.r.createEDT(tmpl, slots, false, e)
+}
+
+func (r *Runtime) createEDT(tmpl *Template, slots int, finish bool, parent *EDT) *EDT {
+	if tmpl == nil {
+		panic("ocr: nil template")
+	}
+	if slots < 0 {
+		panic("ocr: negative slot count")
+	}
+	r.edtsCreated++
+	e := &EDT{
+		r:       r,
+		tmpl:    tmpl,
+		deps:    make([]*DataBlock, slots),
+		slots:   slots,
+		pending: slots,
+		out:     r.CreateEvent(),
+		parent:  parent,
+	}
+	if finish {
+		e.finish = r.rt.NewLatch(1) // the EDT itself
+	}
+	// Joining an ancestor finish scope keeps that scope open until this
+	// EDT completes.
+	if scope := e.finishScope(); scope != nil {
+		scope.Up()
+	}
+	if slots == 0 {
+		e.launch()
+	}
+	return e
+}
+
+// finishScope returns the nearest enclosing finish latch (not the EDT's
+// own), or nil.
+func (e *EDT) finishScope() *taskrt.LatchEvent {
+	for p := e.parent; p != nil; p = p.parent {
+		if p.finish != nil {
+			return p.finish
+		}
+	}
+	return nil
+}
+
+// OutputEvent returns the event satisfied when the EDT completes (for
+// finish EDTs: when its whole scope completes).
+func (e *EDT) OutputEvent() *Event {
+	if e.finish != nil {
+		return &Event{ev: e.finish.Event()}
+	}
+	return e.out
+}
+
+// AddDependence satisfies slot i from an event (when it fires) or
+// immediately from a data block. Slots are 0-based.
+func (e *EDT) AddDependence(src any, slot int) {
+	if e.launched {
+		panic("ocr: AddDependence after launch")
+	}
+	if slot < 0 || slot >= e.slots {
+		panic(fmt.Sprintf("ocr: slot %d out of range (EDT has %d)", slot, e.slots))
+	}
+	switch s := src.(type) {
+	case *DataBlock:
+		e.satisfySlot(slot, s)
+	case *Event:
+		slotIdx := slot
+		s.ev.OnSatisfy(func() { e.satisfySlot(slotIdx, s.payload) })
+	case nil:
+		panic("ocr: nil dependence source")
+	default:
+		panic(fmt.Sprintf("ocr: unsupported dependence source %T", src))
+	}
+}
+
+func (e *EDT) satisfySlot(slot int, payload *DataBlock) {
+	if e.deps[slot] == nil && payload != nil {
+		e.deps[slot] = payload
+	}
+	e.pending--
+	if e.pending == 0 {
+		e.launch()
+	}
+	if e.pending < 0 {
+		panic("ocr: slot satisfied twice")
+	}
+}
+
+// launch builds and submits the underlying task.
+func (e *EDT) launch() {
+	e.launched = true
+	gflop, ai := e.tmpl.GFlop, e.tmpl.AI
+	if e.tmpl.Work != nil {
+		gflop, ai = e.tmpl.Work(e.deps)
+	}
+	// The task reads the largest acquired block (dominant traffic).
+	var data *taskrt.DataBlock
+	for _, db := range e.deps {
+		if db == nil {
+			continue
+		}
+		if data == nil || db.blk.SizeGB > data.SizeGB {
+			data = db.blk
+		}
+	}
+	e.task = e.r.rt.NewTask(e.tmpl.Name, gflop, ai, data)
+	e.task.OnComplete = func() {
+		e.r.edtsFinished++
+		e.out.Satisfy(nil)
+		if e.finish != nil {
+			e.finish.Down() // the EDT's own slot in its scope
+		}
+		if scope := e.finishScope(); scope != nil {
+			scope.Down()
+		}
+	}
+	e.r.rt.Submit(e.task)
+}
+
+// State returns the underlying task's state (TaskCreated while waiting
+// for slots).
+func (e *EDT) State() taskrt.TaskState {
+	if e.task == nil {
+		return taskrt.TaskWaiting
+	}
+	return e.task.State()
+}
+
+// ExecutedOn returns the core that ran the EDT, once done.
+func (e *EDT) ExecutedOn() (machine.CoreID, bool) {
+	if e.task == nil {
+		return 0, false
+	}
+	return e.task.ExecutedOn()
+}

@@ -1,0 +1,259 @@
+package ocr
+
+import (
+	"testing"
+
+	"repro/internal/des"
+	"repro/internal/machine"
+	"repro/internal/osched"
+	"repro/internal/taskrt"
+)
+
+func newSim(m *machine.Machine) (*des.Engine, *osched.OS) {
+	eng := des.NewEngine(1)
+	o := osched.New(eng, osched.Config{
+		Machine:           m,
+		ContextSwitchCost: -1,
+		MigrationPenalty:  -1,
+		LoadBalancePeriod: -1,
+	})
+	o.Start()
+	return eng, o
+}
+
+func TestZeroSlotEDTRuns(t *testing.T) {
+	m := machine.PaperModel()
+	eng, o := newSim(m)
+	r := NewRuntime(o, Config{Name: "ocr"})
+	done := false
+	edt := r.CreateEDT(&Template{Name: "hello", GFlop: 0.01}, 0)
+	edt.OutputEvent().ev.OnSatisfy(func() { done = true })
+	eng.RunUntil(0.5)
+	if !done {
+		t.Error("zero-slot EDT never completed")
+	}
+	if edt.State() != taskrt.TaskDone {
+		t.Errorf("state = %v, want done", edt.State())
+	}
+	if r.EDTsCreated() != 1 || r.EDTsFinished() != 1 {
+		t.Errorf("counters = %d/%d", r.EDTsCreated(), r.EDTsFinished())
+	}
+}
+
+func TestEDTChainThroughEvents(t *testing.T) {
+	m := machine.PaperModel()
+	eng, o := newSim(m)
+	r := NewRuntime(o, Config{Name: "ocr"})
+	tmpl := &Template{Name: "step", GFlop: 0.01}
+	var order []int
+	mk := func(id int, slots int) *EDT {
+		e := r.CreateEDT(&Template{Name: tmpl.Name, GFlop: tmpl.GFlop, Work: nil}, slots)
+		e.OutputEvent().ev.OnSatisfy(func() { order = append(order, id) })
+		return e
+	}
+	// c depends on b depends on a.
+	c := mk(3, 1)
+	b := mk(2, 1)
+	a := mk(1, 0)
+	b.AddDependence(a.OutputEvent(), 0)
+	c.AddDependence(b.OutputEvent(), 0)
+	eng.RunUntil(1)
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Errorf("order = %v, want [1 2 3]", order)
+	}
+}
+
+func TestEventPayloadFlowsToEDT(t *testing.T) {
+	m := machine.PaperModel()
+	eng, o := newSim(m)
+	r := NewRuntime(o, Config{Name: "ocr"})
+	db := r.CreateDataBlock("input", 2, 3)
+	var seen *DataBlock
+	tmpl := &Template{
+		Name: "consume",
+		Work: func(deps []*DataBlock) (float64, float64) {
+			seen = deps[0]
+			return 0.01, 0.5
+		},
+	}
+	edt := r.CreateEDT(tmpl, 1)
+	ev := r.CreateEvent()
+	edt.AddDependence(ev, 0)
+	eng.RunUntil(0.1)
+	if edt.State() == taskrt.TaskDone {
+		t.Fatal("EDT ran before its event")
+	}
+	ev.Satisfy(db)
+	eng.RunUntil(0.5)
+	if seen != db {
+		t.Error("payload did not reach the EDT's work function")
+	}
+	if ev.Payload() != db {
+		t.Error("Payload() lost")
+	}
+}
+
+func TestDataBlockDependenceSatisfiesImmediately(t *testing.T) {
+	m := machine.PaperModel()
+	eng, o := newSim(m)
+	r := NewRuntime(o, Config{Name: "ocr"})
+	db := r.CreateDataBlock("d", 1, 2)
+	edt := r.CreateEDT(&Template{Name: "e", GFlop: 0.01, AI: 0.5}, 1)
+	edt.AddDependence(db, 0)
+	eng.RunUntil(0.5)
+	if edt.State() != taskrt.TaskDone {
+		t.Error("EDT with data block dependence never ran")
+	}
+}
+
+func TestEDTLocalityFollowsDataBlock(t *testing.T) {
+	// OCR-Vx's NUMA awareness: an EDT acquiring a block on node 2 runs
+	// on node 2 (the NUMA-aware scheduler routes by the dominant block;
+	// strict locality keeps starved other-node workers from stealing).
+	m := machine.PaperModel()
+	eng, o := newSim(m)
+	r := NewRuntime(o, Config{Name: "ocr", StrictLocality: true})
+	db := r.CreateDataBlock("big", 4, 2)
+	small := r.CreateDataBlock("small", 0.1, 0)
+	var edts []*EDT
+	for i := 0; i < 32; i++ {
+		e := r.CreateEDT(&Template{Name: "k", GFlop: 0.02, AI: 0.5}, 2)
+		e.AddDependence(db, 0)
+		e.AddDependence(small, 1)
+		edts = append(edts, e)
+	}
+	eng.RunUntil(2)
+	local := 0
+	for _, e := range edts {
+		core, ok := e.task.ExecutedOn()
+		if !ok {
+			t.Fatal("EDT not executed")
+		}
+		if m.NodeOfCore(core) == 2 {
+			local++
+		}
+	}
+	if frac := float64(local) / float64(len(edts)); frac < 0.9 {
+		t.Errorf("locality = %.2f, want >= 0.9", frac)
+	}
+}
+
+func TestFinishEDTWaitsForChildren(t *testing.T) {
+	m := machine.PaperModel()
+	eng, o := newSim(m)
+	r := NewRuntime(o, Config{Name: "ocr"})
+	tmpl := &Template{Name: "w", GFlop: 0.05}
+
+	var scopeDone des.Time
+	var lastChildDone des.Time
+	parent := r.CreateFinishEDT(&Template{Name: "parent", GFlop: 0.01}, 0)
+	// Children created in the scope; grandchild nested deeper.
+	for i := 0; i < 4; i++ {
+		child := parent.CreateChild(tmpl, 0)
+		gc := child.CreateChild(tmpl, 0)
+		gc.OutputEvent().ev.OnSatisfy(func() { lastChildDone = eng.Now() })
+	}
+	parent.OutputEvent().ev.OnSatisfy(func() { scopeDone = eng.Now() })
+	eng.RunUntil(2)
+	if scopeDone == 0 {
+		t.Fatal("finish scope never completed")
+	}
+	if scopeDone < lastChildDone {
+		t.Errorf("finish scope fired at %v before last child at %v", scopeDone, lastChildDone)
+	}
+}
+
+func TestOCRMigrate(t *testing.T) {
+	m := machine.SkylakeQuad()
+	eng, o := newSim(m)
+	r := NewRuntime(o, Config{Name: "ocr", BindMode: taskrt.BindCore})
+	db := r.CreateDataBlock("data", 1, 0)
+	moved := false
+	if err := r.Migrate(db, 2, func() { moved = true }); err != nil {
+		t.Fatal(err)
+	}
+	eng.RunUntil(1)
+	if !moved || db.Node() != 2 {
+		t.Errorf("migration failed: moved=%v node=%d", moved, db.Node())
+	}
+}
+
+func TestPanics(t *testing.T) {
+	m := machine.PaperModel()
+	eng, o := newSim(m)
+	r := NewRuntime(o, Config{Name: "ocr"})
+	expectPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected panic", name)
+			}
+		}()
+		fn()
+	}
+	expectPanic("nil template", func() { r.CreateEDT(nil, 0) })
+	expectPanic("negative slots", func() { r.CreateEDT(&Template{Name: "x"}, -1) })
+	expectPanic("negative block", func() { r.CreateDataBlock("x", -1, 0) })
+	expectPanic("nil dep", func() { r.CreateEDT(&Template{Name: "x", GFlop: 1}, 1).AddDependence(nil, 0) })
+	expectPanic("bad slot", func() {
+		r.CreateEDT(&Template{Name: "x", GFlop: 1}, 1).AddDependence(r.CreateEvent(), 5)
+	})
+	expectPanic("bad source type", func() {
+		r.CreateEDT(&Template{Name: "x", GFlop: 1}, 1).AddDependence(42, 0)
+	})
+	ev := r.CreateEvent()
+	ev.Satisfy(nil)
+	expectPanic("double satisfy", func() { ev.Satisfy(nil) })
+	edt := r.CreateEDT(&Template{Name: "x", GFlop: 0.001}, 0) // launches immediately
+	eng.RunUntil(0.1)
+	expectPanic("dep after launch", func() { edt.AddDependence(r.CreateEvent(), 0) })
+}
+
+func TestStatsAndAccessors(t *testing.T) {
+	m := machine.PaperModel()
+	eng, o := newSim(m)
+	r := NewRuntime(o, Config{Name: "ocr"})
+	if r.Task() == nil {
+		t.Fatal("Task() nil")
+	}
+	db := r.CreateDataBlock("d", 2.5, 1)
+	if db.SizeGB() != 2.5 || db.Node() != 1 {
+		t.Error("data block accessors wrong")
+	}
+	for i := 0; i < 10; i++ {
+		r.CreateEDT(&Template{Name: "t", GFlop: 0.01}, 0)
+	}
+	eng.RunUntil(1)
+	if st := r.Stats(); st.TasksExecuted != 10 {
+		t.Errorf("TasksExecuted = %d, want 10", st.TasksExecuted)
+	}
+}
+
+// TestOCRUnderThreadControl: an OCR application behaves under the
+// paper's option 3 like any task-runtime application.
+func TestOCRUnderThreadControl(t *testing.T) {
+	m := machine.PaperModel()
+	eng, o := newSim(m)
+	r := NewRuntime(o, Config{Name: "ocr"})
+	tmpl := &Template{Name: "k", GFlop: 0.01}
+	var feed func()
+	feed = func() {
+		e := r.CreateEDT(tmpl, 0)
+		e.OutputEvent().ev.OnSatisfy(feed)
+	}
+	for i := 0; i < 64; i++ {
+		feed()
+	}
+	if err := r.Task().SetNodeThreads([]int{2, 2, 0, 0}); err != nil {
+		t.Fatal(err)
+	}
+	eng.RunUntil(1)
+	st := r.Stats()
+	if st.Suspended != 28 {
+		t.Errorf("suspended = %d, want 28", st.Suspended)
+	}
+	// ~4 cores * 10 GFLOPS.
+	if st.GFlopDone < 36 || st.GFlopDone > 42 {
+		t.Errorf("GFlopDone = %.1f, want ~40", st.GFlopDone)
+	}
+}

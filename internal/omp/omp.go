@@ -1,0 +1,379 @@
+// Package omp models an OpenMP-like runtime on the simulated OS, for
+// the paper's Section II/IV discussion of codes that are harder to
+// govern with dynamic core allocation than task-based runtimes:
+//
+//   - parallel-for loops with *static* scheduling assume all threads
+//     progress at the same rate; slowing some threads (because an agent
+//     gave their cores away) stalls the whole loop at its barrier,
+//     while *dynamic* scheduling redistributes iterations;
+//   - *tied* tasks must resume on the thread that started them
+//     (OpenMP's default), so blocking that thread would strand the
+//     task forever — "this could be solved by not suspending tied
+//     tasks", which the runtime implements as its safe mode.
+package omp
+
+import (
+	"fmt"
+
+	"repro/internal/machine"
+	"repro/internal/osched"
+)
+
+// Schedule selects the parallel-for iteration scheduling.
+type Schedule int
+
+const (
+	// Static pre-assigns equal contiguous iteration blocks per thread
+	// (OpenMP schedule(static)).
+	Static Schedule = iota
+	// Dynamic hands out chunks from a shared counter on demand
+	// (OpenMP schedule(dynamic, chunk)).
+	Dynamic
+)
+
+// String names the schedule.
+func (s Schedule) String() string {
+	if s == Dynamic {
+		return "dynamic"
+	}
+	return "static"
+}
+
+// Config configures the runtime.
+type Config struct {
+	// Name labels the OS process.
+	Name string
+	// Threads is the team size; 0 means one per core.
+	Threads int
+	// SafeTiedSuspension defers thread-blocking requests on threads
+	// hosting a suspended tied task until the task finishes — the
+	// paper's proposed fix. When false, blocking such a thread strands
+	// its tied task (detectable via StrandedTasks).
+	SafeTiedSuspension bool
+}
+
+// loopWork is one active parallel-for region.
+type loopWork struct {
+	sched     Schedule
+	chunk     int
+	gflop     float64
+	ai        float64
+	n         int
+	next      int   // dynamic: shared counter
+	remaining int   // iterations not yet completed
+	static    []int // static: next iteration per thread
+	staticEnd []int // static: end bound per thread
+	onDone    func()
+}
+
+// tiedTask is a two-phase task tied to its starting thread.
+type tiedTask struct {
+	id       int
+	phase1   float64
+	phase2   float64
+	ai       float64
+	owner    int // thread index after phase 1
+	resumed  bool
+	stranded bool
+	done     bool
+	onDone   func()
+}
+
+// Runtime is the OpenMP-like runtime instance.
+type Runtime struct {
+	os   *osched.OS
+	cfg  Config
+	proc *osched.Process
+
+	threads []*ompThread
+	loops   []*loopWork // FIFO of regions (one active at a time)
+
+	tiedQueue      []*tiedTask // tasks waiting for phase 1
+	resume         [][]*tiedTask
+	suspendedIndex map[int][]*tiedTask // suspended tied tasks by owner
+	stranded       int
+	completed      uint64
+}
+
+type ompThread struct {
+	rt      *Runtime
+	idx     int
+	thread  *osched.Thread
+	blocked bool // external control wants this thread parked
+	pending bool // block deferred by safe tied suspension
+	hosting int  // suspended tied tasks owned by this thread
+	idle    bool
+}
+
+// New creates the runtime with its thread team (threads pinned to
+// nodes round-robin like a typical OMP_PLACES=sockets setup).
+func New(os *osched.OS, cfg Config) *Runtime {
+	m := os.Machine()
+	if cfg.Threads <= 0 {
+		cfg.Threads = m.TotalCores()
+	}
+	rt := &Runtime{
+		os:     os,
+		cfg:    cfg,
+		proc:   os.NewProcess(cfg.Name),
+		resume: make([][]*tiedTask, cfg.Threads),
+	}
+	for i := 0; i < cfg.Threads; i++ {
+		t := &ompThread{rt: rt, idx: i}
+		node := machine.NodeID(i % m.NumNodes())
+		t.thread = rt.proc.NewThread(fmt.Sprintf("%s-omp%d", cfg.Name, i), t, osched.NodeCores(m, node))
+		rt.threads = append(rt.threads, t)
+	}
+	return rt
+}
+
+// Threads returns the team size.
+func (rt *Runtime) Threads() int { return len(rt.threads) }
+
+// Process exposes the OS process.
+func (rt *Runtime) Process() *osched.Process { return rt.proc }
+
+// StrandedTasks counts tied tasks whose owner thread was blocked while
+// they were suspended (only in unsafe mode).
+func (rt *Runtime) StrandedTasks() int { return rt.stranded }
+
+// CompletedTasks counts finished tied tasks.
+func (rt *Runtime) CompletedTasks() uint64 { return rt.completed }
+
+// ParallelFor runs n iterations of gflop/ai work across the team with
+// the given schedule (chunk used for Dynamic; <=0 means 1). onDone may
+// be nil. Regions queue FIFO.
+func (rt *Runtime) ParallelFor(n int, sched Schedule, chunk int, gflop, ai float64, onDone func()) {
+	if n <= 0 {
+		panic("omp: ParallelFor needs positive iteration count")
+	}
+	if chunk <= 0 {
+		chunk = 1
+	}
+	lw := &loopWork{
+		sched: sched, chunk: chunk, gflop: gflop, ai: ai,
+		n: n, remaining: n, onDone: onDone,
+	}
+	if sched == Static {
+		T := len(rt.threads)
+		lw.static = make([]int, T)
+		lw.staticEnd = make([]int, T)
+		for t := 0; t < T; t++ {
+			lw.static[t] = t * n / T
+			lw.staticEnd[t] = (t + 1) * n / T
+		}
+	}
+	rt.loops = append(rt.loops, lw)
+	rt.wakeAll()
+}
+
+// SubmitTied submits a two-phase tied task: phase 1 runs anywhere,
+// then the task suspends (a taskwait-like scheduling point) until
+// Release is called on the returned handle; phase 2 must run on the
+// same thread that ran phase 1.
+func (rt *Runtime) SubmitTied(phase1, phase2, ai float64, onDone func()) *TiedHandle {
+	t := &tiedTask{
+		id:     len(rt.tiedQueue),
+		phase1: phase1, phase2: phase2, ai: ai,
+		owner:  -1,
+		onDone: onDone,
+	}
+	rt.tiedQueue = append(rt.tiedQueue, t)
+	rt.wakeAll()
+	return &TiedHandle{rt: rt, task: t}
+}
+
+// TiedHandle releases a suspended tied task's phase 2.
+type TiedHandle struct {
+	rt   *Runtime
+	task *tiedTask
+}
+
+// Release makes phase 2 runnable (on the owning thread only).
+func (h *TiedHandle) Release() {
+	t := h.task
+	if t.owner < 0 {
+		// Phase 1 not finished yet: mark for immediate resume.
+		t.resumed = true
+		return
+	}
+	if t.stranded {
+		return
+	}
+	t.resumed = true
+	owner := h.rt.threads[t.owner]
+	h.rt.resume[t.owner] = append(h.rt.resume[t.owner], t)
+	if !owner.blocked {
+		if owner.idle {
+			owner.idle = false
+			owner.thread.Wake()
+		}
+	}
+}
+
+// Stranded reports whether the task's owner was blocked away.
+func (h *TiedHandle) Stranded() bool { return h.task.stranded }
+
+// BlockThreads parks the first n team threads (external thread
+// control, like the agent shrinking the application). In unsafe mode,
+// threads hosting suspended tied tasks are parked anyway and their
+// tasks become stranded; in safe mode the block is deferred until the
+// tasks complete.
+func (rt *Runtime) BlockThreads(n int) {
+	for i := 0; i < n && i < len(rt.threads); i++ {
+		t := rt.threads[i]
+		if t.hosting > 0 && rt.cfg.SafeTiedSuspension {
+			t.pending = true // defer: "not suspending tied tasks"
+			continue
+		}
+		t.blocked = true
+		if t.hosting > 0 {
+			// Unsafe: every incomplete suspended tied task owned here
+			// is stranded — its phase 2 can never run.
+			for _, task := range rt.suspendedIndex[t.idx] {
+				if !task.done && !task.stranded {
+					task.stranded = true
+					rt.stranded++
+				}
+			}
+		}
+	}
+}
+
+// UnblockThreads resumes all externally parked threads.
+func (rt *Runtime) UnblockThreads() {
+	for _, t := range rt.threads {
+		t.blocked = false
+		t.pending = false
+		if t.idle {
+			t.idle = false
+		}
+		t.thread.Wake()
+	}
+}
+
+func (rt *Runtime) wakeAll() {
+	for _, t := range rt.threads {
+		if t.idle && !t.blocked {
+			t.idle = false
+			t.thread.Wake()
+		}
+	}
+}
+
+// Next implements osched.Runner for a team thread.
+func (t *ompThread) Next(*osched.Thread) osched.Work {
+	rt := t.rt
+	t.idle = false
+	if t.blocked {
+		return osched.Work{Kind: osched.WorkBlock}
+	}
+	// 1. Resume a released tied task owned by this thread.
+	if q := rt.resume[t.idx]; len(q) > 0 {
+		task := q[0]
+		rt.resume[t.idx] = q[1:]
+		return osched.Work{
+			Kind: osched.WorkCompute, GFlop: task.phase2, AI: task.ai,
+			MemNode: osched.LocalNode,
+			OnDone: func() {
+				t.hosting--
+				task.done = true
+				rt.completed++
+				if task.onDone != nil {
+					task.onDone()
+				}
+				rt.maybeApplyDeferredBlock(t)
+			},
+		}
+	}
+	// 2. Start a queued tied task's phase 1.
+	if len(rt.tiedQueue) > 0 {
+		task := rt.tiedQueue[0]
+		rt.tiedQueue = rt.tiedQueue[1:]
+		return osched.Work{
+			Kind: osched.WorkCompute, GFlop: task.phase1, AI: task.ai,
+			MemNode: osched.LocalNode,
+			OnDone: func() {
+				task.owner = t.idx
+				t.hosting++
+				rt.trackSuspended(t.idx, task)
+				if task.resumed {
+					// Released before phase 1 ended: resume at once.
+					rt.resume[t.idx] = append(rt.resume[t.idx], task)
+				}
+			},
+		}
+	}
+	// 3. Loop iterations.
+	if len(rt.loops) > 0 {
+		lw := rt.loops[0]
+		if iters, gflop := lw.take(t.idx); iters > 0 {
+			return osched.Work{
+				Kind: osched.WorkCompute, GFlop: gflop, AI: lw.ai,
+				MemNode: osched.LocalNode,
+				OnDone: func() {
+					lw.remaining -= iters
+					if lw.remaining == 0 {
+						rt.loops = rt.loops[1:]
+						if lw.onDone != nil {
+							lw.onDone()
+						}
+						rt.wakeAll() // next region, if any
+					}
+				},
+			}
+		}
+		// This thread's share is exhausted (static) or the counter is
+		// drained (dynamic); park until the region completes.
+	}
+	t.idle = true
+	return osched.Work{Kind: osched.WorkBlock}
+}
+
+// take claims the next batch of iterations for a thread, returning the
+// count and total work.
+func (lw *loopWork) take(thread int) (int, float64) {
+	switch lw.sched {
+	case Static:
+		if thread >= len(lw.static) {
+			return 0, 0
+		}
+		start, end := lw.static[thread], lw.staticEnd[thread]
+		if start >= end {
+			return 0, 0
+		}
+		n := lw.chunk
+		if start+n > end {
+			n = end - start
+		}
+		lw.static[thread] = start + n
+		return n, float64(n) * lw.gflop
+	default:
+		if lw.next >= lw.n {
+			return 0, 0
+		}
+		n := lw.chunk
+		if lw.next+n > lw.n {
+			n = lw.n - lw.next
+		}
+		lw.next += n
+		return n, float64(n) * lw.gflop
+	}
+}
+
+// maybeApplyDeferredBlock parks the thread if a safe-mode block was
+// deferred and no tied work remains on it.
+func (rt *Runtime) maybeApplyDeferredBlock(t *ompThread) {
+	if t.pending && t.hosting == 0 {
+		t.pending = false
+		t.blocked = true
+	}
+}
+
+// trackSuspended records a suspended tied task for strand accounting.
+func (rt *Runtime) trackSuspended(owner int, task *tiedTask) {
+	if rt.suspendedIndex == nil {
+		rt.suspendedIndex = make(map[int][]*tiedTask)
+	}
+	rt.suspendedIndex[owner] = append(rt.suspendedIndex[owner], task)
+}

@@ -1,0 +1,195 @@
+package omp
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/des"
+	"repro/internal/machine"
+	"repro/internal/osched"
+)
+
+func newSim(m *machine.Machine) (*des.Engine, *osched.OS) {
+	eng := des.NewEngine(1)
+	o := osched.New(eng, osched.Config{
+		Machine:           m,
+		ContextSwitchCost: -1,
+		MigrationPenalty:  -1,
+		LoadBalancePeriod: -1,
+	})
+	o.Start()
+	return eng, o
+}
+
+func TestParallelForStaticCompletes(t *testing.T) {
+	m := machine.PaperModel()
+	eng, o := newSim(m)
+	rt := New(o, Config{Name: "omp"})
+	var doneAt des.Time
+	rt.ParallelFor(320, Static, 1, 0.01, 0, func() { doneAt = eng.Now() })
+	eng.RunUntil(5)
+	if doneAt == 0 {
+		t.Fatal("loop never finished")
+	}
+	// 320 iterations x 0.01 GFlop over 32 threads at 10 GFLOPS:
+	// 10 iterations each = 0.1 GFlop = 10 ms.
+	if doneAt > 0.02 {
+		t.Errorf("static loop took %v, want ~0.011 s", doneAt)
+	}
+	if math.Abs(rt.Process().GFlopDone()-3.2) > 1e-6 {
+		t.Errorf("GFlopDone = %v, want 3.2", rt.Process().GFlopDone())
+	}
+}
+
+func TestParallelForDynamicCompletes(t *testing.T) {
+	m := machine.PaperModel()
+	eng, o := newSim(m)
+	rt := New(o, Config{Name: "omp"})
+	done := 0
+	rt.ParallelFor(500, Dynamic, 7, 0.005, 0.5, func() { done++ })
+	rt.ParallelFor(100, Dynamic, 1, 0.005, 0.5, func() { done++ }) // queued region
+	eng.RunUntil(5)
+	if done != 2 {
+		t.Fatalf("regions done = %d, want 2", done)
+	}
+}
+
+// TestStaticVsDynamicUnderThreadLoss is the Section IV point: with half
+// the team blocked, a statically-scheduled loop stalls on the blocked
+// threads' pre-assigned iterations, while dynamic scheduling lets the
+// surviving threads take over.
+func TestStaticVsDynamicUnderThreadLoss(t *testing.T) {
+	run := func(sched Schedule) des.Time {
+		m := machine.PaperModel()
+		eng, o := newSim(m)
+		rt := New(o, Config{Name: "omp"})
+		rt.BlockThreads(16) // an agent took half the threads' cores
+		var doneAt des.Time
+		rt.ParallelFor(320, sched, 1, 0.01, 0, func() { doneAt = eng.Now() })
+		eng.RunUntil(60)
+		return doneAt
+	}
+	staticAt := run(Static)
+	dynamicAt := run(Dynamic)
+	if staticAt == 0 {
+		// Static never finishes: blocked threads own unstarted chunks.
+		t.Log("static loop stalls entirely with blocked threads (expected)")
+	} else if float64(staticAt) < 1.8*float64(dynamicAt) {
+		t.Errorf("static %v should be much slower than dynamic %v", staticAt, dynamicAt)
+	}
+	if dynamicAt == 0 {
+		t.Fatal("dynamic loop must finish")
+	}
+	// Dynamic on 16 threads: 320 x 0.01 GFlop / 16 = 0.2 GFlop each = 20 ms.
+	if dynamicAt > 0.04 {
+		t.Errorf("dynamic with 16 threads took %v, want ~0.021 s", dynamicAt)
+	}
+}
+
+// TestTiedTaskStranding is the paper's tied-task hazard: blocking the
+// owner thread of a suspended tied task strands it (unsafe mode).
+func TestTiedTaskStranding(t *testing.T) {
+	m := machine.PaperModel()
+	eng, o := newSim(m)
+	rt := New(o, Config{Name: "omp", Threads: 4})
+	done := false
+	h := rt.SubmitTied(0.01, 0.01, 0, func() { done = true })
+	eng.RunUntil(0.1) // phase 1 completes, task suspends
+	rt.BlockThreads(4)
+	eng.RunUntil(0.2)
+	h.Release()
+	eng.RunUntil(1)
+	if done {
+		t.Fatal("stranded task completed?")
+	}
+	if !h.Stranded() || rt.StrandedTasks() != 1 {
+		t.Errorf("stranded=%v count=%d, want true/1", h.Stranded(), rt.StrandedTasks())
+	}
+}
+
+// TestSafeTiedSuspension is the paper's fix ("solved by not suspending
+// tied tasks"): the block on the owner thread is deferred until the
+// tied task finishes, and applied afterwards.
+func TestSafeTiedSuspension(t *testing.T) {
+	m := machine.PaperModel()
+	eng, o := newSim(m)
+	rt := New(o, Config{Name: "omp", Threads: 4, SafeTiedSuspension: true})
+	done := false
+	h := rt.SubmitTied(0.01, 0.01, 0, func() { done = true })
+	eng.RunUntil(0.1)
+	rt.BlockThreads(4)
+	eng.RunUntil(0.2)
+	h.Release()
+	eng.RunUntil(1)
+	if !done {
+		t.Fatal("tied task did not complete in safe mode")
+	}
+	if rt.StrandedTasks() != 0 {
+		t.Errorf("stranded = %d, want 0", rt.StrandedTasks())
+	}
+	if rt.CompletedTasks() != 1 {
+		t.Errorf("completed = %d, want 1", rt.CompletedTasks())
+	}
+	// The deferred block eventually applied: a new loop makes no
+	// progress on the blocked team.
+	progressed := false
+	rt.ParallelFor(4, Dynamic, 1, 0.01, 0, func() { progressed = true })
+	eng.RunUntil(2)
+	if progressed {
+		t.Error("blocked team should not run new regions")
+	}
+	rt.UnblockThreads()
+	eng.RunUntil(3)
+	if !progressed {
+		t.Error("unblocked team should finish the region")
+	}
+}
+
+func TestReleaseBeforePhase1Ends(t *testing.T) {
+	m := machine.PaperModel()
+	eng, o := newSim(m)
+	rt := New(o, Config{Name: "omp", Threads: 2})
+	done := false
+	h := rt.SubmitTied(0.5, 0.01, 0, func() { done = true }) // phase 1: 50 ms
+	h.Release()                                              // released immediately
+	eng.RunUntil(1)
+	if !done {
+		t.Error("early-released tied task should run straight through")
+	}
+}
+
+func TestUnblockRestoresLoops(t *testing.T) {
+	m := machine.PaperModel()
+	eng, o := newSim(m)
+	rt := New(o, Config{Name: "omp"})
+	rt.BlockThreads(32)
+	var doneAt des.Time
+	rt.ParallelFor(32, Dynamic, 1, 0.01, 0, func() { doneAt = eng.Now() })
+	eng.RunUntil(0.5)
+	if doneAt != 0 {
+		t.Fatal("fully blocked team made progress")
+	}
+	rt.UnblockThreads()
+	eng.RunUntil(1)
+	if doneAt == 0 {
+		t.Fatal("loop did not finish after unblock")
+	}
+}
+
+func TestValidationAndAccessors(t *testing.T) {
+	m := machine.PaperModel()
+	_, o := newSim(m)
+	rt := New(o, Config{Name: "omp", Threads: 6})
+	if rt.Threads() != 6 {
+		t.Errorf("Threads = %d", rt.Threads())
+	}
+	if Static.String() != "static" || Dynamic.String() != "dynamic" {
+		t.Error("schedule names wrong")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for bad loop")
+		}
+	}()
+	rt.ParallelFor(0, Static, 1, 1, 0, nil)
+}

@@ -1,0 +1,150 @@
+package osched
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/machine"
+)
+
+// CoreSet is an affinity mask over the machine's cores, analogous to a
+// Linux cpu_set_t. The zero value is the empty set.
+type CoreSet struct {
+	bits []uint64
+}
+
+// NewCoreSet returns an empty set sized for n cores.
+func NewCoreSet(n int) CoreSet {
+	return CoreSet{bits: make([]uint64, (n+63)/64)}
+}
+
+// AllCores returns the set containing every core of the machine.
+func AllCores(m *machine.Machine) CoreSet {
+	s := NewCoreSet(m.TotalCores())
+	for i := 0; i < m.TotalCores(); i++ {
+		s.Add(machine.CoreID(i))
+	}
+	return s
+}
+
+// NodeCores returns the set of cores on one NUMA node.
+func NodeCores(m *machine.Machine, n machine.NodeID) CoreSet {
+	s := NewCoreSet(m.TotalCores())
+	for _, c := range m.CoresOfNode(n) {
+		s.Add(c)
+	}
+	return s
+}
+
+// SingleCore returns a set containing only core c.
+func SingleCore(m *machine.Machine, c machine.CoreID) CoreSet {
+	s := NewCoreSet(m.TotalCores())
+	s.Add(c)
+	return s
+}
+
+// Add inserts a core into the set, growing the mask if needed.
+func (s *CoreSet) Add(c machine.CoreID) {
+	w := int(c) / 64
+	for w >= len(s.bits) {
+		s.bits = append(s.bits, 0)
+	}
+	s.bits[w] |= 1 << (uint(c) % 64)
+}
+
+// Remove deletes a core from the set.
+func (s *CoreSet) Remove(c machine.CoreID) {
+	w := int(c) / 64
+	if w < len(s.bits) {
+		s.bits[w] &^= 1 << (uint(c) % 64)
+	}
+}
+
+// Contains reports whether the set includes core c.
+func (s CoreSet) Contains(c machine.CoreID) bool {
+	w := int(c) / 64
+	return w < len(s.bits) && s.bits[w]&(1<<(uint(c)%64)) != 0
+}
+
+// Empty reports whether the set has no cores.
+func (s CoreSet) Empty() bool {
+	for _, b := range s.bits {
+		if b != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Count returns the number of cores in the set.
+func (s CoreSet) Count() int {
+	n := 0
+	for _, b := range s.bits {
+		for ; b != 0; b &= b - 1 {
+			n++
+		}
+	}
+	return n
+}
+
+// Clone returns an independent copy.
+func (s CoreSet) Clone() CoreSet {
+	return CoreSet{bits: append([]uint64(nil), s.bits...)}
+}
+
+// Union returns the union of s and t.
+func (s CoreSet) Union(t CoreSet) CoreSet {
+	n := len(s.bits)
+	if len(t.bits) > n {
+		n = len(t.bits)
+	}
+	u := CoreSet{bits: make([]uint64, n)}
+	for i := range u.bits {
+		if i < len(s.bits) {
+			u.bits[i] |= s.bits[i]
+		}
+		if i < len(t.bits) {
+			u.bits[i] |= t.bits[i]
+		}
+	}
+	return u
+}
+
+// Intersect returns the intersection of s and t.
+func (s CoreSet) Intersect(t CoreSet) CoreSet {
+	n := len(s.bits)
+	if len(t.bits) < n {
+		n = len(t.bits)
+	}
+	u := CoreSet{bits: make([]uint64, n)}
+	for i := range u.bits {
+		u.bits[i] = s.bits[i] & t.bits[i]
+	}
+	return u
+}
+
+// Cores lists the members in ascending order.
+func (s CoreSet) Cores() []machine.CoreID {
+	var out []machine.CoreID
+	for w, b := range s.bits {
+		for b != 0 {
+			bit := b & -b
+			idx := 0
+			for m := bit; m > 1; m >>= 1 {
+				idx++
+			}
+			out = append(out, machine.CoreID(w*64+idx))
+			b &= b - 1
+		}
+	}
+	return out
+}
+
+// String renders the set like "cores{0,1,5}".
+func (s CoreSet) String() string {
+	var parts []string
+	for _, c := range s.Cores() {
+		parts = append(parts, fmt.Sprintf("%d", c))
+	}
+	return "cores{" + strings.Join(parts, ",") + "}"
+}

@@ -1,0 +1,100 @@
+package osched
+
+import (
+	"testing"
+
+	"repro/internal/machine"
+)
+
+func TestCoreSetBasics(t *testing.T) {
+	s := NewCoreSet(128)
+	if !s.Empty() || s.Count() != 0 {
+		t.Error("new set should be empty")
+	}
+	s.Add(0)
+	s.Add(63)
+	s.Add(64)
+	s.Add(127)
+	if s.Count() != 4 {
+		t.Errorf("Count = %d, want 4", s.Count())
+	}
+	for _, c := range []machine.CoreID{0, 63, 64, 127} {
+		if !s.Contains(c) {
+			t.Errorf("Contains(%d) = false", c)
+		}
+	}
+	if s.Contains(1) || s.Contains(65) {
+		t.Error("unexpected membership")
+	}
+	s.Remove(63)
+	if s.Contains(63) || s.Count() != 3 {
+		t.Error("Remove failed")
+	}
+	s.Remove(200) // out of range, no-op
+}
+
+func TestCoreSetGrows(t *testing.T) {
+	var s CoreSet
+	s.Add(100)
+	if !s.Contains(100) {
+		t.Error("Add beyond capacity should grow")
+	}
+}
+
+func TestCoreSetCores(t *testing.T) {
+	s := NewCoreSet(70)
+	s.Add(5)
+	s.Add(0)
+	s.Add(65)
+	got := s.Cores()
+	want := []machine.CoreID{0, 5, 65}
+	if len(got) != len(want) {
+		t.Fatalf("Cores = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("Cores[%d] = %d, want %d", i, got[i], want[i])
+		}
+	}
+	if s.String() != "cores{0,5,65}" {
+		t.Errorf("String = %q", s.String())
+	}
+}
+
+func TestCoreSetSetOps(t *testing.T) {
+	a := NewCoreSet(16)
+	b := NewCoreSet(16)
+	a.Add(1)
+	a.Add(2)
+	b.Add(2)
+	b.Add(3)
+	u := a.Union(b)
+	if u.Count() != 3 || !u.Contains(1) || !u.Contains(2) || !u.Contains(3) {
+		t.Errorf("Union wrong: %v", u)
+	}
+	i := a.Intersect(b)
+	if i.Count() != 1 || !i.Contains(2) {
+		t.Errorf("Intersect wrong: %v", i)
+	}
+	cp := a.Clone()
+	cp.Add(9)
+	if a.Contains(9) {
+		t.Error("Clone shares storage")
+	}
+}
+
+func TestMachineSets(t *testing.T) {
+	m := machine.PaperModel()
+	all := AllCores(m)
+	if all.Count() != 32 {
+		t.Errorf("AllCores count = %d, want 32", all.Count())
+	}
+	n1 := NodeCores(m, 1)
+	if n1.Count() != 8 || !n1.Contains(8) || !n1.Contains(15) || n1.Contains(7) || n1.Contains(16) {
+		t.Errorf("NodeCores(1) wrong: %v", n1)
+	}
+	s := SingleCore(m, 5)
+	if s.Count() != 1 || !s.Contains(5) {
+		t.Errorf("SingleCore wrong: %v", s)
+	}
+}

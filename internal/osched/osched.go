@@ -1,0 +1,721 @@
+// Package osched simulates an operating-system CPU scheduler on a NUMA
+// machine, standing in for the Linux scheduler the paper relies on.
+//
+// Threads are placed on per-core run queues respecting affinity masks.
+// Every scheduling quantum each core runs the next thread in its queue
+// (round-robin under over-subscription), the memory arbiter splits
+// bandwidth among the running threads, and every thread advances through
+// its work items at the resulting compute rate. Context switches and
+// cross-core migrations cost a configurable slice of the quantum, which
+// reproduces the paper's observations: over-subscription adds overhead
+// and hurts cache locality, while a one-thread-per-core regime lets
+// threads run undisturbed on the same core for long stretches.
+//
+// The simulation is driven by a des.Engine and is fully deterministic.
+package osched
+
+import (
+	"fmt"
+
+	"repro/internal/des"
+	"repro/internal/machine"
+	"repro/internal/memsim"
+)
+
+// WorkKind selects what a work item does.
+type WorkKind int
+
+const (
+	// WorkCompute executes GFlop floating-point work with arithmetic
+	// intensity AI against MemNode's memory.
+	WorkCompute WorkKind = iota
+	// WorkSleep keeps the thread off the CPU for Duration.
+	WorkSleep
+	// WorkBlock parks the thread until Thread.Wake is called.
+	WorkBlock
+	// WorkExit terminates the thread.
+	WorkExit
+)
+
+// LocalNode as Work.MemNode means "the node of whatever core executes
+// the work" — a NUMA-perfect access pattern.
+const LocalNode machine.NodeID = -1
+
+// Work is one item of simulated execution.
+type Work struct {
+	Kind WorkKind
+	// GFlop is the compute volume (WorkCompute).
+	GFlop float64
+	// AI is arithmetic intensity in FLOP/byte. AI <= 0 means the work
+	// is compute-only and produces no memory traffic.
+	AI float64
+	// MemNode is the memory node accessed (WorkCompute); LocalNode
+	// means the executing core's own node.
+	MemNode machine.NodeID
+	// Duration is the sleep length (WorkSleep).
+	Duration des.Time
+	// OnDone runs when the item completes (WorkCompute/WorkSleep).
+	OnDone func()
+}
+
+// Runner supplies work items to a thread. Next is called when the
+// thread needs a new item: at start, after completing an item, and
+// after being woken from a block.
+type Runner interface {
+	Next(t *Thread) Work
+}
+
+// RunnerFunc adapts a function to the Runner interface.
+type RunnerFunc func(t *Thread) Work
+
+// Next implements Runner.
+func (f RunnerFunc) Next(t *Thread) Work { return f(t) }
+
+// ThreadState is a thread's scheduling state.
+type ThreadState int
+
+const (
+	// Ready threads sit on a run queue waiting for their quantum.
+	Ready ThreadState = iota
+	// Blocked threads wait for Wake.
+	Blocked
+	// Sleeping threads wait for a timer.
+	Sleeping
+	// Done threads have exited.
+	Done
+)
+
+// String names the state.
+func (s ThreadState) String() string {
+	switch s {
+	case Ready:
+		return "ready"
+	case Blocked:
+		return "blocked"
+	case Sleeping:
+		return "sleeping"
+	case Done:
+		return "done"
+	default:
+		return fmt.Sprintf("state(%d)", int(s))
+	}
+}
+
+// Config tunes the simulated OS.
+type Config struct {
+	// Machine is the NUMA machine; required.
+	Machine *machine.Machine
+	// Quantum is the scheduling and bandwidth-arbitration period.
+	// Default 1 ms.
+	Quantum des.Time
+	// ContextSwitchCost is compute time lost by the incoming thread
+	// when a core switches threads. Default 5 µs; negative means zero.
+	ContextSwitchCost des.Time
+	// MigrationPenalty is extra time lost the first quantum after a
+	// thread moves to a different core (cold caches). Default 50 µs;
+	// negative means zero.
+	MigrationPenalty des.Time
+	// LoadBalancePeriod is how often queues are rebalanced within
+	// affinity masks. Default 10 ms; negative disables balancing.
+	LoadBalancePeriod des.Time
+	// RemoteEfficiency is passed to the memory arbiter (see memsim).
+	// Default 1.
+	RemoteEfficiency float64
+	// ContentionEfficiency is passed to the memory arbiter (see
+	// memsim): effective bandwidth factor under over-demand. Default 1.
+	ContentionEfficiency float64
+}
+
+func (c *Config) fillDefaults() {
+	if c.Quantum <= 0 {
+		c.Quantum = des.Millisecond
+	}
+	if c.ContextSwitchCost < 0 {
+		c.ContextSwitchCost = 0
+	} else if c.ContextSwitchCost == 0 {
+		c.ContextSwitchCost = 5 * des.Microsecond
+	}
+	if c.MigrationPenalty < 0 {
+		c.MigrationPenalty = 0
+	} else if c.MigrationPenalty == 0 {
+		c.MigrationPenalty = 50 * des.Microsecond
+	}
+	if c.LoadBalancePeriod == 0 {
+		c.LoadBalancePeriod = 10 * des.Millisecond
+	}
+}
+
+// Thread is a simulated OS thread.
+type Thread struct {
+	os       *OS
+	proc     *Process
+	id       int
+	name     string
+	state    ThreadState
+	affinity CoreSet
+	runner   Runner
+
+	queueCore machine.CoreID // home run queue while Ready
+	lastCore  machine.CoreID // last core that executed the thread
+	hasRun    bool
+
+	work     Work
+	haveWork bool
+	remain   float64 // GFlop left in current compute item
+
+	busySeconds float64
+	gflopDone   float64
+	gbMoved     float64
+	priority    int
+	switches    uint64 // context switches experienced
+	migrations  uint64 // cross-core moves
+	wakeEvent   *des.Event
+
+	// per-quantum scratch
+	effTime    float64 // effective compute time this quantum
+	runCore    *core   // core executing the thread this quantum
+	arbitrated bool    // current compute item took part in arbitration
+}
+
+// ID returns the thread's OS-wide id.
+func (t *Thread) ID() int { return t.id }
+
+// Name returns the thread's label.
+func (t *Thread) Name() string { return t.name }
+
+// State returns the scheduling state.
+func (t *Thread) State() ThreadState { return t.state }
+
+// Process returns the owning process.
+func (t *Thread) Process() *Process { return t.proc }
+
+// Affinity returns a copy of the affinity mask.
+func (t *Thread) Affinity() CoreSet { return t.affinity.Clone() }
+
+// LastCore returns the core that last executed the thread and whether
+// it ever ran.
+func (t *Thread) LastCore() (machine.CoreID, bool) { return t.lastCore, t.hasRun }
+
+// BusySeconds returns total CPU time consumed.
+func (t *Thread) BusySeconds() float64 { return t.busySeconds }
+
+// GFlopDone returns total compute work completed.
+func (t *Thread) GFlopDone() float64 { return t.gflopDone }
+
+// GBMoved returns total memory traffic generated (GFlop / AI summed
+// over memory-bound work).
+func (t *Thread) GBMoved() float64 { return t.gbMoved }
+
+// Priority returns the scheduling priority (0 is normal; higher wins).
+func (t *Thread) Priority() int { return t.priority }
+
+// SetPriority changes the scheduling priority, like setpriority(2):
+// on every quantum a core runs the highest-priority thread in its
+// queue, round-robin among equals; lower-priority threads starve while
+// higher ones are runnable (the Section IV lever for keeping
+// non-worker threads out of the workers' way).
+func (t *Thread) SetPriority(p int) { t.priority = p }
+
+// Switches returns the number of context switches the thread absorbed.
+func (t *Thread) Switches() uint64 { return t.switches }
+
+// Migrations returns the number of cross-core moves.
+func (t *Thread) Migrations() uint64 { return t.migrations }
+
+// Process groups threads for accounting, like an OS process.
+type Process struct {
+	os      *OS
+	id      int
+	name    string
+	threads []*Thread
+
+	busySeconds float64
+	gflopDone   float64
+	gbMoved     float64
+}
+
+// ID returns the process id.
+func (p *Process) ID() int { return p.id }
+
+// Name returns the process label.
+func (p *Process) Name() string { return p.name }
+
+// Threads returns the process's threads.
+func (p *Process) Threads() []*Thread { return append([]*Thread(nil), p.threads...) }
+
+// BusySeconds returns total CPU time consumed by all threads.
+func (p *Process) BusySeconds() float64 { return p.busySeconds }
+
+// GFlopDone returns total compute work completed by all threads.
+func (p *Process) GFlopDone() float64 { return p.gflopDone }
+
+// GBMoved returns total memory traffic generated by all threads.
+func (p *Process) GBMoved() float64 { return p.gbMoved }
+
+type core struct {
+	id      machine.CoreID
+	node    machine.NodeID
+	queue   []*Thread // ready threads homed here; queue[0] runs next
+	last    *Thread   // thread that ran the previous quantum
+	busy    float64   // seconds spent computing
+	quantaN uint64
+}
+
+// OS is the simulated operating system.
+type OS struct {
+	eng   *des.Engine
+	cfg   Config
+	m     *machine.Machine
+	arb   *memsim.Arbiter
+	cores []*core
+	procs []*Process
+
+	nextThreadID int
+	started      bool
+	stopTicker   func()
+
+	// scratch
+	running []*Thread
+	reqs    []memsim.Request
+	reqIdx  []int
+}
+
+// New creates a simulated OS on the engine. It panics if the machine is
+// missing or invalid.
+func New(eng *des.Engine, cfg Config) *OS {
+	if cfg.Machine == nil {
+		panic("osched: Config.Machine is required")
+	}
+	if err := cfg.Machine.Validate(); err != nil {
+		panic("osched: " + err.Error())
+	}
+	cfg.fillDefaults()
+	o := &OS{eng: eng, cfg: cfg, m: cfg.Machine}
+	o.arb = memsim.NewArbiter(cfg.Machine, cfg.RemoteEfficiency)
+	if cfg.ContentionEfficiency > 0 && cfg.ContentionEfficiency <= 1 {
+		o.arb.ContentionEfficiency = cfg.ContentionEfficiency
+	}
+	for i := 0; i < cfg.Machine.TotalCores(); i++ {
+		c := machine.CoreID(i)
+		o.cores = append(o.cores, &core{id: c, node: cfg.Machine.NodeOfCore(c)})
+	}
+	return o
+}
+
+// Engine returns the driving simulation engine.
+func (o *OS) Engine() *des.Engine { return o.eng }
+
+// Machine returns the simulated machine.
+func (o *OS) Machine() *machine.Machine { return o.m }
+
+// Quantum returns the scheduling quantum.
+func (o *OS) Quantum() des.Time { return o.cfg.Quantum }
+
+// Arbiter exposes the memory arbiter (for statistics).
+func (o *OS) Arbiter() *memsim.Arbiter { return o.arb }
+
+// Start begins the scheduling loop. Safe to call once; subsequent calls
+// are no-ops.
+func (o *OS) Start() {
+	if o.started {
+		return
+	}
+	o.started = true
+	o.stopTicker = o.eng.Ticker(o.cfg.Quantum, func(des.Time) { o.tick() })
+	if o.cfg.LoadBalancePeriod > 0 {
+		o.eng.Ticker(o.cfg.LoadBalancePeriod, func(des.Time) { o.loadBalance() })
+	}
+}
+
+// Stop halts the scheduling loop.
+func (o *OS) Stop() {
+	if o.stopTicker != nil {
+		o.stopTicker()
+		o.stopTicker = nil
+		o.started = false
+	}
+}
+
+// NewProcess registers a process.
+func (o *OS) NewProcess(name string) *Process {
+	p := &Process{os: o, id: len(o.procs), name: name}
+	o.procs = append(o.procs, p)
+	return p
+}
+
+// Processes returns all registered processes.
+func (o *OS) Processes() []*Process { return append([]*Process(nil), o.procs...) }
+
+// NewThread creates a thread in the process with the given runner and
+// affinity and enqueues it. An empty affinity means all cores.
+func (p *Process) NewThread(name string, r Runner, affinity CoreSet) *Thread {
+	o := p.os
+	if r == nil {
+		panic("osched: nil runner")
+	}
+	if affinity.Empty() {
+		affinity = AllCores(o.m)
+	}
+	t := &Thread{
+		os:       o,
+		proc:     p,
+		id:       o.nextThreadID,
+		name:     name,
+		state:    Ready,
+		affinity: affinity.Clone(),
+		runner:   r,
+	}
+	o.nextThreadID++
+	p.threads = append(p.threads, t)
+	o.enqueue(t)
+	return t
+}
+
+// enqueue places a ready thread on the least-loaded allowed core,
+// preferring its last core when allowed (cache affinity).
+func (o *OS) enqueue(t *Thread) {
+	if t.hasRun && t.affinity.Contains(t.lastCore) {
+		last := o.cores[t.lastCore]
+		if len(last.queue) == 0 {
+			last.queue = append(last.queue, t)
+			t.queueCore = last.id
+			return
+		}
+	}
+	var best *core
+	for _, c := range o.cores {
+		if !t.affinity.Contains(c.id) {
+			continue
+		}
+		if best == nil || len(c.queue) < len(best.queue) {
+			best = c
+		}
+	}
+	if best == nil {
+		panic(fmt.Sprintf("osched: thread %q has affinity %v matching no core", t.name, t.affinity))
+	}
+	best.queue = append(best.queue, t)
+	t.queueCore = best.id
+}
+
+func (o *OS) dequeue(t *Thread) {
+	q := o.cores[t.queueCore].queue
+	for i, x := range q {
+		if x == t {
+			o.cores[t.queueCore].queue = append(q[:i], q[i+1:]...)
+			return
+		}
+	}
+}
+
+// Wake makes a blocked thread ready. If the thread decided to block
+// this very quantum but the block has not been processed yet (it is
+// still Ready with a pending WorkBlock item), the pending block is
+// cancelled instead — without this, a wake-up arriving between the
+// block decision and its execution would be lost forever. Waking a
+// thread in any other state is a no-op, like signalling a condition
+// variable nobody waits on.
+func (t *Thread) Wake() {
+	if t.state == Blocked {
+		t.state = Ready
+		t.haveWork = false // ask the runner for fresh work
+		t.os.enqueue(t)
+		return
+	}
+	if t.state == Ready && t.haveWork && t.work.Kind == WorkBlock {
+		t.haveWork = false // cancel the not-yet-processed block
+	}
+}
+
+// SetAffinity changes the allowed cores. A ready thread on a
+// now-forbidden core is re-queued immediately. Panics on an empty mask.
+func (t *Thread) SetAffinity(mask CoreSet) {
+	if mask.Empty() {
+		panic("osched: empty affinity mask")
+	}
+	t.affinity = mask.Clone()
+	if t.state == Ready && !mask.Contains(t.queueCore) {
+		t.os.dequeue(t)
+		t.os.enqueue(t)
+	}
+}
+
+// tick advances one scheduling quantum.
+func (o *OS) tick() {
+	dt := float64(o.cfg.Quantum)
+
+	// 1. Pick the running thread per core: the highest-priority thread
+	// in the queue, round-robin among equals (the chosen thread moves
+	// to the tail).
+	o.running = o.running[:0]
+	for _, c := range o.cores {
+		if len(c.queue) == 0 {
+			c.last = nil
+			continue
+		}
+		idx := 0
+		for k := 1; k < len(c.queue); k++ {
+			if c.queue[k].priority > c.queue[idx].priority {
+				idx = k
+			}
+		}
+		t := c.queue[idx]
+		if len(c.queue) > 1 {
+			copy(c.queue[idx:], c.queue[idx+1:])
+			c.queue[len(c.queue)-1] = t
+		}
+		o.running = append(o.running, t)
+		// Effective compute time after switch/migration costs.
+		eff := dt
+		if c.last != nil && c.last != t {
+			eff -= float64(o.cfg.ContextSwitchCost)
+			t.switches++
+		}
+		if t.hasRun && t.lastCore != c.id {
+			eff -= float64(o.cfg.MigrationPenalty)
+			t.migrations++
+		}
+		if eff < 0 {
+			eff = 0
+		}
+		t.runQuantum(c, eff)
+		c.last = t
+		t.lastCore = c.id
+		t.hasRun = true
+		c.quantaN++
+	}
+
+	// 2. Arbitrate memory among running compute threads.
+	o.reqs = o.reqs[:0]
+	o.reqIdx = o.reqIdx[:0]
+	for i, t := range o.running {
+		if !t.haveWork || t.work.Kind != WorkCompute || t.work.AI <= 0 {
+			continue
+		}
+		node := t.work.MemNode
+		if node == LocalNode {
+			node = o.m.NodeOfCore(t.lastCore)
+		}
+		peak := o.m.Nodes[o.m.NodeOfCore(t.lastCore)].PeakGFLOPS
+		o.reqs = append(o.reqs, memsim.Request{
+			Core:   t.lastCore,
+			Node:   node,
+			Demand: peak / t.work.AI,
+		})
+		o.reqIdx = append(o.reqIdx, i)
+		t.arbitrated = true
+	}
+	grants := o.arb.Arbitrate(o.reqs, dt)
+
+	// 3. Advance every running thread through its work items.
+	rates := make(map[*Thread]float64, len(o.running))
+	for k, gi := range o.reqIdx {
+		t := o.running[gi]
+		peak := o.m.Nodes[o.m.NodeOfCore(t.lastCore)].PeakGFLOPS
+		rate := grants[k].BW * t.work.AI
+		if rate > peak {
+			rate = peak
+		}
+		rates[t] = rate
+	}
+	for _, t := range o.running {
+		o.advance(t, rates[t])
+	}
+}
+
+// runQuantum stores the thread's effective time for this quantum and
+// pulls a work item if the thread has none.
+func (t *Thread) runQuantum(c *core, eff float64) {
+	t.effTime = eff
+	t.runCore = c
+	t.arbitrated = false
+	if !t.haveWork {
+		t.fetchWork()
+	}
+}
+
+// fetchWork pulls items from the runner until it gets something
+// schedulable (compute/sleep/block/exit).
+func (t *Thread) fetchWork() {
+	w := t.runner.Next(t)
+	t.work = w
+	t.haveWork = true
+	switch w.Kind {
+	case WorkCompute:
+		t.remain = w.GFlop
+	case WorkSleep, WorkBlock, WorkExit:
+		// handled by advance
+	default:
+		panic(fmt.Sprintf("osched: unknown work kind %d", w.Kind))
+	}
+}
+
+// advance consumes the thread's effective time at the given compute
+// rate, completing as many work items as fit.
+func (o *OS) advance(t *Thread, rate float64) {
+	timeLeft := t.effTime
+	t.effTime = 0
+	for timeLeft > 1e-15 && t.haveWork {
+		switch t.work.Kind {
+		case WorkCompute:
+			peak := o.m.Nodes[t.runCore.node].PeakGFLOPS
+			r := rate
+			if t.work.AI <= 0 {
+				r = peak // pure compute: no memory constraint
+			} else if !t.arbitrated {
+				// A memory-bound item fetched mid-quantum has no
+				// bandwidth grant yet; it waits for the next quantum's
+				// arbitration (the leftover slice is forfeited, a small
+				// dispatch-latency effect).
+				return
+			}
+			if r <= 0 {
+				// No bandwidth granted this quantum: the thread stalls
+				// (still occupying its core).
+				t.busySeconds += timeLeft
+				t.proc.busySeconds += timeLeft
+				t.runCore.busy += timeLeft
+				return
+			}
+			need := t.remain / r
+			if need > timeLeft {
+				done := r * timeLeft
+				t.remain -= done
+				t.gflopDone += done
+				t.proc.gflopDone += done
+				if t.work.AI > 0 {
+					t.gbMoved += done / t.work.AI
+					t.proc.gbMoved += done / t.work.AI
+				}
+				t.busySeconds += timeLeft
+				t.proc.busySeconds += timeLeft
+				t.runCore.busy += timeLeft
+				return
+			}
+			// Item completes within the quantum.
+			t.gflopDone += t.remain
+			t.proc.gflopDone += t.remain
+			if t.work.AI > 0 {
+				t.gbMoved += t.remain / t.work.AI
+				t.proc.gbMoved += t.remain / t.work.AI
+			}
+			t.busySeconds += need
+			t.proc.busySeconds += need
+			t.runCore.busy += need
+			timeLeft -= need
+			t.remain = 0
+			done := t.work.OnDone
+			t.haveWork = false
+			if done != nil {
+				done()
+			}
+			if t.state != Ready {
+				// OnDone blocked or changed the thread; stop here.
+				return
+			}
+			t.fetchWork()
+		case WorkSleep:
+			d := t.work.Duration
+			onDone := t.work.OnDone
+			t.haveWork = false
+			t.state = Sleeping
+			o.dequeue(t)
+			t.wakeEvent = o.eng.After(d, func() {
+				t.wakeEvent = nil
+				t.state = Ready
+				o.enqueue(t)
+				if onDone != nil {
+					onDone()
+				}
+			})
+			return
+		case WorkBlock:
+			t.haveWork = false
+			t.state = Blocked
+			o.dequeue(t)
+			return
+		case WorkExit:
+			t.haveWork = false
+			t.state = Done
+			o.dequeue(t)
+			return
+		}
+	}
+}
+
+// loadBalance evens out queue lengths within affinity constraints: it
+// repeatedly moves one thread from the longest to the shortest
+// compatible queue while the imbalance exceeds one.
+func (o *OS) loadBalance() {
+	for iter := 0; iter < len(o.cores); iter++ {
+		var longest, shortest *core
+		for _, c := range o.cores {
+			if longest == nil || len(c.queue) > len(longest.queue) {
+				longest = c
+			}
+		}
+		if longest == nil || len(longest.queue) < 2 {
+			return
+		}
+		// Move the tail thread (coldest) if some shorter queue accepts it.
+		var candidate *Thread
+		for i := len(longest.queue) - 1; i >= 0; i-- {
+			t := longest.queue[i]
+			shortest = nil
+			for _, c := range o.cores {
+				if c == longest || !t.affinity.Contains(c.id) {
+					continue
+				}
+				if len(c.queue)+1 >= len(longest.queue) {
+					continue // no improvement
+				}
+				if shortest == nil || len(c.queue) < len(shortest.queue) {
+					shortest = c
+				}
+			}
+			if shortest != nil {
+				candidate = t
+				break
+			}
+		}
+		if candidate == nil {
+			return
+		}
+		o.dequeue(candidate)
+		shortest.queue = append(shortest.queue, candidate)
+		candidate.queueCore = shortest.id
+	}
+}
+
+// CoreLoads returns per-core busy seconds.
+func (o *OS) CoreLoads() []float64 {
+	out := make([]float64, len(o.cores))
+	for i, c := range o.cores {
+		out[i] = c.busy
+	}
+	return out
+}
+
+// QueueLengths returns per-core ready-queue lengths (including the
+// thread that will run next quantum).
+func (o *OS) QueueLengths() []int {
+	out := make([]int, len(o.cores))
+	for i, c := range o.cores {
+		out[i] = len(c.queue)
+	}
+	return out
+}
+
+// Utilization returns machine-wide CPU utilization in [0,1] since the
+// start, given the current simulated time.
+func (o *OS) Utilization() float64 {
+	now := float64(o.eng.Now())
+	if now <= 0 {
+		return 0
+	}
+	total := 0.0
+	for _, c := range o.cores {
+		total += c.busy
+	}
+	return total / (now * float64(len(o.cores)))
+}

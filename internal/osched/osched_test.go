@@ -1,0 +1,546 @@
+package osched
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/des"
+	"repro/internal/machine"
+	"repro/internal/roofline"
+)
+
+// newTestOS builds an OS with zero scheduling costs so results can be
+// compared against the analytic model.
+func newTestOS(m *machine.Machine) (*des.Engine, *OS) {
+	eng := des.NewEngine(1)
+	o := New(eng, Config{
+		Machine:           m,
+		Quantum:           des.Millisecond,
+		ContextSwitchCost: -1,
+		MigrationPenalty:  -1,
+		LoadBalancePeriod: -1,
+	})
+	o.Start()
+	return eng, o
+}
+
+// infiniteCompute returns a runner producing endless compute work.
+func infiniteCompute(ai float64, node machine.NodeID) Runner {
+	return RunnerFunc(func(*Thread) Work {
+		return Work{Kind: WorkCompute, GFlop: 1e12, AI: ai, MemNode: node}
+	})
+}
+
+func TestComputeBoundAtPeak(t *testing.T) {
+	m := machine.PaperModel() // 10 GFLOPS/core
+	eng, o := newTestOS(m)
+	p := o.NewProcess("app")
+	p.NewThread("w", infiniteCompute(0, LocalNode), SingleCore(m, 0))
+	eng.RunUntil(1)
+	// 1 second at 10 GFLOPS.
+	if got := p.GFlopDone(); math.Abs(got-10) > 0.1 {
+		t.Errorf("GFlopDone = %.3f, want ~10", got)
+	}
+	if u := o.Utilization(); u <= 0 {
+		t.Errorf("Utilization = %v, want > 0", u)
+	}
+}
+
+func TestMemoryBoundThrottled(t *testing.T) {
+	// AI=0.5 on a 10 GFLOPS core wants 20 GB/s; alone on a 32 GB/s node
+	// it gets its full demand -> runs at peak 10 GFLOPS.
+	m := machine.PaperModel()
+	eng, o := newTestOS(m)
+	p := o.NewProcess("mem")
+	p.NewThread("w", infiniteCompute(0.5, LocalNode), SingleCore(m, 0))
+	eng.RunUntil(1)
+	if got := p.GFlopDone(); math.Abs(got-10) > 0.1 {
+		t.Errorf("solo memory-bound GFlopDone = %.3f, want ~10", got)
+	}
+
+	// Eight such threads want 160 GB/s total; node provides 32 ->
+	// 4 GB/s each -> 2 GFLOPS each, 16 total.
+	eng2, o2 := newTestOS(m)
+	p2 := o2.NewProcess("mem8")
+	for i := 0; i < 8; i++ {
+		p2.NewThread("w", infiniteCompute(0.5, LocalNode), SingleCore(m, machine.CoreID(i)))
+	}
+	eng2.RunUntil(1)
+	if got := p2.GFlopDone(); math.Abs(got-16) > 0.2 {
+		t.Errorf("8-thread memory-bound GFlopDone = %.3f, want ~16", got)
+	}
+}
+
+// TestTableISimulation cross-validates the full scheduler+arbiter stack
+// against the analytic model on the paper's Table I scenario.
+func TestTableISimulation(t *testing.T) {
+	m := machine.PaperModel()
+	eng, o := newTestOS(m)
+
+	apps := []struct {
+		name    string
+		ai      float64
+		perNode int
+	}{
+		{"mem1", 0.5, 1}, {"mem2", 0.5, 1}, {"mem3", 0.5, 1}, {"comp", 10, 5},
+	}
+	procs := make([]*Process, len(apps))
+	for i, a := range apps {
+		procs[i] = o.NewProcess(a.name)
+	}
+	for node := 0; node < m.NumNodes(); node++ {
+		cores := m.CoresOfNode(machine.NodeID(node))
+		next := 0
+		for i, a := range apps {
+			for k := 0; k < a.perNode; k++ {
+				procs[i].NewThread("w", infiniteCompute(a.ai, LocalNode), SingleCore(m, cores[next]))
+				next++
+			}
+		}
+	}
+	eng.RunUntil(1)
+
+	want := []float64{18, 18, 18, 200} // Table I: 4.5*4, 50*4
+	for i, p := range procs {
+		if got := p.GFlopDone(); math.Abs(got-want[i]) > want[i]*0.02 {
+			t.Errorf("%s: measured %.3f GFLOPS, model %.1f", p.Name(), got, want[i])
+		}
+	}
+}
+
+// TestNUMABadSimulation cross-validates the remote-access path against
+// Table III scenario 4 (even allocation, NUMA-bad app homed on node 0).
+func TestNUMABadSimulation(t *testing.T) {
+	m := machine.SkylakeQuad()
+	eng, o := newTestOS(m)
+
+	mems := make([]*Process, 3)
+	for i := range mems {
+		mems[i] = o.NewProcess("mem")
+	}
+	bad := o.NewProcess("bad")
+	for node := 0; node < m.NumNodes(); node++ {
+		cores := m.CoresOfNode(machine.NodeID(node))
+		next := 0
+		for i := range mems {
+			for k := 0; k < 5; k++ {
+				mems[i].NewThread("w", infiniteCompute(1.0/32, LocalNode), SingleCore(m, cores[next]))
+				next++
+			}
+		}
+		for k := 0; k < 5; k++ {
+			bad.NewThread("w", infiniteCompute(1.0/16, 0), SingleCore(m, cores[next]))
+			next++
+		}
+	}
+	eng.RunUntil(1)
+
+	model := roofline.MustEvaluate(m, []roofline.App{
+		{Name: "m1", AI: 1.0 / 32}, {Name: "m2", AI: 1.0 / 32}, {Name: "m3", AI: 1.0 / 32},
+		{Name: "bad", AI: 1.0 / 16, Placement: roofline.NUMABad, HomeNode: 0},
+	}, roofline.MustPerNodeCounts(m, []int{5, 5, 5, 5}))
+
+	for i, p := range mems {
+		if got, want := p.GFlopDone(), model.AppGFLOPS[i]; math.Abs(got-want) > want*0.02 {
+			t.Errorf("mem%d: measured %.4f, model %.4f", i, got, want)
+		}
+	}
+	if got, want := bad.GFlopDone(), model.AppGFLOPS[3]; math.Abs(got-want) > want*0.02 {
+		t.Errorf("bad: measured %.4f, model %.4f", got, want)
+	}
+}
+
+func TestOversubscriptionSharesCore(t *testing.T) {
+	m := machine.PaperModel()
+	eng := des.NewEngine(1)
+	o := New(eng, Config{Machine: m, ContextSwitchCost: -1, MigrationPenalty: -1, LoadBalancePeriod: -1})
+	o.Start()
+	a := o.NewProcess("a")
+	b := o.NewProcess("b")
+	ta := a.NewThread("wa", infiniteCompute(0, LocalNode), SingleCore(m, 0))
+	tb := b.NewThread("wb", infiniteCompute(0, LocalNode), SingleCore(m, 0))
+	eng.RunUntil(1)
+	// Round-robin: each gets ~half the core, 5 GFLOP each.
+	if got := a.GFlopDone(); math.Abs(got-5) > 0.2 {
+		t.Errorf("a = %.3f, want ~5", got)
+	}
+	if got := b.GFlopDone(); math.Abs(got-5) > 0.2 {
+		t.Errorf("b = %.3f, want ~5", got)
+	}
+	if ta.Switches() == 0 || tb.Switches() == 0 {
+		t.Error("expected context switches under over-subscription")
+	}
+}
+
+func TestContextSwitchCostReducesThroughput(t *testing.T) {
+	m := machine.PaperModel()
+	eng := des.NewEngine(1)
+	o := New(eng, Config{Machine: m, ContextSwitchCost: 100 * des.Microsecond, MigrationPenalty: -1, LoadBalancePeriod: -1})
+	o.Start()
+	a := o.NewProcess("a")
+	a.NewThread("w1", infiniteCompute(0, LocalNode), SingleCore(m, 0))
+	a.NewThread("w2", infiniteCompute(0, LocalNode), SingleCore(m, 0))
+	eng.RunUntil(1)
+	// Each 1ms quantum loses 100µs -> ~10% loss vs the 10 GFLOP ideal.
+	got := a.GFlopDone()
+	if got > 9.2 || got < 8.5 {
+		t.Errorf("oversubscribed with switch cost: %.3f GFLOP, want ~9", got)
+	}
+}
+
+func TestAffinityRespected(t *testing.T) {
+	m := machine.PaperModel()
+	eng, o := newTestOS(m)
+	p := o.NewProcess("a")
+	th := p.NewThread("w", infiniteCompute(0, LocalNode), NodeCores(m, 2))
+	eng.RunUntil(0.1)
+	core, ran := th.LastCore()
+	if !ran {
+		t.Fatal("thread never ran")
+	}
+	if m.NodeOfCore(core) != 2 {
+		t.Errorf("thread ran on core %d (node %d), want node 2", core, m.NodeOfCore(core))
+	}
+}
+
+func TestSetAffinityMovesThread(t *testing.T) {
+	m := machine.PaperModel()
+	eng, o := newTestOS(m)
+	p := o.NewProcess("a")
+	th := p.NewThread("w", infiniteCompute(0, LocalNode), NodeCores(m, 0))
+	eng.RunUntil(0.05)
+	th.SetAffinity(NodeCores(m, 3))
+	eng.RunUntil(0.1)
+	core, _ := th.LastCore()
+	if m.NodeOfCore(core) != 3 {
+		t.Errorf("after SetAffinity thread on node %d, want 3", m.NodeOfCore(core))
+	}
+	if th.Migrations() == 0 {
+		t.Error("expected a migration")
+	}
+}
+
+func TestSetAffinityEmptyPanics(t *testing.T) {
+	m := machine.PaperModel()
+	_, o := newTestOS(m)
+	p := o.NewProcess("a")
+	th := p.NewThread("w", infiniteCompute(0, LocalNode), CoreSet{})
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for empty affinity")
+		}
+	}()
+	th.SetAffinity(NewCoreSet(4))
+}
+
+func TestSleepAndExit(t *testing.T) {
+	m := machine.PaperModel()
+	eng, o := newTestOS(m)
+	p := o.NewProcess("a")
+	var phase int
+	var sleepDone des.Time
+	th := p.NewThread("w", RunnerFunc(func(*Thread) Work {
+		phase++
+		switch phase {
+		case 1:
+			return Work{Kind: WorkCompute, GFlop: 1, AI: 0} // 0.1 s at 10 GFLOPS
+		case 2:
+			return Work{Kind: WorkSleep, Duration: 0.5, OnDone: func() { sleepDone = eng.Now() }}
+		case 3:
+			return Work{Kind: WorkExit}
+		}
+		t.Fatal("runner called after exit")
+		return Work{Kind: WorkExit}
+	}), CoreSet{})
+	eng.RunUntil(2)
+	if th.State() != Done {
+		t.Errorf("state = %v, want done", th.State())
+	}
+	if sleepDone < 0.6 || sleepDone > 0.62 {
+		t.Errorf("sleep completed at %v, want ~0.6", sleepDone)
+	}
+	if math.Abs(th.GFlopDone()-1) > 1e-9 {
+		t.Errorf("GFlopDone = %v, want 1", th.GFlopDone())
+	}
+}
+
+func TestBlockAndWake(t *testing.T) {
+	m := machine.PaperModel()
+	eng, o := newTestOS(m)
+	p := o.NewProcess("a")
+	var calls int
+	th := p.NewThread("w", RunnerFunc(func(*Thread) Work {
+		calls++
+		if calls == 1 {
+			return Work{Kind: WorkBlock}
+		}
+		return Work{Kind: WorkExit}
+	}), CoreSet{})
+	eng.RunUntil(0.1)
+	if th.State() != Blocked {
+		t.Fatalf("state = %v, want blocked", th.State())
+	}
+	// Waking a non-blocked thread is a no-op; wake the blocked one.
+	eng.Schedule(0.2, func() { th.Wake() })
+	eng.RunUntil(0.5)
+	if th.State() != Done {
+		t.Errorf("state after wake = %v, want done", th.State())
+	}
+	th.Wake() // no-op on done thread
+	if calls != 2 {
+		t.Errorf("runner calls = %d, want 2", calls)
+	}
+}
+
+func TestOnDoneCallback(t *testing.T) {
+	m := machine.PaperModel()
+	eng, o := newTestOS(m)
+	p := o.NewProcess("a")
+	var doneAt des.Time
+	items := 0
+	p.NewThread("w", RunnerFunc(func(*Thread) Work {
+		items++
+		if items == 1 {
+			return Work{Kind: WorkCompute, GFlop: 5, AI: 0, OnDone: func() { doneAt = eng.Now() }}
+		}
+		return Work{Kind: WorkExit}
+	}), CoreSet{})
+	eng.RunUntil(1)
+	// 5 GFLOP at 10 GFLOPS = 0.5 s (quantized to ms).
+	if doneAt < 0.49 || doneAt > 0.52 {
+		t.Errorf("OnDone at %v, want ~0.5", doneAt)
+	}
+}
+
+func TestLoadBalancerSpreadsThreads(t *testing.T) {
+	m := machine.PaperModel()
+	eng := des.NewEngine(1)
+	o := New(eng, Config{Machine: m, ContextSwitchCost: -1, MigrationPenalty: -1, LoadBalancePeriod: 5 * des.Millisecond})
+	o.Start()
+	p := o.NewProcess("a")
+	// 8 threads all allowed on node 0's 8 cores; initial placement may
+	// already spread them, but pile-ups must be balanced away.
+	for i := 0; i < 8; i++ {
+		p.NewThread("w", infiniteCompute(0, LocalNode), NodeCores(m, 0))
+	}
+	eng.RunUntil(0.5)
+	qs := o.QueueLengths()
+	for c := 0; c < 8; c++ {
+		if qs[c] != 1 {
+			t.Errorf("core %d queue length %d, want 1 (balanced)", c, qs[c])
+		}
+	}
+	// Total throughput: 8 cores * 10 GFLOPS * 0.5 s = 40.
+	if got := p.GFlopDone(); math.Abs(got-40) > 1 {
+		t.Errorf("GFlopDone = %.3f, want ~40", got)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() float64 {
+		m := machine.PaperModel()
+		eng, o := newTestOS(m)
+		p := o.NewProcess("a")
+		for i := 0; i < 12; i++ {
+			p.NewThread("w", infiniteCompute(0.7, LocalNode), CoreSet{})
+		}
+		eng.RunUntil(0.3)
+		return p.GFlopDone()
+	}
+	if a, b := run(), run(); a != b {
+		t.Errorf("non-deterministic: %v vs %v", a, b)
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	eng := des.NewEngine(1)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("expected panic for nil machine")
+			}
+		}()
+		New(eng, Config{})
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("expected panic for nil runner")
+			}
+		}()
+		o := New(eng, Config{Machine: machine.PaperModel()})
+		o.NewProcess("p").NewThread("t", nil, CoreSet{})
+	}()
+}
+
+func TestStopHaltsScheduling(t *testing.T) {
+	m := machine.PaperModel()
+	eng, o := newTestOS(m)
+	p := o.NewProcess("a")
+	p.NewThread("w", infiniteCompute(0, LocalNode), CoreSet{})
+	eng.RunUntil(0.1)
+	before := p.GFlopDone()
+	o.Stop()
+	eng.RunUntil(0.2)
+	if p.GFlopDone() != before {
+		t.Error("progress after Stop")
+	}
+	o.Start() // restart works
+	eng.RunUntil(0.3)
+	if p.GFlopDone() <= before {
+		t.Error("no progress after restart")
+	}
+}
+
+func TestThreadAccessors(t *testing.T) {
+	m := machine.PaperModel()
+	eng, o := newTestOS(m)
+	p := o.NewProcess("proc")
+	th := p.NewThread("thr", infiniteCompute(0, LocalNode), CoreSet{})
+	eng.RunUntil(0.01)
+	if th.Name() != "thr" || th.Process() != p || p.Name() != "proc" {
+		t.Error("accessor mismatch")
+	}
+	if th.ID() != 0 || p.ID() != 0 {
+		t.Error("id mismatch")
+	}
+	if th.Affinity().Count() != 32 {
+		t.Error("default affinity should cover all cores")
+	}
+	if len(p.Threads()) != 1 {
+		t.Error("Threads() wrong")
+	}
+	if len(o.Processes()) != 1 {
+		t.Error("Processes() wrong")
+	}
+	if th.BusySeconds() <= 0 {
+		t.Error("no busy time accounted")
+	}
+	if o.Quantum() != des.Millisecond {
+		t.Error("Quantum accessor wrong")
+	}
+	if o.Machine() != m || o.Engine() != eng || o.Arbiter() == nil {
+		t.Error("OS accessors wrong")
+	}
+	if ThreadState(42).String() == "" || Ready.String() != "ready" || Blocked.String() != "blocked" || Sleeping.String() != "sleeping" || Done.String() != "done" {
+		t.Error("state strings wrong")
+	}
+	if len(o.CoreLoads()) != 32 {
+		t.Error("CoreLoads length wrong")
+	}
+}
+
+func TestPriorityScheduling(t *testing.T) {
+	m := machine.PaperModel()
+	eng, o := newTestOS(m)
+	p := o.NewProcess("a")
+	hi := p.NewThread("hi", infiniteCompute(0, LocalNode), SingleCore(m, 0))
+	lo := p.NewThread("lo", infiniteCompute(0, LocalNode), SingleCore(m, 0))
+	hi.SetPriority(10)
+	if hi.Priority() != 10 || lo.Priority() != 0 {
+		t.Fatal("priority accessors wrong")
+	}
+	eng.RunUntil(1)
+	// Strict priority: the high-priority thread owns the core, the
+	// low-priority one starves.
+	if hi.GFlopDone() < 9.5 {
+		t.Errorf("high-priority thread did %.2f GFlop, want ~10", hi.GFlopDone())
+	}
+	if lo.GFlopDone() > 0.1 {
+		t.Errorf("low-priority thread did %.2f GFlop, want ~0 (starved)", lo.GFlopDone())
+	}
+}
+
+func TestEqualPrioritiesShare(t *testing.T) {
+	m := machine.PaperModel()
+	eng, o := newTestOS(m)
+	p := o.NewProcess("a")
+	a := p.NewThread("a", infiniteCompute(0, LocalNode), SingleCore(m, 0))
+	bt := p.NewThread("b", infiniteCompute(0, LocalNode), SingleCore(m, 0))
+	a.SetPriority(5)
+	bt.SetPriority(5)
+	eng.RunUntil(1)
+	if math.Abs(a.GFlopDone()-bt.GFlopDone()) > 0.5 {
+		t.Errorf("equal priorities should share: %.2f vs %.2f", a.GFlopDone(), bt.GFlopDone())
+	}
+}
+
+func TestGBMovedAccounting(t *testing.T) {
+	m := machine.PaperModel()
+	eng, o := newTestOS(m)
+	p := o.NewProcess("a")
+	th := p.NewThread("w", infiniteCompute(0.5, LocalNode), SingleCore(m, 0))
+	eng.RunUntil(1)
+	// Solo: 10 GFLOPS at AI=0.5 -> 20 GB/s -> ~20 GB in 1 s.
+	if math.Abs(th.GBMoved()-20) > 0.5 {
+		t.Errorf("thread GBMoved = %.2f, want ~20", th.GBMoved())
+	}
+	if math.Abs(p.GBMoved()-20) > 0.5 {
+		t.Errorf("process GBMoved = %.2f, want ~20", p.GBMoved())
+	}
+	// Compute-only work moves nothing.
+	eng2, o2 := newTestOS(m)
+	p2 := o2.NewProcess("b")
+	p2.NewThread("w", infiniteCompute(0, LocalNode), SingleCore(m, 0))
+	eng2.RunUntil(0.5)
+	if p2.GBMoved() != 0 {
+		t.Errorf("compute-only GBMoved = %v, want 0", p2.GBMoved())
+	}
+}
+
+func TestMigrationPenaltyReducesThroughput(t *testing.T) {
+	// A thread forced to bounce between cores loses the migration
+	// penalty every move.
+	m := machine.PaperModel()
+	eng := des.NewEngine(1)
+	o := New(eng, Config{
+		Machine:           m,
+		ContextSwitchCost: -1,
+		MigrationPenalty:  200 * des.Microsecond,
+		LoadBalancePeriod: -1,
+	})
+	o.Start()
+	p := o.NewProcess("a")
+	th := p.NewThread("w", infiniteCompute(0, LocalNode), SingleCore(m, 0))
+	// Bounce between cores 0 and 1 every 2 ms.
+	onZero := false
+	eng.Ticker(2*des.Millisecond, func(des.Time) {
+		onZero = !onZero
+		if onZero {
+			th.SetAffinity(SingleCore(m, 0))
+		} else {
+			th.SetAffinity(SingleCore(m, 1))
+		}
+	})
+	eng.RunUntil(1)
+	// 500 migrations x 200 µs = 0.1 s lost -> ~9 GFlop instead of 10.
+	got := p.GFlopDone()
+	if got > 9.3 || got < 8.6 {
+		t.Errorf("bouncing thread did %.2f GFlop, want ~9", got)
+	}
+	if th.Migrations() < 400 {
+		t.Errorf("migrations = %d, want ~500", th.Migrations())
+	}
+}
+
+func TestCustomQuantum(t *testing.T) {
+	m := machine.PaperModel()
+	eng := des.NewEngine(1)
+	o := New(eng, Config{
+		Machine:           m,
+		Quantum:           5 * des.Millisecond,
+		ContextSwitchCost: -1,
+		MigrationPenalty:  -1,
+		LoadBalancePeriod: -1,
+	})
+	o.Start()
+	if o.Quantum() != 5*des.Millisecond {
+		t.Fatalf("Quantum = %v", o.Quantum())
+	}
+	p := o.NewProcess("a")
+	p.NewThread("w", infiniteCompute(0, LocalNode), SingleCore(m, 0))
+	eng.RunUntil(1)
+	if got := p.GFlopDone(); math.Abs(got-10) > 0.2 {
+		t.Errorf("coarse quantum GFlopDone = %.2f, want ~10", got)
+	}
+}

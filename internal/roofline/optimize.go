@@ -1,0 +1,226 @@
+package roofline
+
+import (
+	"repro/internal/machine"
+)
+
+// Objective scores a model result; optimizers maximize it.
+type Objective func(*Result) float64
+
+// TotalGFLOPS is the default objective: machine-wide throughput.
+func TotalGFLOPS(r *Result) float64 { return r.TotalGFLOPS }
+
+// MinAppGFLOPS is a fairness objective: the slowest application's rate.
+func MinAppGFLOPS(r *Result) float64 {
+	if len(r.AppGFLOPS) == 0 {
+		return 0
+	}
+	m := r.AppGFLOPS[0]
+	for _, g := range r.AppGFLOPS[1:] {
+		if g < m {
+			m = g
+		}
+	}
+	return m
+}
+
+// WeightedAppGFLOPS returns an objective computing a weighted sum of
+// per-application rates, e.g. to prioritize a latency-critical app.
+func WeightedAppGFLOPS(weights []float64) Objective {
+	return func(r *Result) float64 {
+		s := 0.0
+		for i, g := range r.AppGFLOPS {
+			w := 1.0
+			if i < len(weights) {
+				w = weights[i]
+			}
+			s += w * g
+		}
+		return s
+	}
+}
+
+// Optimize searches for the allocation maximizing obj, starting from a
+// fair-share allocation and hill-climbing with single-thread moves:
+// shifting one thread of one app between two nodes, or reassigning one
+// core on a node from one app to another. It also tries the structured
+// candidates (even, node-per-app permutations for small app counts) as
+// alternative starting points and returns the best local optimum found.
+//
+// The search is deterministic. maxIters bounds the number of improvement
+// steps per start (<=0 means a generous default).
+func Optimize(m *machine.Machine, apps []App, obj Objective, maxIters int) (Allocation, *Result, error) {
+	if obj == nil {
+		obj = TotalGFLOPS
+	}
+	if maxIters <= 0 {
+		maxIters = 10000
+	}
+	starts := candidateStarts(m, apps)
+	if len(starts) == 0 {
+		return Allocation{}, nil, ErrNoAllocation
+	}
+	var bestAl Allocation
+	var bestRes *Result
+	bestScore := -1.0
+	for _, s := range starts {
+		al, res, score, err := hillClimb(m, apps, s, obj, maxIters)
+		if err != nil {
+			continue
+		}
+		if score > bestScore {
+			bestScore, bestAl, bestRes = score, al, res
+		}
+	}
+	if bestRes == nil {
+		return Allocation{}, nil, ErrNoAllocation
+	}
+	return bestAl, bestRes, nil
+}
+
+func candidateStarts(m *machine.Machine, apps []App) []Allocation {
+	var starts []Allocation
+	nApps := len(apps)
+	starts = append(starts, FairShare(m, nApps))
+	if al, err := Even(m, nApps); err == nil {
+		starts = append(starts, al)
+	}
+	if nApps <= m.NumNodes() {
+		// Identity node-per-app plus the rotation placing each app on
+		// each node once; full permutations would explode for big inputs.
+		for rot := 0; rot < m.NumNodes(); rot++ {
+			nodeOf := make([]machine.NodeID, nApps)
+			for i := range nodeOf {
+				nodeOf[i] = machine.NodeID((i + rot) % m.NumNodes())
+			}
+			if al, err := NodePerApp(m, nApps, nodeOf); err == nil {
+				starts = append(starts, al)
+			}
+		}
+	}
+	return starts
+}
+
+func hillClimb(m *machine.Machine, apps []App, al Allocation, obj Objective, maxIters int) (Allocation, *Result, float64, error) {
+	res, err := Evaluate(m, apps, al)
+	if err != nil {
+		return Allocation{}, nil, 0, err
+	}
+	score := obj(res)
+	nApps, nNodes := len(apps), m.NumNodes()
+	for iter := 0; iter < maxIters; iter++ {
+		improved := false
+		// Move one thread of app i from node j to node k (if k has a
+		// free core), or hand one of app i's cores on node j to app i2.
+		for i := 0; i < nApps && !improved; i++ {
+			for j := 0; j < nNodes && !improved; j++ {
+				if al.Threads[i][j] == 0 {
+					continue
+				}
+				// Move across nodes.
+				for k := 0; k < nNodes && !improved; k++ {
+					if k == j || al.NodeThreads(machine.NodeID(k)) >= m.Nodes[k].Cores {
+						continue
+					}
+					al.Threads[i][j]--
+					al.Threads[i][k]++
+					if r2, err := Evaluate(m, apps, al); err == nil {
+						if s2 := obj(r2); s2 > score+1e-9 {
+							score, res, improved = s2, r2, true
+							continue
+						}
+					}
+					al.Threads[i][j]++
+					al.Threads[i][k]--
+				}
+				if improved {
+					break
+				}
+				// Reassign the core to another app on the same node.
+				for i2 := 0; i2 < nApps && !improved; i2++ {
+					if i2 == i {
+						continue
+					}
+					al.Threads[i][j]--
+					al.Threads[i2][j]++
+					if r2, err := Evaluate(m, apps, al); err == nil {
+						if s2 := obj(r2); s2 > score+1e-9 {
+							score, res, improved = s2, r2, true
+							continue
+						}
+					}
+					al.Threads[i][j]++
+					al.Threads[i2][j]--
+				}
+			}
+		}
+		if !improved {
+			break
+		}
+	}
+	return al.Clone(), res, score, nil
+}
+
+// EnumeratePerNodeCounts calls fn for every uniform per-node allocation
+// (every app gets the same count on all nodes) whose counts sum to at
+// most the smallest node's core count. It is exhaustive for the paper's
+// small examples. fn returning false stops the enumeration early.
+func EnumeratePerNodeCounts(m *machine.Machine, nApps int, fn func(counts []int, al Allocation, r *Result) bool, apps []App) error {
+	capCores := m.Nodes[0].Cores
+	for _, n := range m.Nodes[1:] {
+		if n.Cores < capCores {
+			capCores = n.Cores
+		}
+	}
+	counts := make([]int, nApps)
+	var rec func(pos, remaining int) bool
+	rec = func(pos, remaining int) bool {
+		if pos == nApps {
+			al, err := PerNodeCounts(m, counts)
+			if err != nil {
+				return true
+			}
+			r, err := Evaluate(m, apps, al)
+			if err != nil {
+				return true
+			}
+			cp := append([]int(nil), counts...)
+			return fn(cp, al, r)
+		}
+		for c := 0; c <= remaining; c++ {
+			counts[pos] = c
+			if !rec(pos+1, remaining-c) {
+				return false
+			}
+		}
+		counts[pos] = 0
+		return true
+	}
+	rec(0, capCores)
+	return nil
+}
+
+// BestPerNodeCounts exhaustively searches uniform per-node allocations
+// and returns the best one under obj.
+func BestPerNodeCounts(m *machine.Machine, apps []App, obj Objective) ([]int, Allocation, *Result, error) {
+	if obj == nil {
+		obj = TotalGFLOPS
+	}
+	var bestCounts []int
+	var bestAl Allocation
+	var bestRes *Result
+	best := -1.0
+	err := EnumeratePerNodeCounts(m, len(apps), func(counts []int, al Allocation, r *Result) bool {
+		if s := obj(r); s > best {
+			best, bestCounts, bestAl, bestRes = s, counts, al.Clone(), r
+		}
+		return true
+	}, apps)
+	if err != nil {
+		return nil, Allocation{}, nil, err
+	}
+	if bestRes == nil {
+		return nil, Allocation{}, nil, ErrNoAllocation
+	}
+	return bestCounts, bestAl, bestRes, nil
+}

@@ -1,0 +1,177 @@
+package roofline
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/machine"
+)
+
+// WorkedRow is one row of the paper's Table I/II style worked example:
+// a labeled quantity with one value per application.
+type WorkedRow struct {
+	Label  string
+	Values []float64
+	// Shared is used instead of Values for rows that have a single
+	// machine-wide (or node-wide) value, e.g. "total required bandwidth".
+	Shared   float64
+	IsShared bool
+}
+
+// WorkedTable is the paper's step-by-step derivation for a uniform
+// machine and a uniform per-node-count allocation. It exposes every
+// intermediate quantity that Tables I and II print.
+type WorkedTable struct {
+	AppNames []string
+	Rows     []WorkedRow
+	// TotalPerNode and Total are the bottom summary lines.
+	TotalPerNode float64
+	Total        float64
+}
+
+// Worked reproduces the paper's Table I/II derivation for a uniform
+// machine (identical nodes), NUMA-perfect applications, and an
+// allocation giving every app the same thread count on every node.
+// counts[i] is app i's threads per node.
+func Worked(m *machine.Machine, apps []App, counts []int) (*WorkedTable, error) {
+	if len(apps) != len(counts) {
+		return nil, fmt.Errorf("roofline: %d apps but %d counts", len(apps), len(counts))
+	}
+	for i, a := range apps {
+		if a.Placement != NUMAPerfect {
+			return nil, fmt.Errorf("roofline: worked table requires NUMA-perfect apps; app %d is %s", i, a.Placement)
+		}
+	}
+	for j := 1; j < m.NumNodes(); j++ {
+		if m.Nodes[j] != m.Nodes[0] {
+			return nil, fmt.Errorf("roofline: worked table requires a uniform machine")
+		}
+	}
+	al, err := PerNodeCounts(m, counts)
+	if err != nil {
+		return nil, err
+	}
+	res, err := Evaluate(m, apps, al)
+	if err != nil {
+		return nil, err
+	}
+
+	node := m.Nodes[0]
+	n := len(apps)
+	t := &WorkedTable{}
+	for _, a := range apps {
+		t.AppNames = append(t.AppNames, a.Name)
+	}
+	vals := func(f func(i int) float64) []float64 {
+		v := make([]float64, n)
+		for i := range v {
+			v[i] = f(i)
+		}
+		return v
+	}
+
+	ai := vals(func(i int) float64 { return apps[i].AI })
+	perThreadBW := vals(func(i int) float64 { return node.PeakGFLOPS / apps[i].AI })
+	perInstBW := vals(func(i int) float64 { return perThreadBW[i] * float64(counts[i]) })
+	totalRequired := 0.0
+	for i := range apps {
+		totalRequired += perInstBW[i]
+	}
+	baseline := node.MemBandwidth / float64(node.Cores)
+	allocBaseline := vals(func(i int) float64 { return min(perThreadBW[i], baseline) })
+	allocatedNode := 0.0
+	for i := range apps {
+		allocatedNode += allocBaseline[i] * float64(counts[i])
+	}
+	remainingNode := node.MemBandwidth - allocatedNode
+	stillPerThread := vals(func(i int) float64 { return perThreadBW[i] - allocBaseline[i] })
+	stillTotal := 0.0
+	unsatisfied := 0
+	for i := range apps {
+		stillTotal += stillPerThread[i] * float64(counts[i])
+		if stillPerThread[i] > 1e-12 {
+			unsatisfied += counts[i]
+		}
+	}
+	remainderPerThread := 0.0
+	if unsatisfied > 0 {
+		remainderPerThread = remainingNode / float64(unsatisfied)
+		if remainingNode > stillTotal {
+			remainderPerThread = 0 // everyone satisfied; handled by totals below
+		}
+	}
+	totalPerThread := vals(func(i int) float64 { return res.PerApp[i][0].BWPerThread })
+	gflopsPerThread := vals(func(i int) float64 { return res.PerApp[i][0].GFLOPSPerThread })
+	gflopsPerApp := vals(func(i int) float64 { return res.PerApp[i][0].GFLOPS })
+
+	t.Rows = []WorkedRow{
+		{Label: "arithmetic intensity (AI)", Values: ai},
+		{Label: "threads per NUMA node", Values: vals(func(i int) float64 { return float64(counts[i]) })},
+		{Label: "peak memory bandwidth per thread (GB/s)", Values: perThreadBW},
+		{Label: "peak memory bandwidth per instance (GB/s)", Values: perInstBW},
+		{Label: "total required bandwidth (GB/s)", Shared: totalRequired, IsShared: true},
+		{Label: "baseline GB/s per thread", Shared: baseline, IsShared: true},
+		{Label: "allocated baseline per thread (GB/s)", Values: allocBaseline},
+		{Label: "allocated node GB/s", Shared: allocatedNode, IsShared: true},
+		{Label: "remaining node GB/s", Shared: remainingNode, IsShared: true},
+		{Label: "still required GB/s per thread", Values: stillPerThread},
+		{Label: "still required GB/s", Shared: stillTotal, IsShared: true},
+		{Label: "remainder given to a thread (GB/s)", Shared: remainderPerThread, IsShared: true},
+		{Label: "total allocated to each thread (GB/s)", Values: totalPerThread},
+		{Label: "GFLOPS per thread", Values: gflopsPerThread},
+		{Label: "GFLOPS per application", Values: gflopsPerApp},
+	}
+	t.TotalPerNode = res.PerNode[0].GFLOPS
+	t.Total = res.TotalGFLOPS
+	return t, nil
+}
+
+// String renders the worked table as aligned text.
+func (t *WorkedTable) String() string {
+	var b strings.Builder
+	width := 44
+	fmt.Fprintf(&b, "%-*s", width, "")
+	for _, n := range t.AppNames {
+		fmt.Fprintf(&b, " %14s", n)
+	}
+	b.WriteByte('\n')
+	for _, r := range t.Rows {
+		fmt.Fprintf(&b, "%-*s", width, r.Label)
+		if r.IsShared {
+			fmt.Fprintf(&b, " %14s", trimFloat(r.Shared))
+		} else {
+			for _, v := range r.Values {
+				fmt.Fprintf(&b, " %14s", trimFloat(v))
+			}
+		}
+		b.WriteByte('\n')
+	}
+	fmt.Fprintf(&b, "%-*s %14s\n", width, "total GFLOPS per node", trimFloat(t.TotalPerNode))
+	fmt.Fprintf(&b, "%-*s %14s\n", width, "total GFLOPS", trimFloat(t.Total))
+	return b.String()
+}
+
+func trimFloat(v float64) string {
+	s := fmt.Sprintf("%.4f", v)
+	s = strings.TrimRight(s, "0")
+	s = strings.TrimRight(s, ".")
+	if s == "" || s == "-" {
+		s = "0"
+	}
+	return s
+}
+
+// Summary renders a Result as a compact per-app table.
+func (r *Result) Summary(apps []App) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-20s %-13s %8s %12s\n", "app", "placement", "threads", "GFLOPS")
+	for i, a := range apps {
+		threads := 0
+		for _, pn := range r.PerApp[i] {
+			threads += pn.Threads
+		}
+		fmt.Fprintf(&b, "%-20s %-13s %8d %12.3f\n", a.Name, a.Placement, threads, r.AppGFLOPS[i])
+	}
+	fmt.Fprintf(&b, "%-20s %-13s %8s %12.3f\n", "TOTAL", "", "", r.TotalGFLOPS)
+	return b.String()
+}

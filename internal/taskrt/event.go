@@ -1,0 +1,124 @@
+package taskrt
+
+// Event is an OCR-style synchronization object: a once-satisfiable
+// dependency source. Tasks registered on the event stay blocked until
+// Satisfy is called, which releases them like a completed dependency.
+// Events let application code express control dependencies (phase
+// gates, external signals) without a carrier task.
+type Event struct {
+	rt        *Runtime
+	satisfied bool
+	waiters   []*Task
+	callbacks []func()
+}
+
+// OnSatisfy registers fn to run when the event fires; if the event is
+// already satisfied, fn runs immediately.
+func (e *Event) OnSatisfy(fn func()) {
+	if fn == nil {
+		panic("taskrt: nil OnSatisfy callback")
+	}
+	if e.satisfied {
+		fn()
+		return
+	}
+	e.callbacks = append(e.callbacks, fn)
+}
+
+// NewEvent creates an unsatisfied event.
+func (rt *Runtime) NewEvent() *Event {
+	return &Event{rt: rt}
+}
+
+// Satisfied reports whether the event fired.
+func (e *Event) Satisfied() bool { return e.satisfied }
+
+// Satisfy fires the event, releasing every waiting task whose other
+// dependencies are already met. Satisfying twice panics, matching the
+// OCR once-only event semantics.
+func (e *Event) Satisfy() {
+	if e.satisfied {
+		panic("taskrt: event satisfied twice")
+	}
+	e.satisfied = true
+	waiters := e.waiters
+	e.waiters = nil
+	for _, t := range waiters {
+		t.remaining--
+		if t.remaining == 0 && t.submitted {
+			e.rt.makeReady(t, nil)
+		}
+	}
+	callbacks := e.callbacks
+	e.callbacks = nil
+	for _, fn := range callbacks {
+		fn()
+	}
+}
+
+// DependsOnEvents registers the task to wait for events (in addition to
+// any task dependencies). Satisfied events are skipped. It panics if
+// the task was already submitted or an event belongs to another
+// runtime.
+func (t *Task) DependsOnEvents(events ...*Event) *Task {
+	if t.submitted {
+		panic("taskrt: DependsOnEvents after Submit")
+	}
+	for _, e := range events {
+		if e == nil {
+			panic("taskrt: nil event")
+		}
+		if e.rt != t.rt {
+			panic("taskrt: event belongs to a different runtime")
+		}
+		if e.satisfied {
+			continue
+		}
+		e.waiters = append(e.waiters, t)
+		t.remaining++
+	}
+	return t
+}
+
+// LatchEvent is an OCR-style latch: it fires once its counter reaches
+// zero. Up increments the counter, Down decrements it; the latch
+// releases its waiters when a Down brings the counter to zero.
+type LatchEvent struct {
+	event *Event
+	count int
+	fired bool
+}
+
+// NewLatch creates a latch with the given initial count (must be > 0).
+func (rt *Runtime) NewLatch(count int) *LatchEvent {
+	if count <= 0 {
+		panic("taskrt: latch count must be positive")
+	}
+	return &LatchEvent{event: rt.NewEvent(), count: count}
+}
+
+// Event returns the underlying event for DependsOnEvents.
+func (l *LatchEvent) Event() *Event { return l.event }
+
+// Up increments the latch counter; panics after the latch fired.
+func (l *LatchEvent) Up() {
+	if l.fired {
+		panic("taskrt: latch Up after firing")
+	}
+	l.count++
+}
+
+// Down decrements the counter, firing the latch at zero.
+func (l *LatchEvent) Down() {
+	if l.fired {
+		panic("taskrt: latch Down after firing")
+	}
+	l.count--
+	if l.count == 0 {
+		l.fired = true
+		l.event.Satisfy()
+	}
+	if l.count < 0 {
+		panic("taskrt: latch count went negative")
+	}
+}

@@ -1,0 +1,297 @@
+package taskrt
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/des"
+	"repro/internal/machine"
+)
+
+func TestEventGatesTask(t *testing.T) {
+	m := machine.PaperModel()
+	eng, o := newSim(m)
+	rt := New(o, Config{Name: "app"})
+	e := rt.NewEvent()
+	done := false
+	task := rt.NewTask("t", 0.01, 0, nil)
+	task.OnComplete = func() { done = true }
+	task.DependsOnEvents(e)
+	rt.Submit(task)
+	eng.RunUntil(0.2)
+	if done {
+		t.Fatal("task ran before event satisfied")
+	}
+	if task.State() != TaskWaiting {
+		t.Fatalf("state = %v, want waiting", task.State())
+	}
+	eng.Schedule(0.3, e.Satisfy)
+	eng.RunUntil(0.5)
+	if !done {
+		t.Error("task did not run after Satisfy")
+	}
+	if !e.Satisfied() {
+		t.Error("event not marked satisfied")
+	}
+}
+
+func TestSatisfiedEventIsNoDependency(t *testing.T) {
+	m := machine.PaperModel()
+	eng, o := newSim(m)
+	rt := New(o, Config{Name: "app"})
+	e := rt.NewEvent()
+	e.Satisfy()
+	done := false
+	task := rt.NewTask("t", 0.01, 0, nil)
+	task.OnComplete = func() { done = true }
+	task.DependsOnEvents(e) // already satisfied: no-op
+	rt.Submit(task)
+	eng.RunUntil(0.2)
+	if !done {
+		t.Error("task gated by an already-satisfied event")
+	}
+}
+
+func TestEventMixedWithTaskDeps(t *testing.T) {
+	m := machine.PaperModel()
+	eng, o := newSim(m)
+	rt := New(o, Config{Name: "app"})
+	e := rt.NewEvent()
+	dep := rt.NewTask("dep", 0.01, 0, nil)
+	done := false
+	task := rt.NewTask("t", 0.01, 0, nil)
+	task.OnComplete = func() { done = true }
+	task.DependsOn(dep)
+	task.DependsOnEvents(e)
+	rt.Submit(task)
+	rt.Submit(dep)
+	eng.RunUntil(0.2)
+	if done {
+		t.Fatal("task ran with unsatisfied event")
+	}
+	e.Satisfy()
+	eng.RunUntil(0.4)
+	if !done {
+		t.Error("task did not run after both deps met")
+	}
+}
+
+func TestEventPanics(t *testing.T) {
+	m := machine.PaperModel()
+	_, o := newSim(m)
+	rt := New(o, Config{Name: "app"})
+	rt2 := New(o, Config{Name: "other"})
+	expectPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected panic", name)
+			}
+		}()
+		fn()
+	}
+	e := rt.NewEvent()
+	e.Satisfy()
+	expectPanic("double satisfy", e.Satisfy)
+	expectPanic("nil event", func() { rt.NewTask("t", 1, 0, nil).DependsOnEvents(nil) })
+	expectPanic("foreign event", func() { rt.NewTask("t", 1, 0, nil).DependsOnEvents(rt2.NewEvent()) })
+	task := rt.NewTask("t", 1, 0, nil)
+	rt.Submit(task)
+	expectPanic("events after submit", func() { task.DependsOnEvents(rt.NewEvent()) })
+}
+
+func TestLatch(t *testing.T) {
+	m := machine.PaperModel()
+	eng, o := newSim(m)
+	rt := New(o, Config{Name: "app"})
+	l := rt.NewLatch(2)
+	l.Up() // count 3
+	done := false
+	task := rt.NewTask("t", 0.01, 0, nil)
+	task.OnComplete = func() { done = true }
+	task.DependsOnEvents(l.Event())
+	rt.Submit(task)
+	l.Down()
+	l.Down()
+	eng.RunUntil(0.1)
+	if done {
+		t.Fatal("latch fired early")
+	}
+	l.Down()
+	eng.RunUntil(0.3)
+	if !done {
+		t.Error("latch never released the task")
+	}
+	expectPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected panic", name)
+			}
+		}()
+		fn()
+	}
+	expectPanic("down after fire", l.Down)
+	expectPanic("up after fire", l.Up)
+	expectPanic("zero latch", func() { rt.NewLatch(0) })
+}
+
+func TestMigrateBlock(t *testing.T) {
+	m := machine.SkylakeQuad()
+	eng, o := newSim(m)
+	rt := New(o, Config{Name: "app", BindMode: taskBindCore(), Scheduler: NUMAAware})
+	blk := &DataBlock{Name: "data", Node: 0, SizeGB: 2}
+	var migratedAt des.Time
+	task, err := rt.MigrateBlock(blk, 3, func() { migratedAt = eng.Now() })
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.RunUntil(2)
+	if task.State() != TaskDone {
+		t.Fatal("migration task never completed")
+	}
+	if blk.Node != 3 {
+		t.Errorf("block on node %d after migration, want 3", blk.Node)
+	}
+	// 2 GB over a 10 GB/s link: >= 0.2 s.
+	if migratedAt < 0.19 {
+		t.Errorf("migration finished at %v, faster than the link allows (>= 0.2 s)", migratedAt)
+	}
+	// The copy ran on the destination node (remote read over the link).
+	core, ok := task.ExecutedOn()
+	if !ok || m.NodeOfCore(core) != 3 {
+		t.Errorf("copy executed on node %d, want 3", m.NodeOfCore(core))
+	}
+}
+
+func taskBindCore() BindMode { return BindCore }
+
+func TestMigrateBlockNoop(t *testing.T) {
+	m := machine.PaperModel()
+	eng, o := newSim(m)
+	rt := New(o, Config{Name: "app", BindMode: BindCore, Scheduler: NUMAAware})
+	blk := &DataBlock{Name: "data", Node: 2, SizeGB: 1}
+	done := false
+	if _, err := rt.MigrateBlock(blk, 2, func() { done = true }); err != nil {
+		t.Fatal(err)
+	}
+	eng.RunUntil(0.1)
+	if !done || blk.Node != 2 {
+		t.Error("no-op migration should still complete")
+	}
+}
+
+func TestMigrateBlockErrors(t *testing.T) {
+	m := machine.PaperModel()
+	_, o := newSim(m)
+	fifo := New(o, Config{Name: "fifo", BindMode: BindCore})
+	numa := New(o, Config{Name: "numa", BindMode: BindCore, Scheduler: NUMAAware})
+	blk := &DataBlock{Name: "d", Node: 0, SizeGB: 1}
+	if _, err := fifo.MigrateBlock(blk, 1, nil); err == nil {
+		t.Error("expected error for non-NUMA-aware scheduler")
+	}
+	if _, err := numa.MigrateBlock(nil, 1, nil); err == nil {
+		t.Error("expected error for nil block")
+	}
+	if _, err := numa.MigrateBlock(&DataBlock{Node: 0}, 1, nil); err == nil {
+		t.Error("expected error for zero-size block")
+	}
+	if _, err := numa.MigrateBlock(blk, 99, nil); err == nil {
+		t.Error("expected error for bad destination")
+	}
+}
+
+func TestMigrationImprovesNUMABadApp(t *testing.T) {
+	// A NUMA-bad app pinned to node 3 with its data on node 0 is
+	// link-bound; migrating the block to node 3 restores local speed.
+	run := func(migrate bool) float64 {
+		m := machine.SkylakeQuad()
+		eng, o := newSim(m)
+		rt := New(o, Config{
+			Name: "app", BindMode: BindCore, Scheduler: NUMAAware,
+			Cores: m.CoresOfNode(3),
+		})
+		blk := &DataBlock{Name: "data", Node: 0, SizeGB: 1}
+		stop := false
+		var feed func()
+		feed = func() {
+			if stop {
+				return
+			}
+			task := rt.NewTask("t", 0.003, 1.0/16, blk)
+			task.PreferNode(3) // execute on the pinned node
+			task.OnComplete = feed
+			rt.Submit(task)
+		}
+		for i := 0; i < 40; i++ {
+			feed()
+		}
+		if migrate {
+			if _, err := rt.MigrateBlock(blk, 3, nil); err != nil {
+				t.Fatal(err)
+			}
+		}
+		eng.RunUntil(1)
+		stop = true
+		return rt.Stats().GFlopDone
+	}
+	static := run(false)
+	migrated := run(true)
+	if migrated < static*1.5 {
+		t.Errorf("migration should clearly help: %.3f vs %.3f GFLOPS", migrated, static)
+	}
+}
+
+func TestSetTotalThreadsBalanced(t *testing.T) {
+	m := machine.PaperModel()
+	eng, o := newSim(m)
+	rt := New(o, Config{Name: "app", BindMode: BindNode})
+	var feed func()
+	feed = func() {
+		task := rt.NewTask("t", 0.01, 0, nil)
+		task.OnComplete = feed
+		rt.Submit(task)
+	}
+	for i := 0; i < 64; i++ {
+		feed()
+	}
+	rt.SetTotalThreadsBalanced(16)
+	eng.RunUntil(1)
+	st := rt.Stats()
+	if st.Suspended != 16 {
+		t.Fatalf("suspended = %d, want 16", st.Suspended)
+	}
+	// Active threads spread 4 per node: all four nodes busy.
+	loads := o.CoreLoads()
+	nodeBusy := make([]float64, 4)
+	for c, l := range loads {
+		nodeBusy[m.NodeOfCore(machine.CoreID(c))] += l
+	}
+	for j, busy := range nodeBusy {
+		if math.Abs(busy-4) > 0.5 {
+			t.Errorf("node %d busy %.2f core-seconds, want ~4 (balanced)", j, busy)
+		}
+	}
+}
+
+func TestSetTotalThreadsBalancedUnboundFallback(t *testing.T) {
+	m := machine.PaperModel()
+	eng, o := newSim(m)
+	rt := New(o, Config{Name: "app", BindMode: BindNone})
+	rt.SetTotalThreadsBalanced(8)
+	eng.RunUntil(0.1)
+	if st := rt.Stats(); st.Suspended != 24 {
+		t.Errorf("fallback suspended = %d, want 24", st.Suspended)
+	}
+}
+
+func TestSetTotalThreadsBalancedOverAsk(t *testing.T) {
+	m := machine.PaperModel()
+	eng, o := newSim(m)
+	rt := New(o, Config{Name: "app", BindMode: BindNode, Workers: 8})
+	rt.SetTotalThreadsBalanced(100) // more than available: all active
+	eng.RunUntil(0.05)
+	if st := rt.Stats(); st.Suspended != 0 {
+		t.Errorf("suspended = %d, want 0", st.Suspended)
+	}
+}

@@ -1,0 +1,67 @@
+package taskrt
+
+import (
+	"fmt"
+
+	"repro/internal/machine"
+)
+
+// migrationAI converts a copy volume into (GFlop, AI) so the copy task
+// moves exactly SizeGB of data: bytes = GFlop / AI. The tiny intensity
+// makes the copy bandwidth-bound, so its duration is the volume divided
+// by whatever bandwidth the machine grants — saturating the inter-node
+// link like a real page migration.
+const migrationAI = 1e-3
+
+// MigrateBlock schedules a migration of the data block to dst: a copy
+// task that runs on a worker of dst and streams the block's SizeGB from
+// its current node (remote traffic over the link), then retargets the
+// block. onDone (may be nil) fires after the flip. Tasks that start
+// during the copy still read the old location; tasks submitted after
+// onDone read the new one.
+//
+// This implements the paper's Section III.A wish: "in the ideal case,
+// the application should be able to move the data to a different NUMA
+// node. This would easily be possible in OCR, where the runtime system
+// is also in charge of managing the data."
+//
+// The runtime must use the NUMA-aware scheduler (the placement hint is
+// what routes the copy to dst) and the block must have a positive
+// SizeGB. The returned task is already submitted.
+func (rt *Runtime) MigrateBlock(b *DataBlock, dst machine.NodeID, onDone func()) (*Task, error) {
+	if b == nil {
+		return nil, fmt.Errorf("taskrt: nil data block")
+	}
+	if b.SizeGB <= 0 {
+		return nil, fmt.Errorf("taskrt: block %q has no size; cannot cost the migration", b.Name)
+	}
+	m := rt.os.Machine()
+	if int(dst) < 0 || int(dst) >= m.NumNodes() {
+		return nil, fmt.Errorf("taskrt: destination node %d out of range", dst)
+	}
+	if rt.cfg.Scheduler != NUMAAware {
+		return nil, fmt.Errorf("taskrt: MigrateBlock requires the NUMA-aware scheduler")
+	}
+	if b.Node == dst {
+		// Already there: complete immediately via a trivial task so the
+		// caller still gets asynchronous completion semantics.
+		t := rt.NewTask(fmt.Sprintf("migrate-%s-noop", b.Name), 1e-9, 0, nil)
+		t.OnComplete = onDone
+		rt.Submit(t)
+		return t, nil
+	}
+	src := b.Node
+	// The copy reads the source node's memory from a worker on dst.
+	copySrc := &DataBlock{Name: b.Name + "-src", Node: src, SizeGB: b.SizeGB}
+	t := rt.NewTask(fmt.Sprintf("migrate-%s-%d-to-%d", b.Name, src, dst),
+		b.SizeGB*migrationAI, migrationAI, copySrc)
+	t.PreferNode(dst)
+	t.OnComplete = func() {
+		b.Node = dst
+		if onDone != nil {
+			onDone()
+		}
+	}
+	rt.Submit(t)
+	return t, nil
+}

@@ -1,0 +1,589 @@
+package taskrt
+
+import (
+	"fmt"
+
+	"repro/internal/machine"
+	"repro/internal/osched"
+)
+
+// BindMode selects how worker threads are pinned, mirroring the paper's
+// option 1 note: "threads may be bound (using affinity) to individual
+// cores, to all cores in a NUMA node or unbound".
+type BindMode int
+
+const (
+	// BindNone leaves workers unbound (any core).
+	BindNone BindMode = iota
+	// BindNode pins each worker to all cores of one NUMA node.
+	BindNode
+	// BindCore pins each worker to one core.
+	BindCore
+)
+
+// String names the bind mode.
+func (b BindMode) String() string {
+	switch b {
+	case BindNone:
+		return "unbound"
+	case BindNode:
+		return "node-bound"
+	case BindCore:
+		return "core-bound"
+	default:
+		return "bind(?)"
+	}
+}
+
+// Config configures a runtime instance.
+type Config struct {
+	// Name labels the runtime's OS process.
+	Name string
+	// BindMode pins workers (default BindNone).
+	BindMode BindMode
+	// Scheduler selects the ready-queue policy (default FIFO).
+	Scheduler SchedulerKind
+	// Workers is the worker-thread count; 0 means one per core (the
+	// paper's default: "each application starts with as many threads
+	// as there are CPU cores").
+	Workers int
+	// FirstCore offsets BindCore pinning: worker i is pinned to core
+	// FirstCore+i. It lets several runtimes statically partition the
+	// machine's cores. Ignored for other bind modes.
+	FirstCore machine.CoreID
+	// Cores, when non-empty with BindCore, pins worker i to Cores[i]
+	// (overriding Workers and FirstCore). It supports arbitrary,
+	// non-contiguous core partitions.
+	Cores []machine.CoreID
+	// NoRemoteSteal makes the NUMA-aware scheduler strictly local:
+	// workers never take tasks homed on other nodes, trading
+	// utilization for locality (tasks wait for their own node's
+	// workers). Ignored by the other schedulers.
+	NoRemoteSteal bool
+}
+
+// blockControl selects which thread-control option is active.
+type blockControl int
+
+const (
+	controlNone blockControl = iota
+	controlTotal
+	controlPerNode
+)
+
+type worker struct {
+	rt     *Runtime
+	id     int
+	node   machine.NodeID // -1 when unbound
+	core   machine.CoreID // valid for BindCore
+	thread *osched.Thread
+
+	idle        bool // parked waiting for work
+	suspended   bool // parked by thread control
+	coreBlocked bool // option 2 explicit request
+	cur         *Task
+}
+
+// Runtime is one task-based runtime instance (one application).
+type Runtime struct {
+	os      *osched.OS
+	cfg     Config
+	proc    *osched.Process
+	sched   scheduler
+	workers []*worker
+	byNode  map[machine.NodeID][]*worker
+
+	control       blockControl
+	targetTotal   int
+	targetPerNode []int
+
+	outstanding   int
+	tasksExecuted uint64
+	onAllDone     []func()
+	tracer        Tracer
+}
+
+// Tracer receives task lifecycle callbacks for observability. Start
+// times are when a worker picked the task up (execution begins within
+// the same scheduling quantum).
+type Tracer interface {
+	// TaskStart fires when a worker takes the task.
+	TaskStart(runtime, task string, workerID int, core machine.CoreID, at float64)
+	// TaskEnd fires at task completion.
+	TaskEnd(runtime, task string, workerID int, at float64)
+}
+
+// SetTracer installs a tracer (nil disables tracing).
+func (rt *Runtime) SetTracer(tr Tracer) { rt.tracer = tr }
+
+// New creates a runtime with its worker threads on the simulated OS.
+func New(os *osched.OS, cfg Config) *Runtime {
+	m := os.Machine()
+	if cfg.BindMode == BindCore && len(cfg.Cores) > 0 {
+		cfg.Workers = len(cfg.Cores)
+		for _, c := range cfg.Cores {
+			if int(c) < 0 || int(c) >= m.TotalCores() {
+				panic(fmt.Sprintf("taskrt: pinned core %d out of range", c))
+			}
+		}
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = m.TotalCores()
+	}
+	if cfg.BindMode == BindCore && len(cfg.Cores) == 0 && int(cfg.FirstCore)+cfg.Workers > m.TotalCores() {
+		panic(fmt.Sprintf("taskrt: %d core-bound workers from core %d exceed %d cores",
+			cfg.Workers, cfg.FirstCore, m.TotalCores()))
+	}
+	rt := &Runtime{
+		os:     os,
+		cfg:    cfg,
+		proc:   os.NewProcess(cfg.Name),
+		byNode: map[machine.NodeID][]*worker{},
+	}
+	switch cfg.Scheduler {
+	case WorkStealing:
+		rt.sched = newStealScheduler(os.Engine().Rand())
+	case NUMAAware:
+		rt.sched = newNUMAScheduler(m, cfg.NoRemoteSteal)
+	default:
+		rt.sched = &fifoScheduler{}
+	}
+
+	for i := 0; i < cfg.Workers; i++ {
+		w := &worker{rt: rt, id: i, node: -1}
+		var aff osched.CoreSet
+		switch cfg.BindMode {
+		case BindCore:
+			if len(cfg.Cores) > 0 {
+				w.core = cfg.Cores[i]
+			} else {
+				w.core = cfg.FirstCore + machine.CoreID(i)
+			}
+			w.node = m.NodeOfCore(w.core)
+			aff = osched.SingleCore(m, w.core)
+		case BindNode:
+			// Spread workers across nodes proportionally to core counts.
+			w.node = nodeForWorker(m, i)
+			aff = osched.NodeCores(m, w.node)
+		default:
+			aff = osched.AllCores(m)
+		}
+		w.thread = rt.proc.NewThread(fmt.Sprintf("%s-w%d", cfg.Name, i), w, aff)
+		rt.workers = append(rt.workers, w)
+		rt.byNode[w.node] = append(rt.byNode[w.node], w)
+		if ss, ok := rt.sched.(*stealScheduler); ok {
+			ss.register(w)
+		}
+	}
+	return rt
+}
+
+// nodeForWorker assigns worker i to a node, filling each node up to its
+// core count in order.
+func nodeForWorker(m *machine.Machine, i int) machine.NodeID {
+	for n, nd := range m.Nodes {
+		if i < nd.Cores {
+			return machine.NodeID(n)
+		}
+		i -= nd.Cores
+	}
+	// More workers than cores: wrap around.
+	return machine.NodeID(i % m.NumNodes())
+}
+
+// Name returns the runtime's label.
+func (rt *Runtime) Name() string { return rt.cfg.Name }
+
+// Process exposes the underlying OS process (for load queries).
+func (rt *Runtime) Process() *osched.Process { return rt.proc }
+
+// OS returns the hosting simulated OS.
+func (rt *Runtime) OS() *osched.OS { return rt.os }
+
+// NewTask builds an unsubmitted task.
+func (rt *Runtime) NewTask(name string, gflop, ai float64, data *DataBlock) *Task {
+	if gflop < 0 {
+		panic("taskrt: negative task size")
+	}
+	return &Task{Name: name, GFlop: gflop, AI: ai, Data: data, rt: rt}
+}
+
+// Submit makes a task eligible to run once its dependencies complete.
+// Submitting twice panics.
+func (rt *Runtime) Submit(t *Task) {
+	if t.rt != rt {
+		panic("taskrt: task submitted to a foreign runtime")
+	}
+	if t.submitted {
+		panic("taskrt: task submitted twice")
+	}
+	t.submitted = true
+	rt.outstanding++
+	if t.remaining == 0 {
+		rt.makeReady(t, nil)
+	} else {
+		t.state = TaskWaiting
+	}
+}
+
+// makeReady queues a ready task. from is the worker whose completion
+// released it (nil for external submissions); work-stealing keeps such
+// tasks on the releasing worker's deque for cache locality.
+func (rt *Runtime) makeReady(t *Task, from *worker) {
+	t.state = TaskReady
+	rt.sched.push(t, from)
+	rt.wakeIdleWorker(t.queueNode())
+}
+
+// wakeIdleWorker wakes one parked (idle, non-suspended) worker,
+// preferring one on the given node.
+func (rt *Runtime) wakeIdleWorker(prefer machine.NodeID) {
+	var fallback *worker
+	for _, w := range rt.workers {
+		if !w.idle || w.suspended {
+			continue
+		}
+		if w.node == prefer {
+			w.idle = false
+			w.thread.Wake()
+			return
+		}
+		if fallback == nil {
+			fallback = w
+		}
+	}
+	if fallback != nil {
+		fallback.idle = false
+		fallback.thread.Wake()
+	}
+}
+
+// Next implements osched.Runner: it is the worker loop.
+func (w *worker) Next(*osched.Thread) osched.Work {
+	rt := w.rt
+	w.idle = false
+	if rt.shouldSuspend(w) {
+		w.suspended = true
+		return osched.Work{Kind: osched.WorkBlock}
+	}
+	t := rt.sched.pop(w)
+	if t == nil {
+		w.idle = true
+		return osched.Work{Kind: osched.WorkBlock}
+	}
+	t.state = TaskRunning
+	w.cur = t
+	if rt.tracer != nil {
+		core, _ := w.thread.LastCore()
+		rt.tracer.TaskStart(rt.cfg.Name, t.Name, w.id, core, float64(rt.os.Engine().Now()))
+	}
+	return osched.Work{
+		Kind:    osched.WorkCompute,
+		GFlop:   t.GFlop,
+		AI:      t.AI,
+		MemNode: t.memNode(),
+		OnDone:  func() { rt.complete(w) },
+	}
+}
+
+// shouldSuspend applies the active thread-control option to a worker
+// that is between tasks.
+func (rt *Runtime) shouldSuspend(w *worker) bool {
+	if w.coreBlocked {
+		return true
+	}
+	switch rt.control {
+	case controlTotal:
+		return rt.activeCount() > rt.targetTotal
+	case controlPerNode:
+		if w.node < 0 || int(w.node) >= len(rt.targetPerNode) {
+			return false
+		}
+		return rt.activeInNode(w.node) > rt.targetPerNode[w.node]
+	}
+	return false
+}
+
+func (rt *Runtime) activeCount() int {
+	n := 0
+	for _, w := range rt.workers {
+		if !w.suspended {
+			n++
+		}
+	}
+	return n
+}
+
+func (rt *Runtime) activeInNode(node machine.NodeID) int {
+	n := 0
+	for _, w := range rt.byNode[node] {
+		if !w.suspended {
+			n++
+		}
+	}
+	return n
+}
+
+// complete finishes the worker's current task: statistics, dependency
+// propagation, completion callbacks.
+func (rt *Runtime) complete(w *worker) {
+	t := w.cur
+	w.cur = nil
+	t.state = TaskDone
+	if c, ok := w.thread.LastCore(); ok {
+		t.execCore, t.executed = c, true
+	}
+	if rt.tracer != nil {
+		rt.tracer.TaskEnd(rt.cfg.Name, t.Name, w.id, float64(rt.os.Engine().Now()))
+	}
+	rt.tasksExecuted++
+	rt.outstanding--
+	for _, s := range t.succs {
+		s.remaining--
+		if s.remaining == 0 && s.submitted {
+			rt.makeReady(s, w)
+		}
+	}
+	if t.OnComplete != nil {
+		t.OnComplete()
+	}
+	if rt.outstanding == 0 && len(rt.onAllDone) > 0 {
+		fns := rt.onAllDone
+		rt.onAllDone = nil
+		for _, fn := range fns {
+			fn()
+		}
+	}
+}
+
+// OnAllDone registers fn to run once when no submitted task remains
+// outstanding. If the runtime is already drained it fires immediately.
+func (rt *Runtime) OnAllDone(fn func()) {
+	if rt.outstanding == 0 {
+		fn()
+		return
+	}
+	rt.onAllDone = append(rt.onAllDone, fn)
+}
+
+// --- Thread control (the paper's three options) ---
+
+// SetTotalThreads applies option 1: use exactly n worker threads. Idle
+// workers beyond the target suspend immediately; busy workers suspend
+// as they finish their current task (tasks are never preempted).
+// Raising the target resumes randomly chosen suspended workers at once.
+func (rt *Runtime) SetTotalThreads(n int) {
+	if n < 0 {
+		n = 0
+	}
+	if n > len(rt.workers) {
+		n = len(rt.workers)
+	}
+	rt.control = controlTotal
+	rt.targetTotal = n
+	// Suspend idle workers first (the paper: inactive threads block
+	// first; threads running long tasks keep running).
+	for _, w := range rt.workers {
+		if rt.activeCount() <= n {
+			break
+		}
+		if w.idle && !w.suspended {
+			w.idle = false
+			w.suspended = true
+		}
+	}
+	rt.resumeSuspended(func() int { return n - rt.activeCount() })
+}
+
+// SetTotalThreadsBalanced applies option 1 but chooses the suspended
+// threads so the active ones stay spread evenly across NUMA nodes —
+// the extension the paper proposes for NUMA-aware applications ("it
+// would be possible to extend it to spread the blocked threads evenly
+// across the NUMA nodes"). It requires node- or core-bound workers and
+// falls back to plain SetTotalThreads for unbound ones.
+func (rt *Runtime) SetTotalThreadsBalanced(n int) {
+	if rt.cfg.BindMode == BindNone {
+		rt.SetTotalThreads(n)
+		return
+	}
+	m := rt.os.Machine()
+	counts := make([]int, m.NumNodes())
+	remaining := n
+	for remaining > 0 {
+		progress := false
+		for j := 0; j < m.NumNodes() && remaining > 0; j++ {
+			if counts[j] < len(rt.byNode[machine.NodeID(j)]) {
+				counts[j]++
+				remaining--
+				progress = true
+			}
+		}
+		if !progress {
+			break // fewer workers than requested
+		}
+	}
+	_ = rt.SetNodeThreads(counts) // bind mode already checked
+}
+
+// SetNodeThreads applies option 3: per-NUMA-node thread counts. Workers
+// must be node- or core-bound. counts has one entry per node.
+func (rt *Runtime) SetNodeThreads(counts []int) error {
+	if rt.cfg.BindMode == BindNone {
+		return fmt.Errorf("taskrt: SetNodeThreads requires node- or core-bound workers")
+	}
+	m := rt.os.Machine()
+	if len(counts) != m.NumNodes() {
+		return fmt.Errorf("taskrt: got %d node counts, machine has %d nodes", len(counts), m.NumNodes())
+	}
+	rt.control = controlPerNode
+	rt.targetPerNode = append([]int(nil), counts...)
+	for node, ws := range rt.byNode {
+		if node < 0 {
+			continue
+		}
+		target := counts[node]
+		for _, w := range ws {
+			if rt.activeInNode(node) <= target {
+				break
+			}
+			if w.idle && !w.suspended {
+				w.idle = false
+				w.suspended = true
+			}
+		}
+		rt.resumeSuspendedInNode(node, func() int { return target - rt.activeInNode(node) })
+	}
+	return nil
+}
+
+// BlockCores applies option 2: block the workers bound to the given
+// cores. Requires BindCore. Idle workers block at once, busy workers as
+// soon as their task finishes.
+func (rt *Runtime) BlockCores(cores []machine.CoreID) error {
+	if rt.cfg.BindMode != BindCore {
+		return fmt.Errorf("taskrt: BlockCores requires core-bound workers")
+	}
+	want := map[machine.CoreID]bool{}
+	for _, c := range cores {
+		want[c] = true
+	}
+	for _, w := range rt.workers {
+		if !want[w.core] {
+			continue
+		}
+		w.coreBlocked = true
+		if w.idle && !w.suspended {
+			w.idle = false
+			w.suspended = true
+		}
+	}
+	return nil
+}
+
+// UnblockCores reverses BlockCores for the given cores; resumed workers
+// wake almost immediately.
+func (rt *Runtime) UnblockCores(cores []machine.CoreID) error {
+	if rt.cfg.BindMode != BindCore {
+		return fmt.Errorf("taskrt: UnblockCores requires core-bound workers")
+	}
+	want := map[machine.CoreID]bool{}
+	for _, c := range cores {
+		want[c] = true
+	}
+	for _, w := range rt.workers {
+		if !want[w.core] || !w.coreBlocked {
+			continue
+		}
+		w.coreBlocked = false
+		if w.suspended {
+			w.suspended = false
+			w.thread.Wake()
+		}
+	}
+	return nil
+}
+
+// resumeSuspended wakes randomly selected suspended workers while
+// deficit() > 0 (the paper: "these threads are selected randomly").
+func (rt *Runtime) resumeSuspended(deficit func() int) {
+	rng := rt.os.Engine().Rand()
+	for deficit() > 0 {
+		var pool []*worker
+		for _, w := range rt.workers {
+			if w.suspended && !w.coreBlocked {
+				pool = append(pool, w)
+			}
+		}
+		if len(pool) == 0 {
+			return
+		}
+		w := pool[rng.Intn(len(pool))]
+		w.suspended = false
+		w.thread.Wake()
+	}
+}
+
+func (rt *Runtime) resumeSuspendedInNode(node machine.NodeID, deficit func() int) {
+	rng := rt.os.Engine().Rand()
+	for deficit() > 0 {
+		var pool []*worker
+		for _, w := range rt.byNode[node] {
+			if w.suspended && !w.coreBlocked {
+				pool = append(pool, w)
+			}
+		}
+		if len(pool) == 0 {
+			return
+		}
+		w := pool[rng.Intn(len(pool))]
+		w.suspended = false
+		w.thread.Wake()
+	}
+}
+
+// Stats is the runtime's monitoring snapshot, the information the
+// paper's agent receives ("number of tasks executed, number of running
+// threads, etc.").
+type Stats struct {
+	// TasksExecuted counts completed tasks.
+	TasksExecuted uint64
+	// Pending counts ready tasks waiting in queues.
+	Pending int
+	// Outstanding counts submitted but uncompleted tasks.
+	Outstanding int
+	// Workers is the total worker-thread count.
+	Workers int
+	// Suspended counts workers parked by thread control.
+	Suspended int
+	// Idle counts workers parked for lack of work.
+	Idle int
+	// Running counts workers currently executing a task.
+	Running int
+	// GFlopDone is total compute completed.
+	GFlopDone float64
+	// BusySeconds is total CPU time consumed.
+	BusySeconds float64
+}
+
+// Stats returns the current snapshot.
+func (rt *Runtime) Stats() Stats {
+	s := Stats{
+		TasksExecuted: rt.tasksExecuted,
+		Pending:       rt.sched.pending(),
+		Outstanding:   rt.outstanding,
+		Workers:       len(rt.workers),
+		GFlopDone:     rt.proc.GFlopDone(),
+		BusySeconds:   rt.proc.BusySeconds(),
+	}
+	for _, w := range rt.workers {
+		switch {
+		case w.suspended:
+			s.Suspended++
+		case w.idle:
+			s.Idle++
+		case w.cur != nil:
+			s.Running++
+		}
+	}
+	return s
+}

@@ -1,0 +1,548 @@
+package taskrt
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/des"
+	"repro/internal/machine"
+	"repro/internal/osched"
+)
+
+func newSim(m *machine.Machine) (*des.Engine, *osched.OS) {
+	eng := des.NewEngine(1)
+	o := osched.New(eng, osched.Config{
+		Machine:           m,
+		ContextSwitchCost: -1,
+		MigrationPenalty:  -1,
+		LoadBalancePeriod: -1,
+	})
+	o.Start()
+	return eng, o
+}
+
+func TestIndependentTasksComplete(t *testing.T) {
+	m := machine.PaperModel()
+	eng, o := newSim(m)
+	rt := New(o, Config{Name: "app", BindMode: BindCore})
+
+	const n = 64
+	done := 0
+	for i := 0; i < n; i++ {
+		task := rt.NewTask("t", 0.1, 0, nil) // 10ms each at 10 GFLOPS
+		task.OnComplete = func() { done++ }
+		rt.Submit(task)
+	}
+	drained := false
+	rt.OnAllDone(func() { drained = true })
+	eng.RunUntil(2)
+	if done != n {
+		t.Errorf("done = %d, want %d", done, n)
+	}
+	if !drained {
+		t.Error("OnAllDone not fired")
+	}
+	st := rt.Stats()
+	if st.TasksExecuted != n || st.Outstanding != 0 || st.Pending != 0 {
+		t.Errorf("stats = %+v", st)
+	}
+	if math.Abs(st.GFlopDone-6.4) > 1e-6 {
+		t.Errorf("GFlopDone = %v, want 6.4", st.GFlopDone)
+	}
+	// 64 x 0.1 GFlop on 32 cores at 10 GFLOPS each: two waves of 10 ms.
+	if eng.Now() > 2 && done != n {
+		t.Error("tasks took too long")
+	}
+}
+
+func TestParallelSpeedup(t *testing.T) {
+	// 32 independent tasks should finish ~32x faster on 32 cores than
+	// sequentially; verify they use all cores by elapsed time.
+	m := machine.PaperModel()
+	eng, o := newSim(m)
+	rt := New(o, Config{Name: "app", BindMode: BindCore})
+	var finished des.Time
+	for i := 0; i < 32; i++ {
+		task := rt.NewTask("t", 1, 0, nil) // 0.1 s each
+		rt.Submit(task)
+	}
+	rt.OnAllDone(func() { finished = eng.Now() })
+	eng.RunUntil(5)
+	if finished == 0 {
+		t.Fatal("tasks never finished")
+	}
+	if finished > 0.15 {
+		t.Errorf("32 tasks on 32 cores took %v, want ~0.1 s", finished)
+	}
+}
+
+func TestDependencyOrder(t *testing.T) {
+	m := machine.PaperModel()
+	eng, o := newSim(m)
+	rt := New(o, Config{Name: "app", BindMode: BindCore})
+
+	var order []string
+	mk := func(name string) *Task {
+		task := rt.NewTask(name, 0.01, 0, nil)
+		task.OnComplete = func() { order = append(order, name) }
+		return task
+	}
+	a := mk("a")
+	b := mk("b")
+	c := mk("c")
+	d := mk("d")
+	b.DependsOn(a)
+	c.DependsOn(a)
+	d.DependsOn(b, c)
+	for _, task := range []*Task{d, c, b, a} { // submit in reverse
+		rt.Submit(task)
+	}
+	eng.RunUntil(1)
+	if len(order) != 4 {
+		t.Fatalf("completed %d tasks, want 4 (%v)", len(order), order)
+	}
+	pos := map[string]int{}
+	for i, n := range order {
+		pos[n] = i
+	}
+	if pos["a"] > pos["b"] || pos["a"] > pos["c"] || pos["b"] > pos["d"] || pos["c"] > pos["d"] {
+		t.Errorf("dependency order violated: %v", order)
+	}
+	if a.State() != TaskDone {
+		t.Errorf("a state = %v, want done", a.State())
+	}
+}
+
+func TestDependsOnCompletedTask(t *testing.T) {
+	m := machine.PaperModel()
+	eng, o := newSim(m)
+	rt := New(o, Config{Name: "app"})
+	a := rt.NewTask("a", 0.01, 0, nil)
+	rt.Submit(a)
+	eng.RunUntil(0.5)
+	if a.State() != TaskDone {
+		t.Fatal("a not done")
+	}
+	b := rt.NewTask("b", 0.01, 0, nil)
+	b.DependsOn(a) // satisfied dependency: must not block b
+	rt.Submit(b)
+	eng.RunUntil(1)
+	if b.State() != TaskDone {
+		t.Errorf("b state = %v, want done", b.State())
+	}
+}
+
+func TestSetTotalThreadsThrottles(t *testing.T) {
+	m := machine.PaperModel()
+	eng, o := newSim(m)
+	rt := New(o, Config{Name: "app", BindMode: BindCore})
+	// Continuous task feed: every completion submits a fresh task.
+	var feed func()
+	submitted := 0
+	feed = func() {
+		if submitted >= 100000 {
+			return
+		}
+		submitted++
+		task := rt.NewTask("t", 0.01, 0, nil)
+		task.OnComplete = feed
+		rt.Submit(task)
+	}
+	for i := 0; i < 64; i++ {
+		feed()
+	}
+	rt.SetTotalThreads(8)
+	eng.RunUntil(1)
+	st := rt.Stats()
+	if st.Suspended != 32-8 {
+		t.Errorf("suspended = %d, want 24", st.Suspended)
+	}
+	// Throughput ~ 8 cores * 10 GFLOPS * 1 s = 80 GFlop.
+	if math.Abs(st.GFlopDone-80) > 4 {
+		t.Errorf("GFlopDone = %.2f, want ~80", st.GFlopDone)
+	}
+
+	// Raise the target: random workers resume almost immediately.
+	rt.SetTotalThreads(16)
+	eng.RunUntil(1.1)
+	st = rt.Stats()
+	if st.Suspended != 32-16 {
+		t.Errorf("after raise suspended = %d, want 16", st.Suspended)
+	}
+	before := st.GFlopDone
+	eng.RunUntil(2.1)
+	rate := rt.Stats().GFlopDone - before
+	if math.Abs(rate-160) > 8 {
+		t.Errorf("throughput after raise = %.2f GFLOPS, want ~160", rate)
+	}
+}
+
+func TestNoPreemption(t *testing.T) {
+	// A long task keeps running even when the target drops to zero;
+	// suspension happens only at task boundaries.
+	m := machine.PaperModel()
+	eng, o := newSim(m)
+	rt := New(o, Config{Name: "app", BindMode: BindCore, Workers: 1})
+	var doneAt des.Time
+	task := rt.NewTask("long", 5, 0, nil) // 0.5 s on a 10 GFLOPS core
+	task.OnComplete = func() { doneAt = eng.Now() }
+	rt.Submit(task)
+	eng.RunUntil(0.1)
+	rt.SetTotalThreads(0)
+	eng.RunUntil(1)
+	if doneAt == 0 {
+		t.Fatal("running task was preempted by SetTotalThreads(0)")
+	}
+	if doneAt < 0.49 || doneAt > 0.55 {
+		t.Errorf("task finished at %v, want ~0.5", doneAt)
+	}
+	if st := rt.Stats(); st.Suspended != 1 {
+		t.Errorf("worker should suspend after finishing: %+v", st)
+	}
+}
+
+func TestBlockCores(t *testing.T) {
+	m := machine.PaperModel()
+	eng, o := newSim(m)
+	rt := New(o, Config{Name: "app", BindMode: BindCore})
+	var feed func()
+	feed = func() {
+		task := rt.NewTask("t", 0.01, 0, nil)
+		task.OnComplete = feed
+		rt.Submit(task)
+	}
+	for i := 0; i < 64; i++ {
+		feed()
+	}
+	// Block all of node 0's cores.
+	if err := rt.BlockCores(m.CoresOfNode(0)); err != nil {
+		t.Fatal(err)
+	}
+	eng.RunUntil(0.5)
+	if st := rt.Stats(); st.Suspended != 8 {
+		t.Errorf("suspended = %d, want 8", st.Suspended)
+	}
+	loads := o.CoreLoads()
+	for c := 0; c < 8; c++ {
+		// Blocked within the first task (~10 ms); core busy must stay tiny.
+		if loads[c] > 0.05 {
+			t.Errorf("blocked core %d busy %.3fs, want ~0", c, loads[c])
+		}
+	}
+	if err := rt.UnblockCores(m.CoresOfNode(0)); err != nil {
+		t.Fatal(err)
+	}
+	eng.RunUntil(1)
+	if st := rt.Stats(); st.Suspended != 0 {
+		t.Errorf("after unblock suspended = %d, want 0", st.Suspended)
+	}
+	loads = o.CoreLoads()
+	for c := 0; c < 8; c++ {
+		if loads[c] < 0.3 {
+			t.Errorf("unblocked core %d busy %.3fs, want ~0.5", c, loads[c])
+		}
+	}
+}
+
+func TestBlockCoresRequiresBindCore(t *testing.T) {
+	m := machine.PaperModel()
+	_, o := newSim(m)
+	rt := New(o, Config{Name: "app", BindMode: BindNode})
+	if err := rt.BlockCores([]machine.CoreID{0}); err == nil {
+		t.Error("expected error for BlockCores without BindCore")
+	}
+	if err := rt.UnblockCores([]machine.CoreID{0}); err == nil {
+		t.Error("expected error for UnblockCores without BindCore")
+	}
+}
+
+func TestSetNodeThreads(t *testing.T) {
+	m := machine.PaperModel()
+	eng, o := newSim(m)
+	rt := New(o, Config{Name: "app", BindMode: BindNode})
+	var feed func()
+	feed = func() {
+		task := rt.NewTask("t", 0.01, 0, nil)
+		task.OnComplete = feed
+		rt.Submit(task)
+	}
+	for i := 0; i < 64; i++ {
+		feed()
+	}
+	// 4 threads on node 0, 2 on node 1, none elsewhere.
+	if err := rt.SetNodeThreads([]int{4, 2, 0, 0}); err != nil {
+		t.Fatal(err)
+	}
+	eng.RunUntil(1)
+	st := rt.Stats()
+	if st.Suspended != 32-6 {
+		t.Errorf("suspended = %d, want 26", st.Suspended)
+	}
+	// Throughput ~6 cores * 10 GFLOPS.
+	if math.Abs(st.GFlopDone-60) > 3 {
+		t.Errorf("GFlopDone = %.2f, want ~60", st.GFlopDone)
+	}
+	// Node loads: node 0 ~4 cores busy, node 1 ~2, nodes 2-3 idle.
+	loads := o.CoreLoads()
+	nodeBusy := make([]float64, 4)
+	for c, l := range loads {
+		nodeBusy[m.NodeOfCore(machine.CoreID(c))] += l
+	}
+	if nodeBusy[0] < 3.5 || nodeBusy[1] < 1.5 || nodeBusy[2] > 0.1 || nodeBusy[3] > 0.1 {
+		t.Errorf("node busy = %v, want ~[4 2 0 0]", nodeBusy)
+	}
+}
+
+func TestSetNodeThreadsErrors(t *testing.T) {
+	m := machine.PaperModel()
+	_, o := newSim(m)
+	unbound := New(o, Config{Name: "u", BindMode: BindNone})
+	if err := unbound.SetNodeThreads([]int{1, 1, 1, 1}); err == nil {
+		t.Error("expected error for unbound workers")
+	}
+	bound := New(o, Config{Name: "b", BindMode: BindNode})
+	if err := bound.SetNodeThreads([]int{1, 1}); err == nil {
+		t.Error("expected error for wrong count length")
+	}
+}
+
+func TestNUMAAwareLocality(t *testing.T) {
+	m := machine.PaperModel()
+	eng, o := newSim(m)
+	rt := New(o, Config{Name: "app", BindMode: BindCore, Scheduler: NUMAAware})
+	blocks := make([]*DataBlock, 4)
+	for n := range blocks {
+		blocks[n] = &DataBlock{Name: "blk", Node: machine.NodeID(n), SizeGB: 1}
+	}
+	var tasks []*Task
+	for i := 0; i < 128; i++ {
+		task := rt.NewTask("t", 0.05, 0.5, blocks[i%4])
+		tasks = append(tasks, task)
+		rt.Submit(task)
+	}
+	eng.RunUntil(5)
+	local, total := 0, 0
+	for i, task := range tasks {
+		core, ok := task.ExecutedOn()
+		if !ok {
+			t.Fatalf("task %d not executed", i)
+		}
+		total++
+		if m.NodeOfCore(core) == blocks[i%4].Node {
+			local++
+		}
+	}
+	if frac := float64(local) / float64(total); frac < 0.9 {
+		t.Errorf("NUMA-aware locality = %.2f, want >= 0.9", frac)
+	}
+}
+
+func TestSchedulerKinds(t *testing.T) {
+	m := machine.PaperModel()
+	for _, kind := range []SchedulerKind{FIFO, WorkStealing, NUMAAware} {
+		eng, o := newSim(m)
+		rt := New(o, Config{Name: "app", BindMode: BindCore, Scheduler: kind})
+		done := 0
+		for i := 0; i < 100; i++ {
+			task := rt.NewTask("t", 0.01, 0.5, nil)
+			task.OnComplete = func() { done++ }
+			rt.Submit(task)
+		}
+		eng.RunUntil(2)
+		if done != 100 {
+			t.Errorf("%v: done = %d, want 100", kind, done)
+		}
+	}
+	if FIFO.String() != "fifo" || WorkStealing.String() != "work-stealing" || NUMAAware.String() != "numa-aware" {
+		t.Error("scheduler names wrong")
+	}
+}
+
+func TestWorkStealingChains(t *testing.T) {
+	// Chains of dependent tasks: completions push successors onto the
+	// finishing worker's deque; everything must still finish.
+	m := machine.PaperModel()
+	eng, o := newSim(m)
+	rt := New(o, Config{Name: "app", BindMode: BindCore, Scheduler: WorkStealing})
+	done := 0
+	for c := 0; c < 16; c++ {
+		var prev *Task
+		for i := 0; i < 10; i++ {
+			task := rt.NewTask("t", 0.01, 0, nil)
+			task.OnComplete = func() { done++ }
+			if prev != nil {
+				task.DependsOn(prev)
+			}
+			rt.Submit(task)
+			prev = task
+		}
+	}
+	eng.RunUntil(2)
+	if done != 160 {
+		t.Errorf("done = %d, want 160", done)
+	}
+}
+
+func TestPanics(t *testing.T) {
+	m := machine.PaperModel()
+	_, o := newSim(m)
+	rt := New(o, Config{Name: "app"})
+	rt2 := New(o, Config{Name: "other"})
+
+	expectPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected panic", name)
+			}
+		}()
+		fn()
+	}
+	task := rt.NewTask("t", 0.01, 0, nil)
+	rt.Submit(task)
+	expectPanic("double submit", func() { rt.Submit(task) })
+	expectPanic("foreign submit", func() { rt2.Submit(rt.NewTask("x", 1, 0, nil)) })
+	expectPanic("negative gflop", func() { rt.NewTask("x", -1, 0, nil) })
+	expectPanic("deps after submit", func() { task.DependsOn(rt.NewTask("y", 1, 0, nil)) })
+	expectPanic("nil dep", func() { rt.NewTask("z", 1, 0, nil).DependsOn(nil) })
+	expectPanic("too many core-bound workers", func() {
+		New(o, Config{Name: "big", BindMode: BindCore, Workers: 999})
+	})
+}
+
+func TestStatesAndStrings(t *testing.T) {
+	if TaskCreated.String() != "created" || TaskWaiting.String() != "waiting" ||
+		TaskReady.String() != "ready" || TaskRunning.String() != "running" || TaskDone.String() != "done" {
+		t.Error("task state names wrong")
+	}
+	if TaskState(9).String() == "" {
+		t.Error("unknown state should render")
+	}
+	if BindNone.String() != "unbound" || BindNode.String() != "node-bound" || BindCore.String() != "core-bound" {
+		t.Error("bind mode names wrong")
+	}
+	m := machine.PaperModel()
+	_, o := newSim(m)
+	rt := New(o, Config{Name: "acc"})
+	if rt.Name() != "acc" || rt.Process() == nil || rt.OS() != o {
+		t.Error("accessors wrong")
+	}
+}
+
+func TestOnAllDoneImmediateWhenDrained(t *testing.T) {
+	m := machine.PaperModel()
+	_, o := newSim(m)
+	rt := New(o, Config{Name: "app"})
+	fired := false
+	rt.OnAllDone(func() { fired = true })
+	if !fired {
+		t.Error("OnAllDone on drained runtime should fire immediately")
+	}
+}
+
+func TestMemoryBoundTasksShareBandwidth(t *testing.T) {
+	// 8 concurrent memory-bound tasks on node 0 (AI=0.5, demand 20 GB/s
+	// each) share 32 GB/s -> 2 GFLOPS per core; 8 tasks of 0.2 GFlop
+	// each take ~0.1 s.
+	m := machine.PaperModel()
+	eng, o := newSim(m)
+	rt := New(o, Config{Name: "app", BindMode: BindCore, Workers: 8})
+	blk := &DataBlock{Name: "d", Node: 0}
+	var finished des.Time
+	for i := 0; i < 8; i++ {
+		rt.Submit(rt.NewTask("t", 0.2, 0.5, blk))
+	}
+	rt.OnAllDone(func() { finished = eng.Now() })
+	eng.RunUntil(1)
+	if finished < 0.09 || finished > 0.12 {
+		t.Errorf("finished at %v, want ~0.1 s", finished)
+	}
+}
+
+// Property: random DAGs complete fully and never violate dependency
+// order.
+func TestRandomDAGProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := machine.PaperModel()
+		eng, o := newSim(m)
+		kind := SchedulerKind(rng.Intn(3))
+		rt := New(o, Config{Name: "app", BindMode: BindCore, Scheduler: kind})
+
+		n := 5 + rng.Intn(40)
+		tasks := make([]*Task, n)
+		doneOrder := make([]int, 0, n)
+		for i := 0; i < n; i++ {
+			i := i
+			tasks[i] = rt.NewTask("t", 0.001+rng.Float64()*0.02, rng.Float64()*2, nil)
+			tasks[i].OnComplete = func() { doneOrder = append(doneOrder, i) }
+			// Depend on up to 3 earlier tasks (indices < i keep it acyclic).
+			for d := 0; d < rng.Intn(4) && i > 0; d++ {
+				tasks[i].DependsOn(tasks[rng.Intn(i)])
+			}
+		}
+		for _, task := range tasks {
+			rt.Submit(task)
+		}
+		eng.RunUntil(30)
+		if len(doneOrder) != n {
+			return false
+		}
+		pos := make([]int, n)
+		for p, id := range doneOrder {
+			pos[id] = p
+		}
+		// Recheck order against recorded successor edges.
+		for i, task := range tasks {
+			for _, s := range task.succs {
+				si := -1
+				for j, other := range tasks {
+					if other == s {
+						si = j
+						break
+					}
+				}
+				if si >= 0 && pos[i] > pos[si] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() (uint64, float64) {
+		m := machine.PaperModel()
+		eng, o := newSim(m)
+		rt := New(o, Config{Name: "app", BindMode: BindNode, Scheduler: WorkStealing})
+		var feed func()
+		count := 0
+		feed = func() {
+			if count >= 500 {
+				return
+			}
+			count++
+			task := rt.NewTask("t", 0.005, 1, nil)
+			task.OnComplete = feed
+			rt.Submit(task)
+		}
+		for i := 0; i < 40; i++ {
+			feed()
+		}
+		rt.SetNodeThreads([]int{4, 4, 2, 2})
+		eng.RunUntil(1)
+		st := rt.Stats()
+		return st.TasksExecuted, st.GFlopDone
+	}
+	t1, g1 := run()
+	t2, g2 := run()
+	if t1 != t2 || g1 != g2 {
+		t.Errorf("non-deterministic: (%d,%g) vs (%d,%g)", t1, g1, t2, g2)
+	}
+}

@@ -1,0 +1,203 @@
+package taskrt
+
+import (
+	"math/rand"
+
+	"repro/internal/machine"
+)
+
+// SchedulerKind selects the ready-task scheduling policy.
+type SchedulerKind int
+
+const (
+	// FIFO is a single global queue, NUMA-oblivious.
+	FIFO SchedulerKind = iota
+	// WorkStealing gives each worker a deque: own tasks LIFO, steals
+	// FIFO from random victims.
+	WorkStealing
+	// NUMAAware keeps one queue per NUMA node; tasks go to their data
+	// block's node and workers prefer their own node's queue before
+	// stealing from others.
+	NUMAAware
+)
+
+// String names the scheduler kind.
+func (k SchedulerKind) String() string {
+	switch k {
+	case FIFO:
+		return "fifo"
+	case WorkStealing:
+		return "work-stealing"
+	case NUMAAware:
+		return "numa-aware"
+	default:
+		return "scheduler(?)"
+	}
+}
+
+// scheduler holds ready tasks. Implementations are single-threaded
+// (driven by the deterministic simulation) so no locking is needed.
+type scheduler interface {
+	// push enqueues a ready task. w is the worker that produced it
+	// (nil for external submissions).
+	push(t *Task, w *worker)
+	// pop dequeues a task for worker w, or nil.
+	pop(w *worker) *Task
+	// pending returns the number of queued tasks.
+	pending() int
+}
+
+// fifoScheduler is the NUMA-oblivious single queue.
+type fifoScheduler struct {
+	q []*Task
+}
+
+func (s *fifoScheduler) push(t *Task, _ *worker) { s.q = append(s.q, t) }
+
+func (s *fifoScheduler) pop(_ *worker) *Task {
+	if len(s.q) == 0 {
+		return nil
+	}
+	t := s.q[0]
+	s.q = s.q[1:]
+	return t
+}
+
+func (s *fifoScheduler) pending() int { return len(s.q) }
+
+// stealScheduler implements per-worker deques with random stealing.
+type stealScheduler struct {
+	deques map[*worker][]*Task
+	global []*Task // external submissions
+	order  []*worker
+	rng    *rand.Rand
+}
+
+func newStealScheduler(rng *rand.Rand) *stealScheduler {
+	return &stealScheduler{deques: map[*worker][]*Task{}, rng: rng}
+}
+
+func (s *stealScheduler) register(w *worker) {
+	s.order = append(s.order, w)
+	s.deques[w] = nil
+}
+
+func (s *stealScheduler) push(t *Task, w *worker) {
+	if w == nil {
+		s.global = append(s.global, t)
+		return
+	}
+	s.deques[w] = append(s.deques[w], t)
+}
+
+func (s *stealScheduler) pop(w *worker) *Task {
+	// Own deque, LIFO (hot cache).
+	if d := s.deques[w]; len(d) > 0 {
+		t := d[len(d)-1]
+		s.deques[w] = d[:len(d)-1]
+		return t
+	}
+	// Global queue next.
+	if len(s.global) > 0 {
+		t := s.global[0]
+		s.global = s.global[1:]
+		return t
+	}
+	// Steal FIFO from a random victim, scanning all once.
+	n := len(s.order)
+	if n == 0 {
+		return nil
+	}
+	start := s.rng.Intn(n)
+	for i := 0; i < n; i++ {
+		v := s.order[(start+i)%n]
+		if v == w {
+			continue
+		}
+		if d := s.deques[v]; len(d) > 0 {
+			t := d[0]
+			s.deques[v] = d[1:]
+			return t
+		}
+	}
+	return nil
+}
+
+func (s *stealScheduler) pending() int {
+	n := len(s.global)
+	for _, d := range s.deques {
+		n += len(d)
+	}
+	return n
+}
+
+// numaScheduler keeps a queue per NUMA node keyed by the task's data
+// placement; workers drain their own node before stealing.
+type numaScheduler struct {
+	m       *machine.Machine
+	queues  [][]*Task
+	anyQ    []*Task // tasks without placement
+	noSteal bool    // strict locality: never take another node's tasks
+}
+
+func newNUMAScheduler(m *machine.Machine, noSteal bool) *numaScheduler {
+	return &numaScheduler{m: m, queues: make([][]*Task, m.NumNodes()), noSteal: noSteal}
+}
+
+func (s *numaScheduler) push(t *Task, _ *worker) {
+	n := t.queueNode()
+	if n < 0 || int(n) >= len(s.queues) {
+		s.anyQ = append(s.anyQ, t)
+		return
+	}
+	s.queues[n] = append(s.queues[n], t)
+}
+
+func (s *numaScheduler) pop(w *worker) *Task {
+	home := w.node
+	if home >= 0 && int(home) < len(s.queues) && len(s.queues[home]) > 0 {
+		t := s.queues[home][0]
+		s.queues[home] = s.queues[home][1:]
+		return t
+	}
+	if len(s.anyQ) > 0 {
+		t := s.anyQ[0]
+		s.anyQ = s.anyQ[1:]
+		return t
+	}
+	// Steal from the fullest other node queue: helps drain imbalance
+	// while keeping most executions local. Tasks pinned with
+	// PreferNode are never stolen — their placement is strict (data
+	// migrations rely on this) — and strict-locality schedulers never
+	// steal at all.
+	if s.noSteal {
+		return nil
+	}
+	best := -1
+	for n := range s.queues {
+		if machine.NodeID(n) == home || len(s.queues[n]) == 0 {
+			continue
+		}
+		if best < 0 || len(s.queues[n]) > len(s.queues[best]) {
+			best = n
+		}
+	}
+	if best >= 0 {
+		for i, t := range s.queues[best] {
+			if t.hasPrefer {
+				continue
+			}
+			s.queues[best] = append(s.queues[best][:i], s.queues[best][i+1:]...)
+			return t
+		}
+	}
+	return nil
+}
+
+func (s *numaScheduler) pending() int {
+	n := len(s.anyQ)
+	for _, q := range s.queues {
+		n += len(q)
+	}
+	return n
+}

@@ -1,0 +1,147 @@
+// Package taskrt implements an OCR-Vx-like task-based runtime system on
+// top of the simulated operating system in internal/osched.
+//
+// Applications express work as fine-grained tasks with dependencies;
+// the runtime schedules ready tasks onto a pool of worker threads. Like
+// the runtime described in the paper, it can dynamically suspend and
+// resume workers in three ways (Section II):
+//
+//  1. a total thread count (idle threads block first, threads finishing
+//     a task block next, tasks are never preempted),
+//  2. explicit blocking of workers bound to individual cores, and
+//  3. per-NUMA-node thread counts for workers bound to NUMA nodes.
+//
+// Data blocks carry a NUMA placement, so schedulers can be NUMA-aware
+// (run a task near its data) or NUMA-oblivious (global FIFO), and the
+// runtime reports execution statistics to an external agent.
+package taskrt
+
+import (
+	"fmt"
+
+	"repro/internal/machine"
+)
+
+// DataBlock is a runtime-managed datum with an explicit NUMA placement,
+// like an OCR data block. Tasks reading a block generate memory traffic
+// against its node.
+type DataBlock struct {
+	// Name labels the block.
+	Name string
+	// Node is the NUMA node holding the block.
+	Node machine.NodeID
+	// SizeGB is informational (intermediate-data accounting).
+	SizeGB float64
+}
+
+// TaskState tracks a task through its lifecycle.
+type TaskState int
+
+const (
+	// TaskCreated tasks are built but not yet submitted.
+	TaskCreated TaskState = iota
+	// TaskWaiting tasks are submitted with unmet dependencies.
+	TaskWaiting
+	// TaskReady tasks sit in a scheduler queue.
+	TaskReady
+	// TaskRunning tasks occupy a worker.
+	TaskRunning
+	// TaskDone tasks have completed.
+	TaskDone
+)
+
+// String names the state.
+func (s TaskState) String() string {
+	switch s {
+	case TaskCreated:
+		return "created"
+	case TaskWaiting:
+		return "waiting"
+	case TaskReady:
+		return "ready"
+	case TaskRunning:
+		return "running"
+	case TaskDone:
+		return "done"
+	default:
+		return fmt.Sprintf("taskstate(%d)", int(s))
+	}
+}
+
+// Task is one unit of work.
+type Task struct {
+	// Name labels the task.
+	Name string
+	// GFlop is the compute volume.
+	GFlop float64
+	// AI is the arithmetic intensity (FLOP/byte); <= 0 means
+	// compute-only (no memory traffic).
+	AI float64
+	// Data is the block the task reads/writes; nil means the task
+	// accesses the executing core's local node.
+	Data *DataBlock
+	// OnComplete runs when the task finishes (may submit more tasks).
+	OnComplete func()
+
+	rt        *Runtime
+	state     TaskState
+	remaining int // unmet dependencies
+	succs     []*Task
+	submitted bool
+	execCore  machine.CoreID
+	executed  bool
+	prefer    machine.NodeID
+	hasPrefer bool
+}
+
+// PreferNode hints the NUMA-aware scheduler to run the task on a
+// worker of the given node, overriding the data block's node. FIFO and
+// work-stealing schedulers ignore the hint. Returns the task for
+// chaining.
+func (t *Task) PreferNode(n machine.NodeID) *Task {
+	t.prefer = n
+	t.hasPrefer = true
+	return t
+}
+
+// queueNode returns the node the scheduler should home the task on.
+func (t *Task) queueNode() machine.NodeID {
+	if t.hasPrefer {
+		return t.prefer
+	}
+	return t.memNode()
+}
+
+// ExecutedOn returns the core that ran the task, once it is done.
+func (t *Task) ExecutedOn() (machine.CoreID, bool) { return t.execCore, t.executed }
+
+// State returns the task's lifecycle state.
+func (t *Task) State() TaskState { return t.state }
+
+// memNode returns the node the task's memory traffic targets.
+func (t *Task) memNode() machine.NodeID {
+	if t.Data == nil {
+		return -1 // osched.LocalNode
+	}
+	return t.Data.Node
+}
+
+// DependsOn registers dependencies: t cannot start before all deps
+// complete. It panics if t or a dependency was already submitted, which
+// would race with scheduling.
+func (t *Task) DependsOn(deps ...*Task) *Task {
+	if t.submitted {
+		panic("taskrt: DependsOn after Submit")
+	}
+	for _, d := range deps {
+		if d == nil {
+			panic("taskrt: nil dependency")
+		}
+		if d.state == TaskDone {
+			continue // already satisfied
+		}
+		d.succs = append(d.succs, t)
+		t.remaining++
+	}
+	return t
+}

@@ -1,0 +1,19 @@
+package trace
+
+import "repro/internal/machine"
+
+// RuntimeTracer adapts a Trace to the task runtime's Tracer interface
+// (taskrt.Tracer is satisfied structurally — no import needed).
+type RuntimeTracer struct {
+	T *Trace
+}
+
+// TaskStart implements taskrt.Tracer.
+func (rt RuntimeTracer) TaskStart(runtime, task string, workerID int, _ machine.CoreID, at float64) {
+	rt.T.Begin(task, runtime, workerID, at)
+}
+
+// TaskEnd implements taskrt.Tracer.
+func (rt RuntimeTracer) TaskEnd(runtime, _ string, workerID int, at float64) {
+	rt.T.End(runtime, workerID, at)
+}

