@@ -1,0 +1,29 @@
+# Standard entry points. `make check` is the full gate: build, vet, and
+# the test suite under the race detector (the control plane's registry
+# and solver are exercised concurrently over real HTTP).
+
+GO ?= go
+
+.PHONY: all build vet test race bench check fmt
+
+all: check
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench . -benchmem -run '^$$' ./...
+
+check: build vet race
+
+fmt:
+	gofmt -l -w .

@@ -1,0 +1,260 @@
+// Command coopctl is the CLI for the coopd control plane: register
+// synthetic applications, send heartbeats, dump allocations, and watch
+// reallocation happen as applications join and leave.
+//
+// Usage:
+//
+//	coopctl [-server URL] register -name stream -ai 0.5 [-placement numa-bad -home 0] [-max 8] [-ttl 10s]
+//	coopctl [-server URL] heartbeat -id stream-1 [-workers 8 -running 6]
+//	coopctl [-server URL] deregister -id stream-1
+//	coopctl [-server URL] apps
+//	coopctl [-server URL] alloc
+//	coopctl [-server URL] watch [-interval 500ms]
+//	coopctl [-server URL] demo [-keep]
+//	coopctl [-server URL] health
+//
+// demo registers the paper's Table I mix (three memory-bound apps at
+// AI 0.5 and one compute-bound at AI 10), prints the served allocation
+// (254 GFLOPS on the paper-model machine, vs 140 even / 128
+// node-per-app), deregisters the compute-bound app, and shows the
+// reallocation.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/ctrlplane"
+	"repro/internal/ctrlplane/client"
+	"repro/internal/metrics"
+)
+
+func main() {
+	server := flag.String("server", "http://127.0.0.1:8377", "control-plane base URL")
+	flag.Usage = usage
+	flag.Parse()
+	if flag.NArg() == 0 {
+		usage()
+		os.Exit(2)
+	}
+	c := client.New(*server, client.Config{})
+	ctx := context.Background()
+	cmd, args := flag.Arg(0), flag.Args()[1:]
+	var err error
+	switch cmd {
+	case "register":
+		err = cmdRegister(ctx, c, args)
+	case "heartbeat":
+		err = cmdHeartbeat(ctx, c, args)
+	case "deregister":
+		err = cmdDeregister(ctx, c, args)
+	case "apps":
+		err = cmdApps(ctx, c)
+	case "alloc":
+		err = cmdAlloc(ctx, c)
+	case "watch":
+		err = cmdWatch(ctx, c, args)
+	case "demo":
+		err = cmdDemo(ctx, c, args)
+	case "health":
+		err = cmdHealth(ctx, c)
+	default:
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "coopctl:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: coopctl [-server URL] <register|heartbeat|deregister|apps|alloc|watch|demo|health> [flags]")
+}
+
+func cmdRegister(ctx context.Context, c *client.Client, args []string) error {
+	fs := flag.NewFlagSet("register", flag.ExitOnError)
+	name := fs.String("name", "app", "application name")
+	ai := fs.Float64("ai", 1, "arithmetic intensity (FLOP/byte)")
+	placement := fs.String("placement", "", "numa-perfect (default) or numa-bad")
+	home := fs.Int("home", 0, "home node for numa-bad placement")
+	max := fs.Int("max", 0, "max threads (0: uncapped)")
+	ttl := fs.Duration("ttl", 0, "heartbeat deadline (0: server default)")
+	fs.Parse(args)
+	resp, err := c.Register(ctx, ctrlplane.RegisterRequest{
+		Name: *name, AI: *ai, Placement: *placement, HomeNode: *home,
+		MaxThreads: *max, TTLMillis: ttl.Milliseconds(),
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("registered %s (generation %d, ttl %dms)\n", resp.ID, resp.Generation, resp.TTLMillis)
+	if resp.Allocation != nil {
+		fmt.Printf("allocation: per-node %v, %d threads, predicted %s GFLOPS\n",
+			resp.Allocation.PerNode, resp.Allocation.Threads, metrics.FormatFloat(resp.Allocation.PredictedGFLOPS))
+	}
+	return nil
+}
+
+func cmdHeartbeat(ctx context.Context, c *client.Client, args []string) error {
+	fs := flag.NewFlagSet("heartbeat", flag.ExitOnError)
+	id := fs.String("id", "", "application id (from register)")
+	workers := fs.Int("workers", 0, "worker thread count")
+	running := fs.Int("running", 0, "running workers")
+	pending := fs.Int("pending", 0, "queued tasks")
+	gflops := fs.Float64("gflops", 0, "observed GFLOP/s")
+	gbs := fs.Float64("gbs", 0, "observed GB/s")
+	fs.Parse(args)
+	if *id == "" {
+		return fmt.Errorf("heartbeat: -id is required")
+	}
+	resp, err := c.Heartbeat(ctx, ctrlplane.HeartbeatRequest{
+		ID: *id, Workers: *workers, Running: *running, Pending: *pending,
+		GFlopRate: *gflops, GBRate: *gbs,
+	})
+	if err != nil {
+		if client.IsNotFound(err) {
+			return fmt.Errorf("%s was evicted (missed its heartbeat deadline); re-register it", *id)
+		}
+		return err
+	}
+	fmt.Printf("ok (generation %d)", resp.Generation)
+	if resp.Allocation != nil {
+		fmt.Printf(", allocation per-node %v", resp.Allocation.PerNode)
+	}
+	fmt.Println()
+	return nil
+}
+
+func cmdDeregister(ctx context.Context, c *client.Client, args []string) error {
+	fs := flag.NewFlagSet("deregister", flag.ExitOnError)
+	id := fs.String("id", "", "application id")
+	fs.Parse(args)
+	if *id == "" {
+		return fmt.Errorf("deregister: -id is required")
+	}
+	if err := c.Deregister(ctx, *id); err != nil {
+		return err
+	}
+	fmt.Printf("deregistered %s\n", *id)
+	return nil
+}
+
+func cmdApps(ctx context.Context, c *client.Client) error {
+	resp, err := c.Apps(ctx)
+	if err != nil {
+		return err
+	}
+	t := metrics.NewTable(fmt.Sprintf("registered applications (generation %d)", resp.Generation),
+		"id", "name", "AI", "placement", "ttl (ms)", "idle (ms)", "beats")
+	for _, a := range resp.Apps {
+		t.AddRow(a.ID, a.Name, a.AI, a.Placement, a.TTLMillis, a.IdleMillis, a.Beats)
+	}
+	fmt.Print(t)
+	return nil
+}
+
+func cmdAlloc(ctx context.Context, c *client.Client) error {
+	resp, err := c.Allocations(ctx)
+	if err != nil {
+		return err
+	}
+	printAlloc(resp)
+	return nil
+}
+
+func printAlloc(resp *ctrlplane.AllocationsResponse) {
+	t := metrics.NewTable(
+		fmt.Sprintf("%s, policy %s, generation %d", resp.Machine, resp.Policy, resp.Generation),
+		"id", "name", "per-node threads", "total", "predicted GFLOPS")
+	for _, a := range resp.Apps {
+		t.AddRow(a.ID, a.Name, fmt.Sprint(a.PerNode), a.Threads, a.PredictedGFLOPS)
+	}
+	fmt.Print(t)
+	fmt.Printf("total: %s GFLOPS", metrics.FormatFloat(resp.TotalGFLOPS))
+	if r := resp.Reference; r != nil {
+		fmt.Printf(" (references: even %s, node-per-app %s)",
+			metrics.FormatFloat(r.EvenGFLOPS), metrics.FormatFloat(r.NodePerAppGFLOPS))
+	}
+	fmt.Printf(", cache hit: %v\n", resp.CacheHit)
+}
+
+func cmdWatch(ctx context.Context, c *client.Client, args []string) error {
+	fs := flag.NewFlagSet("watch", flag.ExitOnError)
+	interval := fs.Duration("interval", 500*time.Millisecond, "poll interval")
+	fs.Parse(args)
+	resp, err := c.Allocations(ctx)
+	if err != nil {
+		return err
+	}
+	printAlloc(resp)
+	for {
+		next, err := c.WaitForReallocation(ctx, resp.Generation, *interval)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("\n-- reallocation: generation %d -> %d --\n", resp.Generation, next.Generation)
+		printAlloc(next)
+		resp = next
+	}
+}
+
+func cmdDemo(ctx context.Context, c *client.Client, args []string) error {
+	fs := flag.NewFlagSet("demo", flag.ExitOnError)
+	keep := fs.Bool("keep", false, "leave the demo apps registered on exit")
+	fs.Parse(args)
+
+	fmt.Println("registering the paper's Table I mix: 3x memory-bound (AI 0.5) + 1x compute-bound (AI 10)")
+	reqs := []ctrlplane.RegisterRequest{
+		{Name: "mem-bound-a", AI: 0.5},
+		{Name: "mem-bound-b", AI: 0.5},
+		{Name: "mem-bound-c", AI: 0.5},
+		{Name: "comp-bound", AI: 10},
+	}
+	var ids []string
+	for _, r := range reqs {
+		resp, err := c.Register(ctx, r)
+		if err != nil {
+			return err
+		}
+		ids = append(ids, resp.ID)
+	}
+	if !*keep {
+		defer func() {
+			for _, id := range ids {
+				c.Deregister(context.Background(), id)
+			}
+		}()
+	}
+	alloc, err := c.Allocations(ctx)
+	if err != nil {
+		return err
+	}
+	fmt.Println()
+	printAlloc(alloc)
+
+	fmt.Printf("\nderegistering %s to trigger reallocation...\n", ids[3])
+	if err := c.Deregister(ctx, ids[3]); err != nil {
+		return err
+	}
+	next, err := c.WaitForReallocation(ctx, alloc.Generation, 100*time.Millisecond)
+	if err != nil {
+		return err
+	}
+	printAlloc(next)
+	ids = ids[:3]
+	return nil
+}
+
+func cmdHealth(ctx context.Context, c *client.Client) error {
+	h, err := c.Health(ctx)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s: machine %s, %d apps, generation %d, up %.1fs\n",
+		h.Status, h.Machine, h.Apps, h.Generation, h.UptimeSeconds)
+	return nil
+}

@@ -1,0 +1,103 @@
+// Command coopd runs the allocation control-plane daemon: applications
+// register their roofline profile over HTTP, heartbeat their execution
+// stats, and receive per-NUMA-node thread allocations computed by the
+// agent's policies over the configured machine topology.
+//
+// Usage:
+//
+//	coopd                              # paper model machine on :8377
+//	coopd -addr :9000 -machine skylake # calibrated Skylake topology
+//	coopd -machine topo.json           # custom topology from JSON
+//	coopd -policy fairshare            # even split instead of roofline
+//	coopd -ttl 5s -sweep 1s            # heartbeat deadline / evict scan
+//
+// Endpoints: POST /v1/register, POST /v1/heartbeat,
+// DELETE /v1/apps/{id}, GET /v1/apps, GET /v1/allocations,
+// GET /healthz, GET /metricsz, GET /tracez. See cmd/coopctl for a CLI.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/ctrlplane"
+	"repro/internal/machine"
+)
+
+func main() {
+	addr := flag.String("addr", ":8377", "listen address")
+	machineName := flag.String("machine", "paper-model", "topology: paper-model | paper-numabad | skylake | knl-flat | knl-snc4 | path to a machine JSON file")
+	policy := flag.String("policy", ctrlplane.PolicyRoofline, "allocation policy: roofline | fairshare")
+	ttl := flag.Duration("ttl", 15*time.Second, "default heartbeat deadline before an app is evicted")
+	sweep := flag.Duration("sweep", 0, "eviction scan interval (default ttl/4)")
+	flag.Parse()
+
+	m, err := loadMachine(*machineName)
+	if err != nil {
+		log.Fatalf("coopd: %v", err)
+	}
+	srv, err := ctrlplane.NewServer(ctrlplane.ServerConfig{
+		Machine:       m,
+		Policy:        *policy,
+		DefaultTTL:    *ttl,
+		SweepInterval: *sweep,
+	})
+	if err != nil {
+		log.Fatalf("coopd: %v", err)
+	}
+
+	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer cancel()
+
+	srv.Start()
+	defer srv.Close()
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
+	log.Printf("coopd: serving %s (policy %s, ttl %s) on %s", m, *policy, *ttl, *addr)
+
+	select {
+	case err := <-errc:
+		log.Fatalf("coopd: %v", err)
+	case <-ctx.Done():
+	}
+	log.Printf("coopd: shutting down")
+	shutdownCtx, cancelShutdown := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancelShutdown()
+	if err := hs.Shutdown(shutdownCtx); err != nil {
+		log.Printf("coopd: shutdown: %v", err)
+	}
+}
+
+// loadMachine resolves a named topology or reads one from a JSON file.
+func loadMachine(name string) (*machine.Machine, error) {
+	switch name {
+	case "paper-model":
+		return machine.PaperModel(), nil
+	case "paper-numabad":
+		return machine.PaperModelNUMABad(), nil
+	case "skylake":
+		return machine.SkylakeQuad(), nil
+	case "knl-flat":
+		return machine.KNLFlat(), nil
+	case "knl-snc4":
+		return machine.KNLSNC4(), nil
+	}
+	data, err := os.ReadFile(name)
+	if err != nil {
+		return nil, fmt.Errorf("unknown machine %q and no such file: %w", name, err)
+	}
+	var m machine.Machine
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, fmt.Errorf("parsing machine file %s: %w", name, err)
+	}
+	return &m, nil
+}

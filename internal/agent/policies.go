@@ -24,6 +24,9 @@ func (FairShare) Name() string { return "fair-share" }
 // Decide implements Policy.
 func (p FairShare) Decide(_ des.Time, m *machine.Machine, infos []Info) []Command {
 	n := len(infos)
+	if n == 0 {
+		return nil
+	}
 	var cmds []Command
 	if p.PerNode {
 		for i := 0; i < n; i++ {
@@ -137,6 +140,12 @@ type RooflineOptimal struct {
 	Specs []AppSpec
 	// Objective scores allocations; nil means total GFLOPS.
 	Objective roofline.Objective
+	// MinPerNode guarantees every client at least this many threads on
+	// every node (no starvation: under pure throughput maximization a
+	// memory-bound app's threads contribute nothing once bandwidth is
+	// saturated and would be handed to compute-bound neighbours). 0
+	// applies no floor; 1 reproduces the paper's Table I optimum.
+	MinPerNode int
 
 	counts []int
 	failed bool
@@ -155,7 +164,7 @@ func (p *RooflineOptimal) Decide(_ des.Time, m *machine.Machine, infos []Info) [
 		for i, s := range p.Specs {
 			apps[i] = roofline.App{Name: infos[i].Name, AI: s.AI, Placement: s.Placement, HomeNode: s.HomeNode}
 		}
-		counts, _, _, err := roofline.BestPerNodeCounts(m, apps, p.Objective)
+		counts, _, _, err := roofline.BestPerNodeCountsFloor(m, apps, p.Objective, p.MinPerNode)
 		if err != nil {
 			p.failed = true
 			return nil
@@ -216,10 +225,15 @@ func (p *AdaptiveRoofline) Decide(_ des.Time, m *machine.Machine, infos []Info) 
 	if p.MaxAI <= 0 {
 		p.MaxAI = 1e3
 	}
-	if p.sumAI == nil {
+	if p.sumAI == nil || len(p.sumAI) != len(infos) {
+		// First call, or the client set changed under us (an app joined
+		// or deregistered mid-reallocation): restart the estimation so
+		// the accumulators stay aligned with the client list.
 		p.sumAI = make([]float64, len(infos))
 		p.nAI = make([]int, len(infos))
 		p.lastAI = make([]float64, len(infos))
+		p.counts = nil
+		p.ticks = 0
 	}
 	// Accumulate AI estimates from clients that did measurable work.
 	for i, in := range infos {

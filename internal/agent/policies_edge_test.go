@@ -1,0 +1,162 @@
+package agent
+
+import (
+	"testing"
+
+	"repro/internal/machine"
+	"repro/internal/taskrt"
+)
+
+// TestPoliciesZeroClients: every policy must cope with an empty client
+// list (the control plane's registry can drain to zero between
+// decisions) — no panic, no commands.
+func TestPoliciesZeroClients(t *testing.T) {
+	m := machine.PaperModel()
+	policies := []Policy{
+		FairShare{},
+		FairShare{PerNode: true},
+		&RooflineOptimal{},
+		&AdaptiveRoofline{Warmup: 1},
+		WorkConserving{},
+		Static{},
+	}
+	for _, p := range policies {
+		if cmds := p.Decide(0, m, nil); len(cmds) != 0 {
+			t.Errorf("%s with zero clients issued %d commands", p.Name(), len(cmds))
+		}
+	}
+}
+
+// TestRooflineOptimalSingleGreedyApp: one compute-bound app gets the
+// whole machine and never more — the allocation must fit the cores that
+// exist even though the app would happily take any number of threads.
+func TestRooflineOptimalSingleGreedyApp(t *testing.T) {
+	m := machine.PaperModel()
+	p := &RooflineOptimal{Specs: []AppSpec{{AI: 10}}, MinPerNode: 1}
+	cmds := p.Decide(0, m, []Info{{Name: "greedy"}})
+	if len(cmds) != 1 {
+		t.Fatalf("commands = %v, want one", cmds)
+	}
+	total := 0
+	for j, c := range cmds[0].PerNode {
+		if c > m.Nodes[j].Cores {
+			t.Errorf("node %d allocated %d threads, has %d cores", j, c, m.Nodes[j].Cores)
+		}
+		total += c
+	}
+	if total != m.TotalCores() {
+		t.Errorf("single compute-bound app got %d threads, want the whole machine (%d)", total, m.TotalCores())
+	}
+}
+
+// TestRooflineOptimalFloorInfeasible: when the no-starvation floors
+// alone over-subscribe a node (more apps than cores per node), the
+// policy reports no allocation instead of an invalid one.
+func TestRooflineOptimalFloorInfeasible(t *testing.T) {
+	m := machine.Uniform("tiny", 2, 2, 10, 32, 0) // 2 cores per node
+	specs := make([]AppSpec, 3)                   // 3 apps, floor 1 each: needs 3 cores/node
+	infos := make([]Info, 3)
+	for i := range specs {
+		specs[i] = AppSpec{AI: 1}
+	}
+	p := &RooflineOptimal{Specs: specs, MinPerNode: 1}
+	if cmds := p.Decide(0, m, infos); cmds != nil {
+		t.Errorf("infeasible floor produced commands: %v", cmds)
+	}
+	// Without the floor the same mix allocates fine.
+	p2 := &RooflineOptimal{Specs: specs}
+	if cmds := p2.Decide(0, m, infos); len(cmds) != 3 {
+		t.Errorf("unfloored solve issued %d commands, want 3", len(cmds))
+	}
+}
+
+// TestRooflineOptimalClientSetMismatch: the policy is computed for a
+// fixed client set; if an app deregisters the spec list no longer
+// matches and the policy must abstain rather than command the wrong
+// clients.
+func TestRooflineOptimalClientSetMismatch(t *testing.T) {
+	m := machine.PaperModel()
+	p := &RooflineOptimal{Specs: []AppSpec{{AI: 0.5}, {AI: 10}}}
+	if cmds := p.Decide(0, m, []Info{{Name: "a"}, {Name: "b"}}); len(cmds) != 2 {
+		t.Fatalf("initial decide issued %d commands", len(cmds))
+	}
+	// One app deregistered: 1 info against 2 specs.
+	if cmds := p.Decide(0, m, []Info{{Name: "a"}}); cmds != nil {
+		t.Errorf("mismatched client set produced commands: %v", cmds)
+	}
+}
+
+// adaptiveInfo builds an Info reporting steady rates so AdaptiveRoofline
+// can estimate the app's AI.
+func adaptiveInfo(name string, ai float64) Info {
+	return Info{Name: name, GFlopRate: 10 * ai, GBRate: 10}
+}
+
+// TestAdaptiveRooflineClientSetResize: an app deregistering (or joining)
+// mid-estimation changes len(infos) between Decide calls. The policy
+// must restart its accumulators, not index out of range — this is the
+// regression test for the resize bug.
+func TestAdaptiveRooflineClientSetResize(t *testing.T) {
+	m := machine.PaperModel()
+	p := &AdaptiveRoofline{Warmup: 2}
+
+	three := []Info{adaptiveInfo("a", 0.5), adaptiveInfo("b", 0.5), adaptiveInfo("c", 10)}
+	p.Decide(0, m, three)
+	p.Decide(0, m, three)
+	if cmds := p.Decide(0, m, three); len(cmds) != 3 {
+		t.Fatalf("3-client decide issued %d commands, want 3", len(cmds))
+	}
+
+	// App "b" deregisters: the client list shrinks to 2. Before the
+	// resize guard this panicked indexing 3-wide accumulators.
+	two := []Info{adaptiveInfo("a", 0.5), adaptiveInfo("c", 10)}
+	p.Decide(0, m, two) // restart, warming up again
+	cmds := p.Decide(0, m, two)
+	if len(cmds) != 2 {
+		t.Fatalf("2-client decide issued %d commands, want 2", len(cmds))
+	}
+	for _, c := range cmds {
+		if c.Client < 0 || c.Client >= 2 {
+			t.Errorf("command addressed client %d of 2", c.Client)
+		}
+	}
+
+	// And growing back works too (a new app registered).
+	p.Decide(0, m, three)
+	p.Decide(0, m, three)
+	if cmds := p.Decide(0, m, three); len(cmds) != 3 {
+		t.Errorf("regrown 3-client decide issued %d commands, want 3", len(cmds))
+	}
+}
+
+// TestWorkConservingIdleBurst: with every neighbour idle, a single busy
+// app gets nearly the whole machine; shares always stay within the
+// machine's core count.
+func TestWorkConservingIdleBurst(t *testing.T) {
+	m := machine.PaperModel()
+	p := WorkConserving{}
+	infos := []Info{
+		{Name: "busy", Stats: taskrt.Stats{Running: 8, Pending: 100, Workers: 32}},
+		{Name: "idle", Stats: taskrt.Stats{Workers: 32}},
+	}
+	cmds := p.Decide(0, m, infos)
+	if len(cmds) != 2 {
+		t.Fatalf("commands = %d, want 2", len(cmds))
+	}
+	total := 0
+	for _, c := range cmds {
+		if c.Total == nil {
+			t.Fatalf("work-conserving issued a non-total command: %+v", c)
+		}
+		total += *c.Total
+	}
+	if total > m.TotalCores() {
+		t.Errorf("shares sum to %d, machine has %d cores", total, m.TotalCores())
+	}
+	if *cmds[0].Total <= *cmds[1].Total {
+		t.Errorf("busy app got %d threads, idle got %d", *cmds[0].Total, *cmds[1].Total)
+	}
+	if *cmds[1].Total < 1 {
+		t.Errorf("idle app starved: %d threads", *cmds[1].Total)
+	}
+}

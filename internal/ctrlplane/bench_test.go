@@ -1,0 +1,62 @@
+package ctrlplane
+
+import (
+	"testing"
+
+	"repro/internal/machine"
+)
+
+// tableIMix is the paper's Table I demand set: three memory-bound apps
+// (AI 0.5) and one compute-bound (AI 10).
+func tableIMix() []AppState {
+	return []AppState{
+		{ID: "mem-a-1", Spec: AppSpec{Name: "mem-a", AI: 0.5}},
+		{ID: "mem-b-2", Spec: AppSpec{Name: "mem-b", AI: 0.5}},
+		{ID: "mem-c-3", Spec: AppSpec{Name: "mem-c", AI: 0.5}},
+		{ID: "comp-4", Spec: AppSpec{Name: "comp", AI: 10}},
+	}
+}
+
+// BenchmarkAllocateCold measures the full roofline solve: every
+// iteration uses a fresh solver, so the exhaustive per-node enumeration
+// runs each time. Compare with BenchmarkAllocateCached.
+func BenchmarkAllocateCold(b *testing.B) {
+	m := machine.PaperModel()
+	apps := tableIMix()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s, err := NewSolver(PolicyRoofline)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := s.Solve(m, apps); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAllocateCached measures the steady-state serve path: the
+// solver has seen the demand mix, so every request is a cache hit plus
+// the per-app slot mapping.
+func BenchmarkAllocateCached(b *testing.B) {
+	m := machine.PaperModel()
+	apps := tableIMix()
+	s, err := NewSolver(PolicyRoofline)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := s.Solve(m, apps); err != nil {
+		b.Fatal(err) // warm the cache
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sol, err := s.Solve(m, apps)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !sol.FromCache {
+			b.Fatal("cache miss in the cached benchmark")
+		}
+	}
+}

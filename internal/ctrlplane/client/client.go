@@ -1,0 +1,262 @@
+// Package client is the typed Go client for the ctrlplane HTTP API:
+// registration, heartbeats, deregistration, and allocation reads, with
+// exponential-backoff retries and context-based timeouts.
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+	"time"
+
+	"repro/internal/ctrlplane"
+)
+
+// APIError is a non-2xx response from the control plane.
+type APIError struct {
+	Status  int
+	Message string
+}
+
+// Error implements error.
+func (e *APIError) Error() string {
+	return fmt.Sprintf("ctrlplane: server returned %d: %s", e.Status, e.Message)
+}
+
+// IsNotFound reports whether the error is a 404 — for heartbeats, the
+// signal that the application was evicted and must re-register.
+func IsNotFound(err error) bool {
+	var ae *APIError
+	return errors.As(err, &ae) && ae.Status == http.StatusNotFound
+}
+
+// Config tunes a Client.
+type Config struct {
+	// HTTPClient is the transport (default: a dedicated http.Client).
+	HTTPClient *http.Client
+	// MaxAttempts is the total number of tries per request, first
+	// included (default 4). Connection failures and 5xx responses are
+	// retried; 4xx responses are not.
+	MaxAttempts int
+	// BaseBackoff is the delay before the first retry; it doubles per
+	// attempt (default 50ms).
+	BaseBackoff time.Duration
+	// MaxBackoff caps the delay between attempts (default 2s).
+	MaxBackoff time.Duration
+	// RequestTimeout bounds each request when the caller's context has
+	// no deadline of its own (default 10s).
+	RequestTimeout time.Duration
+}
+
+// Client talks to one control-plane server. Safe for concurrent use.
+type Client struct {
+	base string
+	cfg  Config
+}
+
+// New creates a client for the server at baseURL (e.g.
+// "http://127.0.0.1:8377").
+func New(baseURL string, cfg Config) *Client {
+	if cfg.HTTPClient == nil {
+		cfg.HTTPClient = &http.Client{}
+	}
+	if cfg.MaxAttempts <= 0 {
+		cfg.MaxAttempts = 4
+	}
+	if cfg.BaseBackoff <= 0 {
+		cfg.BaseBackoff = 50 * time.Millisecond
+	}
+	if cfg.MaxBackoff <= 0 {
+		cfg.MaxBackoff = 2 * time.Second
+	}
+	if cfg.RequestTimeout <= 0 {
+		cfg.RequestTimeout = 10 * time.Second
+	}
+	return &Client{base: strings.TrimRight(baseURL, "/"), cfg: cfg}
+}
+
+// do performs one API call with retries. in (may be nil) is marshaled
+// as the JSON body; out (may be nil) receives the decoded response.
+func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
+	if _, ok := ctx.Deadline(); !ok {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, c.cfg.RequestTimeout)
+		defer cancel()
+	}
+	var body []byte
+	if in != nil {
+		var err error
+		if body, err = json.Marshal(in); err != nil {
+			return fmt.Errorf("ctrlplane: encoding request: %w", err)
+		}
+	}
+	var lastErr error
+	for attempt := 0; attempt < c.cfg.MaxAttempts; attempt++ {
+		if attempt > 0 {
+			if err := sleepBackoff(ctx, c.backoff(attempt)); err != nil {
+				return fmt.Errorf("ctrlplane: giving up after %d attempts: %w (last error: %v)", attempt, err, lastErr)
+			}
+		}
+		retryable, err := c.once(ctx, method, path, body, out)
+		if err == nil {
+			return nil
+		}
+		lastErr = err
+		if !retryable {
+			return err
+		}
+	}
+	return fmt.Errorf("ctrlplane: giving up after %d attempts: %w", c.cfg.MaxAttempts, lastErr)
+}
+
+// backoff returns the exponential delay before the given attempt.
+func (c *Client) backoff(attempt int) time.Duration {
+	d := c.cfg.BaseBackoff << (attempt - 1)
+	if d > c.cfg.MaxBackoff || d <= 0 {
+		d = c.cfg.MaxBackoff
+	}
+	return d
+}
+
+func sleepBackoff(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+// once performs a single HTTP exchange. It reports whether a failure is
+// worth retrying (transport errors and 5xx: yes; 4xx: no).
+func (c *Client) once(ctx context.Context, method, path string, body []byte, out any) (retryable bool, err error) {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
+	if err != nil {
+		return false, fmt.Errorf("ctrlplane: building request: %w", err)
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.cfg.HTTPClient.Do(req)
+	if err != nil {
+		// Transport-level failure (connection refused, reset, timeout):
+		// retryable unless the caller's context is done.
+		if ctx.Err() != nil {
+			return false, ctx.Err()
+		}
+		return true, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 4<<20))
+	if err != nil {
+		return true, fmt.Errorf("ctrlplane: reading response: %w", err)
+	}
+	if resp.StatusCode >= 400 {
+		msg := strings.TrimSpace(string(data))
+		var er ctrlplane.ErrorResponse
+		if json.Unmarshal(data, &er) == nil && er.Error != "" {
+			msg = er.Error
+		}
+		return resp.StatusCode >= 500, &APIError{Status: resp.StatusCode, Message: msg}
+	}
+	if out != nil && len(data) > 0 {
+		if err := json.Unmarshal(data, out); err != nil {
+			return false, fmt.Errorf("ctrlplane: decoding response: %w", err)
+		}
+	}
+	return false, nil
+}
+
+// Register announces an application and returns its ID and first
+// allocation.
+func (c *Client) Register(ctx context.Context, req ctrlplane.RegisterRequest) (*ctrlplane.RegisterResponse, error) {
+	var resp ctrlplane.RegisterResponse
+	if err := c.do(ctx, http.MethodPost, "/v1/register", req, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Heartbeat refreshes the app's liveness deadline and returns its
+// current allocation. IsNotFound(err) means the app was evicted.
+func (c *Client) Heartbeat(ctx context.Context, req ctrlplane.HeartbeatRequest) (*ctrlplane.HeartbeatResponse, error) {
+	var resp ctrlplane.HeartbeatResponse
+	if err := c.do(ctx, http.MethodPost, "/v1/heartbeat", req, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Deregister removes an application, releasing its cores.
+func (c *Client) Deregister(ctx context.Context, id string) error {
+	return c.do(ctx, http.MethodDelete, "/v1/apps/"+url.PathEscape(id), nil, nil)
+}
+
+// Apps lists the registered applications.
+func (c *Client) Apps(ctx context.Context) (*ctrlplane.AppsResponse, error) {
+	var resp ctrlplane.AppsResponse
+	if err := c.do(ctx, http.MethodGet, "/v1/apps", nil, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Allocations reads the machine-wide allocation table.
+func (c *Client) Allocations(ctx context.Context) (*ctrlplane.AllocationsResponse, error) {
+	var resp ctrlplane.AllocationsResponse
+	if err := c.do(ctx, http.MethodGet, "/v1/allocations", nil, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Health reads /healthz.
+func (c *Client) Health(ctx context.Context) (*ctrlplane.HealthResponse, error) {
+	var resp ctrlplane.HealthResponse
+	if err := c.do(ctx, http.MethodGet, "/healthz", nil, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Metrics reads /metricsz.
+func (c *Client) Metrics(ctx context.Context) (*ctrlplane.MetricsResponse, error) {
+	var resp ctrlplane.MetricsResponse
+	if err := c.do(ctx, http.MethodGet, "/metricsz", nil, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// WaitForReallocation polls until the server's generation differs from
+// prev (an app joined, left, or was evicted) and returns the new
+// allocation table. It respects ctx for cancellation and deadline.
+func (c *Client) WaitForReallocation(ctx context.Context, prev uint64, poll time.Duration) (*ctrlplane.AllocationsResponse, error) {
+	if poll <= 0 {
+		poll = 50 * time.Millisecond
+	}
+	for {
+		resp, err := c.Allocations(ctx)
+		if err != nil {
+			return nil, err
+		}
+		if resp.Generation != prev {
+			return resp, nil
+		}
+		if err := sleepBackoff(ctx, poll); err != nil {
+			return nil, fmt.Errorf("ctrlplane: waiting for reallocation past generation %d: %w", prev, err)
+		}
+	}
+}

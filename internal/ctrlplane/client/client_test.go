@@ -1,0 +1,203 @@
+package client
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/ctrlplane"
+)
+
+func newTestClient(t *testing.T, h http.HandlerFunc, cfg Config) (*Client, *httptest.Server) {
+	t.Helper()
+	hs := httptest.NewServer(h)
+	t.Cleanup(hs.Close)
+	if cfg.BaseBackoff == 0 {
+		cfg.BaseBackoff = time.Millisecond
+	}
+	return New(hs.URL, cfg), hs
+}
+
+// TestRetryOn5xx: transient server errors are retried until success.
+func TestRetryOn5xx(t *testing.T) {
+	var calls atomic.Int32
+	c, _ := newTestClient(t, func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= 2 {
+			http.Error(w, "busy", http.StatusServiceUnavailable)
+			return
+		}
+		json.NewEncoder(w).Encode(ctrlplane.HealthResponse{Status: "ok"})
+	}, Config{MaxAttempts: 4})
+
+	h, err := c.Health(context.Background())
+	if err != nil {
+		t.Fatalf("health after two 503s: %v", err)
+	}
+	if h.Status != "ok" {
+		t.Errorf("status = %q", h.Status)
+	}
+	if got := calls.Load(); got != 3 {
+		t.Errorf("server saw %d calls, want 3 (two failures + success)", got)
+	}
+}
+
+// TestRetryExhaustion: a persistent 5xx fails after MaxAttempts tries.
+func TestRetryExhaustion(t *testing.T) {
+	var calls atomic.Int32
+	c, _ := newTestClient(t, func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		http.Error(w, "down", http.StatusInternalServerError)
+	}, Config{MaxAttempts: 3})
+
+	_, err := c.Health(context.Background())
+	if err == nil {
+		t.Fatal("expected an error")
+	}
+	var ae *APIError
+	if !asAPIError(err, &ae) || ae.Status != http.StatusInternalServerError {
+		t.Errorf("err = %v, want wrapped 500 APIError", err)
+	}
+	if got := calls.Load(); got != 3 {
+		t.Errorf("server saw %d calls, want MaxAttempts=3", got)
+	}
+}
+
+// TestNoRetryOn4xx: client errors are terminal — retrying a rejected
+// registration would just be rejected again.
+func TestNoRetryOn4xx(t *testing.T) {
+	var calls atomic.Int32
+	c, _ := newTestClient(t, func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.WriteHeader(http.StatusBadRequest)
+		json.NewEncoder(w).Encode(ctrlplane.ErrorResponse{Error: "ai must be > 0"})
+	}, Config{MaxAttempts: 4})
+
+	_, err := c.Register(context.Background(), ctrlplane.RegisterRequest{Name: "x"})
+	var ae *APIError
+	if !asAPIError(err, &ae) || ae.Status != http.StatusBadRequest || ae.Message != "ai must be > 0" {
+		t.Errorf("err = %v, want 400 APIError with server message", err)
+	}
+	if got := calls.Load(); got != 1 {
+		t.Errorf("server saw %d calls, want 1 (no retry on 4xx)", got)
+	}
+}
+
+// TestNotFound: 404s are recognizable through IsNotFound — the
+// eviction signal apps react to by re-registering.
+func TestNotFound(t *testing.T) {
+	c, _ := newTestClient(t, func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusNotFound)
+		json.NewEncoder(w).Encode(ctrlplane.ErrorResponse{Error: "unknown app"})
+	}, Config{})
+	_, err := c.Heartbeat(context.Background(), ctrlplane.HeartbeatRequest{ID: "ghost"})
+	if !IsNotFound(err) {
+		t.Errorf("IsNotFound(%v) = false, want true", err)
+	}
+	if IsNotFound(nil) {
+		t.Error("IsNotFound(nil) = true")
+	}
+}
+
+// TestContextCancelStopsRetries: a canceled context aborts the backoff
+// loop instead of sleeping through the remaining attempts.
+func TestContextCancelStopsRetries(t *testing.T) {
+	var calls atomic.Int32
+	c, _ := newTestClient(t, func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		http.Error(w, "down", http.StatusInternalServerError)
+	}, Config{MaxAttempts: 10, BaseBackoff: time.Hour})
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := c.Health(ctx)
+		done <- err
+	}()
+	// Let the first attempt land, then cancel during the 1h backoff.
+	for calls.Load() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	select {
+	case err := <-done:
+		if err == nil || ctx.Err() == nil {
+			t.Errorf("err = %v after cancel", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("request did not abort after context cancellation")
+	}
+	if got := calls.Load(); got != 1 {
+		t.Errorf("server saw %d calls, want 1 (cancel stopped the retries)", got)
+	}
+}
+
+// TestConnectionRefusedRetries: transport-level failures are retryable;
+// with no server at all the client fails only after exhausting them.
+func TestConnectionRefusedRetries(t *testing.T) {
+	hs := httptest.NewServer(http.NotFoundHandler())
+	hs.Close() // nothing listens here any more
+	c := New(hs.URL, Config{MaxAttempts: 2, BaseBackoff: time.Millisecond})
+	start := time.Now()
+	_, err := c.Health(context.Background())
+	if err == nil {
+		t.Fatal("expected connection error")
+	}
+	if IsNotFound(err) {
+		t.Errorf("transport failure classified as 404: %v", err)
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Errorf("retries took %v, want quick failure", time.Since(start))
+	}
+}
+
+// TestRequestTimeoutApplied: with no caller deadline, RequestTimeout
+// bounds the exchange.
+func TestRequestTimeoutApplied(t *testing.T) {
+	block := make(chan struct{})
+	defer close(block)
+	c, _ := newTestClient(t, func(w http.ResponseWriter, r *http.Request) {
+		<-block // hold the request until test cleanup
+	}, Config{MaxAttempts: 1, RequestTimeout: 50 * time.Millisecond})
+
+	start := time.Now()
+	_, err := c.Health(context.Background())
+	if err == nil {
+		t.Fatal("expected timeout error")
+	}
+	if d := time.Since(start); d > 5*time.Second {
+		t.Errorf("request returned after %v, want ~RequestTimeout", d)
+	}
+}
+
+// TestBackoffSchedule: delays double from BaseBackoff and saturate at
+// MaxBackoff.
+func TestBackoffSchedule(t *testing.T) {
+	c := New("http://127.0.0.1:0", Config{
+		BaseBackoff: 10 * time.Millisecond,
+		MaxBackoff:  35 * time.Millisecond,
+	})
+	want := []time.Duration{
+		10 * time.Millisecond, // attempt 1
+		20 * time.Millisecond, // attempt 2
+		35 * time.Millisecond, // attempt 3 (40ms capped)
+		35 * time.Millisecond, // attempt 4
+	}
+	for i, w := range want {
+		if got := c.backoff(i + 1); got != w {
+			t.Errorf("backoff(%d) = %v, want %v", i+1, got, w)
+		}
+	}
+	// Shift overflow must also saturate, not go negative.
+	if got := c.backoff(62); got != 35*time.Millisecond {
+		t.Errorf("backoff(62) = %v, want cap", got)
+	}
+}
+
+func asAPIError(err error, target **APIError) bool {
+	return errors.As(err, target)
+}

@@ -1,0 +1,215 @@
+package ctrlplane
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/machine"
+	"repro/internal/roofline"
+)
+
+// ErrUnknownApp is returned for heartbeats or deregistrations of an
+// application the registry does not know — typically one already
+// evicted for missing its heartbeat deadline.
+var ErrUnknownApp = errors.New("ctrlplane: unknown application")
+
+// AppSpec is the performance character an application registers with:
+// what the roofline solver needs to place it.
+type AppSpec struct {
+	Name       string
+	AI         float64
+	Placement  roofline.Placement
+	HomeNode   machine.NodeID
+	MaxThreads int // 0: uncapped
+}
+
+// demandKey canonicalizes the spec for solver-cache lookups. Two apps
+// with equal keys are interchangeable to the solver, so the cache key
+// is the sorted multiset of demand keys (names excluded on purpose).
+func (s AppSpec) demandKey() string {
+	return fmt.Sprintf("ai=%g|pl=%d|home=%d|max=%d", s.AI, s.Placement, s.HomeNode, s.MaxThreads)
+}
+
+// AppState is one registered application's full record.
+type AppState struct {
+	ID           string
+	Spec         AppSpec
+	TTL          time.Duration
+	RegisteredAt time.Time
+	LastBeat     time.Time
+	Beats        uint64
+	LastStats    HeartbeatRequest
+}
+
+// ObservedAI estimates the arithmetic intensity from the last
+// heartbeat's rates (0 when no rates were reported).
+func (a *AppState) ObservedAI() float64 {
+	if a.LastStats.GBRate <= 0 {
+		return 0
+	}
+	return a.LastStats.GFlopRate / a.LastStats.GBRate
+}
+
+// Registry is the concurrency-safe application registry. Every change
+// to the live set (register, deregister, eviction) bumps the
+// generation, which clients use to watch for reallocations.
+type Registry struct {
+	mu         sync.Mutex
+	apps       map[string]*AppState
+	gen        uint64
+	seq        uint64
+	evictions  uint64
+	defaultTTL time.Duration
+	clock      func() time.Time
+}
+
+// NewRegistry creates a registry. defaultTTL is the heartbeat deadline
+// for applications that do not request their own; clock is the time
+// source (nil: time.Now), injectable for deterministic tests.
+func NewRegistry(defaultTTL time.Duration, clock func() time.Time) *Registry {
+	if defaultTTL <= 0 {
+		defaultTTL = 15 * time.Second
+	}
+	if clock == nil {
+		clock = time.Now
+	}
+	return &Registry{
+		apps:       map[string]*AppState{},
+		defaultTTL: defaultTTL,
+		clock:      clock,
+	}
+}
+
+// Register adds an application and returns its state and the new
+// generation.
+func (r *Registry) Register(spec AppSpec, ttl time.Duration) (AppState, uint64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if ttl <= 0 {
+		ttl = r.defaultTTL
+	}
+	r.seq++
+	now := r.clock()
+	st := &AppState{
+		ID:           fmt.Sprintf("%s-%d", sanitizeID(spec.Name), r.seq),
+		Spec:         spec,
+		TTL:          ttl,
+		RegisteredAt: now,
+		LastBeat:     now,
+	}
+	r.apps[st.ID] = st
+	r.gen++
+	return *st, r.gen
+}
+
+// sanitizeID keeps IDs URL-path- and report-safe regardless of what
+// the network supplies as a name.
+func sanitizeID(name string) string {
+	var b strings.Builder
+	for _, c := range name {
+		switch {
+		case c >= 'a' && c <= 'z', c >= '0' && c <= '9', c == '-':
+			b.WriteRune(c)
+		case c >= 'A' && c <= 'Z':
+			b.WriteRune(c + ('a' - 'A'))
+		default:
+			b.WriteByte('_')
+		}
+	}
+	if b.Len() == 0 {
+		return "app"
+	}
+	const maxLen = 32
+	s := b.String()
+	if len(s) > maxLen {
+		s = s[:maxLen]
+	}
+	return s
+}
+
+// Heartbeat refreshes an application's liveness deadline and records
+// its stats. ErrUnknownApp means the app was evicted or never existed.
+func (r *Registry) Heartbeat(hb HeartbeatRequest) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	st, ok := r.apps[hb.ID]
+	if !ok {
+		return ErrUnknownApp
+	}
+	st.LastBeat = r.clock()
+	st.Beats++
+	st.LastStats = hb
+	return nil
+}
+
+// Deregister removes an application; it reports whether it was present.
+func (r *Registry) Deregister(id string) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.apps[id]; !ok {
+		return false
+	}
+	delete(r.apps, id)
+	r.gen++
+	return true
+}
+
+// Sweep evicts every application whose last heartbeat is older than its
+// TTL and returns the evicted IDs. Evictions bump the generation, so
+// the next allocation read reflects the reclaimed cores.
+func (r *Registry) Sweep() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	now := r.clock()
+	var evicted []string
+	for id, st := range r.apps {
+		if now.Sub(st.LastBeat) > st.TTL {
+			delete(r.apps, id)
+			evicted = append(evicted, id)
+		}
+	}
+	if len(evicted) > 0 {
+		r.evictions += uint64(len(evicted))
+		r.gen++
+		sort.Strings(evicted)
+	}
+	return evicted
+}
+
+// Snapshot returns the live applications (sorted by ID for determinism)
+// and the current generation.
+func (r *Registry) Snapshot() ([]AppState, uint64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]AppState, 0, len(r.apps))
+	for _, st := range r.apps {
+		out = append(out, *st)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out, r.gen
+}
+
+// Len returns the number of live applications.
+func (r *Registry) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.apps)
+}
+
+// Generation returns the current generation counter.
+func (r *Registry) Generation() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.gen
+}
+
+// Evictions returns the total number of liveness evictions.
+func (r *Registry) Evictions() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.evictions
+}

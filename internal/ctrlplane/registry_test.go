@@ -1,0 +1,269 @@
+package ctrlplane
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/machine"
+)
+
+// fakeClock is a settable time source for deterministic TTL tests.
+type fakeClock struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+func (c *fakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.now = c.now.Add(d)
+}
+
+func TestRegistryLifecycle(t *testing.T) {
+	clk := &fakeClock{now: time.Unix(1000, 0)}
+	r := NewRegistry(time.Second, clk.Now)
+
+	st, gen := r.Register(AppSpec{Name: "App One!", AI: 2}, 0)
+	if st.ID != "app_one_-1" {
+		t.Errorf("id = %q, want sanitized name + sequence", st.ID)
+	}
+	if st.TTL != time.Second {
+		t.Errorf("ttl = %v, want registry default", st.TTL)
+	}
+	if gen != 1 {
+		t.Errorf("generation = %d, want 1", gen)
+	}
+
+	if err := r.Heartbeat(HeartbeatRequest{ID: st.ID, GFlopRate: 30, GBRate: 10}); err != nil {
+		t.Fatalf("heartbeat: %v", err)
+	}
+	apps, _ := r.Snapshot()
+	if len(apps) != 1 || apps[0].Beats != 1 {
+		t.Fatalf("snapshot after heartbeat = %+v", apps)
+	}
+	if ai := apps[0].ObservedAI(); ai != 3 {
+		t.Errorf("observed AI = %g, want 30/10", ai)
+	}
+
+	if err := r.Heartbeat(HeartbeatRequest{ID: "nope"}); err != ErrUnknownApp {
+		t.Errorf("heartbeat unknown id: err = %v, want ErrUnknownApp", err)
+	}
+	if r.Deregister("nope") {
+		t.Error("deregister unknown id reported success")
+	}
+	if !r.Deregister(st.ID) {
+		t.Error("deregister known id failed")
+	}
+	if r.Len() != 0 {
+		t.Errorf("len after deregister = %d", r.Len())
+	}
+	if g := r.Generation(); g != 2 {
+		t.Errorf("generation after deregister = %d, want 2", g)
+	}
+}
+
+func TestRegistrySweep(t *testing.T) {
+	clk := &fakeClock{now: time.Unix(1000, 0)}
+	r := NewRegistry(time.Second, clk.Now)
+
+	slow, _ := r.Register(AppSpec{Name: "slow", AI: 1}, 0)                    // 1s TTL
+	patient, _ := r.Register(AppSpec{Name: "patient", AI: 1}, 10*time.Second) // own TTL
+
+	if ev := r.Sweep(); len(ev) != 0 {
+		t.Fatalf("sweep at t0 evicted %v", ev)
+	}
+	clk.Advance(1500 * time.Millisecond)
+	genBefore := r.Generation()
+	ev := r.Sweep()
+	if len(ev) != 1 || ev[0] != slow.ID {
+		t.Fatalf("sweep at +1.5s evicted %v, want just %s", ev, slow.ID)
+	}
+	if r.Generation() != genBefore+1 {
+		t.Errorf("eviction did not bump the generation")
+	}
+	if r.Evictions() != 1 {
+		t.Errorf("evictions = %d, want 1", r.Evictions())
+	}
+
+	// A heartbeat resets the deadline.
+	clk.Advance(8 * time.Second) // patient at 9.5s idle
+	if err := r.Heartbeat(HeartbeatRequest{ID: patient.ID}); err != nil {
+		t.Fatalf("heartbeat: %v", err)
+	}
+	clk.Advance(9 * time.Second) // 9s since beat < 10s TTL
+	if ev := r.Sweep(); len(ev) != 0 {
+		t.Errorf("sweep evicted %v after a fresh heartbeat", ev)
+	}
+	clk.Advance(2 * time.Second)
+	if ev := r.Sweep(); len(ev) != 1 {
+		t.Errorf("sweep after deadline evicted %v, want patient", ev)
+	}
+	if r.Len() != 0 {
+		t.Errorf("len = %d, want empty registry", r.Len())
+	}
+}
+
+func TestSanitizeID(t *testing.T) {
+	cases := map[string]string{
+		"plain":          "plain",
+		"MiXeD-Case":     "mixed-case",
+		"with spaces/..": "with_spaces___",
+		"":               "app",
+		"☃☃☃":            "___",
+	}
+	for in, want := range cases {
+		if got := sanitizeID(in); got != want {
+			t.Errorf("sanitizeID(%q) = %q, want %q", in, got, want)
+		}
+	}
+	if got := sanitizeID("aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaa"); len(got) != 32 {
+		t.Errorf("long name not truncated: %d chars", len(got))
+	}
+}
+
+func TestSolverCacheTopologyChange(t *testing.T) {
+	s, err := NewSolver(PolicyRoofline)
+	if err != nil {
+		t.Fatal(err)
+	}
+	apps := []AppState{
+		{ID: "a", Spec: AppSpec{Name: "a", AI: 0.5}},
+		{ID: "b", Spec: AppSpec{Name: "b", AI: 10}},
+	}
+	m1 := machine.PaperModel()
+	if _, err := s.Solve(m1, apps); err != nil {
+		t.Fatal(err)
+	}
+	sol, err := s.Solve(m1, apps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sol.FromCache {
+		t.Error("second identical solve missed the cache")
+	}
+
+	// A different topology must not reuse the cached solution.
+	m2 := machine.Uniform("half", 2, 8, 10, 32, 0)
+	sol2, err := s.Solve(m2, apps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol2.FromCache {
+		t.Error("topology change hit the cache")
+	}
+	if len(sol2.PerApp[0].PerNode) != 2 {
+		t.Errorf("per-node counts = %v, want 2 nodes", sol2.PerApp[0].PerNode)
+	}
+
+	mm := s.Metrics()
+	if mm.Hits != 1 || mm.Misses != 2 || mm.Entries != 2 {
+		t.Errorf("solver metrics = %+v, want 1 hit / 2 misses / 2 entries", mm)
+	}
+}
+
+func TestSolverCacheSlotMapping(t *testing.T) {
+	s, err := NewSolver(PolicyRoofline)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := machine.PaperModel()
+	mix := func(ids ...string) []AppState {
+		// ids[0] is the compute-bound app; the rest are memory-bound.
+		apps := make([]AppState, len(ids))
+		for i, id := range ids {
+			ai := 0.5
+			if i == 0 {
+				ai = 10
+			}
+			apps[i] = AppState{ID: id, Spec: AppSpec{Name: id, AI: ai}}
+		}
+		return apps
+	}
+	first, err := s.Solve(m, mix("comp", "m1", "m2", "m3"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same demand multiset, different IDs and different caller order: a
+	// cache hit whose solution lands on the right apps.
+	second, err := s.Solve(m, mix("zz-comp", "aa", "bb", "cc"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !second.FromCache {
+		t.Fatal("equivalent demand mix missed the cache")
+	}
+	if second.TotalGFLOPS != first.TotalGFLOPS {
+		t.Errorf("cached total = %g, first solve = %g", second.TotalGFLOPS, first.TotalGFLOPS)
+	}
+	for _, a := range second.PerApp {
+		threads := 0
+		for _, c := range a.PerNode {
+			threads += c
+		}
+		// The compute-bound app gets 5/node; each memory-bound app 1/node.
+		want := 4
+		if a.ID == "zz-comp" {
+			want = 20
+		}
+		if threads != want {
+			t.Errorf("app %s threads = %d (%v), want %d", a.ID, threads, a.PerNode, want)
+		}
+	}
+}
+
+func TestSolverConcurrent(t *testing.T) {
+	s, err := NewSolver(PolicyRoofline)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := machine.PaperModel()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				apps := []AppState{
+					{ID: "a", Spec: AppSpec{Name: "a", AI: 0.5 + float64(w%3)}},
+					{ID: "b", Spec: AppSpec{Name: "b", AI: 10}},
+				}
+				if _, err := s.Solve(m, apps); err != nil {
+					t.Errorf("worker %d: %v", w, err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+func TestTrimToCap(t *testing.T) {
+	cases := []struct {
+		in   []int
+		cap  int
+		want []int
+	}{
+		{[]int{2, 2, 2, 2}, 0, []int{2, 2, 2, 2}}, // uncapped
+		{[]int{2, 2, 2, 2}, 8, []int{2, 2, 2, 2}}, // at the cap
+		{[]int{2, 2, 2, 2}, 5, []int{2, 1, 1, 1}}, // trims from the back
+		{[]int{5, 5, 5, 5}, 3, []int{1, 1, 1, 0}}, // wraps repeatedly
+		{[]int{0, 0, 0, 7}, 2, []int{0, 0, 0, 2}}, // skips empty nodes
+	}
+	for _, c := range cases {
+		got := append([]int(nil), c.in...)
+		trimToCap(got, c.cap)
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Errorf("trimToCap(%v, %d) = %v, want %v", c.in, c.cap, got, c.want)
+				break
+			}
+		}
+	}
+}

@@ -1,0 +1,460 @@
+package ctrlplane
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/machine"
+	"repro/internal/metrics"
+	"repro/internal/roofline"
+	"repro/internal/trace"
+)
+
+// ServerConfig tunes the control-plane server.
+type ServerConfig struct {
+	// Machine is the topology allocations are computed over. Required.
+	Machine *machine.Machine
+	// Policy selects the solver (PolicyRoofline, default, or
+	// PolicyFairShare).
+	Policy string
+	// DefaultTTL is the heartbeat deadline for apps that do not request
+	// their own (default 15s).
+	DefaultTTL time.Duration
+	// SweepInterval is the janitor period for liveness eviction
+	// (default DefaultTTL/4). The janitor runs only between Start and
+	// Close; read endpoints also sweep lazily, so allocations never
+	// include an app past its deadline.
+	SweepInterval time.Duration
+	// Clock is the time source (nil: time.Now), injectable for tests.
+	Clock func() time.Time
+}
+
+// Server is the allocation control plane. Create with NewServer, mount
+// Handler on any http.Server, and call Start/Close around its lifetime
+// to run the eviction janitor.
+type Server struct {
+	cfg    ServerConfig
+	reg    *Registry
+	solver *Solver
+	mux    *http.ServeMux
+	start  time.Time
+
+	epMu sync.Mutex
+	eps  map[string]*endpointStats
+
+	trMu  sync.Mutex
+	tr    *trace.Trace
+	trSeq atomic.Int64
+
+	started  atomic.Bool
+	stopOnce sync.Once
+	stop     chan struct{}
+	done     chan struct{}
+}
+
+// endpointStats meters one endpoint: request count, error count, and a
+// latency series whose Stats() provide the quantiles for /metricsz.
+type endpointStats struct {
+	mu     sync.Mutex
+	count  uint64
+	errors uint64
+	lat    *metrics.Series
+}
+
+func (e *endpointStats) record(d time.Duration, isErr bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	// Sample index as the series time keeps appends monotonic under
+	// concurrency (wall clocks may tie or regress between goroutines).
+	e.lat.Add(float64(e.count), d.Seconds()*1e3)
+	e.count++
+	if isErr {
+		e.errors++
+	}
+}
+
+func (e *endpointStats) view() EndpointMetrics {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	st := e.lat.Stats()
+	return EndpointMetrics{
+		Count:  e.count,
+		Errors: e.errors,
+		P50Ms:  st.P50,
+		P95Ms:  st.P95,
+		MaxMs:  st.Max,
+	}
+}
+
+// NewServer validates the configuration and builds the server.
+func NewServer(cfg ServerConfig) (*Server, error) {
+	if cfg.Machine == nil {
+		return nil, errors.New("ctrlplane: no machine configured")
+	}
+	if err := cfg.Machine.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Policy == "" {
+		cfg.Policy = PolicyRoofline
+	}
+	solver, err := NewSolver(cfg.Policy)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.DefaultTTL <= 0 {
+		cfg.DefaultTTL = 15 * time.Second
+	}
+	if cfg.SweepInterval <= 0 {
+		cfg.SweepInterval = cfg.DefaultTTL / 4
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = time.Now
+	}
+	s := &Server{
+		cfg:    cfg,
+		reg:    NewRegistry(cfg.DefaultTTL, cfg.Clock),
+		solver: solver,
+		mux:    http.NewServeMux(),
+		start:  cfg.Clock(),
+		eps:    map[string]*endpointStats{},
+		tr:     trace.New(),
+		stop:   make(chan struct{}),
+		done:   make(chan struct{}),
+	}
+	s.mux.HandleFunc("POST /v1/register", s.instrument("register", s.handleRegister))
+	s.mux.HandleFunc("POST /v1/heartbeat", s.instrument("heartbeat", s.handleHeartbeat))
+	s.mux.HandleFunc("DELETE /v1/apps/{id}", s.instrument("deregister", s.handleDeregister))
+	s.mux.HandleFunc("GET /v1/apps", s.instrument("apps", s.handleApps))
+	s.mux.HandleFunc("GET /v1/allocations", s.instrument("allocations", s.handleAllocations))
+	s.mux.HandleFunc("GET /healthz", s.instrument("healthz", s.handleHealthz))
+	s.mux.HandleFunc("GET /metricsz", s.instrument("metricsz", s.handleMetricsz))
+	s.mux.HandleFunc("GET /tracez", s.instrument("tracez", s.handleTracez))
+	return s, nil
+}
+
+// Handler returns the HTTP handler serving the control-plane API.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Registry exposes the application registry (for embedding and tests).
+func (s *Server) Registry() *Registry { return s.reg }
+
+// Start launches the background eviction janitor.
+func (s *Server) Start() {
+	if !s.started.CompareAndSwap(false, true) {
+		return
+	}
+	go func() {
+		defer close(s.done)
+		t := time.NewTicker(s.cfg.SweepInterval)
+		defer t.Stop()
+		for {
+			select {
+			case <-s.stop:
+				return
+			case <-t.C:
+				s.reg.Sweep()
+			}
+		}
+	}()
+}
+
+// Close stops the janitor and waits for it to exit. Safe to call
+// multiple times, with or without a prior Start.
+func (s *Server) Close() {
+	s.stopOnce.Do(func() { close(s.stop) })
+	if s.started.Load() {
+		<-s.done
+	}
+}
+
+// statusWriter captures the response status for metrics.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// instrument wraps a handler with request metering and a trace span
+// (one lane per request; pid = endpoint name).
+func (s *Server) instrument(name string, h http.HandlerFunc) http.HandlerFunc {
+	ep := &endpointStats{lat: metrics.NewSeries(name + ".latency_ms")}
+	s.epMu.Lock()
+	s.eps[name] = ep
+	s.epMu.Unlock()
+	return func(w http.ResponseWriter, r *http.Request) {
+		t0 := s.cfg.Clock()
+		// Each request gets its own trace lane; past maxTraceSpans the
+		// span is dropped so a long-lived daemon's trace stays bounded.
+		lane := int(s.trSeq.Add(1))
+		traced := lane <= maxTraceSpans
+		if traced {
+			s.trMu.Lock()
+			s.tr.Begin(r.Method+" "+r.URL.Path, name, lane, t0.Sub(s.start).Seconds())
+			s.trMu.Unlock()
+		}
+
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		h(sw, r)
+
+		t1 := s.cfg.Clock()
+		if traced {
+			s.trMu.Lock()
+			s.tr.End(name, lane, t1.Sub(s.start).Seconds())
+			s.trMu.Unlock()
+		}
+		ep.record(t1.Sub(t0), sw.status >= 400)
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, ErrorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+// maxBodyBytes bounds request bodies; allocation requests are tiny.
+const maxBodyBytes = 1 << 20
+
+// maxTraceSpans bounds the /tracez buffer.
+const maxTraceSpans = 4096
+
+func decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
+	dec := json.NewDecoder(io.LimitReader(r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		writeError(w, http.StatusBadRequest, "invalid request body: %v", err)
+		return false
+	}
+	return true
+}
+
+// parsePlacement maps the wire placement string to the model's enum.
+func parsePlacement(s string) (roofline.Placement, error) {
+	switch s {
+	case "", PlacementPerfect:
+		return roofline.NUMAPerfect, nil
+	case PlacementBad:
+		return roofline.NUMABad, nil
+	default:
+		return 0, fmt.Errorf("unknown placement %q (want %q or %q)", s, PlacementPerfect, PlacementBad)
+	}
+}
+
+func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
+	var req RegisterRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	if req.Name == "" {
+		req.Name = "app"
+	}
+	if req.AI <= 0 {
+		writeError(w, http.StatusBadRequest, "ai must be > 0, got %g", req.AI)
+		return
+	}
+	pl, err := parsePlacement(req.Placement)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if pl == roofline.NUMABad && (req.HomeNode < 0 || req.HomeNode >= s.cfg.Machine.NumNodes()) {
+		writeError(w, http.StatusBadRequest, "home_node %d out of range (machine has %d nodes)", req.HomeNode, s.cfg.Machine.NumNodes())
+		return
+	}
+	if req.MaxThreads < 0 {
+		writeError(w, http.StatusBadRequest, "max_threads must be >= 0, got %d", req.MaxThreads)
+		return
+	}
+	if req.TTLMillis < 0 {
+		writeError(w, http.StatusBadRequest, "ttl_ms must be >= 0, got %d", req.TTLMillis)
+		return
+	}
+	st, gen := s.reg.Register(AppSpec{
+		Name:       req.Name,
+		AI:         req.AI,
+		Placement:  pl,
+		HomeNode:   machine.NodeID(req.HomeNode),
+		MaxThreads: req.MaxThreads,
+	}, time.Duration(req.TTLMillis)*time.Millisecond)
+	alloc, err := s.allocationFor(st.ID)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "solving allocation: %v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, RegisterResponse{
+		ID:         st.ID,
+		Generation: gen,
+		TTLMillis:  st.TTL.Milliseconds(),
+		Allocation: alloc,
+	})
+}
+
+func (s *Server) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
+	var req HeartbeatRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	if err := s.reg.Heartbeat(req); err != nil {
+		writeError(w, http.StatusNotFound, "%s: %v (evicted after missing its heartbeat deadline, or never registered)", req.ID, err)
+		return
+	}
+	alloc, err := s.allocationFor(req.ID)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "solving allocation: %v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, HeartbeatResponse{Generation: s.reg.Generation(), Allocation: alloc})
+}
+
+func (s *Server) handleDeregister(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if !s.reg.Deregister(id) {
+		writeError(w, http.StatusNotFound, "%s: %v", id, ErrUnknownApp)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *Server) handleApps(w http.ResponseWriter, r *http.Request) {
+	s.reg.Sweep()
+	apps, gen := s.reg.Snapshot()
+	now := s.cfg.Clock()
+	resp := AppsResponse{Generation: gen, Apps: make([]AppView, len(apps))}
+	for i, a := range apps {
+		resp.Apps[i] = AppView{
+			ID:         a.ID,
+			Name:       a.Spec.Name,
+			AI:         a.Spec.AI,
+			Placement:  a.Spec.Placement.String(),
+			HomeNode:   int(a.Spec.HomeNode),
+			MaxThreads: a.Spec.MaxThreads,
+			TTLMillis:  a.TTL.Milliseconds(),
+			AgeMillis:  now.Sub(a.RegisteredAt).Milliseconds(),
+			IdleMillis: now.Sub(a.LastBeat).Milliseconds(),
+			Beats:      a.Beats,
+			ObservedAI: a.ObservedAI(),
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleAllocations(w http.ResponseWriter, r *http.Request) {
+	s.reg.Sweep()
+	resp, err := s.Allocations()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "solving allocation: %v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// Allocations computes the current machine-wide allocation table (also
+// used by embedders that skip HTTP).
+func (s *Server) Allocations() (*AllocationsResponse, error) {
+	apps, gen := s.reg.Snapshot()
+	sol, err := s.solver.Solve(s.cfg.Machine, apps)
+	if err != nil {
+		return nil, err
+	}
+	resp := &AllocationsResponse{
+		Generation:  gen,
+		Machine:     s.cfg.Machine.Name,
+		Policy:      s.solver.Policy(),
+		Apps:        make([]AppAllocation, len(sol.PerApp)),
+		TotalGFLOPS: sol.TotalGFLOPS,
+		CacheHit:    sol.FromCache,
+	}
+	for i, a := range sol.PerApp {
+		resp.Apps[i] = appAllocation(a)
+	}
+	if sol.EvenGFLOPS > 0 || sol.NodePerAppGFLOPS > 0 {
+		resp.Reference = &ReferenceAllocations{
+			EvenGFLOPS:       sol.EvenGFLOPS,
+			NodePerAppGFLOPS: sol.NodePerAppGFLOPS,
+		}
+	}
+	return resp, nil
+}
+
+func appAllocation(a AppSolution) AppAllocation {
+	threads := 0
+	for _, c := range a.PerNode {
+		threads += c
+	}
+	return AppAllocation{
+		ID:              a.ID,
+		Name:            a.Name,
+		PerNode:         a.PerNode,
+		Threads:         threads,
+		PredictedGFLOPS: a.GFLOPS,
+	}
+}
+
+// allocationFor solves for the live set and extracts one app's slice.
+func (s *Server) allocationFor(id string) (*AppAllocation, error) {
+	apps, _ := s.reg.Snapshot()
+	sol, err := s.solver.Solve(s.cfg.Machine, apps)
+	if err != nil {
+		return nil, err
+	}
+	for _, a := range sol.PerApp {
+		if a.ID == id {
+			al := appAllocation(a)
+			return &al, nil
+		}
+	}
+	return nil, nil // evicted between registration and solve
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, HealthResponse{
+		Status:        "ok",
+		Machine:       s.cfg.Machine.Name,
+		UptimeSeconds: s.cfg.Clock().Sub(s.start).Seconds(),
+		Apps:          s.reg.Len(),
+		Generation:    s.reg.Generation(),
+	})
+}
+
+func (s *Server) handleMetricsz(w http.ResponseWriter, r *http.Request) {
+	resp := MetricsResponse{
+		UptimeSeconds: s.cfg.Clock().Sub(s.start).Seconds(),
+		Apps:          s.reg.Len(),
+		Generation:    s.reg.Generation(),
+		Evictions:     s.reg.Evictions(),
+		Solver:        s.solver.Metrics(),
+		Endpoints:     map[string]EndpointMetrics{},
+	}
+	s.epMu.Lock()
+	for name, ep := range s.eps {
+		resp.Endpoints[name] = ep.view()
+	}
+	s.epMu.Unlock()
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleTracez(w http.ResponseWriter, r *http.Request) {
+	s.trMu.Lock()
+	data, err := s.tr.ChromeJSON()
+	s.trMu.Unlock()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "encoding trace: %v", err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(data)
+}

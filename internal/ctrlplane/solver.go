@@ -1,0 +1,268 @@
+package ctrlplane
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"sync"
+
+	"repro/internal/agent"
+	"repro/internal/des"
+	"repro/internal/machine"
+	"repro/internal/roofline"
+)
+
+// Policy names accepted by NewSolver.
+const (
+	PolicyRoofline  = "roofline"
+	PolicyFairShare = "fairshare"
+)
+
+// AppSolution is one application's computed slice, aligned with the
+// []AppState passed to Solve.
+type AppSolution struct {
+	ID      string
+	Name    string
+	PerNode []int
+	GFLOPS  float64
+}
+
+// Solution is a full solve outcome.
+type Solution struct {
+	PerApp      []AppSolution
+	TotalGFLOPS float64
+	// EvenGFLOPS and NodePerAppGFLOPS are the paper's structured
+	// baselines for the same demand mix (0 when infeasible).
+	EvenGFLOPS       float64
+	NodePerAppGFLOPS float64
+	// FromCache reports whether the roofline solve was skipped.
+	FromCache bool
+}
+
+// cachedSolution stores a solve keyed by the sorted demand multiset;
+// counts and rates are per demand slot, so any permutation of
+// equivalent apps maps onto it.
+type cachedSolution struct {
+	counts [][]int
+	gflops []float64
+	total  float64
+	even   float64
+	npa    float64
+}
+
+// Solver computes per-NUMA-node allocations through the agent's
+// policies and memoizes results. It is safe for concurrent use.
+type Solver struct {
+	policy string
+
+	mu     sync.Mutex
+	cache  map[string]*cachedSolution
+	hits   uint64
+	misses uint64
+}
+
+// maxCacheEntries bounds the memo; past it the cache is flushed (demand
+// mixes cycle, they don't grow without bound, so simple is fine).
+const maxCacheEntries = 256
+
+// NewSolver creates a solver for the named policy (PolicyRoofline or
+// PolicyFairShare).
+func NewSolver(policy string) (*Solver, error) {
+	switch policy {
+	case PolicyRoofline, PolicyFairShare:
+	default:
+		return nil, fmt.Errorf("ctrlplane: unknown policy %q", policy)
+	}
+	return &Solver{policy: policy, cache: map[string]*cachedSolution{}}, nil
+}
+
+// Policy returns the solver's policy name.
+func (s *Solver) Policy() string { return s.policy }
+
+// Metrics returns cache hit/miss counters and the entry count.
+func (s *Solver) Metrics() SolverMetrics {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return SolverMetrics{Hits: s.hits, Misses: s.misses, Entries: len(s.cache)}
+}
+
+// TopologyHash fingerprints a machine for cache keying; two machines
+// with identical JSON encodings share solutions.
+func TopologyHash(m *machine.Machine) uint64 {
+	data, err := m.MarshalJSON()
+	if err != nil {
+		// Unreachable for a validated machine; keep the key usable.
+		data = []byte(m.String())
+	}
+	h := fnv.New64a()
+	h.Write(data)
+	return h.Sum64()
+}
+
+// Solve computes the allocation for the registered applications on the
+// machine. Apps with identical demand keys are interchangeable, so the
+// cache lookup sorts the demand set; results are mapped back to the
+// callers' order.
+func (s *Solver) Solve(m *machine.Machine, apps []AppState) (*Solution, error) {
+	if len(apps) == 0 {
+		return &Solution{}, nil
+	}
+
+	// Sort app indices into demand-slot order (ID tie-break keeps the
+	// mapping deterministic).
+	order := make([]int, len(apps))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		ka, kb := apps[order[a]].Spec.demandKey(), apps[order[b]].Spec.demandKey()
+		if ka != kb {
+			return ka < kb
+		}
+		return apps[order[a]].ID < apps[order[b]].ID
+	})
+	key := fmt.Sprintf("topo=%x|policy=%s", TopologyHash(m), s.policy)
+	for _, idx := range order {
+		key += "|" + apps[idx].Spec.demandKey()
+	}
+
+	s.mu.Lock()
+	cached, ok := s.cache[key]
+	if ok {
+		s.hits++
+	} else {
+		s.misses++
+	}
+	s.mu.Unlock()
+
+	fromCache := ok
+	if !ok {
+		var err error
+		cached, err = s.solveSlots(m, apps, order)
+		if err != nil {
+			return nil, err
+		}
+		s.mu.Lock()
+		if len(s.cache) >= maxCacheEntries {
+			s.cache = map[string]*cachedSolution{}
+		}
+		s.cache[key] = cached
+		s.mu.Unlock()
+	}
+
+	sol := &Solution{
+		PerApp:           make([]AppSolution, len(apps)),
+		TotalGFLOPS:      cached.total,
+		EvenGFLOPS:       cached.even,
+		NodePerAppGFLOPS: cached.npa,
+		FromCache:        fromCache,
+	}
+	for slot, idx := range order {
+		sol.PerApp[idx] = AppSolution{
+			ID:      apps[idx].ID,
+			Name:    apps[idx].Spec.Name,
+			PerNode: append([]int(nil), cached.counts[slot]...),
+			GFLOPS:  cached.gflops[slot],
+		}
+	}
+	return sol, nil
+}
+
+// solveSlots runs the agent policy over the demand slots (apps in
+// order) and evaluates the result with the roofline model.
+func (s *Solver) solveSlots(m *machine.Machine, apps []AppState, order []int) (*cachedSolution, error) {
+	n := len(order)
+	rapps := make([]roofline.App, n)
+	aspecs := make([]agent.AppSpec, n)
+	infos := make([]agent.Info, n)
+	for slot, idx := range order {
+		spec := apps[idx].Spec
+		rapps[slot] = roofline.App{
+			Name:      spec.Name,
+			AI:        spec.AI,
+			Placement: spec.Placement,
+			HomeNode:  spec.HomeNode,
+		}
+		aspecs[slot] = agent.AppSpec{AI: spec.AI, Placement: spec.Placement, HomeNode: spec.HomeNode}
+		infos[slot] = agent.Info{Name: spec.Name}
+	}
+
+	var cmds []agent.Command
+	switch s.policy {
+	case PolicyFairShare:
+		cmds = agent.FairShare{PerNode: true}.Decide(des.Time(0), m, infos)
+	default:
+		// Floor 1 guarantees every cooperating app a thread on every
+		// node (no starvation) and reproduces the paper's Table I
+		// optimum; when the floors alone over-subscribe a node (more
+		// apps than cores per node), fall back to the unfloored solve.
+		cmds = (&agent.RooflineOptimal{Specs: aspecs, MinPerNode: 1}).Decide(des.Time(0), m, infos)
+		if len(cmds) == 0 {
+			cmds = (&agent.RooflineOptimal{Specs: aspecs}).Decide(des.Time(0), m, infos)
+		}
+	}
+	if len(cmds) == 0 {
+		return nil, fmt.Errorf("ctrlplane: policy %s produced no allocation for %d apps", s.policy, n)
+	}
+	counts := make([][]int, n)
+	for _, cmd := range cmds {
+		if cmd.Client < 0 || cmd.Client >= n || cmd.PerNode == nil {
+			return nil, fmt.Errorf("ctrlplane: policy %s produced an invalid command", s.policy)
+		}
+		counts[cmd.Client] = append([]int(nil), cmd.PerNode...)
+	}
+	for slot := range counts {
+		if counts[slot] == nil {
+			counts[slot] = make([]int, m.NumNodes())
+		}
+		trimToCap(counts[slot], apps[order[slot]].Spec.MaxThreads)
+	}
+
+	al := roofline.Allocation{Threads: counts}
+	res, err := roofline.Evaluate(m, rapps, al)
+	if err != nil {
+		return nil, fmt.Errorf("ctrlplane: evaluating allocation: %w", err)
+	}
+	cs := &cachedSolution{
+		counts: counts,
+		gflops: append([]float64(nil), res.AppGFLOPS...),
+		total:  res.TotalGFLOPS,
+	}
+	// Structured baselines (best-effort: 0 when the shape is infeasible
+	// for this app count / machine).
+	if eal, err := roofline.Even(m, n); err == nil {
+		if r, err := roofline.Evaluate(m, rapps, eal); err == nil {
+			cs.even = r.TotalGFLOPS
+		}
+	}
+	if nal, err := roofline.NodePerApp(m, n, nil); err == nil {
+		if r, err := roofline.Evaluate(m, rapps, nal); err == nil {
+			cs.npa = r.TotalGFLOPS
+		}
+	}
+	return cs, nil
+}
+
+// trimToCap removes threads round-robin across nodes (from the last
+// node backwards) until the total is within the app's requested cap.
+// cap <= 0 means uncapped. An application demanding more threads than
+// the machine has cores is thus served the solver's optimum, never
+// more than exists.
+func trimToCap(perNode []int, cap int) {
+	if cap <= 0 {
+		return
+	}
+	total := 0
+	for _, c := range perNode {
+		total += c
+	}
+	for j := len(perNode) - 1; total > cap; j-- {
+		if j < 0 {
+			j = len(perNode) - 1
+		}
+		if perNode[j] > 0 {
+			perNode[j]--
+			total--
+		}
+	}
+}

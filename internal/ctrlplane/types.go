@@ -1,0 +1,196 @@
+// Package ctrlplane is the networked allocation control plane: an HTTP
+// server (stdlib only) where cooperating applications register their
+// roofline profile (arithmetic intensity, NUMA placement), heartbeat
+// execution statistics, and receive per-NUMA-node thread allocations
+// computed by the internal/agent policies over a configured
+// internal/machine topology.
+//
+// It turns the paper's Fig. 1 in-process agent into a service: the
+// registry tracks live applications (heartbeat-liveness eviction frees
+// a silent application's cores), the solver runs the roofline
+// optimization behind a cache keyed by (topology hash, sorted demand
+// set), and every register/heartbeat/allocate request is metered
+// (internal/metrics) and traced (internal/trace).
+//
+// The wire protocol is JSON over HTTP:
+//
+//	POST   /v1/register    RegisterRequest   -> RegisterResponse
+//	POST   /v1/heartbeat   HeartbeatRequest  -> HeartbeatResponse
+//	DELETE /v1/apps/{id}                     -> 204
+//	GET    /v1/apps                          -> AppsResponse
+//	GET    /v1/allocations                   -> AllocationsResponse
+//	GET    /healthz                          -> HealthResponse
+//	GET    /metricsz                         -> MetricsResponse
+//	GET    /tracez                           -> Chrome trace-event JSON
+//
+// See internal/ctrlplane/client for the typed Go client.
+package ctrlplane
+
+// Placement names used on the wire (roofline.Placement as a string).
+const (
+	PlacementPerfect = "numa-perfect"
+	PlacementBad     = "numa-bad"
+)
+
+// RegisterRequest announces an application to the control plane.
+type RegisterRequest struct {
+	// Name labels the application in allocations and reports.
+	Name string `json:"name"`
+	// AI is the application's arithmetic intensity (FLOP/byte). > 0.
+	AI float64 `json:"ai"`
+	// Placement is "numa-perfect" (default) or "numa-bad".
+	Placement string `json:"placement,omitempty"`
+	// HomeNode holds all data of a numa-bad application.
+	HomeNode int `json:"home_node,omitempty"`
+	// MaxThreads caps the total threads allocated to this application;
+	// 0 means "as many as the solver wants".
+	MaxThreads int `json:"max_threads,omitempty"`
+	// TTLMillis overrides the server's heartbeat deadline for this
+	// application; 0 uses the server default. An application that does
+	// not heartbeat within its TTL is evicted and its cores
+	// reallocated to the survivors.
+	TTLMillis int64 `json:"ttl_ms,omitempty"`
+}
+
+// AppAllocation is one application's slice of the machine.
+type AppAllocation struct {
+	ID   string `json:"id"`
+	Name string `json:"name"`
+	// PerNode[j] is the thread count on NUMA node j (the paper's
+	// thread-control option 3).
+	PerNode []int `json:"per_node"`
+	// Threads is the machine-wide total (sum of PerNode).
+	Threads int `json:"threads"`
+	// PredictedGFLOPS is the roofline model's rate for this app under
+	// the served allocation.
+	PredictedGFLOPS float64 `json:"predicted_gflops"`
+}
+
+// RegisterResponse confirms a registration.
+type RegisterResponse struct {
+	// ID is the handle for heartbeats and deregistration.
+	ID string `json:"id"`
+	// Generation is the registry generation after this registration;
+	// it increases whenever the live application set changes.
+	Generation uint64 `json:"generation"`
+	// TTLMillis is the effective heartbeat deadline.
+	TTLMillis int64 `json:"ttl_ms"`
+	// Allocation is this application's slice under the new optimum.
+	Allocation *AppAllocation `json:"allocation,omitempty"`
+}
+
+// HeartbeatRequest keeps an application alive and reports its stats
+// (the runtime monitoring data the paper's agent consumes each period).
+type HeartbeatRequest struct {
+	ID string `json:"id"`
+	// TasksExecuted counts completed tasks since start.
+	TasksExecuted uint64 `json:"tasks_executed,omitempty"`
+	// Running/Pending/Workers mirror taskrt.Stats.
+	Running int `json:"running,omitempty"`
+	Pending int `json:"pending,omitempty"`
+	Workers int `json:"workers,omitempty"`
+	// GFlopRate and GBRate are the observed compute and memory-traffic
+	// rates; their ratio is an online AI estimate the server records.
+	GFlopRate float64 `json:"gflop_rate,omitempty"`
+	GBRate    float64 `json:"gb_rate,omitempty"`
+}
+
+// HeartbeatResponse acknowledges a heartbeat.
+type HeartbeatResponse struct {
+	Generation uint64 `json:"generation"`
+	// Allocation is the app's current slice, so a heartbeat doubles as
+	// an allocation poll.
+	Allocation *AppAllocation `json:"allocation,omitempty"`
+}
+
+// AppView is the registry's public record of one application.
+type AppView struct {
+	ID         string  `json:"id"`
+	Name       string  `json:"name"`
+	AI         float64 `json:"ai"`
+	Placement  string  `json:"placement"`
+	HomeNode   int     `json:"home_node"`
+	MaxThreads int     `json:"max_threads,omitempty"`
+	TTLMillis  int64   `json:"ttl_ms"`
+	// AgeMillis and IdleMillis are times since registration and since
+	// the last heartbeat.
+	AgeMillis  int64  `json:"age_ms"`
+	IdleMillis int64  `json:"idle_ms"`
+	Beats      uint64 `json:"beats"`
+	// ObservedAI is GFlopRate/GBRate from the last heartbeat (0 when
+	// the app has not reported rates).
+	ObservedAI float64 `json:"observed_ai,omitempty"`
+}
+
+// AppsResponse lists registered applications.
+type AppsResponse struct {
+	Generation uint64    `json:"generation"`
+	Apps       []AppView `json:"apps"`
+}
+
+// ReferenceAllocations reports the paper's structured baselines for the
+// current demand mix, so clients can see what the optimization buys
+// (Table I/II: uneven 254 vs even 140 vs one-node-per-app 128 GFLOPS).
+type ReferenceAllocations struct {
+	// EvenGFLOPS is the "same share of every node" allocation
+	// (Fig. 2 b); 0 when infeasible (cores not divisible).
+	EvenGFLOPS float64 `json:"even_gflops,omitempty"`
+	// NodePerAppGFLOPS dedicates node i to app i (Fig. 2 c); 0 when
+	// there are more apps than nodes.
+	NodePerAppGFLOPS float64 `json:"node_per_app_gflops,omitempty"`
+}
+
+// AllocationsResponse is the machine-wide allocation table.
+type AllocationsResponse struct {
+	Generation uint64 `json:"generation"`
+	// Machine is the topology's display name.
+	Machine string `json:"machine"`
+	// Policy is the solver policy ("roofline" or "fairshare").
+	Policy string          `json:"policy"`
+	Apps   []AppAllocation `json:"apps"`
+	// TotalGFLOPS is the model's machine-wide prediction.
+	TotalGFLOPS float64               `json:"total_gflops"`
+	Reference   *ReferenceAllocations `json:"reference,omitempty"`
+	// CacheHit reports whether the solver cache served this solve.
+	CacheHit bool `json:"cache_hit"`
+}
+
+// HealthResponse is the /healthz body.
+type HealthResponse struct {
+	Status        string  `json:"status"`
+	Machine       string  `json:"machine"`
+	UptimeSeconds float64 `json:"uptime_s"`
+	Apps          int     `json:"apps"`
+	Generation    uint64  `json:"generation"`
+}
+
+// EndpointMetrics summarizes one endpoint's request history.
+type EndpointMetrics struct {
+	Count  uint64  `json:"count"`
+	Errors uint64  `json:"errors"`
+	P50Ms  float64 `json:"p50_ms"`
+	P95Ms  float64 `json:"p95_ms"`
+	MaxMs  float64 `json:"max_ms"`
+}
+
+// SolverMetrics summarizes the allocation cache.
+type SolverMetrics struct {
+	Hits    uint64 `json:"hits"`
+	Misses  uint64 `json:"misses"`
+	Entries int    `json:"entries"`
+}
+
+// MetricsResponse is the /metricsz body.
+type MetricsResponse struct {
+	UptimeSeconds float64                    `json:"uptime_s"`
+	Apps          int                        `json:"apps"`
+	Generation    uint64                     `json:"generation"`
+	Evictions     uint64                     `json:"evictions"`
+	Solver        SolverMetrics              `json:"solver"`
+	Endpoints     map[string]EndpointMetrics `json:"endpoints"`
+}
+
+// ErrorResponse carries an error message on non-2xx statuses.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}

@@ -107,7 +107,8 @@ func (t *Table) String() string {
 }
 
 // CSV renders the table as comma-separated values (headers first).
-// Cells containing commas or quotes are quoted.
+// Cells containing commas, quotes, or line breaks (LF or CR) are
+// quoted so the output round-trips through RFC 4180 parsers.
 func (t *Table) CSV() string {
 	var b strings.Builder
 	writeRow := func(cells []string) {
@@ -115,7 +116,7 @@ func (t *Table) CSV() string {
 			if i > 0 {
 				b.WriteByte(',')
 			}
-			if strings.ContainsAny(c, ",\"\n") {
+			if strings.ContainsAny(c, ",\"\n\r") {
 				c = "\"" + strings.ReplaceAll(c, "\"", "\"\"") + "\""
 			}
 			b.WriteString(c)

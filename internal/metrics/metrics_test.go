@@ -1,6 +1,7 @@
 package metrics
 
 import (
+	"encoding/csv"
 	"math"
 	"strings"
 	"testing"
@@ -44,6 +45,41 @@ func TestCSV(t *testing.T) {
 	}
 	if !strings.HasPrefix(csv, "name,v\n") {
 		t.Errorf("missing header: %s", csv)
+	}
+}
+
+// TestCSVRoundTrip feeds cells with every special character through
+// encoding/csv: a standards-compliant reader must recover them exactly.
+// This is the regression test for CR/LF cells breaking row structure.
+func TestCSVRoundTrip(t *testing.T) {
+	rows := [][]string{
+		{"plain", "with,comma"},
+		{"with\"quote", "with\nnewline"},
+		{"with\rreturn", "crlf\r\nboth"},
+		{"", "trailing space "},
+	}
+	tab := NewTable("x", "a", "b")
+	for _, r := range rows {
+		tab.AddRow(r[0], r[1])
+	}
+	rd := csv.NewReader(strings.NewReader(tab.CSV()))
+	got, err := rd.ReadAll()
+	if err != nil {
+		t.Fatalf("encoding/csv rejected our output: %v\n%s", err, tab.CSV())
+	}
+	want := append([][]string{{"a", "b"}}, rows...)
+	if len(got) != len(want) {
+		t.Fatalf("row count = %d, want %d (a cell broke row structure):\n%q", len(got), len(want), tab.CSV())
+	}
+	for i := range want {
+		for j := range want[i] {
+			g := got[i][j]
+			// encoding/csv normalizes \r\n to \n inside quoted cells
+			// (RFC 4180 reads both as a line break); compare modulo that.
+			if g != want[i][j] && g != strings.ReplaceAll(want[i][j], "\r\n", "\n") {
+				t.Errorf("cell [%d][%d] = %q, want %q", i, j, g, want[i][j])
+			}
+		}
 	}
 }
 

@@ -166,11 +166,22 @@ func hillClimb(m *machine.Machine, apps []App, al Allocation, obj Objective, max
 // most the smallest node's core count. It is exhaustive for the paper's
 // small examples. fn returning false stops the enumeration early.
 func EnumeratePerNodeCounts(m *machine.Machine, nApps int, fn func(counts []int, al Allocation, r *Result) bool, apps []App) error {
+	return EnumeratePerNodeCountsFloor(m, nApps, 0, fn, apps)
+}
+
+// EnumeratePerNodeCountsFloor is EnumeratePerNodeCounts restricted to
+// allocations granting every app at least floor threads per node — the
+// no-starvation constraint under which the paper's Table I uneven
+// allocation (1,1,1,5) is the optimum.
+func EnumeratePerNodeCountsFloor(m *machine.Machine, nApps, floor int, fn func(counts []int, al Allocation, r *Result) bool, apps []App) error {
 	capCores := m.Nodes[0].Cores
 	for _, n := range m.Nodes[1:] {
 		if n.Cores < capCores {
 			capCores = n.Cores
 		}
+	}
+	if floor < 0 {
+		floor = 0
 	}
 	counts := make([]int, nApps)
 	var rec func(pos, remaining int) bool
@@ -187,7 +198,7 @@ func EnumeratePerNodeCounts(m *machine.Machine, nApps int, fn func(counts []int,
 			cp := append([]int(nil), counts...)
 			return fn(cp, al, r)
 		}
-		for c := 0; c <= remaining; c++ {
+		for c := floor; c <= remaining; c++ {
 			counts[pos] = c
 			if !rec(pos+1, remaining-c) {
 				return false
@@ -203,6 +214,13 @@ func EnumeratePerNodeCounts(m *machine.Machine, nApps int, fn func(counts []int,
 // BestPerNodeCounts exhaustively searches uniform per-node allocations
 // and returns the best one under obj.
 func BestPerNodeCounts(m *machine.Machine, apps []App, obj Objective) ([]int, Allocation, *Result, error) {
+	return BestPerNodeCountsFloor(m, apps, obj, 0)
+}
+
+// BestPerNodeCountsFloor is BestPerNodeCounts with every app guaranteed
+// at least floor threads per node. It returns ErrNoAllocation when the
+// floors alone over-subscribe a node (more apps than cores).
+func BestPerNodeCountsFloor(m *machine.Machine, apps []App, obj Objective, floor int) ([]int, Allocation, *Result, error) {
 	if obj == nil {
 		obj = TotalGFLOPS
 	}
@@ -210,7 +228,7 @@ func BestPerNodeCounts(m *machine.Machine, apps []App, obj Objective) ([]int, Al
 	var bestAl Allocation
 	var bestRes *Result
 	best := -1.0
-	err := EnumeratePerNodeCounts(m, len(apps), func(counts []int, al Allocation, r *Result) bool {
+	err := EnumeratePerNodeCountsFloor(m, len(apps), floor, func(counts []int, al Allocation, r *Result) bool {
 		if s := obj(r); s > best {
 			best, bestCounts, bestAl, bestRes = s, counts, al.Clone(), r
 		}

@@ -92,6 +92,9 @@ func NewAllocation(apps, nodes int) Allocation {
 
 // Clone returns a deep copy.
 func (al Allocation) Clone() Allocation {
+	if len(al.Threads) == 0 {
+		return Allocation{Threads: [][]int{}}
+	}
 	cp := NewAllocation(len(al.Threads), len(al.Threads[0]))
 	for i := range al.Threads {
 		copy(cp.Threads[i], al.Threads[i])
