@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench check fmt
+.PHONY: all build vet test race bench chaos check fmt
 
 all: check
 
@@ -22,6 +22,12 @@ race:
 
 bench:
 	$(GO) test -bench . -benchmem -run '^$$' ./...
+
+# Fault-tolerance suite: kill/restart a real daemon mid-workload under
+# injected transport faults, clock-skewed TTL expiry, and server-side
+# fault storms (see internal/ctrlplane/chaos_test.go).
+chaos:
+	$(GO) test -race -count 1 -run 'TestChaos' -v ./internal/ctrlplane/
 
 check: build vet race
 

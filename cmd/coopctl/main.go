@@ -9,6 +9,7 @@
 //	coopctl [-server URL] deregister -id stream-1
 //	coopctl [-server URL] apps
 //	coopctl [-server URL] alloc
+//	coopctl [-server URL] machine
 //	coopctl [-server URL] watch [-interval 500ms]
 //	coopctl [-server URL] demo [-keep]
 //	coopctl [-server URL] health
@@ -55,6 +56,8 @@ func main() {
 		err = cmdApps(ctx, c)
 	case "alloc":
 		err = cmdAlloc(ctx, c)
+	case "machine":
+		err = cmdMachine(ctx, c)
 	case "watch":
 		err = cmdWatch(ctx, c, args)
 	case "demo":
@@ -72,7 +75,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: coopctl [-server URL] <register|heartbeat|deregister|apps|alloc|watch|demo|health> [flags]")
+	fmt.Fprintln(os.Stderr, "usage: coopctl [-server URL] <register|heartbeat|deregister|apps|alloc|machine|watch|demo|health> [flags]")
 }
 
 func cmdRegister(ctx context.Context, c *client.Client, args []string) error {
@@ -180,6 +183,24 @@ func printAlloc(resp *ctrlplane.AllocationsResponse) {
 			metrics.FormatFloat(r.EvenGFLOPS), metrics.FormatFloat(r.NodePerAppGFLOPS))
 	}
 	fmt.Printf(", cache hit: %v\n", resp.CacheHit)
+}
+
+// cmdMachine dumps the daemon's machine topology — the same payload
+// resilient clients cache so they can fall back to a local solve when
+// the daemon is unreachable.
+func cmdMachine(ctx context.Context, c *client.Client) error {
+	resp, err := c.Machine(ctx)
+	if err != nil {
+		return err
+	}
+	m := resp.Machine
+	fmt.Printf("%s (policy %s, generation %d)\n", m, resp.Policy, resp.Generation)
+	t := metrics.NewTable("NUMA nodes", "node", "cores", "peak GFLOPS/core", "mem GB/s")
+	for i, n := range m.Nodes {
+		t.AddRow(i, n.Cores, n.PeakGFLOPS, n.MemBandwidth)
+	}
+	fmt.Print(t)
+	return nil
 }
 
 func cmdWatch(ctx context.Context, c *client.Client, args []string) error {

@@ -10,10 +10,19 @@
 //	coopd -machine topo.json           # custom topology from JSON
 //	coopd -policy fairshare            # even split instead of roofline
 //	coopd -ttl 5s -sweep 1s            # heartbeat deadline / evict scan
+//	coopd -state-dir /var/lib/coopd    # journal registry, survive crashes
+//
+// With -state-dir the registry is persisted to a snapshot + append-only
+// journal; on restart the daemon restores the registered apps, re-arms
+// their heartbeat deadlines, and resumes the allocation generation
+// counter so watching clients never observe it regress. Registrations
+// are fsynced before they are acknowledged unless -write-behind relaxes
+// that to a periodic background flush.
 //
 // Endpoints: POST /v1/register, POST /v1/heartbeat,
 // DELETE /v1/apps/{id}, GET /v1/apps, GET /v1/allocations,
-// GET /healthz, GET /metricsz, GET /tracez. See cmd/coopctl for a CLI.
+// GET /v1/machine, GET /healthz, GET /metricsz, GET /tracez. See
+// cmd/coopctl for a CLI.
 package main
 
 import (
@@ -29,8 +38,14 @@ import (
 	"time"
 
 	"repro/internal/ctrlplane"
+	"repro/internal/ctrlplane/persist"
 	"repro/internal/machine"
 )
+
+// maxBodyBytes bounds request bodies: register/heartbeat payloads are a
+// few hundred bytes, so 1 MiB is generous and still stops an oversized
+// body from ballooning the daemon's memory.
+const maxBodyBytes = 1 << 20
 
 func main() {
 	addr := flag.String("addr", ":8377", "listen address")
@@ -38,23 +53,48 @@ func main() {
 	policy := flag.String("policy", ctrlplane.PolicyRoofline, "allocation policy: roofline | fairshare")
 	ttl := flag.Duration("ttl", 15*time.Second, "default heartbeat deadline before an app is evicted")
 	sweep := flag.Duration("sweep", 0, "eviction scan interval (default ttl/4)")
+	stateDir := flag.String("state-dir", "", "directory for the registry snapshot + journal (empty: in-memory only, no crash recovery)")
+	writeBehind := flag.Bool("write-behind", false, "relax registration durability from fsync-per-write to a periodic background flush")
 	flag.Parse()
 
 	m, err := loadMachine(*machineName)
 	if err != nil {
 		log.Fatalf("coopd: %v", err)
 	}
+
+	var store *persist.Store
+	if *stateDir != "" {
+		store, err = persist.Open(*stateDir, persist.Options{WriteBehind: *writeBehind})
+		if err != nil {
+			log.Fatalf("coopd: opening state dir %s: %v", *stateDir, err)
+		}
+		defer store.Close()
+		snap := store.Restored()
+		log.Printf("coopd: restored %d apps from %s (generation %d, %d torn journal records dropped)",
+			len(snap.Apps), *stateDir, snap.Generation, store.TornRecords())
+	}
+
 	srv, err := ctrlplane.NewServer(ctrlplane.ServerConfig{
 		Machine:       m,
 		Policy:        *policy,
 		DefaultTTL:    *ttl,
 		SweepInterval: *sweep,
+		Store:         store,
 	})
 	if err != nil {
 		log.Fatalf("coopd: %v", err)
 	}
 
-	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	hs := &http.Server{
+		Addr:    *addr,
+		Handler: limitBodies(srv.Handler()),
+		// Slowloris / stuck-peer protection: a client that trickles its
+		// headers or body can't pin a connection open indefinitely.
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       15 * time.Second,
+		IdleTimeout:       120 * time.Second,
+		MaxHeaderBytes:    64 << 10,
+	}
 	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer cancel()
 
@@ -75,6 +115,18 @@ func main() {
 	if err := hs.Shutdown(shutdownCtx); err != nil {
 		log.Printf("coopd: shutdown: %v", err)
 	}
+}
+
+// limitBodies caps every request body at maxBodyBytes; an oversized
+// body makes the JSON decode fail with a 400 instead of exhausting
+// memory.
+func limitBodies(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Body != nil {
+			r.Body = http.MaxBytesReader(w, r.Body, maxBodyBytes)
+		}
+		next.ServeHTTP(w, r)
+	})
 }
 
 // loadMachine resolves a named topology or reads one from a JSON file.

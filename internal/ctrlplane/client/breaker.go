@@ -1,0 +1,134 @@
+package client
+
+import (
+	"sync"
+	"time"
+)
+
+// BreakerState is a circuit breaker's position.
+type BreakerState int
+
+const (
+	// BreakerClosed: requests flow normally.
+	BreakerClosed BreakerState = iota
+	// BreakerOpen: the daemon is presumed down; requests are refused
+	// locally until the cooldown elapses.
+	BreakerOpen
+	// BreakerHalfOpen: the cooldown elapsed; a single probe request is
+	// in flight to test whether the daemon recovered.
+	BreakerHalfOpen
+)
+
+// String implements fmt.Stringer.
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half-open"
+	default:
+		return "unknown"
+	}
+}
+
+// Breaker is a consecutive-failure circuit breaker. It trips open after
+// Threshold transport-level failures in a row, refuses further calls
+// for Cooldown, then lets exactly one half-open probe through; a
+// successful probe closes the circuit, a failed one re-opens it for
+// another cooldown. Safe for concurrent use.
+type Breaker struct {
+	threshold int
+	cooldown  time.Duration
+	clock     func() time.Time
+
+	mu       sync.Mutex
+	state    BreakerState
+	fails    int
+	openedAt time.Time
+	probing  bool
+	trips    uint64
+}
+
+// NewBreaker builds a breaker. threshold <= 0 defaults to 3 consecutive
+// failures; cooldown <= 0 defaults to 2s; clock nil defaults to
+// time.Now.
+func NewBreaker(threshold int, cooldown time.Duration, clock func() time.Time) *Breaker {
+	if threshold <= 0 {
+		threshold = 3
+	}
+	if cooldown <= 0 {
+		cooldown = 2 * time.Second
+	}
+	if clock == nil {
+		clock = time.Now
+	}
+	return &Breaker{threshold: threshold, cooldown: cooldown, clock: clock}
+}
+
+// Allow reports whether a request may be attempted now. In the open
+// state it returns false until the cooldown elapses, at which point it
+// transitions to half-open and admits a single probe; concurrent
+// callers during the probe are refused.
+func (b *Breaker) Allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		return true
+	case BreakerHalfOpen:
+		return false // one probe at a time
+	default: // BreakerOpen
+		if b.clock().Sub(b.openedAt) < b.cooldown {
+			return false
+		}
+		b.state = BreakerHalfOpen
+		b.probing = true
+		return true
+	}
+}
+
+// Record reports the outcome of an attempt admitted by Allow. Success
+// closes the circuit; failure counts toward the threshold (closed) or
+// re-opens it (half-open probe).
+func (b *Breaker) Record(success bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if success {
+		b.state = BreakerClosed
+		b.fails = 0
+		b.probing = false
+		return
+	}
+	switch b.state {
+	case BreakerHalfOpen:
+		b.state = BreakerOpen
+		b.openedAt = b.clock()
+		b.probing = false
+		b.trips++
+	default:
+		b.fails++
+		if b.fails >= b.threshold {
+			b.state = BreakerOpen
+			b.openedAt = b.clock()
+			b.fails = 0
+			b.trips++
+		}
+	}
+}
+
+// State returns the current position (open reads as half-open once the
+// cooldown has elapsed only after an Allow observes it).
+func (b *Breaker) State() BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}
+
+// Trips counts closed/half-open -> open transitions.
+func (b *Breaker) Trips() uint64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.trips
+}

@@ -10,6 +10,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"net/url"
 	"strings"
@@ -18,10 +19,20 @@ import (
 	"repro/internal/ctrlplane"
 )
 
+// ErrUnknownApp is the client-side sentinel for the server's
+// "unknown_app" error code: the ID was evicted (or never existed) and
+// the application must re-register. Detect it with errors.Is (or the
+// IsUnknownApp helper); the Resilient wrapper re-registers on it
+// automatically.
+var ErrUnknownApp = errors.New("ctrlplane: unknown application (evicted or never registered)")
+
 // APIError is a non-2xx response from the control plane.
 type APIError struct {
 	Status  int
 	Message string
+	// Code is the server's machine-readable cause (may be empty for
+	// older servers or non-ctrlplane intermediaries).
+	Code string
 }
 
 // Error implements error.
@@ -29,11 +40,24 @@ func (e *APIError) Error() string {
 	return fmt.Sprintf("ctrlplane: server returned %d: %s", e.Status, e.Message)
 }
 
+// Is lets errors.Is(err, ErrUnknownApp) match responses carrying the
+// unknown_app code, without string-matching messages.
+func (e *APIError) Is(target error) bool {
+	return target == ErrUnknownApp && e.Code == ctrlplane.ErrCodeUnknownApp
+}
+
 // IsNotFound reports whether the error is a 404 — for heartbeats, the
 // signal that the application was evicted and must re-register.
 func IsNotFound(err error) bool {
 	var ae *APIError
 	return errors.As(err, &ae) && ae.Status == http.StatusNotFound
+}
+
+// IsUnknownApp reports whether the server rejected the request because
+// the application ID is not registered (typed via the wire error code,
+// so callers never have to parse messages).
+func IsUnknownApp(err error) bool {
+	return errors.Is(err, ErrUnknownApp)
 }
 
 // Config tunes a Client.
@@ -58,6 +82,9 @@ type Config struct {
 type Client struct {
 	base string
 	cfg  Config
+	// rnd is the jitter source (the shared math/rand default); tests
+	// swap in a seeded function for deterministic schedules.
+	rnd func() float64
 }
 
 // New creates a client for the server at baseURL (e.g.
@@ -78,7 +105,7 @@ func New(baseURL string, cfg Config) *Client {
 	if cfg.RequestTimeout <= 0 {
 		cfg.RequestTimeout = 10 * time.Second
 	}
-	return &Client{base: strings.TrimRight(baseURL, "/"), cfg: cfg}
+	return &Client{base: strings.TrimRight(baseURL, "/"), cfg: cfg, rnd: rand.Float64}
 }
 
 // do performs one API call with retries. in (may be nil) is marshaled
@@ -115,11 +142,23 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any) error
 	return fmt.Errorf("ctrlplane: giving up after %d attempts: %w", c.cfg.MaxAttempts, lastErr)
 }
 
-// backoff returns the exponential delay before the given attempt.
+// backoff returns the full-jitter delay before the given attempt:
+// uniform over (0, ceiling], where the ceiling doubles from BaseBackoff
+// and saturates at MaxBackoff. Deterministic backoff would send every
+// app's retry at the same instant when a restarted daemon comes back —
+// a synchronized stampede; the jitter spreads the herd.
 func (c *Client) backoff(attempt int) time.Duration {
-	d := c.cfg.BaseBackoff << (attempt - 1)
-	if d > c.cfg.MaxBackoff || d <= 0 {
-		d = c.cfg.MaxBackoff
+	ceiling := c.cfg.BaseBackoff << (attempt - 1)
+	if ceiling > c.cfg.MaxBackoff || ceiling <= 0 {
+		ceiling = c.cfg.MaxBackoff
+	}
+	d := time.Duration(c.rnd() * float64(ceiling))
+	if d < time.Millisecond {
+		// Floor keeps a tiny draw from turning retries into a hot loop.
+		d = time.Millisecond
+	}
+	if d > ceiling {
+		d = ceiling
 	}
 	return d
 }
@@ -165,11 +204,13 @@ func (c *Client) once(ctx context.Context, method, path string, body []byte, out
 	}
 	if resp.StatusCode >= 400 {
 		msg := strings.TrimSpace(string(data))
+		var code string
 		var er ctrlplane.ErrorResponse
 		if json.Unmarshal(data, &er) == nil && er.Error != "" {
 			msg = er.Error
+			code = er.Code
 		}
-		return resp.StatusCode >= 500, &APIError{Status: resp.StatusCode, Message: msg}
+		return resp.StatusCode >= 500, &APIError{Status: resp.StatusCode, Message: msg, Code: code}
 	}
 	if out != nil && len(data) > 0 {
 		if err := json.Unmarshal(data, out); err != nil {
@@ -217,6 +258,15 @@ func (c *Client) Apps(ctx context.Context) (*ctrlplane.AppsResponse, error) {
 func (c *Client) Allocations(ctx context.Context) (*ctrlplane.AllocationsResponse, error) {
 	var resp ctrlplane.AllocationsResponse
 	if err := c.do(ctx, http.MethodGet, "/v1/allocations", nil, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Machine reads the server's topology (for local fallback solves).
+func (c *Client) Machine(ctx context.Context) (*ctrlplane.MachineResponse, error) {
+	var resp ctrlplane.MachineResponse
+	if err := c.do(ctx, http.MethodGet, "/v1/machine", nil, &resp); err != nil {
 		return nil, err
 	}
 	return &resp, nil

@@ -174,27 +174,98 @@ func TestRequestTimeoutApplied(t *testing.T) {
 	}
 }
 
-// TestBackoffSchedule: delays double from BaseBackoff and saturate at
-// MaxBackoff.
-func TestBackoffSchedule(t *testing.T) {
+// TestBackoffFullJitter: every delay stays within (0, ceiling] where
+// the ceiling doubles from BaseBackoff and saturates at MaxBackoff, and
+// the draws are genuinely spread — deterministic backoff would have
+// every app of a restarted daemon retry at the same instant.
+func TestBackoffFullJitter(t *testing.T) {
+	c := New("http://127.0.0.1:0", Config{
+		BaseBackoff: 16 * time.Millisecond,
+		MaxBackoff:  64 * time.Millisecond,
+	})
+	ceilings := []time.Duration{
+		16 * time.Millisecond, // attempt 1
+		32 * time.Millisecond, // attempt 2
+		64 * time.Millisecond, // attempt 3
+		64 * time.Millisecond, // attempt 4 (128ms capped)
+	}
+	seen := map[time.Duration]bool{}
+	for round := 0; round < 50; round++ {
+		for i, ceil := range ceilings {
+			got := c.backoff(i + 1)
+			if got <= 0 || got > ceil {
+				t.Fatalf("backoff(%d) = %v, want in (0, %v]", i+1, got, ceil)
+			}
+			seen[got] = true
+		}
+		// Shift overflow must also saturate, not go negative.
+		if got := c.backoff(62); got <= 0 || got > 64*time.Millisecond {
+			t.Fatalf("backoff(62) = %v, want in (0, cap]", got)
+		}
+	}
+	if len(seen) < 10 {
+		t.Errorf("only %d distinct delays over 200 draws — jitter looks degenerate", len(seen))
+	}
+}
+
+// TestBackoffJitterDeterministicWithSeed: the schedule is a pure
+// function of the injected randomness (full jitter: rnd * ceiling).
+func TestBackoffJitterDeterministicWithSeed(t *testing.T) {
 	c := New("http://127.0.0.1:0", Config{
 		BaseBackoff: 10 * time.Millisecond,
-		MaxBackoff:  35 * time.Millisecond,
+		MaxBackoff:  40 * time.Millisecond,
 	})
+	c.rnd = func() float64 { return 0.5 }
 	want := []time.Duration{
-		10 * time.Millisecond, // attempt 1
-		20 * time.Millisecond, // attempt 2
-		35 * time.Millisecond, // attempt 3 (40ms capped)
-		35 * time.Millisecond, // attempt 4
+		5 * time.Millisecond,  // 0.5 * 10ms
+		10 * time.Millisecond, // 0.5 * 20ms
+		20 * time.Millisecond, // 0.5 * 40ms (ceiling saturated)
+		20 * time.Millisecond,
 	}
 	for i, w := range want {
 		if got := c.backoff(i + 1); got != w {
 			t.Errorf("backoff(%d) = %v, want %v", i+1, got, w)
 		}
 	}
-	// Shift overflow must also saturate, not go negative.
-	if got := c.backoff(62); got != 35*time.Millisecond {
-		t.Errorf("backoff(62) = %v, want cap", got)
+	// A pathological draw near zero floors at 1ms instead of hot-looping.
+	c.rnd = func() float64 { return 0 }
+	if got := c.backoff(1); got != time.Millisecond {
+		t.Errorf("backoff floor = %v, want 1ms", got)
+	}
+}
+
+// TestUnknownAppSentinel: the wire error code maps onto the typed
+// sentinel, with no message string-matching.
+func TestUnknownAppSentinel(t *testing.T) {
+	c, _ := newTestClient(t, func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusNotFound)
+		json.NewEncoder(w).Encode(ctrlplane.ErrorResponse{
+			Error: "ghost-1: some human-readable text",
+			Code:  ctrlplane.ErrCodeUnknownApp,
+		})
+	}, Config{})
+	_, err := c.Heartbeat(context.Background(), ctrlplane.HeartbeatRequest{ID: "ghost-1"})
+	if !IsUnknownApp(err) {
+		t.Errorf("IsUnknownApp(%v) = false, want true", err)
+	}
+	if !errors.Is(err, ErrUnknownApp) {
+		t.Errorf("errors.Is(%v, ErrUnknownApp) = false", err)
+	}
+	if !IsNotFound(err) {
+		t.Errorf("IsNotFound(%v) = false (code should not break status checks)", err)
+	}
+
+	// A plain 404 without the code (proxy, wrong URL) is NOT the
+	// sentinel: degrading to re-register on any 404 would mask bugs.
+	c2, _ := newTestClient(t, func(w http.ResponseWriter, r *http.Request) {
+		http.NotFound(w, r)
+	}, Config{})
+	_, err = c2.Heartbeat(context.Background(), ctrlplane.HeartbeatRequest{ID: "ghost-1"})
+	if IsUnknownApp(err) {
+		t.Errorf("IsUnknownApp(%v) = true for a codeless 404", err)
+	}
+	if IsUnknownApp(nil) {
+		t.Error("IsUnknownApp(nil) = true")
 	}
 }
 

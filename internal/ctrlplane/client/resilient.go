@@ -1,0 +1,374 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/ctrlplane"
+	"repro/internal/machine"
+	"repro/internal/roofline"
+)
+
+// ErrCircuitOpen is returned when the breaker refuses a call and no
+// degraded answer (cached or locally solved) is available.
+var ErrCircuitOpen = errors.New("ctrlplane: circuit breaker open (daemon unreachable)")
+
+// Source says where a degraded-capable read was answered from.
+type Source int
+
+const (
+	// SourceLive: the daemon answered.
+	SourceLive Source = iota
+	// SourceCached: the daemon is unreachable; this is the last-known-
+	// good allocation it served.
+	SourceCached
+	// SourceLocal: the daemon is unreachable and nothing was cached; a
+	// local solver run over the client's own demand produced this.
+	SourceLocal
+)
+
+// String implements fmt.Stringer.
+func (s Source) String() string {
+	switch s {
+	case SourceLive:
+		return "live"
+	case SourceCached:
+		return "cached"
+	case SourceLocal:
+		return "local"
+	default:
+		return "unknown"
+	}
+}
+
+// ResilientConfig tunes a Resilient client.
+type ResilientConfig struct {
+	// BreakerThreshold is the consecutive transport-failure count that
+	// trips the circuit open (default 3).
+	BreakerThreshold int
+	// BreakerCooldown is how long the circuit stays open before a
+	// half-open probe (default 2s).
+	BreakerCooldown time.Duration
+	// LocalPolicy is the solver policy for local fallback solves
+	// (default the server's roofline policy).
+	LocalPolicy string
+	// Clock is the breaker's time source (nil: time.Now).
+	Clock func() time.Time
+}
+
+// Resilient wraps Client with graceful degradation: a circuit breaker
+// over the transport, the last-known-good allocation and the topology
+// it was computed against, a local solver fallback, and automatic
+// re-registration when a heartbeat reports the app unknown (evicted, or
+// the daemon restarted without this app's state).
+//
+// During a daemon outage Allocations keeps answering — first from
+// cache, else from a local roofline solve over the demand this client
+// knows about — instead of erroring, so the application never stalls on
+// the control plane.
+type Resilient struct {
+	c  *Client
+	br *Breaker
+
+	solver *ctrlplane.Solver
+
+	mu          sync.Mutex
+	machine     *machine.Machine
+	lastAlloc   *ctrlplane.AllocationsResponse
+	localDemand []ctrlplane.RegisterRequest
+	id          string
+	regReq      ctrlplane.RegisterRequest
+	registered  bool
+	reRegisters uint64
+}
+
+// NewResilient builds the wrapper around an existing Client.
+func NewResilient(c *Client, cfg ResilientConfig) (*Resilient, error) {
+	if cfg.LocalPolicy == "" {
+		cfg.LocalPolicy = ctrlplane.PolicyRoofline
+	}
+	solver, err := ctrlplane.NewSolver(cfg.LocalPolicy)
+	if err != nil {
+		return nil, err
+	}
+	return &Resilient{
+		c:      c,
+		br:     NewBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown, cfg.Clock),
+		solver: solver,
+	}, nil
+}
+
+// Client returns the wrapped plain client.
+func (r *Resilient) Client() *Client { return r.c }
+
+// BreakerState exposes the circuit position for monitoring.
+func (r *Resilient) BreakerState() BreakerState { return r.br.State() }
+
+// ID returns the app's current registration ID ("" before Register).
+// It changes when an eviction forces a re-registration.
+func (r *Resilient) ID() string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.id
+}
+
+// ReRegisters counts automatic re-registrations after eviction.
+func (r *Resilient) ReRegisters() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.reRegisters
+}
+
+// record classifies an outcome for the breaker: any response from the
+// server — including 4xx rejections — proves the daemon alive; only
+// transport-level failures (after the client's own retries) count
+// against the circuit.
+func (r *Resilient) record(err error) {
+	var ae *APIError
+	r.br.Record(err == nil || errors.As(err, &ae))
+}
+
+// Register announces the application, remembers the request for later
+// automatic re-registration, and caches the machine topology for local
+// fallback solves.
+func (r *Resilient) Register(ctx context.Context, req ctrlplane.RegisterRequest) (*ctrlplane.RegisterResponse, error) {
+	if !r.br.Allow() {
+		return nil, ErrCircuitOpen
+	}
+	resp, err := r.c.Register(ctx, req)
+	r.record(err)
+	if err != nil {
+		return nil, err
+	}
+	r.mu.Lock()
+	r.id = resp.ID
+	r.regReq = req
+	r.registered = true
+	if len(r.localDemand) == 0 {
+		r.localDemand = []ctrlplane.RegisterRequest{req}
+	}
+	needMachine := r.machine == nil
+	r.mu.Unlock()
+	if needMachine {
+		if mr, merr := r.c.Machine(ctx); merr == nil && mr.Machine != nil {
+			r.mu.Lock()
+			r.machine = mr.Machine
+			r.mu.Unlock()
+		}
+	}
+	return resp, nil
+}
+
+// SetLocalDemand overrides the demand set used by local fallback
+// solves. A cooperating application that knows the whole mix (e.g. the
+// paper's three memory-bound plus one compute-bound jobs) can thus
+// degrade to the same Table I optimum the daemon would have served.
+func (r *Resilient) SetLocalDemand(reqs []ctrlplane.RegisterRequest) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.localDemand = append([]ctrlplane.RegisterRequest(nil), reqs...)
+}
+
+// SetMachine seeds the cached topology (normally learned from the
+// daemon at Register time) so local solves work daemon-never-seen.
+func (r *Resilient) SetMachine(m *machine.Machine) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.machine = m
+}
+
+// Machine returns the cached topology (nil if never learned).
+func (r *Resilient) Machine() *machine.Machine {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.machine
+}
+
+// Heartbeat refreshes liveness. If the daemon reports the app unknown —
+// it was evicted, or restarted without this app's state — the wrapper
+// re-registers with the remembered spec and retries the heartbeat under
+// the new ID, so callers see at most a changed allocation, never an
+// "unknown app" error loop.
+func (r *Resilient) Heartbeat(ctx context.Context, hb ctrlplane.HeartbeatRequest) (*ctrlplane.HeartbeatResponse, error) {
+	if !r.br.Allow() {
+		return nil, ErrCircuitOpen
+	}
+	r.mu.Lock()
+	if hb.ID == "" {
+		hb.ID = r.id
+	}
+	req, registered := r.regReq, r.registered
+	r.mu.Unlock()
+
+	resp, err := r.c.Heartbeat(ctx, hb)
+	r.record(err)
+	if err == nil {
+		return resp, nil
+	}
+	if !IsUnknownApp(err) || !registered {
+		return nil, err
+	}
+	// Evicted: re-register and retry once under the fresh ID.
+	reg, rerr := r.c.Register(ctx, req)
+	r.record(rerr)
+	if rerr != nil {
+		return nil, fmt.Errorf("re-registering after eviction: %w (original: %v)", rerr, err)
+	}
+	r.mu.Lock()
+	r.id = reg.ID
+	r.reRegisters++
+	r.mu.Unlock()
+	hb.ID = reg.ID
+	resp, err = r.c.Heartbeat(ctx, hb)
+	r.record(err)
+	if err != nil {
+		return nil, err
+	}
+	return resp, nil
+}
+
+// Deregister removes the app (pass-through with breaker accounting).
+func (r *Resilient) Deregister(ctx context.Context) error {
+	r.mu.Lock()
+	id := r.id
+	r.registered = false
+	r.mu.Unlock()
+	if id == "" {
+		return nil
+	}
+	if !r.br.Allow() {
+		return ErrCircuitOpen
+	}
+	err := r.c.Deregister(ctx, id)
+	r.record(err)
+	return err
+}
+
+// Allocations reads the machine-wide allocation table, degrading
+// gracefully: live from the daemon when reachable; otherwise the
+// last-known-good table; otherwise a local solve over the demand this
+// client knows. The Source return says which one answered.
+func (r *Resilient) Allocations(ctx context.Context) (*ctrlplane.AllocationsResponse, Source, error) {
+	if r.br.Allow() {
+		resp, err := r.c.Allocations(ctx)
+		r.record(err)
+		if err == nil {
+			r.mu.Lock()
+			r.lastAlloc = copyAllocations(resp)
+			r.mu.Unlock()
+			return resp, SourceLive, nil
+		}
+		var ae *APIError
+		if errors.As(err, &ae) {
+			// The daemon is alive and rejected us; degrading would mask a
+			// real error, so surface it.
+			return nil, SourceLive, err
+		}
+	}
+	return r.degraded()
+}
+
+// LastKnownGood returns the cached allocation table, if any.
+func (r *Resilient) LastKnownGood() (*ctrlplane.AllocationsResponse, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.lastAlloc == nil {
+		return nil, false
+	}
+	return copyAllocations(r.lastAlloc), true
+}
+
+// degraded serves an allocation without the daemon.
+func (r *Resilient) degraded() (*ctrlplane.AllocationsResponse, Source, error) {
+	r.mu.Lock()
+	cached := copyAllocations(r.lastAlloc)
+	m := r.machine
+	demand := append([]ctrlplane.RegisterRequest(nil), r.localDemand...)
+	r.mu.Unlock()
+	if cached != nil {
+		return cached, SourceCached, nil
+	}
+	if m == nil || len(demand) == 0 {
+		return nil, SourceLocal, fmt.Errorf("%w and no cached allocation or topology for a local solve", ErrCircuitOpen)
+	}
+	resp, err := r.localSolve(m, demand)
+	if err != nil {
+		return nil, SourceLocal, err
+	}
+	return resp, SourceLocal, nil
+}
+
+// localSolve runs the same solver the daemon would, over the cached
+// topology and the locally known demand.
+func (r *Resilient) localSolve(m *machine.Machine, demand []ctrlplane.RegisterRequest) (*ctrlplane.AllocationsResponse, error) {
+	apps := make([]ctrlplane.AppState, len(demand))
+	for i, d := range demand {
+		pl := roofline.NUMAPerfect
+		if d.Placement == ctrlplane.PlacementBad {
+			pl = roofline.NUMABad
+		}
+		name := d.Name
+		if name == "" {
+			name = "app"
+		}
+		apps[i] = ctrlplane.AppState{
+			ID: fmt.Sprintf("local-%s-%d", name, i+1),
+			Spec: ctrlplane.AppSpec{
+				Name:       name,
+				AI:         d.AI,
+				Placement:  pl,
+				HomeNode:   machine.NodeID(d.HomeNode),
+				MaxThreads: d.MaxThreads,
+			},
+		}
+	}
+	sol, err := r.solver.Solve(m, apps)
+	if err != nil {
+		return nil, fmt.Errorf("local fallback solve: %w", err)
+	}
+	resp := &ctrlplane.AllocationsResponse{
+		Machine:     m.Name,
+		Policy:      "local-" + r.solver.Policy(),
+		Apps:        make([]ctrlplane.AppAllocation, len(sol.PerApp)),
+		TotalGFLOPS: sol.TotalGFLOPS,
+	}
+	for i, a := range sol.PerApp {
+		threads := 0
+		for _, c := range a.PerNode {
+			threads += c
+		}
+		resp.Apps[i] = ctrlplane.AppAllocation{
+			ID: a.ID, Name: a.Name, PerNode: a.PerNode,
+			Threads: threads, PredictedGFLOPS: a.GFLOPS,
+		}
+	}
+	if sol.EvenGFLOPS > 0 || sol.NodePerAppGFLOPS > 0 {
+		resp.Reference = &ctrlplane.ReferenceAllocations{
+			EvenGFLOPS:       sol.EvenGFLOPS,
+			NodePerAppGFLOPS: sol.NodePerAppGFLOPS,
+		}
+	}
+	return resp, nil
+}
+
+// copyAllocations deep-copies a table so cached state can't be mutated
+// by callers (nil in, nil out).
+func copyAllocations(in *ctrlplane.AllocationsResponse) *ctrlplane.AllocationsResponse {
+	if in == nil {
+		return nil
+	}
+	out := *in
+	out.Apps = make([]ctrlplane.AppAllocation, len(in.Apps))
+	for i, a := range in.Apps {
+		out.Apps[i] = a
+		out.Apps[i].PerNode = append([]int(nil), a.PerNode...)
+	}
+	if in.Reference != nil {
+		ref := *in.Reference
+		out.Reference = &ref
+	}
+	return &out
+}

@@ -1,0 +1,443 @@
+// Package persist gives the control-plane registry crash durability: a
+// JSON snapshot plus an append-only journal in a state directory. On
+// open the store loads the snapshot, replays the journal (tolerating a
+// torn final record from a mid-write crash), compacts the merged state
+// back into a fresh snapshot, and is then ready to log registry
+// mutations.
+//
+// Durability model: mutations of the live application set (register,
+// deregister, evict) are fsynced before the append returns, so an
+// acknowledged registration survives a kernel crash; heartbeat refreshes
+// are written but not individually fsynced (a lost refresh costs at most
+// one re-armed TTL window after restart). The WriteBehind option relaxes
+// set mutations to the same buffered regime, with a background flusher
+// syncing on an interval — higher throughput, bounded loss window.
+//
+// The store is a single-writer design: exactly one daemon may own a
+// state directory at a time.
+package persist
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Journal and snapshot file names inside the state directory.
+const (
+	snapshotFile = "snapshot.json"
+	journalFile  = "journal.jsonl"
+)
+
+// AppRecord is the persisted form of one registered application. It is
+// deliberately free of control-plane types so the store has no import
+// cycle with package ctrlplane; the registry converts in both
+// directions.
+type AppRecord struct {
+	ID           string  `json:"id"`
+	Name         string  `json:"name"`
+	AI           float64 `json:"ai"`
+	Placement    int     `json:"placement"`
+	HomeNode     int     `json:"home_node"`
+	MaxThreads   int     `json:"max_threads,omitempty"`
+	TTLMillis    int64   `json:"ttl_ms"`
+	RegisteredAt int64   `json:"registered_at_unix_ns"`
+	LastBeat     int64   `json:"last_beat_unix_ns"`
+	Beats        uint64  `json:"beats,omitempty"`
+}
+
+// Snapshot is the full persisted registry state: the live set and the
+// counters the registry must resume from so client-visible generations
+// stay monotonic across a daemon restart.
+type Snapshot struct {
+	Generation uint64      `json:"generation"`
+	Seq        uint64      `json:"seq"`
+	Evictions  uint64      `json:"evictions"`
+	Apps       []AppRecord `json:"apps"`
+}
+
+// Journal operation names.
+const (
+	opRegister   = "register"
+	opHeartbeat  = "heartbeat"
+	opDeregister = "deregister"
+	opEvict      = "evict"
+)
+
+// record is one journal line.
+type record struct {
+	Op        string     `json:"op"`
+	App       *AppRecord `json:"app,omitempty"`
+	ID        string     `json:"id,omitempty"`
+	IDs       []string   `json:"ids,omitempty"`
+	Beat      int64      `json:"beat_unix_ns,omitempty"`
+	Beats     uint64     `json:"beats,omitempty"`
+	Gen       uint64     `json:"gen,omitempty"`
+	Seq       uint64     `json:"seq,omitempty"`
+	Evictions uint64     `json:"evictions,omitempty"`
+}
+
+// Options tunes a Store.
+type Options struct {
+	// WriteBehind skips the per-record fsync on set mutations; a
+	// background flusher syncs every FlushInterval instead. Buffered
+	// writes still reach the OS immediately, so only a kernel or power
+	// failure inside the flush window can lose an acknowledged record.
+	WriteBehind bool
+	// FlushInterval is the write-behind sync period (default 200ms;
+	// ignored unless WriteBehind).
+	FlushInterval time.Duration
+	// CompactEvery is the number of journal records after which the
+	// journal is folded into the snapshot and truncated (default 1024).
+	CompactEvery int
+}
+
+// Store owns one state directory. All methods are safe for concurrent
+// use; the registry additionally serializes them under its own lock.
+type Store struct {
+	dir  string
+	opts Options
+
+	mu       sync.Mutex
+	journal  *os.File
+	appended int // journal records since the last compaction
+	closed   bool
+
+	// Mirror of the persisted state, kept so compaction never has to
+	// re-read the files it is about to replace.
+	apps      map[string]AppRecord
+	gen       uint64
+	seq       uint64
+	evictions uint64
+
+	restored    Snapshot
+	torn        int
+	compactions uint64
+	flushErr    error
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+// Open loads (or creates) the state directory, replays any journal into
+// the snapshot, compacts, and returns a store ready for appends. The
+// state as of the previous run is available from Restored.
+func Open(dir string, opts Options) (*Store, error) {
+	if opts.FlushInterval <= 0 {
+		opts.FlushInterval = 200 * time.Millisecond
+	}
+	if opts.CompactEvery <= 0 {
+		opts.CompactEvery = 1024
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("persist: creating state dir: %w", err)
+	}
+	s := &Store{
+		dir:  dir,
+		opts: opts,
+		apps: map[string]AppRecord{},
+		stop: make(chan struct{}),
+		done: make(chan struct{}),
+	}
+	if err := s.load(); err != nil {
+		return nil, err
+	}
+	s.restored = s.snapshotLocked()
+
+	f, err := os.OpenFile(filepath.Join(dir, journalFile), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("persist: opening journal: %w", err)
+	}
+	s.journal = f
+	// Fold the replayed journal into a fresh snapshot so a crash during
+	// this run replays only this run's records.
+	if err := s.compactLocked(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if opts.WriteBehind {
+		go s.flusher()
+	} else {
+		close(s.done)
+	}
+	return s, nil
+}
+
+// load reads the snapshot and replays the journal into the mirror.
+func (s *Store) load() error {
+	data, err := os.ReadFile(filepath.Join(s.dir, snapshotFile))
+	switch {
+	case errors.Is(err, os.ErrNotExist):
+	case err != nil:
+		return fmt.Errorf("persist: reading snapshot: %w", err)
+	default:
+		var snap Snapshot
+		if err := json.Unmarshal(data, &snap); err != nil {
+			return fmt.Errorf("persist: corrupt snapshot %s: %w", snapshotFile, err)
+		}
+		s.gen, s.seq, s.evictions = snap.Generation, snap.Seq, snap.Evictions
+		for _, a := range snap.Apps {
+			s.apps[a.ID] = a
+		}
+	}
+
+	jf, err := os.Open(filepath.Join(s.dir, journalFile))
+	if errors.Is(err, os.ErrNotExist) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("persist: reading journal: %w", err)
+	}
+	defer jf.Close()
+	sc := bufio.NewScanner(jf)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var rec record
+		if err := json.Unmarshal(line, &rec); err != nil {
+			// A torn final record is the expected signature of a crash
+			// mid-append: stop replaying — everything before it is intact.
+			s.torn++
+			break
+		}
+		s.applyLocked(rec)
+	}
+	if err := sc.Err(); err != nil && !errors.Is(err, bufio.ErrTooLong) {
+		return fmt.Errorf("persist: scanning journal: %w", err)
+	}
+	return nil
+}
+
+// applyLocked folds one journal record into the mirror.
+func (s *Store) applyLocked(rec record) {
+	switch rec.Op {
+	case opRegister:
+		if rec.App != nil {
+			s.apps[rec.App.ID] = *rec.App
+		}
+		s.gen, s.seq = rec.Gen, rec.Seq
+	case opHeartbeat:
+		if a, ok := s.apps[rec.ID]; ok {
+			a.LastBeat = rec.Beat
+			a.Beats = rec.Beats
+			s.apps[rec.ID] = a
+		}
+	case opDeregister:
+		delete(s.apps, rec.ID)
+		s.gen = rec.Gen
+	case opEvict:
+		for _, id := range rec.IDs {
+			delete(s.apps, id)
+		}
+		s.gen = rec.Gen
+		s.evictions = rec.Evictions
+	}
+}
+
+// snapshotLocked copies the mirror into a Snapshot (apps sorted by ID).
+func (s *Store) snapshotLocked() Snapshot {
+	snap := Snapshot{
+		Generation: s.gen,
+		Seq:        s.seq,
+		Evictions:  s.evictions,
+		Apps:       make([]AppRecord, 0, len(s.apps)),
+	}
+	for _, a := range s.apps {
+		snap.Apps = append(snap.Apps, a)
+	}
+	sort.Slice(snap.Apps, func(i, j int) bool { return snap.Apps[i].ID < snap.Apps[j].ID })
+	return snap
+}
+
+// Restored returns the state recovered from the directory at Open time.
+func (s *Store) Restored() Snapshot {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := s.restored
+	out.Apps = append([]AppRecord(nil), s.restored.Apps...)
+	return out
+}
+
+// TornRecords reports how many corrupt journal tails were discarded at
+// Open (0 or 1 for a single crash).
+func (s *Store) TornRecords() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.torn
+}
+
+// Compactions reports how many times the journal was folded into the
+// snapshot.
+func (s *Store) Compactions() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.compactions
+}
+
+// compactLocked writes the mirror as a fresh snapshot (atomically, via a
+// temp file rename) and truncates the journal.
+func (s *Store) compactLocked() error {
+	data, err := json.MarshalIndent(s.snapshotLocked(), "", " ")
+	if err != nil {
+		return fmt.Errorf("persist: encoding snapshot: %w", err)
+	}
+	tmp := filepath.Join(s.dir, snapshotFile+".tmp")
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("persist: writing snapshot: %w", err)
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return fmt.Errorf("persist: writing snapshot: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("persist: syncing snapshot: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("persist: closing snapshot: %w", err)
+	}
+	if err := os.Rename(tmp, filepath.Join(s.dir, snapshotFile)); err != nil {
+		return fmt.Errorf("persist: installing snapshot: %w", err)
+	}
+	// Best-effort directory sync so the rename itself is durable.
+	if d, err := os.Open(s.dir); err == nil {
+		d.Sync()
+		d.Close()
+	}
+	if s.journal != nil {
+		if err := s.journal.Truncate(0); err != nil {
+			return fmt.Errorf("persist: truncating journal: %w", err)
+		}
+		if _, err := s.journal.Seek(0, 0); err != nil {
+			return fmt.Errorf("persist: rewinding journal: %w", err)
+		}
+	}
+	s.appended = 0
+	s.compactions++
+	return nil
+}
+
+// append writes one record. syncNow forces an fsync before returning
+// (ignored under WriteBehind, where the flusher owns syncing).
+func (s *Store) append(rec record, syncNow bool) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return errors.New("persist: store is closed")
+	}
+	line, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("persist: encoding journal record: %w", err)
+	}
+	if _, err := s.journal.Write(append(line, '\n')); err != nil {
+		return fmt.Errorf("persist: appending journal: %w", err)
+	}
+	s.applyLocked(rec)
+	s.appended++
+	if syncNow && !s.opts.WriteBehind {
+		if err := s.journal.Sync(); err != nil {
+			return fmt.Errorf("persist: syncing journal: %w", err)
+		}
+	}
+	if s.appended >= s.opts.CompactEvery {
+		return s.compactLocked()
+	}
+	return nil
+}
+
+// AppendRegister durably records a registration together with the
+// generation and sequence counters it committed. The registry calls this
+// before exposing the new app, so an acknowledged registration is always
+// recoverable.
+func (s *Store) AppendRegister(app AppRecord, gen, seq uint64) error {
+	return s.append(record{Op: opRegister, App: &app, Gen: gen, Seq: seq}, true)
+}
+
+// AppendHeartbeat records a liveness refresh (buffered, never
+// individually fsynced — see the package comment).
+func (s *Store) AppendHeartbeat(id string, beatUnixNano int64, beats uint64) error {
+	return s.append(record{Op: opHeartbeat, ID: id, Beat: beatUnixNano, Beats: beats}, false)
+}
+
+// AppendDeregister records an application's departure.
+func (s *Store) AppendDeregister(id string, gen uint64) error {
+	return s.append(record{Op: opDeregister, ID: id, Gen: gen}, true)
+}
+
+// AppendEvict records a liveness eviction sweep.
+func (s *Store) AppendEvict(ids []string, gen, evictions uint64) error {
+	return s.append(record{Op: opEvict, IDs: ids, Gen: gen, Evictions: evictions}, true)
+}
+
+// Sync flushes buffered journal bytes to stable storage.
+func (s *Store) Sync() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	return s.journal.Sync()
+}
+
+// flusher is the write-behind sync loop.
+func (s *Store) flusher() {
+	defer close(s.done)
+	t := time.NewTicker(s.opts.FlushInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case <-t.C:
+			s.mu.Lock()
+			if !s.closed {
+				if err := s.journal.Sync(); err != nil && s.flushErr == nil {
+					s.flushErr = err
+				}
+			}
+			s.mu.Unlock()
+		}
+	}
+}
+
+// FlushErr returns the first background-flush failure, if any.
+func (s *Store) FlushErr() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.flushErr
+}
+
+// Close compacts, syncs, and releases the journal. The store must not
+// be used afterwards.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	s.mu.Unlock()
+	close(s.stop)
+	<-s.done
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	err := s.compactLocked()
+	if serr := s.journal.Sync(); err == nil {
+		err = serr
+	}
+	if cerr := s.journal.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}

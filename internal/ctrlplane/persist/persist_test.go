@@ -1,0 +1,231 @@
+package persist
+
+import (
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+)
+
+func rec(id string, beats uint64) AppRecord {
+	return AppRecord{
+		ID: id, Name: id, AI: 0.5, TTLMillis: 1000,
+		RegisteredAt: 100, LastBeat: 100, Beats: beats,
+	}
+}
+
+// TestRoundTrip: registrations, heartbeats, deregistrations, and
+// evictions all survive a close/reopen cycle with counters intact.
+func TestRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Restored(); len(got.Apps) != 0 || got.Generation != 0 {
+		t.Fatalf("fresh dir restored %+v", got)
+	}
+	if err := s.AppendRegister(rec("a-1", 0), 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AppendRegister(rec("b-2", 0), 2, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AppendRegister(rec("c-3", 0), 3, 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AppendHeartbeat("a-1", 555, 7); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AppendDeregister("b-2", 4); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AppendEvict([]string{"c-3"}, 5, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	snap := s2.Restored()
+	if snap.Generation != 5 || snap.Seq != 3 || snap.Evictions != 1 {
+		t.Errorf("restored counters = gen %d seq %d ev %d, want 5/3/1",
+			snap.Generation, snap.Seq, snap.Evictions)
+	}
+	if len(snap.Apps) != 1 || snap.Apps[0].ID != "a-1" {
+		t.Fatalf("restored apps = %+v, want just a-1", snap.Apps)
+	}
+	if snap.Apps[0].LastBeat != 555 || snap.Apps[0].Beats != 7 {
+		t.Errorf("heartbeat refresh lost: %+v", snap.Apps[0])
+	}
+}
+
+// TestTornJournalTail: a crash mid-append leaves a partial final line;
+// open discards it and keeps every complete record.
+func TestTornJournalTail(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AppendRegister(rec("a-1", 0), 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AppendRegister(rec("b-2", 0), 2, 2); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate the crash: no Close, and a half-written record at the
+	// tail of the journal.
+	s.Sync()
+	jp := filepath.Join(dir, journalFile)
+	f, err := os.OpenFile(jp, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"op":"register","app":{"id":"torn`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	s2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatalf("open with torn tail: %v", err)
+	}
+	defer s2.Close()
+	if s2.TornRecords() != 1 {
+		t.Errorf("torn records = %d, want 1", s2.TornRecords())
+	}
+	snap := s2.Restored()
+	if len(snap.Apps) != 2 {
+		t.Errorf("restored %d apps, want the 2 intact ones: %+v", len(snap.Apps), snap.Apps)
+	}
+}
+
+// TestCompaction: past CompactEvery records the journal folds into the
+// snapshot and truncates, and the state still round-trips.
+func TestCompaction(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{CompactEvery: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AppendRegister(rec("a-1", 0), 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 40; i++ {
+		if err := s.AppendHeartbeat("a-1", int64(1000+i), uint64(i+1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s.Compactions() < 4 {
+		t.Errorf("compactions = %d, want several over 41 appends at CompactEvery=8", s.Compactions())
+	}
+	fi, err := os.Stat(filepath.Join(dir, journalFile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fi.Size() > 8*1024 {
+		t.Errorf("journal is %d bytes after compaction, want small", fi.Size())
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	snap := s2.Restored()
+	if len(snap.Apps) != 1 || snap.Apps[0].Beats != 40 {
+		t.Errorf("restored after compaction = %+v", snap.Apps)
+	}
+}
+
+// TestWriteBehind: the relaxed mode still recovers everything after a
+// clean close, and the background flusher runs without error.
+func TestWriteBehind(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{WriteBehind: true, FlushInterval: 5 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(1); i <= 5; i++ {
+		if err := s.AppendRegister(rec("app", 0), i, i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	time.Sleep(25 * time.Millisecond) // let the flusher tick
+	if err := s.FlushErr(); err != nil {
+		t.Fatalf("flusher error: %v", err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if snap := s2.Restored(); snap.Generation != 5 || snap.Seq != 5 {
+		t.Errorf("restored gen/seq = %d/%d, want 5/5", snap.Generation, snap.Seq)
+	}
+}
+
+// TestConcurrentAppends: the store serializes concurrent writers (run
+// under -race).
+func TestConcurrentAppends(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{CompactEvery: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AppendRegister(rec("a-1", 0), 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 25; i++ {
+				if err := s.AppendHeartbeat("a-1", int64(w*1000+i), 1); err != nil {
+					t.Errorf("worker %d: %v", w, err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if snap := s2.Restored(); len(snap.Apps) != 1 {
+		t.Errorf("restored %d apps, want 1", len(snap.Apps))
+	}
+}
+
+// TestClosedStoreRejectsAppends: appends after Close fail loudly rather
+// than silently dropping records.
+func TestClosedStoreRejectsAppends(t *testing.T) {
+	s, err := Open(t.TempDir(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AppendRegister(rec("a-1", 0), 1, 1); err == nil {
+		t.Error("append on a closed store succeeded")
+	}
+}

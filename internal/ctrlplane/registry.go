@@ -8,6 +8,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/ctrlplane/persist"
 	"repro/internal/machine"
 	"repro/internal/roofline"
 )
@@ -58,13 +59,15 @@ func (a *AppState) ObservedAI() float64 {
 // to the live set (register, deregister, eviction) bumps the
 // generation, which clients use to watch for reallocations.
 type Registry struct {
-	mu         sync.Mutex
-	apps       map[string]*AppState
-	gen        uint64
-	seq        uint64
-	evictions  uint64
-	defaultTTL time.Duration
-	clock      func() time.Time
+	mu           sync.Mutex
+	apps         map[string]*AppState
+	gen          uint64
+	seq          uint64
+	evictions    uint64
+	defaultTTL   time.Duration
+	clock        func() time.Time
+	store        *persist.Store
+	persistFails uint64
 }
 
 // NewRegistry creates a registry. defaultTTL is the heartbeat deadline
@@ -84,26 +87,96 @@ func NewRegistry(defaultTTL time.Duration, clock func() time.Time) *Registry {
 	}
 }
 
+// AttachStore restores the registry from the store's recovered state
+// and installs it so every later mutation is journaled. Restored
+// applications get a fresh TTL window (LastBeat = now) — after a daemon
+// restart each survivor has one full deadline to resume heartbeating
+// before it is evicted. The generation, sequence, and eviction counters
+// resume from the persisted values so client-visible generations stay
+// monotonic across the restart.
+func (r *Registry) AttachStore(st *persist.Store) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	snap := st.Restored()
+	now := r.clock()
+	for _, rec := range snap.Apps {
+		a := recordToState(rec)
+		a.LastBeat = now
+		r.apps[a.ID] = &a
+	}
+	if snap.Generation > r.gen {
+		r.gen = snap.Generation
+	}
+	if snap.Seq > r.seq {
+		r.seq = snap.Seq
+	}
+	if snap.Evictions > r.evictions {
+		r.evictions = snap.Evictions
+	}
+	r.store = st
+}
+
+// stateToRecord converts to the store's persistence-friendly form.
+func stateToRecord(a AppState) persist.AppRecord {
+	return persist.AppRecord{
+		ID:           a.ID,
+		Name:         a.Spec.Name,
+		AI:           a.Spec.AI,
+		Placement:    int(a.Spec.Placement),
+		HomeNode:     int(a.Spec.HomeNode),
+		MaxThreads:   a.Spec.MaxThreads,
+		TTLMillis:    a.TTL.Milliseconds(),
+		RegisteredAt: a.RegisteredAt.UnixNano(),
+		LastBeat:     a.LastBeat.UnixNano(),
+		Beats:        a.Beats,
+	}
+}
+
+func recordToState(rec persist.AppRecord) AppState {
+	return AppState{
+		ID: rec.ID,
+		Spec: AppSpec{
+			Name:       rec.Name,
+			AI:         rec.AI,
+			Placement:  roofline.Placement(rec.Placement),
+			HomeNode:   machine.NodeID(rec.HomeNode),
+			MaxThreads: rec.MaxThreads,
+		},
+		TTL:          time.Duration(rec.TTLMillis) * time.Millisecond,
+		RegisteredAt: time.Unix(0, rec.RegisteredAt),
+		LastBeat:     time.Unix(0, rec.LastBeat),
+		Beats:        rec.Beats,
+	}
+}
+
 // Register adds an application and returns its state and the new
-// generation.
-func (r *Registry) Register(spec AppSpec, ttl time.Duration) (AppState, uint64) {
+// generation. With a store attached the registration is journaled (and
+// fsynced) before it is committed, so an acknowledged ID is never lost
+// to a daemon crash; a persistence failure rejects the registration.
+func (r *Registry) Register(spec AppSpec, ttl time.Duration) (AppState, uint64, error) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if ttl <= 0 {
 		ttl = r.defaultTTL
 	}
-	r.seq++
 	now := r.clock()
 	st := &AppState{
-		ID:           fmt.Sprintf("%s-%d", sanitizeID(spec.Name), r.seq),
+		ID:           fmt.Sprintf("%s-%d", sanitizeID(spec.Name), r.seq+1),
 		Spec:         spec,
 		TTL:          ttl,
 		RegisteredAt: now,
 		LastBeat:     now,
 	}
+	if r.store != nil {
+		if err := r.store.AppendRegister(stateToRecord(*st), r.gen+1, r.seq+1); err != nil {
+			r.persistFails++
+			return AppState{}, 0, fmt.Errorf("persisting registration: %w", err)
+		}
+	}
+	r.seq++
 	r.apps[st.ID] = st
 	r.gen++
-	return *st, r.gen
+	return *st, r.gen, nil
 }
 
 // sanitizeID keeps IDs URL-path- and report-safe regardless of what
@@ -143,6 +216,13 @@ func (r *Registry) Heartbeat(hb HeartbeatRequest) error {
 	st.LastBeat = r.clock()
 	st.Beats++
 	st.LastStats = hb
+	if r.store != nil {
+		// Best-effort: a lost heartbeat record costs at most one re-armed
+		// TTL window after a restart, never an acknowledged registration.
+		if err := r.store.AppendHeartbeat(st.ID, st.LastBeat.UnixNano(), st.Beats); err != nil {
+			r.persistFails++
+		}
+	}
 	return nil
 }
 
@@ -155,6 +235,14 @@ func (r *Registry) Deregister(id string) bool {
 	}
 	delete(r.apps, id)
 	r.gen++
+	if r.store != nil {
+		// Best-effort: if this record is lost the app resurrects on
+		// restart and is TTL-evicted one window later — cores are
+		// reclaimed either way, just more slowly.
+		if err := r.store.AppendDeregister(id, r.gen); err != nil {
+			r.persistFails++
+		}
+	}
 	return true
 }
 
@@ -176,6 +264,11 @@ func (r *Registry) Sweep() []string {
 		r.evictions += uint64(len(evicted))
 		r.gen++
 		sort.Strings(evicted)
+		if r.store != nil {
+			if err := r.store.AppendEvict(evicted, r.gen, r.evictions); err != nil {
+				r.persistFails++
+			}
+		}
 	}
 	return evicted
 }
@@ -212,4 +305,13 @@ func (r *Registry) Evictions() uint64 {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	return r.evictions
+}
+
+// PersistFailures counts best-effort journal appends that failed (a
+// registration-append failure instead rejects the registration and is
+// also counted here).
+func (r *Registry) PersistFailures() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.persistFails
 }

@@ -30,7 +30,10 @@ func TestRegistryLifecycle(t *testing.T) {
 	clk := &fakeClock{now: time.Unix(1000, 0)}
 	r := NewRegistry(time.Second, clk.Now)
 
-	st, gen := r.Register(AppSpec{Name: "App One!", AI: 2}, 0)
+	st, gen, err := r.Register(AppSpec{Name: "App One!", AI: 2}, 0)
+	if err != nil {
+		t.Fatalf("register: %v", err)
+	}
 	if st.ID != "app_one_-1" {
 		t.Errorf("id = %q, want sanitized name + sequence", st.ID)
 	}
@@ -73,8 +76,8 @@ func TestRegistrySweep(t *testing.T) {
 	clk := &fakeClock{now: time.Unix(1000, 0)}
 	r := NewRegistry(time.Second, clk.Now)
 
-	slow, _ := r.Register(AppSpec{Name: "slow", AI: 1}, 0)                    // 1s TTL
-	patient, _ := r.Register(AppSpec{Name: "patient", AI: 1}, 10*time.Second) // own TTL
+	slow, _, _ := r.Register(AppSpec{Name: "slow", AI: 1}, 0)                    // 1s TTL
+	patient, _, _ := r.Register(AppSpec{Name: "patient", AI: 1}, 10*time.Second) // own TTL
 
 	if ev := r.Sweep(); len(ev) != 0 {
 		t.Fatalf("sweep at t0 evicted %v", ev)
@@ -265,5 +268,141 @@ func TestTrimToCap(t *testing.T) {
 				break
 			}
 		}
+	}
+}
+
+// TestRegistryTTLExactDeadline pins the eviction boundary: an app whose
+// idle time equals its TTL exactly is NOT evicted (eviction requires
+// idle > TTL), so a heartbeat landing precisely at the deadline always
+// wins against a sweep at the same instant.
+func TestRegistryTTLExactDeadline(t *testing.T) {
+	clk := &fakeClock{now: time.Unix(1000, 0)}
+	r := NewRegistry(time.Second, clk.Now)
+	st, _, _ := r.Register(AppSpec{Name: "edge", AI: 1}, 0)
+
+	clk.Advance(time.Second) // idle == TTL, to the nanosecond
+	if ev := r.Sweep(); len(ev) != 0 {
+		t.Fatalf("sweep at exactly TTL evicted %v; boundary must be exclusive", ev)
+	}
+	if err := r.Heartbeat(HeartbeatRequest{ID: st.ID}); err != nil {
+		t.Fatalf("heartbeat exactly at the deadline: %v", err)
+	}
+
+	clk.Advance(time.Second) // again exactly at the (re-armed) deadline
+	if ev := r.Sweep(); len(ev) != 0 {
+		t.Fatalf("sweep at the re-armed deadline evicted %v", ev)
+	}
+	clk.Advance(time.Nanosecond) // one tick past
+	if ev := r.Sweep(); len(ev) != 1 || ev[0] != st.ID {
+		t.Fatalf("sweep one tick past the deadline evicted %v, want %s", ev, st.ID)
+	}
+}
+
+// TestRegistrySweepRegisterRace hammers Register, Heartbeat, Deregister,
+// and Sweep concurrently (run under -race). An app registered while a
+// sweep runs must either be absent (registered after) or alive (its
+// fresh LastBeat cannot be past any deadline); the generation observed
+// by concurrent readers must never decrease.
+func TestRegistrySweepRegisterRace(t *testing.T) {
+	clk := &fakeClock{now: time.Unix(1000, 0)}
+	r := NewRegistry(50*time.Millisecond, clk.Now)
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				st, _, err := r.Register(AppSpec{Name: "racer", AI: 1}, 0)
+				if err != nil {
+					t.Errorf("register: %v", err)
+					return
+				}
+				r.Heartbeat(HeartbeatRequest{ID: st.ID})
+				if i%2 == 0 {
+					r.Deregister(st.ID)
+				}
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() { // the janitor, with time rushing past deadlines
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			clk.Advance(60 * time.Millisecond)
+			r.Sweep()
+		}
+	}()
+	var lastGen uint64
+	for i := 0; i < 2000; i++ {
+		g := r.Generation()
+		if g < lastGen {
+			t.Errorf("generation regressed under load: %d -> %d", lastGen, g)
+			break
+		}
+		lastGen = g
+		if _, sg := r.Snapshot(); sg < g {
+			t.Errorf("snapshot generation %d behind observed %d", sg, g)
+			break
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+// TestRegistryGenerationMonotonicAcrossEvictions walks the full
+// lifecycle — register, evict by sweep, re-register, deregister — and
+// checks every generation step is a strict increase: clients gate
+// reallocation reads on generation, so any regression or reuse would
+// make them miss (or double-apply) an allocation change.
+func TestRegistryGenerationMonotonicAcrossEvictions(t *testing.T) {
+	clk := &fakeClock{now: time.Unix(1000, 0)}
+	r := NewRegistry(time.Second, clk.Now)
+	last := r.Generation()
+	step := func(label string) {
+		t.Helper()
+		g := r.Generation()
+		if g <= last {
+			t.Fatalf("%s: generation %d, want > %d", label, g, last)
+		}
+		last = g
+	}
+
+	for cycle := 0; cycle < 5; cycle++ {
+		st, gen, err := r.Register(AppSpec{Name: "cyclic", AI: 1}, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gen != r.Generation() {
+			t.Fatalf("register returned generation %d, registry at %d", gen, r.Generation())
+		}
+		step("register")
+
+		if cycle%2 == 0 {
+			clk.Advance(1500 * time.Millisecond)
+			if ev := r.Sweep(); len(ev) != 1 {
+				t.Fatalf("cycle %d: sweep evicted %v", cycle, ev)
+			}
+			step("evict")
+		} else {
+			if !r.Deregister(st.ID) {
+				t.Fatalf("cycle %d: deregister failed", cycle)
+			}
+			step("deregister")
+		}
+	}
+	if r.Evictions() != 3 {
+		t.Errorf("evictions = %d, want 3", r.Evictions())
 	}
 }

@@ -10,6 +10,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/ctrlplane/persist"
 	"repro/internal/machine"
 	"repro/internal/metrics"
 	"repro/internal/roofline"
@@ -33,6 +34,11 @@ type ServerConfig struct {
 	SweepInterval time.Duration
 	// Clock is the time source (nil: time.Now), injectable for tests.
 	Clock func() time.Time
+	// Store, when set, makes the registry crash-durable: the recovered
+	// state is restored into the registry (TTLs re-armed, generation
+	// resumed) and every later mutation is journaled. The caller owns
+	// the store's lifetime and must Close it after the server.
+	Store *persist.Store
 }
 
 // Server is the allocation control plane. Create with NewServer, mount
@@ -56,6 +62,8 @@ type Server struct {
 	stopOnce sync.Once
 	stop     chan struct{}
 	done     chan struct{}
+
+	restoredApps int
 }
 
 // endpointStats meters one endpoint: request count, error count, and a
@@ -127,11 +135,16 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 		stop:   make(chan struct{}),
 		done:   make(chan struct{}),
 	}
+	if cfg.Store != nil {
+		s.reg.AttachStore(cfg.Store)
+		s.restoredApps = len(cfg.Store.Restored().Apps)
+	}
 	s.mux.HandleFunc("POST /v1/register", s.instrument("register", s.handleRegister))
 	s.mux.HandleFunc("POST /v1/heartbeat", s.instrument("heartbeat", s.handleHeartbeat))
 	s.mux.HandleFunc("DELETE /v1/apps/{id}", s.instrument("deregister", s.handleDeregister))
 	s.mux.HandleFunc("GET /v1/apps", s.instrument("apps", s.handleApps))
 	s.mux.HandleFunc("GET /v1/allocations", s.instrument("allocations", s.handleAllocations))
+	s.mux.HandleFunc("GET /v1/machine", s.instrument("machine", s.handleMachine))
 	s.mux.HandleFunc("GET /healthz", s.instrument("healthz", s.handleHealthz))
 	s.mux.HandleFunc("GET /metricsz", s.instrument("metricsz", s.handleMetricsz))
 	s.mux.HandleFunc("GET /tracez", s.instrument("tracez", s.handleTracez))
@@ -226,6 +239,12 @@ func writeError(w http.ResponseWriter, status int, format string, args ...any) {
 	writeJSON(w, status, ErrorResponse{Error: fmt.Sprintf(format, args...)})
 }
 
+// writeErrorCode is writeError with a stable machine-readable code so
+// clients can branch on the cause without string-matching the message.
+func writeErrorCode(w http.ResponseWriter, status int, code, format string, args ...any) {
+	writeJSON(w, status, ErrorResponse{Error: fmt.Sprintf(format, args...), Code: code})
+}
+
 // maxBodyBytes bounds request bodies; allocation requests are tiny.
 const maxBodyBytes = 1 << 20
 
@@ -283,13 +302,19 @@ func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "ttl_ms must be >= 0, got %d", req.TTLMillis)
 		return
 	}
-	st, gen := s.reg.Register(AppSpec{
+	st, gen, err := s.reg.Register(AppSpec{
 		Name:       req.Name,
 		AI:         req.AI,
 		Placement:  pl,
 		HomeNode:   machine.NodeID(req.HomeNode),
 		MaxThreads: req.MaxThreads,
 	}, time.Duration(req.TTLMillis)*time.Millisecond)
+	if err != nil {
+		// Durability is unavailable; 503 invites a retry once the state
+		// dir recovers rather than handing out an unpersisted ID.
+		writeError(w, http.StatusServiceUnavailable, "%v", err)
+		return
+	}
 	alloc, err := s.allocationFor(st.ID)
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, "solving allocation: %v", err)
@@ -309,7 +334,7 @@ func (s *Server) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if err := s.reg.Heartbeat(req); err != nil {
-		writeError(w, http.StatusNotFound, "%s: %v (evicted after missing its heartbeat deadline, or never registered)", req.ID, err)
+		writeErrorCode(w, http.StatusNotFound, ErrCodeUnknownApp, "%s: %v (evicted after missing its heartbeat deadline, or never registered)", req.ID, err)
 		return
 	}
 	alloc, err := s.allocationFor(req.ID)
@@ -323,7 +348,7 @@ func (s *Server) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleDeregister(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	if !s.reg.Deregister(id) {
-		writeError(w, http.StatusNotFound, "%s: %v", id, ErrUnknownApp)
+		writeErrorCode(w, http.StatusNotFound, ErrCodeUnknownApp, "%s: %v", id, ErrUnknownApp)
 		return
 	}
 	w.WriteHeader(http.StatusNoContent)
@@ -420,6 +445,20 @@ func (s *Server) allocationFor(id string) (*AppAllocation, error) {
 	return nil, nil // evicted between registration and solve
 }
 
+// handleMachine serves the topology so clients can cache it for local
+// fallback solves during a daemon outage.
+func (s *Server) handleMachine(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, MachineResponse{
+		Machine:    s.cfg.Machine,
+		Policy:     s.solver.Policy(),
+		Generation: s.reg.Generation(),
+	})
+}
+
+// RestoredApps reports how many applications were recovered from the
+// state dir at construction (0 without a store).
+func (s *Server) RestoredApps() int { return s.restoredApps }
+
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, HealthResponse{
 		Status:        "ok",
@@ -438,6 +477,15 @@ func (s *Server) handleMetricsz(w http.ResponseWriter, r *http.Request) {
 		Evictions:     s.reg.Evictions(),
 		Solver:        s.solver.Metrics(),
 		Endpoints:     map[string]EndpointMetrics{},
+	}
+	if s.cfg.Store != nil {
+		resp.Persist = &PersistMetrics{
+			Enabled:      true,
+			RestoredApps: s.restoredApps,
+			Failures:     s.reg.PersistFailures(),
+			TornRecords:  s.cfg.Store.TornRecords(),
+			Compactions:  s.cfg.Store.Compactions(),
+		}
 	}
 	s.epMu.Lock()
 	for name, ep := range s.eps {

@@ -19,12 +19,15 @@
 //	DELETE /v1/apps/{id}                     -> 204
 //	GET    /v1/apps                          -> AppsResponse
 //	GET    /v1/allocations                   -> AllocationsResponse
+//	GET    /v1/machine                       -> MachineResponse
 //	GET    /healthz                          -> HealthResponse
 //	GET    /metricsz                         -> MetricsResponse
 //	GET    /tracez                           -> Chrome trace-event JSON
 //
 // See internal/ctrlplane/client for the typed Go client.
 package ctrlplane
+
+import "repro/internal/machine"
 
 // Placement names used on the wire (roofline.Placement as a string).
 const (
@@ -180,6 +183,20 @@ type SolverMetrics struct {
 	Entries int    `json:"entries"`
 }
 
+// PersistMetrics summarizes the daemon's crash-recovery store.
+type PersistMetrics struct {
+	// Enabled reports whether a state dir is configured.
+	Enabled bool `json:"enabled"`
+	// RestoredApps is how many applications the last restart recovered.
+	RestoredApps int `json:"restored_apps,omitempty"`
+	// Failures counts journal appends that failed.
+	Failures uint64 `json:"failures,omitempty"`
+	// TornRecords counts corrupt journal tails discarded at startup.
+	TornRecords int `json:"torn_records,omitempty"`
+	// Compactions counts journal-into-snapshot folds.
+	Compactions uint64 `json:"compactions,omitempty"`
+}
+
 // MetricsResponse is the /metricsz body.
 type MetricsResponse struct {
 	UptimeSeconds float64                    `json:"uptime_s"`
@@ -188,9 +205,30 @@ type MetricsResponse struct {
 	Evictions     uint64                     `json:"evictions"`
 	Solver        SolverMetrics              `json:"solver"`
 	Endpoints     map[string]EndpointMetrics `json:"endpoints"`
+	Persist       *PersistMetrics            `json:"persist,omitempty"`
 }
 
-// ErrorResponse carries an error message on non-2xx statuses.
+// MachineResponse is the /v1/machine body: the topology allocations are
+// computed over. Clients cache it so they can run a local fallback
+// solve while the daemon is unreachable.
+type MachineResponse struct {
+	Machine    *machine.Machine `json:"machine"`
+	Policy     string           `json:"policy"`
+	Generation uint64           `json:"generation"`
+}
+
+// Machine-readable error codes carried by ErrorResponse.Code.
+const (
+	// ErrCodeUnknownApp marks a heartbeat or deregistration for an ID
+	// the registry does not know — the client's signal to re-register
+	// instead of retrying.
+	ErrCodeUnknownApp = "unknown_app"
+)
+
+// ErrorResponse carries an error message on non-2xx statuses. Code,
+// when set, is a stable machine-readable cause (see ErrCode*) so
+// clients do not have to string-match messages.
 type ErrorResponse struct {
 	Error string `json:"error"`
+	Code  string `json:"code,omitempty"`
 }

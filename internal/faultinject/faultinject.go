@@ -1,0 +1,369 @@
+// Package faultinject is a composable fault-injection harness for the
+// control plane's HTTP paths: a client-side http.RoundTripper and a
+// server-side middleware that inject connection drops, latency spikes,
+// truncated response bodies, and 5xx bursts from a seeded —
+// reproducible — schedule, plus a skewable clock for forcing TTL expiry
+// without waiting out real deadlines.
+//
+// Faults are decided per request by a Schedule (a pure function of the
+// request ordinal), so a chaos test can replay the exact same storm
+// from the same seed. Injected counts are tracked per kind so tests can
+// assert the harness actually fired.
+package faultinject
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// Kind enumerates the injectable faults.
+type Kind int
+
+const (
+	// KindNone passes the request through untouched.
+	KindNone Kind = iota
+	// KindDrop severs the connection: the peer sees a transport error,
+	// never an HTTP response.
+	KindDrop
+	// KindLatency delays the exchange by Fault.Latency.
+	KindLatency
+	// KindTruncate cuts the response body off halfway through.
+	KindTruncate
+	// Kind5xx replaces the response with a server error (Fault.Status,
+	// default 503).
+	Kind5xx
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case KindNone:
+		return "none"
+	case KindDrop:
+		return "drop"
+	case KindLatency:
+		return "latency"
+	case KindTruncate:
+		return "truncate"
+	case Kind5xx:
+		return "5xx"
+	default:
+		return "unknown"
+	}
+}
+
+// Fault is one injected failure.
+type Fault struct {
+	Kind    Kind
+	Latency time.Duration // KindLatency
+	Status  int           // Kind5xx (default 503)
+}
+
+// Schedule decides the fault for the n-th request (n starts at 0). It
+// must be safe for concurrent use.
+type Schedule func(n uint64) Fault
+
+// None never injects — the identity schedule.
+func None() Schedule {
+	return func(uint64) Fault { return Fault{} }
+}
+
+// Script injects the given faults in order, one per request, then
+// nothing. Deterministic by construction; good for targeted tests.
+func Script(faults ...Fault) Schedule {
+	return func(n uint64) Fault {
+		if n < uint64(len(faults)) {
+			return faults[n]
+		}
+		return Fault{}
+	}
+}
+
+// Burst injects fault f for requests [start, start+length), nothing
+// outside the window — an outage with sharp edges.
+func Burst(start, length uint64, f Fault) Schedule {
+	return func(n uint64) Fault {
+		if n >= start && n < start+length {
+			return f
+		}
+		return Fault{}
+	}
+}
+
+// Mix is the per-request fault probability profile for Seeded. The
+// probabilities should sum to at most 1; the remainder passes through.
+type Mix struct {
+	Drop     float64
+	Latency  float64
+	Truncate float64
+	Err5xx   float64
+	// MaxLatency bounds injected delays (default 50ms).
+	MaxLatency time.Duration
+}
+
+// Seeded draws a fault per request from mix using a deterministic
+// seeded source: the same seed replays the same storm.
+func Seeded(seed int64, mix Mix) Schedule {
+	if mix.MaxLatency <= 0 {
+		mix.MaxLatency = 50 * time.Millisecond
+	}
+	var mu sync.Mutex
+	rng := rand.New(rand.NewSource(seed))
+	return func(uint64) Fault {
+		mu.Lock()
+		u := rng.Float64()
+		lat := time.Duration(rng.Int63n(int64(mix.MaxLatency)) + 1)
+		mu.Unlock()
+		switch {
+		case u < mix.Drop:
+			return Fault{Kind: KindDrop}
+		case u < mix.Drop+mix.Latency:
+			return Fault{Kind: KindLatency, Latency: lat}
+		case u < mix.Drop+mix.Latency+mix.Truncate:
+			return Fault{Kind: KindTruncate}
+		case u < mix.Drop+mix.Latency+mix.Truncate+mix.Err5xx:
+			return Fault{Kind: Kind5xx}
+		default:
+			return Fault{}
+		}
+	}
+}
+
+// Injector runs a Schedule over a request stream and counts what fired.
+type Injector struct {
+	sched Schedule
+
+	mu     sync.Mutex
+	n      uint64
+	counts map[Kind]uint64
+}
+
+// NewInjector wraps a schedule (nil means None).
+func NewInjector(sched Schedule) *Injector {
+	if sched == nil {
+		sched = None()
+	}
+	return &Injector{sched: sched, counts: map[Kind]uint64{}}
+}
+
+// next assigns the fault for the next request in arrival order.
+func (i *Injector) next() Fault {
+	i.mu.Lock()
+	n := i.n
+	i.n++
+	i.mu.Unlock()
+	f := i.sched(n)
+	i.mu.Lock()
+	i.counts[f.Kind]++
+	i.mu.Unlock()
+	return f
+}
+
+// Counts returns how many faults of each kind have been injected
+// (KindNone counts pass-throughs).
+func (i *Injector) Counts() map[Kind]uint64 {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	out := make(map[Kind]uint64, len(i.counts))
+	for k, v := range i.counts {
+		out[k] = v
+	}
+	return out
+}
+
+// Requests returns how many requests the injector has classified.
+func (i *Injector) Requests() uint64 {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	return i.n
+}
+
+// ErrInjectedDrop is the transport error surfaced by a client-side
+// KindDrop — indistinguishable from a connection reset to retry logic,
+// but identifiable in test assertions.
+var ErrInjectedDrop = errors.New("faultinject: connection dropped")
+
+// Transport is a fault-injecting http.RoundTripper: faults happen on
+// the client's path before/around the real exchange over Base.
+type Transport struct {
+	Base http.RoundTripper // nil: http.DefaultTransport
+	Inj  *Injector
+	// Filter, when set, limits injection to requests it returns true
+	// for; others pass through uncounted. Lets a test storm the
+	// idempotent paths while sparing ones whose blind retry would change
+	// state (e.g. POST /v1/register duplicating an app).
+	Filter func(*http.Request) bool
+}
+
+// RoundTrip implements http.RoundTripper.
+func (t *Transport) RoundTrip(req *http.Request) (*http.Response, error) {
+	base := t.Base
+	if base == nil {
+		base = http.DefaultTransport
+	}
+	if t.Filter != nil && !t.Filter(req) {
+		return base.RoundTrip(req)
+	}
+	f := t.Inj.next()
+	switch f.Kind {
+	case KindDrop:
+		if req.Body != nil {
+			req.Body.Close()
+		}
+		return nil, ErrInjectedDrop
+	case KindLatency:
+		select {
+		case <-time.After(f.Latency):
+		case <-req.Context().Done():
+			return nil, req.Context().Err()
+		}
+		return base.RoundTrip(req)
+	case Kind5xx:
+		if req.Body != nil {
+			io.Copy(io.Discard, req.Body)
+			req.Body.Close()
+		}
+		status := f.Status
+		if status == 0 {
+			status = http.StatusServiceUnavailable
+		}
+		body := fmt.Sprintf(`{"error":"injected %d"}`, status)
+		return &http.Response{
+			StatusCode:    status,
+			Status:        strconv.Itoa(status) + " injected",
+			Proto:         "HTTP/1.1",
+			ProtoMajor:    1,
+			ProtoMinor:    1,
+			Header:        http.Header{"Content-Type": []string{"application/json"}},
+			Body:          io.NopCloser(bytes.NewReader([]byte(body))),
+			ContentLength: int64(len(body)),
+			Request:       req,
+		}, nil
+	case KindTruncate:
+		resp, err := base.RoundTrip(req)
+		if err != nil {
+			return resp, err
+		}
+		data, rerr := io.ReadAll(io.LimitReader(resp.Body, 4<<20))
+		resp.Body.Close()
+		if rerr != nil {
+			return nil, rerr
+		}
+		// Serve half the bytes, then fail the read mid-body the way a
+		// severed connection would.
+		resp.Body = io.NopCloser(io.MultiReader(
+			bytes.NewReader(data[:len(data)/2]),
+			errReader{io.ErrUnexpectedEOF},
+		))
+		return resp, nil
+	default:
+		return base.RoundTrip(req)
+	}
+}
+
+// errReader fails every read with its error.
+type errReader struct{ err error }
+
+func (r errReader) Read([]byte) (int, error) { return 0, r.err }
+
+// Middleware wraps an http.Handler with server-side injection: drops
+// abort the connection, latency delays the handler, truncation cuts the
+// response body halfway, 5xx short-circuits the handler entirely.
+func Middleware(inj *Injector, next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		f := inj.next()
+		switch f.Kind {
+		case KindDrop:
+			// ErrAbortHandler makes the server sever the connection
+			// without completing a response.
+			panic(http.ErrAbortHandler)
+		case KindLatency:
+			select {
+			case <-time.After(f.Latency):
+			case <-r.Context().Done():
+				return
+			}
+			next.ServeHTTP(w, r)
+		case Kind5xx:
+			status := f.Status
+			if status == 0 {
+				status = http.StatusServiceUnavailable
+			}
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(status)
+			fmt.Fprintf(w, `{"error":"injected %d"}`, status)
+		case KindTruncate:
+			rec := &bufferingWriter{header: http.Header{}, status: http.StatusOK}
+			next.ServeHTTP(rec, r)
+			// Declare the full length but send half: the peer reads a
+			// short body and the server closes the connection.
+			w.Header().Set("Content-Length", strconv.Itoa(rec.buf.Len()))
+			if ct := rec.header.Get("Content-Type"); ct != "" {
+				w.Header().Set("Content-Type", ct)
+			}
+			w.WriteHeader(rec.status)
+			w.Write(rec.buf.Bytes()[:rec.buf.Len()/2])
+			panic(http.ErrAbortHandler)
+		default:
+			next.ServeHTTP(w, r)
+		}
+	})
+}
+
+// bufferingWriter captures a response so Middleware can truncate it.
+type bufferingWriter struct {
+	header http.Header
+	status int
+	buf    bytes.Buffer
+}
+
+func (w *bufferingWriter) Header() http.Header  { return w.header }
+func (w *bufferingWriter) WriteHeader(code int) { w.status = code }
+func (w *bufferingWriter) Write(p []byte) (int, error) {
+	return w.buf.Write(p)
+}
+
+// SkewedClock wraps a time source with an adjustable offset, letting
+// chaos tests jump a daemon's notion of time past heartbeat deadlines
+// (clock-skewed TTL expiry) without sleeping real seconds.
+type SkewedClock struct {
+	mu     sync.Mutex
+	base   func() time.Time
+	offset time.Duration
+}
+
+// NewSkewedClock wraps base (nil: time.Now).
+func NewSkewedClock(base func() time.Time) *SkewedClock {
+	if base == nil {
+		base = time.Now
+	}
+	return &SkewedClock{base: base}
+}
+
+// Now is the skewed time source; inject it as a server's Clock.
+func (c *SkewedClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.base().Add(c.offset)
+}
+
+// Skew shifts the clock by d (cumulative; negative rewinds).
+func (c *SkewedClock) Skew(d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.offset += d
+}
+
+// Offset reports the accumulated skew.
+func (c *SkewedClock) Offset() time.Duration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.offset
+}

@@ -1,0 +1,213 @@
+package faultinject
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func okHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		io.WriteString(w, `{"status":"ok","payload":"0123456789abcdef0123456789abcdef"}`)
+	})
+}
+
+// TestScriptSchedule: faults fire in order, then the line goes clean.
+func TestScriptSchedule(t *testing.T) {
+	s := Script(Fault{Kind: KindDrop}, Fault{Kind: Kind5xx})
+	if s(0).Kind != KindDrop || s(1).Kind != Kind5xx || s(2).Kind != KindNone {
+		t.Errorf("script order wrong: %v %v %v", s(0).Kind, s(1).Kind, s(2).Kind)
+	}
+}
+
+// TestBurstSchedule: faults only inside the window.
+func TestBurstSchedule(t *testing.T) {
+	s := Burst(2, 3, Fault{Kind: Kind5xx})
+	for n := uint64(0); n < 8; n++ {
+		want := KindNone
+		if n >= 2 && n < 5 {
+			want = Kind5xx
+		}
+		if got := s(n).Kind; got != want {
+			t.Errorf("burst(%d) = %v, want %v", n, got, want)
+		}
+	}
+}
+
+// TestSeededDeterminism: the same seed replays the same storm; a
+// different seed gives a different one.
+func TestSeededDeterminism(t *testing.T) {
+	mix := Mix{Drop: 0.2, Latency: 0.2, Truncate: 0.2, Err5xx: 0.2}
+	a, b := Seeded(42, mix), Seeded(42, mix)
+	other := Seeded(43, mix)
+	same, diff := true, false
+	for n := uint64(0); n < 64; n++ {
+		fa, fb := a(n), b(n)
+		if fa.Kind != fb.Kind {
+			same = false
+		}
+		if fa.Kind != other(n).Kind {
+			diff = true
+		}
+	}
+	if !same {
+		t.Error("same seed produced different schedules")
+	}
+	if !diff {
+		t.Error("different seeds produced identical schedules (suspicious)")
+	}
+}
+
+// TestTransportDrop: the client sees a transport error, not a response.
+func TestTransportDrop(t *testing.T) {
+	hs := httptest.NewServer(okHandler())
+	t.Cleanup(hs.Close)
+	inj := NewInjector(Script(Fault{Kind: KindDrop}))
+	c := &http.Client{Transport: &Transport{Inj: inj}}
+	if _, err := c.Get(hs.URL); err == nil || !strings.Contains(err.Error(), "connection dropped") {
+		t.Errorf("dropped request returned err = %v, want injected drop", err)
+	}
+	// Next request passes through.
+	resp, err := c.Get(hs.URL)
+	if err != nil {
+		t.Fatalf("clean request failed: %v", err)
+	}
+	resp.Body.Close()
+	if got := inj.Counts(); got[KindDrop] != 1 || got[KindNone] != 1 {
+		t.Errorf("counts = %v", got)
+	}
+}
+
+// TestTransport5xx: a synthesized 503 with a JSON body, no server
+// round-trip needed.
+func TestTransport5xx(t *testing.T) {
+	var served int
+	hs := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		served++
+	}))
+	t.Cleanup(hs.Close)
+	inj := NewInjector(Script(Fault{Kind: Kind5xx, Status: 502}))
+	c := &http.Client{Transport: &Transport{Inj: inj}}
+	resp, err := c.Get(hs.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 502 {
+		t.Errorf("status = %d, want injected 502", resp.StatusCode)
+	}
+	var body map[string]string
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Errorf("injected body not JSON: %v", err)
+	}
+	if served != 0 {
+		t.Errorf("server saw %d requests, want 0 (5xx synthesized client-side)", served)
+	}
+}
+
+// TestTransportTruncate: the body read fails partway, as a severed
+// connection would.
+func TestTransportTruncate(t *testing.T) {
+	hs := httptest.NewServer(okHandler())
+	t.Cleanup(hs.Close)
+	inj := NewInjector(Script(Fault{Kind: KindTruncate}))
+	c := &http.Client{Transport: &Transport{Inj: inj}}
+	resp, err := c.Get(hs.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != io.ErrUnexpectedEOF {
+		t.Errorf("read err = %v, want unexpected EOF", err)
+	}
+	if len(data) == 0 {
+		t.Error("truncation served no bytes at all, want roughly half")
+	}
+}
+
+// TestTransportLatency: the exchange is delayed but succeeds.
+func TestTransportLatency(t *testing.T) {
+	hs := httptest.NewServer(okHandler())
+	t.Cleanup(hs.Close)
+	inj := NewInjector(Script(Fault{Kind: KindLatency, Latency: 30 * time.Millisecond}))
+	c := &http.Client{Transport: &Transport{Inj: inj}}
+	start := time.Now()
+	resp, err := c.Get(hs.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if d := time.Since(start); d < 30*time.Millisecond {
+		t.Errorf("request took %v, want >= injected 30ms", d)
+	}
+}
+
+// TestMiddleware: server-side drops, 5xx, and truncation behave like
+// real failures to a plain client.
+func TestMiddleware(t *testing.T) {
+	inj := NewInjector(Script(
+		Fault{Kind: KindDrop},
+		Fault{Kind: Kind5xx},
+		Fault{Kind: KindTruncate},
+		Fault{},
+	))
+	hs := httptest.NewServer(Middleware(inj, okHandler()))
+	t.Cleanup(hs.Close)
+	c := hs.Client()
+
+	if resp, err := c.Get(hs.URL); err == nil {
+		resp.Body.Close()
+		t.Error("dropped connection produced a response")
+	}
+	resp, err := c.Get(hs.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("status = %d, want 503", resp.StatusCode)
+	}
+	resp, err = c.Get(hs.URL)
+	if err == nil {
+		_, rerr := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if rerr == nil {
+			t.Error("truncated response read cleanly")
+		}
+	}
+	resp, err = c.Get(hs.URL)
+	if err != nil {
+		t.Fatalf("clean request failed: %v", err)
+	}
+	data, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(data), `"ok"`) {
+		t.Errorf("clean body = %q", data)
+	}
+	if inj.Requests() != 4 {
+		t.Errorf("injector saw %d requests, want 4", inj.Requests())
+	}
+}
+
+// TestSkewedClock: offsets accumulate over the base source.
+func TestSkewedClock(t *testing.T) {
+	base := time.Unix(1000, 0)
+	c := NewSkewedClock(func() time.Time { return base })
+	if !c.Now().Equal(base) {
+		t.Error("fresh clock is skewed")
+	}
+	c.Skew(time.Hour)
+	c.Skew(time.Minute)
+	if got := c.Now(); !got.Equal(base.Add(time.Hour + time.Minute)) {
+		t.Errorf("skewed now = %v", got)
+	}
+	if c.Offset() != time.Hour+time.Minute {
+		t.Errorf("offset = %v", c.Offset())
+	}
+}
