@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench chaos check fmt
+.PHONY: all build vet test race bench benchall chaos check fmt
 
 all: check
 
@@ -20,7 +20,16 @@ test:
 race:
 	$(GO) test -race ./...
 
+# Solver-path benchmarks (roofline search/evaluator + control-plane
+# serve path), written to BENCH_solver.json so CI tracks the perf
+# trajectory PR-over-PR. The raw `go test -bench` stream still prints
+# (via stderr). `make benchall` is the full unfiltered sweep.
 bench:
+	$(GO) test -bench 'BenchmarkSolve|BenchmarkEvaluate|BenchmarkEvaluator|BenchmarkAllocate' \
+		-benchmem -run '^$$' ./internal/roofline/ ./internal/ctrlplane/ \
+		| $(GO) run ./cmd/benchjson > BENCH_solver.json
+
+benchall:
 	$(GO) test -bench . -benchmem -run '^$$' ./...
 
 # Fault-tolerance suite: kill/restart a real daemon mid-workload under

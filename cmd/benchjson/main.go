@@ -1,0 +1,101 @@
+// Command benchjson converts `go test -bench` output on stdin into a
+// JSON map on stdout: benchmark name -> {ns_per_op, bytes_per_op,
+// allocs_per_op}. The raw stream is echoed to stderr so terminal output
+// and CI logs keep the familiar textual form while the JSON artifact
+// (BENCH_solver.json in `make bench`) tracks the perf trajectory
+// PR-over-PR.
+//
+// Benchmark lines look like
+//
+//	BenchmarkAllocateCold-8  71784  17092 ns/op  18305 B/op  223 allocs/op
+//
+// The -N GOMAXPROCS suffix is stripped so keys stay stable across
+// machines. Benchmarks run more than once (e.g. -count) keep the last
+// measurement.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+type benchResult struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+}
+
+func main() {
+	results := map[string]benchResult{}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		fmt.Fprintln(os.Stderr, line)
+		name, res, ok := parseBenchLine(line)
+		if ok {
+			results[name] = res
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: reading stdin: %v\n", err)
+		os.Exit(1)
+	}
+	// Deterministic key order for reviewable diffs.
+	names := make([]string, 0, len(results))
+	for n := range results {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	ordered := make(map[string]benchResult, len(results))
+	for _, n := range names {
+		ordered[n] = results[n]
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(ordered); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: writing json: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// parseBenchLine extracts one benchmark measurement; ok is false for
+// non-benchmark lines (headers, PASS/ok trailers, test chatter).
+func parseBenchLine(line string) (string, benchResult, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return "", benchResult{}, false
+	}
+	name := fields[0]
+	if i := strings.LastIndexByte(name, '-'); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	var res benchResult
+	seen := false
+	for i := 2; i+1 < len(fields); i++ {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			continue
+		}
+		switch fields[i+1] {
+		case "ns/op":
+			res.NsPerOp = v
+			seen = true
+		case "B/op":
+			res.BytesPerOp = v
+		case "allocs/op":
+			res.AllocsPerOp = v
+		}
+	}
+	if !seen {
+		return "", benchResult{}, false
+	}
+	return name, res, true
+}

@@ -146,6 +146,9 @@ type RooflineOptimal struct {
 	// saturated and would be handed to compute-bound neighbours). 0
 	// applies no floor; 1 reproduces the paper's Table I optimum.
 	MinPerNode int
+	// Search, when set, runs the solve through a shared roofline.Search
+	// (pooled evaluators); nil uses the package-level default.
+	Search *roofline.Search
 
 	counts []int
 	failed bool
@@ -164,7 +167,13 @@ func (p *RooflineOptimal) Decide(_ des.Time, m *machine.Machine, infos []Info) [
 		for i, s := range p.Specs {
 			apps[i] = roofline.App{Name: infos[i].Name, AI: s.AI, Placement: s.Placement, HomeNode: s.HomeNode}
 		}
-		counts, _, _, err := roofline.BestPerNodeCountsFloor(m, apps, p.Objective, p.MinPerNode)
+		var counts []int
+		var err error
+		if p.Search != nil {
+			counts, _, _, err = p.Search.BestPerNodeCountsFloor(m, apps, p.Objective, p.MinPerNode)
+		} else {
+			counts, _, _, err = roofline.BestPerNodeCountsFloor(m, apps, p.Objective, p.MinPerNode)
+		}
 		if err != nil {
 			p.failed = true
 			return nil
@@ -205,6 +214,9 @@ type AdaptiveRoofline struct {
 	// Placements optionally supplies NUMA placements per client
 	// (default: all NUMA-perfect). AI is always estimated.
 	Placements []AppSpec
+	// Search, when set, runs re-optimizations through a shared
+	// roofline.Search; nil uses the package-level default.
+	Search *roofline.Search
 
 	ticks    int
 	sumAI    []float64
@@ -284,7 +296,13 @@ func (p *AdaptiveRoofline) Decide(_ des.Time, m *machine.Machine, infos []Info) 
 		// Reset accumulators so re-optimization sees fresh data.
 		p.sumAI[i], p.nAI[i] = 0, 0
 	}
-	counts, _, _, err := roofline.BestPerNodeCounts(m, apps, nil)
+	var counts []int
+	var err error
+	if p.Search != nil {
+		counts, _, _, err = p.Search.BestPerNodeCounts(m, apps, nil)
+	} else {
+		counts, _, _, err = roofline.BestPerNodeCounts(m, apps, nil)
+	}
 	if err != nil {
 		return nil
 	}

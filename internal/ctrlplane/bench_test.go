@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"repro/internal/machine"
+	"repro/internal/roofline"
 )
 
 // tableIMix is the paper's Table I demand set: three memory-bound apps
@@ -35,9 +36,42 @@ func BenchmarkAllocateCold(b *testing.B) {
 	}
 }
 
+// BenchmarkAllocateCold8Apps is the cold solve at the ISSUE's scale
+// target: eight demand slots on the calibrated 4x20-core topology.
+func BenchmarkAllocateCold8Apps(b *testing.B) {
+	m := machine.SkylakeQuad()
+	apps := eightAppStates()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s, err := NewSolver(PolicyRoofline)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := s.Solve(m, apps); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// eightAppStates mirrors the roofline package's eight-app benchmark mix
+// as registered control-plane applications.
+func eightAppStates() []AppState {
+	return []AppState{
+		{ID: "stream0-1", Spec: AppSpec{Name: "stream0", AI: 1.0 / 32}},
+		{ID: "stream1-2", Spec: AppSpec{Name: "stream1", AI: 1.0 / 32}},
+		{ID: "stream2-3", Spec: AppSpec{Name: "stream2", AI: 1.0 / 32}},
+		{ID: "dgemm0-4", Spec: AppSpec{Name: "dgemm0", AI: 10}},
+		{ID: "dgemm1-5", Spec: AppSpec{Name: "dgemm1", AI: 10}},
+		{ID: "mixed0-6", Spec: AppSpec{Name: "mixed0", AI: 1}},
+		{ID: "mixed1-7", Spec: AppSpec{Name: "mixed1", AI: 1}},
+		{ID: "bad0-8", Spec: AppSpec{Name: "bad0", AI: 1.0 / 16, Placement: roofline.NUMABad, HomeNode: 0}},
+	}
+}
+
 // BenchmarkAllocateCached measures the steady-state serve path: the
 // solver has seen the demand mix, so every request is a cache hit plus
-// the per-app slot mapping.
+// the per-app slot mapping, into a reused Solution — the allocation-free
+// path the server's pooled scratch rides.
 func BenchmarkAllocateCached(b *testing.B) {
 	m := machine.PaperModel()
 	apps := tableIMix()
@@ -45,14 +79,14 @@ func BenchmarkAllocateCached(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	if _, err := s.Solve(m, apps); err != nil {
+	sol := &Solution{}
+	if err := s.SolveInto(sol, m, apps); err != nil {
 		b.Fatal(err) // warm the cache
 	}
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		sol, err := s.Solve(m, apps)
-		if err != nil {
+		if err := s.SolveInto(sol, m, apps); err != nil {
 			b.Fatal(err)
 		}
 		if !sol.FromCache {

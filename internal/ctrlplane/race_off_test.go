@@ -1,0 +1,5 @@
+//go:build !race
+
+package ctrlplane
+
+const raceEnabled = false

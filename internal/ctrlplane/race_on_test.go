@@ -1,0 +1,7 @@
+//go:build race
+
+package ctrlplane
+
+// raceEnabled reports the race detector is active: sync.Pool drops
+// items randomly under it, so zero-allocation assertions are skipped.
+const raceEnabled = true

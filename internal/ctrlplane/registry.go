@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -28,11 +29,26 @@ type AppSpec struct {
 	MaxThreads int // 0: uncapped
 }
 
-// demandKey canonicalizes the spec for solver-cache lookups. Two apps
-// with equal keys are interchangeable to the solver, so the cache key
-// is the sorted multiset of demand keys (names excluded on purpose).
+// appendDemandKey appends the spec's canonical demand key — the form
+// the solver caches by. Two apps with equal keys are interchangeable to
+// the solver, so the cache key is the sorted multiset of demand keys
+// (names excluded on purpose). Append-style so the solver's hot path
+// builds keys into a reused buffer without fmt or string concatenation.
+func appendDemandKey(b []byte, s *AppSpec) []byte {
+	b = append(b, "ai="...)
+	b = strconv.AppendFloat(b, s.AI, 'g', -1, 64)
+	b = append(b, "|pl="...)
+	b = strconv.AppendInt(b, int64(s.Placement), 10)
+	b = append(b, "|home="...)
+	b = strconv.AppendInt(b, int64(s.HomeNode), 10)
+	b = append(b, "|max="...)
+	b = strconv.AppendInt(b, int64(s.MaxThreads), 10)
+	return b
+}
+
+// demandKey is appendDemandKey as a string, for tests and diagnostics.
 func (s AppSpec) demandKey() string {
-	return fmt.Sprintf("ai=%g|pl=%d|home=%d|max=%d", s.AI, s.Placement, s.HomeNode, s.MaxThreads)
+	return string(appendDemandKey(nil, &s))
 }
 
 // AppState is one registered application's full record.
@@ -276,13 +292,26 @@ func (r *Registry) Sweep() []string {
 // Snapshot returns the live applications (sorted by ID for determinism)
 // and the current generation.
 func (r *Registry) Snapshot() ([]AppState, uint64) {
+	return r.SnapshotInto(nil)
+}
+
+// SnapshotInto is Snapshot appending into a caller-owned buffer
+// (typically buf[:0] of a pooled slice), so steady-state serve paths
+// take their registry view without allocating. The sort is an insertion
+// sort: no allocation, and the map iteration feeds it near-random order
+// of a small set.
+func (r *Registry) SnapshotInto(buf []AppState) ([]AppState, uint64) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	out := make([]AppState, 0, len(r.apps))
+	out := buf
 	for _, st := range r.apps {
 		out = append(out, *st)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	for a := len(buf) + 1; a < len(out); a++ {
+		for b := a; b > len(buf) && out[b].ID < out[b-1].ID; b-- {
+			out[b], out[b-1] = out[b-1], out[b]
+		}
+	}
 	return out, r.gen
 }
 

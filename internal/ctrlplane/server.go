@@ -63,7 +63,19 @@ type Server struct {
 	stop     chan struct{}
 	done     chan struct{}
 
+	// serve holds pooled per-request scratch (registry snapshot,
+	// solution, response allocation) so the steady-state heartbeat →
+	// allocation path does not allocate in the solver or serve layers.
+	serve sync.Pool
+
 	restoredApps int
+}
+
+// serveScratch is one request's reusable serve-path memory.
+type serveScratch struct {
+	apps  []AppState
+	sol   Solution
+	alloc AppAllocation
 }
 
 // endpointStats meters one endpoint: request count, error count, and a
@@ -135,6 +147,7 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 		stop:   make(chan struct{}),
 		done:   make(chan struct{}),
 	}
+	s.serve.New = func() any { return &serveScratch{} }
 	if cfg.Store != nil {
 		s.reg.AttachStore(cfg.Store)
 		s.restoredApps = len(cfg.Store.Restored().Apps)
@@ -315,7 +328,9 @@ func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusServiceUnavailable, "%v", err)
 		return
 	}
-	alloc, err := s.allocationFor(st.ID)
+	sc := s.serve.Get().(*serveScratch)
+	defer s.serve.Put(sc)
+	alloc, err := s.allocationInto(sc, st.ID)
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, "solving allocation: %v", err)
 		return
@@ -337,7 +352,9 @@ func (s *Server) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
 		writeErrorCode(w, http.StatusNotFound, ErrCodeUnknownApp, "%s: %v (evicted after missing its heartbeat deadline, or never registered)", req.ID, err)
 		return
 	}
-	alloc, err := s.allocationFor(req.ID)
+	sc := s.serve.Get().(*serveScratch)
+	defer s.serve.Put(sc)
+	alloc, err := s.allocationInto(sc, req.ID)
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, "solving allocation: %v", err)
 		return
@@ -429,18 +446,29 @@ func appAllocation(a AppSolution) AppAllocation {
 	}
 }
 
-// allocationFor solves for the live set and extracts one app's slice.
-func (s *Server) allocationFor(id string) (*AppAllocation, error) {
-	apps, _ := s.reg.Snapshot()
-	sol, err := s.solver.Solve(s.cfg.Machine, apps)
-	if err != nil {
+// allocationInto solves for the live set and copies one app's slice
+// into the scratch's response allocation. The returned pointer aliases
+// sc and is only valid until sc goes back to the pool.
+func (s *Server) allocationInto(sc *serveScratch, id string) (*AppAllocation, error) {
+	sc.apps, _ = s.reg.SnapshotInto(sc.apps[:0])
+	if err := s.solver.SolveInto(&sc.sol, s.cfg.Machine, sc.apps); err != nil {
 		return nil, err
 	}
-	for _, a := range sol.PerApp {
-		if a.ID == id {
-			al := appAllocation(a)
-			return &al, nil
+	for i := range sc.sol.PerApp {
+		a := &sc.sol.PerApp[i]
+		if a.ID != id {
+			continue
 		}
+		threads := 0
+		for _, c := range a.PerNode {
+			threads += c
+		}
+		sc.alloc.ID = a.ID
+		sc.alloc.Name = a.Name
+		sc.alloc.PerNode = append(sc.alloc.PerNode[:0], a.PerNode...)
+		sc.alloc.Threads = threads
+		sc.alloc.PredictedGFLOPS = a.GFLOPS
+		return &sc.alloc, nil
 	}
 	return nil, nil // evicted between registration and solve
 }

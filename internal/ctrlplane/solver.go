@@ -1,9 +1,11 @@
 package ctrlplane
 
 import (
+	"bytes"
+	"container/list"
 	"fmt"
-	"hash/fnv"
-	"sort"
+	"math"
+	"strconv"
 	"sync"
 
 	"repro/internal/agent"
@@ -27,7 +29,8 @@ type AppSolution struct {
 	GFLOPS  float64
 }
 
-// Solution is a full solve outcome.
+// Solution is a full solve outcome. SolveInto reuses its slices, so a
+// pooled Solution makes the steady-state serve path allocation-free.
 type Solution struct {
 	PerApp      []AppSolution
 	TotalGFLOPS float64
@@ -41,7 +44,8 @@ type Solution struct {
 
 // cachedSolution stores a solve keyed by the sorted demand multiset;
 // counts and rates are per demand slot, so any permutation of
-// equivalent apps maps onto it.
+// equivalent apps maps onto it. Immutable once inserted (concurrent
+// readers copy out of it without the lock).
 type cachedSolution struct {
 	counts [][]int
 	gflops []float64
@@ -50,19 +54,59 @@ type cachedSolution struct {
 	npa    float64
 }
 
-// Solver computes per-NUMA-node allocations through the agent's
-// policies and memoizes results. It is safe for concurrent use.
-type Solver struct {
-	policy string
-
-	mu     sync.Mutex
-	cache  map[string]*cachedSolution
-	hits   uint64
-	misses uint64
+// cacheEntry is one LRU cell: the key is kept so eviction can delete
+// the map entry.
+type cacheEntry struct {
+	key string
+	sol *cachedSolution
 }
 
-// maxCacheEntries bounds the memo; past it the cache is flushed (demand
-// mixes cycle, they don't grow without bound, so simple is fine).
+// flightCall is one in-progress solve; followers of the same key block
+// on done instead of re-running the solve (singleflight).
+type flightCall struct {
+	done chan struct{}
+	sol  *cachedSolution
+	err  error
+}
+
+// solveScratch is the per-request working memory of Solve, pooled so a
+// steady-state (cache-hit) solve allocates nothing: demand-key segments
+// for every app, the app order, and the assembled cache key.
+type solveScratch struct {
+	order  []int
+	offs   []int // offs[i]:offs[i+1] frames app i's segment in segBuf
+	segBuf []byte
+	key    []byte
+}
+
+// Solver computes per-NUMA-node allocations through the agent's
+// policies and memoizes results behind an LRU cache with singleflight
+// collapsing of concurrent identical solves. It is safe for concurrent
+// use.
+type Solver struct {
+	policy string
+	search *roofline.Search
+
+	mu        sync.Mutex
+	entries   map[string]*list.Element // -> *cacheEntry
+	lru       *list.List               // front: most recently used
+	flight    map[string]*flightCall
+	hits      uint64
+	misses    uint64
+	coalesced uint64
+	topoPtr   *machine.Machine // last hashed machine (pointer identity)
+	topoHash  uint64
+
+	scratch sync.Pool // *solveScratch
+
+	// testSolveDelay, when set, runs between claiming a flight slot and
+	// solving; tests use it to hold the leader while followers pile up.
+	testSolveDelay func()
+}
+
+// maxCacheEntries bounds the memo; past it the least-recently-used
+// entry is evicted, so a demand mix cycling past the bound keeps its
+// working set instead of periodically losing everything to a flush.
 const maxCacheEntries = 256
 
 // NewSolver creates a solver for the named policy (PolicyRoofline or
@@ -73,99 +117,239 @@ func NewSolver(policy string) (*Solver, error) {
 	default:
 		return nil, fmt.Errorf("ctrlplane: unknown policy %q", policy)
 	}
-	return &Solver{policy: policy, cache: map[string]*cachedSolution{}}, nil
+	return &Solver{
+		policy:  policy,
+		search:  &roofline.Search{},
+		entries: map[string]*list.Element{},
+		lru:     list.New(),
+		flight:  map[string]*flightCall{},
+		scratch: sync.Pool{New: func() any { return &solveScratch{} }},
+	}, nil
 }
 
 // Policy returns the solver's policy name.
 func (s *Solver) Policy() string { return s.policy }
 
-// Metrics returns cache hit/miss counters and the entry count.
+// Metrics returns cache hit/miss/coalesce counters and the entry count.
 func (s *Solver) Metrics() SolverMetrics {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return SolverMetrics{Hits: s.hits, Misses: s.misses, Entries: len(s.cache)}
+	return SolverMetrics{Hits: s.hits, Misses: s.misses, Coalesced: s.coalesced, Entries: len(s.entries)}
 }
 
 // TopologyHash fingerprints a machine for cache keying; two machines
-// with identical JSON encodings share solutions.
+// with identical topologies (name, nodes, links) share solutions. The
+// hash walks the fields directly (FNV-64a) so keying allocates nothing.
 func TopologyHash(m *machine.Machine) uint64 {
-	data, err := m.MarshalJSON()
-	if err != nil {
-		// Unreachable for a validated machine; keep the key usable.
-		data = []byte(m.String())
+	const (
+		offset64 = 0xcbf29ce484222325
+		prime64  = 0x100000001b3
+	)
+	h := uint64(offset64)
+	mix := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			h ^= v & 0xff
+			h *= prime64
+			v >>= 8
+		}
 	}
-	h := fnv.New64a()
-	h.Write(data)
-	return h.Sum64()
+	for i := 0; i < len(m.Name); i++ {
+		h ^= uint64(m.Name[i])
+		h *= prime64
+	}
+	mix(uint64(len(m.Nodes)))
+	for _, n := range m.Nodes {
+		mix(uint64(n.Cores))
+		mix(math.Float64bits(n.PeakGFLOPS))
+		mix(math.Float64bits(n.MemBandwidth))
+	}
+	if m.LinkBandwidth == nil {
+		mix(0)
+		return h
+	}
+	mix(1)
+	for _, row := range m.LinkBandwidth {
+		for _, bw := range row {
+			mix(math.Float64bits(bw))
+		}
+	}
+	return h
+}
+
+// topologyHashCached returns TopologyHash, memoized by machine pointer:
+// the server passes the same *Machine for its whole lifetime, so the
+// steady state never re-hashes.
+func (s *Solver) topologyHashCached(m *machine.Machine) uint64 {
+	s.mu.Lock()
+	if s.topoPtr == m {
+		h := s.topoHash
+		s.mu.Unlock()
+		return h
+	}
+	s.mu.Unlock()
+	h := TopologyHash(m)
+	s.mu.Lock()
+	s.topoPtr, s.topoHash = m, h
+	s.mu.Unlock()
+	return h
 }
 
 // Solve computes the allocation for the registered applications on the
-// machine. Apps with identical demand keys are interchangeable, so the
-// cache lookup sorts the demand set; results are mapped back to the
-// callers' order.
+// machine into a fresh Solution. See SolveInto for the reusing variant.
 func (s *Solver) Solve(m *machine.Machine, apps []AppState) (*Solution, error) {
-	if len(apps) == 0 {
-		return &Solution{}, nil
-	}
-
-	// Sort app indices into demand-slot order (ID tie-break keeps the
-	// mapping deterministic).
-	order := make([]int, len(apps))
-	for i := range order {
-		order[i] = i
-	}
-	sort.Slice(order, func(a, b int) bool {
-		ka, kb := apps[order[a]].Spec.demandKey(), apps[order[b]].Spec.demandKey()
-		if ka != kb {
-			return ka < kb
-		}
-		return apps[order[a]].ID < apps[order[b]].ID
-	})
-	key := fmt.Sprintf("topo=%x|policy=%s", TopologyHash(m), s.policy)
-	for _, idx := range order {
-		key += "|" + apps[idx].Spec.demandKey()
-	}
-
-	s.mu.Lock()
-	cached, ok := s.cache[key]
-	if ok {
-		s.hits++
-	} else {
-		s.misses++
-	}
-	s.mu.Unlock()
-
-	fromCache := ok
-	if !ok {
-		var err error
-		cached, err = s.solveSlots(m, apps, order)
-		if err != nil {
-			return nil, err
-		}
-		s.mu.Lock()
-		if len(s.cache) >= maxCacheEntries {
-			s.cache = map[string]*cachedSolution{}
-		}
-		s.cache[key] = cached
-		s.mu.Unlock()
-	}
-
-	sol := &Solution{
-		PerApp:           make([]AppSolution, len(apps)),
-		TotalGFLOPS:      cached.total,
-		EvenGFLOPS:       cached.even,
-		NodePerAppGFLOPS: cached.npa,
-		FromCache:        fromCache,
-	}
-	for slot, idx := range order {
-		sol.PerApp[idx] = AppSolution{
-			ID:      apps[idx].ID,
-			Name:    apps[idx].Spec.Name,
-			PerNode: append([]int(nil), cached.counts[slot]...),
-			GFLOPS:  cached.gflops[slot],
-		}
+	sol := &Solution{}
+	if err := s.SolveInto(sol, m, apps); err != nil {
+		return nil, err
 	}
 	return sol, nil
+}
+
+// SolveInto computes the allocation for the registered applications on
+// the machine, reusing sol's slices. Apps with identical demand keys
+// are interchangeable, so the cache lookup sorts the demand set;
+// results are mapped back to the callers' order. A cache-hit solve into
+// a warm Solution performs no heap allocations.
+func (s *Solver) SolveInto(sol *Solution, m *machine.Machine, apps []AppState) error {
+	sol.PerApp = sol.PerApp[:0]
+	sol.TotalGFLOPS, sol.EvenGFLOPS, sol.NodePerAppGFLOPS = 0, 0, 0
+	sol.FromCache = false
+	if len(apps) == 0 {
+		return nil
+	}
+
+	sc := s.scratch.Get().(*solveScratch)
+	defer s.scratch.Put(sc)
+
+	n := len(apps)
+	// Build every app's demand-key segment once into one buffer.
+	sc.segBuf = sc.segBuf[:0]
+	sc.offs = resizeInts(sc.offs, n+1)
+	sc.offs[0] = 0
+	for i := range apps {
+		sc.segBuf = appendDemandKey(sc.segBuf, &apps[i].Spec)
+		sc.offs[i+1] = len(sc.segBuf)
+	}
+	seg := func(i int) []byte { return sc.segBuf[sc.offs[i]:sc.offs[i+1]] }
+
+	// Sort app indices into demand-slot order (ID tie-break keeps the
+	// mapping deterministic). Insertion sort: no allocation, and the
+	// registry's mixes are small and mostly pre-sorted.
+	sc.order = resizeInts(sc.order, n)
+	for i := range sc.order {
+		sc.order[i] = i
+	}
+	for a := 1; a < n; a++ {
+		x := sc.order[a]
+		b := a
+		for b > 0 {
+			p := sc.order[b-1]
+			if c := bytes.Compare(seg(p), seg(x)); c < 0 || (c == 0 && apps[p].ID <= apps[x].ID) {
+				break
+			}
+			sc.order[b] = p
+			b--
+		}
+		sc.order[b] = x
+	}
+
+	sc.key = sc.key[:0]
+	sc.key = append(sc.key, "topo="...)
+	sc.key = strconv.AppendUint(sc.key, s.topologyHashCached(m), 16)
+	sc.key = append(sc.key, "|policy="...)
+	sc.key = append(sc.key, s.policy...)
+	for _, idx := range sc.order {
+		sc.key = append(sc.key, '|')
+		sc.key = append(sc.key, seg(idx)...)
+	}
+
+	cached, fromCache, err := s.lookupOrSolve(m, apps, sc)
+	if err != nil {
+		return err
+	}
+
+	sol.TotalGFLOPS = cached.total
+	sol.EvenGFLOPS = cached.even
+	sol.NodePerAppGFLOPS = cached.npa
+	sol.FromCache = fromCache
+	if cap(sol.PerApp) < n {
+		sol.PerApp = make([]AppSolution, n)
+	} else {
+		sol.PerApp = sol.PerApp[:n]
+	}
+	for slot, idx := range sc.order {
+		pa := &sol.PerApp[idx]
+		pa.ID = apps[idx].ID
+		pa.Name = apps[idx].Spec.Name
+		pa.PerNode = append(pa.PerNode[:0], cached.counts[slot]...)
+		pa.GFLOPS = cached.gflops[slot]
+	}
+	return nil
+}
+
+// lookupOrSolve serves sc.key from the LRU, joins an in-flight solve
+// for the same key, or becomes the leader and solves.
+func (s *Solver) lookupOrSolve(m *machine.Machine, apps []AppState, sc *solveScratch) (*cachedSolution, bool, error) {
+	s.mu.Lock()
+	if el, ok := s.entries[string(sc.key)]; ok {
+		s.lru.MoveToFront(el)
+		s.hits++
+		cs := el.Value.(*cacheEntry).sol
+		s.mu.Unlock()
+		return cs, true, nil
+	}
+	if fc, ok := s.flight[string(sc.key)]; ok {
+		// A solve for this exact key is running; wait for its result
+		// instead of duplicating the work (heartbeat storms after a
+		// restart all carry the same demand set).
+		s.coalesced++
+		s.mu.Unlock()
+		<-fc.done
+		return fc.sol, fc.err == nil, fc.err
+	}
+	s.misses++
+	key := string(sc.key) // the one per-distinct-miss allocation
+	fc := &flightCall{done: make(chan struct{})}
+	s.flight[key] = fc
+	delay := s.testSolveDelay
+	s.mu.Unlock()
+
+	if delay != nil {
+		delay()
+	}
+	cs, err := s.solveSlots(m, apps, sc.order)
+
+	s.mu.Lock()
+	if err == nil {
+		s.insertLocked(key, cs)
+	}
+	delete(s.flight, key)
+	s.mu.Unlock()
+	fc.sol, fc.err = cs, err
+	close(fc.done)
+	return cs, false, err
+}
+
+// insertLocked adds a cache entry at the LRU front, evicting from the
+// back past maxCacheEntries. Caller holds s.mu.
+func (s *Solver) insertLocked(key string, cs *cachedSolution) {
+	if el, ok := s.entries[key]; ok {
+		el.Value.(*cacheEntry).sol = cs
+		s.lru.MoveToFront(el)
+		return
+	}
+	s.entries[key] = s.lru.PushFront(&cacheEntry{key: key, sol: cs})
+	for len(s.entries) > maxCacheEntries {
+		back := s.lru.Back()
+		s.lru.Remove(back)
+		delete(s.entries, back.Value.(*cacheEntry).key)
+	}
+}
+
+func resizeInts(v []int, n int) []int {
+	if cap(v) < n {
+		return make([]int, n)
+	}
+	return v[:n]
 }
 
 // solveSlots runs the agent policy over the demand slots (apps in
@@ -196,9 +380,9 @@ func (s *Solver) solveSlots(m *machine.Machine, apps []AppState, order []int) (*
 		// node (no starvation) and reproduces the paper's Table I
 		// optimum; when the floors alone over-subscribe a node (more
 		// apps than cores per node), fall back to the unfloored solve.
-		cmds = (&agent.RooflineOptimal{Specs: aspecs, MinPerNode: 1}).Decide(des.Time(0), m, infos)
+		cmds = (&agent.RooflineOptimal{Specs: aspecs, MinPerNode: 1, Search: s.search}).Decide(des.Time(0), m, infos)
 		if len(cmds) == 0 {
-			cmds = (&agent.RooflineOptimal{Specs: aspecs}).Decide(des.Time(0), m, infos)
+			cmds = (&agent.RooflineOptimal{Specs: aspecs, Search: s.search}).Decide(des.Time(0), m, infos)
 		}
 	}
 	if len(cmds) == 0 {

@@ -178,9 +178,12 @@ type EndpointMetrics struct {
 
 // SolverMetrics summarizes the allocation cache.
 type SolverMetrics struct {
-	Hits    uint64 `json:"hits"`
-	Misses  uint64 `json:"misses"`
-	Entries int    `json:"entries"`
+	Hits   uint64 `json:"hits"`
+	Misses uint64 `json:"misses"`
+	// Coalesced counts solves that joined an identical in-flight solve
+	// (singleflight) instead of running their own.
+	Coalesced uint64 `json:"coalesced,omitempty"`
+	Entries   int    `json:"entries"`
 }
 
 // PersistMetrics summarizes the daemon's crash-recovery store.

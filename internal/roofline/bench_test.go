@@ -1,0 +1,101 @@
+package roofline
+
+import (
+	"testing"
+
+	"repro/internal/machine"
+)
+
+// eightAppMix is the scaled workload for the solve benchmarks: eight
+// applications spanning bandwidth-bound, compute-bound, mixed, and one
+// NUMA-bad, on the calibrated 4x20-core Skylake topology.
+func eightAppMix() []App {
+	return []App{
+		{Name: "stream0", AI: 1.0 / 32},
+		{Name: "stream1", AI: 1.0 / 32},
+		{Name: "stream2", AI: 1.0 / 32},
+		{Name: "dgemm0", AI: 10},
+		{Name: "dgemm1", AI: 10},
+		{Name: "mixed0", AI: 1},
+		{Name: "mixed1", AI: 1},
+		{Name: "bad0", AI: 1.0 / 16, Placement: NUMABad, HomeNode: 0},
+	}
+}
+
+// BenchmarkSolveColdTableI is the paper's Table I search (4 apps,
+// floor 1) through the pruned parallel Search, evaluator pool cold.
+func BenchmarkSolveColdTableI(b *testing.B) {
+	m := machine.PaperModel()
+	apps := paperApps()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		var s Search
+		if _, _, _, err := s.BestPerNodeCountsFloor(m, apps, TotalGFLOPS, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSolveCold8Apps is the scaled search: 8 apps on 4x20 cores,
+// floor 1 — C(12+8,8) = 125970 per-node-counts candidates before
+// pruning. This is the ISSUE's >=5x target workload.
+func BenchmarkSolveCold8Apps(b *testing.B) {
+	m := machine.SkylakeQuad()
+	apps := eightAppMix()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		var s Search
+		if _, _, _, err := s.BestPerNodeCountsFloor(m, apps, TotalGFLOPS, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSolveNaive8Apps is the pre-PR baseline at the same scale:
+// exhaustive enumeration, every candidate through the reference model.
+func BenchmarkSolveNaive8Apps(b *testing.B) {
+	m := machine.SkylakeQuad()
+	apps := eightAppMix()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := naiveBestPerNodeCountsFloor(m, apps, TotalGFLOPS, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEvaluateReference is one reference-model evaluation of the
+// Table I allocation: the unit of work the memo amortizes.
+func BenchmarkEvaluateReference(b *testing.B) {
+	m := machine.PaperModel()
+	apps := paperApps()
+	al := MustPerNodeCounts(m, []int{1, 1, 1, 5})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Evaluate(m, apps, al); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEvaluatorMemoHit is the same evaluation through a warmed
+// Evaluator: all four nodes hit the memo, zero allocations.
+func BenchmarkEvaluatorMemoHit(b *testing.B) {
+	m := machine.PaperModel()
+	apps := paperApps()
+	ev, err := NewEvaluator(m, apps)
+	if err != nil {
+		b.Fatal(err)
+	}
+	al := MustPerNodeCounts(m, []int{1, 1, 1, 5})
+	res := &Result{}
+	if err := ev.EvaluateInto(res, al); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := ev.EvaluateInto(res, al); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,26 @@
+package roofline
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// FuzzEvaluatorEquivalence is the property test behind the fast path:
+// for any seeded draw of machine (heterogeneous nodes, optional link
+// limits), app mix (including NUMA-bad placements), options ablation,
+// and allocation sequence, the incremental Evaluator must be bitwise
+// identical to the reference EvaluateOpts. The seed corpus under
+// testdata/fuzz is checked in so `go test` replays it on every run;
+// `go test -fuzz=FuzzEvaluatorEquivalence ./internal/roofline` explores
+// further.
+func FuzzEvaluatorEquivalence(f *testing.F) {
+	for seed := int64(0); seed < 16; seed++ {
+		f.Add(seed)
+	}
+	f.Add(int64(1<<40 + 7))
+	f.Add(int64(-12345))
+	f.Fuzz(func(t *testing.T, seed int64) {
+		r := rand.New(rand.NewSource(seed))
+		differentialRound(t, r)
+	})
+}

@@ -47,8 +47,10 @@ func WeightedAppGFLOPS(weights []float64) Objective {
 // candidates (even, node-per-app permutations for small app counts) as
 // alternative starting points and returns the best local optimum found.
 //
-// The search is deterministic. maxIters bounds the number of improvement
-// steps per start (<=0 means a generous default).
+// The search is deterministic. maxIters bounds the number of accepted
+// improvement moves per start (<=0 means a generous default). All
+// starts share one memoizing Evaluator, so a move's score costs only
+// the touched nodes.
 func Optimize(m *machine.Machine, apps []App, obj Objective, maxIters int) (Allocation, *Result, error) {
 	if obj == nil {
 		obj = TotalGFLOPS
@@ -60,11 +62,15 @@ func Optimize(m *machine.Machine, apps []App, obj Objective, maxIters int) (Allo
 	if len(starts) == 0 {
 		return Allocation{}, nil, ErrNoAllocation
 	}
+	ev, err := NewEvaluator(m, apps)
+	if err != nil {
+		return Allocation{}, nil, ErrNoAllocation
+	}
 	var bestAl Allocation
 	var bestRes *Result
 	bestScore := -1.0
 	for _, s := range starts {
-		al, res, score, err := hillClimb(m, apps, s, obj, maxIters)
+		al, res, score, err := hillClimb(m, apps, ev, s, obj, maxIters)
 		if err != nil {
 			continue
 		}
@@ -101,51 +107,60 @@ func candidateStarts(m *machine.Machine, apps []App) []Allocation {
 	return starts
 }
 
-func hillClimb(m *machine.Machine, apps []App, al Allocation, obj Objective, maxIters int) (Allocation, *Result, float64, error) {
-	res, err := Evaluate(m, apps, al)
-	if err != nil {
+// hillClimb greedily improves the allocation with single-thread moves
+// until a full sweep over (app, node) positions accepts nothing. An
+// accepted move continues scanning from the current position instead of
+// restarting the sweep — the neighbourhood is position-symmetric, so
+// the reachable local optima are the same, without the
+// O(moves·apps·nodes) re-scan of already-rejected prefixes.
+func hillClimb(m *machine.Machine, apps []App, ev *Evaluator, al Allocation, obj Objective, maxIters int) (Allocation, *Result, float64, error) {
+	scratch := &Result{}
+	if err := ev.EvaluateInto(scratch, al); err != nil {
 		return Allocation{}, nil, 0, err
 	}
-	score := obj(res)
+	score := obj(scratch)
 	nApps, nNodes := len(apps), m.NumNodes()
-	for iter := 0; iter < maxIters; iter++ {
+	moves := 0
+	for moves < maxIters {
 		improved := false
-		// Move one thread of app i from node j to node k (if k has a
-		// free core), or hand one of app i's cores on node j to app i2.
-		for i := 0; i < nApps && !improved; i++ {
-			for j := 0; j < nNodes && !improved; j++ {
-				if al.Threads[i][j] == 0 {
-					continue
-				}
-				// Move across nodes.
-				for k := 0; k < nNodes && !improved; k++ {
+		for i := 0; i < nApps && moves < maxIters; i++ {
+			for j := 0; j < nNodes && moves < maxIters; j++ {
+				// Move one thread of app i from node j to node k (if k
+				// has a free core). An accepted move can empty (i, j), so
+				// the inner loops re-check the count.
+				for k := 0; k < nNodes && moves < maxIters; k++ {
+					if al.Threads[i][j] == 0 {
+						break
+					}
 					if k == j || al.NodeThreads(machine.NodeID(k)) >= m.Nodes[k].Cores {
 						continue
 					}
 					al.Threads[i][j]--
 					al.Threads[i][k]++
-					if r2, err := Evaluate(m, apps, al); err == nil {
-						if s2 := obj(r2); s2 > score+1e-9 {
-							score, res, improved = s2, r2, true
+					if err := ev.EvaluateInto(scratch, al); err == nil {
+						if s2 := obj(scratch); s2 > score+1e-9 {
+							score, improved = s2, true
+							moves++
 							continue
 						}
 					}
 					al.Threads[i][j]++
 					al.Threads[i][k]--
 				}
-				if improved {
-					break
-				}
-				// Reassign the core to another app on the same node.
-				for i2 := 0; i2 < nApps && !improved; i2++ {
+				// Reassign one of app i's cores on node j to app i2.
+				for i2 := 0; i2 < nApps && moves < maxIters; i2++ {
+					if al.Threads[i][j] == 0 {
+						break
+					}
 					if i2 == i {
 						continue
 					}
 					al.Threads[i][j]--
 					al.Threads[i2][j]++
-					if r2, err := Evaluate(m, apps, al); err == nil {
-						if s2 := obj(r2); s2 > score+1e-9 {
-							score, res, improved = s2, r2, true
+					if err := ev.EvaluateInto(scratch, al); err == nil {
+						if s2 := obj(scratch); s2 > score+1e-9 {
+							score, improved = s2, true
+							moves++
 							continue
 						}
 					}
@@ -158,13 +173,22 @@ func hillClimb(m *machine.Machine, apps []App, al Allocation, obj Objective, max
 			break
 		}
 	}
-	return al.Clone(), res, score, nil
+	// Final result through the reference model, so callers always hold
+	// reference-bitwise outputs.
+	res, err := Evaluate(m, apps, al)
+	if err != nil {
+		return Allocation{}, nil, 0, err
+	}
+	return al.Clone(), res, obj(res), nil
 }
 
 // EnumeratePerNodeCounts calls fn for every uniform per-node allocation
 // (every app gets the same count on all nodes) whose counts sum to at
 // most the smallest node's core count. It is exhaustive for the paper's
 // small examples. fn returning false stops the enumeration early.
+//
+// counts is a fresh copy per candidate; al and r are scratch reused
+// between candidates and are only valid for the duration of the call.
 func EnumeratePerNodeCounts(m *machine.Machine, nApps int, fn func(counts []int, al Allocation, r *Result) bool, apps []App) error {
 	return EnumeratePerNodeCountsFloor(m, nApps, 0, fn, apps)
 }
@@ -172,7 +196,9 @@ func EnumeratePerNodeCounts(m *machine.Machine, nApps int, fn func(counts []int,
 // EnumeratePerNodeCountsFloor is EnumeratePerNodeCounts restricted to
 // allocations granting every app at least floor threads per node — the
 // no-starvation constraint under which the paper's Table I uneven
-// allocation (1,1,1,5) is the optimum.
+// allocation (1,1,1,5) is the optimum. Candidates are evaluated with
+// the memoizing Evaluator (bit-identical to Evaluate), so symmetric
+// siblings share per-node work.
 func EnumeratePerNodeCountsFloor(m *machine.Machine, nApps, floor int, fn func(counts []int, al Allocation, r *Result) bool, apps []App) error {
 	capCores := m.Nodes[0].Cores
 	for _, n := range m.Nodes[1:] {
@@ -183,62 +209,59 @@ func EnumeratePerNodeCountsFloor(m *machine.Machine, nApps, floor int, fn func(c
 	if floor < 0 {
 		floor = 0
 	}
+	ev, err := NewEvaluator(m, apps)
+	if err != nil {
+		return nil // invalid inputs: no candidates, as before
+	}
 	counts := make([]int, nApps)
+	al := NewAllocation(nApps, m.NumNodes())
+	res := &Result{}
 	var rec func(pos, remaining int) bool
 	rec = func(pos, remaining int) bool {
 		if pos == nApps {
-			al, err := PerNodeCounts(m, counts)
-			if err != nil {
-				return true
-			}
-			r, err := Evaluate(m, apps, al)
-			if err != nil {
+			if err := ev.EvaluateInto(res, al); err != nil {
 				return true
 			}
 			cp := append([]int(nil), counts...)
-			return fn(cp, al, r)
+			return fn(cp, al, res)
 		}
 		for c := floor; c <= remaining; c++ {
 			counts[pos] = c
+			row := al.Threads[pos]
+			for j := range row {
+				row[j] = c
+			}
 			if !rec(pos+1, remaining-c) {
 				return false
 			}
 		}
 		counts[pos] = 0
+		row := al.Threads[pos]
+		for j := range row {
+			row[j] = 0
+		}
 		return true
 	}
 	rec(0, capCores)
 	return nil
 }
 
+// defaultSearch backs the package-level Best* helpers; sharing it lets
+// every caller reuse one Evaluator pool.
+var defaultSearch Search
+
 // BestPerNodeCounts exhaustively searches uniform per-node allocations
 // and returns the best one under obj.
 func BestPerNodeCounts(m *machine.Machine, apps []App, obj Objective) ([]int, Allocation, *Result, error) {
-	return BestPerNodeCountsFloor(m, apps, obj, 0)
+	return defaultSearch.BestPerNodeCounts(m, apps, obj)
 }
 
 // BestPerNodeCountsFloor is BestPerNodeCounts with every app guaranteed
 // at least floor threads per node. It returns ErrNoAllocation when the
-// floors alone over-subscribe a node (more apps than cores).
+// floors alone over-subscribe a node (more apps than cores). The search
+// runs through Search: memoized per-node evaluation, a branch-and-bound
+// prune for the total-GFLOPS objective, and parallel top-level branches
+// — returning exactly the allocation the exhaustive scan would.
 func BestPerNodeCountsFloor(m *machine.Machine, apps []App, obj Objective, floor int) ([]int, Allocation, *Result, error) {
-	if obj == nil {
-		obj = TotalGFLOPS
-	}
-	var bestCounts []int
-	var bestAl Allocation
-	var bestRes *Result
-	best := -1.0
-	err := EnumeratePerNodeCountsFloor(m, len(apps), floor, func(counts []int, al Allocation, r *Result) bool {
-		if s := obj(r); s > best {
-			best, bestCounts, bestAl, bestRes = s, counts, al.Clone(), r
-		}
-		return true
-	}, apps)
-	if err != nil {
-		return nil, Allocation{}, nil, err
-	}
-	if bestRes == nil {
-		return nil, Allocation{}, nil, ErrNoAllocation
-	}
-	return bestCounts, bestAl, bestRes, nil
+	return defaultSearch.BestPerNodeCountsFloor(m, apps, obj, floor)
 }

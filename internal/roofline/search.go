@@ -1,0 +1,402 @@
+package roofline
+
+import (
+	"math"
+	"reflect"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/machine"
+)
+
+// Search owns the reusable state of the per-node-counts optimizer: a
+// pool of Evaluators handed to worker goroutines. The zero value is
+// ready to use, and one Search can be shared by concurrent solves (the
+// control-plane solver holds one for its whole lifetime).
+type Search struct {
+	// Parallelism caps the worker goroutines fanned out over the
+	// top-level enumeration branches; 0 means GOMAXPROCS.
+	Parallelism int
+
+	mu   sync.Mutex
+	pool []*Evaluator
+}
+
+func (s *Search) acquire(m *machine.Machine, apps []App) (*Evaluator, error) {
+	s.mu.Lock()
+	var ev *Evaluator
+	if n := len(s.pool); n > 0 {
+		ev, s.pool = s.pool[n-1], s.pool[:n-1]
+	}
+	s.mu.Unlock()
+	if ev == nil {
+		return NewEvaluator(m, apps)
+	}
+	if err := ev.Reset(m, apps, Options{}); err != nil {
+		return nil, err
+	}
+	return ev, nil
+}
+
+func (s *Search) release(ev *Evaluator) {
+	s.mu.Lock()
+	s.pool = append(s.pool, ev)
+	s.mu.Unlock()
+}
+
+// boundSlack is the margin under the incumbent a subtree's upper bound
+// must clear before it is pruned. It absorbs floating-point noise in
+// the bound so equal-scoring optima are never pruned, which keeps the
+// parallel search's result identical to the sequential enumeration's
+// first-in-order optimum.
+const boundSlack = 1e-6
+
+// seqLeafThreshold is the candidate count under which the search stays
+// on the calling goroutine; fan-out costs more than it buys on the
+// paper-sized problems.
+const seqLeafThreshold = 4096
+
+// bnbCtx is the read-only shared state of one BestPerNodeCountsFloor
+// run plus the shared incumbent.
+type bnbCtx struct {
+	nApps, nNodes int
+	floor         int
+	obj           Objective
+	prune         bool
+
+	// Bound precomputation (valid only when prune): apps sorted by AI
+	// descending, suffix maxima of AI in enumeration order, the
+	// machine-wide peak sum per per-node count, and the bandwidth pool.
+	byAIDesc []int
+	ai       []float64
+	sufMaxAI []float64
+	sumPeak  float64
+	totalBW  float64
+
+	best atomic.Uint64 // Float64bits of the best score seen so far
+	next atomic.Int64  // branch work-stealing cursor
+}
+
+func (c *bnbCtx) bestScore() float64 { return math.Float64frombits(c.best.Load()) }
+
+func (c *bnbCtx) raiseBest(v float64) {
+	for {
+		old := c.best.Load()
+		if math.Float64frombits(old) >= v {
+			return
+		}
+		if c.best.CompareAndSwap(old, math.Float64bits(v)) {
+			return
+		}
+	}
+}
+
+// bound is an upper bound on the objective of any completion of the
+// partial assignment counts[0..pos-1] with rem per-node cores left for
+// apps pos..n-1 (see DESIGN.md): every thread computes at most
+// min(peak, granted·AI), nodes hand out at most their bandwidth in
+// total (remote service included), so total GFLOPS is at most the
+// greedy fractional assignment of the machine's bandwidth pool to apps
+// in descending-AI order, each app capped at counts·Σpeak. Unassigned
+// apps collapse into one pseudo-app holding the whole remaining core
+// budget at the suffix-maximum AI.
+func (c *bnbCtx) bound(counts []int, pos, rem int) float64 {
+	pool := c.totalBW
+	ub := 0.0
+	pseudoAI := c.sufMaxAI[pos]
+	pseudoCap := float64(rem) * c.sumPeak
+	pseudoDone := pseudoCap <= 0 || pseudoAI <= 0
+	grant := func(cap, ai float64) float64 {
+		need := cap / ai
+		if need <= pool {
+			pool -= need
+			return cap
+		}
+		g := pool * ai
+		pool = 0
+		return g
+	}
+	for _, i := range c.byAIDesc {
+		if pool <= 0 {
+			break
+		}
+		if !pseudoDone && pseudoAI >= c.ai[i] {
+			ub += grant(pseudoCap, pseudoAI)
+			pseudoDone = true
+			if pool <= 0 {
+				break
+			}
+		}
+		if i >= pos {
+			continue // part of the pseudo-app
+		}
+		if cap := float64(counts[i]) * c.sumPeak; cap > 0 {
+			ub += grant(cap, c.ai[i])
+		}
+	}
+	if !pseudoDone && pool > 0 {
+		ub += grant(pseudoCap, pseudoAI)
+	}
+	return ub
+}
+
+// bnbWorker is one goroutine's private search state.
+type bnbWorker struct {
+	ctx    *bnbCtx
+	ev     *Evaluator
+	counts []int
+	al     Allocation
+	res    *Result
+
+	branchBest   float64
+	branchCounts []int
+}
+
+func (w *bnbWorker) setRow(pos, count int) {
+	w.counts[pos] = count
+	row := w.al.Threads[pos]
+	for j := range row {
+		row[j] = count
+	}
+}
+
+func (w *bnbWorker) rec(pos, remaining int) {
+	c := w.ctx
+	if pos == c.nApps {
+		if c.prune {
+			// Leaf-level bound: the greedy relaxation over the completed
+			// counts vector is far cheaper than a model evaluation and
+			// discards hopeless candidates outright.
+			if ub := c.bound(w.counts, pos, 0); ub < c.bestScore()-boundSlack {
+				return
+			}
+		}
+		if err := w.ev.EvaluateInto(w.res, w.al); err != nil {
+			return // mirrors the reference enumeration skipping bad candidates
+		}
+		s := c.obj(w.res)
+		if s > w.branchBest {
+			w.branchBest = s
+			w.branchCounts = append(w.branchCounts[:0], w.counts...)
+		}
+		if c.prune {
+			c.raiseBest(s)
+		}
+		return
+	}
+	if c.prune && pos > 0 {
+		if ub := c.bound(w.counts, pos, remaining); ub < c.bestScore()-boundSlack {
+			return
+		}
+	}
+	for cnt := c.floor; cnt <= remaining; cnt++ {
+		w.setRow(pos, cnt)
+		w.rec(pos+1, remaining-cnt)
+	}
+}
+
+// branchResult is one top-level branch's best candidate; results are
+// reduced in branch order so the parallel search returns the same
+// first-in-enumeration-order optimum as a sequential scan.
+type branchResult struct {
+	score  float64
+	counts []int
+}
+
+// BestPerNodeCountsFloor searches uniform per-node allocations (every
+// app gets counts[i] threads on every node, each app at least floor)
+// for the one maximizing obj, exactly like the package-level
+// BestPerNodeCountsFloor but using the memoizing Evaluator, a
+// branch-and-bound prune (for the default total-GFLOPS objective), and
+// goroutine fan-out of the top-level branches. The returned counts,
+// allocation, and Result are identical to the exhaustive reference
+// search (search_test.go proves it differentially).
+func (s *Search) BestPerNodeCountsFloor(m *machine.Machine, apps []App, obj Objective, floor int) ([]int, Allocation, *Result, error) {
+	prune := obj == nil || objIsTotalGFLOPS(obj)
+	if obj == nil {
+		obj = TotalGFLOPS
+	}
+	if floor < 0 {
+		floor = 0
+	}
+	nApps := len(apps)
+	if nApps == 0 {
+		// The reference enumeration visits the single empty allocation.
+		al := NewAllocation(0, m.NumNodes())
+		res, err := Evaluate(m, apps, al)
+		if err != nil {
+			return nil, Allocation{}, nil, err
+		}
+		return nil, al, res, nil
+	}
+
+	capCores := m.Nodes[0].Cores
+	for _, n := range m.Nodes[1:] {
+		if n.Cores < capCores {
+			capCores = n.Cores
+		}
+	}
+	nBranches := capCores - floor + 1
+	if nBranches <= 0 {
+		return nil, Allocation{}, nil, ErrNoAllocation
+	}
+
+	ctx := &bnbCtx{
+		nApps:  nApps,
+		nNodes: m.NumNodes(),
+		floor:  floor,
+		obj:    obj,
+		prune:  prune,
+	}
+	ctx.best.Store(math.Float64bits(math.Inf(-1)))
+	if prune {
+		ctx.ai = make([]float64, nApps)
+		for i, a := range apps {
+			ctx.ai[i] = a.AI
+		}
+		ctx.byAIDesc = make([]int, nApps)
+		for i := range ctx.byAIDesc {
+			ctx.byAIDesc[i] = i
+		}
+		// Insertion sort by AI descending (index tie-break for determinism).
+		for a := 1; a < nApps; a++ {
+			x := ctx.byAIDesc[a]
+			b := a
+			for b > 0 && ctx.ai[ctx.byAIDesc[b-1]] < ctx.ai[x] {
+				ctx.byAIDesc[b] = ctx.byAIDesc[b-1]
+				b--
+			}
+			ctx.byAIDesc[b] = x
+		}
+		ctx.sufMaxAI = make([]float64, nApps+1)
+		for i := nApps - 1; i >= 0; i-- {
+			ctx.sufMaxAI[i] = max(ctx.sufMaxAI[i+1], ctx.ai[i])
+		}
+		for _, n := range m.Nodes {
+			ctx.sumPeak += n.PeakGFLOPS
+			ctx.totalBW += n.MemBandwidth
+		}
+	}
+
+	workers := s.Parallelism
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > nBranches {
+		workers = nBranches
+	}
+	if estimateLeaves(capCores-floor*nApps, nApps) <= seqLeafThreshold {
+		workers = 1
+	}
+
+	results := make([]branchResult, nBranches)
+	runWorker := func() error {
+		ev, err := s.acquire(m, apps)
+		if err != nil {
+			return err
+		}
+		defer s.release(ev)
+		w := &bnbWorker{
+			ctx:    ctx,
+			ev:     ev,
+			counts: make([]int, nApps),
+			al:     NewAllocation(nApps, ctx.nNodes),
+			res:    &Result{},
+		}
+		for {
+			b := int(ctx.next.Add(1)) - 1
+			if b >= nBranches {
+				return nil
+			}
+			w.branchBest = -1.0
+			w.setRow(0, floor+b)
+			w.rec(1, capCores-(floor+b))
+			if w.branchBest > -1.0 {
+				results[b] = branchResult{
+					score:  w.branchBest,
+					counts: append([]int(nil), w.branchCounts...),
+				}
+			}
+		}
+	}
+
+	var firstErr error
+	if workers <= 1 {
+		firstErr = runWorker()
+	} else {
+		errs := make([]error, workers)
+		var wg sync.WaitGroup
+		for wi := 0; wi < workers; wi++ {
+			wg.Add(1)
+			go func(wi int) {
+				defer wg.Done()
+				errs[wi] = runWorker()
+			}(wi)
+		}
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				firstErr = err
+				break
+			}
+		}
+	}
+	if firstErr != nil {
+		// Invalid (machine, apps) inputs: the reference enumeration skips
+		// every candidate and reports no feasible allocation.
+		return nil, Allocation{}, nil, ErrNoAllocation
+	}
+
+	// Deterministic reduction in branch order: strict > keeps the first
+	// achiever of the maximum, matching the sequential scan.
+	best := -1.0
+	var bestCounts []int
+	for b := range results {
+		if results[b].counts != nil && results[b].score > best {
+			best, bestCounts = results[b].score, results[b].counts
+		}
+	}
+	if bestCounts == nil {
+		return nil, Allocation{}, nil, ErrNoAllocation
+	}
+	al, err := PerNodeCounts(m, bestCounts)
+	if err != nil {
+		return nil, Allocation{}, nil, err
+	}
+	// The returned Result comes from the reference model so callers get
+	// reference-bitwise outputs no matter which path found the optimum.
+	res, err := Evaluate(m, apps, al)
+	if err != nil {
+		return nil, Allocation{}, nil, err
+	}
+	return bestCounts, al, res, nil
+}
+
+// BestPerNodeCounts is BestPerNodeCountsFloor with no floor.
+func (s *Search) BestPerNodeCounts(m *machine.Machine, apps []App, obj Objective) ([]int, Allocation, *Result, error) {
+	return s.BestPerNodeCountsFloor(m, apps, obj, 0)
+}
+
+// estimateLeaves returns the number of candidates: compositions of at
+// most budget extra cores over n apps, C(budget+n, n), saturating well
+// above the sequential threshold.
+func estimateLeaves(budget, n int) int64 {
+	if budget < 0 {
+		return 0
+	}
+	v := int64(1)
+	for i := 1; i <= n; i++ {
+		v = v * int64(budget+i) / int64(i)
+		if v > 1<<40 {
+			return 1 << 40
+		}
+	}
+	return v
+}
+
+// objIsTotalGFLOPS reports whether obj is the package's TotalGFLOPS
+// function; the branch-and-bound upper bound is only sound for it.
+func objIsTotalGFLOPS(obj Objective) bool {
+	return reflect.ValueOf(obj).Pointer() == reflect.ValueOf(Objective(TotalGFLOPS)).Pointer()
+}
