@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench benchall chaos check fmt
+.PHONY: all build vet test race bench benchall chaos fuzz check fmt
 
 all: check
 
@@ -33,10 +33,17 @@ benchall:
 	$(GO) test -bench . -benchmem -run '^$$' ./...
 
 # Fault-tolerance suite: kill/restart a real daemon mid-workload under
-# injected transport faults, clock-skewed TTL expiry, and server-side
-# fault storms (see internal/ctrlplane/chaos_test.go).
+# injected transport faults, clock-skewed TTL expiry, server-side fault
+# storms (see internal/ctrlplane/chaos_test.go), and the HA scenario —
+# leader killed mid-heartbeat-storm, promotion within the lease bound
+# (see internal/ctrlplane/replica/replica_test.go).
 chaos:
-	$(GO) test -race -count 1 -run 'TestChaos' -v ./internal/ctrlplane/
+	$(GO) test -race -count 1 -run 'TestChaos' -v ./internal/ctrlplane/ ./internal/ctrlplane/replica/
+
+# 30s coverage-guided smoke over the incremental-evaluator equivalence
+# property; regressions in the fast path show up as counterexamples.
+fuzz:
+	$(GO) test -fuzz FuzzEvaluatorEquivalence -fuzztime 30s -run '^$$' ./internal/roofline/
 
 check: build vet race
 

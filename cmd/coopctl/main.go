@@ -64,6 +64,8 @@ func main() {
 		err = cmdDemo(ctx, c, args)
 	case "health":
 		err = cmdHealth(ctx, c)
+	case "status":
+		err = cmdStatus(ctx, c)
 	default:
 		usage()
 		os.Exit(2)
@@ -75,7 +77,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: coopctl [-server URL] <register|heartbeat|deregister|apps|alloc|machine|watch|demo|health> [flags]")
+	fmt.Fprintln(os.Stderr, "usage: coopctl [-server URL] <register|heartbeat|deregister|apps|alloc|machine|watch|demo|health|status> [flags]")
 }
 
 func cmdRegister(ctx context.Context, c *client.Client, args []string) error {
@@ -277,5 +279,36 @@ func cmdHealth(ctx context.Context, c *client.Client) error {
 	}
 	fmt.Printf("%s: machine %s, %d apps, generation %d, up %.1fs\n",
 		h.Status, h.Machine, h.Apps, h.Generation, h.UptimeSeconds)
+	return nil
+}
+
+// cmdStatus shows the replica's role, lease, fencing epoch, and
+// replication lag. A standalone daemon 404s the endpoint; that is
+// rendered, not errored.
+func cmdStatus(ctx context.Context, c *client.Client) error {
+	st, err := c.ReplicaStatus(ctx)
+	if err != nil {
+		if client.IsNotFound(err) {
+			fmt.Println("standalone (not replicated)")
+			return nil
+		}
+		return err
+	}
+	fmt.Printf("%s %s (epoch %d, generation %d)\n", st.Role, st.Self, st.Epoch, st.Generation)
+	if st.Leader != "" {
+		fmt.Printf("  leader: %s\n", st.Leader)
+	}
+	fmt.Printf("  lease remaining: %dms\n", st.LeaseRemainingMillis)
+	fmt.Printf("  applied seq: %d", st.AppliedSeq)
+	if st.Role == "follower" {
+		fmt.Printf(", replication lag: %dms", st.LagMillis)
+	}
+	fmt.Println()
+	if st.Promotions > 0 {
+		fmt.Printf("  promotions: %d\n", st.Promotions)
+	}
+	if len(st.Peers) > 0 {
+		fmt.Printf("  peers: %v\n", st.Peers)
+	}
 	return nil
 }

@@ -19,6 +19,17 @@
 // are fsynced before they are acknowledged unless -write-behind relaxes
 // that to a periodic background flush.
 //
+// High availability (requires -state-dir):
+//
+//	coopd -self http://a:8377 -peers http://b:8377 -state-dir dirA            # bootstrap leader
+//	coopd -self http://b:8377 -peers http://a:8377 -state-dir dirB \
+//	      -replica-of http://a:8377                                           # joining follower
+//
+// Replicas form a leader/follower group: the leader streams its journal
+// over GET /v1/replicate, followers serve reads and redirect writes
+// (421 + the leader's URL), and when the leader goes silent past
+// -lease-ttl a follower promotes itself with a higher fencing epoch.
+//
 // Endpoints: POST /v1/register, POST /v1/heartbeat,
 // DELETE /v1/apps/{id}, GET /v1/apps, GET /v1/allocations,
 // GET /v1/machine, GET /healthz, GET /metricsz, GET /tracez. See
@@ -34,11 +45,13 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"repro/internal/ctrlplane"
 	"repro/internal/ctrlplane/persist"
+	"repro/internal/ctrlplane/replica"
 	"repro/internal/machine"
 )
 
@@ -55,6 +68,11 @@ func main() {
 	sweep := flag.Duration("sweep", 0, "eviction scan interval (default ttl/4)")
 	stateDir := flag.String("state-dir", "", "directory for the registry snapshot + journal (empty: in-memory only, no crash recovery)")
 	writeBehind := flag.Bool("write-behind", false, "relax registration durability from fsync-per-write to a periodic background flush")
+	self := flag.String("self", "", "this replica's advertised base URL (enables HA when -peers is set)")
+	peers := flag.String("peers", "", "comma-separated peer replica URLs (enables HA; requires -self and -state-dir)")
+	replicaOf := flag.String("replica-of", "", "join as a follower of this leader URL (default: bootstrap as leader)")
+	leaseTTL := flag.Duration("lease-ttl", 2*time.Second, "leader lease: how long the leader may go silent before a follower promotes")
+	maxInFlight := flag.Int("max-inflight", 0, "max concurrent requests per endpoint before shedding with 503 (0: unbounded)")
 	flag.Parse()
 
 	m, err := loadMachine(*machineName)
@@ -80,14 +98,33 @@ func main() {
 		DefaultTTL:    *ttl,
 		SweepInterval: *sweep,
 		Store:         store,
+		MaxInFlight:   *maxInFlight,
 	})
 	if err != nil {
 		log.Fatalf("coopd: %v", err)
 	}
 
+	handler := srv.Handler()
+	var node *replica.Node
+	if *peers != "" || *self != "" {
+		node, err = replica.NewNode(replica.Config{
+			Self:       *self,
+			Peers:      splitPeers(*peers),
+			Server:     srv,
+			LeaseTTL:   *leaseTTL,
+			Bootstrap:  *replicaOf == "",
+			LeaderHint: *replicaOf,
+			Logf:       log.Printf,
+		})
+		if err != nil {
+			log.Fatalf("coopd: %v", err)
+		}
+		handler = node.Handler()
+	}
+
 	hs := &http.Server{
 		Addr:    *addr,
-		Handler: limitBodies(srv.Handler()),
+		Handler: limitBodies(handler),
 		// Slowloris / stuck-peer protection: a client that trickles its
 		// headers or body can't pin a connection open indefinitely.
 		ReadHeaderTimeout: 5 * time.Second,
@@ -100,6 +137,11 @@ func main() {
 
 	srv.Start()
 	defer srv.Close()
+	if node != nil {
+		node.Start()
+		defer node.Close()
+		log.Printf("coopd: replica %s starting as %s (peers %v, lease %s)", *self, node.Role(), splitPeers(*peers), *leaseTTL)
+	}
 	errc := make(chan error, 1)
 	go func() { errc <- hs.ListenAndServe() }()
 	log.Printf("coopd: serving %s (policy %s, ttl %s) on %s", m, *policy, *ttl, *addr)
@@ -127,6 +169,17 @@ func limitBodies(next http.Handler) http.Handler {
 		}
 		next.ServeHTTP(w, r)
 	})
+}
+
+// splitPeers parses the comma-separated -peers list.
+func splitPeers(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
 }
 
 // loadMachine resolves a named topology or reads one from a JSON file.

@@ -13,7 +13,9 @@ import (
 	"math/rand"
 	"net/http"
 	"net/url"
+	"strconv"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/ctrlplane"
@@ -33,6 +35,9 @@ type APIError struct {
 	// Code is the server's machine-readable cause (may be empty for
 	// older servers or non-ctrlplane intermediaries).
 	Code string
+	// Leader is the current leader's URL on not_leader redirects from a
+	// replica follower.
+	Leader string
 }
 
 // Error implements error.
@@ -60,6 +65,21 @@ func IsUnknownApp(err error) bool {
 	return errors.Is(err, ErrUnknownApp)
 }
 
+// IsNotLeader reports whether a replica follower redirected the request
+// (421 + not_leader). The APIError's Leader field, when set, names
+// where to go instead.
+func IsNotLeader(err error) bool {
+	var ae *APIError
+	return errors.As(err, &ae) && ae.Code == ctrlplane.ErrCodeNotLeader
+}
+
+// IsOverloaded reports whether the server shed the request (503 +
+// overloaded); the honest reaction is to back off, not hammer.
+func IsOverloaded(err error) bool {
+	var ae *APIError
+	return errors.As(err, &ae) && ae.Code == ctrlplane.ErrCodeOverloaded
+}
+
 // Config tunes a Client.
 type Config struct {
 	// HTTPClient is the transport (default: a dedicated http.Client).
@@ -85,6 +105,11 @@ type Client struct {
 	// rnd is the jitter source (the shared math/rand default); tests
 	// swap in a seeded function for deterministic schedules.
 	rnd func() float64
+	// lastEpoch / lastLeader mirror the X-Coop-Epoch / X-Coop-Leader
+	// response headers a replica stamps on every reply; the Resilient
+	// multi-endpoint wrapper fences and fails over with them.
+	lastEpoch  atomic.Uint64
+	lastLeader atomic.Pointer[string]
 }
 
 // New creates a client for the server at baseURL (e.g.
@@ -198,19 +223,21 @@ func (c *Client) once(ctx context.Context, method, path string, body []byte, out
 		return true, err
 	}
 	defer resp.Body.Close()
+	c.observeReplicaHeaders(resp)
 	data, err := io.ReadAll(io.LimitReader(resp.Body, 4<<20))
 	if err != nil {
 		return true, fmt.Errorf("ctrlplane: reading response: %w", err)
 	}
 	if resp.StatusCode >= 400 {
 		msg := strings.TrimSpace(string(data))
-		var code string
+		var code, leader string
 		var er ctrlplane.ErrorResponse
 		if json.Unmarshal(data, &er) == nil && er.Error != "" {
 			msg = er.Error
 			code = er.Code
+			leader = er.Leader
 		}
-		return resp.StatusCode >= 500, &APIError{Status: resp.StatusCode, Message: msg, Code: code}
+		return resp.StatusCode >= 500, &APIError{Status: resp.StatusCode, Message: msg, Code: code, Leader: leader}
 	}
 	if out != nil && len(data) > 0 {
 		if err := json.Unmarshal(data, out); err != nil {
@@ -218,6 +245,45 @@ func (c *Client) once(ctx context.Context, method, path string, body []byte, out
 		}
 	}
 	return false, nil
+}
+
+// observeReplicaHeaders records the replica metadata a HA server stamps
+// on every response (standalone servers send neither header).
+func (c *Client) observeReplicaHeaders(resp *http.Response) {
+	if v := resp.Header.Get(ctrlplane.HeaderEpoch); v != "" {
+		if epoch, err := strconv.ParseUint(v, 10, 64); err == nil {
+			c.lastEpoch.Store(epoch)
+		}
+	}
+	if v := resp.Header.Get(ctrlplane.HeaderLeader); v != "" {
+		c.lastLeader.Store(&v)
+	}
+}
+
+// LastEpoch returns the fencing epoch from the most recent response (0
+// when talking to a standalone server).
+func (c *Client) LastEpoch() uint64 { return c.lastEpoch.Load() }
+
+// LastLeader returns the leader URL from the most recent response (""
+// when unknown or standalone).
+func (c *Client) LastLeader() string {
+	if p := c.lastLeader.Load(); p != nil {
+		return *p
+	}
+	return ""
+}
+
+// BaseURL returns the endpoint this client targets.
+func (c *Client) BaseURL() string { return c.base }
+
+// ReplicaStatus reads /v1/replica/status. A standalone (non-replicated)
+// daemon answers 404; callers render that as "standalone".
+func (c *Client) ReplicaStatus(ctx context.Context) (*ctrlplane.ReplicaStatusResponse, error) {
+	var resp ctrlplane.ReplicaStatusResponse
+	if err := c.do(ctx, http.MethodGet, "/v1/replica/status", nil, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
 }
 
 // Register announces an application and returns its ID and first

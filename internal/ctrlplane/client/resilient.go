@@ -4,6 +4,8 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math/rand"
+	"strings"
 	"sync"
 	"time"
 
@@ -12,9 +14,14 @@ import (
 	"repro/internal/roofline"
 )
 
-// ErrCircuitOpen is returned when the breaker refuses a call and no
-// degraded answer (cached or locally solved) is available.
+// ErrCircuitOpen is returned when every endpoint's breaker refuses a
+// call and no degraded answer (cached or locally solved) is available.
 var ErrCircuitOpen = errors.New("ctrlplane: circuit breaker open (daemon unreachable)")
+
+// ErrStaleReplica marks a response fenced off because its (epoch,
+// generation) regressed below what this client has already seen — the
+// answering replica is a deposed leader or a lagging follower.
+var ErrStaleReplica = errors.New("ctrlplane: stale replica response (fenced by epoch/generation)")
 
 // Source says where a degraded-capable read was answered from.
 type Source int
@@ -47,35 +54,59 @@ func (s Source) String() string {
 // ResilientConfig tunes a Resilient client.
 type ResilientConfig struct {
 	// BreakerThreshold is the consecutive transport-failure count that
-	// trips the circuit open (default 3).
+	// trips an endpoint's circuit open (default 3).
 	BreakerThreshold int
-	// BreakerCooldown is how long the circuit stays open before a
+	// BreakerCooldown is how long a circuit stays open before a
 	// half-open probe (default 2s).
 	BreakerCooldown time.Duration
 	// LocalPolicy is the solver policy for local fallback solves
 	// (default the server's roofline policy).
 	LocalPolicy string
-	// Clock is the breaker's time source (nil: time.Now).
+	// HeartbeatJitter is the fractional spread j applied by
+	// NextHeartbeatIn: each interval is drawn uniformly from
+	// [1-j, 1+j] x nominal, plus a one-shot desync splay after a
+	// failover. Default 0.2; negative disables jitter. Without it,
+	// every client that failed over together heartbeats the new leader
+	// in lockstep — a thundering herd at exactly the moment the
+	// promoted follower is busiest.
+	HeartbeatJitter float64
+	// Rand is the jitter source (nil: math/rand); tests inject a seeded
+	// function for deterministic schedules.
+	Rand func() float64
+	// Clock is the breakers' time source (nil: time.Now).
 	Clock func() time.Time
 }
 
-// Resilient wraps Client with graceful degradation: a circuit breaker
-// over the transport, the last-known-good allocation and the topology
-// it was computed against, a local solver fallback, and automatic
-// re-registration when a heartbeat reports the app unknown (evicted, or
-// the daemon restarted without this app's state).
-//
-// During a daemon outage Allocations keeps answering — first from
-// cache, else from a local roofline solve over the demand this client
-// knows about — instead of erroring, so the application never stalls on
-// the control plane.
-type Resilient struct {
+// endpoint is one replica URL with its own client and circuit breaker:
+// one replica being down must not poison calls to the others.
+type endpoint struct {
 	c  *Client
 	br *Breaker
+}
 
+// Resilient wraps one or more endpoints with graceful degradation: a
+// per-endpoint circuit breaker, leader discovery and transparent
+// failover across replicas, epoch/generation fencing of stale replicas,
+// the last-known-good allocation, a local solver fallback, and
+// automatic re-registration when a heartbeat reports the app unknown
+// (evicted, daemon restarted, or a fresh leader promoted without this
+// app's latest state).
+//
+// During an outage Allocations keeps answering — first from another
+// replica, then from cache, else from a local roofline solve — instead
+// of erroring, so the application never stalls on the control plane.
+type Resilient struct {
+	eps    []*endpoint
+	cfg    ResilientConfig
 	solver *ctrlplane.Solver
+	rnd    func() float64
 
 	mu          sync.Mutex
+	cur         int // preferred endpoint (last known good / leader)
+	maxEpoch    uint64
+	maxGen      uint64
+	failovers   uint64
+	desync      bool // one extra heartbeat splay pending after failover
 	machine     *machine.Machine
 	lastAlloc   *ctrlplane.AllocationsResponse
 	localDemand []ctrlplane.RegisterRequest
@@ -85,27 +116,89 @@ type Resilient struct {
 	reRegisters uint64
 }
 
-// NewResilient builds the wrapper around an existing Client.
+// NewResilient builds the wrapper around one existing Client.
 func NewResilient(c *Client, cfg ResilientConfig) (*Resilient, error) {
+	return newResilient([]*Client{c}, cfg)
+}
+
+// NewResilientEndpoints builds the wrapper over a replica group: one
+// client+breaker per URL, calls routed to the leader (discovered via
+// not_leader redirects and response headers) with transparent failover
+// to the next endpoint when the current one dies.
+func NewResilientEndpoints(endpoints []string, ccfg Config, rcfg ResilientConfig) (*Resilient, error) {
+	if len(endpoints) == 0 {
+		return nil, errors.New("ctrlplane: no endpoints configured")
+	}
+	clients := make([]*Client, len(endpoints))
+	for i, e := range endpoints {
+		clients[i] = New(e, ccfg)
+	}
+	return newResilient(clients, rcfg)
+}
+
+func newResilient(clients []*Client, cfg ResilientConfig) (*Resilient, error) {
 	if cfg.LocalPolicy == "" {
 		cfg.LocalPolicy = ctrlplane.PolicyRoofline
+	}
+	if cfg.HeartbeatJitter == 0 {
+		cfg.HeartbeatJitter = 0.2
+	}
+	if cfg.Rand == nil {
+		cfg.Rand = rand.Float64
 	}
 	solver, err := ctrlplane.NewSolver(cfg.LocalPolicy)
 	if err != nil {
 		return nil, err
 	}
-	return &Resilient{
-		c:      c,
-		br:     NewBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown, cfg.Clock),
-		solver: solver,
-	}, nil
+	r := &Resilient{cfg: cfg, solver: solver, rnd: cfg.Rand}
+	for _, c := range clients {
+		r.eps = append(r.eps, &endpoint{
+			c:  c,
+			br: NewBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown, cfg.Clock),
+		})
+	}
+	return r, nil
 }
 
-// Client returns the wrapped plain client.
-func (r *Resilient) Client() *Client { return r.c }
+// Client returns the currently preferred endpoint's plain client.
+func (r *Resilient) Client() *Client {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.eps[r.cur].c
+}
 
-// BreakerState exposes the circuit position for monitoring.
-func (r *Resilient) BreakerState() BreakerState { return r.br.State() }
+// Endpoints returns the configured endpoint URLs in order.
+func (r *Resilient) Endpoints() []string {
+	urls := make([]string, len(r.eps))
+	for i, ep := range r.eps {
+		urls[i] = ep.c.BaseURL()
+	}
+	return urls
+}
+
+// BreakerState exposes the preferred endpoint's circuit position.
+func (r *Resilient) BreakerState() BreakerState {
+	r.mu.Lock()
+	ep := r.eps[r.cur]
+	r.mu.Unlock()
+	return ep.br.State()
+}
+
+// Failovers counts preferred-endpoint switches (leader changes and
+// dead-endpoint evictions).
+func (r *Resilient) Failovers() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.failovers
+}
+
+// Epoch returns the highest fencing epoch observed across endpoints (0
+// against standalone servers).
+func (r *Resilient) Epoch() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.maxEpoch
+}
 
 // ID returns the app's current registration ID ("" before Register).
 // It changes when an eviction forces a re-registration.
@@ -122,24 +215,151 @@ func (r *Resilient) ReRegisters() uint64 {
 	return r.reRegisters
 }
 
-// record classifies an outcome for the breaker: any response from the
-// server — including 4xx rejections — proves the daemon alive; only
-// transport-level failures (after the client's own retries) count
-// against the circuit.
-func (r *Resilient) record(err error) {
-	var ae *APIError
-	r.br.Record(err == nil || errors.As(err, &ae))
+// NextHeartbeatIn returns how long to wait before the next heartbeat,
+// given the nominal interval: uniformly jittered by HeartbeatJitter,
+// plus a one-shot extra splay right after a failover so a fleet that
+// switched leaders together does not re-synchronize into a thundering
+// herd against the freshly promoted follower.
+func (r *Resilient) NextHeartbeatIn(interval time.Duration) time.Duration {
+	j := r.cfg.HeartbeatJitter
+	if j < 0 || interval <= 0 {
+		return interval
+	}
+	r.mu.Lock()
+	desync := r.desync
+	r.desync = false
+	r.mu.Unlock()
+	f := 1 - j + 2*j*r.rnd()
+	d := time.Duration(f * float64(interval))
+	if desync {
+		d += time.Duration(j * r.rnd() * float64(interval))
+	}
+	if d < time.Millisecond {
+		d = time.Millisecond
+	}
+	return d
+}
+
+// fence checks a successful response's (epoch, generation) against the
+// high-water mark and advances it. A regression means a stale replica
+// answered; the response must be discarded, not believed.
+func (r *Resilient) fence(epoch, gen uint64, hasGen bool) (stale bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if epoch < r.maxEpoch {
+		return true
+	}
+	if epoch == r.maxEpoch && hasGen && gen < r.maxGen {
+		return true
+	}
+	if epoch > r.maxEpoch {
+		// New leader: generations restart monotonically above the old
+		// ones (Promote bumps through the journal), but reset the gen
+		// watermark anyway so the epoch is what fences across reigns.
+		r.maxEpoch = epoch
+		r.maxGen = 0
+	}
+	if hasGen && gen > r.maxGen {
+		r.maxGen = gen
+	}
+	return false
+}
+
+// adopt makes endpoint i the preferred one.
+func (r *Resilient) adopt(i int) {
+	r.mu.Lock()
+	if r.cur != i {
+		r.cur = i
+		r.failovers++
+		r.desync = true
+	}
+	r.mu.Unlock()
+}
+
+// endpointIndex resolves a leader URL (from a not_leader redirect or a
+// response header) to a configured endpoint.
+func (r *Resilient) endpointIndex(url string) (int, bool) {
+	url = strings.TrimRight(url, "/")
+	for i, ep := range r.eps {
+		if ep.c.BaseURL() == url {
+			return i, true
+		}
+	}
+	return 0, false
+}
+
+// call runs fn against the replica group: preferred endpoint first,
+// failing over on transport errors and open breakers, chasing
+// not_leader redirects to the named leader, and fencing stale replicas
+// by (epoch, generation). fn returns the response's generation (and
+// whether it has one) for the fence. Non-redirect API errors surface
+// immediately — the daemon is alive and said no.
+func (r *Resilient) call(ctx context.Context, fn func(*Client) (uint64, bool, error)) error {
+	r.mu.Lock()
+	idx := r.cur
+	n := len(r.eps)
+	r.mu.Unlock()
+	tries := n
+	if n > 1 {
+		// Extra lap so redirect-chasing (follower -> named leader) can
+		// revisit an endpoint already tried as a guess.
+		tries = 2 * n
+	}
+	var lastErr error
+	for attempt := 0; attempt < tries; attempt++ {
+		ep := r.eps[idx%n]
+		if !ep.br.Allow() {
+			idx++
+			continue
+		}
+		gen, hasGen, err := fn(ep.c)
+		if err == nil {
+			ep.br.Record(true)
+			if r.fence(ep.c.LastEpoch(), gen, hasGen) {
+				lastErr = ErrStaleReplica
+				idx++
+				continue
+			}
+			r.adopt(idx % n)
+			return nil
+		}
+		var ae *APIError
+		if errors.As(err, &ae) {
+			ep.br.Record(true) // alive enough to say no
+			if ae.Code == ctrlplane.ErrCodeNotLeader {
+				lastErr = err
+				if j, ok := r.endpointIndex(ae.Leader); ok && j != idx%n {
+					idx = j
+				} else {
+					idx++
+				}
+				continue
+			}
+			return err
+		}
+		ep.br.Record(false)
+		lastErr = err
+		idx++
+	}
+	if lastErr == nil {
+		return ErrCircuitOpen
+	}
+	return lastErr
 }
 
 // Register announces the application, remembers the request for later
 // automatic re-registration, and caches the machine topology for local
 // fallback solves.
 func (r *Resilient) Register(ctx context.Context, req ctrlplane.RegisterRequest) (*ctrlplane.RegisterResponse, error) {
-	if !r.br.Allow() {
-		return nil, ErrCircuitOpen
-	}
-	resp, err := r.c.Register(ctx, req)
-	r.record(err)
+	var resp *ctrlplane.RegisterResponse
+	err := r.call(ctx, func(c *Client) (uint64, bool, error) {
+		rr, err := c.Register(ctx, req)
+		if err != nil {
+			return 0, false, err
+		}
+		resp = rr
+		return rr.Generation, true, nil
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -153,7 +373,7 @@ func (r *Resilient) Register(ctx context.Context, req ctrlplane.RegisterRequest)
 	needMachine := r.machine == nil
 	r.mu.Unlock()
 	if needMachine {
-		if mr, merr := r.c.Machine(ctx); merr == nil && mr.Machine != nil {
+		if mr, merr := r.Client().Machine(ctx); merr == nil && mr.Machine != nil {
 			r.mu.Lock()
 			r.machine = mr.Machine
 			r.mu.Unlock()
@@ -188,14 +408,12 @@ func (r *Resilient) Machine() *machine.Machine {
 }
 
 // Heartbeat refreshes liveness. If the daemon reports the app unknown —
-// it was evicted, or restarted without this app's state — the wrapper
-// re-registers with the remembered spec and retries the heartbeat under
-// the new ID, so callers see at most a changed allocation, never an
-// "unknown app" error loop.
+// it was evicted, the daemon restarted without this app's state, or a
+// freshly promoted leader never saw it — the wrapper re-registers with
+// the remembered spec and retries the heartbeat under the new ID, so
+// callers see at most a changed allocation, never an "unknown app"
+// error loop.
 func (r *Resilient) Heartbeat(ctx context.Context, hb ctrlplane.HeartbeatRequest) (*ctrlplane.HeartbeatResponse, error) {
-	if !r.br.Allow() {
-		return nil, ErrCircuitOpen
-	}
 	r.mu.Lock()
 	if hb.ID == "" {
 		hb.ID = r.id
@@ -203,17 +421,39 @@ func (r *Resilient) Heartbeat(ctx context.Context, hb ctrlplane.HeartbeatRequest
 	req, registered := r.regReq, r.registered
 	r.mu.Unlock()
 
-	resp, err := r.c.Heartbeat(ctx, hb)
-	r.record(err)
+	doHB := func(id string) (*ctrlplane.HeartbeatResponse, error) {
+		h := hb
+		h.ID = id
+		var resp *ctrlplane.HeartbeatResponse
+		err := r.call(ctx, func(c *Client) (uint64, bool, error) {
+			hr, err := c.Heartbeat(ctx, h)
+			if err != nil {
+				return 0, false, err
+			}
+			resp = hr
+			return hr.Generation, true, nil
+		})
+		return resp, err
+	}
+
+	resp, err := doHB(hb.ID)
 	if err == nil {
 		return resp, nil
 	}
 	if !IsUnknownApp(err) || !registered {
 		return nil, err
 	}
-	// Evicted: re-register and retry once under the fresh ID.
-	reg, rerr := r.c.Register(ctx, req)
-	r.record(rerr)
+	// Evicted (or the new leader never knew us): re-register and retry
+	// once under the fresh ID.
+	var reg *ctrlplane.RegisterResponse
+	rerr := r.call(ctx, func(c *Client) (uint64, bool, error) {
+		rr, err := c.Register(ctx, req)
+		if err != nil {
+			return 0, false, err
+		}
+		reg = rr
+		return rr.Generation, true, nil
+	})
 	if rerr != nil {
 		return nil, fmt.Errorf("re-registering after eviction: %w (original: %v)", rerr, err)
 	}
@@ -221,16 +461,11 @@ func (r *Resilient) Heartbeat(ctx context.Context, hb ctrlplane.HeartbeatRequest
 	r.id = reg.ID
 	r.reRegisters++
 	r.mu.Unlock()
-	hb.ID = reg.ID
-	resp, err = r.c.Heartbeat(ctx, hb)
-	r.record(err)
-	if err != nil {
-		return nil, err
-	}
-	return resp, nil
+	return doHB(reg.ID)
 }
 
-// Deregister removes the app (pass-through with breaker accounting).
+// Deregister removes the app (pass-through with failover and breaker
+// accounting).
 func (r *Resilient) Deregister(ctx context.Context) error {
 	r.mu.Lock()
 	id := r.id
@@ -239,34 +474,36 @@ func (r *Resilient) Deregister(ctx context.Context) error {
 	if id == "" {
 		return nil
 	}
-	if !r.br.Allow() {
-		return ErrCircuitOpen
-	}
-	err := r.c.Deregister(ctx, id)
-	r.record(err)
-	return err
+	return r.call(ctx, func(c *Client) (uint64, bool, error) {
+		return 0, false, c.Deregister(ctx, id)
+	})
 }
 
 // Allocations reads the machine-wide allocation table, degrading
-// gracefully: live from the daemon when reachable; otherwise the
+// gracefully: live from a reachable, non-stale replica; otherwise the
 // last-known-good table; otherwise a local solve over the demand this
 // client knows. The Source return says which one answered.
 func (r *Resilient) Allocations(ctx context.Context) (*ctrlplane.AllocationsResponse, Source, error) {
-	if r.br.Allow() {
-		resp, err := r.c.Allocations(ctx)
-		r.record(err)
-		if err == nil {
-			r.mu.Lock()
-			r.lastAlloc = copyAllocations(resp)
-			r.mu.Unlock()
-			return resp, SourceLive, nil
+	var resp *ctrlplane.AllocationsResponse
+	err := r.call(ctx, func(c *Client) (uint64, bool, error) {
+		ar, err := c.Allocations(ctx)
+		if err != nil {
+			return 0, false, err
 		}
-		var ae *APIError
-		if errors.As(err, &ae) {
-			// The daemon is alive and rejected us; degrading would mask a
-			// real error, so surface it.
-			return nil, SourceLive, err
-		}
+		resp = ar
+		return ar.Generation, true, nil
+	})
+	if err == nil {
+		r.mu.Lock()
+		r.lastAlloc = copyAllocations(resp)
+		r.mu.Unlock()
+		return resp, SourceLive, nil
+	}
+	var ae *APIError
+	if errors.As(err, &ae) && ae.Code != ctrlplane.ErrCodeNotLeader {
+		// The daemon is alive and rejected us; degrading would mask a
+		// real error, so surface it.
+		return nil, SourceLive, err
 	}
 	return r.degraded()
 }

@@ -54,24 +54,34 @@ type AppRecord struct {
 
 // Snapshot is the full persisted registry state: the live set and the
 // counters the registry must resume from so client-visible generations
-// stay monotonic across a daemon restart.
+// stay monotonic across a daemon restart. Epoch is the replication
+// fencing epoch (0 for a standalone daemon): it bumps on every leader
+// promotion and must never regress, so it is persisted alongside the
+// generation.
 type Snapshot struct {
 	Generation uint64      `json:"generation"`
 	Seq        uint64      `json:"seq"`
 	Evictions  uint64      `json:"evictions"`
+	Epoch      uint64      `json:"epoch,omitempty"`
 	Apps       []AppRecord `json:"apps"`
 }
 
-// Journal operation names.
+// Journal operation names. Exported because Record is also the wire
+// format of the replication stream (ctrlplane/replica): a follower
+// replays the leader's journal records through the same apply logic.
 const (
-	opRegister   = "register"
-	opHeartbeat  = "heartbeat"
-	opDeregister = "deregister"
-	opEvict      = "evict"
+	OpRegister   = "register"
+	OpHeartbeat  = "heartbeat"
+	OpDeregister = "deregister"
+	OpEvict      = "evict"
+	// OpPromote marks a leadership change: the new leader's epoch and
+	// the generation bump it performed, journaled so neither can regress
+	// across a restart of any replica.
+	OpPromote = "promote"
 )
 
-// record is one journal line.
-type record struct {
+// Record is one journal line — and one replication-stream element.
+type Record struct {
 	Op        string     `json:"op"`
 	App       *AppRecord `json:"app,omitempty"`
 	ID        string     `json:"id,omitempty"`
@@ -81,6 +91,7 @@ type record struct {
 	Gen       uint64     `json:"gen,omitempty"`
 	Seq       uint64     `json:"seq,omitempty"`
 	Evictions uint64     `json:"evictions,omitempty"`
+	Epoch     uint64     `json:"epoch,omitempty"`
 }
 
 // Options tunes a Store.
@@ -115,11 +126,21 @@ type Store struct {
 	gen       uint64
 	seq       uint64
 	evictions uint64
+	epoch     uint64
 
 	restored    Snapshot
 	torn        int
 	compactions uint64
 	flushErr    error
+
+	// observer, when set, sees every appended record in journal order
+	// (called under the store lock — it must not call back into the
+	// store). The replication log tails the journal this way.
+	observer func(Record)
+
+	// syncFn syncs the journal file; swapped in tests to simulate a
+	// failing disk on the write-behind flush path.
+	syncFn func(*os.File) error
 
 	stop chan struct{}
 	done chan struct{}
@@ -139,11 +160,12 @@ func Open(dir string, opts Options) (*Store, error) {
 		return nil, fmt.Errorf("persist: creating state dir: %w", err)
 	}
 	s := &Store{
-		dir:  dir,
-		opts: opts,
-		apps: map[string]AppRecord{},
-		stop: make(chan struct{}),
-		done: make(chan struct{}),
+		dir:    dir,
+		opts:   opts,
+		apps:   map[string]AppRecord{},
+		syncFn: (*os.File).Sync,
+		stop:   make(chan struct{}),
+		done:   make(chan struct{}),
 	}
 	if err := s.load(); err != nil {
 		return nil, err
@@ -181,7 +203,7 @@ func (s *Store) load() error {
 		if err := json.Unmarshal(data, &snap); err != nil {
 			return fmt.Errorf("persist: corrupt snapshot %s: %w", snapshotFile, err)
 		}
-		s.gen, s.seq, s.evictions = snap.Generation, snap.Seq, snap.Evictions
+		s.gen, s.seq, s.evictions, s.epoch = snap.Generation, snap.Seq, snap.Evictions, snap.Epoch
 		for _, a := range snap.Apps {
 			s.apps[a.ID] = a
 		}
@@ -202,7 +224,7 @@ func (s *Store) load() error {
 		if len(line) == 0 {
 			continue
 		}
-		var rec record
+		var rec Record
 		if err := json.Unmarshal(line, &rec); err != nil {
 			// A torn final record is the expected signature of a crash
 			// mid-append: stop replaying — everything before it is intact.
@@ -218,28 +240,33 @@ func (s *Store) load() error {
 }
 
 // applyLocked folds one journal record into the mirror.
-func (s *Store) applyLocked(rec record) {
+func (s *Store) applyLocked(rec Record) {
 	switch rec.Op {
-	case opRegister:
+	case OpRegister:
 		if rec.App != nil {
 			s.apps[rec.App.ID] = *rec.App
 		}
 		s.gen, s.seq = rec.Gen, rec.Seq
-	case opHeartbeat:
+	case OpHeartbeat:
 		if a, ok := s.apps[rec.ID]; ok {
 			a.LastBeat = rec.Beat
 			a.Beats = rec.Beats
 			s.apps[rec.ID] = a
 		}
-	case opDeregister:
+	case OpDeregister:
 		delete(s.apps, rec.ID)
 		s.gen = rec.Gen
-	case opEvict:
+	case OpEvict:
 		for _, id := range rec.IDs {
 			delete(s.apps, id)
 		}
 		s.gen = rec.Gen
 		s.evictions = rec.Evictions
+	case OpPromote:
+		s.gen = rec.Gen
+		if rec.Epoch > s.epoch {
+			s.epoch = rec.Epoch
+		}
 	}
 }
 
@@ -249,6 +276,7 @@ func (s *Store) snapshotLocked() Snapshot {
 		Generation: s.gen,
 		Seq:        s.seq,
 		Evictions:  s.evictions,
+		Epoch:      s.epoch,
 		Apps:       make([]AppRecord, 0, len(s.apps)),
 	}
 	for _, a := range s.apps {
@@ -328,12 +356,18 @@ func (s *Store) compactLocked() error {
 }
 
 // append writes one record. syncNow forces an fsync before returning
-// (ignored under WriteBehind, where the flusher owns syncing).
-func (s *Store) append(rec record, syncNow bool) error {
+// (ignored under WriteBehind, where the flusher owns syncing — but a
+// flusher that has already failed poisons further set mutations, so a
+// broken disk turns into rejected registrations, never into silently
+// unpersisted acknowledgements).
+func (s *Store) append(rec Record, syncNow bool) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
 		return errors.New("persist: store is closed")
+	}
+	if syncNow && s.opts.WriteBehind && s.flushErr != nil {
+		return fmt.Errorf("persist: write-behind flush failed earlier: %w", s.flushErr)
 	}
 	line, err := json.Marshal(rec)
 	if err != nil {
@@ -344,8 +378,11 @@ func (s *Store) append(rec record, syncNow bool) error {
 	}
 	s.applyLocked(rec)
 	s.appended++
+	if s.observer != nil {
+		s.observer(rec)
+	}
 	if syncNow && !s.opts.WriteBehind {
-		if err := s.journal.Sync(); err != nil {
+		if err := s.syncFn(s.journal); err != nil {
 			return fmt.Errorf("persist: syncing journal: %w", err)
 		}
 	}
@@ -360,23 +397,85 @@ func (s *Store) append(rec record, syncNow bool) error {
 // before exposing the new app, so an acknowledged registration is always
 // recoverable.
 func (s *Store) AppendRegister(app AppRecord, gen, seq uint64) error {
-	return s.append(record{Op: opRegister, App: &app, Gen: gen, Seq: seq}, true)
+	return s.append(Record{Op: OpRegister, App: &app, Gen: gen, Seq: seq}, true)
 }
 
 // AppendHeartbeat records a liveness refresh (buffered, never
 // individually fsynced — see the package comment).
 func (s *Store) AppendHeartbeat(id string, beatUnixNano int64, beats uint64) error {
-	return s.append(record{Op: opHeartbeat, ID: id, Beat: beatUnixNano, Beats: beats}, false)
+	return s.append(Record{Op: OpHeartbeat, ID: id, Beat: beatUnixNano, Beats: beats}, false)
 }
 
 // AppendDeregister records an application's departure.
 func (s *Store) AppendDeregister(id string, gen uint64) error {
-	return s.append(record{Op: opDeregister, ID: id, Gen: gen}, true)
+	return s.append(Record{Op: OpDeregister, ID: id, Gen: gen}, true)
 }
 
 // AppendEvict records a liveness eviction sweep.
 func (s *Store) AppendEvict(ids []string, gen, evictions uint64) error {
-	return s.append(record{Op: opEvict, IDs: ids, Gen: gen, Evictions: evictions}, true)
+	return s.append(Record{Op: OpEvict, IDs: ids, Gen: gen, Evictions: evictions}, true)
+}
+
+// AppendPromote records a leadership change: the promoted replica's new
+// fencing epoch and the generation bump it performed. Fsynced — a
+// leader must never forget its own epoch.
+func (s *Store) AppendPromote(gen, epoch uint64) error {
+	return s.append(Record{Op: OpPromote, Gen: gen, Epoch: epoch}, true)
+}
+
+// AppendRecord journals a replicated record verbatim. A follower uses
+// this to mirror the leader's journal into its own store, keeping the
+// leader's generation/sequence numbering so a promoted follower resumes
+// exactly where the stream left off. Set mutations are fsynced;
+// heartbeat refreshes stay buffered, same as the leader's own tiering.
+func (s *Store) AppendRecord(rec Record) error {
+	return s.append(rec, rec.Op != OpHeartbeat)
+}
+
+// SetObserver installs fn to see every appended record in journal
+// order. fn runs under the store lock and must not call back into the
+// store. Pass nil to remove.
+func (s *Store) SetObserver(fn func(Record)) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.observer = fn
+}
+
+// Snapshot returns the store's current state (not the restored-at-open
+// one) — what a replication leader ships to a follower that is too far
+// behind the journal tail.
+func (s *Store) Snapshot() Snapshot {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.snapshotLocked()
+}
+
+// ResetTo replaces the store's entire state with snap and compacts, so
+// the on-disk state is exactly snap. A follower uses this when the
+// leader ships a full snapshot instead of a journal suffix.
+func (s *Store) ResetTo(snap Snapshot) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return errors.New("persist: store is closed")
+	}
+	s.apps = make(map[string]AppRecord, len(snap.Apps))
+	for _, a := range snap.Apps {
+		s.apps[a.ID] = a
+	}
+	s.gen, s.seq, s.evictions = snap.Generation, snap.Seq, snap.Evictions
+	if snap.Epoch > s.epoch {
+		s.epoch = snap.Epoch
+	}
+	return s.compactLocked()
+}
+
+// Epoch returns the highest replication fencing epoch the store has
+// persisted (0 for a standalone daemon).
+func (s *Store) Epoch() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.epoch
 }
 
 // Sync flushes buffered journal bytes to stable storage.
@@ -386,7 +485,7 @@ func (s *Store) Sync() error {
 	if s.closed {
 		return nil
 	}
-	return s.journal.Sync()
+	return s.syncFn(s.journal)
 }
 
 // flusher is the write-behind sync loop.
@@ -401,7 +500,7 @@ func (s *Store) flusher() {
 		case <-t.C:
 			s.mu.Lock()
 			if !s.closed {
-				if err := s.journal.Sync(); err != nil && s.flushErr == nil {
+				if err := s.syncFn(s.journal); err != nil && s.flushErr == nil {
 					s.flushErr = err
 				}
 			}
@@ -433,7 +532,7 @@ func (s *Store) Close() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	err := s.compactLocked()
-	if serr := s.journal.Sync(); err == nil {
+	if serr := s.syncFn(s.journal); err == nil {
 		err = serr
 	}
 	if cerr := s.journal.Close(); err == nil {

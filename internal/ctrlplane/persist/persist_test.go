@@ -1,6 +1,7 @@
 package persist
 
 import (
+	"errors"
 	"os"
 	"path/filepath"
 	"sync"
@@ -227,5 +228,172 @@ func TestClosedStoreRejectsAppends(t *testing.T) {
 	}
 	if err := s.AppendRegister(rec("a-1", 0), 1, 1); err == nil {
 		t.Error("append on a closed store succeeded")
+	}
+}
+
+// TestWriteBehindFlushErrorPoisons: once the background flusher fails,
+// the relaxed-durability contract is void — further set mutations are
+// rejected (persist-or-reject restored) and FlushErr surfaces the cause
+// for /metricsz. Buffered heartbeats still pass: losing a liveness
+// refresh costs one re-armed TTL window, not registry state.
+func TestWriteBehindFlushErrorPoisons(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{WriteBehind: true, FlushInterval: 2 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AppendRegister(rec("a-1", 0), 1, 1); err != nil {
+		t.Fatal(err)
+	}
+
+	// The disk "dies": every sync now fails.
+	diskDied := errors.New("injected: EIO on fsync")
+	s.mu.Lock()
+	s.syncFn = func(*os.File) error { return diskDied }
+	s.mu.Unlock()
+	deadline := time.Now().Add(5 * time.Second)
+	for s.FlushErr() == nil {
+		if time.Now().After(deadline) {
+			t.Fatal("flusher never observed the sync failure")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if !errors.Is(s.FlushErr(), diskDied) {
+		t.Errorf("FlushErr = %v, want the injected failure", s.FlushErr())
+	}
+
+	// Set mutations are refused and name the original failure.
+	if err := s.AppendRegister(rec("b-2", 0), 2, 2); !errors.Is(err, diskDied) {
+		t.Errorf("register after flush failure: err = %v, want rejection wrapping the flush error", err)
+	}
+	if err := s.AppendDeregister("a-1", 3); !errors.Is(err, diskDied) {
+		t.Errorf("deregister after flush failure: err = %v, want rejection wrapping the flush error", err)
+	}
+	// Buffered heartbeats still land (documented degradation).
+	if err := s.AppendHeartbeat("a-1", 200, 2); err != nil {
+		t.Errorf("heartbeat after flush failure: %v (buffered appends should still pass)", err)
+	}
+	s.Close() // errors expected: the injected syncFn still fails
+
+	// The pre-failure registration survives; the rejected one is absent.
+	s2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	snap := s2.Restored()
+	if len(snap.Apps) != 1 || snap.Apps[0].ID != "a-1" {
+		t.Errorf("restored apps = %+v, want just the pre-failure a-1", snap.Apps)
+	}
+}
+
+// TestWriteBehindTornTail: torn-record recovery holds under write-
+// behind too — a crash leaves buffered bytes plus a half-written final
+// line, and reopen (also write-behind) drops only the torn tail.
+func TestWriteBehindTornTail(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{WriteBehind: true, FlushInterval: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AppendRegister(rec("a-1", 0), 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AppendRegister(rec("b-2", 0), 2, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AppendHeartbeat("a-1", 300, 3); err != nil {
+		t.Fatal(err)
+	}
+	// Crash: no Close. Force the OS-buffered bytes out (the "crash"
+	// here is of the process, not the kernel), then tear the tail.
+	if err := s.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	jp := filepath.Join(dir, journalFile)
+	f, err := os.OpenFile(jp, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"op":"heartbeat","id":"a-1","last`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	s2, err := Open(dir, Options{WriteBehind: true})
+	if err != nil {
+		t.Fatalf("write-behind open with torn tail: %v", err)
+	}
+	defer s2.Close()
+	if s2.TornRecords() != 1 {
+		t.Errorf("torn records = %d, want 1", s2.TornRecords())
+	}
+	snap := s2.Restored()
+	if len(snap.Apps) != 2 {
+		t.Fatalf("restored %d apps, want 2: %+v", len(snap.Apps), snap.Apps)
+	}
+	for _, a := range snap.Apps {
+		if a.ID == "a-1" && (a.LastBeat != 300 || a.Beats != 3) {
+			t.Errorf("intact heartbeat before the torn one lost: %+v", a)
+		}
+	}
+}
+
+// TestObserverEpochAndResetRoundTrip: the replication substrate — every
+// append reaches the observer, promotions persist the fencing epoch,
+// and ResetTo replaces the mirror the way a follower snapshot-resync
+// does.
+func TestObserverEpochAndResetRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var seen []Record
+	s.SetObserver(func(r Record) { seen = append(seen, r) })
+	if err := s.AppendRegister(rec("a-1", 0), 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AppendPromote(2, 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AppendHeartbeat("a-1", 400, 4); err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != 3 || seen[0].Op != OpRegister || seen[1].Op != OpPromote || seen[2].Op != OpHeartbeat {
+		t.Fatalf("observer saw %+v, want register/promote/heartbeat", seen)
+	}
+	if seen[1].Epoch != 3 {
+		t.Errorf("promote record epoch = %d, want 3", seen[1].Epoch)
+	}
+	if s.Epoch() != 3 {
+		t.Errorf("epoch = %d, want 3", s.Epoch())
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The epoch survives restart — a rebooted replica can never campaign
+	// below an epoch it already acknowledged.
+	s2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if s2.Epoch() != 3 {
+		t.Errorf("restored epoch = %d, want 3", s2.Epoch())
+	}
+
+	// ResetTo replaces the mirror wholesale (follower snapshot resync).
+	snap := Snapshot{
+		Apps:       []AppRecord{rec("z-9", 0)},
+		Generation: 10, Seq: 9, Epoch: 5,
+	}
+	if err := s2.ResetTo(snap); err != nil {
+		t.Fatal(err)
+	}
+	got := s2.Snapshot()
+	if len(got.Apps) != 1 || got.Apps[0].ID != "z-9" || got.Generation != 10 || got.Epoch != 5 {
+		t.Errorf("after ResetTo: %+v", got)
 	}
 }

@@ -84,6 +84,10 @@ type Registry struct {
 	clock        func() time.Time
 	store        *persist.Store
 	persistFails uint64
+	// sweepsOff disables TTL eviction: a replication follower mirrors
+	// the leader's evict records instead of running its own sweeps, so
+	// the two replicas never disagree about who evicted whom.
+	sweepsOff bool
 }
 
 // NewRegistry creates a registry. defaultTTL is the heartbeat deadline
@@ -268,6 +272,9 @@ func (r *Registry) Deregister(id string) bool {
 func (r *Registry) Sweep() []string {
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	if r.sweepsOff {
+		return nil
+	}
 	now := r.clock()
 	var evicted []string
 	for id, st := range r.apps {
@@ -343,4 +350,125 @@ func (r *Registry) PersistFailures() uint64 {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	return r.persistFails
+}
+
+// SetSweepsEnabled turns TTL eviction on or off. A replication follower
+// disables sweeps (it mirrors the leader's evict records instead); a
+// follower promoted to leader re-enables them.
+func (r *Registry) SetSweepsEnabled(on bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.sweepsOff = !on
+}
+
+// RearmTTLs resets every application's liveness deadline to a full TTL
+// from now. A promoted follower calls this so replication lag in
+// (buffered, best-effort) heartbeat records does not read as a fleet of
+// missed deadlines the moment sweeping resumes.
+func (r *Registry) RearmTTLs() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	now := r.clock()
+	for _, st := range r.apps {
+		st.LastBeat = now
+	}
+}
+
+// Promote marks a leadership change: it bumps the generation (clients
+// re-read allocations under the new leader) and journals a promote
+// record carrying the new fencing epoch, so neither counter can regress
+// across a restart. Returns the new generation.
+func (r *Registry) Promote(epoch uint64) uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.gen++
+	if r.store != nil {
+		if err := r.store.AppendPromote(r.gen, epoch); err != nil {
+			r.persistFails++
+		}
+	}
+	return r.gen
+}
+
+// ApplyRecord folds one replicated journal record from the leader into
+// the registry, keeping the leader's ID/generation/sequence numbering,
+// and mirrors it into this replica's own store. This is the follower
+// half of journal streaming: the same record stream that makes the
+// leader durable makes the follower a replica.
+func (r *Registry) ApplyRecord(rec persist.Record) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	switch rec.Op {
+	case persist.OpRegister:
+		if rec.App == nil {
+			return errors.New("ctrlplane: replicated register without app record")
+		}
+		a := recordToState(*rec.App)
+		r.apps[a.ID] = &a
+		r.gen, r.seq = rec.Gen, rec.Seq
+	case persist.OpHeartbeat:
+		if st, ok := r.apps[rec.ID]; ok {
+			st.LastBeat = time.Unix(0, rec.Beat)
+			st.Beats = rec.Beats
+		}
+	case persist.OpDeregister:
+		delete(r.apps, rec.ID)
+		r.gen = rec.Gen
+	case persist.OpEvict:
+		for _, id := range rec.IDs {
+			delete(r.apps, id)
+		}
+		r.gen = rec.Gen
+		r.evictions = rec.Evictions
+	case persist.OpPromote:
+		r.gen = rec.Gen
+	default:
+		return fmt.Errorf("ctrlplane: unknown replicated op %q", rec.Op)
+	}
+	if r.store != nil {
+		if err := r.store.AppendRecord(rec); err != nil {
+			r.persistFails++
+		}
+	}
+	return nil
+}
+
+// ResetFromSnapshot replaces the registry's entire state with a
+// leader-shipped snapshot (and resets this replica's store to match).
+// Used when a follower is too far behind the leader's journal tail for
+// a suffix to exist — first sync, or rejoin after a partition.
+func (r *Registry) ResetFromSnapshot(snap persist.Snapshot) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.apps = make(map[string]*AppState, len(snap.Apps))
+	for _, rec := range snap.Apps {
+		a := recordToState(rec)
+		r.apps[a.ID] = &a
+	}
+	r.gen, r.seq, r.evictions = snap.Generation, snap.Seq, snap.Evictions
+	if r.store != nil {
+		if err := r.store.ResetTo(snap); err != nil {
+			r.persistFails++
+			return err
+		}
+	}
+	return nil
+}
+
+// PersistSnapshot renders the current registry state in the persist
+// wire form — what a leader ships to a follower needing a full sync.
+func (r *Registry) PersistSnapshot() persist.Snapshot {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	snap := persist.Snapshot{
+		Generation: r.gen,
+		Seq:        r.seq,
+		Evictions:  r.evictions,
+		Apps:       make([]persist.AppRecord, 0, len(r.apps)),
+	}
+	for _, st := range r.apps {
+		snap.Apps = append(snap.Apps, stateToRecord(*st))
+	}
+	sort.Slice(snap.Apps, func(i, j int) bool { return snap.Apps[i].ID < snap.Apps[j].ID })
+	return snap
 }

@@ -39,6 +39,10 @@ type ServerConfig struct {
 	// resumed) and every later mutation is journaled. The caller owns
 	// the store's lifetime and must Close it after the server.
 	Store *persist.Store
+	// MaxInFlight bounds concurrently served requests per endpoint;
+	// excess requests are shed with 503 + Retry-After (and counted in
+	// /metricsz) instead of queueing. 0: unbounded.
+	MaxInFlight int
 }
 
 // Server is the allocation control plane. Create with NewServer, mount
@@ -85,6 +89,7 @@ type endpointStats struct {
 	count  uint64
 	errors uint64
 	lat    *metrics.Series
+	shed   *Shedder
 }
 
 func (e *endpointStats) record(d time.Duration, isErr bool) {
@@ -109,6 +114,7 @@ func (e *endpointStats) view() EndpointMetrics {
 		P50Ms:  st.P50,
 		P95Ms:  st.P95,
 		MaxMs:  st.Max,
+		Shed:   e.shed.Shed(),
 	}
 }
 
@@ -170,6 +176,13 @@ func (s *Server) Handler() http.Handler { return s.mux }
 // Registry exposes the application registry (for embedding and tests).
 func (s *Server) Registry() *Registry { return s.reg }
 
+// Store exposes the crash-recovery store (nil when not configured);
+// the HA replica layer journals and streams through it.
+func (s *Server) Store() *persist.Store { return s.cfg.Store }
+
+// Machine exposes the configured topology.
+func (s *Server) Machine() *machine.Machine { return s.cfg.Machine }
+
 // Start launches the background eviction janitor.
 func (s *Server) Start() {
 	if !s.started.CompareAndSwap(false, true) {
@@ -213,11 +226,21 @@ func (w *statusWriter) WriteHeader(code int) {
 // instrument wraps a handler with request metering and a trace span
 // (one lane per request; pid = endpoint name).
 func (s *Server) instrument(name string, h http.HandlerFunc) http.HandlerFunc {
-	ep := &endpointStats{lat: metrics.NewSeries(name + ".latency_ms")}
+	ep := &endpointStats{
+		lat:  metrics.NewSeries(name + ".latency_ms"),
+		shed: NewShedder(s.cfg.MaxInFlight),
+	}
 	s.epMu.Lock()
 	s.eps[name] = ep
 	s.epMu.Unlock()
 	return func(w http.ResponseWriter, r *http.Request) {
+		// Load shedding runs before metering: a refusal is a constant-
+		// time header write and should not pollute the latency series.
+		if !ep.shed.Acquire() {
+			ep.shed.refuse(w)
+			return
+		}
+		defer ep.shed.Release()
 		t0 := s.cfg.Clock()
 		// Each request gets its own trace lane; past maxTraceSpans the
 		// span is dropped so a long-lived daemon's trace stays bounded.
@@ -513,6 +536,9 @@ func (s *Server) handleMetricsz(w http.ResponseWriter, r *http.Request) {
 			Failures:     s.reg.PersistFailures(),
 			TornRecords:  s.cfg.Store.TornRecords(),
 			Compactions:  s.cfg.Store.Compactions(),
+		}
+		if err := s.cfg.Store.FlushErr(); err != nil {
+			resp.Persist.FlushError = err.Error()
 		}
 	}
 	s.epMu.Lock()

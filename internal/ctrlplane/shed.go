@@ -1,0 +1,79 @@
+package ctrlplane
+
+import (
+	"net/http"
+	"sync/atomic"
+)
+
+// Shedder bounds the number of in-flight requests through one handler.
+// When the bound is full, excess requests are refused immediately with
+// 503 + Retry-After instead of queueing — under overload (e.g. a fleet
+// re-registering after a failover) the daemon keeps serving the
+// requests it admitted at normal latency and tells the rest when to
+// come back, rather than timing out everything equally.
+//
+// The zero-size Shedder (max <= 0) admits everything.
+type Shedder struct {
+	sem  chan struct{}
+	shed atomic.Uint64
+}
+
+// NewShedder builds a shedder admitting at most maxInFlight concurrent
+// requests (0 or negative: unbounded).
+func NewShedder(maxInFlight int) *Shedder {
+	s := &Shedder{}
+	if maxInFlight > 0 {
+		s.sem = make(chan struct{}, maxInFlight)
+	}
+	return s
+}
+
+// Acquire tries to admit a request; the caller must Release iff it
+// returns true. Non-blocking: a full bound refuses, never queues.
+func (s *Shedder) Acquire() bool {
+	if s.sem == nil {
+		return true
+	}
+	select {
+	case s.sem <- struct{}{}:
+		return true
+	default:
+		s.shed.Add(1)
+		return false
+	}
+}
+
+// Release returns an admitted request's slot.
+func (s *Shedder) Release() {
+	if s.sem != nil {
+		<-s.sem
+	}
+}
+
+// Shed counts refused requests.
+func (s *Shedder) Shed() uint64 { return s.shed.Load() }
+
+// shedRetryAfter is the Retry-After hint on refusals. Admitted requests
+// complete in well under a second, so "1" is an honest bound; jittered
+// client backoff spreads the retries inside it.
+const shedRetryAfter = "1"
+
+// refuse writes the 503 + Retry-After refusal body.
+func (s *Shedder) refuse(w http.ResponseWriter) {
+	w.Header().Set("Retry-After", shedRetryAfter)
+	writeErrorCode(w, http.StatusServiceUnavailable, ErrCodeOverloaded,
+		"overloaded: in-flight request bound reached, retry after %ss", shedRetryAfter)
+}
+
+// Wrap is the standalone middleware form, for embedders composing their
+// own handler chains.
+func (s *Shedder) Wrap(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if !s.Acquire() {
+			s.refuse(w)
+			return
+		}
+		defer s.Release()
+		next.ServeHTTP(w, r)
+	})
+}

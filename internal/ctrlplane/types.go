@@ -174,6 +174,9 @@ type EndpointMetrics struct {
 	P50Ms  float64 `json:"p50_ms"`
 	P95Ms  float64 `json:"p95_ms"`
 	MaxMs  float64 `json:"max_ms"`
+	// Shed counts requests refused by the load shedder (503 +
+	// Retry-After) because the endpoint's in-flight bound was full.
+	Shed uint64 `json:"shed,omitempty"`
 }
 
 // SolverMetrics summarizes the allocation cache.
@@ -198,6 +201,10 @@ type PersistMetrics struct {
 	TornRecords int `json:"torn_records,omitempty"`
 	// Compactions counts journal-into-snapshot folds.
 	Compactions uint64 `json:"compactions,omitempty"`
+	// FlushError is the first background write-behind flush failure, if
+	// any. Once set, further set mutations are rejected (503s) rather
+	// than acknowledged unpersisted.
+	FlushError string `json:"flush_error,omitempty"`
 }
 
 // MetricsResponse is the /metricsz body.
@@ -226,6 +233,27 @@ const (
 	// the registry does not know — the client's signal to re-register
 	// instead of retrying.
 	ErrCodeUnknownApp = "unknown_app"
+	// ErrCodeNotLeader marks a write sent to a replication follower.
+	// The response's Leader field (and X-Coop-Leader header) carry the
+	// current leader's URL; the client should retry there.
+	ErrCodeNotLeader = "not_leader"
+	// ErrCodeOverloaded marks a request refused by the load shedder;
+	// the Retry-After header says when to try again.
+	ErrCodeOverloaded = "overloaded"
+)
+
+// Replication headers stamped on every response by an HA replica, so
+// clients can fence against deposed leaders without new body fields.
+const (
+	// HeaderEpoch is the replica's fencing epoch (monotonic across
+	// leadership changes). A client that has seen epoch E rejects
+	// responses from any replica still announcing an older epoch.
+	HeaderEpoch = "X-Coop-Epoch"
+	// HeaderRole is "leader" or "follower".
+	HeaderRole = "X-Coop-Role"
+	// HeaderLeader is the current leader's advertised URL, a discovery
+	// hint for multi-endpoint clients.
+	HeaderLeader = "X-Coop-Leader"
 )
 
 // ErrorResponse carries an error message on non-2xx statuses. Code,
@@ -234,4 +262,36 @@ const (
 type ErrorResponse struct {
 	Error string `json:"error"`
 	Code  string `json:"code,omitempty"`
+	// Leader is the current leader's URL on not_leader rejections.
+	Leader string `json:"leader,omitempty"`
+}
+
+// ReplicaStatusResponse is the /v1/replica/status body: one replica's
+// view of the HA pair — its role, the lease, and how far behind the
+// leader's journal it is.
+type ReplicaStatusResponse struct {
+	// Role is "leader" or "follower" ("standalone" never serves this
+	// endpoint — a plain coopd 404s it).
+	Role string `json:"role"`
+	// Self is this replica's advertised URL; Leader is its view of the
+	// current leader.
+	Self   string `json:"self"`
+	Leader string `json:"leader,omitempty"`
+	// Epoch is the fencing epoch (bumps on every promotion).
+	Epoch uint64 `json:"epoch"`
+	// Generation mirrors the registry generation.
+	Generation uint64 `json:"generation"`
+	// LeaseRemainingMillis: leader — time until its lease would expire
+	// without renewal; follower — time until it would start campaigning.
+	LeaseRemainingMillis int64 `json:"lease_remaining_ms"`
+	// AppliedSeq is the last replication-stream record applied
+	// (follower) or the last record published (leader).
+	AppliedSeq uint64 `json:"applied_seq"`
+	// LagMillis is the time since the follower last heard from the
+	// leader (0 on the leader itself) — the replication lag bound.
+	LagMillis int64 `json:"lag_ms"`
+	// Promotions counts this process's follower->leader transitions.
+	Promotions uint64 `json:"promotions"`
+	// Peers lists the other replicas' advertised URLs.
+	Peers []string `json:"peers,omitempty"`
 }

@@ -1,0 +1,111 @@
+package faultinject
+
+import (
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+)
+
+// ErrPartitioned is the transport error a partitioned host produces —
+// indistinguishable, to the caller, from a network that silently eats
+// packets (modulo the instant failure; a real partition would time
+// out, which tests rarely want to wait for).
+var ErrPartitioned = fmt.Errorf("faultinject: host partitioned")
+
+// Partition simulates a network partition at the client edge: requests
+// to isolated hosts fail with ErrPartitioned instead of reaching the
+// wire. Heal restores connectivity. Safe for concurrent use, so a test
+// can cut and heal links while traffic is in flight — the exact
+// scenario for exercising stale-leader fencing (isolate the leader,
+// let a follower promote, heal, and assert the deposed leader's
+// answers are rejected).
+type Partition struct {
+	mu       sync.Mutex
+	isolated map[string]bool
+	drops    map[string]uint64
+}
+
+// NewPartition builds a fully connected (nothing isolated) partition.
+func NewPartition() *Partition {
+	return &Partition{isolated: map[string]bool{}, drops: map[string]uint64{}}
+}
+
+// hostKey normalizes a host for matching: URL forms ("http://h:p/x")
+// reduce to "h:p".
+func hostKey(host string) string {
+	if i := strings.Index(host, "://"); i >= 0 {
+		host = host[i+3:]
+	}
+	if i := strings.IndexAny(host, "/"); i >= 0 {
+		host = host[:i]
+	}
+	return host
+}
+
+// Isolate cuts the link to host (a "host:port" or base URL); requests
+// to it fail with ErrPartitioned until Heal.
+func (p *Partition) Isolate(host string) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.isolated[hostKey(host)] = true
+}
+
+// Heal restores the link to host.
+func (p *Partition) Heal(host string) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	delete(p.isolated, hostKey(host))
+}
+
+// HealAll restores every link.
+func (p *Partition) HealAll() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.isolated = map[string]bool{}
+}
+
+// Isolated reports whether host is currently cut off.
+func (p *Partition) Isolated(host string) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.isolated[hostKey(host)]
+}
+
+// Drops returns how many requests to host the partition has eaten.
+func (p *Partition) Drops(host string) uint64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.drops[hostKey(host)]
+}
+
+// Transport wraps base (nil: http.DefaultTransport) with the
+// partition: requests to isolated hosts fail before touching the
+// network. Compose with Injector.Transport for partitions plus
+// per-request fault schedules on the surviving links.
+func (p *Partition) Transport(base http.RoundTripper) http.RoundTripper {
+	if base == nil {
+		base = http.DefaultTransport
+	}
+	return &partitionTransport{p: p, base: base}
+}
+
+type partitionTransport struct {
+	p    *Partition
+	base http.RoundTripper
+}
+
+// RoundTrip implements http.RoundTripper.
+func (t *partitionTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	host := hostKey(req.URL.Host)
+	t.p.mu.Lock()
+	cut := t.p.isolated[host]
+	if cut {
+		t.p.drops[host]++
+	}
+	t.p.mu.Unlock()
+	if cut {
+		return nil, ErrPartitioned
+	}
+	return t.base.RoundTrip(req)
+}

@@ -1,0 +1,62 @@
+package faultinject
+
+import (
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+// TestPartitionIsolateHeal: requests to an isolated host fail with
+// ErrPartitioned without touching the network, are counted, and flow
+// again after Heal.
+func TestPartitionIsolateHeal(t *testing.T) {
+	hs := httptest.NewServer(okHandler())
+	defer hs.Close()
+	p := NewPartition()
+	c := &http.Client{Transport: p.Transport(nil)}
+
+	if resp, err := c.Get(hs.URL); err != nil {
+		t.Fatalf("connected request: %v", err)
+	} else {
+		resp.Body.Close()
+	}
+
+	p.Isolate(hs.URL) // base-URL form normalizes to host:port
+	if !p.Isolated(hs.URL) {
+		t.Fatal("Isolated() false right after Isolate")
+	}
+	_, err := c.Get(hs.URL)
+	if err == nil || !errors.Is(err, ErrPartitioned) {
+		t.Fatalf("isolated request err = %v, want ErrPartitioned", err)
+	}
+	_, _ = c.Get(hs.URL)
+	if got := p.Drops(hs.URL); got != 2 {
+		t.Errorf("drops = %d, want 2", got)
+	}
+
+	p.Heal(hs.URL)
+	if resp, err := c.Get(hs.URL); err != nil {
+		t.Fatalf("healed request: %v", err)
+	} else {
+		resp.Body.Close()
+	}
+	// Healing one host does not heal the accounting.
+	if got := p.Drops(hs.URL); got != 2 {
+		t.Errorf("drops after heal = %d, want 2 (history kept)", got)
+	}
+
+	// Other hosts are never affected.
+	other := httptest.NewServer(okHandler())
+	defer other.Close()
+	p.Isolate(hs.URL)
+	if resp, err := c.Get(other.URL); err != nil {
+		t.Fatalf("request to unisolated host: %v", err)
+	} else {
+		resp.Body.Close()
+	}
+	p.HealAll()
+	if p.Isolated(hs.URL) {
+		t.Error("Isolated() true after HealAll")
+	}
+}
