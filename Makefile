@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench benchall chaos fuzz check fmt
+.PHONY: all build vet test race bench benchall chaos fleet-chaos fuzz check fmt
 
 all: check
 
@@ -39,6 +39,14 @@ benchall:
 # (see internal/ctrlplane/replica/replica_test.go).
 chaos:
 	$(GO) test -race -count 1 -run 'TestChaos' -v ./internal/ctrlplane/ ./internal/ctrlplane/replica/
+
+# Fleet-level chaos: a member machine is partitioned off the network,
+# the rebalancer re-homes its apps within the per-round move bound, and
+# after the partition heals the revived member's duplicate
+# registrations are cleaned up and load re-spreads (see
+# internal/fleet/chaos_test.go).
+fleet-chaos:
+	$(GO) test -race -count 1 -run 'TestChaosFleet' -v ./internal/fleet/
 
 # 30s coverage-guided smoke over the incremental-evaluator equivalence
 # property; regressions in the fast path show up as counterexamples.

@@ -13,6 +13,11 @@
 //	coopctl [-server URL] watch [-interval 500ms]
 //	coopctl [-server URL] demo [-keep]
 //	coopctl [-server URL] health
+//	coopctl [-server URL] status [-max-lag 5s]
+//	coopctl fleet machines [-fleet URL]
+//	coopctl fleet place -name stream -ai 0.5 [-placement numa-bad -home 0] [-fleet URL]
+//	coopctl fleet drain -machine a [-undo] [-fleet URL]
+//	coopctl fleet plan [-fleet URL]
 //
 // demo registers the paper's Table I mix (three memory-bound apps at
 // AI 0.5 and one compute-bound at AI 10), prints the served allocation
@@ -26,10 +31,12 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"repro/internal/ctrlplane"
 	"repro/internal/ctrlplane/client"
+	"repro/internal/fleet"
 	"repro/internal/metrics"
 )
 
@@ -65,7 +72,9 @@ func main() {
 	case "health":
 		err = cmdHealth(ctx, c)
 	case "status":
-		err = cmdStatus(ctx, c)
+		err = cmdStatus(ctx, c, args)
+	case "fleet":
+		err = cmdFleet(ctx, args)
 	default:
 		usage()
 		os.Exit(2)
@@ -77,7 +86,8 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: coopctl [-server URL] <register|heartbeat|deregister|apps|alloc|machine|watch|demo|health|status> [flags]")
+	fmt.Fprintln(os.Stderr, "usage: coopctl [-server URL] <register|heartbeat|deregister|apps|alloc|machine|watch|demo|health|status|fleet> [flags]")
+	fmt.Fprintln(os.Stderr, "       coopctl fleet <machines|place|drain|plan> [-fleet URL] [flags]")
 }
 
 func cmdRegister(ctx context.Context, c *client.Client, args []string) error {
@@ -283,32 +293,173 @@ func cmdHealth(ctx context.Context, c *client.Client) error {
 }
 
 // cmdStatus shows the replica's role, lease, fencing epoch, and
-// replication lag. A standalone daemon 404s the endpoint; that is
-// rendered, not errored.
-func cmdStatus(ctx context.Context, c *client.Client) error {
+// replication lag, plus the solver cache counters from /metricsz. A
+// standalone daemon 404s the replica endpoint; that is rendered, not
+// errored. A follower whose replication lag exceeds -max-lag makes the
+// command fail (exit nonzero), so scripts probing an endpoint learn its
+// answers may be stale.
+func cmdStatus(ctx context.Context, c *client.Client, args []string) error {
+	fs := flag.NewFlagSet("status", flag.ExitOnError)
+	maxLag := fs.Duration("max-lag", 5*time.Second, "fail when a follower's replication lag exceeds this")
+	fs.Parse(args)
+
+	var stale error
 	st, err := c.ReplicaStatus(ctx)
-	if err != nil {
-		if client.IsNotFound(err) {
-			fmt.Println("standalone (not replicated)")
-			return nil
+	switch {
+	case client.IsNotFound(err):
+		fmt.Println("standalone (not replicated)")
+	case err != nil:
+		return err
+	default:
+		fmt.Printf("%s %s (epoch %d, generation %d)\n", st.Role, st.Self, st.Epoch, st.Generation)
+		if st.Leader != "" {
+			fmt.Printf("  leader: %s\n", st.Leader)
 		}
+		fmt.Printf("  lease remaining: %dms\n", st.LeaseRemainingMillis)
+		fmt.Printf("  applied seq: %d", st.AppliedSeq)
+		if st.Role == "follower" {
+			fmt.Printf(", replication lag: %dms", st.LagMillis)
+		}
+		fmt.Println()
+		if st.Promotions > 0 {
+			fmt.Printf("  promotions: %d\n", st.Promotions)
+		}
+		if len(st.Peers) > 0 {
+			fmt.Printf("  peers: %v\n", st.Peers)
+		}
+		if st.Role == "follower" && st.LagMillis > maxLag.Milliseconds() {
+			stale = fmt.Errorf("follower replication lag %dms exceeds -max-lag %s", st.LagMillis, maxLag)
+		}
+	}
+
+	mt, err := c.Metrics(ctx)
+	if err != nil {
 		return err
 	}
-	fmt.Printf("%s %s (epoch %d, generation %d)\n", st.Role, st.Self, st.Epoch, st.Generation)
-	if st.Leader != "" {
-		fmt.Printf("  leader: %s\n", st.Leader)
+	s := mt.Solver
+	total := s.Hits + s.Misses
+	hitRate := 0.0
+	if total > 0 {
+		hitRate = 100 * float64(s.Hits) / float64(total)
 	}
-	fmt.Printf("  lease remaining: %dms\n", st.LeaseRemainingMillis)
-	fmt.Printf("  applied seq: %d", st.AppliedSeq)
-	if st.Role == "follower" {
-		fmt.Printf(", replication lag: %dms", st.LagMillis)
+	fmt.Printf("  solver cache: %d hits / %d misses (%.1f%% hit), %d coalesced, %d entries\n",
+		s.Hits, s.Misses, hitRate, s.Coalesced, s.Entries)
+	return stale
+}
+
+// --- fleet subcommands (talk to fleetd, not coopd) ---
+
+// cmdFleet dispatches `coopctl fleet <machines|place|drain|plan>`. Each
+// subcommand takes its own -fleet flag because the fleet daemon is a
+// different process from the coopd the global -server points at.
+func cmdFleet(ctx context.Context, args []string) error {
+	if len(args) == 0 {
+		return fmt.Errorf("fleet: want a subcommand: machines | place | drain | plan")
 	}
-	fmt.Println()
-	if st.Promotions > 0 {
-		fmt.Printf("  promotions: %d\n", st.Promotions)
+	sub, rest := args[0], args[1:]
+	switch sub {
+	case "machines":
+		return cmdFleetMachines(ctx, rest)
+	case "place":
+		return cmdFleetPlace(ctx, rest)
+	case "drain":
+		return cmdFleetDrain(ctx, rest)
+	case "plan":
+		return cmdFleetPlan(ctx, rest)
+	default:
+		return fmt.Errorf("fleet: unknown subcommand %q (want machines | place | drain | plan)", sub)
 	}
-	if len(st.Peers) > 0 {
-		fmt.Printf("  peers: %v\n", st.Peers)
+}
+
+func fleetFlags(fs *flag.FlagSet) *string {
+	return fs.String("fleet", "http://127.0.0.1:8380", "fleetd base URL")
+}
+
+func cmdFleetMachines(ctx context.Context, args []string) error {
+	fs := flag.NewFlagSet("fleet machines", flag.ExitOnError)
+	server := fleetFlags(fs)
+	fs.Parse(args)
+	resp, err := fleet.NewClient(*server, nil).Machines(ctx)
+	if err != nil {
+		return err
+	}
+	t := metrics.NewTable(fmt.Sprintf("fleet machines (aggregate %s GFLOPS)", metrics.FormatFloat(resp.FleetGFLOPS)),
+		"id", "status", "machine", "apps", "numa-bad", "GFLOPS", "seen (ms)", "endpoints")
+	for _, m := range resp.Machines {
+		status := m.Status
+		if m.Draining {
+			status += "+draining"
+		}
+		t.AddRow(m.ID, status, m.Machine, len(m.Apps), m.NUMABadApps,
+			metrics.FormatFloat(m.TotalGFLOPS), m.SinceSeenMillis, strings.Join(m.Endpoints, ","))
+	}
+	fmt.Print(t)
+	return nil
+}
+
+func cmdFleetPlace(ctx context.Context, args []string) error {
+	fs := flag.NewFlagSet("fleet place", flag.ExitOnError)
+	server := fleetFlags(fs)
+	name := fs.String("name", "app", "application name")
+	ai := fs.Float64("ai", 1, "arithmetic intensity (FLOP/byte)")
+	placement := fs.String("placement", "", "numa-perfect (default) or numa-bad")
+	home := fs.Int("home", 0, "home node for numa-bad placement")
+	max := fs.Int("max", 0, "max threads (0: uncapped)")
+	ttl := fs.Duration("ttl", 0, "heartbeat deadline on the chosen machine (0: its default)")
+	fs.Parse(args)
+	resp, err := fleet.NewClient(*server, nil).Place(ctx, fleet.AppSpec{
+		Name: *name, AI: *ai, Placement: *placement, HomeNode: *home,
+		MaxThreads: *max, TTLMillis: ttl.Milliseconds(),
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("placed %s on %s (marginal %+.1f GFLOPS, machine now %s)\n",
+		resp.ID, resp.Machine, resp.Score, metrics.FormatFloat(resp.After))
+	fmt.Printf("heartbeat against: %s\n", strings.Join(resp.Endpoints, " | "))
+	return nil
+}
+
+func cmdFleetDrain(ctx context.Context, args []string) error {
+	fs := flag.NewFlagSet("fleet drain", flag.ExitOnError)
+	server := fleetFlags(fs)
+	machineID := fs.String("machine", "", "member machine id")
+	undo := fs.Bool("undo", false, "re-enable placements instead of draining")
+	fs.Parse(args)
+	if *machineID == "" {
+		return fmt.Errorf("fleet drain: -machine is required")
+	}
+	resp, err := fleet.NewClient(*server, nil).Drain(ctx, *machineID, *undo)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s draining=%v (rebalancer will move its apps off over the next rounds)\n", resp.Machine, resp.Draining)
+	return nil
+}
+
+func cmdFleetPlan(ctx context.Context, args []string) error {
+	fs := flag.NewFlagSet("fleet plan", flag.ExitOnError)
+	server := fleetFlags(fs)
+	fs.Parse(args)
+	plan, err := fleet.NewClient(*server, nil).Plan(ctx)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("fleet %s GFLOPS now, %s re-packed",
+		metrics.FormatFloat(plan.CurrentGFLOPS), metrics.FormatFloat(plan.RepackGFLOPS))
+	if len(plan.Moves) == 0 {
+		fmt.Println("; no moves planned")
+	} else {
+		fmt.Println()
+		t := metrics.NewTable(fmt.Sprintf("planned moves (%d deferred to later rounds)", plan.Deferred),
+			"app", "from", "to", "reason", "score")
+		for _, mv := range plan.Moves {
+			t.AddRow(mv.AppID, mv.From, mv.To, mv.Reason, metrics.FormatFloat(mv.Score))
+		}
+		fmt.Print(t)
+	}
+	for _, sd := range plan.StaleDeregs {
+		fmt.Printf("stale duplicate to clean: %s on revived %s\n", sd.AppID, sd.Member)
 	}
 	return nil
 }

@@ -11,6 +11,7 @@
 //	coopd -policy fairshare            # even split instead of roofline
 //	coopd -ttl 5s -sweep 1s            # heartbeat deadline / evict scan
 //	coopd -state-dir /var/lib/coopd    # journal registry, survive crashes
+//	coopd -pprof-addr 127.0.0.1:6060   # net/http/pprof on a private port
 //
 // With -state-dir the registry is persisted to a snapshot + append-only
 // journal; on restart the daemon restores the registered apps, re-arms
@@ -43,6 +44,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -73,6 +75,7 @@ func main() {
 	replicaOf := flag.String("replica-of", "", "join as a follower of this leader URL (default: bootstrap as leader)")
 	leaseTTL := flag.Duration("lease-ttl", 2*time.Second, "leader lease: how long the leader may go silent before a follower promotes")
 	maxInFlight := flag.Int("max-inflight", 0, "max concurrent requests per endpoint before shedding with 503 (0: unbounded)")
+	pprofAddr := flag.String("pprof-addr", "", "serve net/http/pprof on this address (empty: disabled)")
 	flag.Parse()
 
 	m, err := loadMachine(*machineName)
@@ -134,6 +137,18 @@ func main() {
 	}
 	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer cancel()
+
+	if *pprofAddr != "" {
+		// pprof registers on http.DefaultServeMux; the API above uses its
+		// own mux, so profiling stays on a separate, typically private,
+		// port and is entirely off unless the flag is set.
+		go func() {
+			log.Printf("coopd: pprof on %s", *pprofAddr)
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				log.Printf("coopd: pprof server: %v", err)
+			}
+		}()
+	}
 
 	srv.Start()
 	defer srv.Close()

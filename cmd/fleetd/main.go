@@ -1,0 +1,136 @@
+// Command fleetd runs the fleet placement daemon: it tracks a set of
+// coopd-backed NUMA machines, places incoming applications on the
+// machine where they add the most aggregate GFLOPS (roofline marginal
+// scoring, NUMA-bad anti-affinity), and rebalances when machines die,
+// drain, or the fleet drifts from its optimal packing.
+//
+// Usage:
+//
+//	fleetd -machine a=http://host-a:8377 -machine b=http://host-b:8377
+//	fleetd -machine ha=http://a1:8377,http://a2:8377   # HA pair, one member
+//	fleetd -addr :8380 -rebalance 10s -max-moves 4 -threshold 0.9
+//
+// Endpoints: POST /v1/fleet/place, GET /v1/fleet/machines,
+// GET /v1/fleet/plan, POST /v1/fleet/drain, GET /healthz. See
+// `coopctl fleet` for the CLI.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	_ "net/http/pprof"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/fleet"
+)
+
+// memberFlag collects repeated -machine flags: "id=url[,url2]".
+type memberFlag struct {
+	ids       []string
+	endpoints [][]string
+}
+
+func (f *memberFlag) String() string { return fmt.Sprint(f.ids) }
+
+func (f *memberFlag) Set(v string) error {
+	id, urls, ok := strings.Cut(v, "=")
+	if !ok || id == "" || urls == "" {
+		return fmt.Errorf("want id=url[,url2], got %q", v)
+	}
+	var eps []string
+	for _, u := range strings.Split(urls, ",") {
+		if u = strings.TrimSpace(u); u != "" {
+			eps = append(eps, u)
+		}
+	}
+	if len(eps) == 0 {
+		return fmt.Errorf("member %s has no endpoints", id)
+	}
+	f.ids = append(f.ids, id)
+	f.endpoints = append(f.endpoints, eps)
+	return nil
+}
+
+func main() {
+	var members memberFlag
+	addr := flag.String("addr", ":8380", "listen address")
+	flag.Var(&members, "machine", "member machine as id=coopd-url[,coopd-url2] (repeatable; several URLs = one HA pair)")
+	poll := flag.Duration("poll", 2*time.Second, "inventory poll interval")
+	rebalance := flag.Duration("rebalance", 10*time.Second, "rebalance round interval")
+	failAfter := flag.Int("fail-after", 3, "consecutive failed polls before a machine is declared dead")
+	maxMoves := flag.Int("max-moves", 4, "max app moves per rebalance round")
+	threshold := flag.Float64("threshold", 0.9, "rebalance when fleet GFLOPS falls below this fraction of the re-pack optimum")
+	pprofAddr := flag.String("pprof-addr", "", "serve net/http/pprof on this address (empty: disabled)")
+	flag.Parse()
+
+	if len(members.ids) == 0 {
+		log.Fatalf("fleetd: at least one -machine id=url is required")
+	}
+
+	inv := fleet.NewInventory(fleet.InventoryConfig{FailAfter: *failAfter, Logf: log.Printf})
+	for i, id := range members.ids {
+		if err := inv.Add(id, members.endpoints[i]...); err != nil {
+			log.Fatalf("fleetd: %v", err)
+		}
+	}
+
+	srv, err := fleet.NewServer(fleet.ServerConfig{
+		Inventory:         inv,
+		PollInterval:      *poll,
+		RebalanceInterval: *rebalance,
+		MaxMovesPerRound:  *maxMoves,
+		Threshold:         *threshold,
+		Logf:              log.Printf,
+	})
+	if err != nil {
+		log.Fatalf("fleetd: %v", err)
+	}
+
+	if *pprofAddr != "" {
+		// The pprof handlers live on http.DefaultServeMux; the API below
+		// uses its own mux, so the profiler stays off the public port.
+		go func() {
+			log.Printf("fleetd: pprof on %s", *pprofAddr)
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				log.Printf("fleetd: pprof server: %v", err)
+			}
+		}()
+	}
+
+	hs := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       15 * time.Second,
+		IdleTimeout:       120 * time.Second,
+		MaxHeaderBytes:    64 << 10,
+	}
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer cancel()
+
+	srv.Start()
+	defer srv.Close()
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
+	log.Printf("fleetd: serving %d machines on %s (poll %s, rebalance %s, max %d moves/round, threshold %.2f)",
+		len(members.ids), *addr, *poll, *rebalance, *maxMoves, *threshold)
+
+	select {
+	case err := <-errc:
+		log.Fatalf("fleetd: %v", err)
+	case <-ctx.Done():
+	}
+	log.Printf("fleetd: shutting down")
+	shutdownCtx, cancelShutdown := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancelShutdown()
+	if err := hs.Shutdown(shutdownCtx); err != nil {
+		log.Printf("fleetd: shutdown: %v", err)
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"fmt"
 
 	"repro/internal/des"
+	"repro/internal/faultinject"
 	"repro/internal/machine"
 	"repro/internal/osched"
 	"repro/internal/taskrt"
@@ -33,7 +34,15 @@ type Config struct {
 	NetLatency des.Time
 	// Seed seeds the shared simulation engine.
 	Seed int64
+	// Partition, when set, can cut nodes off the simulated network:
+	// messages to an isolated node (see NodeHost for the host names)
+	// are silently dropped, exactly like the HTTP transport variant.
+	Partition *faultinject.Partition
 }
+
+// NodeHost is the host name node i answers to in a Config.Partition
+// (Isolate(NodeHost(2)) cuts node 2 off).
+func NodeHost(i int) string { return fmt.Sprintf("node%d", i) }
 
 // Cluster is a set of simulated compute nodes on one engine.
 type Cluster struct {
@@ -87,9 +96,16 @@ func (c *Cluster) MessagesSent() uint64 { return c.sent }
 
 // Send delivers fn on the destination node after the network latency
 // (the destination index is informational; all nodes share the engine).
+// When the configured partition isolates the destination, the message
+// is dropped silently — the sender learns nothing, exactly like a
+// network eating packets; protocols that must survive this need their
+// own timeouts (see JobConfig.RequestTimeout).
 func (c *Cluster) Send(to int, fn func()) {
 	if to < 0 || to >= len(c.nodes) {
 		panic(fmt.Sprintf("cluster: send to unknown node %d", to))
+	}
+	if c.cfg.Partition != nil && c.cfg.Partition.Cut(NodeHost(to)) {
+		return
 	}
 	c.sent++
 	c.Eng.After(c.cfg.NetLatency, fn)
@@ -147,6 +163,12 @@ type JobConfig struct {
 	// Sync selects loose or barrier synchronization (Static only;
 	// Dynamic is inherently loose).
 	Sync SyncMode
+	// RequestTimeout makes the dynamic protocol retry a chunk request
+	// that got no reply (dropped by a partition, either direction)
+	// after this long. 0 disables retries — the pre-partition behavior
+	// — and must exceed the round trip (2 x NetLatency) when set, or
+	// every request spuriously retries.
+	RequestTimeout des.Time
 	// RuntimeConfig tunes each node's task runtime (Name is suffixed
 	// with the node index).
 	RuntimeConfig taskrt.Config
@@ -166,6 +188,19 @@ type Job struct {
 	running      int // nodes still executing (loose/dynamic)
 	done         bool
 	onDone       func()
+
+	// Dynamic-protocol retry state. The coordinator (node 0) remembers
+	// the chunk it assigned each node until the node's next request
+	// acknowledges it (outstanding; -1 when none), so a lost reply is
+	// answered by re-assigning the *same* chunk, never a fresh one. The
+	// worker side tags every request with a sequence number and accepts
+	// only the reply matching its current one, so a retried request
+	// whose original reply was merely delayed cannot execute the chunk
+	// twice.
+	outstanding []int  // coordinator: per-node assigned-but-unacked chunk
+	reqSeq      []int  // worker: current request sequence number
+	awaiting    []bool // worker: request in flight, reply not yet accepted
+	nodeDone    []bool // worker: no-more-work received
 }
 
 // NewJob creates the job's per-node runtimes.
@@ -173,7 +208,17 @@ func NewJob(c *Cluster, cfg JobConfig) *Job {
 	if cfg.TotalChunks <= 0 || cfg.TasksPerChunk <= 0 {
 		panic("cluster: job needs positive chunks and tasks")
 	}
-	j := &Job{c: c, cfg: cfg, chunksDone: make([]int, c.Nodes())}
+	j := &Job{
+		c: c, cfg: cfg,
+		chunksDone:  make([]int, c.Nodes()),
+		outstanding: make([]int, c.Nodes()),
+		reqSeq:      make([]int, c.Nodes()),
+		awaiting:    make([]bool, c.Nodes()),
+		nodeDone:    make([]bool, c.Nodes()),
+	}
+	for i := range j.outstanding {
+		j.outstanding[i] = -1
+	}
 	for i := 0; i < c.Nodes(); i++ {
 		rc := cfg.RuntimeConfig
 		rc.Name = fmt.Sprintf("%s-n%d", orDefault(rc.Name, "job"), i)
@@ -206,7 +251,7 @@ func (j *Job) Run(onDone func()) {
 	case Dynamic:
 		j.running = j.c.Nodes()
 		for i := 0; i < j.c.Nodes(); i++ {
-			j.requestChunk(i)
+			j.requestChunk(i, -1)
 		}
 	default:
 		if j.cfg.Sync == Barrier {
@@ -308,17 +353,62 @@ func (j *Job) roundDone() {
 
 // --- dynamic ---
 
-// requestChunk models node -> coordinator request + reply.
-func (j *Job) requestChunk(node int) {
-	j.c.Send(0, func() { // request arrives at coordinator
-		if j.nextChunk >= j.cfg.TotalChunks {
-			j.c.Send(node, func() { j.nodeFinished() })
+// requestChunk models the worker->coordinator request plus reply, with
+// completed acknowledging the chunk the node just finished (-1 on its
+// first request). With RequestTimeout set the request is retried until
+// a reply is accepted, which makes the protocol partition-tolerant:
+// each chunk is handed out once (re-assignments repeat the same chunk
+// until acked) and executed once (stale replies fail the sequence
+// check), so the queue drains exactly TotalChunks chunks no matter how
+// many messages a partition eats.
+func (j *Job) requestChunk(node, completed int) {
+	j.reqSeq[node]++
+	seq := j.reqSeq[node]
+	j.awaiting[node] = true
+	j.sendRequest(node, completed, seq)
+	if j.cfg.RequestTimeout > 0 {
+		j.armRetry(node, completed, seq)
+	}
+}
+
+// armRetry re-sends the request while it is still the node's current
+// one and unanswered.
+func (j *Job) armRetry(node, completed, seq int) {
+	j.c.Eng.After(j.cfg.RequestTimeout, func() {
+		if !j.awaiting[node] || j.reqSeq[node] != seq {
 			return
 		}
-		chunk := j.nextChunk
-		j.nextChunk++
-		j.c.Send(node, func() { // reply arrives at worker node
-			j.executeChunk(node, chunk, func() { j.requestChunk(node) })
+		j.sendRequest(node, completed, seq)
+		j.armRetry(node, completed, seq)
+	})
+}
+
+// sendRequest models the request arriving at the coordinator and the
+// reply arriving back at the worker; either leg may be dropped by a
+// partition.
+func (j *Job) sendRequest(node, completed, seq int) {
+	j.c.Send(0, func() { // request arrives at coordinator
+		if completed >= 0 && j.outstanding[node] == completed {
+			j.outstanding[node] = -1 // ack: the assignment finished
+		}
+		if j.outstanding[node] < 0 && j.nextChunk < j.cfg.TotalChunks {
+			j.outstanding[node] = j.nextChunk
+			j.nextChunk++
+		}
+		chunk := j.outstanding[node] // -1: no more work
+		j.c.Send(node, func() {      // reply arrives at worker node
+			if !j.awaiting[node] || j.reqSeq[node] != seq {
+				return // stale reply (a retry already won this round)
+			}
+			j.awaiting[node] = false
+			if chunk < 0 {
+				if !j.nodeDone[node] {
+					j.nodeDone[node] = true
+					j.nodeFinished()
+				}
+				return
+			}
+			j.executeChunk(node, chunk, func() { j.requestChunk(node, chunk) })
 		})
 	})
 }

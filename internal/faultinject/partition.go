@@ -79,6 +79,22 @@ func (p *Partition) Drops(host string) uint64 {
 	return p.drops[hostKey(host)]
 }
 
+// Cut reports whether host is isolated and, when it is, records the
+// dropped delivery. It is the decision point shared by the HTTP
+// transport below and non-HTTP fabrics (the cluster simulator's message
+// layer), so every dropped message shows up in Drops regardless of the
+// transport it rode on.
+func (p *Partition) Cut(host string) bool {
+	key := hostKey(host)
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if !p.isolated[key] {
+		return false
+	}
+	p.drops[key]++
+	return true
+}
+
 // Transport wraps base (nil: http.DefaultTransport) with the
 // partition: requests to isolated hosts fail before touching the
 // network. Compose with Injector.Transport for partitions plus

@@ -1,0 +1,121 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"repro/internal/ctrlplane"
+)
+
+// Client is the typed client for the fleetd HTTP API, used by `coopctl
+// fleet` and tests. It is deliberately thinner than the coopd client
+// (no retries: fleet operations are operator-driven, and a placement
+// retried blindly could double-register).
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+// NewClient returns a client for the fleetd at baseURL. httpClient may
+// be nil (a dedicated client with a 10s timeout is used).
+func NewClient(baseURL string, httpClient *http.Client) *Client {
+	if httpClient == nil {
+		httpClient = &http.Client{Timeout: 10 * time.Second}
+	}
+	return &Client{base: strings.TrimRight(baseURL, "/"), hc: httpClient}
+}
+
+// do performs one API call; in/out may be nil.
+func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
+	var rd io.Reader
+	if in != nil {
+		body, err := json.Marshal(in)
+		if err != nil {
+			return fmt.Errorf("fleet: encoding request: %w", err)
+		}
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
+	if err != nil {
+		return fmt.Errorf("fleet: building request: %w", err)
+	}
+	if in != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 4<<20))
+	if err != nil {
+		return fmt.Errorf("fleet: reading response: %w", err)
+	}
+	if resp.StatusCode >= 400 {
+		msg := strings.TrimSpace(string(data))
+		var er ctrlplane.ErrorResponse
+		if json.Unmarshal(data, &er) == nil && er.Error != "" {
+			msg = er.Error
+		}
+		return fmt.Errorf("fleet: server returned %d: %s", resp.StatusCode, msg)
+	}
+	if out != nil && len(data) > 0 {
+		if err := json.Unmarshal(data, out); err != nil {
+			return fmt.Errorf("fleet: decoding response: %w", err)
+		}
+	}
+	return nil
+}
+
+// Place asks the fleet to place an app and returns the chosen machine
+// and app ID.
+func (c *Client) Place(ctx context.Context, spec AppSpec) (*PlaceResponse, error) {
+	var resp PlaceResponse
+	if err := c.do(ctx, http.MethodPost, "/v1/fleet/place", spec, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Machines lists the fleet's members.
+func (c *Client) Machines(ctx context.Context) (*MachinesResponse, error) {
+	var resp MachinesResponse
+	if err := c.do(ctx, http.MethodGet, "/v1/fleet/machines", nil, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Plan returns the rebalancer's current dry-run plan.
+func (c *Client) Plan(ctx context.Context) (*Plan, error) {
+	var resp Plan
+	if err := c.do(ctx, http.MethodGet, "/v1/fleet/plan", nil, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Drain toggles draining on a member.
+func (c *Client) Drain(ctx context.Context, machineID string, undo bool) (*DrainResponse, error) {
+	var resp DrainResponse
+	req := DrainRequest{Machine: machineID, Undo: undo}
+	if err := c.do(ctx, http.MethodPost, "/v1/fleet/drain", req, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Health reads the fleet /healthz.
+func (c *Client) Health(ctx context.Context) (*FleetHealthResponse, error) {
+	var resp FleetHealthResponse
+	if err := c.do(ctx, http.MethodGet, "/healthz", nil, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}

@@ -1,0 +1,303 @@
+package fleet
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/ctrlplane/client"
+	"repro/internal/machine"
+)
+
+// InventoryConfig tunes an Inventory.
+type InventoryConfig struct {
+	// NewClient builds the coopd client for one endpoint. Tests inject
+	// fault-injecting transports here. Default: client.New with 2
+	// attempts and a 2s request timeout (the inventory poll loop is the
+	// retry mechanism; per-request persistence just delays detection).
+	NewClient func(endpoint string) *client.Client
+	// FailAfter is how many consecutive failed polls declare a member
+	// dead (default 3).
+	FailAfter int
+	// Clock stamps LastSeen (default time.Now); tests pin it.
+	Clock func() time.Time
+	// Logf, when set, receives state-transition logs.
+	Logf func(format string, args ...any)
+}
+
+// Inventory tracks the fleet's member machines: their topology, demand
+// set, and health, refreshed by polling each member's coopd API. All
+// methods are safe for concurrent use; Poll holds no lock during
+// network calls, so reads stay fast while a member times out.
+type Inventory struct {
+	cfg InventoryConfig
+
+	mu      sync.Mutex
+	members map[string]*member
+	order   []string // member IDs, sorted; polling and snapshots follow it
+}
+
+// member is the mutable record behind a Member snapshot.
+type member struct {
+	id        string
+	endpoints []string
+	clis      []*client.Client
+	preferred int // index of the endpoint that last answered
+
+	topo     *machine.Machine
+	apps     []PlacedApp
+	total    float64
+	gen      uint64
+	failures int
+	dead     bool
+	draining bool
+	lastSeen time.Time
+	stale    []string
+}
+
+// NewInventory builds an empty inventory.
+func NewInventory(cfg InventoryConfig) *Inventory {
+	if cfg.NewClient == nil {
+		cfg.NewClient = func(endpoint string) *client.Client {
+			return client.New(endpoint, client.Config{MaxAttempts: 2, RequestTimeout: 2 * time.Second})
+		}
+	}
+	if cfg.FailAfter <= 0 {
+		cfg.FailAfter = 3
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = time.Now
+	}
+	return &Inventory{cfg: cfg, members: map[string]*member{}}
+}
+
+func (inv *Inventory) logf(format string, args ...any) {
+	if inv.cfg.Logf != nil {
+		inv.cfg.Logf(format, args...)
+	}
+}
+
+// Add registers a member machine by its coopd endpoint(s); several
+// endpoints mean an HA pair the inventory fails over between. The
+// member starts unknown (not healthy) until its first successful poll.
+func (inv *Inventory) Add(id string, endpoints ...string) error {
+	if id == "" || len(endpoints) == 0 {
+		return fmt.Errorf("fleet: member needs an id and at least one endpoint")
+	}
+	inv.mu.Lock()
+	defer inv.mu.Unlock()
+	if _, ok := inv.members[id]; ok {
+		return fmt.Errorf("fleet: duplicate member %q", id)
+	}
+	m := &member{id: id, endpoints: append([]string(nil), endpoints...)}
+	for _, ep := range endpoints {
+		m.clis = append(m.clis, inv.cfg.NewClient(ep))
+	}
+	inv.members[id] = m
+	inv.order = append(inv.order, id)
+	sort.Strings(inv.order)
+	return nil
+}
+
+// Poll refreshes every member, in ID order. One slow member delays the
+// others within a round (polling is sequential for determinism) but
+// never blocks Snapshot or placement reads.
+func (inv *Inventory) Poll(ctx context.Context) {
+	inv.mu.Lock()
+	ids := append([]string(nil), inv.order...)
+	inv.mu.Unlock()
+	for _, id := range ids {
+		inv.pollMember(ctx, id)
+	}
+}
+
+// pollMember tries the member's endpoints starting at the last one that
+// answered; any endpoint serving the full read set counts as success.
+func (inv *Inventory) pollMember(ctx context.Context, id string) {
+	inv.mu.Lock()
+	m, ok := inv.members[id]
+	if !ok {
+		inv.mu.Unlock()
+		return
+	}
+	clis, preferred, needTopo := m.clis, m.preferred, m.topo == nil
+	inv.mu.Unlock()
+
+	for k := 0; k < len(clis); k++ {
+		i := (preferred + k) % len(clis)
+		cli := clis[i]
+		apps, err := cli.Apps(ctx)
+		if err != nil {
+			continue
+		}
+		alloc, err := cli.Allocations(ctx)
+		if err != nil {
+			continue
+		}
+		var topo *machine.Machine
+		if needTopo {
+			mr, err := cli.Machine(ctx)
+			if err != nil {
+				continue
+			}
+			topo = mr.Machine
+		}
+		placed := make([]PlacedApp, 0, len(apps.Apps))
+		for _, v := range apps.Apps {
+			placed = append(placed, placedFromView(v))
+		}
+		sort.Slice(placed, func(a, b int) bool { return placed[a].ID < placed[b].ID })
+
+		inv.mu.Lock()
+		if topo != nil {
+			m.topo = topo
+		}
+		m.apps = placed
+		m.total = alloc.TotalGFLOPS
+		m.gen = alloc.Generation
+		m.preferred = i
+		m.failures = 0
+		m.lastSeen = inv.cfg.Clock()
+		if m.dead {
+			m.dead = false
+			inv.logf("fleet: member %s revived (%d apps, %d stale re-homed ids)", id, len(placed), len(m.stale))
+		}
+		inv.mu.Unlock()
+		return
+	}
+
+	inv.mu.Lock()
+	m.failures++
+	if !m.dead && m.failures >= inv.cfg.FailAfter {
+		m.dead = true
+		inv.logf("fleet: member %s dead after %d failed polls (%d apps to re-home)", id, m.failures, len(m.apps))
+	}
+	inv.mu.Unlock()
+}
+
+// snapshotLocked copies one member.
+func (m *member) snapshot() Member {
+	return Member{
+		ID:        m.id,
+		Endpoints: append([]string(nil), m.endpoints...),
+		Topology:  m.topo,
+		Apps:      append([]PlacedApp(nil), m.apps...),
+
+		TotalGFLOPS: m.total,
+		Generation:  m.gen,
+		Failures:    m.failures,
+		Dead:        m.dead,
+		Draining:    m.draining,
+		LastSeen:    m.lastSeen,
+		Stale:       append([]string(nil), m.stale...),
+	}
+}
+
+// Snapshot returns every member, sorted by ID.
+func (inv *Inventory) Snapshot() []Member {
+	inv.mu.Lock()
+	defer inv.mu.Unlock()
+	out := make([]Member, 0, len(inv.order))
+	for _, id := range inv.order {
+		out = append(out, inv.members[id].snapshot())
+	}
+	return out
+}
+
+// Member returns one member's snapshot.
+func (inv *Inventory) Member(id string) (Member, bool) {
+	inv.mu.Lock()
+	defer inv.mu.Unlock()
+	m, ok := inv.members[id]
+	if !ok {
+		return Member{}, false
+	}
+	return m.snapshot(), true
+}
+
+// SetDraining marks (or unmarks) a member for draining. A draining
+// member receives no new placements and the rebalancer moves its apps
+// off. It reports whether the member exists.
+func (inv *Inventory) SetDraining(id string, draining bool) bool {
+	inv.mu.Lock()
+	defer inv.mu.Unlock()
+	m, ok := inv.members[id]
+	if !ok {
+		return false
+	}
+	if m.draining != draining {
+		m.draining = draining
+		inv.logf("fleet: member %s draining=%v", id, draining)
+	}
+	return true
+}
+
+// Client returns the member's preferred coopd client, for registration
+// and deregistration calls.
+func (inv *Inventory) Client(id string) (*client.Client, error) {
+	inv.mu.Lock()
+	defer inv.mu.Unlock()
+	m, ok := inv.members[id]
+	if !ok {
+		return nil, fmt.Errorf("fleet: unknown member %q", id)
+	}
+	return m.clis[m.preferred], nil
+}
+
+// noteRegistered records an app the fleet just placed on a member, so
+// scoring between polls sees it. The next poll overwrites the cache
+// with the machine's authoritative registry.
+func (inv *Inventory) noteRegistered(id string, app PlacedApp) {
+	inv.mu.Lock()
+	defer inv.mu.Unlock()
+	m, ok := inv.members[id]
+	if !ok {
+		return
+	}
+	m.apps = append(m.apps, app)
+	sort.Slice(m.apps, func(a, b int) bool { return m.apps[a].ID < m.apps[b].ID })
+}
+
+// noteDeregistered drops an app from a member's cached demand set.
+func (inv *Inventory) noteDeregistered(id, appID string) {
+	inv.mu.Lock()
+	defer inv.mu.Unlock()
+	m, ok := inv.members[id]
+	if !ok {
+		return
+	}
+	for i, a := range m.apps {
+		if a.ID == appID {
+			m.apps = append(m.apps[:i], m.apps[i+1:]...)
+			break
+		}
+	}
+}
+
+// noteStale records an app ID that was re-homed off a dead member; if
+// the member revives, the old registration is a duplicate to clean up.
+func (inv *Inventory) noteStale(id, appID string) {
+	inv.mu.Lock()
+	defer inv.mu.Unlock()
+	if m, ok := inv.members[id]; ok {
+		m.stale = append(m.stale, appID)
+	}
+}
+
+// clearStale drops a cleaned-up stale ID.
+func (inv *Inventory) clearStale(id, appID string) {
+	inv.mu.Lock()
+	defer inv.mu.Unlock()
+	m, ok := inv.members[id]
+	if !ok {
+		return
+	}
+	for i, s := range m.stale {
+		if s == appID {
+			m.stale = append(m.stale[:i], m.stale[i+1:]...)
+			return
+		}
+	}
+}

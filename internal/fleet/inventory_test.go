@@ -1,0 +1,150 @@
+package fleet
+
+import (
+	"context"
+	"net/url"
+	"testing"
+
+	"repro/internal/faultinject"
+)
+
+// hostOf extracts "host:port" from an httptest base URL for
+// faultinject.Partition, which keys on hosts.
+func hostOf(t *testing.T, base string) string {
+	t.Helper()
+	u, err := url.Parse(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return u.Host
+}
+
+// TestInventoryPollTracksTopologyAndApps: a poll learns the member's
+// topology and mirrors its coopd registry, including apps registered
+// behind the fleet's back.
+func TestInventoryPollTracksTopologyAndApps(t *testing.T) {
+	ctx := context.Background()
+	hs := newCoopd(t)
+	inv := NewInventory(InventoryConfig{NewClient: fastClients(nil)})
+	if err := inv.Add("a", hs.URL); err != nil {
+		t.Fatal(err)
+	}
+	if m, _ := inv.Member("a"); m.Healthy() {
+		t.Fatal("member healthy before first poll")
+	}
+
+	// An app registers directly with the machine's coopd, not via the
+	// fleet: the poll must still pick it up.
+	cli, err := inv.Client("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cli.Register(ctx, memSpec("loner").registerRequest()); err != nil {
+		t.Fatal(err)
+	}
+
+	inv.Poll(ctx)
+	m, ok := inv.Member("a")
+	if !ok || !m.Healthy() {
+		t.Fatalf("member not healthy after poll: %+v", m)
+	}
+	if m.Topology == nil || m.Topology.NumNodes() != 4 {
+		t.Fatalf("topology not learned: %v", m.Topology)
+	}
+	if len(m.Apps) != 1 || m.Apps[0].Name != "loner" {
+		t.Fatalf("apps = %+v, want the directly registered app", m.Apps)
+	}
+	if !near(m.TotalGFLOPS, 64) {
+		t.Fatalf("TotalGFLOPS = %g, want the machine's solved ~64", m.TotalGFLOPS)
+	}
+}
+
+// TestInventoryDeathAndRevival: FailAfter consecutive failed polls
+// declare a member dead; one successful poll after the partition heals
+// revives it and resets the failure count.
+func TestInventoryDeathAndRevival(t *testing.T) {
+	ctx := context.Background()
+	hs := newCoopd(t)
+	part := faultinject.NewPartition()
+	inv := NewInventory(InventoryConfig{
+		NewClient: fastClients(part.Transport(nil)),
+		FailAfter: 2,
+	})
+	if err := inv.Add("a", hs.URL); err != nil {
+		t.Fatal(err)
+	}
+	inv.Poll(ctx)
+	if m, _ := inv.Member("a"); !m.Healthy() {
+		t.Fatal("member not healthy on a clean network")
+	}
+
+	part.Isolate(hostOf(t, hs.URL))
+	inv.Poll(ctx)
+	if m, _ := inv.Member("a"); m.Dead || m.Failures != 1 {
+		t.Fatalf("after one failed poll: dead=%v failures=%d, want suspect", m.Dead, m.Failures)
+	}
+	inv.Poll(ctx)
+	if m, _ := inv.Member("a"); !m.Dead {
+		t.Fatal("member not dead after FailAfter failed polls")
+	}
+
+	part.Heal(hostOf(t, hs.URL))
+	inv.Poll(ctx)
+	if m, _ := inv.Member("a"); !m.Healthy() || m.Failures != 0 {
+		t.Fatalf("after heal: healthy=%v failures=%d, want revived", m.Healthy(), m.Failures)
+	}
+}
+
+// TestInventoryEndpointFailover: a member listed with two endpoints (an
+// HA pair) stays healthy when the preferred endpoint is down, by
+// failing over to the second.
+func TestInventoryEndpointFailover(t *testing.T) {
+	ctx := context.Background()
+	live := newCoopd(t)
+	deadHS := newCoopd(t)
+	deadURL := deadHS.URL
+	deadHS.Close() // refuses connections from here on
+
+	inv := NewInventory(InventoryConfig{NewClient: fastClients(nil)})
+	if err := inv.Add("a", deadURL, live.URL); err != nil {
+		t.Fatal(err)
+	}
+	inv.Poll(ctx)
+	m, _ := inv.Member("a")
+	if !m.Healthy() {
+		t.Fatal("member not healthy despite a live second endpoint")
+	}
+	// The preferred client must now be the live endpoint, so writes
+	// (register/deregister) go where reads succeeded.
+	cli, err := inv.Client("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cli.Register(ctx, memSpec("after-failover").registerRequest()); err != nil {
+		t.Fatalf("register via preferred client after failover: %v", err)
+	}
+}
+
+// TestInventoryAddValidation: duplicate IDs and empty members are
+// rejected.
+func TestInventoryAddValidation(t *testing.T) {
+	inv := NewInventory(InventoryConfig{})
+	if err := inv.Add("", "http://x"); err == nil {
+		t.Fatal("empty id accepted")
+	}
+	if err := inv.Add("a"); err == nil {
+		t.Fatal("member without endpoints accepted")
+	}
+	if err := inv.Add("a", "http://x"); err != nil {
+		t.Fatal(err)
+	}
+	if err := inv.Add("a", "http://y"); err == nil {
+		t.Fatal("duplicate member accepted")
+	}
+	if !inv.SetDraining("a", true) {
+		t.Fatal("SetDraining failed for a known member")
+	}
+	if inv.SetDraining("ghost", true) {
+		t.Fatal("SetDraining succeeded for an unknown member")
+	}
+}

@@ -1,0 +1,180 @@
+package fleet
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/machine"
+	"repro/internal/roofline"
+)
+
+// scoreTieEps is the margin within which two placement scores count as
+// tied; ties break to the candidate with fewer apps, then the lower
+// member ID, so repeated placements spread instead of piling onto the
+// first machine.
+const scoreTieEps = 1e-6
+
+// ErrNoCandidate is returned when no healthy, non-draining member can
+// host the app.
+var ErrNoCandidate = fmt.Errorf("fleet: no healthy member can host the app")
+
+// candidate is one member's scoring state during a decision. The
+// rebalancer reuses candidates across several decisions, appending each
+// chosen app so later decisions see earlier simulated moves.
+type candidate struct {
+	id     string
+	topo   *machine.Machine
+	demand []roofline.App
+	apps   int
+	bad    int // numa-bad registrations
+
+	before    float64 // SolveTotal(demand), computed lazily
+	beforeSet bool
+}
+
+// candidatesFrom builds scoring candidates from healthy, non-draining
+// members (ID order is preserved from the snapshot).
+func candidatesFrom(members []Member) []*candidate {
+	var out []*candidate
+	for i := range members {
+		m := &members[i]
+		if !m.Healthy() || m.Draining {
+			continue
+		}
+		out = append(out, &candidate{
+			id:     m.ID,
+			topo:   m.Topology,
+			demand: m.demandSet(),
+			apps:   len(m.Apps),
+			bad:    m.NUMABadApps(),
+		})
+	}
+	return out
+}
+
+// Decision is the outcome of scoring one app against the fleet.
+type Decision struct {
+	// Member is the chosen machine.
+	Member string
+	// Score is the marginal aggregate GFLOPS of the placement (may be
+	// negative: the least-bad bin).
+	Score float64
+	// After is the chosen machine's predicted aggregate with the app.
+	After float64
+}
+
+// decide scores app against every candidate and picks the best bin.
+// Anti-affinity: a numa-bad app avoids machines that already host a
+// numa-bad demand set — two such sets on one machine serialize on each
+// other's home-node bandwidth (the paper's Section III reversal). The
+// rule is soft: if every machine already hosts one, the app still
+// places on the best-scoring machine rather than being rejected.
+func (sc *Scorer) decide(spec AppSpec, cands []*candidate) (*Decision, *candidate, error) {
+	app, err := spec.rooflineApp()
+	if err != nil {
+		return nil, nil, err
+	}
+	pool := cands
+	if spec.numaBad() {
+		var clean []*candidate
+		for _, c := range pool {
+			if c.bad == 0 {
+				clean = append(clean, c)
+			}
+		}
+		if len(clean) > 0 {
+			pool = clean
+		}
+	}
+	var best *candidate
+	var bestScore, bestAfter float64
+	for _, c := range pool {
+		if spec.numaBad() && (spec.HomeNode < 0 || spec.HomeNode >= c.topo.NumNodes()) {
+			continue // home node does not exist on this machine
+		}
+		if !c.beforeSet {
+			c.before, err = sc.SolveTotal(c.topo, c.demand)
+			if err != nil {
+				continue
+			}
+			c.beforeSet = true
+		}
+		with := make([]roofline.App, 0, len(c.demand)+1)
+		with = append(with, c.demand...)
+		with = append(with, app)
+		after, err := sc.SolveTotal(c.topo, with)
+		if err != nil {
+			continue
+		}
+		score := after - c.before
+		switch {
+		case best == nil, score > bestScore+scoreTieEps:
+			best, bestScore, bestAfter = c, score, after
+		case score > bestScore-scoreTieEps && c.apps < best.apps:
+			// Tied score: prefer the emptier machine (candidates arrive in
+			// ID order, so equal-apps ties keep the first, lowest ID).
+			best, bestScore, bestAfter = c, score, after
+		}
+	}
+	if best == nil {
+		return nil, nil, ErrNoCandidate
+	}
+	return &Decision{Member: best.id, Score: bestScore, After: bestAfter}, best, nil
+}
+
+// commit folds the decided app into the candidate so subsequent
+// decisions against the same candidate set see it.
+func (c *candidate) commit(spec AppSpec) {
+	if app, err := spec.rooflineApp(); err == nil {
+		c.demand = append(c.demand, app)
+	}
+	c.apps++
+	if spec.numaBad() {
+		c.bad++
+	}
+	c.beforeSet = false
+}
+
+// Placer assigns incoming apps to fleet members.
+type Placer struct {
+	Inv    *Inventory
+	Scorer *Scorer
+	// Logf, when set, receives placement logs.
+	Logf func(format string, args ...any)
+}
+
+// Decide scores the app against the current inventory without
+// registering it anywhere (the dry-run behind `coopctl fleet place -n`
+// style tooling and the rebalancer's simulations).
+func (p *Placer) Decide(spec AppSpec) (*Decision, error) {
+	d, _, err := p.Scorer.decide(spec, candidatesFrom(p.Inv.Snapshot()))
+	return d, err
+}
+
+// Place decides and registers the app on the chosen member's coopd,
+// recording the placement in the inventory so immediately following
+// decisions score against it.
+func (p *Placer) Place(ctx context.Context, spec AppSpec) (*Decision, PlacedApp, error) {
+	d, _, err := p.Scorer.decide(spec, candidatesFrom(p.Inv.Snapshot()))
+	if err != nil {
+		return nil, PlacedApp{}, err
+	}
+	cli, err := p.Inv.Client(d.Member)
+	if err != nil {
+		return nil, PlacedApp{}, err
+	}
+	resp, err := cli.Register(ctx, spec.registerRequest())
+	if err != nil {
+		return nil, PlacedApp{}, fmt.Errorf("fleet: registering %q on %s: %w", spec.Name, d.Member, err)
+	}
+	placed := PlacedApp{
+		ID: resp.ID, Name: spec.Name, AI: spec.AI, Placement: spec.Placement,
+		HomeNode: spec.HomeNode, MaxThreads: spec.MaxThreads, TTLMillis: spec.TTLMillis,
+	}
+	p.Inv.noteRegistered(d.Member, placed)
+	if p.Logf != nil {
+		p.Logf("fleet: placed %s on %s (marginal %+.1f GFLOPS, machine now %.1f)",
+			resp.ID, d.Member, d.Score, d.After)
+	}
+	return d, placed, nil
+}

@@ -1,0 +1,326 @@
+package fleet
+
+import (
+	"context"
+	"fmt"
+)
+
+// Move reasons, stable strings carried on the wire.
+const (
+	// ReasonMachineLost re-homes an app whose machine stopped answering.
+	ReasonMachineLost = "machine-lost"
+	// ReasonDrain empties a member marked draining.
+	ReasonDrain = "drain"
+	// ReasonRebalance closes an imbalance gap against the greedy re-pack.
+	ReasonRebalance = "rebalance"
+)
+
+// Move is one planned app relocation.
+type Move struct {
+	// AppID is the app's ID on the source machine (its registration
+	// there; the target assigns a fresh ID).
+	AppID string `json:"app_id"`
+	// App is the spec re-registered on the target.
+	App AppSpec `json:"app"`
+	// From and To are member IDs. From's registration is dropped (or
+	// already gone, for a lost machine).
+	From string `json:"from"`
+	To   string `json:"to"`
+	// Reason is one of the Reason* constants.
+	Reason string `json:"reason"`
+	// Score is the marginal aggregate GFLOPS of the placement on To.
+	Score float64 `json:"score"`
+}
+
+// StaleDereg is a duplicate registration left on a revived member: the
+// app was re-homed while the member was dead, so the old local copy
+// must be deregistered.
+type StaleDereg struct {
+	Member string `json:"member"`
+	AppID  string `json:"app_id"`
+}
+
+// Plan is one rebalance round's decisions.
+type Plan struct {
+	Moves []Move `json:"moves,omitempty"`
+	// Deferred counts moves the per-round bound pushed to later rounds.
+	Deferred int `json:"deferred,omitempty"`
+	// StaleDeregs are duplicate cleanups on revived members (not
+	// counted against the move bound — they free capacity, never churn
+	// it).
+	StaleDeregs []StaleDereg `json:"stale_deregs,omitempty"`
+	// CurrentGFLOPS is the solved aggregate over healthy members'
+	// demand sets; RepackGFLOPS is the aggregate of the greedy
+	// from-scratch re-pack the imbalance check compares against.
+	CurrentGFLOPS float64 `json:"current_gflops"`
+	RepackGFLOPS  float64 `json:"repack_gflops"`
+}
+
+// Rebalancer turns inventory drift — dead machines, draining members,
+// imbalance — into bounded move plans and executes them.
+type Rebalancer struct {
+	Inv    *Inventory
+	Placer *Placer
+	Scorer *Scorer
+	// MaxMovesPerRound bounds churn per round (default 4).
+	MaxMovesPerRound int
+	// Threshold triggers the imbalance pass when the current aggregate
+	// falls below Threshold x the greedy re-pack (default 0.9).
+	Threshold float64
+	// Logf, when set, receives move logs.
+	Logf func(format string, args ...any)
+}
+
+func (r *Rebalancer) maxMoves() int {
+	if r.MaxMovesPerRound > 0 {
+		return r.MaxMovesPerRound
+	}
+	return 4
+}
+
+func (r *Rebalancer) threshold() float64 {
+	if r.Threshold > 0 {
+		return r.Threshold
+	}
+	return 0.9
+}
+
+func (r *Rebalancer) logf(format string, args ...any) {
+	if r.Logf != nil {
+		r.Logf(format, args...)
+	}
+}
+
+// Plan computes one round's moves from the current inventory snapshot
+// without executing anything. Priority order: lost machines first (their
+// apps are getting no cores at all), then draining members, then — only
+// when nothing urgent is pending — the imbalance pass. Every target
+// decision runs against a simulated candidate set that accumulates the
+// round's earlier moves, so a plan never over-commits one machine.
+func (r *Rebalancer) Plan(ctx context.Context) (*Plan, error) {
+	members := r.Inv.Snapshot()
+	cands := candidatesFrom(members)
+	plan := &Plan{}
+
+	// Duplicate cleanup on revived members: app IDs re-homed while the
+	// member was dead that its registry still carries.
+	for i := range members {
+		m := &members[i]
+		if !m.Healthy() || len(m.Stale) == 0 {
+			continue
+		}
+		live := map[string]bool{}
+		for _, a := range m.Apps {
+			live[a.ID] = true
+		}
+		for _, id := range m.Stale {
+			if live[id] {
+				plan.StaleDeregs = append(plan.StaleDeregs, StaleDereg{Member: m.ID, AppID: id})
+			}
+		}
+	}
+
+	// Staleness-aware demand: apps listed in StaleDeregs are duplicates,
+	// excluded from move planning and the imbalance aggregate.
+	dup := map[string]bool{}
+	for _, sd := range plan.StaleDeregs {
+		dup[sd.Member+"/"+sd.AppID] = true
+	}
+
+	urgent := 0
+	for i := range members {
+		m := &members[i]
+		evacuate := m.Dead || (m.Healthy() && m.Draining)
+		if !evacuate {
+			continue
+		}
+		reason := ReasonDrain
+		if m.Dead {
+			reason = ReasonMachineLost
+		}
+		for _, app := range m.Apps {
+			if dup[m.ID+"/"+app.ID] {
+				continue
+			}
+			d, c, err := r.Scorer.decide(app.Spec(), cands)
+			if err != nil {
+				r.logf("fleet: cannot re-home %s from %s: %v", app.ID, m.ID, err)
+				continue
+			}
+			plan.Moves = append(plan.Moves, Move{
+				AppID: app.ID, App: app.Spec(), From: m.ID, To: d.Member,
+				Reason: reason, Score: d.Score,
+			})
+			c.commit(app.Spec())
+			urgent++
+		}
+	}
+
+	if urgent == 0 {
+		r.planImbalance(plan, members, dup)
+	}
+
+	if limit := r.maxMoves(); len(plan.Moves) > limit {
+		plan.Deferred = len(plan.Moves) - limit
+		plan.Moves = plan.Moves[:limit]
+	}
+	return plan, ctx.Err()
+}
+
+// planImbalance compares the fleet's current solved aggregate with a
+// greedy from-scratch re-pack of the same apps and, when the gap
+// exceeds the threshold, emits moves for the apps whose re-pack target
+// differs from their current machine.
+func (r *Rebalancer) planImbalance(plan *Plan, members []Member, dup map[string]bool) {
+	type owned struct {
+		member string
+		app    PlacedApp
+	}
+	var apps []owned
+	current := 0.0
+	for i := range members {
+		m := &members[i]
+		if !m.Healthy() || m.Draining {
+			continue
+		}
+		demand := make([]PlacedApp, 0, len(m.Apps))
+		for _, a := range m.Apps {
+			if dup[m.ID+"/"+a.ID] {
+				continue
+			}
+			demand = append(demand, a)
+			apps = append(apps, owned{member: m.ID, app: a})
+		}
+		mm := *m
+		mm.Apps = demand
+		total, err := r.Scorer.SolveTotal(mm.Topology, mm.demandSet())
+		if err != nil {
+			r.logf("fleet: scoring %s: %v", m.ID, err)
+			return
+		}
+		current += total
+	}
+	plan.CurrentGFLOPS = current
+	if len(apps) == 0 {
+		return
+	}
+
+	// Greedy re-pack: fresh candidates (empty demand), every app placed
+	// from scratch in deterministic (member ID, app ID) order.
+	fresh := candidatesFrom(members)
+	for _, c := range fresh {
+		c.demand, c.apps, c.bad = nil, 0, 0
+		c.beforeSet = false
+	}
+	target := map[string]string{} // "member/appID" -> repack member
+	for _, o := range apps {
+		d, c, err := r.Scorer.decide(o.app.Spec(), fresh)
+		if err != nil {
+			return
+		}
+		target[o.member+"/"+o.app.ID] = d.Member
+		c.commit(o.app.Spec())
+	}
+	repack := 0.0
+	for _, c := range fresh {
+		total, err := r.Scorer.SolveTotal(c.topo, c.demand)
+		if err != nil {
+			return
+		}
+		repack += total
+	}
+	plan.RepackGFLOPS = repack
+	if current >= r.threshold()*repack {
+		return
+	}
+
+	// The gap is worth churn: move the apps the re-pack homes elsewhere.
+	// Targets come from the re-pack simulation itself, so the moves land
+	// the fleet at (a bounded prefix of) the re-packed assignment.
+	for _, o := range apps {
+		if to := target[o.member+"/"+o.app.ID]; to != o.member {
+			plan.Moves = append(plan.Moves, Move{
+				AppID: o.app.ID, App: o.app.Spec(), From: o.member, To: to,
+				Reason: ReasonRebalance,
+			})
+		}
+	}
+}
+
+// Execute applies a plan: duplicate cleanups first, then each move as
+// drain-then-place — deregister from a live source before registering
+// on the target, so the app never counts twice. A lost machine cannot
+// be drained; its moves register on the target first and record the old
+// ID as stale for cleanup if the machine revives.
+func (r *Rebalancer) Execute(ctx context.Context, plan *Plan) error {
+	var firstErr error
+	keep := func(err error) {
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	for _, sd := range plan.StaleDeregs {
+		cli, err := r.Inv.Client(sd.Member)
+		if err != nil {
+			keep(err)
+			continue
+		}
+		if err := cli.Deregister(ctx, sd.AppID); err != nil {
+			keep(fmt.Errorf("fleet: cleaning stale %s on %s: %w", sd.AppID, sd.Member, err))
+			continue
+		}
+		r.Inv.clearStale(sd.Member, sd.AppID)
+		r.Inv.noteDeregistered(sd.Member, sd.AppID)
+		r.logf("fleet: cleaned stale duplicate %s on revived %s", sd.AppID, sd.Member)
+	}
+	for _, mv := range plan.Moves {
+		if mv.Reason != ReasonMachineLost {
+			cli, err := r.Inv.Client(mv.From)
+			if err != nil {
+				keep(err)
+				continue
+			}
+			if err := cli.Deregister(ctx, mv.AppID); err != nil {
+				// The source refused the drain; skip the move rather than
+				// double-register the app. Next round re-plans.
+				keep(fmt.Errorf("fleet: draining %s from %s: %w", mv.AppID, mv.From, err))
+				continue
+			}
+			r.Inv.noteDeregistered(mv.From, mv.AppID)
+		}
+		cli, err := r.Inv.Client(mv.To)
+		if err != nil {
+			keep(err)
+			continue
+		}
+		resp, err := cli.Register(ctx, mv.App.registerRequest())
+		if err != nil {
+			keep(fmt.Errorf("fleet: re-homing %s to %s: %w", mv.AppID, mv.To, err))
+			continue
+		}
+		if mv.Reason == ReasonMachineLost {
+			r.Inv.noteDeregistered(mv.From, mv.AppID)
+			r.Inv.noteStale(mv.From, mv.AppID)
+		}
+		r.Inv.noteRegistered(mv.To, PlacedApp{
+			ID: resp.ID, Name: mv.App.Name, AI: mv.App.AI, Placement: mv.App.Placement,
+			HomeNode: mv.App.HomeNode, MaxThreads: mv.App.MaxThreads, TTLMillis: mv.App.TTLMillis,
+		})
+		r.logf("fleet: moved %s: %s -> %s as %s (%s, score %+.1f)",
+			mv.AppID, mv.From, mv.To, resp.ID, mv.Reason, mv.Score)
+	}
+	return firstErr
+}
+
+// Round runs one control-loop iteration: poll the fleet, plan, execute.
+func (r *Rebalancer) Round(ctx context.Context) (*Plan, error) {
+	r.Inv.Poll(ctx)
+	plan, err := r.Plan(ctx)
+	if err != nil {
+		return plan, err
+	}
+	if err := r.Execute(ctx, plan); err != nil {
+		return plan, err
+	}
+	return plan, nil
+}

@@ -1,0 +1,141 @@
+package fleet
+
+import (
+	"context"
+	"testing"
+)
+
+// twoMachineFleet starts two coopd machines, registers the Table I mix
+// (3 mem + 1 comp) entirely on machine a — the worst case a naive
+// client fleet produces — and returns a polled inventory plus a
+// rebalancer over it.
+func twoMachineFleet(t *testing.T, maxMoves int) (*Inventory, *Rebalancer) {
+	t.Helper()
+	ctx := context.Background()
+	a, b := newCoopd(t), newCoopd(t)
+	inv := NewInventory(InventoryConfig{NewClient: fastClients(nil), FailAfter: 2})
+	if err := inv.Add("a", a.URL); err != nil {
+		t.Fatal(err)
+	}
+	if err := inv.Add("b", b.URL); err != nil {
+		t.Fatal(err)
+	}
+	inv.Poll(ctx)
+	cli, err := inv.Client("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, spec := range []AppSpec{memSpec("mem-a"), memSpec("mem-b"), memSpec("mem-c"), compSpec("comp")} {
+		if _, err := cli.Register(ctx, spec.registerRequest()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	inv.Poll(ctx)
+	sc := NewScorer()
+	reb := &Rebalancer{
+		Inv:              inv,
+		Placer:           &Placer{Inv: inv, Scorer: sc, Logf: t.Logf},
+		Scorer:           sc,
+		MaxMovesPerRound: maxMoves,
+		Logf:             t.Logf,
+	}
+	return inv, reb
+}
+
+// TestRebalanceClosesImbalanceGap: all four Table I apps piled on one
+// machine solve to 254 GFLOPS while the greedy re-pack of the same apps
+// over both machines reaches 384 ({comp, mem} at 320 + {mem, mem} at
+// 64); the gap exceeds the 0.9 threshold, so the rebalancer moves two
+// memory apps over — and the following round finds the fleet inside the
+// threshold and leaves it alone (no churn at the fixed point).
+func TestRebalanceClosesImbalanceGap(t *testing.T) {
+	ctx := context.Background()
+	inv, reb := twoMachineFleet(t, 4)
+
+	plan, err := reb.Round(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !near(plan.CurrentGFLOPS, 254) || !near(plan.RepackGFLOPS, 384) {
+		t.Fatalf("current %g / repack %g GFLOPS, want ~254 / ~384",
+			plan.CurrentGFLOPS, plan.RepackGFLOPS)
+	}
+	if len(plan.Moves) != 2 || plan.Deferred != 0 {
+		t.Fatalf("planned %d moves (%d deferred), want exactly 2", len(plan.Moves), plan.Deferred)
+	}
+	for _, mv := range plan.Moves {
+		if mv.Reason != ReasonRebalance || mv.From != "a" || mv.To != "b" {
+			t.Fatalf("move %+v, want rebalance a -> b", mv)
+		}
+	}
+
+	inv.Poll(ctx)
+	ma, _ := inv.Member("a")
+	mb, _ := inv.Member("b")
+	if len(ma.Apps) != 2 || len(mb.Apps) != 2 {
+		t.Fatalf("apps after rebalance: a=%d b=%d, want 2/2", len(ma.Apps), len(mb.Apps))
+	}
+	if !near(ma.TotalGFLOPS+mb.TotalGFLOPS, 384) {
+		t.Fatalf("aggregate %g after rebalance, want ~384", ma.TotalGFLOPS+mb.TotalGFLOPS)
+	}
+
+	again, err := reb.Round(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(again.Moves) != 0 {
+		t.Fatalf("steady state still churns: %+v", again.Moves)
+	}
+}
+
+// TestRebalanceBoundsMovesPerRound: with the per-round cap at 1, the
+// same imbalance is closed one move at a time, reporting the deferred
+// remainder.
+func TestRebalanceBoundsMovesPerRound(t *testing.T) {
+	ctx := context.Background()
+	_, reb := twoMachineFleet(t, 1)
+	plan, err := reb.Round(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Moves) != 1 || plan.Deferred != 1 {
+		t.Fatalf("moves %d / deferred %d, want 1 / 1", len(plan.Moves), plan.Deferred)
+	}
+}
+
+// TestRebalanceDrainsMarkedMember: draining is urgent — every app on
+// the draining member moves off (threshold ignored), targets exclude
+// the member, and the moves carry the drain reason.
+func TestRebalanceDrainsMarkedMember(t *testing.T) {
+	ctx := context.Background()
+	inv, reb := twoMachineFleet(t, 4)
+	if !inv.SetDraining("a", true) {
+		t.Fatal("SetDraining failed")
+	}
+	plan, err := reb.Round(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Moves) != 4 {
+		t.Fatalf("planned %d moves, want all 4 apps off the draining member", len(plan.Moves))
+	}
+	for _, mv := range plan.Moves {
+		if mv.Reason != ReasonDrain || mv.From != "a" || mv.To != "b" {
+			t.Fatalf("move %+v, want drain a -> b", mv)
+		}
+	}
+	inv.Poll(ctx)
+	if n := appsOn(t, inv, "a"); n != 0 {
+		t.Fatalf("draining member still hosts %d apps", n)
+	}
+	if n := appsOn(t, inv, "b"); n != 4 {
+		t.Fatalf("survivor hosts %d apps, want 4", n)
+	}
+	// The drained member receives no new placements while draining.
+	pl := reb.Placer
+	if d, err := pl.Decide(memSpec("fresh")); err != nil {
+		t.Fatal(err)
+	} else if d.Member != "b" {
+		t.Fatalf("fresh app decided onto draining member %s", d.Member)
+	}
+}

@@ -1,0 +1,61 @@
+package fleet
+
+import (
+	"errors"
+
+	"repro/internal/machine"
+	"repro/internal/roofline"
+)
+
+// Scorer computes placement scores with the same solve semantics the
+// coopd allocator uses, so the fleet's predicted aggregate matches what
+// the machines actually serve: BestPerNodeCountsFloor with a floor of
+// one thread per app per node (no starvation), falling back to floor
+// zero when the floors alone over-subscribe a node. One Scorer is safe
+// for concurrent use (roofline.Search pools evaluators internally).
+type Scorer struct {
+	search roofline.Search
+}
+
+// NewScorer returns a ready Scorer.
+func NewScorer() *Scorer { return &Scorer{} }
+
+// SolveTotal returns the machine's aggregate GFLOPS for the demand set
+// under the fleet's solve semantics. An empty demand set scores zero.
+// Note MaxThreads caps are not applied here: the cap trims a single
+// app's share after the solve on the machine itself, while the fleet
+// scores the uncapped optimum — a deliberate simplification documented
+// in DESIGN.md (caps are rare and machine-local).
+func (sc *Scorer) SolveTotal(m *machine.Machine, demand []roofline.App) (float64, error) {
+	if len(demand) == 0 {
+		return 0, nil
+	}
+	_, _, res, err := sc.search.BestPerNodeCountsFloor(m, demand, nil, 1)
+	if errors.Is(err, roofline.ErrNoAllocation) {
+		_, _, res, err = sc.search.BestPerNodeCountsFloor(m, demand, nil, 0)
+	}
+	if err != nil {
+		return 0, err
+	}
+	return res.TotalGFLOPS, nil
+}
+
+// Marginal returns the placement score of adding app to a machine with
+// the given demand set: solved aggregate after minus before. It can be
+// negative — a memory-bound app joining a compute-heavy machine drags
+// the optimum down — and the Placer uses exactly that to steer the app
+// to the bin where it costs the least (or helps the most).
+func (sc *Scorer) Marginal(m *machine.Machine, demand []roofline.App, app roofline.App) (marginal, after float64, err error) {
+	before, err := sc.SolveTotal(m, demand)
+	if err != nil {
+		return 0, 0, err
+	}
+	with := make([]roofline.App, 0, len(demand)+1)
+	with = append(with, demand...)
+	with = append(with, app)
+	after, err = sc.SolveTotal(m, with)
+	if err != nil {
+		return 0, 0, err
+	}
+	return after - before, after, nil
+}

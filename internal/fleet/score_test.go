@@ -1,0 +1,89 @@
+package fleet
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/machine"
+	"repro/internal/roofline"
+)
+
+// near checks a GFLOPS value against a hand-derived paper-model figure.
+func near(got, want float64) bool { return math.Abs(got-want) < 0.5 }
+
+func mustRoofline(t *testing.T, s AppSpec) roofline.App {
+	t.Helper()
+	app, err := s.rooflineApp()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return app
+}
+
+// TestScorerSolveTotalPaperModel pins the hand-derived optima on the
+// paper's 4-node x 8-core machine (peak 10 GFLOPS/core, 32 GB/s/node):
+// a lone memory-bound app saturates node bandwidth at 64 GFLOPS, the
+// {mem, comp} pair fills each node to its 80 GFLOPS peak, and each
+// additional memory-bound app steals a compute core (Table I's mix of
+// three of them lands at 254).
+func TestScorerSolveTotalPaperModel(t *testing.T) {
+	m := machine.PaperModel()
+	sc := NewScorer()
+	cases := []struct {
+		name string
+		mem  int
+		comp int
+		want float64
+	}{
+		{"empty", 0, 0, 0},
+		{"mem", 1, 0, 64},
+		{"4mem", 4, 0, 64},
+		{"mem+comp", 1, 1, 320},
+		{"2mem+comp", 2, 1, 292},
+		{"3mem+comp", 3, 1, 254},
+		{"4mem+comp", 4, 1, 216},
+	}
+	for _, tc := range cases {
+		var demand []roofline.App
+		for i := 0; i < tc.mem; i++ {
+			demand = append(demand, mustRoofline(t, memSpec("mem")))
+		}
+		for i := 0; i < tc.comp; i++ {
+			demand = append(demand, mustRoofline(t, compSpec("comp")))
+		}
+		got, err := sc.SolveTotal(m, demand)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if !near(got, tc.want) {
+			t.Errorf("%s: solved %g GFLOPS, want ~%g", tc.name, got, tc.want)
+		}
+	}
+}
+
+// TestScorerMarginal checks the placement score is the aggregate delta:
+// a compute-bound app arriving on a machine already running one
+// memory-bound app is worth +256 (64 -> 320), while a second
+// memory-bound app on the same machine is worth nothing (bandwidth is
+// already saturated).
+func TestScorerMarginal(t *testing.T) {
+	m := machine.PaperModel()
+	sc := NewScorer()
+	base := []roofline.App{mustRoofline(t, memSpec("mem"))}
+
+	marginal, after, err := sc.Marginal(m, base, mustRoofline(t, compSpec("comp")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !near(marginal, 256) || !near(after, 320) {
+		t.Errorf("comp onto {mem}: marginal %g after %g, want ~256 / ~320", marginal, after)
+	}
+
+	marginal, after, err = sc.Marginal(m, base, mustRoofline(t, memSpec("mem-2")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !near(marginal, 0) || !near(after, 64) {
+		t.Errorf("mem onto {mem}: marginal %g after %g, want ~0 / ~64", marginal, after)
+	}
+}

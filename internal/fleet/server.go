@@ -1,0 +1,286 @@
+package fleet
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/ctrlplane"
+)
+
+// ServerConfig tunes a fleet Server.
+type ServerConfig struct {
+	// Inventory is the member tracker. Required; add members before or
+	// after construction.
+	Inventory *Inventory
+	// PollInterval is the background inventory refresh period between
+	// rebalance rounds (default 2s).
+	PollInterval time.Duration
+	// RebalanceInterval is the control-loop period (default 10s).
+	RebalanceInterval time.Duration
+	// MaxMovesPerRound and Threshold tune the rebalancer (see
+	// Rebalancer; zero values take its defaults).
+	MaxMovesPerRound int
+	Threshold        float64
+	// Logf, when set, receives placement and rebalance logs.
+	Logf func(format string, args ...any)
+}
+
+// Server exposes the placement subsystem over HTTP. Create with
+// NewServer, mount Handler, and call Start/Close around its lifetime to
+// run the background poll + rebalance loop (handlers work without
+// Start; /v1/fleet/plan and place poll on demand in tests that drive
+// rounds manually).
+type Server struct {
+	cfg ServerConfig
+	inv *Inventory
+	pl  *Placer
+	reb *Rebalancer
+	mux *http.ServeMux
+
+	// placeMu serializes placement decisions so two concurrent place
+	// calls cannot both pick the same "emptiest" machine unseen.
+	placeMu sync.Mutex
+
+	started  atomic.Bool
+	stopOnce sync.Once
+	stop     chan struct{}
+	done     chan struct{}
+}
+
+// NewServer builds the server and its Placer/Rebalancer around the
+// configured inventory.
+func NewServer(cfg ServerConfig) (*Server, error) {
+	if cfg.Inventory == nil {
+		return nil, errors.New("fleet: no inventory configured")
+	}
+	if cfg.PollInterval <= 0 {
+		cfg.PollInterval = 2 * time.Second
+	}
+	if cfg.RebalanceInterval <= 0 {
+		cfg.RebalanceInterval = 10 * time.Second
+	}
+	sc := NewScorer()
+	pl := &Placer{Inv: cfg.Inventory, Scorer: sc, Logf: cfg.Logf}
+	s := &Server{
+		cfg: cfg,
+		inv: cfg.Inventory,
+		pl:  pl,
+		reb: &Rebalancer{
+			Inv: cfg.Inventory, Placer: pl, Scorer: sc,
+			MaxMovesPerRound: cfg.MaxMovesPerRound, Threshold: cfg.Threshold,
+			Logf: cfg.Logf,
+		},
+		mux:  http.NewServeMux(),
+		stop: make(chan struct{}),
+		done: make(chan struct{}),
+	}
+	s.mux.HandleFunc("/v1/fleet/place", s.handlePlace)
+	s.mux.HandleFunc("/v1/fleet/machines", s.handleMachines)
+	s.mux.HandleFunc("/v1/fleet/plan", s.handlePlan)
+	s.mux.HandleFunc("/v1/fleet/drain", s.handleDrain)
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	return s, nil
+}
+
+// Handler returns the HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Inventory returns the underlying inventory.
+func (s *Server) Inventory() *Inventory { return s.inv }
+
+// Placer returns the underlying placer.
+func (s *Server) Placer() *Placer { return s.pl }
+
+// Rebalancer returns the underlying rebalancer.
+func (s *Server) Rebalancer() *Rebalancer { return s.reb }
+
+// Start launches the background poll + rebalance loop.
+func (s *Server) Start() {
+	if !s.started.CompareAndSwap(false, true) {
+		return
+	}
+	go func() {
+		defer close(s.done)
+		ctx := context.Background()
+		poll := time.NewTicker(s.cfg.PollInterval)
+		defer poll.Stop()
+		reb := time.NewTicker(s.cfg.RebalanceInterval)
+		defer reb.Stop()
+		s.inv.Poll(ctx)
+		for {
+			select {
+			case <-s.stop:
+				return
+			case <-poll.C:
+				s.inv.Poll(ctx)
+			case <-reb.C:
+				s.placeMu.Lock()
+				if _, err := s.reb.Round(ctx); err != nil && s.cfg.Logf != nil {
+					s.cfg.Logf("fleet: rebalance round: %v", err)
+				}
+				s.placeMu.Unlock()
+			}
+		}
+	}()
+}
+
+// Close stops the background loop (idempotent; safe without Start).
+func (s *Server) Close() {
+	s.stopOnce.Do(func() { close(s.stop) })
+	if s.started.Load() {
+		<-s.done
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, ctrlplane.ErrorResponse{Error: msg})
+}
+
+func (s *Server) handlePlace(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	var spec AppSpec
+	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<20)).Decode(&spec); err != nil {
+		writeError(w, http.StatusBadRequest, "decoding request: "+err.Error())
+		return
+	}
+	if _, err := spec.rooflineApp(); err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	s.placeMu.Lock()
+	d, placed, err := s.pl.Place(r.Context(), spec)
+	s.placeMu.Unlock()
+	if err != nil {
+		status := http.StatusBadGateway
+		if errors.Is(err, ErrNoCandidate) {
+			status = http.StatusServiceUnavailable
+		}
+		writeError(w, status, err.Error())
+		return
+	}
+	member, _ := s.inv.Member(d.Member)
+	writeJSON(w, http.StatusOK, PlaceResponse{
+		Machine: d.Member, ID: placed.ID, Endpoints: member.Endpoints,
+		Score: d.Score, After: d.After,
+	})
+}
+
+func (s *Server) handleMachines(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
+	writeJSON(w, http.StatusOK, s.machines())
+}
+
+// machines builds the wire view from the current snapshot.
+func (s *Server) machines() *MachinesResponse {
+	now := time.Now()
+	if s.inv.cfg.Clock != nil {
+		now = s.inv.cfg.Clock()
+	}
+	resp := &MachinesResponse{}
+	for _, m := range s.inv.Snapshot() {
+		v := MachineView{
+			ID: m.ID, Endpoints: m.Endpoints, Draining: m.Draining,
+			Apps: m.Apps, NUMABadApps: m.NUMABadApps(),
+			TotalGFLOPS: m.TotalGFLOPS, Generation: m.Generation,
+			Failures: m.Failures, StaleApps: m.Stale,
+			SinceSeenMillis: -1,
+		}
+		if v.Apps == nil {
+			v.Apps = []PlacedApp{}
+		}
+		if m.Topology != nil {
+			v.Machine = m.Topology.Name
+		}
+		if !m.LastSeen.IsZero() {
+			v.SinceSeenMillis = now.Sub(m.LastSeen).Milliseconds()
+		}
+		switch {
+		case m.Dead:
+			v.Status = StatusDead
+		case m.Topology == nil:
+			v.Status = StatusUnknown
+		case m.Failures > 0:
+			v.Status = StatusSuspect
+		default:
+			v.Status = StatusHealthy
+		}
+		if v.Status == StatusHealthy || v.Status == StatusSuspect {
+			resp.FleetGFLOPS += m.TotalGFLOPS
+		}
+		resp.Machines = append(resp.Machines, v)
+	}
+	return resp
+}
+
+func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
+	s.inv.Poll(r.Context())
+	plan, err := s.reb.Plan(r.Context())
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	if plan.Moves == nil {
+		plan.Moves = []Move{}
+	}
+	writeJSON(w, http.StatusOK, plan)
+}
+
+func (s *Server) handleDrain(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	var req DrainRequest
+	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<20)).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "decoding request: "+err.Error())
+		return
+	}
+	if !s.inv.SetDraining(req.Machine, !req.Undo) {
+		writeError(w, http.StatusNotFound, "unknown machine "+req.Machine)
+		return
+	}
+	writeJSON(w, http.StatusOK, DrainResponse{Machine: req.Machine, Draining: !req.Undo})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	resp := FleetHealthResponse{Status: "ok"}
+	for _, m := range s.inv.Snapshot() {
+		resp.Machines++
+		switch {
+		case m.Dead:
+			resp.Dead++
+		case m.Healthy():
+			resp.Healthy++
+		}
+		if m.Draining {
+			resp.Draining++
+		}
+		resp.Apps += len(m.Apps)
+	}
+	if resp.Dead > 0 || resp.Healthy == 0 {
+		resp.Status = "degraded"
+	}
+	writeJSON(w, http.StatusOK, resp)
+}

@@ -1,0 +1,113 @@
+package fleet
+
+import (
+	"context"
+	"net/http/httptest"
+	"testing"
+)
+
+// newFleetServer wires a fleet server (not Started — tests drive the
+// control loop by hand) over the given inventory and serves it via
+// httptest, returning a fleet API client for it.
+func newFleetServer(t *testing.T, inv *Inventory) (*Server, *Client) {
+	t.Helper()
+	srv, err := NewServer(ServerConfig{Inventory: inv, Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(srv.Close)
+	hs := httptest.NewServer(srv.Handler())
+	t.Cleanup(hs.Close)
+	return srv, NewClient(hs.URL, nil)
+}
+
+// TestServerPlaceAndMachines exercises the fleetd HTTP surface end to
+// end against one real coopd: place over HTTP, observe the machine
+// view, drain and undo, and the input-validation error paths.
+func TestServerPlaceAndMachines(t *testing.T) {
+	ctx := context.Background()
+	hs := newCoopd(t)
+	inv := NewInventory(InventoryConfig{NewClient: fastClients(nil)})
+	if err := inv.Add("a", hs.URL); err != nil {
+		t.Fatal(err)
+	}
+	inv.Poll(ctx)
+	_, fc := newFleetServer(t, inv)
+
+	resp, err := fc.Place(ctx, memSpec("web"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Machine != "a" || resp.ID == "" || !near(resp.Score, 64) {
+		t.Fatalf("place response %+v, want machine a, an ID, score ~64", resp)
+	}
+	if len(resp.Endpoints) == 0 {
+		t.Fatal("place response misses the machine's endpoints (clients need them to heartbeat)")
+	}
+
+	// The machines view reports last-polled totals; refresh it the way
+	// the Started control loop would.
+	inv.Poll(ctx)
+	ms, err := fc.Machines(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms.Machines) != 1 {
+		t.Fatalf("%d machines, want 1", len(ms.Machines))
+	}
+	mv := ms.Machines[0]
+	if mv.Status != StatusHealthy || len(mv.Apps) != 1 || mv.Machine == "" {
+		t.Fatalf("machine view %+v, want healthy with 1 app and a topology name", mv)
+	}
+	if !near(ms.FleetGFLOPS, 64) {
+		t.Fatalf("fleet aggregate %g, want ~64", ms.FleetGFLOPS)
+	}
+
+	// A plan over a balanced one-machine fleet is empty, served as a
+	// read-only dry run.
+	plan, err := fc.Plan(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Moves) != 0 || len(plan.StaleDeregs) != 0 {
+		t.Fatalf("dry-run plan not empty: %+v", plan)
+	}
+
+	// Drain round-trip, and 404 for unknown machines.
+	dr, err := fc.Drain(ctx, "a", false)
+	if err != nil || !dr.Draining {
+		t.Fatalf("drain: %+v, %v", dr, err)
+	}
+	if _, err := fc.Place(ctx, memSpec("while-draining")); err == nil {
+		t.Fatal("placement succeeded with every member draining")
+	}
+	if dr, err = fc.Drain(ctx, "a", true); err != nil || dr.Draining {
+		t.Fatalf("undo drain: %+v, %v", dr, err)
+	}
+	if _, err := fc.Drain(ctx, "ghost", false); err == nil {
+		t.Fatal("drain of unknown machine succeeded")
+	}
+
+	// Validation: non-positive AI is a client error, not a crash.
+	if _, err := fc.Place(ctx, AppSpec{Name: "zero-ai"}); err == nil {
+		t.Fatal("zero-AI spec accepted")
+	}
+
+	h, err := fc.Health(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Status != "ok" || h.Machines != 1 || h.Healthy != 1 || h.Apps != 1 {
+		t.Fatalf("health %+v, want ok with 1 healthy machine and 1 app", h)
+	}
+}
+
+// TestServerPlaceNoMembers: an empty fleet refuses placements with a
+// service-unavailable error rather than a hang or a panic.
+func TestServerPlaceNoMembers(t *testing.T) {
+	inv := NewInventory(InventoryConfig{NewClient: fastClients(nil)})
+	_, fc := newFleetServer(t, inv)
+	if _, err := fc.Place(context.Background(), memSpec("homeless")); err == nil {
+		t.Fatal("placement succeeded on an empty fleet")
+	}
+}

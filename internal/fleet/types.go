@@ -1,0 +1,93 @@
+package fleet
+
+// Wire types for the fleetd HTTP API:
+//
+//	POST /v1/fleet/place    AppSpec          -> PlaceResponse
+//	GET  /v1/fleet/machines                  -> MachinesResponse
+//	GET  /v1/fleet/plan                      -> Plan (read-only dry run)
+//	POST /v1/fleet/drain    DrainRequest     -> DrainResponse
+//	GET  /healthz                            -> FleetHealthResponse
+//
+// Errors reuse ctrlplane.ErrorResponse so the coopd client-side
+// decoding conventions carry over unchanged.
+
+// Member status strings reported in MachineView.
+const (
+	StatusHealthy = "healthy"
+	// StatusSuspect marks a member with failed polls that has not yet
+	// crossed the FailAfter threshold.
+	StatusSuspect = "suspect"
+	StatusDead    = "dead"
+	// StatusUnknown marks a member never successfully polled.
+	StatusUnknown = "unknown"
+)
+
+// MachineView is one member machine on the wire.
+type MachineView struct {
+	ID        string   `json:"id"`
+	Endpoints []string `json:"endpoints"`
+	// Status is healthy, suspect, dead, or unknown.
+	Status   string `json:"status"`
+	Draining bool   `json:"draining,omitempty"`
+	// Machine is the topology's display name ("" until known).
+	Machine string `json:"machine,omitempty"`
+	// Apps is the member's demand set as the fleet last saw it.
+	Apps []PlacedApp `json:"apps"`
+	// NUMABadApps counts numa-bad registrations (the anti-affinity
+	// input).
+	NUMABadApps int `json:"numa_bad_apps,omitempty"`
+	// TotalGFLOPS and Generation mirror the member's /v1/allocations.
+	TotalGFLOPS float64 `json:"total_gflops"`
+	Generation  uint64  `json:"generation"`
+	// SinceSeenMillis is the time since the last successful poll (-1
+	// when never polled).
+	SinceSeenMillis int64 `json:"since_seen_ms"`
+	Failures        int   `json:"failures,omitempty"`
+	// StaleApps lists re-homed app IDs pending cleanup on revival.
+	StaleApps []string `json:"stale_apps,omitempty"`
+}
+
+// MachinesResponse is the /v1/fleet/machines body.
+type MachinesResponse struct {
+	Machines []MachineView `json:"machines"`
+	// FleetGFLOPS sums healthy members' served aggregates.
+	FleetGFLOPS float64 `json:"fleet_gflops"`
+}
+
+// PlaceResponse confirms a placement.
+type PlaceResponse struct {
+	// Machine is the chosen member; ID is the app's handle on that
+	// machine's coopd (heartbeats go directly to the machine).
+	Machine string `json:"machine"`
+	ID      string `json:"id"`
+	// Endpoints are the chosen machine's coopd URLs, so the caller can
+	// reach its app without a fleet round trip.
+	Endpoints []string `json:"endpoints"`
+	// Score is the marginal fleet GFLOPS of the placement; After is the
+	// machine's predicted aggregate with the app.
+	Score float64 `json:"score"`
+	After float64 `json:"after"`
+}
+
+// DrainRequest asks the rebalancer to empty a member.
+type DrainRequest struct {
+	Machine string `json:"machine"`
+	// Undo re-enables placements instead.
+	Undo bool `json:"undo,omitempty"`
+}
+
+// DrainResponse acknowledges a drain toggle.
+type DrainResponse struct {
+	Machine  string `json:"machine"`
+	Draining bool   `json:"draining"`
+}
+
+// FleetHealthResponse is the fleet /healthz body.
+type FleetHealthResponse struct {
+	Status   string `json:"status"`
+	Machines int    `json:"machines"`
+	Healthy  int    `json:"healthy"`
+	Dead     int    `json:"dead"`
+	Draining int    `json:"draining"`
+	Apps     int    `json:"apps"`
+}

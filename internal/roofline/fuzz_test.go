@@ -22,5 +22,9 @@ func FuzzEvaluatorEquivalence(f *testing.F) {
 	f.Fuzz(func(t *testing.T, seed int64) {
 		r := rand.New(rand.NewSource(seed))
 		differentialRound(t, r)
+		// Same seed also drives the floor-search equivalence: NUMA-bad
+		// demand under MinPerNode-style floors >= 1 — the scoring path
+		// the fleet placer calls for every placement decision.
+		floorSearchRound(t, r)
 	})
 }

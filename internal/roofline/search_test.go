@@ -166,6 +166,54 @@ func TestSearchMatchesNaiveRandomized(t *testing.T) {
 	}
 }
 
+// floorSearchRound is the fuzz limb behind the fleet placer's scoring
+// path: a small random machine and a demand set with a guaranteed
+// NUMA-bad app, solved under a no-starvation floor >= 1 (the
+// BestPerNodeCountsFloor configuration fleetd scores every placement
+// with) and checked against the naive exhaustive reference. Machines
+// stay small (<= 3 nodes, <= 6 cores) so the naive recursion is cheap
+// inside the fuzz loop.
+func floorSearchRound(t *testing.T, r *rand.Rand) {
+	t.Helper()
+	nNodes := 2 + r.Intn(2)
+	m := &machine.Machine{Name: "floor-rand"}
+	for i := 0; i < nNodes; i++ {
+		m.Nodes = append(m.Nodes, machine.Node{
+			Cores:        2 + r.Intn(5),
+			PeakGFLOPS:   1 + 10*r.Float64(),
+			MemBandwidth: 4 + 40*r.Float64(),
+		})
+	}
+	if r.Intn(2) == 0 {
+		// Remote link limits make the NUMA-bad remote-first service
+		// order actually bite.
+		m.LinkBandwidth = make([][]float64, nNodes)
+		for i := range m.LinkBandwidth {
+			m.LinkBandwidth[i] = make([]float64, nNodes)
+			for j := range m.LinkBandwidth[i] {
+				if i != j {
+					m.LinkBandwidth[i][j] = 1 + 20*r.Float64()
+				}
+			}
+		}
+	}
+	nApps := 2 + r.Intn(2)
+	apps := make([]App, nApps)
+	for i := range apps {
+		apps[i] = App{Name: fmt.Sprintf("fapp%d", i), AI: pow2(r.Float64()*8 - 4)}
+	}
+	bad := r.Intn(nApps)
+	apps[bad].Placement = NUMABad
+	apps[bad].HomeNode = machine.NodeID(r.Intn(nNodes))
+	obj := Objective(TotalGFLOPS)
+	if r.Intn(3) == 0 {
+		obj = MinAppGFLOPS
+	}
+	floor := 1 + r.Intn(2)
+	var s Search
+	checkSearchMatchesNaive(t, fmt.Sprintf("floor=%d numa-bad=%d", floor, bad), &s, m, apps, obj, floor)
+}
+
 // TestSearchParallelDeterministic forces the parallel fan-out path
 // (C(16,8) = 12870 leaves, over the sequential threshold) and checks it
 // is (a) equal to the naive scan and (b) stable across repeated runs
