@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench benchall chaos fleet-chaos fuzz check fmt
+.PHONY: all build vet test race bench bench-fleet benchall chaos fleet-chaos drift-chaos fuzz check fmt
 
 all: check
 
@@ -29,6 +29,14 @@ bench:
 		-benchmem -run '^$$' ./internal/roofline/ ./internal/ctrlplane/ \
 		| $(GO) run ./cmd/benchjson > BENCH_solver.json
 
+# Placement-throughput benchmarks (decisions/sec against 100- and
+# 1000-machine fleet snapshots), written to BENCH_fleet.json so CI
+# tracks fleet-scale scheduling latency the same way BENCH_solver.json
+# tracks the single-machine solver.
+bench-fleet:
+	$(GO) test -bench 'BenchmarkPlacement' -benchmem -run '^$$' ./internal/fleet/ \
+		| $(GO) run ./cmd/benchjson > BENCH_fleet.json
+
 benchall:
 	$(GO) test -bench . -benchmem -run '^$$' ./...
 
@@ -47,6 +55,14 @@ chaos:
 # internal/fleet/chaos_test.go).
 fleet-chaos:
 	$(GO) test -race -count 1 -run 'TestChaosFleet' -v ./internal/fleet/
+
+# Adaptive-loop chaos: a mis-declared app is re-fit online, the leader
+# is killed mid-recalibration, and the journaled fitted model must
+# survive failover — the promoted follower keeps serving the corrected
+# allocation and re-confirms the drift when telemetry resumes (see
+# internal/ctrlplane/replica/drift_chaos_test.go).
+drift-chaos:
+	$(GO) test -race -count 1 -run 'TestChaosDrift' -v ./internal/ctrlplane/replica/
 
 # 30s coverage-guided smoke over the incremental-evaluator equivalence
 # property; regressions in the fast path show up as counterexamples.

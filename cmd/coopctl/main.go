@@ -7,8 +7,10 @@
 //	coopctl [-server URL] register -name stream -ai 0.5 [-placement numa-bad -home 0] [-max 8] [-ttl 10s]
 //	coopctl [-server URL] heartbeat -id stream-1 [-workers 8 -running 6]
 //	coopctl [-server URL] deregister -id stream-1
+//	coopctl [-server URL] report -id stream-1 -gflops 2.9 -gbs 0.29 [-threads 8]
 //	coopctl [-server URL] apps
 //	coopctl [-server URL] alloc
+//	coopctl [-server URL] drift
 //	coopctl [-server URL] machine
 //	coopctl [-server URL] watch [-interval 500ms]
 //	coopctl [-server URL] demo [-keep]
@@ -59,10 +61,14 @@ func main() {
 		err = cmdHeartbeat(ctx, c, args)
 	case "deregister":
 		err = cmdDeregister(ctx, c, args)
+	case "report":
+		err = cmdReport(ctx, c, args)
 	case "apps":
 		err = cmdApps(ctx, c)
 	case "alloc":
 		err = cmdAlloc(ctx, c)
+	case "drift":
+		err = cmdDrift(ctx, c)
 	case "machine":
 		err = cmdMachine(ctx, c)
 	case "watch":
@@ -86,7 +92,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: coopctl [-server URL] <register|heartbeat|deregister|apps|alloc|machine|watch|demo|health|status|fleet> [flags]")
+	fmt.Fprintln(os.Stderr, "usage: coopctl [-server URL] <register|heartbeat|report|deregister|apps|alloc|drift|machine|watch|demo|health|status|fleet> [flags]")
 	fmt.Fprintln(os.Stderr, "       coopctl fleet <machines|place|drain|plan> [-fleet URL] [flags]")
 }
 
@@ -155,6 +161,65 @@ func cmdDeregister(ctx context.Context, c *client.Client, args []string) error {
 		return err
 	}
 	fmt.Printf("deregistered %s\n", *id)
+	return nil
+}
+
+// cmdReport sends one telemetry sample to the adaptive loop (apps
+// normally stream these themselves; the CLI form is for experiments).
+func cmdReport(ctx context.Context, c *client.Client, args []string) error {
+	fs := flag.NewFlagSet("report", flag.ExitOnError)
+	id := fs.String("id", "", "application id (from register)")
+	gflops := fs.Float64("gflops", 0, "observed GFLOP/s")
+	gbs := fs.Float64("gbs", 0, "observed GB/s")
+	threads := fs.Int("threads", 0, "thread count the rates were observed under")
+	fs.Parse(args)
+	if *id == "" {
+		return fmt.Errorf("report: -id is required")
+	}
+	resp, err := c.Report(ctx, ctrlplane.ReportRequest{
+		ID:      *id,
+		Samples: []ctrlplane.ReportSample{{GFLOPS: *gflops, GBps: *gbs, Threads: *threads}},
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s: %s", *id, resp.State)
+	if resp.FittedAI > 0 {
+		fmt.Printf(", fitted AI %s (confidence %.2f, rel err %.0f%%)",
+			metrics.FormatFloat(resp.FittedAI), resp.Confidence, resp.RelErr*100)
+	}
+	if resp.Drifted {
+		fmt.Printf(", fitted model applied")
+	}
+	fmt.Printf(" (generation %d)\n", resp.Generation)
+	return nil
+}
+
+// cmdDrift renders the adaptive loop's per-app drift view.
+func cmdDrift(ctx context.Context, c *client.Client) error {
+	resp, err := c.Drift(ctx)
+	if err != nil {
+		return err
+	}
+	if !resp.Enabled {
+		fmt.Println("adaptive recalibration disabled (start coopd with -recalibrate)")
+		return nil
+	}
+	t := metrics.NewTable(
+		fmt.Sprintf("drift status (threshold %.0f%%, generation %d)", resp.Threshold*100, resp.Generation),
+		"id", "name", "state", "declared AI", "fitted AI", "conf", "rel err %", "windows", "resolves", "applied")
+	for _, a := range resp.Apps {
+		applied := ""
+		if a.Applied {
+			applied = fmt.Sprintf("AI %s", metrics.FormatFloat(a.AppliedAI))
+		}
+		t.AddRow(a.ID, a.Name, a.State, a.DeclaredAI, metrics.FormatFloat(a.FittedAI),
+			fmt.Sprintf("%.2f", a.Confidence), fmt.Sprintf("%.1f", a.RelErrPct),
+			a.Windows, a.Resolves, applied)
+	}
+	fmt.Print(t)
+	fmt.Printf("confirmed %d, cleared %d, refits %d, phase changes %d\n",
+		resp.Confirmed, resp.Cleared, resp.Refits, resp.PhaseChanges)
 	return nil
 }
 

@@ -11,6 +11,7 @@
 //	coopd -policy fairshare            # even split instead of roofline
 //	coopd -ttl 5s -sweep 1s            # heartbeat deadline / evict scan
 //	coopd -state-dir /var/lib/coopd    # journal registry, survive crashes
+//	coopd -recalibrate                 # adaptive loop: telemetry + refits
 //	coopd -pprof-addr 127.0.0.1:6060   # net/http/pprof on a private port
 //
 // With -state-dir the registry is persisted to a snapshot + append-only
@@ -31,10 +32,18 @@
 // (421 + the leader's URL), and when the leader goes silent past
 // -lease-ttl a follower promotes itself with a higher fencing epoch.
 //
-// Endpoints: POST /v1/register, POST /v1/heartbeat,
+// With -recalibrate the daemon closes the model↔measurement loop:
+// applications stream observed GFLOPS/bandwidth samples to POST
+// /v1/report, the daemon fits their effective demand online, and on
+// confirmed drift it substitutes the fitted model into the solver
+// (journaled, so it survives crashes and leader failover) and re-solves.
+// -drift-threshold sets the relative fitted-vs-declared error that
+// counts as drift. Inspect with GET /v1/drift or `coopctl drift`.
+//
+// Endpoints: POST /v1/register, POST /v1/heartbeat, POST /v1/report,
 // DELETE /v1/apps/{id}, GET /v1/apps, GET /v1/allocations,
-// GET /v1/machine, GET /healthz, GET /metricsz, GET /tracez. See
-// cmd/coopctl for a CLI.
+// GET /v1/drift, GET /v1/machine, GET /healthz, GET /metricsz,
+// GET /tracez. See cmd/coopctl for a CLI.
 package main
 
 import (
@@ -51,6 +60,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/adapt"
 	"repro/internal/ctrlplane"
 	"repro/internal/ctrlplane/persist"
 	"repro/internal/ctrlplane/replica"
@@ -75,6 +85,8 @@ func main() {
 	replicaOf := flag.String("replica-of", "", "join as a follower of this leader URL (default: bootstrap as leader)")
 	leaseTTL := flag.Duration("lease-ttl", 2*time.Second, "leader lease: how long the leader may go silent before a follower promotes")
 	maxInFlight := flag.Int("max-inflight", 0, "max concurrent requests per endpoint before shedding with 503 (0: unbounded)")
+	recalibrate := flag.Bool("recalibrate", false, "enable the adaptive loop: ingest /v1/report telemetry, refit demand models online, re-solve on confirmed drift")
+	driftThreshold := flag.Float64("drift-threshold", 0.25, "relative fitted-vs-declared AI error that counts as drift (with -recalibrate)")
 	pprofAddr := flag.String("pprof-addr", "", "serve net/http/pprof on this address (empty: disabled)")
 	flag.Parse()
 
@@ -102,6 +114,8 @@ func main() {
 		SweepInterval: *sweep,
 		Store:         store,
 		MaxInFlight:   *maxInFlight,
+		Recalibrate:   *recalibrate,
+		Adapt:         adapt.Config{DriftThreshold: *driftThreshold},
 	})
 	if err != nil {
 		log.Fatalf("coopd: %v", err)
@@ -160,6 +174,9 @@ func main() {
 	errc := make(chan error, 1)
 	go func() { errc <- hs.ListenAndServe() }()
 	log.Printf("coopd: serving %s (policy %s, ttl %s) on %s", m, *policy, *ttl, *addr)
+	if *recalibrate {
+		log.Printf("coopd: adaptive recalibration on (drift threshold %.0f%%)", *driftThreshold*100)
+	}
 
 	select {
 	case err := <-errc:

@@ -35,9 +35,12 @@ const streamAI = 1.0 / 1024
 
 // STREAM measures the machine's local and remote bandwidths by running
 // saturating memory-bound threads for the given duration per probe.
-func STREAM(m *machine.Machine, osCfg osched.Config, duration des.Time) *StreamResult {
+// The duration must be positive: a zero-or-negative probe would divide
+// by it, and silently substituting a default would hide a caller bug
+// behind a plausible-looking measurement.
+func STREAM(m *machine.Machine, osCfg osched.Config, duration des.Time) (*StreamResult, error) {
 	if duration <= 0 {
-		duration = 100 * des.Millisecond
+		return nil, fmt.Errorf("calibrate: STREAM probe duration must be positive, got %v", duration)
 	}
 	n := m.NumNodes()
 	res := &StreamResult{Node: make([]float64, n), Link: make([][]float64, n)}
@@ -53,7 +56,7 @@ func STREAM(m *machine.Machine, osCfg osched.Config, duration des.Time) *StreamR
 			}
 		}
 	}
-	return res
+	return res, nil
 }
 
 // measureBandwidth runs one probe: all cores of src stream from dst's

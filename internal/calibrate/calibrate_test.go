@@ -22,7 +22,10 @@ func zeroCostOS() osched.Config {
 
 func TestSTREAMMeasuresLocalBandwidth(t *testing.T) {
 	m := machine.SkylakeQuad() // 100 GB/s nodes, 10 GB/s links
-	res := STREAM(m, zeroCostOS(), 0.05)
+	res, err := STREAM(m, zeroCostOS(), 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
 	for i, bw := range res.Node {
 		if math.Abs(bw-100) > 3 {
 			t.Errorf("node %d measured %.1f GB/s, want ~100", i, bw)
@@ -32,7 +35,10 @@ func TestSTREAMMeasuresLocalBandwidth(t *testing.T) {
 
 func TestSTREAMMeasuresLinks(t *testing.T) {
 	m := machine.SkylakeQuad()
-	res := STREAM(m, zeroCostOS(), 0.05)
+	res, err := STREAM(m, zeroCostOS(), 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
 	for i := range res.Link {
 		for j := range res.Link[i] {
 			want := 100.0
@@ -43,6 +49,35 @@ func TestSTREAMMeasuresLinks(t *testing.T) {
 				t.Errorf("link %d->%d measured %.2f GB/s, want ~%.0f", i, j, res.Link[i][j], want)
 			}
 		}
+	}
+}
+
+func TestSTREAMRejectsNonPositiveDuration(t *testing.T) {
+	m := machine.SkylakeQuad()
+	for _, d := range []des.Time{0, -0.05} {
+		if res, err := STREAM(m, zeroCostOS(), d); err == nil {
+			t.Errorf("STREAM with duration %v: got %+v, want an error", d, res)
+		}
+	}
+}
+
+func TestSTREAMDegenerateSingleNode(t *testing.T) {
+	// A 1-node machine has no links to probe: the result must be a 1x1
+	// matrix whose only entry is the local bandwidth, not a crash or an
+	// empty matrix.
+	m := machine.Uniform("uma", 1, 8, 10, 100, 0)
+	res, err := STREAM(m, zeroCostOS(), 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Node) != 1 || len(res.Link) != 1 || len(res.Link[0]) != 1 {
+		t.Fatalf("1-node probe shape: %d nodes, %dx%d links, want 1 and 1x1", len(res.Node), len(res.Link), len(res.Link[0]))
+	}
+	if math.Abs(res.Node[0]-100) > 3 {
+		t.Errorf("1-node local bandwidth %.1f GB/s, want ~100", res.Node[0])
+	}
+	if res.Link[0][0] != res.Node[0] {
+		t.Errorf("diagonal %.2f != node measurement %.2f", res.Link[0][0], res.Node[0])
 	}
 }
 

@@ -306,6 +306,28 @@ func (c *Client) Heartbeat(ctx context.Context, req ctrlplane.HeartbeatRequest) 
 	return &resp, nil
 }
 
+// Report delivers observed throughput samples to the adaptive
+// recalibration loop. The response carries the app's drift status after
+// the samples. Fails (404) against a daemon running without
+// -recalibrate; IsNotFound(err) with code unknown_app means the app was
+// evicted.
+func (c *Client) Report(ctx context.Context, req ctrlplane.ReportRequest) (*ctrlplane.ReportResponse, error) {
+	var resp ctrlplane.ReportResponse
+	if err := c.do(ctx, http.MethodPost, "/v1/report", req, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Drift reads the adaptive loop's per-application drift status.
+func (c *Client) Drift(ctx context.Context) (*ctrlplane.DriftResponse, error) {
+	var resp ctrlplane.DriftResponse
+	if err := c.do(ctx, http.MethodGet, "/v1/drift", nil, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
 // Deregister removes an application, releasing its cores.
 func (c *Client) Deregister(ctx context.Context, id string) error {
 	return c.do(ctx, http.MethodDelete, "/v1/apps/"+url.PathEscape(id), nil, nil)

@@ -50,6 +50,14 @@ type AppRecord struct {
 	RegisteredAt int64   `json:"registered_at_unix_ns"`
 	LastBeat     int64   `json:"last_beat_unix_ns"`
 	Beats        uint64  `json:"beats,omitempty"`
+
+	// Fitted model (adaptive recalibration), present when FittedAI > 0:
+	// the online-fitted demand that currently replaces the declared one
+	// in the solver.
+	FittedAI         float64 `json:"fitted_ai,omitempty"`
+	FittedPeak       float64 `json:"fitted_peak,omitempty"`
+	FittedConfidence float64 `json:"fitted_confidence,omitempty"`
+	FittedAt         int64   `json:"fitted_at_unix_ns,omitempty"`
 }
 
 // Snapshot is the full persisted registry state: the live set and the
@@ -78,20 +86,36 @@ const (
 	// the generation bump it performed, journaled so neither can regress
 	// across a restart of any replica.
 	OpPromote = "promote"
+	// OpFitted records an adaptive-recalibration update: the fitted
+	// demand model substituted for (or, with a nil Fitted payload,
+	// cleared from) one application. Fsynced and replicated like any
+	// other set mutation, so a fitted model survives both a crash and a
+	// leader failover.
+	OpFitted = "fitted"
 )
+
+// FittedRecord is the OpFitted payload: the online-fitted demand model
+// as of At (unix nanoseconds).
+type FittedRecord struct {
+	AI         float64 `json:"ai"`
+	PeakGFLOPS float64 `json:"peak_gflops,omitempty"`
+	Confidence float64 `json:"confidence,omitempty"`
+	At         int64   `json:"at_unix_ns,omitempty"`
+}
 
 // Record is one journal line — and one replication-stream element.
 type Record struct {
-	Op        string     `json:"op"`
-	App       *AppRecord `json:"app,omitempty"`
-	ID        string     `json:"id,omitempty"`
-	IDs       []string   `json:"ids,omitempty"`
-	Beat      int64      `json:"beat_unix_ns,omitempty"`
-	Beats     uint64     `json:"beats,omitempty"`
-	Gen       uint64     `json:"gen,omitempty"`
-	Seq       uint64     `json:"seq,omitempty"`
-	Evictions uint64     `json:"evictions,omitempty"`
-	Epoch     uint64     `json:"epoch,omitempty"`
+	Op        string        `json:"op"`
+	App       *AppRecord    `json:"app,omitempty"`
+	ID        string        `json:"id,omitempty"`
+	IDs       []string      `json:"ids,omitempty"`
+	Beat      int64         `json:"beat_unix_ns,omitempty"`
+	Beats     uint64        `json:"beats,omitempty"`
+	Fitted    *FittedRecord `json:"fitted,omitempty"`
+	Gen       uint64        `json:"gen,omitempty"`
+	Seq       uint64        `json:"seq,omitempty"`
+	Evictions uint64        `json:"evictions,omitempty"`
+	Epoch     uint64        `json:"epoch,omitempty"`
 }
 
 // Options tunes a Store.
@@ -267,6 +291,19 @@ func (s *Store) applyLocked(rec Record) {
 		if rec.Epoch > s.epoch {
 			s.epoch = rec.Epoch
 		}
+	case OpFitted:
+		if a, ok := s.apps[rec.ID]; ok {
+			if rec.Fitted != nil {
+				a.FittedAI = rec.Fitted.AI
+				a.FittedPeak = rec.Fitted.PeakGFLOPS
+				a.FittedConfidence = rec.Fitted.Confidence
+				a.FittedAt = rec.Fitted.At
+			} else {
+				a.FittedAI, a.FittedPeak, a.FittedConfidence, a.FittedAt = 0, 0, 0, 0
+			}
+			s.apps[rec.ID] = a
+		}
+		s.gen = rec.Gen
 	}
 }
 
@@ -414,6 +451,13 @@ func (s *Store) AppendDeregister(id string, gen uint64) error {
 // AppendEvict records a liveness eviction sweep.
 func (s *Store) AppendEvict(ids []string, gen, evictions uint64) error {
 	return s.append(Record{Op: OpEvict, IDs: ids, Gen: gen, Evictions: evictions}, true)
+}
+
+// AppendFitted durably records a fitted-model substitution (or, with a
+// nil f, its clearing) for one application, together with the
+// generation it committed.
+func (s *Store) AppendFitted(id string, f *FittedRecord, gen uint64) error {
+	return s.append(Record{Op: OpFitted, ID: id, Fitted: f, Gen: gen}, true)
 }
 
 // AppendPromote records a leadership change: the promoted replica's new

@@ -51,6 +51,16 @@ func (s AppSpec) demandKey() string {
 	return string(appendDemandKey(nil, &s))
 }
 
+// FittedModel is an online-fitted demand model (internal/adapt) that
+// the registry substitutes for an application's declared spec once
+// drift is confirmed.
+type FittedModel struct {
+	AI         float64
+	PeakGFLOPS float64
+	Confidence float64
+	UpdatedAt  time.Time
+}
+
 // AppState is one registered application's full record.
 type AppState struct {
 	ID           string
@@ -60,6 +70,21 @@ type AppState struct {
 	LastBeat     time.Time
 	Beats        uint64
 	LastStats    HeartbeatRequest
+	// Fitted, when non-nil, is the recalibrated demand model currently
+	// replacing the declared Spec in the solver (see EffectiveSpec).
+	Fitted *FittedModel
+}
+
+// EffectiveSpec is the spec the solver should plan with: the declared
+// one, with the AI replaced by the fitted model when one is applied.
+// Placement, home node, and the thread cap stay declared — the adaptive
+// loop recalibrates demand, it does not reinterpret intent.
+func (a *AppState) EffectiveSpec() AppSpec {
+	spec := a.Spec
+	if a.Fitted != nil && a.Fitted.AI > 0 {
+		spec.AI = a.Fitted.AI
+	}
+	return spec
 }
 
 // ObservedAI estimates the arithmetic intensity from the last
@@ -138,7 +163,7 @@ func (r *Registry) AttachStore(st *persist.Store) {
 
 // stateToRecord converts to the store's persistence-friendly form.
 func stateToRecord(a AppState) persist.AppRecord {
-	return persist.AppRecord{
+	rec := persist.AppRecord{
 		ID:           a.ID,
 		Name:         a.Spec.Name,
 		AI:           a.Spec.AI,
@@ -150,10 +175,17 @@ func stateToRecord(a AppState) persist.AppRecord {
 		LastBeat:     a.LastBeat.UnixNano(),
 		Beats:        a.Beats,
 	}
+	if a.Fitted != nil {
+		rec.FittedAI = a.Fitted.AI
+		rec.FittedPeak = a.Fitted.PeakGFLOPS
+		rec.FittedConfidence = a.Fitted.Confidence
+		rec.FittedAt = a.Fitted.UpdatedAt.UnixNano()
+	}
+	return rec
 }
 
 func recordToState(rec persist.AppRecord) AppState {
-	return AppState{
+	st := AppState{
 		ID: rec.ID,
 		Spec: AppSpec{
 			Name:       rec.Name,
@@ -167,6 +199,15 @@ func recordToState(rec persist.AppRecord) AppState {
 		LastBeat:     time.Unix(0, rec.LastBeat),
 		Beats:        rec.Beats,
 	}
+	if rec.FittedAI > 0 {
+		st.Fitted = &FittedModel{
+			AI:         rec.FittedAI,
+			PeakGFLOPS: rec.FittedPeak,
+			Confidence: rec.FittedConfidence,
+			UpdatedAt:  time.Unix(0, rec.FittedAt),
+		}
+	}
+	return st
 }
 
 // Register adds an application and returns its state and the new
@@ -264,6 +305,72 @@ func (r *Registry) Deregister(id string) bool {
 		}
 	}
 	return true
+}
+
+// App returns one application's state by ID.
+func (r *Registry) App(id string) (AppState, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	st, ok := r.apps[id]
+	if !ok {
+		return AppState{}, false
+	}
+	return *st, true
+}
+
+// SetFitted substitutes a fitted demand model for the application's
+// declared one. The substitution is journaled (and fsynced) before it
+// is committed — a recalibration that changed the allocation must
+// survive a crash and, via journal streaming, a leader failover. The
+// generation bumps so clients watching for reallocation wake up.
+func (r *Registry) SetFitted(id string, f FittedModel) (uint64, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	st, ok := r.apps[id]
+	if !ok {
+		return 0, ErrUnknownApp
+	}
+	if r.store != nil {
+		rec := &persist.FittedRecord{
+			AI:         f.AI,
+			PeakGFLOPS: f.PeakGFLOPS,
+			Confidence: f.Confidence,
+			At:         f.UpdatedAt.UnixNano(),
+		}
+		if err := r.store.AppendFitted(id, rec, r.gen+1); err != nil {
+			r.persistFails++
+			return 0, fmt.Errorf("persisting fitted model: %w", err)
+		}
+	}
+	// Fresh pointer, never an in-place mutation: snapshots taken by the
+	// serve path share the previous pointer concurrently.
+	fm := f
+	st.Fitted = &fm
+	r.gen++
+	return r.gen, nil
+}
+
+// ClearFitted removes an applied fitted model, returning the app to its
+// declared spec. No-op (and no generation bump) when none is applied.
+func (r *Registry) ClearFitted(id string) (uint64, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	st, ok := r.apps[id]
+	if !ok {
+		return 0, ErrUnknownApp
+	}
+	if st.Fitted == nil {
+		return r.gen, nil
+	}
+	if r.store != nil {
+		if err := r.store.AppendFitted(id, nil, r.gen+1); err != nil {
+			r.persistFails++
+			return 0, fmt.Errorf("persisting fitted-model clear: %w", err)
+		}
+	}
+	st.Fitted = nil
+	r.gen++
+	return r.gen, nil
 }
 
 // Sweep evicts every application whose last heartbeat is older than its
@@ -421,6 +528,20 @@ func (r *Registry) ApplyRecord(rec persist.Record) error {
 		r.gen = rec.Gen
 		r.evictions = rec.Evictions
 	case persist.OpPromote:
+		r.gen = rec.Gen
+	case persist.OpFitted:
+		if st, ok := r.apps[rec.ID]; ok {
+			if rec.Fitted != nil {
+				st.Fitted = &FittedModel{
+					AI:         rec.Fitted.AI,
+					PeakGFLOPS: rec.Fitted.PeakGFLOPS,
+					Confidence: rec.Fitted.Confidence,
+					UpdatedAt:  time.Unix(0, rec.Fitted.At),
+				}
+			} else {
+				st.Fitted = nil
+			}
+		}
 		r.gen = rec.Gen
 	default:
 		return fmt.Errorf("ctrlplane: unknown replicated op %q", rec.Op)

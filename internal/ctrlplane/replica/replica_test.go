@@ -20,6 +20,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/adapt"
 	"repro/internal/ctrlplane"
 	"repro/internal/ctrlplane/client"
 	"repro/internal/ctrlplane/persist"
@@ -30,12 +31,14 @@ import (
 
 // haOpts shapes one replica for the harness.
 type haOpts struct {
-	bootstrap  bool
-	leaderHint string
-	peers      []string
-	transport  http.RoundTripper
-	leaseTTL   time.Duration
-	pull       time.Duration
+	bootstrap   bool
+	leaderHint  string
+	peers       []string
+	transport   http.RoundTripper
+	leaseTTL    time.Duration
+	pull        time.Duration
+	recalibrate bool
+	adaptCfg    adapt.Config
 }
 
 // haNode is one live replica: server + node + listener, crash-killable.
@@ -79,9 +82,11 @@ func startHANode(t *testing.T, dir string, ln net.Listener, o haOpts) *haNode {
 		t.Fatalf("opening state dir: %v", err)
 	}
 	srv, err := ctrlplane.NewServer(ctrlplane.ServerConfig{
-		Machine:    machine.PaperModel(),
-		DefaultTTL: 30 * time.Second,
-		Store:      store,
+		Machine:     machine.PaperModel(),
+		DefaultTTL:  30 * time.Second,
+		Store:       store,
+		Recalibrate: o.recalibrate,
+		Adapt:       o.adaptCfg,
 	})
 	if err != nil {
 		t.Fatalf("NewServer: %v", err)

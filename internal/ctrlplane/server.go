@@ -10,6 +10,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/adapt"
 	"repro/internal/ctrlplane/persist"
 	"repro/internal/machine"
 	"repro/internal/metrics"
@@ -43,6 +44,15 @@ type ServerConfig struct {
 	// excess requests are shed with 503 + Retry-After (and counted in
 	// /metricsz) instead of queueing. 0: unbounded.
 	MaxInFlight int
+	// Recalibrate enables the adaptive loop (internal/adapt): telemetry
+	// ingest on POST /v1/report, online refitting of each app's demand
+	// model, and fitted-model substitution into the solver on confirmed
+	// drift. Off by default — without it /v1/report is rejected and the
+	// declared models are authoritative.
+	Recalibrate bool
+	// Adapt tunes the adaptive loop (zero fields take the documented
+	// adapt defaults). Ignored unless Recalibrate.
+	Adapt adapt.Config
 }
 
 // Server is the allocation control plane. Create with NewServer, mount
@@ -52,6 +62,7 @@ type Server struct {
 	cfg    ServerConfig
 	reg    *Registry
 	solver *Solver
+	adapt  *adapt.Store // nil unless cfg.Recalibrate
 	mux    *http.ServeMux
 	start  time.Time
 
@@ -158,10 +169,15 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 		s.reg.AttachStore(cfg.Store)
 		s.restoredApps = len(cfg.Store.Restored().Apps)
 	}
+	if cfg.Recalibrate {
+		s.adapt = adapt.NewStore(cfg.Adapt)
+	}
 	s.mux.HandleFunc("POST /v1/register", s.instrument("register", s.handleRegister))
 	s.mux.HandleFunc("POST /v1/heartbeat", s.instrument("heartbeat", s.handleHeartbeat))
+	s.mux.HandleFunc("POST /v1/report", s.instrument("report", s.handleReport))
 	s.mux.HandleFunc("DELETE /v1/apps/{id}", s.instrument("deregister", s.handleDeregister))
 	s.mux.HandleFunc("GET /v1/apps", s.instrument("apps", s.handleApps))
+	s.mux.HandleFunc("GET /v1/drift", s.instrument("drift", s.handleDrift))
 	s.mux.HandleFunc("GET /v1/allocations", s.instrument("allocations", s.handleAllocations))
 	s.mux.HandleFunc("GET /v1/machine", s.instrument("machine", s.handleMachine))
 	s.mux.HandleFunc("GET /healthz", s.instrument("healthz", s.handleHealthz))
@@ -197,10 +213,19 @@ func (s *Server) Start() {
 			case <-s.stop:
 				return
 			case <-t.C:
-				s.reg.Sweep()
+				s.sweep()
 			}
 		}
 	}()
+}
+
+// sweep runs a TTL eviction pass and drops the evicted applications'
+// telemetry trackers with it.
+func (s *Server) sweep() {
+	evicted := s.reg.Sweep()
+	if s.adapt != nil && len(evicted) > 0 {
+		s.adapt.Remove(evicted...)
+	}
 }
 
 // Close stops the janitor and waits for it to exit. Safe to call
@@ -391,11 +416,14 @@ func (s *Server) handleDeregister(w http.ResponseWriter, r *http.Request) {
 		writeErrorCode(w, http.StatusNotFound, ErrCodeUnknownApp, "%s: %v", id, ErrUnknownApp)
 		return
 	}
+	if s.adapt != nil {
+		s.adapt.Remove(id)
+	}
 	w.WriteHeader(http.StatusNoContent)
 }
 
 func (s *Server) handleApps(w http.ResponseWriter, r *http.Request) {
-	s.reg.Sweep()
+	s.sweep()
 	apps, gen := s.reg.Snapshot()
 	now := s.cfg.Clock()
 	resp := AppsResponse{Generation: gen, Apps: make([]AppView, len(apps))}
@@ -413,12 +441,16 @@ func (s *Server) handleApps(w http.ResponseWriter, r *http.Request) {
 			Beats:      a.Beats,
 			ObservedAI: a.ObservedAI(),
 		}
+		if a.Fitted != nil {
+			resp.Apps[i].FittedAI = a.Fitted.AI
+			resp.Apps[i].Drifted = true
+		}
 	}
 	writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) handleAllocations(w http.ResponseWriter, r *http.Request) {
-	s.reg.Sweep()
+	s.sweep()
 	resp, err := s.Allocations()
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, "solving allocation: %v", err)
@@ -496,6 +528,141 @@ func (s *Server) allocationInto(sc *serveScratch, id string) (*AppAllocation, er
 	return nil, nil // evicted between registration and solve
 }
 
+// handleReport ingests an application's telemetry samples into the
+// adaptive loop and applies its verdict: on confirmed drift the fitted
+// model is substituted for the declared one (journaled, generation
+// bump, fresh solve on the next allocation read); on confirmed return
+// to declared behaviour the substitution is cleared.
+func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
+	if s.adapt == nil {
+		writeError(w, http.StatusNotFound, "adaptive recalibration disabled (start coopd with -recalibrate)")
+		return
+	}
+	var req ReportRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	if req.ID == "" {
+		writeError(w, http.StatusBadRequest, "missing id")
+		return
+	}
+	if len(req.Samples) == 0 {
+		writeError(w, http.StatusBadRequest, "no samples")
+		return
+	}
+	st, ok := s.reg.App(req.ID)
+	if !ok {
+		writeErrorCode(w, http.StatusNotFound, ErrCodeUnknownApp, "%s: %v", req.ID, ErrUnknownApp)
+		return
+	}
+	appliedAI := 0.0
+	if st.Fitted != nil {
+		appliedAI = st.Fitted.AI
+	}
+	samples := make([]adapt.Sample, len(req.Samples))
+	for i, sm := range req.Samples {
+		samples[i] = adapt.Sample{GFLOPS: sm.GFLOPS, GBps: sm.GBps, Threads: sm.Threads}
+	}
+	out := s.adapt.Report(req.ID, st.Spec.AI, appliedAI, samples)
+	switch out.Action {
+	case adapt.ActionSet:
+		_, err := s.reg.SetFitted(req.ID, FittedModel{
+			AI:         out.FittedAI,
+			PeakGFLOPS: out.PeakPerThread,
+			Confidence: out.Confidence,
+			UpdatedAt:  s.cfg.Clock(),
+		})
+		if err != nil {
+			writeError(w, http.StatusServiceUnavailable, "applying fitted model: %v", err)
+			return
+		}
+		appliedAI = out.FittedAI
+	case adapt.ActionClear:
+		if _, err := s.reg.ClearFitted(req.ID); err != nil {
+			writeError(w, http.StatusServiceUnavailable, "clearing fitted model: %v", err)
+			return
+		}
+		appliedAI = 0
+	}
+	writeJSON(w, http.StatusOK, ReportResponse{
+		Generation: s.reg.Generation(),
+		State:      out.State.String(),
+		FittedAI:   out.FittedAI,
+		Confidence: out.Confidence,
+		RelErr:     out.RelErr,
+		Drifted:    appliedAI > 0,
+	})
+}
+
+// handleDrift reports the adaptive loop's view of every tracked
+// application, joined with the registry's applied fitted models (an app
+// can carry a replicated fitted model without local telemetry right
+// after a leader failover — it shows here as applied until reporters
+// re-establish its tracker).
+func (s *Server) handleDrift(w http.ResponseWriter, r *http.Request) {
+	if s.adapt == nil {
+		writeJSON(w, http.StatusOK, DriftResponse{Enabled: false, Generation: s.reg.Generation()})
+		return
+	}
+	apps, gen := s.reg.Snapshot()
+	byID := make(map[string]*AppState, len(apps))
+	for i := range apps {
+		byID[apps[i].ID] = &apps[i]
+	}
+	m := s.adapt.Metrics()
+	resp := DriftResponse{
+		Enabled:      true,
+		Generation:   gen,
+		Threshold:    s.adapt.Config().DriftThreshold,
+		Confirmed:    m.Confirmed,
+		Cleared:      m.Cleared,
+		Refits:       m.Refits,
+		PhaseChanges: m.PhaseChanges,
+	}
+	seen := map[string]bool{}
+	for _, v := range s.adapt.Views() {
+		st, ok := byID[v.ID]
+		if !ok {
+			continue // tracker for an app evicted this instant
+		}
+		seen[v.ID] = true
+		av := DriftAppView{
+			ID:         v.ID,
+			Name:       st.Spec.Name,
+			State:      v.State.String(),
+			DeclaredAI: st.Spec.AI,
+			FittedAI:   v.FittedAI,
+			Confidence: v.Confidence,
+			RelErrPct:  v.RelErr * 100,
+			Samples:    v.Samples,
+			Windows:    v.Windows,
+			Resolves:   v.Resolves,
+		}
+		if st.Fitted != nil {
+			av.Applied = true
+			av.AppliedAI = st.Fitted.AI
+		}
+		resp.Apps = append(resp.Apps, av)
+	}
+	for i := range apps {
+		st := &apps[i]
+		if st.Fitted == nil || seen[st.ID] {
+			continue
+		}
+		resp.Apps = append(resp.Apps, DriftAppView{
+			ID:         st.ID,
+			Name:       st.Spec.Name,
+			State:      adapt.Drifted.String(),
+			DeclaredAI: st.Spec.AI,
+			FittedAI:   st.Fitted.AI,
+			Confidence: st.Fitted.Confidence,
+			Applied:    true,
+			AppliedAI:  st.Fitted.AI,
+		})
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
 // handleMachine serves the topology so clients can cache it for local
 // fallback solves during a daemon outage.
 func (s *Server) handleMachine(w http.ResponseWriter, r *http.Request) {
@@ -539,6 +706,28 @@ func (s *Server) handleMetricsz(w http.ResponseWriter, r *http.Request) {
 		}
 		if err := s.cfg.Store.FlushErr(); err != nil {
 			resp.Persist.FlushError = err.Error()
+		}
+	}
+	if s.adapt != nil {
+		m := s.adapt.Metrics()
+		applied := 0
+		apps, _ := s.reg.Snapshot()
+		for i := range apps {
+			if apps[i].Fitted != nil {
+				applied++
+			}
+		}
+		resp.Adapt = &AdaptMetrics{
+			Enabled:         true,
+			Tracked:         m.Tracked,
+			Drifted:         m.Drifted,
+			Applied:         applied,
+			Samples:         m.Samples,
+			Windows:         m.Windows,
+			DriftsConfirmed: m.Confirmed,
+			DriftsCleared:   m.Cleared,
+			Refits:          m.Refits,
+			PhaseChanges:    m.PhaseChanges,
 		}
 	}
 	s.epMu.Lock()

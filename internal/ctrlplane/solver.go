@@ -226,7 +226,11 @@ func (s *Solver) SolveInto(sol *Solution, m *machine.Machine, apps []AppState) e
 	sc.offs = resizeInts(sc.offs, n+1)
 	sc.offs[0] = 0
 	for i := range apps {
-		sc.segBuf = appendDemandKey(sc.segBuf, &apps[i].Spec)
+		// Effective spec: a fitted (recalibrated) AI replaces the declared
+		// one here, so a confirmed drift changes the cache key and the
+		// next lookup is naturally a fresh solve.
+		spec := apps[i].EffectiveSpec()
+		sc.segBuf = appendDemandKey(sc.segBuf, &spec)
 		sc.offs[i+1] = len(sc.segBuf)
 	}
 	seg := func(i int) []byte { return sc.segBuf[sc.offs[i]:sc.offs[i+1]] }
@@ -360,7 +364,7 @@ func (s *Solver) solveSlots(m *machine.Machine, apps []AppState, order []int) (*
 	aspecs := make([]agent.AppSpec, n)
 	infos := make([]agent.Info, n)
 	for slot, idx := range order {
-		spec := apps[idx].Spec
+		spec := apps[idx].EffectiveSpec()
 		rapps[slot] = roofline.App{
 			Name:      spec.Name,
 			AI:        spec.AI,

@@ -16,9 +16,11 @@
 //
 //	POST   /v1/register    RegisterRequest   -> RegisterResponse
 //	POST   /v1/heartbeat   HeartbeatRequest  -> HeartbeatResponse
+//	POST   /v1/report      ReportRequest     -> ReportResponse
 //	DELETE /v1/apps/{id}                     -> 204
 //	GET    /v1/apps                          -> AppsResponse
 //	GET    /v1/allocations                   -> AllocationsResponse
+//	GET    /v1/drift                         -> DriftResponse
 //	GET    /v1/machine                       -> MachineResponse
 //	GET    /healthz                          -> HealthResponse
 //	GET    /metricsz                         -> MetricsResponse
@@ -123,6 +125,87 @@ type AppView struct {
 	// ObservedAI is GFlopRate/GBRate from the last heartbeat (0 when
 	// the app has not reported rates).
 	ObservedAI float64 `json:"observed_ai,omitempty"`
+	// FittedAI is the online-recalibrated arithmetic intensity currently
+	// substituted for the declared AI in the solver (0: declared model
+	// in effect). Set only when the adaptive loop confirmed drift.
+	FittedAI float64 `json:"fitted_ai,omitempty"`
+	// Drifted reports that a fitted model is applied for this app.
+	Drifted bool `json:"drifted,omitempty"`
+}
+
+// ReportSample is one observed throughput measurement in a telemetry
+// report (the wire form of adapt.Sample).
+type ReportSample struct {
+	// GFLOPS and GBps are the observed compute and memory-traffic rates
+	// over the sampling interval; their ratio is the observed AI.
+	GFLOPS float64 `json:"gflops"`
+	GBps   float64 `json:"gbps"`
+	// Threads is the thread count the rates were observed under (0:
+	// unknown).
+	Threads int `json:"threads,omitempty"`
+}
+
+// ReportRequest delivers an application's telemetry samples to the
+// adaptive-recalibration loop (POST /v1/report; requires a coopd
+// started with -recalibrate).
+type ReportRequest struct {
+	ID      string         `json:"id"`
+	Samples []ReportSample `json:"samples"`
+}
+
+// ReportResponse acknowledges a telemetry report with the app's drift
+// status after ingesting the samples.
+type ReportResponse struct {
+	Generation uint64 `json:"generation"`
+	// State is the drift detector's state: "steady", "suspect", or
+	// "drifted".
+	State string `json:"state"`
+	// FittedAI and Confidence are the current streaming fit.
+	FittedAI   float64 `json:"fitted_ai,omitempty"`
+	Confidence float64 `json:"confidence,omitempty"`
+	// RelErr is the fitted-vs-declared relative AI error.
+	RelErr float64 `json:"rel_err,omitempty"`
+	// Drifted reports whether a fitted model is applied in the solver
+	// after this report.
+	Drifted bool `json:"drifted,omitempty"`
+}
+
+// DriftAppView is one application's adaptive-loop status.
+type DriftAppView struct {
+	ID         string  `json:"id"`
+	Name       string  `json:"name"`
+	State      string  `json:"state"`
+	DeclaredAI float64 `json:"declared_ai"`
+	FittedAI   float64 `json:"fitted_ai,omitempty"`
+	Confidence float64 `json:"confidence,omitempty"`
+	// RelErrPct is the fitted-vs-declared relative AI error in percent.
+	RelErrPct float64 `json:"rel_err_pct,omitempty"`
+	Samples   uint64  `json:"samples,omitempty"`
+	Windows   uint64  `json:"windows,omitempty"`
+	// Resolves counts the re-solves this app triggered (0 for a
+	// correctly-declared steady app).
+	Resolves uint64 `json:"resolves,omitempty"`
+	// Applied reports whether a fitted model currently replaces the
+	// declared one in the solver; AppliedAI is its AI.
+	Applied   bool    `json:"applied,omitempty"`
+	AppliedAI float64 `json:"applied_ai,omitempty"`
+}
+
+// DriftResponse is the /v1/drift body: the adaptive loop's view of
+// every tracked application.
+type DriftResponse struct {
+	// Enabled is false when the daemon runs without -recalibrate (the
+	// rest of the body is then empty).
+	Enabled    bool   `json:"enabled"`
+	Generation uint64 `json:"generation"`
+	// Threshold is the configured relative-error drift threshold.
+	Threshold float64        `json:"threshold,omitempty"`
+	Apps      []DriftAppView `json:"apps,omitempty"`
+	// Confirmed/Cleared/Refits/PhaseChanges are loop-wide counters.
+	Confirmed    uint64 `json:"confirmed,omitempty"`
+	Cleared      uint64 `json:"cleared,omitempty"`
+	Refits       uint64 `json:"refits,omitempty"`
+	PhaseChanges uint64 `json:"phase_changes,omitempty"`
 }
 
 // AppsResponse lists registered applications.
@@ -207,6 +290,26 @@ type PersistMetrics struct {
 	FlushError string `json:"flush_error,omitempty"`
 }
 
+// AdaptMetrics summarizes the adaptive-recalibration loop.
+type AdaptMetrics struct {
+	// Enabled reports whether the daemon runs with -recalibrate.
+	Enabled bool `json:"enabled"`
+	// Tracked/Drifted/Applied count apps with telemetry, in the drifted
+	// state, and with a fitted model substituted in the solver.
+	Tracked int `json:"tracked,omitempty"`
+	Drifted int `json:"drifted,omitempty"`
+	Applied int `json:"applied,omitempty"`
+	// Samples and Windows count ingested telemetry.
+	Samples uint64 `json:"samples,omitempty"`
+	Windows uint64 `json:"windows,omitempty"`
+	// DriftsConfirmed/DriftsCleared/Refits/PhaseChanges count detector
+	// events since start.
+	DriftsConfirmed uint64 `json:"drifts_confirmed,omitempty"`
+	DriftsCleared   uint64 `json:"drifts_cleared,omitempty"`
+	Refits          uint64 `json:"refits,omitempty"`
+	PhaseChanges    uint64 `json:"phase_changes,omitempty"`
+}
+
 // MetricsResponse is the /metricsz body.
 type MetricsResponse struct {
 	UptimeSeconds float64                    `json:"uptime_s"`
@@ -216,6 +319,7 @@ type MetricsResponse struct {
 	Solver        SolverMetrics              `json:"solver"`
 	Endpoints     map[string]EndpointMetrics `json:"endpoints"`
 	Persist       *PersistMetrics            `json:"persist,omitempty"`
+	Adapt         *AdaptMetrics              `json:"adapt,omitempty"`
 }
 
 // MachineResponse is the /v1/machine body: the topology allocations are

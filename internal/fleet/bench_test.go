@@ -1,0 +1,71 @@
+package fleet
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/machine"
+)
+
+// benchMembers builds an n-machine fleet snapshot, every machine the
+// paper model with a small resident mix, so each placement decision
+// scores the incoming app against n non-trivial demand sets.
+func benchMembers(n int) []Member {
+	members := make([]Member, n)
+	for i := range members {
+		id := fmt.Sprintf("m%04d", i)
+		members[i] = Member{
+			ID:       id,
+			Topology: machine.PaperModel(),
+			Apps: []PlacedApp{
+				{ID: id + "-mem", Name: "mem", AI: 0.5},
+				{ID: id + "-comp", Name: "comp", AI: 10},
+			},
+		}
+	}
+	return members
+}
+
+// benchPlacement measures end-to-end placement throughput: one op is
+// candidate construction from the member snapshot plus a full scoring
+// decision, i.e. what fleetd does per /v1/fleet/place request.
+// placements/sec = 1e9 / ns_per_op in BENCH_fleet.json.
+func benchPlacement(b *testing.B, nMachines int) {
+	members := benchMembers(nMachines)
+	sc := NewScorer()
+	spec := AppSpec{Name: "incoming", AI: 2}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cands := candidatesFrom(members)
+		if _, _, err := sc.decide(spec, cands); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "placements/s")
+}
+
+func BenchmarkPlacement100Machines(b *testing.B) { benchPlacement(b, 100) }
+
+func BenchmarkPlacement1kMachines(b *testing.B) { benchPlacement(b, 1000) }
+
+// BenchmarkPlacementWarm scores against candidates whose baseline
+// solves are already cached (the rebalancer's repeated-decision path,
+// where one candidate set serves a whole planning round).
+func BenchmarkPlacementWarm100Machines(b *testing.B) {
+	members := benchMembers(100)
+	sc := NewScorer()
+	spec := AppSpec{Name: "incoming", AI: 2}
+	cands := candidatesFrom(members)
+	if _, _, err := sc.decide(spec, cands); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := sc.decide(spec, cands); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "placements/s")
+}

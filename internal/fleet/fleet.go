@@ -97,6 +97,13 @@ type PlacedApp struct {
 	HomeNode   int     `json:"home_node,omitempty"`
 	MaxThreads int     `json:"max_threads,omitempty"`
 	TTLMillis  int64   `json:"ttl_ms,omitempty"`
+	// FittedAI and Drifted mirror the member coopd's adaptive loop: when
+	// Drifted, FittedAI is the online-recalibrated demand currently
+	// replacing the declared AI on that machine. Fleet scoring and
+	// re-placement use the fitted value — decisions should track what the
+	// app does, not what it said.
+	FittedAI float64 `json:"fitted_ai,omitempty"`
+	Drifted  bool    `json:"drifted,omitempty"`
 }
 
 // Spec strips the machine-local ID, for re-registration elsewhere.
@@ -107,11 +114,23 @@ func (a PlacedApp) Spec() AppSpec {
 	}
 }
 
+// EffectiveSpec is Spec with the fitted AI substituted when the app has
+// drifted — what re-registration on another machine should declare so
+// the destination solves for measured behaviour.
+func (a PlacedApp) EffectiveSpec() AppSpec {
+	s := a.Spec()
+	if a.Drifted && a.FittedAI > 0 {
+		s.AI = a.FittedAI
+	}
+	return s
+}
+
 // placedFromView converts a coopd registry record.
 func placedFromView(v ctrlplane.AppView) PlacedApp {
 	p := PlacedApp{
 		ID: v.ID, Name: v.Name, AI: v.AI, HomeNode: v.HomeNode,
 		MaxThreads: v.MaxThreads, TTLMillis: v.TTLMillis,
+		FittedAI: v.FittedAI, Drifted: v.Drifted,
 	}
 	if v.Placement != ctrlplane.PlacementPerfect {
 		p.Placement = v.Placement
@@ -171,7 +190,7 @@ func (m *Member) NUMABadApps() int {
 func (m *Member) demandSet() []roofline.App {
 	out := make([]roofline.App, 0, len(m.Apps))
 	for _, a := range m.Apps {
-		ra, err := a.Spec().rooflineApp()
+		ra, err := a.EffectiveSpec().rooflineApp()
 		if err != nil {
 			continue
 		}

@@ -13,6 +13,10 @@ const (
 	ReasonDrain = "drain"
 	// ReasonRebalance closes an imbalance gap against the greedy re-pack.
 	ReasonRebalance = "rebalance"
+	// ReasonDrift re-places an app whose measured demand model drifted
+	// from its declaration: the placement decision was made on stale
+	// inputs, so it is re-taken with the fitted model.
+	ReasonDrift = "drift"
 )
 
 // Move is one planned app relocation.
@@ -157,7 +161,12 @@ func (r *Rebalancer) Plan(ctx context.Context) (*Plan, error) {
 	}
 
 	if urgent == 0 {
-		r.planImbalance(plan, members, dup)
+		// Drift re-placement before the imbalance pass: a drifted app's
+		// placement was decided on a wrong model, so it gets first claim on
+		// the round's churn budget; the broader re-pack waits a round.
+		if r.planDrift(plan, members, dup, cands) == 0 {
+			r.planImbalance(plan, members, dup)
+		}
 	}
 
 	if limit := r.maxMoves(); len(plan.Moves) > limit {
@@ -165,6 +174,69 @@ func (r *Rebalancer) Plan(ctx context.Context) (*Plan, error) {
 		plan.Moves = plan.Moves[:limit]
 	}
 	return plan, ctx.Err()
+}
+
+// planDrift emits bounded moves for apps whose member coopd confirmed
+// drift (fitted model applied). Each drifted app's placement decision
+// is re-taken with its effective (fitted) spec against the other
+// members; a move is planned only when the fleet-wide gain — the
+// destination's marginal minus what the source loses by releasing the
+// app — is meaningfully positive. Returns the number of moves planned.
+func (r *Rebalancer) planDrift(plan *Plan, members []Member, dup map[string]bool, cands []*candidate) int {
+	moves := 0
+	for i := range members {
+		m := &members[i]
+		if !m.Healthy() || m.Draining {
+			continue
+		}
+		for _, app := range m.Apps {
+			if !app.Drifted || app.FittedAI <= 0 || dup[m.ID+"/"+app.ID] {
+				continue
+			}
+			spec := app.EffectiveSpec()
+			withApp, err := r.Scorer.SolveTotal(m.Topology, m.demandSet())
+			if err != nil {
+				r.logf("fleet: scoring %s: %v", m.ID, err)
+				continue
+			}
+			rest := *m
+			rest.Apps = make([]PlacedApp, 0, len(m.Apps)-1)
+			for _, a := range m.Apps {
+				if a.ID != app.ID {
+					rest.Apps = append(rest.Apps, a)
+				}
+			}
+			without, err := r.Scorer.SolveTotal(m.Topology, rest.demandSet())
+			if err != nil {
+				continue
+			}
+			// Candidate pool excludes the source (pointers shared with the
+			// round's other passes, so commits accumulate).
+			pool := make([]*candidate, 0, len(cands)-1)
+			for _, c := range cands {
+				if c.id != m.ID {
+					pool = append(pool, c)
+				}
+			}
+			d, c, err := r.Scorer.decide(spec, pool)
+			if err != nil {
+				continue
+			}
+			gain := d.Score - (withApp - without)
+			if gain <= 0.01*withApp {
+				continue // not worth the churn
+			}
+			plan.Moves = append(plan.Moves, Move{
+				AppID: app.ID, App: spec, From: m.ID, To: d.Member,
+				Reason: ReasonDrift, Score: d.Score,
+			})
+			c.commit(spec)
+			moves++
+			r.logf("fleet: drift re-placement of %s (fitted AI %.3g vs declared %.3g): %s -> %s, gain %+.1f GFLOPS",
+				app.ID, app.FittedAI, app.AI, m.ID, d.Member, gain)
+		}
+	}
+	return moves
 }
 
 // planImbalance compares the fleet's current solved aggregate with a
