@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench bench-fleet benchall chaos fleet-chaos drift-chaos fuzz check fmt
+.PHONY: all build vet test race bench bench-fleet benchall chaos fleet-chaos drift-chaos fleet-sim fuzz check fmt
 
 all: check
 
@@ -63,6 +63,16 @@ fleet-chaos:
 # internal/ctrlplane/replica/drift_chaos_test.go).
 drift-chaos:
 	$(GO) test -race -count 1 -run 'TestChaosDrift' -v ./internal/ctrlplane/replica/
+
+# Trace-driven fleet stress harness: replay the checked-in scenario
+# corpus (diurnal wave, flash crowd, autoscale churn, mis-declared
+# drift with a mid-scenario leader kill, rebalance flapping) against
+# live in-process coopd members and check the stability invariants —
+# exactly-once, bounded-churn, no-oscillation, convergence — after
+# every round. Writes the machine-readable verdicts to
+# fleet-sim-verdicts.json (see internal/fleetsim and cmd/fleetsim).
+fleet-sim:
+	$(GO) run ./cmd/fleetsim -out fleet-sim-verdicts.json
 
 # 30s coverage-guided smoke over the incremental-evaluator equivalence
 # property; regressions in the fast path show up as counterexamples.

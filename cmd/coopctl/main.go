@@ -33,6 +33,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strings"
 	"time"
 
@@ -522,6 +523,22 @@ func cmdFleetPlan(ctx context.Context, args []string) error {
 			t.AddRow(mv.AppID, mv.From, mv.To, mv.Reason, metrics.FormatFloat(mv.Score))
 		}
 		fmt.Print(t)
+	}
+	fmt.Printf("move budget: %d of %d spent this round", plan.BudgetSpent, plan.Budget)
+	if plan.Deferred > 0 {
+		fmt.Printf(" (%d deferred)", plan.Deferred)
+	}
+	fmt.Println()
+	if len(plan.Cooldowns) > 0 {
+		names := make([]string, 0, len(plan.Cooldowns))
+		for name := range plan.Cooldowns {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		fmt.Println("anti-thrash cooldowns (rounds until movable again):")
+		for _, name := range names {
+			fmt.Printf("  %s: %d\n", name, plan.Cooldowns[name])
+		}
 	}
 	for _, sd := range plan.StaleDeregs {
 		fmt.Printf("stale duplicate to clean: %s on revived %s\n", sd.AppID, sd.Member)

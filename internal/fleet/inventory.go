@@ -21,6 +21,12 @@ type InventoryConfig struct {
 	// FailAfter is how many consecutive failed polls declare a member
 	// dead (default 3).
 	FailAfter int
+	// PollTimeout bounds one member's poll (all endpoint attempts
+	// combined) so a single hung coopd cannot stall the whole fleet
+	// refresh; polling is sequential, so without it one member dripping
+	// bytes delays every member after it in ID order. Default 5s;
+	// negative disables the bound.
+	PollTimeout time.Duration
 	// Clock stamps LastSeen (default time.Now); tests pin it.
 	Clock func() time.Time
 	// Logf, when set, receives state-transition logs.
@@ -66,6 +72,9 @@ func NewInventory(cfg InventoryConfig) *Inventory {
 	}
 	if cfg.FailAfter <= 0 {
 		cfg.FailAfter = 3
+	}
+	if cfg.PollTimeout == 0 {
+		cfg.PollTimeout = 5 * time.Second
 	}
 	if cfg.Clock == nil {
 		cfg.Clock = time.Now
@@ -115,6 +124,8 @@ func (inv *Inventory) Poll(ctx context.Context) {
 
 // pollMember tries the member's endpoints starting at the last one that
 // answered; any endpoint serving the full read set counts as success.
+// The whole attempt runs under PollTimeout: a member that hangs
+// mid-response burns its own deadline, not the rest of the round's.
 func (inv *Inventory) pollMember(ctx context.Context, id string) {
 	inv.mu.Lock()
 	m, ok := inv.members[id]
@@ -124,6 +135,12 @@ func (inv *Inventory) pollMember(ctx context.Context, id string) {
 	}
 	clis, preferred, needTopo := m.clis, m.preferred, m.topo == nil
 	inv.mu.Unlock()
+
+	if d := inv.cfg.PollTimeout; d > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, d)
+		defer cancel()
+	}
 
 	for k := 0; k < len(clis); k++ {
 		i := (preferred + k) % len(clis)

@@ -2,9 +2,12 @@ package fleet
 
 import (
 	"context"
+	"net/http"
 	"net/url"
 	"testing"
+	"time"
 
+	"repro/internal/ctrlplane/client"
 	"repro/internal/faultinject"
 )
 
@@ -122,6 +125,63 @@ func TestInventoryEndpointFailover(t *testing.T) {
 	}
 	if _, err := cli.Register(ctx, memSpec("after-failover").registerRequest()); err != nil {
 		t.Fatalf("register via preferred client after failover: %v", err)
+	}
+}
+
+// TestInventoryPollTimeoutBoundsHungMember: one member's coopd hangs
+// (injected transport latency far beyond any test budget) while a
+// second member is healthy. PollTimeout must cut the hung member's poll
+// off so the whole refresh still completes quickly and the healthy
+// member — polled *after* the hung one in ID order — is reached. The
+// clients deliberately use default (long) request timeouts: the
+// per-member deadline is the only guard under test.
+func TestInventoryPollTimeoutBoundsHungMember(t *testing.T) {
+	ctx := context.Background()
+	hung, live := newCoopd(t), newCoopd(t)
+	hungHost := hostOf(t, hung.URL)
+
+	// Every request to the hung member's host stalls for a minute;
+	// everything else passes through untouched.
+	inj := faultinject.NewInjector(func(n uint64) faultinject.Fault {
+		return faultinject.Fault{Kind: faultinject.KindLatency, Latency: time.Minute}
+	})
+	rt := &faultinject.Transport{
+		Inj:    inj,
+		Filter: func(req *http.Request) bool { return req.URL.Host == hungHost },
+	}
+
+	inv := NewInventory(InventoryConfig{
+		NewClient: func(endpoint string) *client.Client {
+			return client.New(endpoint, client.Config{
+				HTTPClient:  &http.Client{Transport: rt},
+				MaxAttempts: 1,
+			})
+		},
+		FailAfter:   1,
+		PollTimeout: 100 * time.Millisecond,
+	})
+	// "a-hung" sorts before "b-live": without the per-member deadline the
+	// hung member would stall the sequential round before b is reached.
+	if err := inv.Add("a-hung", hung.URL); err != nil {
+		t.Fatal(err)
+	}
+	if err := inv.Add("b-live", live.URL); err != nil {
+		t.Fatal(err)
+	}
+
+	start := time.Now()
+	inv.Poll(ctx)
+	if d := time.Since(start); d > 2*time.Second {
+		t.Fatalf("poll round took %v despite the 100ms per-member deadline", d)
+	}
+	if m, _ := inv.Member("a-hung"); !m.Dead {
+		t.Fatalf("hung member not declared dead: %+v", m)
+	}
+	if m, _ := inv.Member("b-live"); !m.Healthy() {
+		t.Fatal("healthy member never polled — the hung member stalled the round")
+	}
+	if got := inj.Requests(); got == 0 {
+		t.Fatal("latency injector never saw a request; test wired wrong")
 	}
 }
 

@@ -3,6 +3,7 @@ package fleet
 import (
 	"context"
 	"fmt"
+	"sync"
 )
 
 // Move reasons, stable strings carried on the wire.
@@ -58,6 +59,15 @@ type Plan struct {
 	// from-scratch re-pack the imbalance check compares against.
 	CurrentGFLOPS float64 `json:"current_gflops"`
 	RepackGFLOPS  float64 `json:"repack_gflops"`
+	// Budget is the round's global move budget (MaxMovesPerRound after
+	// defaults), shared across the urgent, drift, and imbalance passes;
+	// BudgetSpent is how much of it this plan consumes.
+	Budget      int `json:"budget,omitempty"`
+	BudgetSpent int `json:"budget_spent,omitempty"`
+	// Cooldowns maps app names still inside their post-move cooldown to
+	// the number of upcoming rounds (including the planned one) in which
+	// the drift and imbalance passes will not move them again.
+	Cooldowns map[string]int `json:"cooldowns,omitempty"`
 }
 
 // Rebalancer turns inventory drift — dead machines, draining members,
@@ -66,27 +76,131 @@ type Rebalancer struct {
 	Inv    *Inventory
 	Placer *Placer
 	Scorer *Scorer
-	// MaxMovesPerRound bounds churn per round (default 4).
+	// MaxMovesPerRound bounds churn per round (default 4). The bound is
+	// global: urgent evacuation, drift re-placement, and the imbalance
+	// re-pack all draw from the same per-round budget. A negative value
+	// is a misconfiguration (it would disable churn limiting) and falls
+	// back to the default with a logged warning.
 	MaxMovesPerRound int
 	// Threshold triggers the imbalance pass when the current aggregate
-	// falls below Threshold x the greedy re-pack (default 0.9).
+	// falls below Threshold x the greedy re-pack (default 0.9). Values
+	// outside (0, 1] are misconfigurations — negative or > 1 would arm
+	// the re-pack permanently — and fall back to the default with a
+	// logged warning.
 	Threshold float64
+	// CooldownRounds is the anti-thrash guard: an app moved by the
+	// drift or imbalance pass may not be moved by those passes again
+	// for this many following rounds, and is excluded from the
+	// imbalance re-pack's move list while cooling down. Urgent
+	// evacuation (machine lost, drain) is never blocked. 0 selects the
+	// default (2); negative disables the guard entirely — only for A/B
+	// stability experiments such as the fleetsim oscillation
+	// regression, never for production use.
+	CooldownRounds int
 	// Logf, when set, receives move logs.
 	Logf func(format string, args ...any)
+
+	// mu guards the anti-thrash state below; Plan (dry-run over HTTP)
+	// and Round (background loop) may run concurrently.
+	mu sync.Mutex
+	// round counts completed Round calls; lastMove records, per app
+	// name, the round in which its last drift/imbalance move executed.
+	// Names key the map because a move re-registers the app under a
+	// fresh machine-local ID.
+	round    uint64
+	lastMove map[string]uint64
+	warned   map[string]bool
 }
 
 func (r *Rebalancer) maxMoves() int {
 	if r.MaxMovesPerRound > 0 {
 		return r.MaxMovesPerRound
 	}
+	if r.MaxMovesPerRound < 0 {
+		r.warnOnce("max-moves", "fleet: MaxMovesPerRound %d would disable the churn bound; using default 4",
+			r.MaxMovesPerRound)
+	}
 	return 4
 }
 
 func (r *Rebalancer) threshold() float64 {
-	if r.Threshold > 0 {
+	if r.Threshold > 0 && r.Threshold <= 1 {
 		return r.Threshold
 	}
+	if r.Threshold != 0 {
+		r.warnOnce("threshold", "fleet: Threshold %g outside (0, 1] would mis-arm the imbalance pass; using default 0.9",
+			r.Threshold)
+	}
 	return 0.9
+}
+
+func (r *Rebalancer) cooldownRounds() int {
+	switch {
+	case r.CooldownRounds > 0:
+		return r.CooldownRounds
+	case r.CooldownRounds < 0:
+		return 0 // explicitly disabled
+	}
+	return 2
+}
+
+// warnOnce logs a misconfiguration warning a single time per key.
+func (r *Rebalancer) warnOnce(key, format string, args ...any) {
+	r.mu.Lock()
+	if r.warned == nil {
+		r.warned = map[string]bool{}
+	}
+	logged := r.warned[key]
+	r.warned[key] = true
+	r.mu.Unlock()
+	if !logged {
+		r.logf(format, args...)
+	}
+}
+
+// onCooldown reports whether the app's last drift/imbalance move is
+// recent enough that moving it again would be churn.
+func (r *Rebalancer) onCooldown(name string) bool {
+	cd := uint64(r.cooldownRounds())
+	if cd == 0 {
+		return false
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	last, ok := r.lastMove[name]
+	// Moved in round k => blocked for rounds k+1 .. k+cd.
+	return ok && r.round-last <= cd
+}
+
+// noteMoved starts the app's cooldown (called when a drift/imbalance
+// move executes).
+func (r *Rebalancer) noteMoved(name string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.lastMove == nil {
+		r.lastMove = map[string]uint64{}
+	}
+	r.lastMove[name] = r.round
+}
+
+// cooldownView snapshots active cooldowns as app name -> rounds left
+// (including the next planning round), pruning expired entries.
+func (r *Rebalancer) cooldownView() map[string]int {
+	cd := uint64(r.cooldownRounds())
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var out map[string]int
+	for name, last := range r.lastMove {
+		if cd == 0 || r.round-last > cd {
+			delete(r.lastMove, name)
+			continue
+		}
+		if out == nil {
+			out = map[string]int{}
+		}
+		out[name] = int(cd - (r.round - last) + 1)
+	}
+	return out
 }
 
 func (r *Rebalancer) logf(format string, args ...any) {
@@ -104,7 +218,7 @@ func (r *Rebalancer) logf(format string, args ...any) {
 func (r *Rebalancer) Plan(ctx context.Context) (*Plan, error) {
 	members := r.Inv.Snapshot()
 	cands := candidatesFrom(members)
-	plan := &Plan{}
+	plan := &Plan{Budget: r.maxMoves(), Cooldowns: r.cooldownView()}
 
 	// Duplicate cleanup on revived members: app IDs re-homed while the
 	// member was dead that its registry still carries.
@@ -146,16 +260,17 @@ func (r *Rebalancer) Plan(ctx context.Context) (*Plan, error) {
 			if dup[m.ID+"/"+app.ID] {
 				continue
 			}
-			d, c, err := r.Scorer.decide(app.Spec(), cands)
+			spec := app.EffectiveSpec()
+			d, c, err := r.Scorer.decide(spec, cands)
 			if err != nil {
 				r.logf("fleet: cannot re-home %s from %s: %v", app.ID, m.ID, err)
 				continue
 			}
 			plan.Moves = append(plan.Moves, Move{
-				AppID: app.ID, App: app.Spec(), From: m.ID, To: d.Member,
+				AppID: app.ID, App: spec, From: m.ID, To: d.Member,
 				Reason: reason, Score: d.Score,
 			})
-			c.commit(app.Spec())
+			c.commit(spec)
 			urgent++
 		}
 	}
@@ -163,16 +278,20 @@ func (r *Rebalancer) Plan(ctx context.Context) (*Plan, error) {
 	if urgent == 0 {
 		// Drift re-placement before the imbalance pass: a drifted app's
 		// placement was decided on a wrong model, so it gets first claim on
-		// the round's churn budget; the broader re-pack waits a round.
-		if r.planDrift(plan, members, dup, cands) == 0 {
-			r.planImbalance(plan, members, dup)
+		// the round's churn budget; the broader re-pack waits a round. Both
+		// passes draw from the same global budget, so their combined moves
+		// can never exceed the per-round bound.
+		budget := plan.Budget
+		if r.planDrift(plan, members, dup, cands, &budget) == 0 {
+			r.planImbalance(plan, members, dup, &budget)
 		}
 	}
 
-	if limit := r.maxMoves(); len(plan.Moves) > limit {
-		plan.Deferred = len(plan.Moves) - limit
+	if limit := plan.Budget; len(plan.Moves) > limit {
+		plan.Deferred += len(plan.Moves) - limit
 		plan.Moves = plan.Moves[:limit]
 	}
+	plan.BudgetSpent = len(plan.Moves)
 	return plan, ctx.Err()
 }
 
@@ -181,8 +300,11 @@ func (r *Rebalancer) Plan(ctx context.Context) (*Plan, error) {
 // is re-taken with its effective (fitted) spec against the other
 // members; a move is planned only when the fleet-wide gain — the
 // destination's marginal minus what the source loses by releasing the
-// app — is meaningfully positive. Returns the number of moves planned.
-func (r *Rebalancer) planDrift(plan *Plan, members []Member, dup map[string]bool, cands []*candidate) int {
+// app — is meaningfully positive. Apps inside their post-move cooldown
+// are skipped (anti-thrash), and each planned move debits the shared
+// round budget; candidates past the budget are deferred, not planned.
+// Returns the number of moves planned.
+func (r *Rebalancer) planDrift(plan *Plan, members []Member, dup map[string]bool, cands []*candidate, budget *int) int {
 	moves := 0
 	for i := range members {
 		m := &members[i]
@@ -191,6 +313,13 @@ func (r *Rebalancer) planDrift(plan *Plan, members []Member, dup map[string]bool
 		}
 		for _, app := range m.Apps {
 			if !app.Drifted || app.FittedAI <= 0 || dup[m.ID+"/"+app.ID] {
+				continue
+			}
+			if r.onCooldown(app.Name) {
+				continue
+			}
+			if *budget <= 0 {
+				plan.Deferred++
 				continue
 			}
 			spec := app.EffectiveSpec()
@@ -232,6 +361,7 @@ func (r *Rebalancer) planDrift(plan *Plan, members []Member, dup map[string]bool
 			})
 			c.commit(spec)
 			moves++
+			*budget--
 			r.logf("fleet: drift re-placement of %s (fitted AI %.3g vs declared %.3g): %s -> %s, gain %+.1f GFLOPS",
 				app.ID, app.FittedAI, app.AI, m.ID, d.Member, gain)
 		}
@@ -242,8 +372,12 @@ func (r *Rebalancer) planDrift(plan *Plan, members []Member, dup map[string]bool
 // planImbalance compares the fleet's current solved aggregate with a
 // greedy from-scratch re-pack of the same apps and, when the gap
 // exceeds the threshold, emits moves for the apps whose re-pack target
-// differs from their current machine.
-func (r *Rebalancer) planImbalance(plan *Plan, members []Member, dup map[string]bool) {
+// differs from their current machine. Apps inside their post-move
+// cooldown are excluded from the move list (oscillation damping: an
+// app the previous round just re-homed must not immediately bounce
+// back because the load shifted again), and moves stop once the shared
+// round budget is spent.
+func (r *Rebalancer) planImbalance(plan *Plan, members []Member, dup map[string]bool, budget *int) {
 	type owned struct {
 		member string
 		app    PlacedApp
@@ -284,14 +418,19 @@ func (r *Rebalancer) planImbalance(plan *Plan, members []Member, dup map[string]
 		c.demand, c.apps, c.bad = nil, 0, 0
 		c.beforeSet = false
 	}
+	// The re-pack scores with EffectiveSpec — the fitted model when an
+	// app has drifted — matching demandSet above. Mixing declared AI
+	// into the repack while the current aggregate reflects measured
+	// behaviour would mis-arm the trigger in both directions.
 	target := map[string]string{} // "member/appID" -> repack member
 	for _, o := range apps {
-		d, c, err := r.Scorer.decide(o.app.Spec(), fresh)
+		spec := o.app.EffectiveSpec()
+		d, c, err := r.Scorer.decide(spec, fresh)
 		if err != nil {
 			return
 		}
 		target[o.member+"/"+o.app.ID] = d.Member
-		c.commit(o.app.Spec())
+		c.commit(spec)
 	}
 	repack := 0.0
 	for _, c := range fresh {
@@ -310,12 +449,22 @@ func (r *Rebalancer) planImbalance(plan *Plan, members []Member, dup map[string]
 	// Targets come from the re-pack simulation itself, so the moves land
 	// the fleet at (a bounded prefix of) the re-packed assignment.
 	for _, o := range apps {
-		if to := target[o.member+"/"+o.app.ID]; to != o.member {
-			plan.Moves = append(plan.Moves, Move{
-				AppID: o.app.ID, App: o.app.Spec(), From: o.member, To: to,
-				Reason: ReasonRebalance,
-			})
+		to := target[o.member+"/"+o.app.ID]
+		if to == o.member {
+			continue
 		}
+		if r.onCooldown(o.app.Name) {
+			continue // damped: just moved, let the fleet settle first
+		}
+		if *budget <= 0 {
+			plan.Deferred++
+			continue
+		}
+		plan.Moves = append(plan.Moves, Move{
+			AppID: o.app.ID, App: o.app.EffectiveSpec(), From: o.member, To: to,
+			Reason: ReasonRebalance,
+		})
+		*budget--
 	}
 }
 
@@ -378,6 +527,9 @@ func (r *Rebalancer) Execute(ctx context.Context, plan *Plan) error {
 			ID: resp.ID, Name: mv.App.Name, AI: mv.App.AI, Placement: mv.App.Placement,
 			HomeNode: mv.App.HomeNode, MaxThreads: mv.App.MaxThreads, TTLMillis: mv.App.TTLMillis,
 		})
+		if mv.Reason == ReasonDrift || mv.Reason == ReasonRebalance {
+			r.noteMoved(mv.App.Name)
+		}
 		r.logf("fleet: moved %s: %s -> %s as %s (%s, score %+.1f)",
 			mv.AppID, mv.From, mv.To, resp.ID, mv.Reason, mv.Score)
 	}
@@ -385,13 +537,19 @@ func (r *Rebalancer) Execute(ctx context.Context, plan *Plan) error {
 }
 
 // Round runs one control-loop iteration: poll the fleet, plan, execute.
+// Rounds advance the cooldown clock — Plan alone (the HTTP dry run)
+// never does, so inspecting a plan has no side effects.
 func (r *Rebalancer) Round(ctx context.Context) (*Plan, error) {
 	r.Inv.Poll(ctx)
 	plan, err := r.Plan(ctx)
 	if err != nil {
 		return plan, err
 	}
-	if err := r.Execute(ctx, plan); err != nil {
+	err = r.Execute(ctx, plan)
+	r.mu.Lock()
+	r.round++
+	r.mu.Unlock()
+	if err != nil {
 		return plan, err
 	}
 	return plan, nil

@@ -139,3 +139,178 @@ func TestRebalanceDrainsMarkedMember(t *testing.T) {
 		t.Fatalf("fresh app decided onto draining member %s", d.Member)
 	}
 }
+
+// TestRebalanceMisconfigDefaults: negative MaxMovesPerRound and
+// out-of-range Threshold values are misconfigurations — they fall back
+// to the safe defaults and log a warning exactly once, instead of
+// silently disabling the churn bound or permanently arming the re-pack.
+func TestRebalanceMisconfigDefaults(t *testing.T) {
+	var warnings []string
+	r := &Rebalancer{
+		MaxMovesPerRound: -3,
+		Threshold:        1.7,
+		Logf: func(format string, args ...any) {
+			warnings = append(warnings, format)
+		},
+	}
+	for i := 0; i < 3; i++ {
+		if got := r.maxMoves(); got != 4 {
+			t.Fatalf("maxMoves() = %d with negative config, want default 4", got)
+		}
+		if got := r.threshold(); got != 0.9 {
+			t.Fatalf("threshold() = %g with out-of-range config, want default 0.9", got)
+		}
+	}
+	if len(warnings) != 2 {
+		t.Fatalf("logged %d warnings %q, want exactly one per misconfigured knob", len(warnings), warnings)
+	}
+
+	// Zero values are the documented defaults, not misconfigurations:
+	// no warning spam from default-constructed rebalancers.
+	warnings = nil
+	r2 := &Rebalancer{Logf: func(format string, args ...any) {
+		warnings = append(warnings, format)
+	}}
+	if got := r2.maxMoves(); got != 4 {
+		t.Fatalf("zero maxMoves() = %d, want 4", got)
+	}
+	if got := r2.threshold(); got != 0.9 {
+		t.Fatalf("zero threshold() = %g, want 0.9", got)
+	}
+	if len(warnings) != 0 {
+		t.Fatalf("zero-value defaults logged warnings: %q", warnings)
+	}
+
+	// Negative Threshold also warns (would disable the imbalance pass
+	// silently); -1 CooldownRounds disables cooldowns without warning —
+	// it is the documented A/B knob.
+	r3 := &Rebalancer{Threshold: -0.5, CooldownRounds: -1}
+	if got := r3.threshold(); got != 0.9 {
+		t.Fatalf("negative threshold() = %g, want default 0.9", got)
+	}
+	if got := r3.cooldownRounds(); got != 0 {
+		t.Fatalf("cooldownRounds() = %d with -1, want 0 (disabled)", got)
+	}
+	if got := (&Rebalancer{}).cooldownRounds(); got != 2 {
+		t.Fatalf("default cooldownRounds() = %d, want 2", got)
+	}
+}
+
+// TestRebalanceCooldownBlocksRepeatMoves: an app moved by the
+// drift/imbalance passes in round k is excluded from those passes for
+// rounds k+1..k+CooldownRounds, then becomes movable again. Plan (the
+// dry run) must not advance the cooldown clock — only Round does.
+func TestRebalanceCooldownBlocksRepeatMoves(t *testing.T) {
+	r := &Rebalancer{CooldownRounds: 2}
+	r.noteMoved("app")
+	r.mu.Lock()
+	r.round++ // the move's round completes
+	r.mu.Unlock()
+	for i := 1; i <= 2; i++ {
+		if !r.onCooldown("app") {
+			t.Fatalf("round +%d: app escaped its cooldown early", i)
+		}
+		if cds := r.cooldownView(); cds["app"] != 2-i+1 {
+			t.Fatalf("round +%d: cooldownView = %v, want app -> %d", i, cds, 2-i+1)
+		}
+		r.mu.Lock()
+		r.round++
+		r.mu.Unlock()
+	}
+	if r.onCooldown("app") {
+		t.Fatal("app still on cooldown after CooldownRounds elapsed")
+	}
+	if cds := r.cooldownView(); len(cds) != 0 {
+		t.Fatalf("expired cooldowns not pruned: %v", cds)
+	}
+
+	// Disabled guard: nothing is ever on cooldown.
+	off := &Rebalancer{CooldownRounds: -1}
+	off.noteMoved("app")
+	off.mu.Lock()
+	off.round++
+	off.mu.Unlock()
+	if off.onCooldown("app") {
+		t.Fatal("disabled cooldown still blocks moves")
+	}
+}
+
+// TestRebalanceCooldownDampsImmediateBounce: after the imbalance round
+// moves two mem apps a -> b, deregistering one app on b re-opens a gap
+// whose greedy re-pack would bounce a just-moved app straight back. The
+// cooldown excludes it, so the next round plans no moves for it; once
+// the cooldown expires the pass may move it again.
+func TestRebalanceCooldownDampsImmediateBounce(t *testing.T) {
+	ctx := context.Background()
+	inv, reb := twoMachineFleet(t, 4)
+	reb.CooldownRounds = 2
+
+	plan, err := reb.Round(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Moves) != 2 {
+		t.Fatalf("setup round planned %d moves, want 2", len(plan.Moves))
+	}
+	moved := map[string]bool{}
+	for _, mv := range plan.Moves {
+		moved[mv.App.Name] = true
+	}
+
+	// Perturb: drop the comp app from a so the balance point shifts and
+	// a fresh re-pack wants the mem apps consolidated differently.
+	ma, _ := inv.Member("a")
+	cli, err := inv.Client("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, app := range ma.Apps {
+		if app.Name == "comp" {
+			if err := cli.Deregister(ctx, app.ID); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	for round := 0; round < 2; round++ {
+		p, err := reb.Round(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, mv := range p.Moves {
+			if moved[mv.App.Name] {
+				t.Fatalf("round +%d re-moved %s while on cooldown: %+v", round+1, mv.App.Name, mv)
+			}
+		}
+		for name := range moved {
+			if _, ok := p.Cooldowns[name]; !ok {
+				t.Fatalf("round +%d plan does not report %s cooling down: %v", round+1, name, p.Cooldowns)
+			}
+		}
+	}
+}
+
+// TestRebalanceBudgetSharedAcrossPasses: the plan reports the global
+// budget and its consumption, and the moves never exceed it even when
+// urgent evacuation already claimed part of the round.
+func TestRebalanceBudgetSharedAcrossPasses(t *testing.T) {
+	ctx := context.Background()
+	inv, reb := twoMachineFleet(t, 3)
+	if !inv.SetDraining("a", true) {
+		t.Fatal("SetDraining failed")
+	}
+	plan, err := reb.Plan(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Budget != 3 {
+		t.Fatalf("plan budget %d, want 3", plan.Budget)
+	}
+	if len(plan.Moves) != 3 || plan.Deferred != 1 {
+		t.Fatalf("moves %d / deferred %d, want 3 / 1 (4 drain candidates, budget 3)",
+			len(plan.Moves), plan.Deferred)
+	}
+	if plan.BudgetSpent != 3 {
+		t.Fatalf("budget spent %d, want 3", plan.BudgetSpent)
+	}
+}

@@ -1,0 +1,210 @@
+package fleetsim
+
+import (
+	"context"
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+func testCtx(t *testing.T) context.Context {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 3*time.Minute)
+	t.Cleanup(cancel)
+	return ctx
+}
+
+func corpusScenario(t *testing.T, name string) *Scenario {
+	t.Helper()
+	corpus, err := Corpus()
+	if err != nil {
+		t.Fatalf("Corpus: %v", err)
+	}
+	for _, sc := range corpus {
+		if sc.Name == name {
+			return sc
+		}
+	}
+	t.Fatalf("scenario %q not in corpus", name)
+	return nil
+}
+
+func TestCorpusLoadsAndValidates(t *testing.T) {
+	corpus, err := Corpus()
+	if err != nil {
+		t.Fatalf("Corpus: %v", err)
+	}
+	want := map[string]bool{
+		"diurnal":           false,
+		"flash_crowd":       false,
+		"autoscale_churn":   false,
+		"misdeclared_drift": false,
+		"flapping":          false,
+	}
+	for _, sc := range corpus {
+		if err := sc.Validate(); err != nil {
+			t.Errorf("scenario %q invalid: %v", sc.Name, err)
+		}
+		if _, ok := want[sc.Name]; !ok {
+			t.Errorf("unexpected scenario %q in corpus", sc.Name)
+			continue
+		}
+		want[sc.Name] = true
+	}
+	for name, seen := range want {
+		if !seen {
+			t.Errorf("scenario %q missing from corpus", name)
+		}
+	}
+}
+
+// TestCorpusScenariosPassInvariants is the headline acceptance check: every
+// checked-in trace runs against the live fleet stack and every stability
+// invariant holds.
+func TestCorpusScenariosPassInvariants(t *testing.T) {
+	if testing.Short() {
+		t.Skip("corpus run boots live coopd members; skipped in -short")
+	}
+	corpus, err := Corpus()
+	if err != nil {
+		t.Fatalf("Corpus: %v", err)
+	}
+	for _, sc := range corpus {
+		sc := sc
+		t.Run(sc.Name, func(t *testing.T) {
+			t.Parallel()
+			v, err := RunScenario(testCtx(t), sc, EngineConfig{Logf: t.Logf})
+			if err != nil {
+				t.Fatalf("RunScenario: %v", err)
+			}
+			if !v.Passed {
+				for _, viol := range v.Violations {
+					t.Errorf("round %d [%s]: %s", viol.Round, viol.Invariant, viol.Detail)
+				}
+				t.Fatalf("scenario %s failed %d invariant(s)", sc.Name, len(v.Violations))
+			}
+			if v.TotalMoves > 0 && v.MaxRoundMoves > maxMovesFor(sc) {
+				t.Errorf("max round moves %d exceeds budget %d", v.MaxRoundMoves, maxMovesFor(sc))
+			}
+			t.Logf("verdict: moves=%d deferred=%d byReason=%v lastPerturb=%d lastActive=%d aggGFLOPS=%.1f",
+				v.TotalMoves, v.Deferred, v.MovesByReason, v.LastPerturbRound, v.LastActiveRound, v.FinalAggregateGFLOPS)
+		})
+	}
+}
+
+func maxMovesFor(sc *Scenario) int {
+	if sc.MaxMovesPerRound > 0 {
+		return sc.MaxMovesPerRound
+	}
+	return 4
+}
+
+// TestFlappingDeterministic runs the same scenario twice and demands
+// bit-identical verdicts: the harness is seeded and deterministic.
+func TestFlappingDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipped in -short")
+	}
+	sc := corpusScenario(t, "flapping")
+	var got [2][]byte
+	for i := range got {
+		v, err := RunScenario(testCtx(t), sc, EngineConfig{})
+		if err != nil {
+			t.Fatalf("run %d: %v", i, err)
+		}
+		b, err := json.Marshal(v)
+		if err != nil {
+			t.Fatalf("marshal: %v", err)
+		}
+		got[i] = b
+	}
+	if string(got[0]) != string(got[1]) {
+		t.Fatalf("verdicts differ across identical runs:\n  run0: %s\n  run1: %s", got[0], got[1])
+	}
+}
+
+// TestOscillationRegressionWithoutAntiThrash demonstrates the pre-hardening
+// rebalancer failing the oscillation invariant on the flapping trace, and the
+// cooldown-hardened rebalancer passing the same trace. This is the regression
+// that keeps the anti-thrash guard honest.
+func TestOscillationRegressionWithoutAntiThrash(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipped in -short")
+	}
+	base := corpusScenario(t, "flapping")
+
+	unguarded := *base
+	unguarded.Name = "flapping-unguarded"
+	unguarded.DisableAntiThrash = true
+	// The convergence clock is not the point of this regression (a
+	// thrashing rebalancer may or may not settle); give it slack so the
+	// only expected failure is the oscillation invariant.
+	unguarded.ConvergeWithin = base.Rounds
+
+	v, err := RunScenario(testCtx(t), &unguarded, EngineConfig{Logf: t.Logf})
+	if err != nil {
+		t.Fatalf("RunScenario(unguarded): %v", err)
+	}
+	if v.Passed {
+		t.Fatalf("pre-hardening rebalancer unexpectedly passed the flapping trace (moves=%d)", v.TotalMoves)
+	}
+	sawOscillation := false
+	for _, viol := range v.Violations {
+		t.Logf("unguarded violation: round %d [%s]: %s", viol.Round, viol.Invariant, viol.Detail)
+		if viol.Invariant == "no-oscillation" {
+			sawOscillation = true
+		}
+	}
+	if !sawOscillation {
+		t.Fatalf("expected a no-oscillation violation from the unguarded rebalancer, got %v", v.Violations)
+	}
+
+	guarded, err := RunScenario(testCtx(t), base, EngineConfig{Logf: t.Logf})
+	if err != nil {
+		t.Fatalf("RunScenario(guarded): %v", err)
+	}
+	if !guarded.Passed {
+		t.Fatalf("hardened rebalancer failed the same trace: %v", guarded.Violations)
+	}
+	if guarded.TotalMoves >= v.TotalMoves {
+		t.Errorf("hardening should damp churn: guarded=%d moves, unguarded=%d", guarded.TotalMoves, v.TotalMoves)
+	}
+}
+
+// TestDriftScenarioConvergesThroughLeaderKill runs the telemetry-driven
+// mis-declared-AI trace: the wolf's fitted model must converge to its true
+// arithmetic intensity using only taskrt/memsim-streamed /v1/report samples,
+// and the run must survive a mid-scenario leader kill on the HA member.
+func TestDriftScenarioConvergesThroughLeaderKill(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipped in -short")
+	}
+	sc := corpusScenario(t, "misdeclared_drift")
+	v, err := RunScenario(testCtx(t), sc, EngineConfig{Logf: t.Logf})
+	if err != nil {
+		t.Fatalf("RunScenario: %v", err)
+	}
+	if !v.Passed {
+		for _, viol := range v.Violations {
+			t.Errorf("round %d [%s]: %s", viol.Round, viol.Invariant, viol.Detail)
+		}
+		t.Fatalf("drift scenario failed invariants")
+	}
+	if v.LeaderKills < 1 {
+		t.Fatalf("scenario should have killed at least one leader, got %d", v.LeaderKills)
+	}
+	fitted, ok := v.DriftConfirmed["wolf"]
+	if !ok {
+		t.Fatalf("wolf drift never confirmed; DriftConfirmed=%v", v.DriftConfirmed)
+	}
+	// Declared AI 0.5, true AI 10: the fitted model must land near the
+	// truth, not the declaration.
+	if fitted < 5 || fitted > 20 {
+		t.Fatalf("wolf fitted AI %.2f not near true AI 10", fitted)
+	}
+	// Post-correction the fleet should be near the compute-bound optimum:
+	// wolf alone on a-ha ~= 320 GFLOPS, three mem apps on b-plain ~= 64.
+	if v.FinalAggregateGFLOPS < 300 {
+		t.Fatalf("final aggregate %.1f GFLOPS; want >= 300 after drift correction", v.FinalAggregateGFLOPS)
+	}
+}

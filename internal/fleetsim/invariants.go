@@ -1,0 +1,163 @@
+package fleetsim
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/fleet"
+)
+
+// Violation is one invariant failure, pinned to the round it surfaced.
+type Violation struct {
+	Round     int    `json:"round"`
+	Invariant string `json:"invariant"`
+	Detail    string `json:"detail"`
+}
+
+// Verdict is the machine-readable outcome of one scenario run — the
+// artifact `cmd/fleetsim` writes and CI uploads.
+type Verdict struct {
+	Scenario string `json:"scenario"`
+	Seed     int64  `json:"seed"`
+	Rounds   int    `json:"rounds"`
+	Passed   bool   `json:"passed"`
+	// Violations is empty when Passed.
+	Violations []Violation `json:"violations,omitempty"`
+
+	// Churn accounting across the whole run.
+	TotalMoves    int            `json:"total_moves"`
+	MovesByReason map[string]int `json:"moves_by_reason,omitempty"`
+	Deferred      int            `json:"deferred"`
+	MaxRoundMoves int            `json:"max_round_moves"`
+
+	// LastPerturbRound is the last round the trace (or a drift
+	// confirmation) changed the fleet's inputs; LastActiveRound is the
+	// last round the rebalancer still planned work. Convergence demands
+	// LastActiveRound <= LastPerturbRound + ConvergeWithin.
+	LastPerturbRound int `json:"last_perturb_round"`
+	LastActiveRound  int `json:"last_active_round"`
+
+	// DriftConfirmed lists apps whose streamed telemetry confirmed a
+	// mis-declared model, with the fitted AI each converged to.
+	DriftConfirmed map[string]float64 `json:"drift_confirmed,omitempty"`
+
+	// FinalAggregateGFLOPS sums healthy members' solved aggregates
+	// after the last round.
+	FinalAggregateGFLOPS float64 `json:"final_aggregate_gflops"`
+
+	// LeaderKills counts kill_leader events survived.
+	LeaderKills int `json:"leader_kills,omitempty"`
+}
+
+// moveRecord is one executed move in the oscillation ledger.
+type moveRecord struct {
+	round  int
+	from   string
+	to     string
+	reason string
+}
+
+// checker accumulates per-round state for the stability invariants.
+type checker struct {
+	sc         *Scenario
+	violations []Violation
+	history    map[string][]moveRecord // app name -> executed moves
+}
+
+func newChecker(sc *Scenario) *checker {
+	return &checker{sc: sc, history: map[string][]moveRecord{}}
+}
+
+func (c *checker) violate(round int, invariant, format string, args ...any) {
+	c.violations = append(c.violations, Violation{
+		Round:     round,
+		Invariant: invariant,
+		Detail:    fmt.Sprintf(format, args...),
+	})
+}
+
+// checkBudget enforces the bounded-churn invariant on one round's plan:
+// the moves the plan carries — urgent, drift, and imbalance combined —
+// never exceed the round's global budget.
+func (c *checker) checkBudget(round int, plan *fleet.Plan) {
+	if plan.Budget <= 0 {
+		c.violate(round, "bounded-churn", "plan carries no move budget (budget=%d)", plan.Budget)
+		return
+	}
+	if len(plan.Moves) > plan.Budget {
+		c.violate(round, "bounded-churn", "%d moves planned against a budget of %d", len(plan.Moves), plan.Budget)
+	}
+	if plan.BudgetSpent != len(plan.Moves) {
+		c.violate(round, "bounded-churn", "plan reports %d budget spent for %d moves", plan.BudgetSpent, len(plan.Moves))
+	}
+}
+
+// checkExactlyOnce enforces placement uniqueness over the inventory
+// snapshot: every app name appears on at most one member. Registrations
+// listed in a member's Stale set are re-home leftovers awaiting cleanup
+// on a revived machine — known duplicates, exempt until the rebalancer
+// deregisters them.
+func (c *checker) checkExactlyOnce(round int, members []fleet.Member) {
+	hosts := map[string][]string{}
+	for _, m := range members {
+		stale := map[string]bool{}
+		for _, id := range m.Stale {
+			stale[id] = true
+		}
+		for _, a := range m.Apps {
+			if stale[a.ID] {
+				continue
+			}
+			hosts[a.Name] = append(hosts[a.Name], m.ID)
+		}
+	}
+	names := make([]string, 0, len(hosts))
+	for name := range hosts {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		if on := hosts[name]; len(on) > 1 {
+			c.violate(round, "exactly-once", "app %s placed on %d machines: %v", name, len(on), on)
+		}
+	}
+}
+
+// recordMoves feeds the round's executed moves into the oscillation
+// ledger and checks the no-bounce invariant: an app sent A→B by the
+// drift or imbalance pass must not return B→A within the window. Pairs
+// where either leg is urgent (machine lost, drain) are exempt — losing
+// a machine and later re-packing onto its replacement is recovery, not
+// thrash.
+func (c *checker) recordMoves(round int, plan *fleet.Plan) {
+	window := c.sc.oscillationWindow()
+	for _, mv := range plan.Moves {
+		rec := moveRecord{round: round, from: mv.From, to: mv.To, reason: mv.Reason}
+		if rec.reason == fleet.ReasonDrift || rec.reason == fleet.ReasonRebalance {
+			for _, prev := range c.history[mv.App.Name] {
+				if prev.reason != fleet.ReasonDrift && prev.reason != fleet.ReasonRebalance {
+					continue
+				}
+				if prev.from == rec.to && prev.to == rec.from && round-prev.round <= window {
+					c.violate(round, "no-oscillation",
+						"app %s bounced %s->%s (round %d) then %s->%s (round %d) within window %d",
+						mv.App.Name, prev.from, prev.to, prev.round, rec.from, rec.to, round, window)
+				}
+			}
+		}
+		c.history[mv.App.Name] = append(c.history[mv.App.Name], rec)
+	}
+}
+
+// checkConvergence runs after the last round: once the trace stopped
+// perturbing the fleet (lastPerturb), plans must drain to empty within
+// ConvergeWithin rounds and stay empty (lastActive is the last round
+// that planned moves, cleanups, or deferrals).
+func (c *checker) checkConvergence(lastPerturb, lastActive int) {
+	k := c.sc.convergeWithin()
+	if lastActive > lastPerturb+k {
+		c.violate(lastActive, "convergence",
+			"rebalancer still active at round %d, %d rounds after the last perturbation (round %d, tolerance %d)",
+			lastActive, lastActive-lastPerturb, lastPerturb, k)
+	}
+}

@@ -1,0 +1,73 @@
+package taskrt
+
+import (
+	"testing"
+
+	"repro/internal/des"
+	"repro/internal/machine"
+)
+
+// TestMigrateBlockDurationScalesWithSize: the copy is bandwidth-bound,
+// so 4x the volume should take roughly 4x the simulated time.
+func TestMigrateBlockDurationScalesWithSize(t *testing.T) {
+	elapsed := func(sizeGB float64) des.Time {
+		m := machine.PaperModel()
+		eng, o := newSim(m)
+		rt := New(o, Config{Name: "app", BindMode: BindCore, Scheduler: NUMAAware})
+		blk := &DataBlock{Name: "grid", Node: 0, SizeGB: sizeGB}
+		var doneAt des.Time
+		if _, err := rt.MigrateBlock(blk, 1, func() { doneAt = eng.Now() }); err != nil {
+			t.Fatalf("MigrateBlock(%g GB): %v", sizeGB, err)
+		}
+		eng.RunUntil(600)
+		if doneAt == 0 {
+			t.Fatalf("%g GB migration did not complete", sizeGB)
+		}
+		return doneAt
+	}
+	small, big := elapsed(1), elapsed(4)
+	if big <= small {
+		t.Errorf("4 GB migration (%v) not slower than 1 GB (%v)", big, small)
+	}
+	if ratio := float64(big) / float64(small); ratio < 2 || ratio > 8 {
+		t.Errorf("duration ratio %.2f for 4x volume; want roughly 4", ratio)
+	}
+}
+
+func TestMigrateBlockNegativeDestination(t *testing.T) {
+	m := machine.PaperModel()
+	_, o := newSim(m)
+	rt := New(o, Config{Name: "app", BindMode: BindCore, Scheduler: NUMAAware})
+	if _, err := rt.MigrateBlock(&DataBlock{Name: "b", Node: 0, SizeGB: 1}, -1, nil); err == nil {
+		t.Error("negative destination: want error")
+	}
+}
+
+// TestMigrateBlockRetargetsSubsequentTasks: tasks submitted after the
+// flip are homed on the block's new node by the NUMA-aware scheduler.
+func TestMigrateBlockRetargetsSubsequentTasks(t *testing.T) {
+	m := machine.PaperModel()
+	eng, o := newSim(m)
+	rt := New(o, Config{Name: "app", BindMode: BindCore, Scheduler: NUMAAware, NoRemoteSteal: true})
+	blk := &DataBlock{Name: "grid", Node: 0, SizeGB: 1}
+
+	var after *Task
+	_, err := rt.MigrateBlock(blk, 3, func() {
+		after = rt.NewTask("reader", 0.001, 1, blk)
+		rt.Submit(after)
+	})
+	if err != nil {
+		t.Fatalf("MigrateBlock: %v", err)
+	}
+	eng.RunUntil(60)
+	if after == nil || after.State() != TaskDone {
+		t.Fatal("post-migration reader did not run")
+	}
+	core, ok := after.ExecutedOn()
+	if !ok {
+		t.Fatal("reader has no execution record")
+	}
+	if node := m.NodeOfCore(core); node != 3 {
+		t.Errorf("reader ran on node %d, want 3 (the block's new home)", node)
+	}
+}

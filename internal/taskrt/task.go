@@ -127,8 +127,10 @@ func (t *Task) memNode() machine.NodeID {
 }
 
 // DependsOn registers dependencies: t cannot start before all deps
-// complete. It panics if t or a dependency was already submitted, which
-// would race with scheduling.
+// complete. It panics if t or a dependency was already submitted (which
+// would race with scheduling), or if the edge would close a dependency
+// cycle — a cycle can never run and would deadlock the whole graph
+// silently at runtime, so it is rejected at construction.
 func (t *Task) DependsOn(deps ...*Task) *Task {
 	if t.submitted {
 		panic("taskrt: DependsOn after Submit")
@@ -140,8 +142,27 @@ func (t *Task) DependsOn(deps ...*Task) *Task {
 		if d.state == TaskDone {
 			continue // already satisfied
 		}
+		if d == t || reaches(t, d) {
+			panic(fmt.Sprintf("taskrt: dependency cycle: %q -> %q", t.Name, d.Name))
+		}
 		d.succs = append(d.succs, t)
 		t.remaining++
 	}
 	return t
+}
+
+// reaches reports whether target is reachable from t along successor
+// edges — if so, an edge target->t would close a cycle. Graphs are
+// walked at construction time only; the cost is bounded by the edges
+// added so far.
+func reaches(t, target *Task) bool {
+	if t == target {
+		return true
+	}
+	for _, s := range t.succs {
+		if reaches(s, target) {
+			return true
+		}
+	}
+	return false
 }

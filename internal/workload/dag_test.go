@@ -80,6 +80,60 @@ func TestDAGValidation(t *testing.T) {
 	expectPanic("empty dag", func() { RandomDAG(rt, DAGSpec{}, nil) })
 	expectPanic("bad forkjoin", func() { ForkJoin(rt, 0, 1, 1, 0, nil) })
 	expectPanic("bad wavefront", func() { Wavefront(rt, m, 0, 1, 0, false, nil) })
+	expectPanic("self-dependency", func() {
+		a := rt.NewTask("self", 0.001, 0, nil)
+		a.DependsOn(a)
+	})
+	expectPanic("two-task cycle", func() {
+		a := rt.NewTask("a", 0.001, 0, nil)
+		b := rt.NewTask("b", 0.001, 0, nil)
+		b.DependsOn(a)
+		a.DependsOn(b)
+	})
+	expectPanic("transitive cycle", func() {
+		a := rt.NewTask("a", 0.001, 0, nil)
+		b := rt.NewTask("b", 0.001, 0, nil)
+		c := rt.NewTask("c", 0.001, 0, nil)
+		b.DependsOn(a)
+		c.DependsOn(b)
+		a.DependsOn(c)
+	})
+}
+
+// TestSingleTaskDAG: the degenerate one-node graph still runs and fires
+// its completion callback.
+func TestSingleTaskDAG(t *testing.T) {
+	m := machine.PaperModel()
+	eng, o := newSim(m)
+	rt := taskrt.New(o, taskrt.Config{Name: "app", BindMode: taskrt.BindCore})
+	done := false
+	tasks := RandomDAG(rt, DAGSpec{Tasks: 1, TaskGFlop: 0.001, Seed: 1}, func() { done = true })
+	eng.RunUntil(1)
+	if !done || len(tasks) != 1 || tasks[0].State() != taskrt.TaskDone {
+		t.Fatalf("single-task DAG: done=%v tasks=%d", done, len(tasks))
+	}
+}
+
+// TestDiamondReuseNoFalseCycle: diamond-shaped sharing (a->b, a->c,
+// b,c->d) is a DAG, not a cycle; the cycle guard must not reject it.
+func TestDiamondReuseNoFalseCycle(t *testing.T) {
+	m := machine.PaperModel()
+	eng, o := newSim(m)
+	rt := taskrt.New(o, taskrt.Config{Name: "app", BindMode: taskrt.BindCore})
+	a := rt.NewTask("a", 0.001, 0, nil)
+	b := rt.NewTask("b", 0.001, 0, nil)
+	c := rt.NewTask("c", 0.001, 0, nil)
+	d := rt.NewTask("d", 0.001, 0, nil)
+	b.DependsOn(a)
+	c.DependsOn(a)
+	d.DependsOn(b, c)
+	for _, task := range []*taskrt.Task{a, b, c, d} {
+		rt.Submit(task)
+	}
+	eng.RunUntil(1)
+	if d.State() != taskrt.TaskDone {
+		t.Fatalf("diamond did not complete: d state %v", d.State())
+	}
 }
 
 // TestSchedulersOnDAGs: every scheduler kind completes every generator
