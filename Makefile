@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench bench-fleet benchall chaos fleet-chaos drift-chaos fleet-sim fuzz check fmt
+.PHONY: all build vet test race bench bench-fleet bench-guard benchall chaos fleet-chaos drift-chaos fleet-sim fuzz check fmt
 
 all: check
 
@@ -36,6 +36,19 @@ bench:
 bench-fleet:
 	$(GO) test -bench 'BenchmarkPlacement' -benchmem -run '^$$' ./internal/fleet/ \
 		| $(GO) run ./cmd/benchjson > BENCH_fleet.json
+
+# Perf-regression gate: re-measure both benchmark suites and compare
+# against the JSON baselines committed at HEAD. Fails on any tracked
+# benchmark regressing more than 25% ns/op, or going missing from the
+# fresh run (see cmd/benchdiff). Compares the working-tree artifacts, so
+# run after `make bench bench-fleet` has refreshed them (CI does exactly
+# that; `make bench bench-fleet bench-guard` locally).
+bench-guard:
+	git show HEAD:BENCH_solver.json > .bench-baseline-solver.json
+	git show HEAD:BENCH_fleet.json > .bench-baseline-fleet.json
+	$(GO) run ./cmd/benchdiff -baseline .bench-baseline-solver.json -fresh BENCH_solver.json
+	$(GO) run ./cmd/benchdiff -baseline .bench-baseline-fleet.json -fresh BENCH_fleet.json
+	rm -f .bench-baseline-solver.json .bench-baseline-fleet.json
 
 benchall:
 	$(GO) test -bench . -benchmem -run '^$$' ./...

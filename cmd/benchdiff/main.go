@@ -1,0 +1,146 @@
+// Command benchdiff compares a fresh benchmark artifact (the JSON map
+// written by cmd/benchjson) against a committed baseline and fails when
+// the suite regressed:
+//
+//   - any benchmark present in the baseline is missing from the fresh
+//     run (a silently-deleted benchmark would otherwise hide a
+//     regression forever), or
+//   - any benchmark's fresh ns/op exceeds the baseline by more than
+//     -max-regress (default 0.25, i.e. 25%).
+//
+// New benchmarks (fresh-only) and improvements are reported but never
+// fail the run. `make bench-guard` wires this against the HEAD-committed
+// BENCH_solver.json / BENCH_fleet.json so CI catches perf regressions
+// the same way it catches test failures.
+//
+// Usage:
+//
+//	benchdiff -baseline BENCH_fleet.base.json -fresh BENCH_fleet.json
+//	benchdiff -baseline old.json -fresh new.json -max-regress 0.10
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+)
+
+type benchResult struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+}
+
+// diffLine is one benchmark's verdict in the comparison report.
+type diffLine struct {
+	name   string
+	detail string
+	failed bool
+}
+
+// compare evaluates fresh against baseline under the regression budget.
+// Every baseline benchmark yields exactly one line; fresh-only
+// benchmarks are appended as informational "new" lines.
+func compare(baseline, fresh map[string]benchResult, maxRegress float64) []diffLine {
+	names := make([]string, 0, len(baseline))
+	for n := range baseline {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+
+	var lines []diffLine
+	for _, n := range names {
+		base := baseline[n]
+		got, ok := fresh[n]
+		if !ok {
+			lines = append(lines, diffLine{
+				name:   n,
+				detail: "MISSING from fresh run (tracked benchmark deleted or filter no longer matches)",
+				failed: true,
+			})
+			continue
+		}
+		if base.NsPerOp <= 0 {
+			lines = append(lines, diffLine{name: n, detail: "baseline ns/op is zero; skipping ratio check"})
+			continue
+		}
+		ratio := got.NsPerOp/base.NsPerOp - 1
+		detail := fmt.Sprintf("%.0f -> %.0f ns/op (%+.1f%%)", base.NsPerOp, got.NsPerOp, 100*ratio)
+		if ratio > maxRegress {
+			lines = append(lines, diffLine{
+				name:   n,
+				detail: fmt.Sprintf("REGRESSION %s exceeds budget %+.0f%%", detail, 100*maxRegress),
+				failed: true,
+			})
+			continue
+		}
+		lines = append(lines, diffLine{name: n, detail: detail})
+	}
+
+	extra := make([]string, 0)
+	for n := range fresh {
+		if _, ok := baseline[n]; !ok {
+			extra = append(extra, n)
+		}
+	}
+	sort.Strings(extra)
+	for _, n := range extra {
+		lines = append(lines, diffLine{
+			name:   n,
+			detail: fmt.Sprintf("new benchmark: %.0f ns/op", fresh[n].NsPerOp),
+		})
+	}
+	return lines
+}
+
+func loadResults(path string) (map[string]benchResult, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var m map[string]benchResult
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return m, nil
+}
+
+func main() {
+	baselinePath := flag.String("baseline", "", "committed benchmark JSON (benchjson output)")
+	freshPath := flag.String("fresh", "", "freshly-measured benchmark JSON to check")
+	maxRegress := flag.Float64("max-regress", 0.25, "maximum tolerated ns/op regression as a fraction (0.25 = 25%)")
+	flag.Parse()
+	if *baselinePath == "" || *freshPath == "" {
+		fmt.Fprintln(os.Stderr, "benchdiff: -baseline and -fresh are required")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	baseline, err := loadResults(*baselinePath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+		os.Exit(2)
+	}
+	fresh, err := loadResults(*freshPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+		os.Exit(2)
+	}
+
+	failed := 0
+	for _, line := range compare(baseline, fresh, *maxRegress) {
+		mark := "ok  "
+		if line.failed {
+			mark = "FAIL"
+			failed++
+		}
+		fmt.Printf("%s %-40s %s\n", mark, line.name, line.detail)
+	}
+	if failed > 0 {
+		fmt.Fprintf(os.Stderr, "benchdiff: %d benchmark(s) failed against %s (budget %+.0f%%)\n",
+			failed, *baselinePath, 100**maxRegress)
+		os.Exit(1)
+	}
+}

@@ -87,8 +87,8 @@ func main() {
 			status = "FAIL"
 			failed++
 		}
-		log.Printf("%s %-18s seed=%d rounds=%d moves=%d (max %d/round, %d deferred) agg=%.1f GFLOPS",
-			status, sc.Name, v.Seed, v.Rounds, v.TotalMoves, v.MaxRoundMoves, v.Deferred, v.FinalAggregateGFLOPS)
+		log.Printf("%s %-18s seed=%d rounds=%d moves=%d (max %d/round, %d deferred) agg=%.1f GFLOPS %.1f rounds/sec",
+			status, sc.Name, v.Seed, v.Rounds, v.TotalMoves, v.MaxRoundMoves, v.Deferred, v.FinalAggregateGFLOPS, v.RoundsPerSec)
 		for _, viol := range v.Violations {
 			log.Printf("  round %d [%s]: %s", viol.Round, viol.Invariant, viol.Detail)
 		}

@@ -28,16 +28,18 @@ func benchMembers(n int) []Member {
 
 // benchPlacement measures end-to-end placement throughput: one op is
 // candidate construction from the member snapshot plus a full scoring
-// decision, i.e. what fleetd does per /v1/fleet/place request.
+// decision, i.e. what fleetd does per /v1/fleet/place request (which
+// reuses a pooled candidateSet exactly like this loop).
 // placements/sec = 1e9 / ns_per_op in BENCH_fleet.json.
 func benchPlacement(b *testing.B, nMachines int) {
 	members := benchMembers(nMachines)
 	sc := NewScorer()
 	spec := AppSpec{Name: "incoming", AI: 2}
+	var cs candidateSet
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		cands := candidatesFrom(members)
+		cands := cs.reset(members, true)
 		if _, _, err := sc.decide(spec, cands); err != nil {
 			b.Fatal(err)
 		}
@@ -48,6 +50,12 @@ func benchPlacement(b *testing.B, nMachines int) {
 func BenchmarkPlacement100Machines(b *testing.B) { benchPlacement(b, 100) }
 
 func BenchmarkPlacement1kMachines(b *testing.B) { benchPlacement(b, 1000) }
+
+// BenchmarkPlacement10kMachines is the fleet-scale case the
+// equivalence-class memo unlocks: 10k machines collapse into a handful
+// of (topology, demand) classes, so a decision is ~10k key builds plus
+// one or two solves at most.
+func BenchmarkPlacement10kMachines(b *testing.B) { benchPlacement(b, 10000) }
 
 // BenchmarkPlacementWarm scores against candidates whose baseline
 // solves are already cached (the rebalancer's repeated-decision path,

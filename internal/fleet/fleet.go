@@ -185,16 +185,23 @@ func (m *Member) NUMABadApps() int {
 	return n
 }
 
-// demandSet converts the member's apps for scoring. Apps with specs the
-// model rejects (should not happen — coopd validated them) are skipped.
-func (m *Member) demandSet() []roofline.App {
-	out := make([]roofline.App, 0, len(m.Apps))
-	for _, a := range m.Apps {
+// appendDemandSet appends the apps' scoring form to dst — the
+// append-style core of Member.demandSet, so hot paths (candidate
+// resets, rebalancer passes) rebuild demand sets into reused backing
+// arrays. Apps with specs the model rejects (should not happen — coopd
+// validated them) are skipped.
+func appendDemandSet(dst []roofline.App, apps []PlacedApp) []roofline.App {
+	for _, a := range apps {
 		ra, err := a.EffectiveSpec().rooflineApp()
 		if err != nil {
 			continue
 		}
-		out = append(out, ra)
+		dst = append(dst, ra)
 	}
-	return out
+	return dst
+}
+
+// demandSet converts the member's apps for scoring into a fresh slice.
+func (m *Member) demandSet() []roofline.App {
+	return appendDemandSet(make([]roofline.App, 0, len(m.Apps)), m.Apps)
 }

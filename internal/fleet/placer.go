@@ -3,6 +3,7 @@ package fleet
 import (
 	"context"
 	"fmt"
+	"sync"
 
 	"repro/internal/machine"
 	"repro/internal/roofline"
@@ -28,28 +29,75 @@ type candidate struct {
 	apps   int
 	bad    int // numa-bad registrations
 
-	before    float64 // SolveTotal(demand), computed lazily
-	beforeSet bool
+	// keyBuf holds the candidate's equivalence-class key (topology hash
+	// + sorted demand segments), built lazily into a reused backing
+	// array and truncated on commit — the only invalidation the
+	// content-addressed scheme needs. Empty means unset (a real key is
+	// never shorter than the 8 topology-hash bytes).
+	keyBuf []byte
 }
 
-// candidatesFrom builds scoring candidates from healthy, non-draining
-// members (ID order is preserved from the snapshot).
-func candidatesFrom(members []Member) []*candidate {
-	var out []*candidate
+// classKey returns the candidate's equivalence-class key, caching it on
+// the candidate until the next commit changes the demand set.
+func (c *candidate) classKey(sc *Scorer) []byte {
+	if len(c.keyBuf) == 0 {
+		c.keyBuf = appendSolveKey(c.keyBuf[:0], sc.topoHash(c.topo), c.demand)
+	}
+	return c.keyBuf
+}
+
+// candidateSet owns reusable scoring candidates: reset rebuilds the set
+// from a member snapshot while keeping the candidate structs and their
+// demand backing arrays, so the per-decision (and per-rebalance-round)
+// allocation cost is amortized to zero. A candidateSet is not safe for
+// concurrent use; the Placer pools them per call and the Rebalancer
+// serializes rounds with planMu.
+type candidateSet struct {
+	all []*candidate // grown monotonically; structs and demand reused
+	out []*candidate
+}
+
+// reset rebuilds the set from healthy, non-draining members (ID order
+// preserved from the snapshot). withDemand=false leaves every
+// candidate's demand set empty — the imbalance re-pack's from-scratch
+// starting state.
+func (cs *candidateSet) reset(members []Member, withDemand bool) []*candidate {
+	cs.out = cs.out[:0]
+	n := 0
 	for i := range members {
 		m := &members[i]
 		if !m.Healthy() || m.Draining {
 			continue
 		}
-		out = append(out, &candidate{
-			id:     m.ID,
-			topo:   m.Topology,
-			demand: m.demandSet(),
-			apps:   len(m.Apps),
-			bad:    m.NUMABadApps(),
-		})
+		var c *candidate
+		if n < len(cs.all) {
+			c = cs.all[n]
+		} else {
+			c = &candidate{}
+			cs.all = append(cs.all, c)
+		}
+		n++
+		c.id, c.topo = m.ID, m.Topology
+		c.demand, c.keyBuf = c.demand[:0], c.keyBuf[:0]
+		c.apps, c.bad = 0, 0
+		if withDemand {
+			c.demand = appendDemandSet(c.demand, m.Apps)
+			c.apps = len(m.Apps)
+			c.bad = m.NUMABadApps()
+		}
+		cs.out = append(cs.out, c)
 	}
-	return out
+	return cs.out
+}
+
+// candSets pools candidate sets for the Placer's one-shot decisions.
+var candSets = sync.Pool{New: func() any { return new(candidateSet) }}
+
+// candidatesFrom builds scoring candidates from healthy, non-draining
+// members. One-shot form of candidateSet.reset, kept for tests.
+func candidatesFrom(members []Member) []*candidate {
+	var cs candidateSet
+	return cs.reset(members, true)
 }
 
 // Decision is the outcome of scoring one app against the fleet.
@@ -64,6 +112,13 @@ type Decision struct {
 }
 
 // decide scores app against every candidate and picks the best bin.
+// Candidates are grouped by equivalence class — (topology hash, demand
+// multiset) — and each class is scored once per decision: its marginal
+// is identical for every member of the class, so a homogeneous fleet
+// costs one solve pair per decision instead of one per machine. The
+// class scores themselves come from the Scorer's fleet-wide memo, so
+// repeated decisions against an unchanged fleet run solve-free.
+//
 // Anti-affinity: a numa-bad app avoids machines that already host a
 // numa-bad demand set — two such sets on one machine serialize on each
 // other's home-node bandwidth (the paper's Section III reversal). The
@@ -86,27 +141,28 @@ func (sc *Scorer) decide(spec AppSpec, cands []*candidate) (*Decision, *candidat
 			pool = clean
 		}
 	}
+	s := sc.getScratch()
+	defer sc.putScratch(s)
+	var classes map[string]classResult
 	var best *candidate
 	var bestScore, bestAfter float64
 	for _, c := range pool {
 		if spec.numaBad() && (spec.HomeNode < 0 || spec.HomeNode >= c.topo.NumNodes()) {
 			continue // home node does not exist on this machine
 		}
-		if !c.beforeSet {
-			c.before, err = sc.SolveTotal(c.topo, c.demand)
-			if err != nil {
-				continue
+		key := c.classKey(sc)
+		r, ok := classes[string(key)] // byte-to-string map lookup: no alloc
+		if !ok {
+			r = sc.scoreClass(c.topo, c.demand, app, s)
+			if classes == nil {
+				classes = make(map[string]classResult, 4)
 			}
-			c.beforeSet = true
+			classes[string(key)] = r // allocates the key once per class
 		}
-		with := make([]roofline.App, 0, len(c.demand)+1)
-		with = append(with, c.demand...)
-		with = append(with, app)
-		after, err := sc.SolveTotal(c.topo, with)
-		if err != nil {
+		if r.failed {
 			continue
 		}
-		score := after - c.before
+		score, after := r.score, r.after
 		switch {
 		case best == nil, score > bestScore+scoreTieEps:
 			best, bestScore, bestAfter = c, score, after
@@ -123,7 +179,9 @@ func (sc *Scorer) decide(spec AppSpec, cands []*candidate) (*Decision, *candidat
 }
 
 // commit folds the decided app into the candidate so subsequent
-// decisions against the same candidate set see it.
+// decisions against the same candidate set see it. The cached class key
+// is dropped: the demand multiset changed, so the candidate naturally
+// re-keys into its new equivalence class.
 func (c *candidate) commit(spec AppSpec) {
 	if app, err := spec.rooflineApp(); err == nil {
 		c.demand = append(c.demand, app)
@@ -132,7 +190,7 @@ func (c *candidate) commit(spec AppSpec) {
 	if spec.numaBad() {
 		c.bad++
 	}
-	c.beforeSet = false
+	c.keyBuf = c.keyBuf[:0]
 }
 
 // Placer assigns incoming apps to fleet members.
@@ -147,7 +205,9 @@ type Placer struct {
 // registering it anywhere (the dry-run behind `coopctl fleet place -n`
 // style tooling and the rebalancer's simulations).
 func (p *Placer) Decide(spec AppSpec) (*Decision, error) {
-	d, _, err := p.Scorer.decide(spec, candidatesFrom(p.Inv.Snapshot()))
+	cs := candSets.Get().(*candidateSet)
+	defer candSets.Put(cs)
+	d, _, err := p.Scorer.decide(spec, cs.reset(p.Inv.Snapshot(), true))
 	return d, err
 }
 
@@ -155,7 +215,9 @@ func (p *Placer) Decide(spec AppSpec) (*Decision, error) {
 // recording the placement in the inventory so immediately following
 // decisions score against it.
 func (p *Placer) Place(ctx context.Context, spec AppSpec) (*Decision, PlacedApp, error) {
-	d, _, err := p.Scorer.decide(spec, candidatesFrom(p.Inv.Snapshot()))
+	cs := candSets.Get().(*candidateSet)
+	defer candSets.Put(cs)
+	d, _, err := p.Scorer.decide(spec, cs.reset(p.Inv.Snapshot(), true))
 	if err != nil {
 		return nil, PlacedApp{}, err
 	}

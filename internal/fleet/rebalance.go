@@ -4,6 +4,8 @@ import (
 	"context"
 	"fmt"
 	"sync"
+
+	"repro/internal/roofline"
 )
 
 // Move reasons, stable strings carried on the wire.
@@ -99,6 +101,18 @@ type Rebalancer struct {
 	CooldownRounds int
 	// Logf, when set, receives move logs.
 	Logf func(format string, args ...any)
+
+	// planMu serializes Plan calls: planning reuses the candidate sets
+	// and demand buffer below, and Plan (dry-run over HTTP) may race
+	// the background Round loop.
+	planMu sync.Mutex
+	// cands and fresh are the round's reusable candidate sets (current
+	// state and the imbalance pass's from-scratch re-pack); demandBuf
+	// backs the drift and imbalance passes' per-member demand rebuilds.
+	// All three keep their backing arrays across rounds.
+	cands     candidateSet
+	fresh     candidateSet
+	demandBuf []roofline.App
 
 	// mu guards the anti-thrash state below; Plan (dry-run over HTTP)
 	// and Round (background loop) may run concurrently.
@@ -216,8 +230,10 @@ func (r *Rebalancer) logf(format string, args ...any) {
 // decision runs against a simulated candidate set that accumulates the
 // round's earlier moves, so a plan never over-commits one machine.
 func (r *Rebalancer) Plan(ctx context.Context) (*Plan, error) {
+	r.planMu.Lock()
+	defer r.planMu.Unlock()
 	members := r.Inv.Snapshot()
-	cands := candidatesFrom(members)
+	cands := r.cands.reset(members, true)
 	plan := &Plan{Budget: r.maxMoves(), Cooldowns: r.cooldownView()}
 
 	// Duplicate cleanup on revived members: app IDs re-homed while the
@@ -323,19 +339,24 @@ func (r *Rebalancer) planDrift(plan *Plan, members []Member, dup map[string]bool
 				continue
 			}
 			spec := app.EffectiveSpec()
-			withApp, err := r.Scorer.SolveTotal(m.Topology, m.demandSet())
+			r.demandBuf = appendDemandSet(r.demandBuf[:0], m.Apps)
+			withApp, err := r.Scorer.SolveTotal(m.Topology, r.demandBuf)
 			if err != nil {
 				r.logf("fleet: scoring %s: %v", m.ID, err)
 				continue
 			}
-			rest := *m
-			rest.Apps = make([]PlacedApp, 0, len(m.Apps)-1)
+			// Same member minus the drifted app, rebuilt into the same
+			// reused buffer (SolveTotal never retains the demand slice).
+			r.demandBuf = r.demandBuf[:0]
 			for _, a := range m.Apps {
-				if a.ID != app.ID {
-					rest.Apps = append(rest.Apps, a)
+				if a.ID == app.ID {
+					continue
+				}
+				if ra, err := a.EffectiveSpec().rooflineApp(); err == nil {
+					r.demandBuf = append(r.demandBuf, ra)
 				}
 			}
-			without, err := r.Scorer.SolveTotal(m.Topology, rest.demandSet())
+			without, err := r.Scorer.SolveTotal(m.Topology, r.demandBuf)
 			if err != nil {
 				continue
 			}
@@ -389,17 +410,17 @@ func (r *Rebalancer) planImbalance(plan *Plan, members []Member, dup map[string]
 		if !m.Healthy() || m.Draining {
 			continue
 		}
-		demand := make([]PlacedApp, 0, len(m.Apps))
+		r.demandBuf = r.demandBuf[:0]
 		for _, a := range m.Apps {
 			if dup[m.ID+"/"+a.ID] {
 				continue
 			}
-			demand = append(demand, a)
 			apps = append(apps, owned{member: m.ID, app: a})
+			if ra, err := a.EffectiveSpec().rooflineApp(); err == nil {
+				r.demandBuf = append(r.demandBuf, ra)
+			}
 		}
-		mm := *m
-		mm.Apps = demand
-		total, err := r.Scorer.SolveTotal(mm.Topology, mm.demandSet())
+		total, err := r.Scorer.SolveTotal(m.Topology, r.demandBuf)
 		if err != nil {
 			r.logf("fleet: scoring %s: %v", m.ID, err)
 			return
@@ -412,12 +433,9 @@ func (r *Rebalancer) planImbalance(plan *Plan, members []Member, dup map[string]
 	}
 
 	// Greedy re-pack: fresh candidates (empty demand), every app placed
-	// from scratch in deterministic (member ID, app ID) order.
-	fresh := candidatesFrom(members)
-	for _, c := range fresh {
-		c.demand, c.apps, c.bad = nil, 0, 0
-		c.beforeSet = false
-	}
+	// from scratch in deterministic (member ID, app ID) order. The set
+	// (and its demand backing) is reused across rounds.
+	fresh := r.fresh.reset(members, false)
 	// The re-pack scores with EffectiveSpec — the fitted model when an
 	// app has drifted — matching demandSet above. Mixing declared AI
 	// into the repack while the current aggregate reflects measured

@@ -370,6 +370,7 @@ func (e *Engine) Run(ctx context.Context) (*Verdict, error) {
 	// Prime the inventory before round 0: the Placer routes arrivals by
 	// the latest snapshots, which otherwise would not exist yet.
 	e.inv.Poll(ctx)
+	start := time.Now()
 	for round := 0; round < sc.Rounds; round++ {
 		if err := ctx.Err(); err != nil {
 			return nil, err
@@ -418,6 +419,11 @@ func (e *Engine) Run(ctx context.Context) (*Verdict, error) {
 		if sc.Telemetry {
 			e.streamTelemetry(ctx, round)
 		}
+	}
+	elapsed := time.Since(start)
+	e.verdict.ElapsedSeconds = elapsed.Seconds()
+	if elapsed > 0 {
+		e.verdict.RoundsPerSec = float64(sc.Rounds) / elapsed.Seconds()
 	}
 
 	e.inv.Poll(ctx)

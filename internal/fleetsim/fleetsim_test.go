@@ -40,6 +40,7 @@ func TestCorpusLoadsAndValidates(t *testing.T) {
 		"autoscale_churn":   false,
 		"misdeclared_drift": false,
 		"flapping":          false,
+		"scale_out":         false,
 	}
 	for _, sc := range corpus {
 		if err := sc.Validate(); err != nil {
@@ -86,8 +87,11 @@ func TestCorpusScenariosPassInvariants(t *testing.T) {
 			if v.TotalMoves > 0 && v.MaxRoundMoves > maxMovesFor(sc) {
 				t.Errorf("max round moves %d exceeds budget %d", v.MaxRoundMoves, maxMovesFor(sc))
 			}
-			t.Logf("verdict: moves=%d deferred=%d byReason=%v lastPerturb=%d lastActive=%d aggGFLOPS=%.1f",
-				v.TotalMoves, v.Deferred, v.MovesByReason, v.LastPerturbRound, v.LastActiveRound, v.FinalAggregateGFLOPS)
+			if v.ElapsedSeconds <= 0 || v.RoundsPerSec <= 0 {
+				t.Errorf("verdict missing throughput: elapsed=%g rounds/sec=%g", v.ElapsedSeconds, v.RoundsPerSec)
+			}
+			t.Logf("verdict: moves=%d deferred=%d byReason=%v lastPerturb=%d lastActive=%d aggGFLOPS=%.1f rounds/sec=%.1f",
+				v.TotalMoves, v.Deferred, v.MovesByReason, v.LastPerturbRound, v.LastActiveRound, v.FinalAggregateGFLOPS, v.RoundsPerSec)
 		})
 	}
 }
@@ -112,6 +116,9 @@ func TestFlappingDeterministic(t *testing.T) {
 		if err != nil {
 			t.Fatalf("run %d: %v", i, err)
 		}
+		// Wall-clock throughput is the one legitimately nondeterministic
+		// verdict output; zero it before the bitwise comparison.
+		v.ElapsedSeconds, v.RoundsPerSec = 0, 0
 		b, err := json.Marshal(v)
 		if err != nil {
 			t.Fatalf("marshal: %v", err)

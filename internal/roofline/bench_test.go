@@ -51,6 +51,26 @@ func BenchmarkSolveCold8Apps(b *testing.B) {
 	}
 }
 
+// BenchmarkSolveWarmStart8Apps is the incremental path the fleet
+// scorer rides: the 8th app arrives on a machine whose 7-app optimum
+// is known, and the solve is warm-started from those counts. Compare
+// against BenchmarkSolveCold8Apps for the warm-start win.
+func BenchmarkSolveWarmStart8Apps(b *testing.B) {
+	m := machine.SkylakeQuad()
+	apps := eightAppMix()
+	var s Search
+	prev, _, _, err := s.BestPerNodeCountsFloor(m, apps[:7], TotalGFLOPS, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, _, _, err := s.BestPerNodeCountsFloorFrom(prev, m, apps, TotalGFLOPS, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkSolveNaive8Apps is the pre-PR baseline at the same scale:
 // exhaustive enumeration, every candidate through the reference model.
 func BenchmarkSolveNaive8Apps(b *testing.B) {

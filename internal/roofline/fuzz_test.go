@@ -26,5 +26,8 @@ func FuzzEvaluatorEquivalence(f *testing.F) {
 		// demand under MinPerNode-style floors >= 1 — the scoring path
 		// the fleet placer calls for every placement decision.
 		floorSearchRound(t, r)
+		// And the warm-start equivalence: ±1-app solves seeded from a
+		// neighbour's optimum must stay bit-identical to cold solves.
+		warmStartRound(t, r)
 	})
 }

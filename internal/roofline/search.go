@@ -213,6 +213,29 @@ type branchResult struct {
 // allocation, and Result are identical to the exhaustive reference
 // search (search_test.go proves it differentially).
 func (s *Search) BestPerNodeCountsFloor(m *machine.Machine, apps []App, obj Objective, floor int) ([]int, Allocation, *Result, error) {
+	return s.BestPerNodeCountsFloorFrom(nil, m, apps, obj, floor)
+}
+
+// BestPerNodeCountsFloorFrom is BestPerNodeCountsFloor warm-started
+// from a previous optimum: prev is the counts vector of a related solve
+// — the same apps (len(prev) == len(apps)), or the demand set minus its
+// last app (len(prev) == len(apps)-1, the +1-app neighbour the fleet
+// scorer hits on every placement decision). Seed candidates derived
+// from prev are evaluated up front and their true objective values
+// raise the branch-and-bound incumbent before the search starts, so
+// when the new optimum is near the old one most subtrees prune
+// immediately.
+//
+// Warm-starting cannot change the answer: every seed is an ordinary
+// feasible candidate, so the incumbent is only raised to objective
+// values the enumeration itself attains, and the pruning margin
+// (boundSlack) already keeps equal-scoring subtrees alive. Counts,
+// allocation, and Result are bit-identical to the cold solve —
+// warmstart_test.go and the FuzzEvaluatorEquivalence corpus prove it
+// differentially. A prev of any other length, or one infeasible under
+// the requested floor, is ignored (the solve degrades to cold, never
+// errors).
+func (s *Search) BestPerNodeCountsFloorFrom(prev []int, m *machine.Machine, apps []App, obj Objective, floor int) ([]int, Allocation, *Result, error) {
 	prune := obj == nil || objIsTotalGFLOPS(obj)
 	if obj == nil {
 		obj = TotalGFLOPS
@@ -277,6 +300,10 @@ func (s *Search) BestPerNodeCountsFloor(m *machine.Machine, apps []App, obj Obje
 			ctx.sumPeak += n.PeakGFLOPS
 			ctx.totalBW += n.MemBandwidth
 		}
+	}
+
+	if prune && len(prev) > 0 {
+		s.seedIncumbent(ctx, m, apps, prev, floor, capCores)
 	}
 
 	workers := s.Parallelism
@@ -371,6 +398,83 @@ func (s *Search) BestPerNodeCountsFloor(m *machine.Machine, apps []App, obj Obje
 		return nil, Allocation{}, nil, err
 	}
 	return bestCounts, al, res, nil
+}
+
+// seedIncumbent evaluates the warm-start candidates derived from prev
+// (see BestPerNodeCountsFloorFrom) and raises the shared incumbent to
+// the best of their true objective values. Full-length hints are
+// evaluated as-is; one-short hints are extended over every feasible
+// count for the missing last app (at most capCores cheap evaluations,
+// all against the memoizing Evaluator). Infeasible hints and evaluation
+// failures are silently skipped — seeding is purely an acceleration.
+func (s *Search) seedIncumbent(ctx *bnbCtx, m *machine.Machine, apps []App, prev []int, floor, capCores int) {
+	nApps := len(apps)
+	extend := false
+	switch len(prev) {
+	case nApps:
+	case nApps - 1:
+		extend = true
+	default:
+		return // not a ±1 neighbour's counts; nothing usable
+	}
+	used := 0
+	for _, c := range prev {
+		if c < floor {
+			return // infeasible under this floor (e.g. a floor-0 optimum's zero)
+		}
+		used += c
+	}
+	if used > capCores {
+		return
+	}
+	if extend && used+floor > capCores {
+		// The previous optimum saturates the node (the common case when
+		// an app arrives on a packed machine). Free room for the
+		// newcomer by shaving the widest rows — still a plausible
+		// near-optimal shape, and seeds are re-evaluated anyway.
+		shrunk := append(make([]int, 0, nApps-1), prev...)
+		for used+floor > capCores {
+			widest := -1
+			for i, c := range shrunk {
+				if c > floor && (widest < 0 || c > shrunk[widest]) {
+					widest = i
+				}
+			}
+			if widest < 0 {
+				return // every row already at floor; no room at all
+			}
+			shrunk[widest]--
+			used--
+		}
+		prev = shrunk
+	}
+	ev, err := s.acquire(m, apps)
+	if err != nil {
+		return // invalid inputs; the cold path reports the error
+	}
+	defer s.release(ev)
+	w := &bnbWorker{
+		ctx:    ctx,
+		ev:     ev,
+		counts: make([]int, nApps),
+		al:     NewAllocation(nApps, ctx.nNodes),
+		res:    &Result{},
+	}
+	for i, c := range prev {
+		w.setRow(i, c)
+	}
+	if !extend {
+		if err := ev.EvaluateInto(w.res, w.al); err == nil {
+			ctx.raiseBest(ctx.obj(w.res))
+		}
+		return
+	}
+	for c := floor; c <= capCores-used; c++ {
+		w.setRow(nApps-1, c)
+		if err := ev.EvaluateInto(w.res, w.al); err == nil {
+			ctx.raiseBest(ctx.obj(w.res))
+		}
+	}
 }
 
 // BestPerNodeCounts is BestPerNodeCountsFloor with no floor.
