@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench bench-fleet bench-guard benchall chaos fleet-chaos drift-chaos fleet-sim fuzz check fmt
+.PHONY: all build vet test race bench bench-fleet bench-guard benchall chaos fleet-chaos drift-chaos fleet-sim fleet-sim-race fuzz check fmt
 
 all: check
 
@@ -39,8 +39,9 @@ bench-fleet:
 
 # Perf-regression gate: re-measure both benchmark suites and compare
 # against the JSON baselines committed at HEAD. Fails on any tracked
-# benchmark regressing more than 25% ns/op, or going missing from the
-# fresh run (see cmd/benchdiff). Compares the working-tree artifacts, so
+# benchmark regressing more than 25% in ns/op or allocs/op (a
+# zero-alloc baseline growing any allocations fails outright), or
+# going missing from the fresh run (see cmd/benchdiff). Compares the working-tree artifacts, so
 # run after `make bench bench-fleet` has refreshed them (CI does exactly
 # that; `make bench bench-fleet bench-guard` locally).
 bench-guard:
@@ -86,6 +87,15 @@ drift-chaos:
 # fleet-sim-verdicts.json (see internal/fleetsim and cmd/fleetsim).
 fleet-sim:
 	$(GO) run ./cmd/fleetsim -out fleet-sim-verdicts.json
+
+# Race-detector smoke over a two-scenario subset: diurnal (the densest
+# steady-state churn — placer, rebalancer, and telemetry all active
+# every round) and correlated_failure (the mass-death path: storm
+# triage, quarantine bookkeeping, and urgent evacuation hammering the
+# inventory concurrently with polls). The full corpus under -race is
+# too slow for every push; these two cover the lock-heavy paths.
+fleet-sim-race:
+	$(GO) run -race ./cmd/fleetsim -run diurnal,correlated_failure
 
 # 30s coverage-guided smoke over the incremental-evaluator equivalence
 # property; regressions in the fast path show up as counterexamples.

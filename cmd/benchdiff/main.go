@@ -6,7 +6,11 @@
 //     run (a silently-deleted benchmark would otherwise hide a
 //     regression forever), or
 //   - any benchmark's fresh ns/op exceeds the baseline by more than
-//     -max-regress (default 0.25, i.e. 25%).
+//     -max-regress (default 0.25, i.e. 25%), or
+//   - any benchmark's fresh allocs/op exceeds the baseline by more than
+//     the same budget — including a zero-alloc baseline growing any
+//     allocations at all (the fleet placement hot path is tracked at 0
+//     allocs/op; "0 -> 2" is a regression a ns/op ratio can hide).
 //
 // New benchmarks (fresh-only) and improvements are reported but never
 // fail the run. `make bench-guard` wires this against the HEAD-committed
@@ -72,6 +76,25 @@ func compare(baseline, fresh map[string]benchResult, maxRegress float64) []diffL
 			lines = append(lines, diffLine{
 				name:   n,
 				detail: fmt.Sprintf("REGRESSION %s exceeds budget %+.0f%%", detail, 100*maxRegress),
+				failed: true,
+			})
+			continue
+		}
+		// Allocation gate: a zero-alloc baseline must stay zero-alloc,
+		// and a nonzero one gets the same relative budget as ns/op.
+		switch {
+		case base.AllocsPerOp == 0 && got.AllocsPerOp > 0:
+			lines = append(lines, diffLine{
+				name:   n,
+				detail: fmt.Sprintf("ALLOC REGRESSION 0 -> %.0f allocs/op (zero-alloc path lost)", got.AllocsPerOp),
+				failed: true,
+			})
+			continue
+		case base.AllocsPerOp > 0 && got.AllocsPerOp/base.AllocsPerOp-1 > maxRegress:
+			lines = append(lines, diffLine{
+				name: n,
+				detail: fmt.Sprintf("ALLOC REGRESSION %.0f -> %.0f allocs/op exceeds budget %+.0f%%",
+					base.AllocsPerOp, got.AllocsPerOp, 100*maxRegress),
 				failed: true,
 			})
 			continue

@@ -104,3 +104,44 @@ func TestCompareDeterministicOrder(t *testing.T) {
 		}
 	}
 }
+
+func TestCompareAllocGate(t *testing.T) {
+	base := map[string]benchResult{
+		"BenchmarkZeroAlloc": {NsPerOp: 1000, AllocsPerOp: 0},
+		"BenchmarkSomeAlloc": {NsPerOp: 1000, AllocsPerOp: 8},
+	}
+
+	// A zero-alloc baseline growing any allocations fails, even with
+	// ns/op comfortably inside the budget.
+	fresh := map[string]benchResult{
+		"BenchmarkZeroAlloc": {NsPerOp: 1000, AllocsPerOp: 2},
+		"BenchmarkSomeAlloc": {NsPerOp: 1000, AllocsPerOp: 8},
+	}
+	got := failures(compare(base, fresh, 0.25))
+	if len(got) != 1 || got[0].name != "BenchmarkZeroAlloc" {
+		t.Fatalf("expected BenchmarkZeroAlloc to fail, got %v", got)
+	}
+	if !strings.Contains(got[0].detail, "ALLOC REGRESSION") {
+		t.Errorf("failure should name the alloc regression: %q", got[0].detail)
+	}
+
+	// Nonzero baselines get the relative budget: +25% passes, more fails.
+	fresh = map[string]benchResult{
+		"BenchmarkZeroAlloc": {NsPerOp: 1000, AllocsPerOp: 0},
+		"BenchmarkSomeAlloc": {NsPerOp: 1000, AllocsPerOp: 10},
+	}
+	if got := failures(compare(base, fresh, 0.25)); len(got) != 0 {
+		t.Fatalf("+25%% allocs is the budget, not past it; got %v", got)
+	}
+	fresh["BenchmarkSomeAlloc"] = benchResult{NsPerOp: 1000, AllocsPerOp: 11}
+	got = failures(compare(base, fresh, 0.25))
+	if len(got) != 1 || !strings.Contains(got[0].detail, "ALLOC REGRESSION") {
+		t.Fatalf("expected a relative alloc regression, got %v", got)
+	}
+
+	// An alloc improvement never fails.
+	fresh["BenchmarkSomeAlloc"] = benchResult{NsPerOp: 1000, AllocsPerOp: 1}
+	if got := failures(compare(base, fresh, 0.25)); len(got) != 0 {
+		t.Fatalf("alloc improvement must not fail, got %v", got)
+	}
+}

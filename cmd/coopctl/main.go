@@ -19,6 +19,7 @@
 //	coopctl fleet machines [-fleet URL]
 //	coopctl fleet place -name stream -ai 0.5 [-placement numa-bad -home 0] [-fleet URL]
 //	coopctl fleet drain -machine a [-undo] [-fleet URL]
+//	coopctl fleet upgrade [-machines a,b,c] [-floor 0.5] [-abort] [-status] [-fleet URL]
 //	coopctl fleet plan [-fleet URL]
 //
 // demo registers the paper's Table I mix (three memory-bound apps at
@@ -94,7 +95,7 @@ func main() {
 
 func usage() {
 	fmt.Fprintln(os.Stderr, "usage: coopctl [-server URL] <register|heartbeat|report|deregister|apps|alloc|drift|machine|watch|demo|health|status|fleet> [flags]")
-	fmt.Fprintln(os.Stderr, "       coopctl fleet <machines|place|drain|plan> [-fleet URL] [flags]")
+	fmt.Fprintln(os.Stderr, "       coopctl fleet <machines|place|drain|plan|upgrade> [-fleet URL] [flags]")
 }
 
 func cmdRegister(ctx context.Context, c *client.Client, args []string) error {
@@ -420,7 +421,7 @@ func cmdStatus(ctx context.Context, c *client.Client, args []string) error {
 // different process from the coopd the global -server points at.
 func cmdFleet(ctx context.Context, args []string) error {
 	if len(args) == 0 {
-		return fmt.Errorf("fleet: want a subcommand: machines | place | drain | plan")
+		return fmt.Errorf("fleet: want a subcommand: machines | place | drain | plan | upgrade")
 	}
 	sub, rest := args[0], args[1:]
 	switch sub {
@@ -432,8 +433,10 @@ func cmdFleet(ctx context.Context, args []string) error {
 		return cmdFleetDrain(ctx, rest)
 	case "plan":
 		return cmdFleetPlan(ctx, rest)
+	case "upgrade":
+		return cmdFleetUpgrade(ctx, rest)
 	default:
-		return fmt.Errorf("fleet: unknown subcommand %q (want machines | place | drain | plan)", sub)
+		return fmt.Errorf("fleet: unknown subcommand %q (want machines | place | drain | plan | upgrade)", sub)
 	}
 }
 
@@ -500,6 +503,54 @@ func cmdFleetDrain(ctx context.Context, args []string) error {
 		return err
 	}
 	fmt.Printf("%s draining=%v (rebalancer will move its apps off over the next rounds)\n", resp.Machine, resp.Draining)
+	return nil
+}
+
+// cmdFleetUpgrade drives the rolling-upgrade controller: start a serial
+// drain over the fleet (default), abort a running one, or report
+// status. The controller lives in fleetd; this command only submits the
+// request and prints the controller's view.
+func cmdFleetUpgrade(ctx context.Context, args []string) error {
+	fs := flag.NewFlagSet("fleet upgrade", flag.ExitOnError)
+	server := fleetFlags(fs)
+	machines := fs.String("machines", "", "comma-separated drain order (empty: every member in id order)")
+	floor := fs.Float64("floor", 0, "abort when the placeable fleet fraction falls below this (0: default 0.5)")
+	abort := fs.Bool("abort", false, "abort the running upgrade")
+	status := fs.Bool("status", false, "report controller status without changing it")
+	fs.Parse(args)
+	cli := fleet.NewClient(*server, nil)
+	var st *fleet.UpgradeStatus
+	var err error
+	switch {
+	case *status:
+		st, err = cli.UpgradeStatus(ctx)
+	case *abort:
+		st, err = cli.Upgrade(ctx, fleet.UpgradeRequest{Action: "abort"})
+	default:
+		var list []string
+		for _, id := range strings.Split(*machines, ",") {
+			if id = strings.TrimSpace(id); id != "" {
+				list = append(list, id)
+			}
+		}
+		st, err = cli.Upgrade(ctx, fleet.UpgradeRequest{Action: "start", Machines: list, HealthFloor: *floor})
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Printf("upgrade %s (health floor %.2f)\n", st.State, st.HealthFloor)
+	if st.Current != "" {
+		fmt.Printf("  draining: %s\n", st.Current)
+	}
+	if len(st.Done) > 0 {
+		fmt.Printf("  done:  %s\n", strings.Join(st.Done, ", "))
+	}
+	if len(st.Queue) > 0 {
+		fmt.Printf("  queue: %s\n", strings.Join(st.Queue, ", "))
+	}
+	if st.Reason != "" {
+		fmt.Printf("  reason: %s\n", st.Reason)
+	}
 	return nil
 }
 

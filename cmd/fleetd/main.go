@@ -8,11 +8,13 @@
 //
 //	fleetd -machine a=http://host-a:8377 -machine b=http://host-b:8377
 //	fleetd -machine ha=http://a1:8377,http://a2:8377   # HA pair, one member
+//	fleetd -machine a@rack1=http://host-a:8377         # failure domain rack1
 //	fleetd -addr :8380 -rebalance 10s -max-moves 4 -threshold 0.9
+//	fleetd -spread -storm-fraction 0.25 -flap-count 4  # robustness knobs
 //
 // Endpoints: POST /v1/fleet/place, GET /v1/fleet/machines,
-// GET /v1/fleet/plan, POST /v1/fleet/drain, GET /healthz. See
-// `coopctl fleet` for the CLI.
+// GET /v1/fleet/plan, POST /v1/fleet/drain, POST+GET /v1/fleet/upgrade,
+// GET /healthz. See `coopctl fleet` for the CLI.
 package main
 
 import (
@@ -31,9 +33,10 @@ import (
 	"repro/internal/fleet"
 )
 
-// memberFlag collects repeated -machine flags: "id=url[,url2]".
+// memberFlag collects repeated -machine flags: "id[@domain]=url[,url2]".
 type memberFlag struct {
 	ids       []string
+	domains   []string
 	endpoints [][]string
 }
 
@@ -42,7 +45,13 @@ func (f *memberFlag) String() string { return fmt.Sprint(f.ids) }
 func (f *memberFlag) Set(v string) error {
 	id, urls, ok := strings.Cut(v, "=")
 	if !ok || id == "" || urls == "" {
-		return fmt.Errorf("want id=url[,url2], got %q", v)
+		return fmt.Errorf("want id[@domain]=url[,url2], got %q", v)
+	}
+	// "a@rack1" groups the machine into failure domain rack1; without
+	// the suffix every machine is its own domain.
+	id, domain, _ := strings.Cut(id, "@")
+	if id == "" {
+		return fmt.Errorf("want id[@domain]=url[,url2], got %q", v)
 	}
 	var eps []string
 	for _, u := range strings.Split(urls, ",") {
@@ -54,6 +63,7 @@ func (f *memberFlag) Set(v string) error {
 		return fmt.Errorf("member %s has no endpoints", id)
 	}
 	f.ids = append(f.ids, id)
+	f.domains = append(f.domains, domain)
 	f.endpoints = append(f.endpoints, eps)
 	return nil
 }
@@ -67,6 +77,13 @@ func main() {
 	failAfter := flag.Int("fail-after", 3, "consecutive failed polls before a machine is declared dead")
 	maxMoves := flag.Int("max-moves", 4, "max app moves per rebalance round")
 	threshold := flag.Float64("threshold", 0.9, "rebalance when fleet GFLOPS falls below this fraction of the re-pack optimum")
+	spread := flag.Bool("spread", false, "spread cooperating app groups across failure domains on score ties")
+	stormFraction := flag.Float64("storm-fraction", 0, "down-member fraction that trips degraded-mode triage (0: default 0.25)")
+	stormBudget := flag.Int("storm-budget", 0, "max urgent moves per degraded round (0: max-moves)")
+	admissionCap := flag.Int("admission-cap", 0, "max storm evacuations one survivor admits per round (0: default 2)")
+	flapCount := flag.Int("flap-count", 0, "alive<->dead transitions inside the flap window before quarantine (0: default 4, negative: disabled)")
+	flapWindow := flag.Duration("flap-window", 0, "flap detector sliding window (0: default 1m)")
+	quarantineBackoff := flag.Duration("quarantine-backoff", 0, "first quarantine re-admission backoff, doubling per repeat (0: default 30s)")
 	pprofAddr := flag.String("pprof-addr", "", "serve net/http/pprof on this address (empty: disabled)")
 	flag.Parse()
 
@@ -74,9 +91,12 @@ func main() {
 		log.Fatalf("fleetd: at least one -machine id=url is required")
 	}
 
-	inv := fleet.NewInventory(fleet.InventoryConfig{FailAfter: *failAfter, Logf: log.Printf})
+	inv := fleet.NewInventory(fleet.InventoryConfig{
+		FailAfter: *failAfter, FlapCount: *flapCount, FlapWindow: *flapWindow,
+		QuarantineBackoff: *quarantineBackoff, Logf: log.Printf,
+	})
 	for i, id := range members.ids {
-		if err := inv.Add(id, members.endpoints[i]...); err != nil {
+		if err := inv.AddDomain(id, members.domains[i], members.endpoints[i]...); err != nil {
 			log.Fatalf("fleetd: %v", err)
 		}
 	}
@@ -87,6 +107,10 @@ func main() {
 		RebalanceInterval: *rebalance,
 		MaxMovesPerRound:  *maxMoves,
 		Threshold:         *threshold,
+		DomainSpread:      *spread,
+		StormFraction:     *stormFraction,
+		StormBudget:       *stormBudget,
+		AdmissionCap:      *admissionCap,
 		Logf:              log.Printf,
 	})
 	if err != nil {

@@ -9,6 +9,7 @@
 //
 //	fleetsim                           # run the checked-in corpus
 //	fleetsim -run flapping             # one scenario by name
+//	fleetsim -run diurnal,partition_flap  # a comma-separated subset
 //	fleetsim -dir ./my-scenarios       # external scenario directory
 //	fleetsim -out verdicts.json -v     # write the verdict artifact
 //
@@ -25,6 +26,8 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"sort"
+	"strings"
 	"syscall"
 	"time"
 
@@ -33,7 +36,7 @@ import (
 
 func main() {
 	dir := flag.String("dir", "", "load scenarios from this directory instead of the checked-in corpus")
-	run := flag.String("run", "", "run only the scenario with this name")
+	run := flag.String("run", "", "run only these scenarios (comma-separated names)")
 	out := flag.String("out", "", "write the verdicts as JSON to this file (\"-\": stdout)")
 	timeout := flag.Duration("timeout", 5*time.Minute, "per-scenario wall-clock budget")
 	verbose := flag.Bool("v", false, "log every engine decision, not just verdict summaries")
@@ -52,14 +55,29 @@ func main() {
 		log.Fatalf("fleetsim: %v", err)
 	}
 	if *run != "" {
-		kept := scenarios[:0]
-		for _, sc := range scenarios {
-			if sc.Name == *run {
-				kept = append(kept, sc)
+		want := map[string]bool{}
+		for _, name := range strings.Split(*run, ",") {
+			if name = strings.TrimSpace(name); name != "" {
+				want[name] = true
 			}
 		}
+		kept := scenarios[:0]
+		for _, sc := range scenarios {
+			if want[sc.Name] {
+				kept = append(kept, sc)
+				delete(want, sc.Name)
+			}
+		}
+		if len(want) > 0 {
+			missing := make([]string, 0, len(want))
+			for name := range want {
+				missing = append(missing, name)
+			}
+			sort.Strings(missing)
+			log.Fatalf("fleetsim: no scenario named %s", strings.Join(missing, ", "))
+		}
 		if len(kept) == 0 {
-			log.Fatalf("fleetsim: no scenario named %q", *run)
+			log.Fatalf("fleetsim: -run selected no scenarios")
 		}
 		scenarios = kept
 	}

@@ -39,7 +39,7 @@ func benchPlacement(b *testing.B, nMachines int) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		cands := cs.reset(members, true)
+		cands := cs.reset(members, true, false)
 		if _, _, err := sc.decide(spec, cands); err != nil {
 			b.Fatal(err)
 		}

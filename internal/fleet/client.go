@@ -111,6 +111,24 @@ func (c *Client) Drain(ctx context.Context, machineID string, undo bool) (*Drain
 	return &resp, nil
 }
 
+// Upgrade starts or aborts a rolling upgrade.
+func (c *Client) Upgrade(ctx context.Context, req UpgradeRequest) (*UpgradeStatus, error) {
+	var resp UpgradeStatus
+	if err := c.do(ctx, http.MethodPost, "/v1/fleet/upgrade", req, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// UpgradeStatus reads the rolling-upgrade controller's state.
+func (c *Client) UpgradeStatus(ctx context.Context) (*UpgradeStatus, error) {
+	var resp UpgradeStatus
+	if err := c.do(ctx, http.MethodGet, "/v1/fleet/upgrade", nil, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
 // Health reads the fleet /healthz.
 func (c *Client) Health(ctx context.Context) (*FleetHealthResponse, error) {
 	var resp FleetHealthResponse

@@ -142,6 +142,10 @@ func placedFromView(v ctrlplane.AppView) PlacedApp {
 type Member struct {
 	// ID names the machine in plans and views.
 	ID string
+	// Domain is the machine's failure domain (rack/zone); machines
+	// sharing a domain are expected to fail together. Defaults to the
+	// member's own ID.
+	Domain string
 	// Endpoints are the machine's coopd base URLs (several for an HA
 	// pair); the inventory fails over between them.
 	Endpoints []string
@@ -167,11 +171,23 @@ type Member struct {
 	// this member was dead; if it revives, those registrations are
 	// duplicates the rebalancer must clean up.
 	Stale []string
+	// Quarantined marks a member the flap detector benched: it is not a
+	// placement target and its apps are evacuated, even while it answers
+	// polls. QuarantineUntil is the earliest re-admission time;
+	// Quarantines counts consecutive quarantines (the backoff exponent).
+	Quarantined     bool
+	QuarantineUntil time.Time
+	Quarantines     int
 }
 
-// Healthy reports whether the member can accept placements: alive and
-// with a known topology.
-func (m *Member) Healthy() bool { return !m.Dead && m.Topology != nil }
+// Healthy reports whether the member can accept placements: alive,
+// not quarantined, and with a known topology.
+func (m *Member) Healthy() bool { return !m.Dead && !m.Quarantined && m.Topology != nil }
+
+// Alive reports whether the member answers polls (its coopd is
+// reachable), regardless of quarantine — the gate for control calls
+// like stale-duplicate cleanup and drain-style deregistration.
+func (m *Member) Alive() bool { return !m.Dead && m.Topology != nil }
 
 // NUMABadApps counts the member's numa-bad registrations — the
 // anti-affinity input.

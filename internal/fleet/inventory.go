@@ -2,6 +2,7 @@ package fleet
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
@@ -9,6 +10,20 @@ import (
 
 	"repro/internal/ctrlplane/client"
 	"repro/internal/machine"
+)
+
+// Typed SetDraining outcomes, so callers (fleetd, the upgrade
+// controller) can distinguish a member that does not exist from one
+// whose drain request is meaningless in its current state.
+var (
+	// ErrUnknownMember is returned for operations naming a member the
+	// inventory has never been told about.
+	ErrUnknownMember = errors.New("fleet: unknown member")
+	// ErrMemberDead rejects draining a dead member: its apps are already
+	// being evacuated as machine-lost, so "drain" would only mask the
+	// real state. Undraining a dead member is allowed (it clears a flag
+	// for whenever the machine revives).
+	ErrMemberDead = errors.New("fleet: member is dead")
 )
 
 // InventoryConfig tunes an Inventory.
@@ -29,6 +44,19 @@ type InventoryConfig struct {
 	PollTimeout time.Duration
 	// Clock stamps LastSeen (default time.Now); tests pin it.
 	Clock func() time.Time
+	// FlapCount is the flap detector's trigger: this many alive<->dead
+	// transitions within FlapWindow quarantine the member instead of
+	// letting it oscillate against the rebalancer. 0 selects the default
+	// (4, i.e. two full die/revive cycles); negative disables
+	// quarantining entirely — only for A/B regression experiments.
+	FlapCount int
+	// FlapWindow is the flap detector's sliding window (default 60s).
+	FlapWindow time.Duration
+	// QuarantineBackoff is the first quarantine's re-admission backoff;
+	// each consecutive quarantine doubles it, capped at
+	// QuarantineMaxBackoff. Defaults 30s and 10m.
+	QuarantineBackoff    time.Duration
+	QuarantineMaxBackoff time.Duration
 	// Logf, when set, receives state-transition logs.
 	Logf func(format string, args ...any)
 }
@@ -48,6 +76,7 @@ type Inventory struct {
 // member is the mutable record behind a Member snapshot.
 type member struct {
 	id        string
+	domain    string // failure domain (rack/zone); defaults to the id
 	endpoints []string
 	clis      []*client.Client
 	preferred int // index of the endpoint that last answered
@@ -61,6 +90,19 @@ type member struct {
 	draining bool
 	lastSeen time.Time
 	stale    []string
+
+	// pollSeq sequences polls of this member: an outcome is applied only
+	// if no newer poll has started since, so a stale in-flight success
+	// (the response raced a partition cut and a fresher poll already
+	// failed) cannot reset the failure counter.
+	pollSeq uint64
+
+	// Flap detector state: alive<->dead transition times inside the
+	// sliding window, and the quarantine the detector imposed.
+	transitions     []time.Time
+	quarantined     bool
+	quarantineUntil time.Time
+	quarantines     int // consecutive quarantines, drives the backoff
 }
 
 // NewInventory builds an empty inventory.
@@ -79,6 +121,18 @@ func NewInventory(cfg InventoryConfig) *Inventory {
 	if cfg.Clock == nil {
 		cfg.Clock = time.Now
 	}
+	if cfg.FlapCount == 0 {
+		cfg.FlapCount = 4
+	}
+	if cfg.FlapWindow <= 0 {
+		cfg.FlapWindow = time.Minute
+	}
+	if cfg.QuarantineBackoff <= 0 {
+		cfg.QuarantineBackoff = 30 * time.Second
+	}
+	if cfg.QuarantineMaxBackoff <= 0 {
+		cfg.QuarantineMaxBackoff = 10 * time.Minute
+	}
 	return &Inventory{cfg: cfg, members: map[string]*member{}}
 }
 
@@ -91,16 +145,30 @@ func (inv *Inventory) logf(format string, args ...any) {
 // Add registers a member machine by its coopd endpoint(s); several
 // endpoints mean an HA pair the inventory fails over between. The
 // member starts unknown (not healthy) until its first successful poll.
+// Its failure domain defaults to its own ID (every machine its own
+// domain); use AddDomain to group machines by rack or zone.
 func (inv *Inventory) Add(id string, endpoints ...string) error {
+	return inv.AddDomain(id, "", endpoints...)
+}
+
+// AddDomain is Add with an explicit failure-domain label (rack, zone,
+// power feed — whatever fails together). Machines sharing a domain are
+// expected to die together, so domain-spread placement keeps
+// cooperating app groups apart and the storm brake treats a whole-domain
+// kill as one correlated event. Empty domain defaults to the member ID.
+func (inv *Inventory) AddDomain(id, domain string, endpoints ...string) error {
 	if id == "" || len(endpoints) == 0 {
 		return fmt.Errorf("fleet: member needs an id and at least one endpoint")
+	}
+	if domain == "" {
+		domain = id
 	}
 	inv.mu.Lock()
 	defer inv.mu.Unlock()
 	if _, ok := inv.members[id]; ok {
 		return fmt.Errorf("fleet: duplicate member %q", id)
 	}
-	m := &member{id: id, endpoints: append([]string(nil), endpoints...)}
+	m := &member{id: id, domain: domain, endpoints: append([]string(nil), endpoints...)}
 	for _, ep := range endpoints {
 		m.clis = append(m.clis, inv.cfg.NewClient(ep))
 	}
@@ -133,6 +201,8 @@ func (inv *Inventory) pollMember(ctx context.Context, id string) {
 		inv.mu.Unlock()
 		return
 	}
+	m.pollSeq++
+	seq := m.pollSeq
 	clis, preferred, needTopo := m.clis, m.preferred, m.topo == nil
 	inv.mu.Unlock()
 
@@ -168,6 +238,14 @@ func (inv *Inventory) pollMember(ctx context.Context, id string) {
 		sort.Slice(placed, func(a, b int) bool { return placed[a].ID < placed[b].ID })
 
 		inv.mu.Lock()
+		if m.pollSeq != seq {
+			// A newer poll of this member started while this one was in
+			// flight; its outcome supersedes ours. Applying this stale
+			// success would reset a failure count a fresher poll just
+			// recorded (the partition-flap race).
+			inv.mu.Unlock()
+			return
+		}
 		if topo != nil {
 			m.topo = topo
 		}
@@ -176,28 +254,91 @@ func (inv *Inventory) pollMember(ctx context.Context, id string) {
 		m.gen = alloc.Generation
 		m.preferred = i
 		m.failures = 0
-		m.lastSeen = inv.cfg.Clock()
+		now := inv.cfg.Clock()
+		m.lastSeen = now
 		if m.dead {
 			m.dead = false
 			inv.logf("fleet: member %s revived (%d apps, %d stale re-homed ids)", id, len(placed), len(m.stale))
+			inv.noteTransition(m, now)
+		}
+		if m.quarantined && !now.Before(m.quarantineUntil) {
+			m.quarantined = false
+			inv.logf("fleet: member %s re-admitted after quarantine #%d", id, m.quarantines)
+		}
+		if !m.quarantined && m.quarantines > 0 && !m.dead {
+			// Forgiveness: a full flap window with no transitions resets
+			// the backoff escalation.
+			if n := pruneTransitions(m, now, inv.cfg.FlapWindow); n == 0 {
+				m.quarantines = 0
+			}
 		}
 		inv.mu.Unlock()
 		return
 	}
 
 	inv.mu.Lock()
+	if m.pollSeq != seq {
+		inv.mu.Unlock()
+		return // superseded by a newer poll (see the success path)
+	}
 	m.failures++
 	if !m.dead && m.failures >= inv.cfg.FailAfter {
 		m.dead = true
 		inv.logf("fleet: member %s dead after %d failed polls (%d apps to re-home)", id, m.failures, len(m.apps))
+		inv.noteTransition(m, inv.cfg.Clock())
 	}
 	inv.mu.Unlock()
+}
+
+// pruneTransitions drops transition stamps older than the window and
+// returns how many remain. Caller holds inv.mu.
+func pruneTransitions(m *member, now time.Time, window time.Duration) int {
+	keep := m.transitions[:0]
+	for _, t := range m.transitions {
+		if now.Sub(t) <= window {
+			keep = append(keep, t)
+		}
+	}
+	m.transitions = keep
+	return len(keep)
+}
+
+// noteTransition records one alive<->dead flip and runs the flap
+// detector: FlapCount transitions inside FlapWindow quarantine the
+// member with an exponential re-admission backoff, so a machine
+// oscillating around the FailAfter threshold stops whipsawing the
+// rebalancer — its apps are evacuated once and it is not a placement
+// target again until the backoff expires AND a poll succeeds. Caller
+// holds inv.mu.
+func (inv *Inventory) noteTransition(m *member, now time.Time) {
+	if inv.cfg.FlapCount < 0 {
+		return // quarantining disabled (A/B regression experiments only)
+	}
+	pruneTransitions(m, now, inv.cfg.FlapWindow)
+	m.transitions = append(m.transitions, now)
+	if len(m.transitions) < inv.cfg.FlapCount {
+		return
+	}
+	backoff := inv.cfg.QuarantineBackoff
+	for i := 0; i < m.quarantines && backoff < inv.cfg.QuarantineMaxBackoff; i++ {
+		backoff *= 2
+	}
+	if backoff > inv.cfg.QuarantineMaxBackoff {
+		backoff = inv.cfg.QuarantineMaxBackoff
+	}
+	m.quarantines++
+	m.quarantined = true
+	m.quarantineUntil = now.Add(backoff)
+	m.transitions = m.transitions[:0]
+	inv.logf("fleet: member %s quarantined for %s after %d health transitions within %s (quarantine #%d)",
+		m.id, backoff, inv.cfg.FlapCount, inv.cfg.FlapWindow, m.quarantines)
 }
 
 // snapshotLocked copies one member.
 func (m *member) snapshot() Member {
 	return Member{
 		ID:        m.id,
+		Domain:    m.domain,
 		Endpoints: append([]string(nil), m.endpoints...),
 		Topology:  m.topo,
 		Apps:      append([]PlacedApp(nil), m.apps...),
@@ -209,6 +350,10 @@ func (m *member) snapshot() Member {
 		Draining:    m.draining,
 		LastSeen:    m.lastSeen,
 		Stale:       append([]string(nil), m.stale...),
+
+		Quarantined:     m.quarantined,
+		QuarantineUntil: m.quarantineUntil,
+		Quarantines:     m.quarantines,
 	}
 }
 
@@ -236,19 +381,25 @@ func (inv *Inventory) Member(id string) (Member, bool) {
 
 // SetDraining marks (or unmarks) a member for draining. A draining
 // member receives no new placements and the rebalancer moves its apps
-// off. It reports whether the member exists.
-func (inv *Inventory) SetDraining(id string, draining bool) bool {
+// off. Returns ErrUnknownMember for a member the inventory does not
+// track, and ErrMemberDead when asked to drain a dead member (whose
+// apps are already being evacuated as machine-lost); undraining a dead
+// member is allowed.
+func (inv *Inventory) SetDraining(id string, draining bool) error {
 	inv.mu.Lock()
 	defer inv.mu.Unlock()
 	m, ok := inv.members[id]
 	if !ok {
-		return false
+		return fmt.Errorf("%w: %q", ErrUnknownMember, id)
+	}
+	if draining && m.dead {
+		return fmt.Errorf("%w: %s", ErrMemberDead, id)
 	}
 	if m.draining != draining {
 		m.draining = draining
 		inv.logf("fleet: member %s draining=%v", id, draining)
 	}
-	return true
+	return nil
 }
 
 // Client returns the member's preferred coopd client, for registration

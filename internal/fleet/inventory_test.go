@@ -2,8 +2,10 @@ package fleet
 
 import (
 	"context"
+	"errors"
 	"net/http"
 	"net/url"
+	"sync"
 	"testing"
 	"time"
 
@@ -185,6 +187,247 @@ func TestInventoryPollTimeoutBoundsHungMember(t *testing.T) {
 	}
 }
 
+// flapFleet builds a one-member inventory with a pinned clock and an
+// aggressive flap detector (FailAfter 1, FlapCount 2) behind a
+// partition fabric. Returns the inventory, the fabric, the member's
+// host, and the clock-advance function.
+func flapFleet(t *testing.T) (*Inventory, *faultinject.Partition, string, func(time.Duration)) {
+	t.Helper()
+	hs := newCoopd(t)
+	part := faultinject.NewPartition()
+	now := time.Unix(1_000_000, 0)
+	inv := NewInventory(InventoryConfig{
+		NewClient:         fastClients(part.Transport(nil)),
+		FailAfter:         1,
+		Clock:             func() time.Time { return now },
+		FlapCount:         2,
+		FlapWindow:        time.Hour,
+		QuarantineBackoff: 30 * time.Second,
+		Logf:              t.Logf,
+	})
+	if err := inv.Add("a", hs.URL); err != nil {
+		t.Fatal(err)
+	}
+	inv.Poll(context.Background())
+	return inv, part, hostOf(t, hs.URL), func(d time.Duration) { now = now.Add(d) }
+}
+
+// flap kills and revives the member once: one failed poll (FailAfter 1)
+// records the alive->dead transition, the healed poll records
+// dead->alive.
+func flap(t *testing.T, inv *Inventory, part *faultinject.Partition, host string, advance func(time.Duration)) {
+	t.Helper()
+	ctx := context.Background()
+	part.Isolate(host)
+	advance(time.Second)
+	inv.Poll(ctx)
+	if m, _ := inv.Member("a"); !m.Dead {
+		t.Fatal("member not dead after the cut")
+	}
+	part.Heal(host)
+	advance(time.Second)
+	inv.Poll(ctx)
+}
+
+// TestInventoryFlapQuarantineEscalationAndForgiveness walks the flap
+// detector's whole state machine: two transitions inside the window
+// quarantine the member (revived but not a placement target), flapping
+// during the quarantine doubles the backoff, and a clean window after
+// re-admission forgives the escalation.
+func TestInventoryFlapQuarantineEscalationAndForgiveness(t *testing.T) {
+	ctx := context.Background()
+	inv, part, host, advance := flapFleet(t)
+
+	// One die/revive cycle = 2 transitions = FlapCount: quarantined.
+	flap(t, inv, part, host, advance)
+	m, _ := inv.Member("a")
+	if !m.Quarantined || m.Quarantines != 1 {
+		t.Fatalf("after first flap cycle: %+v, want quarantine #1", m)
+	}
+	if m.Healthy() {
+		t.Fatal("quarantined member reports healthy (it must not be a placement target)")
+	}
+	if !m.Alive() {
+		t.Fatal("quarantined-but-answering member reports not alive (stale cleanup needs it)")
+	}
+	if got, want := m.QuarantineUntil.Sub(inv.cfg.Clock()), 30*time.Second; got != want {
+		t.Fatalf("first backoff %v, want %v", got, want)
+	}
+
+	// Polls inside the backoff keep it benched.
+	advance(10 * time.Second)
+	inv.Poll(ctx)
+	if m, _ = inv.Member("a"); !m.Quarantined {
+		t.Fatal("member re-admitted before the backoff expired")
+	}
+
+	// Still flapping during quarantine: the next trigger doubles the
+	// backoff.
+	flap(t, inv, part, host, advance)
+	m, _ = inv.Member("a")
+	if !m.Quarantined || m.Quarantines != 2 {
+		t.Fatalf("after flapping during quarantine: %+v, want quarantine #2", m)
+	}
+	if got, want := m.QuarantineUntil.Sub(inv.cfg.Clock()), 60*time.Second; got != want {
+		t.Fatalf("escalated backoff %v, want doubled %v", got, want)
+	}
+
+	// A quiet backoff: the next successful poll past the deadline
+	// re-admits, and the clean window resets the escalation counter.
+	advance(61 * time.Second)
+	inv.Poll(ctx)
+	m, _ = inv.Member("a")
+	if m.Quarantined || !m.Healthy() {
+		t.Fatalf("member not re-admitted after the backoff: %+v", m)
+	}
+	if m.Quarantines != 0 {
+		t.Fatalf("escalation not forgiven after a clean window: quarantines=%d", m.Quarantines)
+	}
+}
+
+// TestInventoryQuarantineDisabled: FlapCount < 0 turns the detector off
+// — the A/B regression knob — so even a rapid flapper is never benched.
+func TestInventoryQuarantineDisabled(t *testing.T) {
+	hs := newCoopd(t)
+	part := faultinject.NewPartition()
+	inv := NewInventory(InventoryConfig{
+		NewClient: fastClients(part.Transport(nil)),
+		FailAfter: 1,
+		FlapCount: -1,
+	})
+	if err := inv.Add("a", hs.URL); err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	inv.Poll(ctx)
+	host := hostOf(t, hs.URL)
+	for i := 0; i < 4; i++ {
+		part.Isolate(host)
+		inv.Poll(ctx)
+		part.Heal(host)
+		inv.Poll(ctx)
+	}
+	if m, _ := inv.Member("a"); m.Quarantined || !m.Healthy() {
+		t.Fatalf("detector disabled but member benched: %+v", m)
+	}
+}
+
+// gateRT parks the first request made while gated (releasing it later
+// completes it against the real transport) and fails every subsequent
+// gated request immediately — the partition-flap race in miniature: a
+// poll's response is in flight while a newer poll fails.
+type gateRT struct {
+	mu      sync.Mutex
+	gated   bool
+	parked  bool
+	started chan struct{}
+	release chan struct{}
+}
+
+func (g *gateRT) RoundTrip(req *http.Request) (*http.Response, error) {
+	g.mu.Lock()
+	if g.gated {
+		if !g.parked {
+			g.parked = true
+			g.mu.Unlock()
+			close(g.started)
+			<-g.release
+			return http.DefaultTransport.RoundTrip(req)
+		}
+		g.mu.Unlock()
+		return nil, errors.New("injected: partitioned")
+	}
+	g.mu.Unlock()
+	return http.DefaultTransport.RoundTrip(req)
+}
+
+// TestInventoryPollRaceStaleSuccess: poll A's response hangs in flight;
+// poll B starts, fails, and declares the member dead. When A's stale
+// success finally lands it must be discarded — applying it would reset
+// the failure count B just recorded and flip a dead member healthy on
+// the strength of pre-partition data.
+func TestInventoryPollRaceStaleSuccess(t *testing.T) {
+	ctx := context.Background()
+	hs := newCoopd(t)
+	g := &gateRT{started: make(chan struct{}), release: make(chan struct{})}
+	inv := NewInventory(InventoryConfig{
+		NewClient: fastClients(g),
+		FailAfter: 1,
+		Logf:      t.Logf,
+	})
+	if err := inv.Add("a", hs.URL); err != nil {
+		t.Fatal(err)
+	}
+	inv.Poll(ctx)
+	if m, _ := inv.Member("a"); !m.Healthy() {
+		t.Fatal("member not healthy on a clean network")
+	}
+
+	// Poll A parks mid-flight on its first request.
+	g.mu.Lock()
+	g.gated = true
+	g.mu.Unlock()
+	aDone := make(chan struct{})
+	go func() {
+		defer close(aDone)
+		inv.Poll(ctx)
+	}()
+	<-g.started
+
+	// Poll B runs while A is parked: its request fails immediately and
+	// the member is declared dead.
+	inv.Poll(ctx)
+	if m, _ := inv.Member("a"); !m.Dead || m.Failures != 1 {
+		t.Fatalf("after the failed poll: dead=%v failures=%d, want dead", m.Dead, m.Failures)
+	}
+
+	// Release A; its remaining requests pass through, so its poll
+	// SUCCEEDS — with data from before the failure. The sequence guard
+	// must drop it.
+	g.mu.Lock()
+	g.gated = false
+	g.mu.Unlock()
+	close(g.release)
+	<-aDone
+	if m, _ := inv.Member("a"); !m.Dead || m.Failures != 1 {
+		t.Fatalf("stale in-flight success resurrected the member: dead=%v failures=%d", m.Dead, m.Failures)
+	}
+
+	// A genuinely fresh poll revives it.
+	inv.Poll(ctx)
+	if m, _ := inv.Member("a"); !m.Healthy() {
+		t.Fatal("member not revived by a fresh poll")
+	}
+}
+
+// TestSetDrainingDeadMember: draining a dead member is a typed error
+// (its apps are already evacuating as machine-lost); undraining one is
+// allowed and clears the flag for its revival.
+func TestSetDrainingDeadMember(t *testing.T) {
+	ctx := context.Background()
+	hs := newCoopd(t)
+	part := faultinject.NewPartition()
+	inv := NewInventory(InventoryConfig{
+		NewClient: fastClients(part.Transport(nil)),
+		FailAfter: 1,
+	})
+	if err := inv.Add("a", hs.URL); err != nil {
+		t.Fatal(err)
+	}
+	inv.Poll(ctx)
+	part.Isolate(hostOf(t, hs.URL))
+	inv.Poll(ctx)
+	if m, _ := inv.Member("a"); !m.Dead {
+		t.Fatal("member not dead after the cut")
+	}
+	if err := inv.SetDraining("a", true); !errors.Is(err, ErrMemberDead) {
+		t.Fatalf("draining a dead member: got %v, want ErrMemberDead", err)
+	}
+	if err := inv.SetDraining("a", false); err != nil {
+		t.Fatalf("undraining a dead member: %v", err)
+	}
+}
+
 // TestInventoryAddValidation: duplicate IDs and empty members are
 // rejected.
 func TestInventoryAddValidation(t *testing.T) {
@@ -201,10 +444,10 @@ func TestInventoryAddValidation(t *testing.T) {
 	if err := inv.Add("a", "http://y"); err == nil {
 		t.Fatal("duplicate member accepted")
 	}
-	if !inv.SetDraining("a", true) {
-		t.Fatal("SetDraining failed for a known member")
+	if err := inv.SetDraining("a", true); err != nil {
+		t.Fatalf("SetDraining failed for a known member: %v", err)
 	}
-	if inv.SetDraining("ghost", true) {
-		t.Fatal("SetDraining succeeded for an unknown member")
+	if err := inv.SetDraining("ghost", true); !errors.Is(err, ErrUnknownMember) {
+		t.Fatalf("SetDraining on an unknown member: got %v, want ErrUnknownMember", err)
 	}
 }

@@ -3,6 +3,7 @@ package fleet
 import (
 	"context"
 	"fmt"
+	"strings"
 	"sync"
 
 	"repro/internal/machine"
@@ -29,12 +30,36 @@ type candidate struct {
 	apps   int
 	bad    int // numa-bad registrations
 
+	// domain and groups exist only under domain-spread: the member's
+	// failure domain and its per-cooperating-group app counts (group =
+	// app name with the trailing "-<n>" replica suffix stripped). nil
+	// groups means spread is off and the candidate carries zero extra
+	// state.
+	domain string
+	groups map[string]int
+
 	// keyBuf holds the candidate's equivalence-class key (topology hash
 	// + sorted demand segments), built lazily into a reused backing
 	// array and truncated on commit — the only invalidation the
 	// content-addressed scheme needs. Empty means unset (a real key is
 	// never shorter than the 8 topology-hash bytes).
 	keyBuf []byte
+}
+
+// groupOf derives an app's cooperating-group label from its name: one
+// trailing "-<digits>" replica suffix is stripped, so web-0..web-9 form
+// group "web". A name without the suffix is its own group.
+func groupOf(name string) string {
+	i := strings.LastIndexByte(name, '-')
+	if i <= 0 || i == len(name)-1 {
+		return name
+	}
+	for _, r := range name[i+1:] {
+		if r < '0' || r > '9' {
+			return name
+		}
+	}
+	return name[:i]
 }
 
 // classKey returns the candidate's equivalence-class key, caching it on
@@ -60,8 +85,10 @@ type candidateSet struct {
 // reset rebuilds the set from healthy, non-draining members (ID order
 // preserved from the snapshot). withDemand=false leaves every
 // candidate's demand set empty — the imbalance re-pack's from-scratch
-// starting state.
-func (cs *candidateSet) reset(members []Member, withDemand bool) []*candidate {
+// starting state. spread additionally loads each candidate's failure
+// domain and per-group app counts for the domain-spread tie-break;
+// with it off the candidates carry no domain state at all.
+func (cs *candidateSet) reset(members []Member, withDemand, spread bool) []*candidate {
 	cs.out = cs.out[:0]
 	n := 0
 	for i := range members {
@@ -80,10 +107,23 @@ func (cs *candidateSet) reset(members []Member, withDemand bool) []*candidate {
 		c.id, c.topo = m.ID, m.Topology
 		c.demand, c.keyBuf = c.demand[:0], c.keyBuf[:0]
 		c.apps, c.bad = 0, 0
+		c.domain, c.groups = "", nil
+		if spread {
+			c.domain = m.Domain
+			if c.domain == "" {
+				c.domain = m.ID // every machine its own domain by default
+			}
+			c.groups = map[string]int{}
+		}
 		if withDemand {
 			c.demand = appendDemandSet(c.demand, m.Apps)
 			c.apps = len(m.Apps)
 			c.bad = m.NUMABadApps()
+			if spread {
+				for _, a := range m.Apps {
+					c.groups[groupOf(a.Name)]++
+				}
+			}
 		}
 		cs.out = append(cs.out, c)
 	}
@@ -97,7 +137,7 @@ var candSets = sync.Pool{New: func() any { return new(candidateSet) }}
 // members. One-shot form of candidateSet.reset, kept for tests.
 func candidatesFrom(members []Member) []*candidate {
 	var cs candidateSet
-	return cs.reset(members, true)
+	return cs.reset(members, true, false)
 }
 
 // Decision is the outcome of scoring one app against the fleet.
@@ -143,7 +183,21 @@ func (sc *Scorer) decide(spec AppSpec, cands []*candidate) (*Decision, *candidat
 	}
 	s := sc.getScratch()
 	defer sc.putScratch(s)
+	// Domain-spread: count the app's cooperating group per failure
+	// domain across the whole fleet (not just the filtered pool — group
+	// members on excluded machines still occupy their domain). The
+	// counts drive a tie-break only; score always wins first.
+	var domCount map[string]int
+	var group string
+	if sc.DomainSpread {
+		group = groupOf(spec.Name)
+		domCount = make(map[string]int, 8)
+		for _, c := range cands {
+			domCount[c.domain] += c.groups[group]
+		}
+	}
 	var classes map[string]classResult
+	var dkey []byte // decision-key scratch, only allocated under spread
 	var best *candidate
 	var bestScore, bestAfter float64
 	for _, c := range pool {
@@ -151,6 +205,16 @@ func (sc *Scorer) decide(spec AppSpec, cands []*candidate) (*Decision, *candidat
 			continue // home node does not exist on this machine
 		}
 		key := c.classKey(sc)
+		if sc.DomainSpread {
+			// Under spread the decision-level class includes the domain:
+			// two machines with identical (topology, demand) but different
+			// domains are no longer interchangeable decisions. The
+			// Scorer's solve memo stays domain-free — scores depend only
+			// on topology and demand, so the class entries here share the
+			// same underlying solves.
+			dkey = append(append(dkey[:0], key...), c.domain...)
+			key = dkey
+		}
 		r, ok := classes[string(key)] // byte-to-string map lookup: no alloc
 		if !ok {
 			r = sc.scoreClass(c.topo, c.demand, app, s)
@@ -166,9 +230,11 @@ func (sc *Scorer) decide(spec AppSpec, cands []*candidate) (*Decision, *candidat
 		switch {
 		case best == nil, score > bestScore+scoreTieEps:
 			best, bestScore, bestAfter = c, score, after
-		case score > bestScore-scoreTieEps && c.apps < best.apps:
-			// Tied score: prefer the emptier machine (candidates arrive in
-			// ID order, so equal-apps ties keep the first, lowest ID).
+		case score > bestScore-scoreTieEps && tieBreakBetter(domCount, c, best):
+			// Tied score: under domain-spread prefer the domain hosting
+			// the fewest of the app's cooperating group, then the emptier
+			// machine (candidates arrive in ID order, so equal ties keep
+			// the first, lowest ID).
 			best, bestScore, bestAfter = c, score, after
 		}
 	}
@@ -176,6 +242,20 @@ func (sc *Scorer) decide(spec AppSpec, cands []*candidate) (*Decision, *candidat
 		return nil, nil, ErrNoCandidate
 	}
 	return &Decision{Member: best.id, Score: bestScore, After: bestAfter}, best, nil
+}
+
+// tieBreakBetter decides score ties: under domain-spread (domCount
+// non-nil) the candidate whose failure domain hosts fewer of the app's
+// cooperating group wins; the fewer-apps rule breaks remaining ties.
+// With domCount nil this is exactly the pre-spread tie-break.
+func tieBreakBetter(domCount map[string]int, c, best *candidate) bool {
+	if domCount != nil {
+		cd, bd := domCount[c.domain], domCount[best.domain]
+		if cd != bd {
+			return cd < bd
+		}
+	}
+	return c.apps < best.apps
 }
 
 // commit folds the decided app into the candidate so subsequent
@@ -189,6 +269,9 @@ func (c *candidate) commit(spec AppSpec) {
 	c.apps++
 	if spec.numaBad() {
 		c.bad++
+	}
+	if c.groups != nil {
+		c.groups[groupOf(spec.Name)]++
 	}
 	c.keyBuf = c.keyBuf[:0]
 }
@@ -207,7 +290,7 @@ type Placer struct {
 func (p *Placer) Decide(spec AppSpec) (*Decision, error) {
 	cs := candSets.Get().(*candidateSet)
 	defer candSets.Put(cs)
-	d, _, err := p.Scorer.decide(spec, cs.reset(p.Inv.Snapshot(), true))
+	d, _, err := p.Scorer.decide(spec, cs.reset(p.Inv.Snapshot(), true, p.Scorer.DomainSpread))
 	return d, err
 }
 
@@ -217,7 +300,7 @@ func (p *Placer) Decide(spec AppSpec) (*Decision, error) {
 func (p *Placer) Place(ctx context.Context, spec AppSpec) (*Decision, PlacedApp, error) {
 	cs := candSets.Get().(*candidateSet)
 	defer candSets.Put(cs)
-	d, _, err := p.Scorer.decide(spec, cs.reset(p.Inv.Snapshot(), true))
+	d, _, err := p.Scorer.decide(spec, cs.reset(p.Inv.Snapshot(), true, p.Scorer.DomainSpread))
 	if err != nil {
 		return nil, PlacedApp{}, err
 	}

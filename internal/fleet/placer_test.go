@@ -115,6 +115,48 @@ func TestCandidatesExcludeUnhealthyAndDraining(t *testing.T) {
 	}
 }
 
+// TestDecideDomainSpreadTieBreak: two empty machines tie on score; with
+// domain-spread on, the one whose failure domain hosts fewer of the
+// app's cooperating group wins, overriding the lowest-ID rule. With
+// spread off the decision is the classic one — the bit-identical
+// baseline the equivalence-class cache depends on.
+func TestDecideDomainSpreadTieBreak(t *testing.T) {
+	members := emptyMembers(3)
+	members[0].Domain, members[1].Domain, members[2].Domain = "rack1", "rack1", "rack2"
+	// a (rack1) already hosts grp-1, so rack1 is the crowded domain; b
+	// (rack1) and c (rack2) are empty and tie at +64.
+	members[0].Apps = []PlacedApp{{ID: "x1", Name: "grp-1", AI: 0.5}}
+
+	off := NewScorer()
+	d, _, err := off.decide(memSpec("grp-2"), candidatesFrom(members))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Member != "b" {
+		t.Fatalf("spread off: placed on %s, want b (lowest-ID tie-break)", d.Member)
+	}
+
+	on := NewScorer()
+	on.DomainSpread = true
+	var cs candidateSet
+	d, c, err := on.decide(memSpec("grp-2"), cs.reset(members, true, true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Member != "c" || !near(d.Score, 64) {
+		t.Fatalf("spread on: placed on %s (score %g), want c in the empty domain (~64)", d.Member, d.Score)
+	}
+	// An app from a different group ignores grp's domain counts: b wins
+	// again once c is committed (b empty at 64 beats everything).
+	c.commit(memSpec("grp-2"))
+	if d, _, err = on.decide(memSpec("other"), cs.out); err != nil {
+		t.Fatal(err)
+	}
+	if d.Member != "b" {
+		t.Fatalf("unrelated app placed on %s, want b (score wins before spread)", d.Member)
+	}
+}
+
 // TestDecideRejectsInvalidSpec: a non-positive AI cannot be scored.
 func TestDecideRejectsInvalidSpec(t *testing.T) {
 	sc := NewScorer()

@@ -3,6 +3,8 @@ package fleet
 import (
 	"context"
 	"fmt"
+	"math"
+	"sort"
 	"sync"
 
 	"repro/internal/roofline"
@@ -20,6 +22,10 @@ const (
 	// from its declaration: the placement decision was made on stale
 	// inputs, so it is re-taken with the fitted model.
 	ReasonDrift = "drift"
+	// ReasonQuarantine evacuates a member the flap detector benched: it
+	// may still be answering polls, but it cannot be trusted to keep
+	// serving, so its apps are re-homed like a lost machine's.
+	ReasonQuarantine = "quarantine"
 )
 
 // Move is one planned app relocation.
@@ -37,6 +43,14 @@ type Move struct {
 	Reason string `json:"reason"`
 	// Score is the marginal aggregate GFLOPS of the placement on To.
 	Score float64 `json:"score"`
+}
+
+// evacApp is one urgent evacuation candidate: an app still registered
+// on a dead, quarantined, or draining member.
+type evacApp struct {
+	member string
+	app    PlacedApp
+	reason string
 }
 
 // StaleDereg is a duplicate registration left on a revived member: the
@@ -70,6 +84,11 @@ type Plan struct {
 	// the number of upcoming rounds (including the planned one) in which
 	// the drift and imbalance passes will not move them again.
 	Cooldowns map[string]int `json:"cooldowns,omitempty"`
+	// StormActive marks a degraded-mode round: enough members are down
+	// with un-evacuated apps that urgent moves were triaged under the
+	// storm budget and per-survivor admission cap, and the drift and
+	// imbalance passes were skipped.
+	StormActive bool `json:"storm_active,omitempty"`
 }
 
 // Rebalancer turns inventory drift — dead machines, draining members,
@@ -90,6 +109,32 @@ type Rebalancer struct {
 	// the re-pack permanently — and fall back to the default with a
 	// logged warning.
 	Threshold float64
+	// StormFraction arms the storm brake: when the fraction of members
+	// that are down (dead or quarantined) while still carrying
+	// un-evacuated apps exceeds it, the round runs in degraded mode —
+	// urgent moves are triaged by the aggregate GFLOPS their
+	// re-placement recovers, rate-limited to StormBudget, and no
+	// survivor admits more than AdmissionCap storm moves per round.
+	// Degraded mode is detected statelessly from the snapshot (Plan
+	// stays a side-effect-free dry run) and therefore persists until
+	// the evacuation backlog drains. 0 selects the default (0.25);
+	// values outside (0, 1] fall back with a logged warning.
+	StormFraction float64
+	// StormBudget caps urgent moves per degraded round (it can only
+	// tighten the global budget, never exceed it). 0 selects the global
+	// MaxMovesPerRound; negative falls back with a logged warning.
+	StormBudget int
+	// AdmissionCap bounds how many storm evacuations a single surviving
+	// member admits per round, so a mass failure cannot crush the
+	// remaining machines under simultaneous re-registrations. 0 selects
+	// the default (2); negative falls back with a logged warning.
+	AdmissionCap int
+	// DisableStormBrake turns mass-failure triage off: urgent
+	// evacuation behaves as if the fleet were losing one machine — all
+	// moves planned immediately, no admission cap. Only for A/B
+	// resilience experiments such as the fleetsim correlated-failure
+	// regression, never for production use.
+	DisableStormBrake bool
 	// CooldownRounds is the anti-thrash guard: an app moved by the
 	// drift or imbalance pass may not be moved by those passes again
 	// for this many following rounds, and is excluded from the
@@ -146,6 +191,39 @@ func (r *Rebalancer) threshold() float64 {
 			r.Threshold)
 	}
 	return 0.9
+}
+
+func (r *Rebalancer) stormFraction() float64 {
+	if r.StormFraction > 0 && r.StormFraction <= 1 {
+		return r.StormFraction
+	}
+	if r.StormFraction != 0 {
+		r.warnOnce("storm-fraction", "fleet: StormFraction %g outside (0, 1] would mis-arm the storm brake; using default 0.25",
+			r.StormFraction)
+	}
+	return 0.25
+}
+
+func (r *Rebalancer) stormBudget() int {
+	if r.StormBudget > 0 {
+		return r.StormBudget
+	}
+	if r.StormBudget < 0 {
+		r.warnOnce("storm-budget", "fleet: StormBudget %d would disable degraded-mode churn limiting; using the global budget",
+			r.StormBudget)
+	}
+	return r.maxMoves()
+}
+
+func (r *Rebalancer) admissionCap() int {
+	if r.AdmissionCap > 0 {
+		return r.AdmissionCap
+	}
+	if r.AdmissionCap < 0 {
+		r.warnOnce("admission-cap", "fleet: AdmissionCap %d would disable survivor admission control; using default 2",
+			r.AdmissionCap)
+	}
+	return 2
 }
 
 func (r *Rebalancer) cooldownRounds() int {
@@ -224,23 +302,27 @@ func (r *Rebalancer) logf(format string, args ...any) {
 }
 
 // Plan computes one round's moves from the current inventory snapshot
-// without executing anything. Priority order: lost machines first (their
-// apps are getting no cores at all), then draining members, then — only
-// when nothing urgent is pending — the imbalance pass. Every target
-// decision runs against a simulated candidate set that accumulates the
-// round's earlier moves, so a plan never over-commits one machine.
+// without executing anything. Priority order: lost and quarantined
+// machines first (their apps are getting no trustworthy cores at all),
+// then draining members, then — only when nothing urgent is pending —
+// the drift and imbalance passes. When enough members are down at once
+// the round degrades into storm-braked triage (see planStorm). Every
+// target decision runs against a simulated candidate set that
+// accumulates the round's earlier moves, so a plan never over-commits
+// one machine.
 func (r *Rebalancer) Plan(ctx context.Context) (*Plan, error) {
 	r.planMu.Lock()
 	defer r.planMu.Unlock()
 	members := r.Inv.Snapshot()
-	cands := r.cands.reset(members, true)
+	cands := r.cands.reset(members, true, r.Scorer.DomainSpread)
 	plan := &Plan{Budget: r.maxMoves(), Cooldowns: r.cooldownView()}
 
 	// Duplicate cleanup on revived members: app IDs re-homed while the
-	// member was dead that its registry still carries.
+	// member was dead (or quarantined — its coopd still answers, so the
+	// duplicate can be deregistered) that its registry still carries.
 	for i := range members {
 		m := &members[i]
-		if !m.Healthy() || len(m.Stale) == 0 {
+		if !m.Alive() || len(m.Stale) == 0 {
 			continue
 		}
 		live := map[string]bool{}
@@ -261,37 +343,59 @@ func (r *Rebalancer) Plan(ctx context.Context) (*Plan, error) {
 		dup[sd.Member+"/"+sd.AppID] = true
 	}
 
-	urgent := 0
+	// Collect the round's evacuations — apps on dead, quarantined, or
+	// draining members — and detect a failure storm: the fraction of
+	// members down (dead or quarantined) with un-evacuated apps.
+	var evacs []evacApp
+	downBacklog := 0
 	for i := range members {
 		m := &members[i]
-		evacuate := m.Dead || (m.Healthy() && m.Draining)
+		if (m.Dead || m.Quarantined) && len(m.Apps) > 0 {
+			downBacklog++
+		}
+		evacuate := m.Dead || m.Quarantined || (m.Healthy() && m.Draining)
 		if !evacuate {
 			continue
 		}
 		reason := ReasonDrain
-		if m.Dead {
+		switch {
+		case m.Dead:
 			reason = ReasonMachineLost
+		case m.Quarantined:
+			reason = ReasonQuarantine
 		}
 		for _, app := range m.Apps {
 			if dup[m.ID+"/"+app.ID] {
 				continue
 			}
-			spec := app.EffectiveSpec()
+			evacs = append(evacs, evacApp{member: m.ID, app: app, reason: reason})
+		}
+	}
+	storm := !r.DisableStormBrake && len(members) > 0 &&
+		float64(downBacklog) > r.stormFraction()*float64(len(members))
+	plan.StormActive = storm
+
+	urgent := 0
+	if !storm {
+		for _, e := range evacs {
+			spec := e.app.EffectiveSpec()
 			d, c, err := r.Scorer.decide(spec, cands)
 			if err != nil {
-				r.logf("fleet: cannot re-home %s from %s: %v", app.ID, m.ID, err)
+				r.logf("fleet: cannot re-home %s from %s: %v", e.app.ID, e.member, err)
 				continue
 			}
 			plan.Moves = append(plan.Moves, Move{
-				AppID: app.ID, App: spec, From: m.ID, To: d.Member,
-				Reason: reason, Score: d.Score,
+				AppID: e.app.ID, App: spec, From: e.member, To: d.Member,
+				Reason: e.reason, Score: d.Score,
 			})
 			c.commit(spec)
 			urgent++
 		}
+	} else {
+		urgent = r.planStorm(plan, evacs, cands, downBacklog, len(members))
 	}
 
-	if urgent == 0 {
+	if urgent == 0 && !storm {
 		// Drift re-placement before the imbalance pass: a drifted app's
 		// placement was decided on a wrong model, so it gets first claim on
 		// the round's churn budget; the broader re-pack waits a round. Both
@@ -309,6 +413,85 @@ func (r *Rebalancer) Plan(ctx context.Context) (*Plan, error) {
 	}
 	plan.BudgetSpent = len(plan.Moves)
 	return plan, ctx.Err()
+}
+
+// planStorm is the degraded-mode urgent pass: a correlated failure has
+// taken down enough of the fleet that evacuating everything at once
+// would crush the survivors. Evacuations are triaged by the aggregate
+// GFLOPS their re-placement recovers (a pre-score against the current
+// candidates), then admitted in that order under two limits — the
+// storm budget (never above the round's global budget) and a
+// per-survivor admission cap. Everything past the limits is deferred
+// to later rounds; the backlog-based storm detection keeps degraded
+// mode active until it drains. Returns the number of moves planned.
+func (r *Rebalancer) planStorm(plan *Plan, evacs []evacApp, cands []*candidate, downBacklog, total int) int {
+	budget := plan.Budget
+	if sb := r.stormBudget(); sb < budget {
+		budget = sb
+	}
+	capN := r.admissionCap()
+	r.logf("fleet: storm brake engaged: %d/%d members down with %d apps pending; triaging (budget %d, admission cap %d)",
+		downBacklog, total, len(evacs), budget, capN)
+
+	// Triage order: highest marginal recovery first; (member, app ID)
+	// breaks ties deterministically.
+	scores := make([]float64, len(evacs))
+	for i := range evacs {
+		if d, _, err := r.Scorer.decide(evacs[i].app.EffectiveSpec(), cands); err == nil {
+			scores[i] = d.Score
+		} else {
+			scores[i] = math.Inf(-1)
+		}
+	}
+	order := make([]int, len(evacs))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		ia, ib := order[a], order[b]
+		if scores[ia] != scores[ib] {
+			return scores[ia] > scores[ib]
+		}
+		if evacs[ia].member != evacs[ib].member {
+			return evacs[ia].member < evacs[ib].member
+		}
+		return evacs[ia].app.ID < evacs[ib].app.ID
+	})
+
+	moves := 0
+	inbound := map[string]int{}
+	pool := make([]*candidate, 0, len(cands))
+	for _, idx := range order {
+		e := evacs[idx]
+		if budget <= 0 {
+			plan.Deferred++
+			continue
+		}
+		// Survivors at their admission cap leave the pool; the decision
+		// re-runs against the committed state, so earlier admissions are
+		// visible.
+		pool = pool[:0]
+		for _, c := range cands {
+			if inbound[c.id] < capN {
+				pool = append(pool, c)
+			}
+		}
+		spec := e.app.EffectiveSpec()
+		d, c, err := r.Scorer.decide(spec, pool)
+		if err != nil {
+			plan.Deferred++
+			continue
+		}
+		plan.Moves = append(plan.Moves, Move{
+			AppID: e.app.ID, App: spec, From: e.member, To: d.Member,
+			Reason: e.reason, Score: d.Score,
+		})
+		c.commit(spec)
+		inbound[d.Member]++
+		budget--
+		moves++
+	}
+	return moves
 }
 
 // planDrift emits bounded moves for apps whose member coopd confirmed
@@ -435,7 +618,7 @@ func (r *Rebalancer) planImbalance(plan *Plan, members []Member, dup map[string]
 	// Greedy re-pack: fresh candidates (empty demand), every app placed
 	// from scratch in deterministic (member ID, app ID) order. The set
 	// (and its demand backing) is reused across rounds.
-	fresh := r.fresh.reset(members, false)
+	fresh := r.fresh.reset(members, false, r.Scorer.DomainSpread)
 	// The re-pack scores with EffectiveSpec — the fitted model when an
 	// app has drifted — matching demandSet above. Mixing declared AI
 	// into the repack while the current aggregate reflects measured
@@ -513,7 +696,11 @@ func (r *Rebalancer) Execute(ctx context.Context, plan *Plan) error {
 		r.logf("fleet: cleaned stale duplicate %s on revived %s", sd.AppID, sd.Member)
 	}
 	for _, mv := range plan.Moves {
-		if mv.Reason != ReasonMachineLost {
+		// Machine-lost and quarantine moves register on the target first:
+		// the source is unreachable (lost) or untrusted mid-flap
+		// (quarantine), so its copy is marked stale and cleaned up when —
+		// or while — the member answers again.
+		if mv.Reason != ReasonMachineLost && mv.Reason != ReasonQuarantine {
 			cli, err := r.Inv.Client(mv.From)
 			if err != nil {
 				keep(err)
@@ -537,7 +724,7 @@ func (r *Rebalancer) Execute(ctx context.Context, plan *Plan) error {
 			keep(fmt.Errorf("fleet: re-homing %s to %s: %w", mv.AppID, mv.To, err))
 			continue
 		}
-		if mv.Reason == ReasonMachineLost {
+		if mv.Reason == ReasonMachineLost || mv.Reason == ReasonQuarantine {
 			r.Inv.noteDeregistered(mv.From, mv.AppID)
 			r.Inv.noteStale(mv.From, mv.AppID)
 		}

@@ -3,6 +3,8 @@ package fleet
 import (
 	"context"
 	"testing"
+
+	"repro/internal/faultinject"
 )
 
 // twoMachineFleet starts two coopd machines, registers the Table I mix
@@ -109,8 +111,8 @@ func TestRebalanceBoundsMovesPerRound(t *testing.T) {
 func TestRebalanceDrainsMarkedMember(t *testing.T) {
 	ctx := context.Background()
 	inv, reb := twoMachineFleet(t, 4)
-	if !inv.SetDraining("a", true) {
-		t.Fatal("SetDraining failed")
+	if err := inv.SetDraining("a", true); err != nil {
+		t.Fatalf("SetDraining failed: %v", err)
 	}
 	plan, err := reb.Round(ctx)
 	if err != nil {
@@ -296,8 +298,8 @@ func TestRebalanceCooldownDampsImmediateBounce(t *testing.T) {
 func TestRebalanceBudgetSharedAcrossPasses(t *testing.T) {
 	ctx := context.Background()
 	inv, reb := twoMachineFleet(t, 3)
-	if !inv.SetDraining("a", true) {
-		t.Fatal("SetDraining failed")
+	if err := inv.SetDraining("a", true); err != nil {
+		t.Fatalf("SetDraining failed: %v", err)
 	}
 	plan, err := reb.Plan(ctx)
 	if err != nil {
@@ -312,5 +314,167 @@ func TestRebalanceBudgetSharedAcrossPasses(t *testing.T) {
 	}
 	if plan.BudgetSpent != 3 {
 		t.Fatalf("budget spent %d, want 3", plan.BudgetSpent)
+	}
+}
+
+// stormFleet starts three coopd machines behind a partition fabric:
+// a carries three memory-bound apps, b four, c none. Killing a strands
+// a third of the fleet's members with un-evacuated apps — exactly one
+// over the default 0.25 storm fraction — so the rebalancer's degraded
+// mode engages with a small, fully predictable triage.
+func stormFleet(t *testing.T) (*Inventory, *faultinject.Partition, []string, *Rebalancer) {
+	t.Helper()
+	ctx := context.Background()
+	part := faultinject.NewPartition()
+	inv := NewInventory(InventoryConfig{
+		NewClient: fastClients(part.Transport(nil)),
+		FailAfter: 1,
+		Logf:      t.Logf,
+	})
+	hosts := make([]string, 3)
+	for i, id := range []string{"a", "b", "c"} {
+		hs := newCoopd(t)
+		hosts[i] = hostOf(t, hs.URL)
+		if err := inv.Add(id, hs.URL); err != nil {
+			t.Fatal(err)
+		}
+	}
+	inv.Poll(ctx)
+	register := func(member string, specs ...AppSpec) {
+		cli, err := inv.Client(member)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, spec := range specs {
+			if _, err := cli.Register(ctx, spec.registerRequest()); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	register("a", memSpec("s-1"), memSpec("s-2"), memSpec("s-3"))
+	register("b", memSpec("t-1"), memSpec("t-2"), memSpec("t-3"), memSpec("t-4"))
+	inv.Poll(ctx)
+	sc := NewScorer()
+	reb := &Rebalancer{
+		Inv:              inv,
+		Placer:           &Placer{Inv: inv, Scorer: sc, Logf: t.Logf},
+		Scorer:           sc,
+		MaxMovesPerRound: 2,
+		AdmissionCap:     1,
+		Logf:             t.Logf,
+	}
+	return inv, part, hosts, reb
+}
+
+// TestRebalanceStormBrakeTriage: when a dies with three apps, degraded
+// mode triages the evacuation under the shared round budget and the
+// per-survivor admission cap. The highest marginal recovery (the empty
+// machine c, +64 GFLOPS) is admitted first; once c hits the cap the
+// next evacuation settles for b (marginal 0 on a bandwidth-bound
+// machine) instead of piling on; the third is deferred on budget.
+// Degraded mode persists until a's backlog drains, then disengages with
+// an empty steady-state plan — and the imbalance pass never fires while
+// the storm is active.
+func TestRebalanceStormBrakeTriage(t *testing.T) {
+	ctx := context.Background()
+	inv, part, hosts, reb := stormFleet(t)
+	part.Isolate(hosts[0])
+	inv.Poll(ctx)
+	if m, _ := inv.Member("a"); !m.Dead {
+		t.Fatal("a not dead after the partition")
+	}
+
+	plan, err := reb.Round(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !plan.StormActive {
+		t.Fatal("storm brake not engaged with 1/3 members down and apps pending")
+	}
+	if plan.Budget != 2 || plan.BudgetSpent != 2 || len(plan.Moves) != 2 || plan.Deferred != 1 {
+		t.Fatalf("budget %d spent %d, %d moves %d deferred; want 2/2, 2 moves 1 deferred",
+			plan.Budget, plan.BudgetSpent, len(plan.Moves), plan.Deferred)
+	}
+	inbound := map[string]int{}
+	for _, mv := range plan.Moves {
+		if mv.Reason != ReasonMachineLost || mv.From != "a" {
+			t.Fatalf("move %+v, want machine-lost from a", mv)
+		}
+		inbound[mv.To]++
+	}
+	if inbound["b"] != 1 || inbound["c"] != 1 {
+		t.Fatalf("storm admissions %v, want exactly one per survivor (cap 1)", inbound)
+	}
+	if mv := plan.Moves[0]; mv.To != "c" || !near(mv.Score, 64) {
+		t.Fatalf("first triaged move %+v, want the +64 recovery on empty c", mv)
+	}
+	if mv := plan.Moves[1]; mv.To != "b" || !near(mv.Score, 0) {
+		t.Fatalf("second triaged move %+v, want the marginal-0 fallback on b", mv)
+	}
+
+	// Round 2: one app still stranded on a keeps the storm engaged; it
+	// lands on c (fewer apps wins the marginal-0 tie).
+	plan, err = reb.Round(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !plan.StormActive || len(plan.Moves) != 1 || plan.Deferred != 0 {
+		t.Fatalf("round 2: storm %v, %d moves %d deferred; want active, 1 move",
+			plan.StormActive, len(plan.Moves), plan.Deferred)
+	}
+	if mv := plan.Moves[0]; mv.To != "c" || mv.Reason != ReasonMachineLost {
+		t.Fatalf("round 2 move %+v, want machine-lost onto c", mv)
+	}
+
+	// Round 3: backlog drained, storm disengages, and the fleet is at
+	// the bandwidth-bound optimum — no tail churn.
+	plan, err = reb.Round(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.StormActive {
+		t.Fatal("storm still active after the backlog drained")
+	}
+	if len(plan.Moves) != 0 {
+		t.Fatalf("steady state still churns: %+v", plan.Moves)
+	}
+	if n := appsOn(t, inv, "b"); n != 5 {
+		t.Fatalf("b hosts %d apps, want 5", n)
+	}
+	if n := appsOn(t, inv, "c"); n != 2 {
+		t.Fatalf("c hosts %d apps, want 2", n)
+	}
+}
+
+// TestRebalanceStormBrakeDisabled: the same failure with the brake off
+// shows what the triage prevents — the naive urgent pass tie-breaks
+// every evacuation onto the emptiest survivor, so c absorbs the whole
+// admitted wave while b takes nothing, and only the global budget
+// (not admission control) limits the round.
+func TestRebalanceStormBrakeDisabled(t *testing.T) {
+	ctx := context.Background()
+	inv, part, hosts, reb := stormFleet(t)
+	reb.DisableStormBrake = true
+	part.Isolate(hosts[0])
+	inv.Poll(ctx)
+
+	plan, err := reb.Round(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.StormActive {
+		t.Fatal("storm reported active with the brake disabled")
+	}
+	if len(plan.Moves) != 2 || plan.Deferred != 1 {
+		t.Fatalf("%d moves %d deferred, want the global budget to trim 3 to 2",
+			len(plan.Moves), plan.Deferred)
+	}
+	for _, mv := range plan.Moves {
+		if mv.To != "c" {
+			t.Fatalf("unbraked move %+v, want the herd piled onto c", mv)
+		}
+	}
+	if n := appsOn(t, inv, "c"); n != 2 {
+		t.Fatalf("c absorbed %d apps, want 2 (admission cap would have allowed 1)", n)
 	}
 }

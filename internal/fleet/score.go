@@ -70,6 +70,18 @@ type scoreScratch struct {
 // (roofline.BestPerNodeCountsFloorFrom), which cannot change the
 // result. One Scorer is safe for concurrent use.
 type Scorer struct {
+	// DomainSpread enables the failure-domain anti-affinity tie-break:
+	// when several machines tie on marginal GFLOPS, the decision prefers
+	// the one whose failure domain hosts the fewest members of the app's
+	// cooperating group (apps sharing a name prefix), so a whole-rack
+	// loss never takes the whole group. Domain never outranks score —
+	// with the flag off, decisions are bit-identical to the spread-free
+	// path, and the solve memo below is domain-free either way (solves
+	// depend only on topology and demand, so the PR-8 cache stays
+	// sound). Set before use; not safe to flip concurrently with
+	// decisions.
+	DomainSpread bool
+
 	search roofline.Search
 
 	mu      sync.Mutex

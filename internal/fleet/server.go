@@ -27,6 +27,15 @@ type ServerConfig struct {
 	// Rebalancer; zero values take its defaults).
 	MaxMovesPerRound int
 	Threshold        float64
+	// DomainSpread enables the failure-domain anti-affinity tie-break in
+	// placement decisions (see Scorer.DomainSpread).
+	DomainSpread bool
+	// StormFraction, StormBudget, and AdmissionCap tune the rebalancer's
+	// mass-failure storm brake (see Rebalancer; zero values take its
+	// defaults).
+	StormFraction float64
+	StormBudget   int
+	AdmissionCap  int
 	// Logf, when set, receives placement and rebalance logs.
 	Logf func(format string, args ...any)
 }
@@ -41,6 +50,7 @@ type Server struct {
 	inv *Inventory
 	pl  *Placer
 	reb *Rebalancer
+	upg *Upgrader
 	mux *http.ServeMux
 
 	// placeMu serializes placement decisions so two concurrent place
@@ -66,6 +76,7 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 		cfg.RebalanceInterval = 10 * time.Second
 	}
 	sc := NewScorer()
+	sc.DomainSpread = cfg.DomainSpread
 	pl := &Placer{Inv: cfg.Inventory, Scorer: sc, Logf: cfg.Logf}
 	s := &Server{
 		cfg: cfg,
@@ -74,8 +85,11 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 		reb: &Rebalancer{
 			Inv: cfg.Inventory, Placer: pl, Scorer: sc,
 			MaxMovesPerRound: cfg.MaxMovesPerRound, Threshold: cfg.Threshold,
-			Logf: cfg.Logf,
+			StormFraction: cfg.StormFraction, StormBudget: cfg.StormBudget,
+			AdmissionCap: cfg.AdmissionCap,
+			Logf:         cfg.Logf,
 		},
+		upg:  &Upgrader{Inv: cfg.Inventory, Logf: cfg.Logf},
 		mux:  http.NewServeMux(),
 		stop: make(chan struct{}),
 		done: make(chan struct{}),
@@ -84,6 +98,7 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 	s.mux.HandleFunc("/v1/fleet/machines", s.handleMachines)
 	s.mux.HandleFunc("/v1/fleet/plan", s.handlePlan)
 	s.mux.HandleFunc("/v1/fleet/drain", s.handleDrain)
+	s.mux.HandleFunc("/v1/fleet/upgrade", s.handleUpgrade)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	return s, nil
 }
@@ -99,6 +114,9 @@ func (s *Server) Placer() *Placer { return s.pl }
 
 // Rebalancer returns the underlying rebalancer.
 func (s *Server) Rebalancer() *Rebalancer { return s.reb }
+
+// Upgrader returns the rolling-upgrade controller.
+func (s *Server) Upgrader() *Upgrader { return s.upg }
 
 // Start launches the background poll + rebalance loop.
 func (s *Server) Start() {
@@ -123,6 +141,12 @@ func (s *Server) Start() {
 				s.placeMu.Lock()
 				if _, err := s.reb.Round(ctx); err != nil && s.cfg.Logf != nil {
 					s.cfg.Logf("fleet: rebalance round: %v", err)
+				}
+				// The upgrade controller ticks at rebalance cadence: drain
+				// progress is produced by rounds, so that is how often it
+				// can be observed.
+				if msg := s.upg.Step(ctx); msg != "" && s.cfg.Logf != nil {
+					s.cfg.Logf("%s", msg)
 				}
 				s.placeMu.Unlock()
 			}
@@ -197,7 +221,7 @@ func (s *Server) machines() *MachinesResponse {
 	resp := &MachinesResponse{}
 	for _, m := range s.inv.Snapshot() {
 		v := MachineView{
-			ID: m.ID, Endpoints: m.Endpoints, Draining: m.Draining,
+			ID: m.ID, Domain: m.Domain, Endpoints: m.Endpoints, Draining: m.Draining,
 			Apps: m.Apps, NUMABadApps: m.NUMABadApps(),
 			TotalGFLOPS: m.TotalGFLOPS, Generation: m.Generation,
 			Failures: m.Failures, StaleApps: m.Stale,
@@ -213,6 +237,11 @@ func (s *Server) machines() *MachinesResponse {
 			v.SinceSeenMillis = now.Sub(m.LastSeen).Milliseconds()
 		}
 		switch {
+		case m.Quarantined:
+			v.Status = StatusQuarantined
+			if left := m.QuarantineUntil.Sub(now); left > 0 {
+				v.QuarantinedForMillis = left.Milliseconds()
+			}
 		case m.Dead:
 			v.Status = StatusDead
 		case m.Topology == nil:
@@ -257,11 +286,53 @@ func (s *Server) handleDrain(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "decoding request: "+err.Error())
 		return
 	}
-	if !s.inv.SetDraining(req.Machine, !req.Undo) {
-		writeError(w, http.StatusNotFound, "unknown machine "+req.Machine)
+	if err := s.inv.SetDraining(req.Machine, !req.Undo); err != nil {
+		status := http.StatusInternalServerError
+		switch {
+		case errors.Is(err, ErrUnknownMember):
+			status = http.StatusNotFound
+		case errors.Is(err, ErrMemberDead):
+			status = http.StatusConflict
+		}
+		writeError(w, status, err.Error())
 		return
 	}
 	writeJSON(w, http.StatusOK, DrainResponse{Machine: req.Machine, Draining: !req.Undo})
+}
+
+func (s *Server) handleUpgrade(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodGet:
+		writeJSON(w, http.StatusOK, s.upg.Status())
+	case http.MethodPost:
+		var req UpgradeRequest
+		if err := json.NewDecoder(io.LimitReader(r.Body, 1<<20)).Decode(&req); err != nil {
+			writeError(w, http.StatusBadRequest, "decoding request: "+err.Error())
+			return
+		}
+		switch req.Action {
+		case "start":
+			st, err := s.upg.Start(req.Machines, req.HealthFloor)
+			if err != nil {
+				status := http.StatusBadRequest
+				switch {
+				case errors.Is(err, ErrUpgradeRunning):
+					status = http.StatusConflict
+				case errors.Is(err, ErrUnknownMember):
+					status = http.StatusNotFound
+				}
+				writeError(w, status, err.Error())
+				return
+			}
+			writeJSON(w, http.StatusOK, st)
+		case "abort":
+			writeJSON(w, http.StatusOK, s.upg.Abort("operator abort"))
+		default:
+			writeError(w, http.StatusBadRequest, "action must be start or abort")
+		}
+	default:
+		writeError(w, http.StatusMethodNotAllowed, "GET or POST required")
+	}
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -269,6 +340,8 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	for _, m := range s.inv.Snapshot() {
 		resp.Machines++
 		switch {
+		case m.Quarantined:
+			resp.Quarantined++
 		case m.Dead:
 			resp.Dead++
 		case m.Healthy():
@@ -279,7 +352,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		}
 		resp.Apps += len(m.Apps)
 	}
-	if resp.Dead > 0 || resp.Healthy == 0 {
+	if resp.Dead > 0 || resp.Quarantined > 0 || resp.Healthy == 0 {
 		resp.Status = "degraded"
 	}
 	writeJSON(w, http.StatusOK, resp)

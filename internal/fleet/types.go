@@ -6,6 +6,8 @@ package fleet
 //	GET  /v1/fleet/machines                  -> MachinesResponse
 //	GET  /v1/fleet/plan                      -> Plan (read-only dry run)
 //	POST /v1/fleet/drain    DrainRequest     -> DrainResponse
+//	POST /v1/fleet/upgrade  UpgradeRequest   -> UpgradeStatus
+//	GET  /v1/fleet/upgrade                   -> UpgradeStatus
 //	GET  /healthz                            -> FleetHealthResponse
 //
 // Errors reuse ctrlplane.ErrorResponse so the coopd client-side
@@ -20,15 +22,25 @@ const (
 	StatusDead    = "dead"
 	// StatusUnknown marks a member never successfully polled.
 	StatusUnknown = "unknown"
+	// StatusQuarantined marks a member the flap detector benched: too
+	// many alive<->dead transitions in a short window. It may be
+	// answering polls, but it is not a placement target until the
+	// quarantine backoff expires.
+	StatusQuarantined = "quarantined"
 )
 
 // MachineView is one member machine on the wire.
 type MachineView struct {
-	ID        string   `json:"id"`
+	ID string `json:"id"`
+	// Domain is the member's failure domain (rack/zone).
+	Domain    string   `json:"domain,omitempty"`
 	Endpoints []string `json:"endpoints"`
-	// Status is healthy, suspect, dead, or unknown.
+	// Status is healthy, suspect, dead, quarantined, or unknown.
 	Status   string `json:"status"`
 	Draining bool   `json:"draining,omitempty"`
+	// QuarantinedForMillis is how much of the quarantine backoff remains
+	// (present only while quarantined).
+	QuarantinedForMillis int64 `json:"quarantined_for_ms,omitempty"`
 	// Machine is the topology's display name ("" until known).
 	Machine string `json:"machine,omitempty"`
 	// Apps is the member's demand set as the fleet last saw it.
@@ -84,10 +96,41 @@ type DrainResponse struct {
 
 // FleetHealthResponse is the fleet /healthz body.
 type FleetHealthResponse struct {
-	Status   string `json:"status"`
-	Machines int    `json:"machines"`
-	Healthy  int    `json:"healthy"`
-	Dead     int    `json:"dead"`
-	Draining int    `json:"draining"`
-	Apps     int    `json:"apps"`
+	Status      string `json:"status"`
+	Machines    int    `json:"machines"`
+	Healthy     int    `json:"healthy"`
+	Dead        int    `json:"dead"`
+	Quarantined int    `json:"quarantined,omitempty"`
+	Draining    int    `json:"draining"`
+	Apps        int    `json:"apps"`
+}
+
+// UpgradeRequest drives the rolling-upgrade controller
+// (POST /v1/fleet/upgrade).
+type UpgradeRequest struct {
+	// Action is "start" or "abort".
+	Action string `json:"action"`
+	// Machines is the serial drain order for "start"; empty means every
+	// member in ID order.
+	Machines []string `json:"machines,omitempty"`
+	// HealthFloor aborts the upgrade when the placeable fraction of the
+	// fleet (healthy and not draining) falls below it. 0 selects the
+	// default (0.5).
+	HealthFloor float64 `json:"health_floor,omitempty"`
+}
+
+// UpgradeStatus is the controller's wire view (GET /v1/fleet/upgrade
+// and the response to every POST).
+type UpgradeStatus struct {
+	// State is idle, running, done, or aborted.
+	State string `json:"state"`
+	// Current is the machine draining now ("" between machines).
+	Current string `json:"current,omitempty"`
+	// Queue lists machines not yet drained; Done lists completed ones.
+	Queue []string `json:"queue,omitempty"`
+	Done  []string `json:"done,omitempty"`
+	// HealthFloor is the abort floor the run was started with.
+	HealthFloor float64 `json:"health_floor,omitempty"`
+	// Reason explains an aborted state.
+	Reason string `json:"reason,omitempty"`
 }

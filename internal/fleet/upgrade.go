@@ -1,0 +1,235 @@
+package fleet
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// ErrUpgradeRunning rejects starting a rolling upgrade while one is
+// already in flight.
+var ErrUpgradeRunning = errors.New("fleet: upgrade already running")
+
+// Upgrade states.
+const (
+	UpgradeIdle    = "idle"
+	UpgradeRunning = "running"
+	UpgradeDone    = "done"
+	UpgradeAborted = "aborted"
+)
+
+// Upgrader is the rolling-upgrade drain controller: it walks the fleet
+// one machine at a time, draining the current machine and advancing
+// only after the rebalancer has converged its apps onto the rest of the
+// fleet (the member's demand set is empty). A guard rail runs before
+// every step: if the placeable fraction of the fleet — healthy, not
+// draining — falls below the run's health floor, the upgrade aborts and
+// the current drain is undone, so an upgrade never compounds an
+// unrelated failure into an outage.
+//
+// The controller is deliberately passive: Step performs at most one
+// action per call and the fleetd control loop ticks it after each
+// rebalance round, so drain progress is observed at the same cadence it
+// is produced.
+type Upgrader struct {
+	Inv *Inventory
+	// Logf, when set, receives state-transition logs.
+	Logf func(format string, args ...any)
+
+	mu      sync.Mutex
+	state   string
+	queue   []string
+	done    []string
+	current string
+	floor   float64
+	reason  string
+}
+
+// Start begins a rolling upgrade over machines (empty: every member in
+// ID order). floor is the abort health floor; 0 selects the default
+// 0.5. Returns ErrUpgradeRunning if a run is in flight and
+// ErrUnknownMember if a named machine is not in the inventory.
+func (u *Upgrader) Start(machines []string, floor float64) (UpgradeStatus, error) {
+	if floor < 0 || floor > 1 {
+		return UpgradeStatus{}, fmt.Errorf("fleet: health floor %g outside [0, 1]", floor)
+	}
+	if floor == 0 {
+		floor = 0.5
+	}
+	members := u.Inv.Snapshot()
+	known := make(map[string]bool, len(members))
+	for i := range members {
+		known[members[i].ID] = true
+	}
+	if len(machines) == 0 {
+		for i := range members {
+			machines = append(machines, members[i].ID)
+		}
+	} else {
+		for _, id := range machines {
+			if !known[id] {
+				return UpgradeStatus{}, fmt.Errorf("%w: %q", ErrUnknownMember, id)
+			}
+		}
+	}
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	if u.state == UpgradeRunning {
+		return u.statusLocked(), ErrUpgradeRunning
+	}
+	u.state = UpgradeRunning
+	u.queue = append([]string(nil), machines...)
+	u.done = nil
+	u.current = ""
+	u.floor = floor
+	u.reason = ""
+	u.logf("fleet: rolling upgrade started over %d machines (health floor %.2f)", len(machines), floor)
+	return u.statusLocked(), nil
+}
+
+// Abort stops a running upgrade, undraining the current machine.
+func (u *Upgrader) Abort(reason string) UpgradeStatus {
+	u.mu.Lock()
+	if u.state != UpgradeRunning {
+		defer u.mu.Unlock()
+		return u.statusLocked()
+	}
+	current := u.current
+	u.abortLocked(reason)
+	st := u.statusLocked()
+	u.mu.Unlock()
+	if current != "" {
+		// Best effort: a dead machine keeps the cleared flag for revival.
+		_ = u.Inv.SetDraining(current, false)
+	}
+	return st
+}
+
+// abortLocked flips the run to aborted. Caller holds u.mu and is
+// responsible for undraining the current machine (an inventory call,
+// made outside the lock).
+func (u *Upgrader) abortLocked(reason string) {
+	u.state = UpgradeAborted
+	u.reason = reason
+	u.logf("fleet: rolling upgrade aborted: %s", reason)
+}
+
+// Status reports the controller's wire view.
+func (u *Upgrader) Status() UpgradeStatus {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	return u.statusLocked()
+}
+
+func (u *Upgrader) statusLocked() UpgradeStatus {
+	st := UpgradeStatus{
+		State: u.state, Current: u.current,
+		Queue:       append([]string(nil), u.queue...),
+		Done:        append([]string(nil), u.done...),
+		HealthFloor: u.floor, Reason: u.reason,
+	}
+	if st.State == "" {
+		st.State = UpgradeIdle
+	}
+	return st
+}
+
+func (u *Upgrader) logf(format string, args ...any) {
+	if u.Logf != nil {
+		u.Logf(format, args...)
+	}
+}
+
+// Step advances a running upgrade by at most one action — abort on a
+// broken health floor, undrain a converged machine, or drain the next
+// one — and returns a human-readable description of the action ("" when
+// it waited or no run is active). The fleetd control loop calls it once
+// per rebalance round.
+func (u *Upgrader) Step(ctx context.Context) string {
+	u.mu.Lock()
+	if u.state != UpgradeRunning {
+		u.mu.Unlock()
+		return ""
+	}
+	current, floor := u.current, u.floor
+	u.mu.Unlock()
+
+	members := u.Inv.Snapshot()
+	placeable := 0
+	var cur *Member
+	for i := range members {
+		m := &members[i]
+		if m.Healthy() && !m.Draining {
+			placeable++
+		}
+		if m.ID == current {
+			cur = m
+		}
+	}
+
+	// Guard rail: the fleet must keep enough placeable capacity to
+	// absorb the current drain. Counting the draining machine out is
+	// deliberate — the floor bounds what the rest of the fleet can
+	// carry, not what it could carry if the upgrade were rolled back.
+	if len(members) > 0 && float64(placeable) < floor*float64(len(members)) {
+		reason := fmt.Sprintf("placeable fraction %d/%d below health floor %.2f",
+			placeable, len(members), floor)
+		return u.abortAndUndrain(current, reason)
+	}
+
+	if current != "" {
+		switch {
+		case cur == nil:
+			return u.abortAndUndrain("", fmt.Sprintf("machine %s removed mid-drain", current))
+		case cur.Dead || cur.Quarantined:
+			return u.abortAndUndrain(current, fmt.Sprintf("machine %s failed mid-drain", current))
+		case len(cur.Apps) > 0:
+			return "" // drain still converging; check again next round
+		}
+		// Converged: the machine is empty, hand it back and move on.
+		if err := u.Inv.SetDraining(current, false); err != nil {
+			return u.abortAndUndrain("", fmt.Sprintf("undraining %s: %v", current, err))
+		}
+		u.mu.Lock()
+		u.done = append(u.done, current)
+		u.current = ""
+		msg := fmt.Sprintf("fleet: upgrade drained %s (%d/%d done)", current, len(u.done), len(u.done)+len(u.queue))
+		if len(u.queue) == 0 {
+			u.state = UpgradeDone
+			msg = fmt.Sprintf("fleet: rolling upgrade complete (%d machines)", len(u.done))
+		}
+		u.mu.Unlock()
+		return msg
+	}
+
+	u.mu.Lock()
+	if len(u.queue) == 0 {
+		u.state = UpgradeDone
+		u.mu.Unlock()
+		return "fleet: rolling upgrade complete (0 machines)"
+	}
+	next := u.queue[0]
+	u.queue = u.queue[1:]
+	u.mu.Unlock()
+	if err := u.Inv.SetDraining(next, true); err != nil {
+		// A machine that died or vanished while queued cannot be drained;
+		// a rolling upgrade does not steamroll a degraded fleet.
+		return u.abortAndUndrain("", fmt.Sprintf("draining %s: %v", next, err))
+	}
+	u.mu.Lock()
+	u.current = next
+	u.mu.Unlock()
+	return fmt.Sprintf("fleet: upgrade draining %s", next)
+}
+
+// abortAndUndrain aborts the run and best-effort undrains current.
+func (u *Upgrader) abortAndUndrain(current, reason string) string {
+	u.mu.Lock()
+	u.abortLocked(reason)
+	u.mu.Unlock()
+	if current != "" {
+		_ = u.Inv.SetDraining(current, false)
+	}
+	return "fleet: rolling upgrade aborted: " + reason
+}

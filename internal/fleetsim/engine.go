@@ -25,6 +25,7 @@ type Engine struct {
 	inv     *fleet.Inventory
 	placer  *fleet.Placer
 	reb     *fleet.Rebalancer
+	upg     *fleet.Upgrader // non-nil once an "upgrade" event started one
 	members map[string]*simMember
 	clients map[string][]*client.Client // member ID -> one client per endpoint
 
@@ -72,25 +73,33 @@ func NewEngine(sc *Scenario, cfg EngineConfig) (*Engine, error) {
 		MovesByReason: map[string]int{},
 	}
 	e.inv = fleet.NewInventory(fleet.InventoryConfig{
-		NewClient:   e.newClient,
-		FailAfter:   sc.failAfter(),
-		PollTimeout: 5 * time.Second,
-		Logf:        e.log,
+		NewClient:         e.newClient,
+		FailAfter:         sc.failAfter(),
+		PollTimeout:       5 * time.Second,
+		FlapCount:         sc.flapCount(),
+		FlapWindow:        time.Duration(sc.FlapWindowSeconds) * time.Second,
+		QuarantineBackoff: time.Duration(sc.QuarantineBackoffSeconds) * time.Second,
+		Logf:              e.log,
 	})
 	sc2 := fleet.NewScorer()
+	sc2.DomainSpread = sc.DomainSpread
 	e.placer = &fleet.Placer{Inv: e.inv, Scorer: sc2, Logf: e.log}
 	cooldown := sc.CooldownRounds
 	if sc.DisableAntiThrash {
 		cooldown = -1
 	}
 	e.reb = &fleet.Rebalancer{
-		Inv:              e.inv,
-		Placer:           e.placer,
-		Scorer:           sc2,
-		MaxMovesPerRound: sc.MaxMovesPerRound,
-		Threshold:        sc.Threshold,
-		CooldownRounds:   cooldown,
-		Logf:             e.log,
+		Inv:               e.inv,
+		Placer:            e.placer,
+		Scorer:            sc2,
+		MaxMovesPerRound:  sc.MaxMovesPerRound,
+		Threshold:         sc.Threshold,
+		CooldownRounds:    cooldown,
+		StormFraction:     sc.StormFraction,
+		StormBudget:       sc.StormBudget,
+		AdmissionCap:      sc.AdmissionCap,
+		DisableStormBrake: sc.DisableStormBrake,
+		Logf:              e.log,
 	}
 	for _, ms := range sc.Machines {
 		if err := e.addMachine(ms); err != nil {
@@ -129,7 +138,7 @@ func (e *Engine) addMachine(ms MachineSpec) error {
 	for _, ep := range m.endpoints() {
 		e.clients[ms.ID] = append(e.clients[ms.ID], e.newClient(ep))
 	}
-	if err := e.inv.Add(ms.ID, m.endpoints()...); err != nil {
+	if err := e.inv.AddDomain(ms.ID, ms.Domain, m.endpoints()...); err != nil {
 		return err
 	}
 	return nil
@@ -263,10 +272,14 @@ func (e *Engine) applyEvents(ctx context.Context, round int) error {
 			}
 			e.perturb(round, "revive %s (healed)", ev.Machine)
 		case "drain":
-			e.inv.SetDraining(ev.Machine, true)
+			if err := e.inv.SetDraining(ev.Machine, true); err != nil {
+				return fmt.Errorf("fleetsim: drain at round %d: %w", round, err)
+			}
 			e.perturb(round, "drain %s", ev.Machine)
 		case "undrain":
-			e.inv.SetDraining(ev.Machine, false)
+			if err := e.inv.SetDraining(ev.Machine, false); err != nil {
+				return fmt.Errorf("fleetsim: undrain at round %d: %w", round, err)
+			}
 			e.perturb(round, "undrain %s", ev.Machine)
 		case "join":
 			if err := e.addMachine(*ev.Join); err != nil {
@@ -294,6 +307,24 @@ func (e *Engine) applyEvents(ctx context.Context, round int) error {
 		case "set_true_ai":
 			e.trueAI[ev.AppName] = ev.TrueAI
 			e.perturb(round, "set_true_ai %s -> %g", ev.AppName, ev.TrueAI)
+		case "upgrade":
+			if ev.Parallel {
+				// The naive variant: drain the whole fleet at once, no
+				// controller. Exists to demonstrate the capacity-floor
+				// invariant failing without rolling orchestration.
+				for _, m := range e.inv.Snapshot() {
+					if err := e.inv.SetDraining(m.ID, true); err != nil {
+						return fmt.Errorf("fleetsim: parallel upgrade at round %d: %w", round, err)
+					}
+				}
+				e.perturb(round, "upgrade (parallel: whole fleet draining)")
+				continue
+			}
+			e.upg = &fleet.Upgrader{Inv: e.inv, Logf: e.log}
+			if _, err := e.upg.Start(nil, ev.HealthFloor); err != nil {
+				return fmt.Errorf("fleetsim: upgrade at round %d: %w", round, err)
+			}
+			e.perturb(round, "upgrade started (health floor %g)", ev.HealthFloor)
 		}
 	}
 	return nil
@@ -395,9 +426,19 @@ func (e *Engine) Run(ctx context.Context) (*Verdict, error) {
 		e.check.checkBudget(round, plan)
 		e.check.recordMoves(round, plan)
 		e.check.checkExactlyOnce(round, e.inv.Snapshot())
+		e.check.checkStorm(round, plan)
+		e.check.checkCapacityFloor(round, e.inv.Snapshot())
 
 		e.verdict.TotalMoves += len(plan.Moves)
 		e.verdict.Deferred += plan.Deferred
+		if plan.StormActive {
+			e.verdict.StormRounds++
+		}
+		if e.upg != nil {
+			if msg := e.upg.Step(ctx); msg != "" {
+				e.perturb(round, "%s", msg)
+			}
+		}
 		if len(plan.Moves) > e.verdict.MaxRoundMoves {
 			e.verdict.MaxRoundMoves = len(plan.Moves)
 		}
@@ -438,6 +479,11 @@ func (e *Engine) Run(ctx context.Context) (*Verdict, error) {
 	e.check.checkConvergence(e.lastPerturb, e.lastActive)
 	e.verdict.LastPerturbRound = e.lastPerturb
 	e.verdict.LastActiveRound = e.lastActive
+	if e.upg != nil {
+		st := e.upg.Status()
+		e.verdict.UpgradeState = st.State
+		e.verdict.Upgraded = len(st.Done)
+	}
 	if len(e.driftConfirmed) > 0 {
 		e.verdict.DriftConfirmed = e.driftConfirmed
 	}

@@ -5,6 +5,8 @@ import (
 	"encoding/json"
 	"testing"
 	"time"
+
+	"repro/internal/fleet"
 )
 
 func testCtx(t *testing.T) context.Context {
@@ -35,12 +37,16 @@ func TestCorpusLoadsAndValidates(t *testing.T) {
 		t.Fatalf("Corpus: %v", err)
 	}
 	want := map[string]bool{
-		"diurnal":           false,
-		"flash_crowd":       false,
-		"autoscale_churn":   false,
-		"misdeclared_drift": false,
-		"flapping":          false,
-		"scale_out":         false,
+		"diurnal":            false,
+		"flash_crowd":        false,
+		"autoscale_churn":    false,
+		"misdeclared_drift":  false,
+		"flapping":           false,
+		"scale_out":          false,
+		"correlated_failure": false,
+		"partition_flap":     false,
+		"rolling_upgrade":    false,
+		"drift_storm":        false,
 	}
 	for _, sc := range corpus {
 		if err := sc.Validate(); err != nil {
@@ -175,6 +181,200 @@ func TestOscillationRegressionWithoutAntiThrash(t *testing.T) {
 	}
 	if guarded.TotalMoves >= v.TotalMoves {
 		t.Errorf("hardening should damp churn: guarded=%d moves, unguarded=%d", guarded.TotalMoves, v.TotalMoves)
+	}
+}
+
+// TestCorrelatedFailureStormRegression is the A/B pair for the storm
+// brake: the hardened rebalancer triages the rack death under the storm
+// budget and admission cap; the same trace with the brake disabled
+// evacuates everything at once and violates both bounds.
+func TestCorrelatedFailureStormRegression(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipped in -short")
+	}
+	base := corpusScenario(t, "correlated_failure")
+
+	hardened, err := RunScenario(testCtx(t), base, EngineConfig{Logf: t.Logf})
+	if err != nil {
+		t.Fatalf("RunScenario(hardened): %v", err)
+	}
+	if !hardened.Passed {
+		for _, viol := range hardened.Violations {
+			t.Errorf("round %d [%s]: %s", viol.Round, viol.Invariant, viol.Detail)
+		}
+		t.Fatalf("hardened rebalancer failed the correlated-failure trace")
+	}
+	if hardened.StormRounds < 1 {
+		t.Errorf("storm brake never engaged: StormRounds=%d", hardened.StormRounds)
+	}
+	if hardened.Deferred == 0 {
+		t.Errorf("triage should defer evacuations past the storm budget; Deferred=0")
+	}
+
+	unbraked := *base
+	unbraked.Name = "correlated_failure-unbraked"
+	unbraked.DisableStormBrake = true
+	v, err := RunScenario(testCtx(t), &unbraked, EngineConfig{Logf: t.Logf})
+	if err != nil {
+		t.Fatalf("RunScenario(unbraked): %v", err)
+	}
+	if v.Passed {
+		t.Fatalf("unbraked rebalancer unexpectedly passed the correlated-failure trace (moves=%d)", v.TotalMoves)
+	}
+	saw := map[string]bool{}
+	for _, viol := range v.Violations {
+		t.Logf("unbraked violation: round %d [%s]: %s", viol.Round, viol.Invariant, viol.Detail)
+		saw[viol.Invariant] = true
+	}
+	if !saw["bounded-churn"] {
+		t.Errorf("expected a bounded-churn violation without the storm brake, got %v", v.Violations)
+	}
+	if !saw["survivor-admission"] {
+		t.Errorf("expected a survivor-admission violation without the storm brake, got %v", v.Violations)
+	}
+	if v.StormRounds != 0 {
+		t.Errorf("disabled brake still reported %d storm rounds", v.StormRounds)
+	}
+}
+
+// TestPartitionFlapQuarantineRegression is the A/B pair for the flap
+// detector: with quarantine on, the flapping member is benched after
+// its third transition and the churn stops; with quarantine off, every
+// flap cycle keeps evacuating — individually legitimate urgent legs
+// that only the flap-churn invariant catches.
+func TestPartitionFlapQuarantineRegression(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipped in -short")
+	}
+	base := corpusScenario(t, "partition_flap")
+
+	hardened, err := RunScenario(testCtx(t), base, EngineConfig{Logf: t.Logf})
+	if err != nil {
+		t.Fatalf("RunScenario(hardened): %v", err)
+	}
+	if !hardened.Passed {
+		for _, viol := range hardened.Violations {
+			t.Errorf("round %d [%s]: %s", viol.Round, viol.Invariant, viol.Detail)
+		}
+		t.Fatalf("quarantine-hardened fleet failed the partition-flap trace")
+	}
+	if hardened.MovesByReason[fleet.ReasonMachineLost]+hardened.MovesByReason[fleet.ReasonQuarantine] > base.MaxMachineLostPerMember {
+		t.Errorf("hardened run exceeded the urgent-evacuation cap: byReason=%v", hardened.MovesByReason)
+	}
+
+	unquarantined := *base
+	unquarantined.Name = "partition_flap-unquarantined"
+	unquarantined.DisableQuarantine = true
+	v, err := RunScenario(testCtx(t), &unquarantined, EngineConfig{Logf: t.Logf})
+	if err != nil {
+		t.Fatalf("RunScenario(unquarantined): %v", err)
+	}
+	if v.Passed {
+		t.Fatalf("unquarantined fleet unexpectedly passed the partition-flap trace (moves=%d)", v.TotalMoves)
+	}
+	sawFlapChurn := false
+	for _, viol := range v.Violations {
+		t.Logf("unquarantined violation: round %d [%s]: %s", viol.Round, viol.Invariant, viol.Detail)
+		if viol.Invariant == "flap-churn" {
+			sawFlapChurn = true
+		}
+	}
+	if !sawFlapChurn {
+		t.Fatalf("expected a flap-churn violation without quarantine, got %v", v.Violations)
+	}
+	if v.TotalMoves <= hardened.TotalMoves {
+		t.Errorf("quarantine should damp churn: hardened=%d moves, unquarantined=%d", hardened.TotalMoves, v.TotalMoves)
+	}
+}
+
+// TestRollingUpgradeParallelRegression is the A/B pair for the upgrade
+// controller: the rolling drain completes all four machines while the
+// placeable fraction never dips below the capacity floor; the naive
+// all-at-once variant drains the whole fleet and fails the floor
+// immediately.
+func TestRollingUpgradeParallelRegression(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipped in -short")
+	}
+	base := corpusScenario(t, "rolling_upgrade")
+
+	rolling, err := RunScenario(testCtx(t), base, EngineConfig{Logf: t.Logf})
+	if err != nil {
+		t.Fatalf("RunScenario(rolling): %v", err)
+	}
+	if !rolling.Passed {
+		for _, viol := range rolling.Violations {
+			t.Errorf("round %d [%s]: %s", viol.Round, viol.Invariant, viol.Detail)
+		}
+		t.Fatalf("rolling upgrade failed invariants")
+	}
+	if rolling.UpgradeState != "done" {
+		t.Errorf("upgrade state %q; want done", rolling.UpgradeState)
+	}
+	if rolling.Upgraded != len(base.Machines) {
+		t.Errorf("upgraded %d machines; want %d", rolling.Upgraded, len(base.Machines))
+	}
+
+	parallel := *base
+	parallel.Name = "rolling_upgrade-parallel"
+	parallel.Events = append([]Event(nil), base.Events...)
+	for i := range parallel.Events {
+		if parallel.Events[i].Action == "upgrade" {
+			parallel.Events[i].Parallel = true
+		}
+	}
+	// A fleet drained whole never converges or re-homes anything; the
+	// capacity floor is the one invariant this regression is about.
+	parallel.ConvergeWithin = parallel.Rounds
+	v, err := RunScenario(testCtx(t), &parallel, EngineConfig{Logf: t.Logf})
+	if err != nil {
+		t.Fatalf("RunScenario(parallel): %v", err)
+	}
+	if v.Passed {
+		t.Fatalf("all-at-once upgrade unexpectedly passed the trace")
+	}
+	sawFloor := false
+	for _, viol := range v.Violations {
+		if viol.Invariant == "capacity-floor" {
+			sawFloor = true
+			break
+		}
+	}
+	if !sawFloor {
+		t.Fatalf("expected a capacity-floor violation from the parallel upgrade, got %v", v.Violations)
+	}
+}
+
+// TestDriftStormBudget runs the correlated-misdeclaration trace: four
+// wolves confirm drift at once, and the re-solve must be rationed to
+// the 1-move round budget — corrections spread over rounds, the rest
+// deferred, never a burst.
+func TestDriftStormBudget(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipped in -short")
+	}
+	sc := corpusScenario(t, "drift_storm")
+	v, err := RunScenario(testCtx(t), sc, EngineConfig{Logf: t.Logf})
+	if err != nil {
+		t.Fatalf("RunScenario: %v", err)
+	}
+	if !v.Passed {
+		for _, viol := range v.Violations {
+			t.Errorf("round %d [%s]: %s", viol.Round, viol.Invariant, viol.Detail)
+		}
+		t.Fatalf("drift storm failed invariants")
+	}
+	if v.MaxRoundMoves > 1 {
+		t.Errorf("budget 1 but a round executed %d moves", v.MaxRoundMoves)
+	}
+	if v.MovesByReason[fleet.ReasonDrift] < 2 {
+		t.Errorf("expected at least 2 drift corrections, byReason=%v", v.MovesByReason)
+	}
+	if v.Deferred == 0 {
+		t.Errorf("a 1-move budget against 4 simultaneous drift confirmations should defer work; Deferred=0")
+	}
+	if len(v.DriftConfirmed) < 2 {
+		t.Errorf("expected multiple wolves confirmed, DriftConfirmed=%v", v.DriftConfirmed)
 	}
 }
 

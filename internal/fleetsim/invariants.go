@@ -55,6 +55,15 @@ type Verdict struct {
 
 	// LeaderKills counts kill_leader events survived.
 	LeaderKills int `json:"leader_kills,omitempty"`
+
+	// StormRounds counts rounds the rebalancer spent in degraded-mode
+	// triage (storm brake engaged).
+	StormRounds int `json:"storm_rounds,omitempty"`
+
+	// UpgradeState and Upgraded report the rolling-upgrade controller's
+	// final state and how many machines completed their drain cycle.
+	UpgradeState string `json:"upgrade_state,omitempty"`
+	Upgraded     int    `json:"upgraded,omitempty"`
 }
 
 // moveRecord is one executed move in the oscillation ledger.
@@ -70,10 +79,11 @@ type checker struct {
 	sc         *Scenario
 	violations []Violation
 	history    map[string][]moveRecord // app name -> executed moves
+	lostFrom   map[string]int          // member ID -> urgent evacuations charged to it
 }
 
 func newChecker(sc *Scenario) *checker {
-	return &checker{sc: sc, history: map[string][]moveRecord{}}
+	return &checker{sc: sc, history: map[string][]moveRecord{}, lostFrom: map[string]int{}}
 }
 
 func (c *checker) violate(round int, invariant, format string, args ...any) {
@@ -154,6 +164,75 @@ func (c *checker) recordMoves(round int, plan *fleet.Plan) {
 			}
 		}
 		c.history[mv.App.Name] = append(c.history[mv.App.Name], rec)
+		// Flap-churn: a machine that keeps dying and reviving must stop
+		// generating evacuations once the quarantine detector has had a
+		// fair look at it. Urgent legs are exempt from the oscillation
+		// pairing above, so without this cap a flapping member could churn
+		// the fleet forever while every individual leg looks legitimate.
+		if limit := c.sc.MaxMachineLostPerMember; limit > 0 &&
+			(rec.reason == fleet.ReasonMachineLost || rec.reason == fleet.ReasonQuarantine) {
+			c.lostFrom[mv.From]++
+			if got := c.lostFrom[mv.From]; got > limit {
+				c.violate(round, "flap-churn",
+					"member %s generated %d urgent evacuations (max %d) — flapping machine never quarantined?",
+					mv.From, got, limit)
+			}
+		}
+	}
+}
+
+// checkStorm enforces the degraded-mode triage bounds on one round's
+// plan: under a correlated-failure storm, urgent evacuations stay under
+// the storm budget, and no single survivor admits more than the
+// per-round admission cap. Both checks apply whether or not the brake
+// is engaged — that asymmetry is the point: a scenario that disables
+// the brake must visibly violate these to prove the brake matters.
+func (c *checker) checkStorm(round int, plan *fleet.Plan) {
+	evac, inbound := 0, map[string]int{}
+	for _, mv := range plan.Moves {
+		if mv.Reason != fleet.ReasonMachineLost && mv.Reason != fleet.ReasonQuarantine {
+			continue
+		}
+		evac++
+		inbound[mv.To]++
+	}
+	if b := c.sc.StormBudget; b > 0 && evac > b {
+		c.violate(round, "bounded-churn",
+			"%d urgent evacuations in one round against a storm budget of %d", evac, b)
+	}
+	if capN := c.sc.SurvivorAdmissionCap; capN > 0 {
+		tos := make([]string, 0, len(inbound))
+		for to := range inbound {
+			tos = append(tos, to)
+		}
+		sort.Strings(tos)
+		for _, to := range tos {
+			if got := inbound[to]; got > capN {
+				c.violate(round, "survivor-admission",
+					"survivor %s admitted %d evacuations in one round (cap %d)", to, got, capN)
+			}
+		}
+	}
+}
+
+// checkCapacityFloor enforces the rolling-upgrade safety bound: the
+// fraction of members that are placement targets (healthy and not
+// draining) never dips below MinPlaceableFraction. A naive all-at-once
+// upgrade drains the whole fleet and fails this immediately.
+func (c *checker) checkCapacityFloor(round int, members []fleet.Member) {
+	f := c.sc.MinPlaceableFraction
+	if f <= 0 || len(members) == 0 {
+		return
+	}
+	placeable := 0
+	for _, m := range members {
+		if m.Healthy() && !m.Draining {
+			placeable++
+		}
+	}
+	if float64(placeable) < f*float64(len(members)) {
+		c.violate(round, "capacity-floor",
+			"only %d/%d members placeable, below floor %.2f", placeable, len(members), f)
 	}
 }
 

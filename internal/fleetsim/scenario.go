@@ -50,6 +50,10 @@ type MachineSpec struct {
 	// Model selects the NUMA topology generation: "paper" (default),
 	// "paper-numa-bad", "skylake", "knl-flat", "knl-snc4".
 	Model string `json:"model,omitempty"`
+	// Domain is the member's failure domain (rack/zone); machines
+	// sharing a domain fail together in correlated-failure traces.
+	// Empty: the machine is its own domain.
+	Domain string `json:"domain,omitempty"`
 	// HA runs the member as a two-replica coopd pair (leader +
 	// follower) instead of a single daemon; required for kill_leader.
 	HA bool `json:"ha,omitempty"`
@@ -119,6 +123,14 @@ type Event struct {
 	// TrueAI is the new measured intensity for set_true_ai (an app
 	// changing phase mid-run).
 	TrueAI float64 `json:"true_ai,omitempty"`
+	// HealthFloor is the "upgrade" event's abort floor (0: the
+	// controller default, 0.5).
+	HealthFloor float64 `json:"health_floor,omitempty"`
+	// Parallel turns the "upgrade" event into the naive all-at-once
+	// variant — every machine drained simultaneously, no controller —
+	// the regression knob that demonstrates the capacity-floor
+	// invariant failing without rolling orchestration.
+	Parallel bool `json:"parallel,omitempty"`
 }
 
 // Scenario is one runnable trace with its invariant tolerances.
@@ -141,12 +153,45 @@ type Scenario struct {
 	// oscillation invariant failing on a pre-hardening rebalancer.
 	DisableAntiThrash bool `json:"disable_anti_thrash,omitempty"`
 
+	// Robustness knobs (zero: the fleet layer's own defaults).
+	// DomainSpread enables the failure-domain anti-affinity tie-break;
+	// StormFraction/StormBudget/AdmissionCap tune the rebalancer's
+	// mass-failure storm brake; DisableStormBrake is the regression knob
+	// that runs a correlated failure without triage.
+	DomainSpread      bool    `json:"domain_spread,omitempty"`
+	StormFraction     float64 `json:"storm_fraction,omitempty"`
+	StormBudget       int     `json:"storm_budget,omitempty"`
+	AdmissionCap      int     `json:"admission_cap,omitempty"`
+	DisableStormBrake bool    `json:"disable_storm_brake,omitempty"`
+	// FlapCount/FlapWindowSeconds/QuarantineBackoffSeconds tune the
+	// inventory's flap detector; DisableQuarantine (FlapCount = -1) is
+	// the regression knob that lets a flapping machine whipsaw the
+	// rebalancer.
+	FlapCount                int  `json:"flap_count,omitempty"`
+	FlapWindowSeconds        int  `json:"flap_window_seconds,omitempty"`
+	QuarantineBackoffSeconds int  `json:"quarantine_backoff_seconds,omitempty"`
+	DisableQuarantine        bool `json:"disable_quarantine,omitempty"`
+
 	// Invariant tolerances. OscillationWindow defaults to the effective
 	// cooldown (a cooled-down app structurally cannot return inside the
 	// window); ConvergeWithin defaults to 5 rounds after the last
 	// perturbation.
 	OscillationWindow int `json:"oscillation_window,omitempty"`
 	ConvergeWithin    int `json:"converge_within,omitempty"`
+	// SurvivorAdmissionCap, when positive, arms the survivor-admission
+	// invariant: no member may admit more than this many urgent
+	// (machine-lost/quarantine) evacuations in one round. When
+	// Scenario.StormBudget is also positive, a round's urgent
+	// evacuations exceeding it is a bounded-churn violation.
+	SurvivorAdmissionCap int `json:"survivor_admission_cap,omitempty"`
+	// MaxMachineLostPerMember, when positive, arms the flap-churn
+	// invariant: one member sourcing more than this many urgent
+	// evacuations across the whole run is flapping unquarantined.
+	MaxMachineLostPerMember int `json:"max_machine_lost_per_member,omitempty"`
+	// MinPlaceableFraction, when positive, arms the capacity-floor
+	// invariant: after every round at least this fraction of members
+	// must be placeable (healthy and not draining).
+	MinPlaceableFraction float64 `json:"min_placeable_fraction,omitempty"`
 
 	// FailAfter is the inventory's consecutive-failed-polls death
 	// threshold (default 2: a killed machine is declared dead on the
@@ -247,6 +292,10 @@ func (sc *Scenario) Validate() error {
 			if e.AppName == "" || e.TrueAI <= 0 {
 				return fmt.Errorf("fleetsim: scenario %s: set_true_ai needs app_name and positive true_ai", sc.Name)
 			}
+		case "upgrade":
+			if e.HealthFloor < 0 || e.HealthFloor > 1 {
+				return fmt.Errorf("fleetsim: scenario %s: upgrade health_floor %g outside [0, 1]", sc.Name, e.HealthFloor)
+			}
 		default:
 			return fmt.Errorf("fleetsim: scenario %s: unknown event action %q", sc.Name, e.Action)
 		}
@@ -298,6 +347,14 @@ func (sc *Scenario) simSeconds() float64 {
 		return sc.SimSeconds
 	}
 	return 0.2
+}
+
+// flapCount mirrors the inventory's FlapCount contract: -1 disables.
+func (sc *Scenario) flapCount() int {
+	if sc.DisableQuarantine {
+		return -1
+	}
+	return sc.FlapCount
 }
 
 // populationAt is the diurnal process's target population for a round:
