@@ -88,14 +88,17 @@ drift-chaos:
 fleet-sim:
 	$(GO) run ./cmd/fleetsim -out fleet-sim-verdicts.json
 
-# Race-detector smoke over a two-scenario subset: diurnal (the densest
-# steady-state churn — placer, rebalancer, and telemetry all active
-# every round) and correlated_failure (the mass-death path: storm
+# Race-detector smoke over a three-scenario subset: diurnal (the
+# densest steady-state churn — placer, rebalancer, and telemetry all
+# active every round), correlated_failure (the mass-death path: storm
 # triage, quarantine bookkeeping, and urgent evacuation hammering the
-# inventory concurrently with polls). The full corpus under -race is
-# too slow for every push; these two cover the lock-heavy paths.
+# inventory concurrently with polls), and priority_inversion (the
+# preemption pass: class-ranked triage and victim planning touching
+# the priority map concurrently with polls). The full corpus under
+# -race is too slow for every push; these three cover the lock-heavy
+# paths.
 fleet-sim-race:
-	$(GO) run -race ./cmd/fleetsim -run diurnal,correlated_failure
+	$(GO) run -race ./cmd/fleetsim -run diurnal,correlated_failure,priority_inversion
 
 # 30s coverage-guided smoke over the incremental-evaluator equivalence
 # property; regressions in the fast path show up as counterexamples.

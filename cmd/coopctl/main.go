@@ -17,7 +17,8 @@
 //	coopctl [-server URL] health
 //	coopctl [-server URL] status [-max-lag 5s]
 //	coopctl fleet machines [-fleet URL]
-//	coopctl fleet place -name stream -ai 0.5 [-placement numa-bad -home 0] [-fleet URL]
+//	coopctl fleet place -name stream -ai 0.5 [-placement numa-bad -home 0] [-priority latency] [-fleet URL]
+//	coopctl fleet place -gang web -replicas 3 -policy spread -ai 0.5 [-priority latency] [-fleet URL]
 //	coopctl fleet drain -machine a [-undo] [-fleet URL]
 //	coopctl fleet upgrade [-machines a,b,c] [-floor 0.5] [-abort] [-status] [-fleet URL]
 //	coopctl fleet plan [-fleet URL]
@@ -475,11 +476,36 @@ func cmdFleetPlace(ctx context.Context, args []string) error {
 	home := fs.Int("home", 0, "home node for numa-bad placement")
 	max := fs.Int("max", 0, "max threads (0: uncapped)")
 	ttl := fs.Duration("ttl", 0, "heartbeat deadline on the chosen machine (0: its default)")
+	priority := fs.String("priority", "", "scheduling class: system, latency, or batch (default)")
+	gang := fs.String("gang", "", "place an all-or-nothing gang under this name instead of a single app")
+	policy := fs.String("policy", "", "gang policy: pack, spread (default), or strict-spread")
+	replicas := fs.Int("replicas", 2, "gang member count (with -gang)")
 	fs.Parse(args)
-	resp, err := fleet.NewClient(*server, nil).Place(ctx, fleet.AppSpec{
+	spec := fleet.AppSpec{
 		Name: *name, AI: *ai, Placement: *placement, HomeNode: *home,
-		MaxThreads: *max, TTLMillis: ttl.Milliseconds(),
-	})
+		MaxThreads: *max, TTLMillis: ttl.Milliseconds(), Priority: *priority,
+	}
+	cli := fleet.NewClient(*server, nil)
+	if *gang != "" {
+		res, err := cli.PlaceGang(ctx, fleet.GangSpec{
+			Name: *gang, Replicas: *replicas, Policy: *policy, App: spec,
+		})
+		if err != nil {
+			return err
+		}
+		for _, mv := range res.Preempted {
+			fmt.Printf("preempted %s (%s): %s -> %s\n", mv.AppID, mv.App.Name, mv.From, mv.To)
+		}
+		for _, gp := range res.Placements {
+			fmt.Printf("placed %s on %s (marginal %+.1f GFLOPS)\n", gp.App.ID, gp.Member, gp.Score)
+		}
+		fmt.Printf("gang %s admitted: %d members, policy %s\n", res.Name, len(res.Placements), res.Policy)
+		return nil
+	}
+	if *policy != "" {
+		return fmt.Errorf("fleet place: -policy needs -gang")
+	}
+	resp, err := cli.Place(ctx, spec)
 	if err != nil {
 		return err
 	}

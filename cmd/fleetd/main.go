@@ -11,10 +11,12 @@
 //	fleetd -machine a@rack1=http://host-a:8377         # failure domain rack1
 //	fleetd -addr :8380 -rebalance 10s -max-moves 4 -threshold 0.9
 //	fleetd -spread -storm-fraction 0.25 -flap-count 4  # robustness knobs
+//	fleetd -objective weighted-priority -no-preempt    # priority knobs
 //
-// Endpoints: POST /v1/fleet/place, GET /v1/fleet/machines,
-// GET /v1/fleet/plan, POST /v1/fleet/drain, POST+GET /v1/fleet/upgrade,
-// GET /healthz. See `coopctl fleet` for the CLI.
+// Endpoints: POST /v1/fleet/place, POST /v1/fleet/gang,
+// GET /v1/fleet/machines, GET /v1/fleet/plan, POST /v1/fleet/drain,
+// POST+GET /v1/fleet/upgrade, GET /healthz. See `coopctl fleet` for
+// the CLI.
 package main
 
 import (
@@ -78,6 +80,8 @@ func main() {
 	maxMoves := flag.Int("max-moves", 4, "max app moves per rebalance round")
 	threshold := flag.Float64("threshold", 0.9, "rebalance when fleet GFLOPS falls below this fraction of the re-pack optimum")
 	spread := flag.Bool("spread", false, "spread cooperating app groups across failure domains on score ties")
+	objective := flag.String("objective", "", "placement objective: total-gflops (default), weighted-priority, or max-min")
+	noPreempt := flag.Bool("no-preempt", false, "disable priority preemption (inversion repair and gang-admission eviction)")
 	stormFraction := flag.Float64("storm-fraction", 0, "down-member fraction that trips degraded-mode triage (0: default 0.25)")
 	stormBudget := flag.Int("storm-budget", 0, "max urgent moves per degraded round (0: max-moves)")
 	admissionCap := flag.Int("admission-cap", 0, "max storm evacuations one survivor admits per round (0: default 2)")
@@ -108,6 +112,8 @@ func main() {
 		MaxMovesPerRound:  *maxMoves,
 		Threshold:         *threshold,
 		DomainSpread:      *spread,
+		Objective:         *objective,
+		DisablePreemption: *noPreempt,
 		StormFraction:     *stormFraction,
 		StormBudget:       *stormBudget,
 		AdmissionCap:      *admissionCap,

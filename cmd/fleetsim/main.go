@@ -13,9 +13,11 @@
 //	fleetsim -dir ./my-scenarios       # external scenario directory
 //	fleetsim -out verdicts.json -v     # write the verdict artifact
 //
-// Exit status is 0 when every scenario passes its invariants, 1
-// otherwise; -out writes the machine-readable verdicts either way, so
-// CI can upload the artifact from failed runs too.
+// Exit status is 0 when every scenario passes its invariants, 1 when
+// any fails, and 2 for a usage error — e.g. -run naming an unknown
+// scenario, which also prints the available scenario names. -out writes
+// the machine-readable verdicts on 0 and 1 either way, so CI can upload
+// the artifact from failed runs too.
 package main
 
 import (
@@ -26,8 +28,6 @@ import (
 	"log"
 	"os"
 	"os/signal"
-	"sort"
-	"strings"
 	"syscall"
 	"time"
 
@@ -54,32 +54,12 @@ func main() {
 	if err != nil {
 		log.Fatalf("fleetsim: %v", err)
 	}
-	if *run != "" {
-		want := map[string]bool{}
-		for _, name := range strings.Split(*run, ",") {
-			if name = strings.TrimSpace(name); name != "" {
-				want[name] = true
-			}
-		}
-		kept := scenarios[:0]
-		for _, sc := range scenarios {
-			if want[sc.Name] {
-				kept = append(kept, sc)
-				delete(want, sc.Name)
-			}
-		}
-		if len(want) > 0 {
-			missing := make([]string, 0, len(want))
-			for name := range want {
-				missing = append(missing, name)
-			}
-			sort.Strings(missing)
-			log.Fatalf("fleetsim: no scenario named %s", strings.Join(missing, ", "))
-		}
-		if len(kept) == 0 {
-			log.Fatalf("fleetsim: -run selected no scenarios")
-		}
-		scenarios = kept
+	scenarios, err = fleetsim.Filter(scenarios, *run)
+	if err != nil {
+		// Exit 2, not 1: a selection error is a usage mistake (typo'd
+		// scenario name), distinct from scenarios failing invariants.
+		fmt.Fprintf(os.Stderr, "%v\n", err)
+		os.Exit(2)
 	}
 
 	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

@@ -57,6 +57,37 @@ func BenchmarkPlacement1kMachines(b *testing.B) { benchPlacement(b, 1000) }
 // one or two solves at most.
 func BenchmarkPlacement10kMachines(b *testing.B) { benchPlacement(b, 10000) }
 
+// BenchmarkPlacementGang measures atomic gang planning: one op decides
+// a 4-replica spread gang against a 100-machine fleet snapshot —
+// candidate construction, four sequential scoring decisions each seeing
+// the earlier members' committed demand, and the domain bookkeeping.
+// This is the plan phase of PlaceGang (`coopctl fleet place -gang`);
+// execution is HTTP registration and is not a scoring cost.
+func BenchmarkPlacementGang(b *testing.B) {
+	members := benchMembers(100)
+	inv := NewInventory(InventoryConfig{})
+	for i := range members {
+		m := &members[i]
+		inv.members[m.ID] = &member{id: m.ID, domain: m.ID, topo: m.Topology, apps: m.Apps}
+		inv.order = append(inv.order, m.ID)
+	}
+	p := &Placer{Inv: inv, Scorer: NewScorer()}
+	g := GangSpec{
+		Name:     "gang",
+		Replicas: 4,
+		Policy:   GangSpread,
+		App:      AppSpec{Name: "gang", AI: 2, Priority: PriorityLatency},
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.planGang(g); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "gangs/s")
+}
+
 // BenchmarkPlacementWarm scores against candidates whose baseline
 // solves are already cached (the rebalancer's repeated-decision path,
 // where one candidate set serves a whole planning round).

@@ -83,6 +83,15 @@ func (c *Client) Place(ctx context.Context, spec AppSpec) (*PlaceResponse, error
 	return &resp, nil
 }
 
+// PlaceGang asks the fleet to admit a gang atomically.
+func (c *Client) PlaceGang(ctx context.Context, g GangSpec) (*GangResult, error) {
+	var resp GangResult
+	if err := c.do(ctx, http.MethodPost, "/v1/fleet/gang", g, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
 // Machines lists the fleet's members.
 func (c *Client) Machines(ctx context.Context) (*MachinesResponse, error) {
 	var resp MachinesResponse

@@ -24,9 +24,16 @@
 //     exceeds a threshold. Moves per round are capped so a rebalance
 //     never storms the fleet.
 //
+// On top of single-app placement sit gangs — all-or-nothing replica
+// sets with pack/spread/strict-spread policies (gang.go) — and
+// priority classes (system > latency > batch, priority.go): a higher
+// class that cannot be admitted floor-feasibly preempts the cheapest
+// lower-class apps (preempt.go), and the placement objective itself is
+// pluggable (Scorer.Objective, roofline.ObjectiveSpec).
+//
 // cmd/fleetd serves the subsystem over HTTP (/v1/fleet/place,
-// /v1/fleet/machines, /v1/fleet/plan, /v1/fleet/drain) and `coopctl
-// fleet` is the CLI.
+// /v1/fleet/gang, /v1/fleet/machines, /v1/fleet/plan, /v1/fleet/drain)
+// and `coopctl fleet` is the CLI.
 package fleet
 
 import (
@@ -55,6 +62,11 @@ type AppSpec struct {
 	// TTLMillis overrides the machine's heartbeat deadline (0: its
 	// default).
 	TTLMillis int64 `json:"ttl_ms,omitempty"`
+	// Priority is the app's scheduling class: "system", "latency", or
+	// "batch" (the default). Higher classes preempt lower ones when
+	// they cannot be admitted floor-feasibly, and weigh more under the
+	// weighted-priority objective.
+	Priority string `json:"priority,omitempty"`
 }
 
 // rooflineApp converts the spec for scoring. The placement string uses
@@ -73,11 +85,27 @@ func (s AppSpec) rooflineApp() (roofline.App, error) {
 	if s.AI <= 0 {
 		return roofline.App{}, fmt.Errorf("fleet: app %q has non-positive AI %g", s.Name, s.AI)
 	}
+	if err := CheckPriority(s.Priority); err != nil {
+		return roofline.App{}, err
+	}
+	// Batch maps to weight zero (scored as 1), so priority-free demand
+	// sets stay byte-identical to the pre-priority encoding.
+	app.Weight = classWeight(s.Priority)
 	return app, nil
 }
 
 // numaBad reports whether the spec pins all data to one home node.
 func (s AppSpec) numaBad() bool { return s.Placement == ctrlplane.PlacementBad }
+
+// placed returns the PlacedApp to record after registering the spec on
+// a machine that assigned it the given ID.
+func (s AppSpec) placed(id string) PlacedApp {
+	return PlacedApp{
+		ID: id, Name: s.Name, AI: s.AI, Placement: s.Placement,
+		HomeNode: s.HomeNode, MaxThreads: s.MaxThreads, TTLMillis: s.TTLMillis,
+		Priority: s.Priority,
+	}
+}
 
 // registerRequest converts the spec to the coopd wire form.
 func (s AppSpec) registerRequest() ctrlplane.RegisterRequest {
@@ -104,13 +132,17 @@ type PlacedApp struct {
 	// app does, not what it said.
 	FittedAI float64 `json:"fitted_ai,omitempty"`
 	Drifted  bool    `json:"drifted,omitempty"`
+	// Priority is the app's scheduling class (see AppSpec.Priority).
+	// The member coopd does not track it; the Inventory stamps it back
+	// onto polled snapshots from its name-keyed priority record.
+	Priority string `json:"priority,omitempty"`
 }
 
 // Spec strips the machine-local ID, for re-registration elsewhere.
 func (a PlacedApp) Spec() AppSpec {
 	return AppSpec{
 		Name: a.Name, AI: a.AI, Placement: a.Placement, HomeNode: a.HomeNode,
-		MaxThreads: a.MaxThreads, TTLMillis: a.TTLMillis,
+		MaxThreads: a.MaxThreads, TTLMillis: a.TTLMillis, Priority: a.Priority,
 	}
 }
 

@@ -1,0 +1,305 @@
+package fleet
+
+import (
+	"context"
+	"fmt"
+)
+
+// Gang placement policies: where a gang's replicas may land relative
+// to each other.
+const (
+	// GangPack prefers machines already hosting this gang — replicas
+	// co-locate (the paper's cooperating-application mix on one
+	// machine), spilling to fresh machines only when the solve rejects
+	// the packed bin.
+	GangPack = "pack"
+	// GangSpread prefers failure domains the gang does not occupy yet,
+	// falling back to the least-occupied domain once every domain hosts
+	// a member. The default.
+	GangSpread = "spread"
+	// GangStrictSpread requires a fresh failure domain per member: a
+	// gang with more replicas than the fleet has unused domains is
+	// rejected whole.
+	GangStrictSpread = "strict-spread"
+)
+
+// checkGangPolicy validates a wire policy string ("" = spread).
+func checkGangPolicy(p string) error {
+	switch p {
+	case "", GangPack, GangSpread, GangStrictSpread:
+		return nil
+	}
+	return fmt.Errorf("fleet: unknown gang policy %q (want %s, %s, or %s)",
+		p, GangPack, GangSpread, GangStrictSpread)
+}
+
+// GangSpec asks for N replicas of one app template placed atomically:
+// either every member registers, or none do.
+type GangSpec struct {
+	// Name labels the gang; members are named Name-0 .. Name-(N-1), so
+	// they form one cooperating group under groupOf.
+	Name string `json:"name"`
+	// Replicas is the member count (>= 1).
+	Replicas int `json:"replicas"`
+	// Policy is one of the Gang* constants ("" = spread).
+	Policy string `json:"policy,omitempty"`
+	// App is the per-member template; its Name is ignored (derived from
+	// the gang's), everything else — AI, placement, priority — applies
+	// to every member.
+	App AppSpec `json:"app"`
+}
+
+func (g GangSpec) policy() string {
+	if g.Policy == "" {
+		return GangSpread
+	}
+	return g.Policy
+}
+
+// member returns the i-th member's concrete spec.
+func (g GangSpec) member(i int) AppSpec {
+	spec := g.App
+	spec.Name = fmt.Sprintf("%s-%d", g.Name, i)
+	return spec
+}
+
+func (g GangSpec) validate() error {
+	if g.Name == "" {
+		return fmt.Errorf("fleet: gang needs a name")
+	}
+	if g.Replicas < 1 {
+		return fmt.Errorf("fleet: gang %s: replicas %d, want >= 1", g.Name, g.Replicas)
+	}
+	if err := checkGangPolicy(g.Policy); err != nil {
+		return err
+	}
+	_, err := g.member(0).rooflineApp()
+	return err
+}
+
+// GangPlacement is one admitted gang member.
+type GangPlacement struct {
+	// App is the registration as recorded fleet-side.
+	App PlacedApp `json:"app"`
+	// Member is the hosting machine; Score its marginal aggregate at
+	// decision time.
+	Member string  `json:"member"`
+	Score  float64 `json:"score"`
+}
+
+// GangResult is a successful atomic admission.
+type GangResult struct {
+	Name       string          `json:"name"`
+	Policy     string          `json:"policy"`
+	Placements []GangPlacement `json:"placements"`
+	// Preempted lists the lower-class victims moved to make floor room
+	// for the gang (executed before the members registered; they are
+	// real placements and are not rolled back on gang failure).
+	Preempted []Move `json:"preempted,omitempty"`
+}
+
+// gangPlan is the decided-but-unregistered form.
+type gangPlan struct {
+	members []gangMember
+	victims []Move
+}
+
+type gangMember struct {
+	spec   AppSpec
+	member string
+	score  float64
+}
+
+// PlaceGang admits a gang atomically: plan every member against a
+// simulated fleet first (committing each decision so later members see
+// earlier ones), then execute — preemption victim moves first, then
+// member registrations in order. If any member's registration fails,
+// every member registered so far is rolled back, so no partial gang
+// survives; a rollback deregistration that itself fails is recorded as
+// a stale duplicate for the rebalancer's cleanup pass.
+//
+// Higher-class gangs preempt: when the best bin for a member would
+// over-subscribe its floor capacity, the cheapest lower-class apps
+// there are re-homed (see planEvictions) before the member lands.
+func (p *Placer) PlaceGang(ctx context.Context, g GangSpec) (*GangResult, error) {
+	if err := g.validate(); err != nil {
+		return nil, err
+	}
+	plan, err := p.planGang(g)
+	if err != nil {
+		return nil, err
+	}
+	return p.executeGang(ctx, g, plan)
+}
+
+// planGang decides every member (and any preemption) against a
+// simulated candidate set without touching any machine.
+func (p *Placer) planGang(g GangSpec) (*gangPlan, error) {
+	members := p.Inv.Snapshot()
+	policy := g.policy()
+	// Domain state is needed whenever the policy spreads, even if the
+	// scorer's global domain tie-break is off.
+	spread := p.Scorer.DomainSpread || policy != GangPack
+	cs := candSets.Get().(*candidateSet)
+	defer candSets.Put(cs)
+	cands := cs.reset(members, true, spread)
+	if len(cands) == 0 {
+		return nil, ErrNoCandidate
+	}
+	appsByID := make(map[string][]PlacedApp, len(members))
+	for i := range members {
+		appsByID[members[i].ID] = members[i].Apps
+	}
+	rank := ClassRank(g.App.Priority)
+	var ranks map[string]int
+
+	plan := &gangPlan{}
+	chosen := make(map[string]bool, g.Replicas) // member IDs hosting the gang
+	domUsed := make(map[string]int, g.Replicas) // gang members per domain
+	pool := make([]*candidate, 0, len(cands))   // per-member filtered view
+	for i := 0; i < g.Replicas; i++ {
+		spec := g.member(i)
+		pool = pool[:0]
+		switch policy {
+		case GangPack:
+			for _, c := range cands {
+				if chosen[c.id] {
+					pool = append(pool, c)
+				}
+			}
+		case GangSpread:
+			// Prefer untouched domains; once every domain hosts a member,
+			// prefer the least-loaded ones.
+			minUsed := -1
+			for _, c := range cands {
+				if minUsed < 0 || domUsed[c.domain] < minUsed {
+					minUsed = domUsed[c.domain]
+				}
+			}
+			for _, c := range cands {
+				if domUsed[c.domain] == minUsed {
+					pool = append(pool, c)
+				}
+			}
+		case GangStrictSpread:
+			for _, c := range cands {
+				if domUsed[c.domain] == 0 {
+					pool = append(pool, c)
+				}
+			}
+			if len(pool) == 0 {
+				return nil, fmt.Errorf("fleet: gang %s: no unused failure domain for member %d of %d (strict-spread)",
+					g.Name, i+1, g.Replicas)
+			}
+		}
+		d, c, err := p.Scorer.decide(spec, pool)
+		if err != nil && policy == GangPack {
+			// Packed bins full (or none yet): spill to the whole fleet.
+			d, c, err = p.Scorer.decide(spec, cands)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("fleet: gang %s: member %d of %d: %w", g.Name, i+1, g.Replicas, err)
+		}
+		if d.Starved && rank > 0 && !p.DisablePreemption {
+			// Make floor room: evict the cheapest lower-class apps from
+			// the chosen bin, then re-take the decision against it.
+			if ranks == nil {
+				ranks = hostRanks(members)
+			}
+			need := len(c.demand) + 1 - FloorCapacity(c.topo)
+			if moves := p.Scorer.planEvictions(c, appsByID[c.id], rank, need, cands, ranks, nil); len(moves) > 0 {
+				plan.victims = append(plan.victims, moves...)
+				if d2, c2, err2 := p.Scorer.decide(spec, []*candidate{c}); err2 == nil {
+					d, c = d2, c2
+				}
+			}
+		}
+		c.commit(spec)
+		chosen[c.id] = true
+		if spread {
+			domUsed[c.domain]++
+		}
+		plan.members = append(plan.members, gangMember{spec: spec, member: d.Member, score: d.Score})
+	}
+	return plan, nil
+}
+
+// executeGang applies a plan: victims move first (drain-then-place,
+// like the rebalancer), then members register in order, rolling back
+// on the first failure.
+func (p *Placer) executeGang(ctx context.Context, g GangSpec, plan *gangPlan) (*GangResult, error) {
+	res := &GangResult{Name: g.Name, Policy: g.policy()}
+	for _, mv := range plan.victims {
+		src, err := p.Inv.Client(mv.From)
+		if err != nil {
+			continue
+		}
+		if err := src.Deregister(ctx, mv.AppID); err != nil {
+			// The victim stays put; the gang proceeds (possibly starved)
+			// and the rebalancer's repair pass retries next round.
+			p.logf("fleet: gang %s: draining victim %s from %s: %v", g.Name, mv.AppID, mv.From, err)
+			continue
+		}
+		p.Inv.noteDeregistered(mv.From, mv.AppID)
+		dst, err := p.Inv.Client(mv.To)
+		if err != nil {
+			continue
+		}
+		resp, err := dst.Register(ctx, mv.App.registerRequest())
+		if err != nil {
+			p.logf("fleet: gang %s: re-homing victim %s to %s: %v", g.Name, mv.AppID, mv.To, err)
+			continue
+		}
+		p.Inv.noteRegistered(mv.To, mv.App.placed(resp.ID))
+		if p.OnMoved != nil {
+			p.OnMoved(mv.App.Name)
+		}
+		res.Preempted = append(res.Preempted, mv)
+		p.logf("fleet: gang %s: preempted %s (%s) %s -> %s", g.Name, mv.AppID, mv.App.Priority, mv.From, mv.To)
+	}
+
+	registered := make([]GangPlacement, 0, len(plan.members))
+	rollback := func(cause error) error {
+		for _, gp := range registered {
+			cli, err := p.Inv.Client(gp.Member)
+			if err == nil {
+				err = cli.Deregister(ctx, gp.App.ID)
+			}
+			if err != nil {
+				// Unreachable mid-rollback: mark the orphan stale so the
+				// rebalancer's duplicate cleanup removes it when the
+				// machine answers again.
+				p.Inv.noteStale(gp.Member, gp.App.ID)
+				p.logf("fleet: gang %s: rollback of %s on %s failed (marked stale): %v",
+					g.Name, gp.App.ID, gp.Member, err)
+			}
+			p.Inv.noteDeregistered(gp.Member, gp.App.ID)
+		}
+		return fmt.Errorf("fleet: gang %s: admission failed, rolled back %d registered members: %w",
+			g.Name, len(registered), cause)
+	}
+	for _, m := range plan.members {
+		cli, err := p.Inv.Client(m.member)
+		if err != nil {
+			return nil, rollback(err)
+		}
+		resp, err := cli.Register(ctx, m.spec.registerRequest())
+		if err != nil {
+			return nil, rollback(fmt.Errorf("registering %q on %s: %w", m.spec.Name, m.member, err))
+		}
+		placed := m.spec.placed(resp.ID)
+		p.Inv.noteRegistered(m.member, placed)
+		registered = append(registered, GangPlacement{App: placed, Member: m.member, Score: m.score})
+	}
+	res.Placements = registered
+	for _, gp := range res.Placements {
+		p.logf("fleet: gang %s: %s on %s (marginal %+.1f GFLOPS)", g.Name, gp.App.ID, gp.Member, gp.Score)
+	}
+	return res, nil
+}
+
+func (p *Placer) logf(format string, args ...any) {
+	if p.Logf != nil {
+		p.Logf(format, args...)
+	}
+}

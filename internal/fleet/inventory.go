@@ -71,6 +71,15 @@ type Inventory struct {
 	mu      sync.Mutex
 	members map[string]*member
 	order   []string // member IDs, sorted; polling and snapshots follow it
+
+	// priorities records each app name's scheduling class. Member coopd
+	// registries know nothing about priority, so every poll would
+	// otherwise erase it; instead the fleet keeps the class here and
+	// stamps it back onto polled snapshots. Keyed by name (IDs are
+	// machine-local and change on every move) and never pruned — the
+	// map is bounded by the number of distinct app names the fleet has
+	// ever placed with a non-default class.
+	priorities map[string]string
 }
 
 // member is the mutable record behind a Member snapshot.
@@ -133,7 +142,7 @@ func NewInventory(cfg InventoryConfig) *Inventory {
 	if cfg.QuarantineMaxBackoff <= 0 {
 		cfg.QuarantineMaxBackoff = 10 * time.Minute
 	}
-	return &Inventory{cfg: cfg, members: map[string]*member{}}
+	return &Inventory{cfg: cfg, members: map[string]*member{}, priorities: map[string]string{}}
 }
 
 func (inv *Inventory) logf(format string, args ...any) {
@@ -248,6 +257,11 @@ func (inv *Inventory) pollMember(ctx context.Context, id string) {
 		}
 		if topo != nil {
 			m.topo = topo
+		}
+		for i := range placed {
+			if p, ok := inv.priorities[placed[i].Name]; ok {
+				placed[i].Priority = p
+			}
 		}
 		m.apps = placed
 		m.total = alloc.TotalGFLOPS
@@ -414,6 +428,30 @@ func (inv *Inventory) Client(id string) (*client.Client, error) {
 	return m.clis[m.preferred], nil
 }
 
+// RecordPriority teaches the fleet an app's scheduling class without a
+// registration passing through the Placer — the escape hatch for apps
+// that arrived behind the fleet's back (registered directly with a
+// member's coopd, picked up by the next poll). Member registries never
+// carry priority, so without this record such an app would stay batch
+// forever. An empty priority erases the record (the app reverts to the
+// batch default).
+func (inv *Inventory) RecordPriority(name, priority string) error {
+	if name == "" {
+		return fmt.Errorf("fleet: RecordPriority needs an app name")
+	}
+	if err := CheckPriority(priority); err != nil {
+		return err
+	}
+	inv.mu.Lock()
+	defer inv.mu.Unlock()
+	if priority == "" {
+		delete(inv.priorities, name)
+		return nil
+	}
+	inv.priorities[name] = priority
+	return nil
+}
+
 // noteRegistered records an app the fleet just placed on a member, so
 // scoring between polls sees it. The next poll overwrites the cache
 // with the machine's authoritative registry.
@@ -423,6 +461,11 @@ func (inv *Inventory) noteRegistered(id string, app PlacedApp) {
 	m, ok := inv.members[id]
 	if !ok {
 		return
+	}
+	if app.Priority != "" {
+		// Remember the class so the next poll (which rebuilds apps from
+		// the member's priority-less registry) re-stamps it.
+		inv.priorities[app.Name] = app.Priority
 	}
 	m.apps = append(m.apps, app)
 	sort.Slice(m.apps, func(a, b int) bool { return m.apps[a].ID < m.apps[b].ID })

@@ -149,6 +149,27 @@ type Decision struct {
 	Score float64
 	// After is the chosen machine's predicted aggregate with the app.
 	After float64
+	// Starved marks a placement that over-subscribes the machine's
+	// floor capacity: the solve fell back from the one-thread-per-node
+	// no-starvation floor to floor zero, so some apps there will run
+	// with zero threads. The preemption pass uses it as the admission
+	// signal for higher-class apps and gangs.
+	Starved bool
+}
+
+// FloorCapacity is the largest demand-set size the machine can host
+// floor-feasibly: floor-1 solves give every app at least one thread on
+// every node, so the smallest node's core count is the exact bound —
+// one more app and the fleet solve falls back to floor 0 (see
+// Scorer.solveDemand).
+func FloorCapacity(m *machine.Machine) int {
+	c := m.Nodes[0].Cores
+	for _, n := range m.Nodes[1:] {
+		if n.Cores < c {
+			c = n.Cores
+		}
+	}
+	return c
 }
 
 // decide scores app against every candidate and picks the best bin.
@@ -241,7 +262,11 @@ func (sc *Scorer) decide(spec AppSpec, cands []*candidate) (*Decision, *candidat
 	if best == nil {
 		return nil, nil, ErrNoCandidate
 	}
-	return &Decision{Member: best.id, Score: bestScore, After: bestAfter}, best, nil
+	d := &Decision{
+		Member: best.id, Score: bestScore, After: bestAfter,
+		Starved: len(best.demand)+1 > FloorCapacity(best.topo),
+	}
+	return d, best, nil
 }
 
 // tieBreakBetter decides score ties: under domain-spread (domCount
@@ -256,6 +281,27 @@ func tieBreakBetter(domCount map[string]int, c, best *candidate) bool {
 		}
 	}
 	return c.apps < best.apps
+}
+
+// removeDemandAt is commit's inverse for the preemption pass: it drops
+// the demand entry at index i (the spec describes the app backing it)
+// so subsequent decisions against the candidate see the simulated
+// eviction. The cached class key is dropped like commit does.
+func (c *candidate) removeDemandAt(i int, spec AppSpec) {
+	c.demand = append(c.demand[:i], c.demand[i+1:]...)
+	c.apps--
+	if spec.numaBad() {
+		c.bad--
+	}
+	if c.groups != nil {
+		g := groupOf(spec.Name)
+		if n := c.groups[g]; n > 1 {
+			c.groups[g] = n - 1
+		} else {
+			delete(c.groups, g)
+		}
+	}
+	c.keyBuf = c.keyBuf[:0]
 }
 
 // commit folds the decided app into the candidate so subsequent
@@ -280,6 +326,14 @@ func (c *candidate) commit(spec AppSpec) {
 type Placer struct {
 	Inv    *Inventory
 	Scorer *Scorer
+	// DisablePreemption turns gang-admission preemption off (mirrors
+	// Rebalancer.DisablePreemption; fleetd sets both from one flag).
+	DisablePreemption bool
+	// OnMoved, when set, is called with each preemption victim's name
+	// after its move executes — fleetd wires it to the rebalancer's
+	// cooldown clock so gang-admission evictions damp follow-up churn
+	// exactly like rebalance moves do.
+	OnMoved func(name string)
 	// Logf, when set, receives placement logs.
 	Logf func(format string, args ...any)
 }
@@ -312,10 +366,7 @@ func (p *Placer) Place(ctx context.Context, spec AppSpec) (*Decision, PlacedApp,
 	if err != nil {
 		return nil, PlacedApp{}, fmt.Errorf("fleet: registering %q on %s: %w", spec.Name, d.Member, err)
 	}
-	placed := PlacedApp{
-		ID: resp.ID, Name: spec.Name, AI: spec.AI, Placement: spec.Placement,
-		HomeNode: spec.HomeNode, MaxThreads: spec.MaxThreads, TTLMillis: spec.TTLMillis,
-	}
+	placed := spec.placed(resp.ID)
 	p.Inv.noteRegistered(d.Member, placed)
 	if p.Logf != nil {
 		p.Logf("fleet: placed %s on %s (marginal %+.1f GFLOPS, machine now %.1f)",

@@ -1,0 +1,191 @@
+package fleet
+
+import (
+	"sort"
+
+	"repro/internal/roofline"
+)
+
+// Preemption: when a higher-class app (or gang member) cannot be
+// admitted floor-feasibly, the fleet evicts the cheapest lower-class
+// victims — by lost aggregate GFLOPS per freed floor slot — from the
+// target machine and re-homes them on machines where they cannot cause
+// a priority inversion. Two callers share the machinery here:
+//
+//   - the Rebalancer's planPreempt pass repairs inversions the urgent
+//     evacuation left behind (a latency app re-homed onto a full
+//     machine during a loss), and
+//   - gang admission makes room for a high-class gang member during
+//     planning, before anything registers.
+//
+// Victim moves carry ReasonPreempt, draw from the same per-round move
+// budget as every other pass, and start the moved app's cooldown, so
+// preemption cannot thrash the fleet any harder than a rebalance can.
+
+// hostRanks returns each member's highest hosted class rank — the
+// inversion-avoidance input for victim destinations: pushing a machine
+// that hosts a class above the victim's over its floor capacity would
+// only move the inversion, not fix it.
+func hostRanks(members []Member) map[string]int {
+	out := make(map[string]int, len(members))
+	for i := range members {
+		m := &members[i]
+		top := 0
+		for _, a := range m.Apps {
+			if r := ClassRank(a.Priority); r > top {
+				top = r
+			}
+		}
+		out[m.ID] = top
+	}
+	return out
+}
+
+// victimPool lists the indices of apps below rank on one member that
+// are eligible for eviction (skip filters apps on cooldown or known to
+// be stale duplicates).
+func victimPool(apps []PlacedApp, rank int, skip func(PlacedApp) bool) []int {
+	var out []int
+	for i := range apps {
+		if ClassRank(apps[i].Priority) >= rank {
+			continue
+		}
+		if skip != nil && skip(apps[i]) {
+			continue
+		}
+		out = append(out, i)
+	}
+	return out
+}
+
+// planEvictions frees up to need floor slots on candidate c (backed by
+// the member's app list) by evicting its cheapest victims below rank.
+// Cheapest means smallest aggregate loss on c per freed slot, measured
+// by re-solving c's demand without each eligible victim. Each victim is
+// re-homed by an ordinary placement decision over the other candidates,
+// restricted — when possible — to machines that either have free floor
+// capacity or host nothing above the victim's own class, so the
+// eviction cannot create a new inversion elsewhere. The victims'
+// removal and their destinations' commits are simulated on the
+// candidate set, so callers' subsequent decisions see the post-eviction
+// fleet. Returns the planned ReasonPreempt moves (nil when no eviction
+// is possible).
+//
+// apps must be the snapshot app list c's demand was built from;
+// entries committed to c afterwards (a gang's earlier members) are
+// preserved but never chosen as victims.
+func (sc *Scorer) planEvictions(c *candidate, apps []PlacedApp, rank, need int,
+	cands []*candidate, hostRank map[string]int, skip func(PlacedApp) bool) []Move {
+	if need <= 0 || rank <= 0 {
+		return nil
+	}
+	pool := victimPool(apps, rank, skip)
+	if len(pool) == 0 {
+		return nil
+	}
+	if need > len(pool) {
+		// Evicting every lower-class app still relieves the inversion —
+		// whatever starvation remains is among equals.
+		need = len(pool)
+	}
+
+	// Map app index -> demand index: appendDemandSet appends in app
+	// order, skipping specs the model rejects.
+	demandIdx := make([]int, len(apps))
+	di := 0
+	for i := range apps {
+		if _, err := apps[i].EffectiveSpec().rooflineApp(); err != nil {
+			demandIdx[i] = -1
+			continue
+		}
+		demandIdx[i] = di
+		di++
+	}
+
+	base, err := sc.SolveTotal(c.topo, c.demand)
+	if err != nil {
+		return nil
+	}
+	// Loss of each eligible victim: solved aggregate with it minus
+	// without it. One-shot (not re-ranked between evictions) — the
+	// solve memo makes each measurement one cached ±1 solve.
+	type scored struct {
+		appIdx int
+		loss   float64
+	}
+	losses := make([]scored, 0, len(pool))
+	scratch := make([]roofline.App, 0, len(c.demand))
+	for _, ai := range pool {
+		dIdx := demandIdx[ai]
+		if dIdx < 0 {
+			continue
+		}
+		rest := append(append(scratch[:0], c.demand[:dIdx]...), c.demand[dIdx+1:]...)
+		after, err := sc.SolveTotal(c.topo, rest)
+		if err != nil {
+			continue
+		}
+		losses = append(losses, scored{appIdx: ai, loss: base - after})
+	}
+	if len(losses) == 0 {
+		return nil
+	}
+	sort.Slice(losses, func(a, b int) bool {
+		if losses[a].loss != losses[b].loss {
+			return losses[a].loss < losses[b].loss
+		}
+		return apps[losses[a].appIdx].ID < apps[losses[b].appIdx].ID
+	})
+	if need > len(losses) {
+		need = len(losses)
+	}
+
+	var moves []Move
+	// Evict cheapest-first; demandIdx is re-shifted after each removal
+	// so later victims still map to their demand entries.
+	chosen := losses[:need]
+	for _, v := range chosen {
+		victim := apps[v.appIdx]
+		vrank := ClassRank(victim.Priority)
+		spec := victim.EffectiveSpec()
+
+		// Destination pool: everything but the target, preferring
+		// machines where the victim cannot cause an inversion.
+		safe := make([]*candidate, 0, len(cands))
+		rest := make([]*candidate, 0, len(cands))
+		for _, cc := range cands {
+			if cc == c {
+				continue
+			}
+			rest = append(rest, cc)
+			if len(cc.demand)+1 <= FloorCapacity(cc.topo) || hostRank[cc.id] <= vrank {
+				safe = append(safe, cc)
+			}
+		}
+		dst := safe
+		if len(dst) == 0 {
+			dst = rest
+		}
+		if len(dst) == 0 {
+			break // single-machine fleet: nowhere to put victims
+		}
+		d, dc, err := sc.decide(spec, dst)
+		if err != nil {
+			continue
+		}
+		// Simulate: victim leaves c, lands on dc.
+		c.removeDemandAt(demandIdx[v.appIdx], spec)
+		for i := range apps {
+			if demandIdx[i] > demandIdx[v.appIdx] {
+				demandIdx[i]--
+			}
+		}
+		demandIdx[v.appIdx] = -1
+		dc.commit(spec)
+		moves = append(moves, Move{
+			AppID: victim.ID, App: spec, From: c.id, To: d.Member,
+			Reason: ReasonPreempt, Score: d.Score,
+		})
+	}
+	return moves
+}

@@ -1,0 +1,61 @@
+package fleet
+
+import "fmt"
+
+// Priority classes, ordered system > latency > batch. The class rides
+// on AppSpec/PlacedApp and drives two things: the preemption pass (a
+// higher-class app that cannot be admitted floor-feasibly evicts the
+// cheapest lower-class victims) and the per-app weight under the
+// weighted-priority objective. The member coopd never sees the class —
+// priority is a fleet-level scheduling concept, tracked by the
+// Inventory across polls.
+const (
+	// PrioritySystem is fleet-critical work that outranks everything.
+	PrioritySystem = "system"
+	// PriorityLatency is latency-sensitive serving work: it outranks
+	// batch and must not be starved while batch holds floor capacity
+	// (the no-priority-inversion property fleetsim checks).
+	PriorityLatency = "latency"
+	// PriorityBatch is throughput work, the default: preemptible by
+	// the classes above, never preempting anything itself.
+	PriorityBatch = "batch"
+)
+
+// ClassRank orders priority classes for preemption decisions; the empty
+// class means batch. Higher outranks lower.
+func ClassRank(p string) int {
+	switch p {
+	case PrioritySystem:
+		return 2
+	case PriorityLatency:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// classWeight maps a priority class to the roofline App.Weight used by
+// the weighted-priority objective. Batch (and the empty default) maps
+// to zero — the "unset" weight, scored as 1 — so priority-free fleets
+// produce demand sets, cache keys, and decisions bit-identical to the
+// pre-priority code under the default objective.
+func classWeight(p string) float64 {
+	switch p {
+	case PrioritySystem:
+		return 16
+	case PriorityLatency:
+		return 4
+	default:
+		return 0
+	}
+}
+
+// CheckPriority validates a wire/CLI priority string.
+func CheckPriority(p string) error {
+	switch p {
+	case "", PriorityBatch, PriorityLatency, PrioritySystem:
+		return nil
+	}
+	return fmt.Errorf("fleet: unknown priority %q (have %s, %s, %s)",
+		p, PrioritySystem, PriorityLatency, PriorityBatch)
+}

@@ -26,6 +26,10 @@ const (
 	// may still be answering polls, but it cannot be trusted to keep
 	// serving, so its apps are re-homed like a lost machine's.
 	ReasonQuarantine = "quarantine"
+	// ReasonPreempt evicts a lower-class app from a machine past its
+	// floor capacity so a higher class hosted there gets a floor-feasible
+	// allocation (see preempt.go).
+	ReasonPreempt = "preempt"
 )
 
 // Move is one planned app relocation.
@@ -129,6 +133,12 @@ type Rebalancer struct {
 	// remaining machines under simultaneous re-registrations. 0 selects
 	// the default (2); negative falls back with a logged warning.
 	AdmissionCap int
+	// DisablePreemption turns the priority-inversion repair pass off:
+	// lower-class apps are never evicted to give a higher class a
+	// floor-feasible allocation. Only for A/B resilience experiments
+	// such as the fleetsim priority-inversion regression, never for
+	// production use.
+	DisablePreemption bool
 	// DisableStormBrake turns mass-failure triage off: urgent
 	// evacuation behaves as if the fleet were losing one machine — all
 	// moves planned immediately, no admission cap. Only for A/B
@@ -375,6 +385,13 @@ func (r *Rebalancer) Plan(ctx context.Context) (*Plan, error) {
 		float64(downBacklog) > r.stormFraction()*float64(len(members))
 	plan.StormActive = storm
 
+	// Higher classes evacuate first: under a tight budget the latency
+	// app is re-homed before the batch backlog consumes the round. The
+	// sort is stable, so all-batch fleets keep the historical order.
+	sort.SliceStable(evacs, func(a, b int) bool {
+		return ClassRank(evacs[a].app.Priority) > ClassRank(evacs[b].app.Priority)
+	})
+
 	urgent := 0
 	if !storm {
 		for _, e := range evacs {
@@ -396,14 +413,17 @@ func (r *Rebalancer) Plan(ctx context.Context) (*Plan, error) {
 	}
 
 	if urgent == 0 && !storm {
-		// Drift re-placement before the imbalance pass: a drifted app's
-		// placement was decided on a wrong model, so it gets first claim on
-		// the round's churn budget; the broader re-pack waits a round. Both
-		// passes draw from the same global budget, so their combined moves
-		// can never exceed the per-round bound.
+		// Quiet-round passes in priority order, all drawing from one
+		// global budget: inversion repair first (a higher class starved
+		// under its floor is worse than any efficiency gap), then drift
+		// re-placement, then the imbalance re-pack. Each pass runs only
+		// when the ones before it planned nothing, so a round stays
+		// single-purpose and the combined moves never exceed the bound.
 		budget := plan.Budget
-		if r.planDrift(plan, members, dup, cands, &budget) == 0 {
-			r.planImbalance(plan, members, dup, &budget)
+		if r.planPreempt(plan, members, dup, cands, &budget) == 0 {
+			if r.planDrift(plan, members, dup, cands, &budget) == 0 {
+				r.planImbalance(plan, members, dup, &budget)
+			}
 		}
 	}
 
@@ -449,6 +469,12 @@ func (r *Rebalancer) planStorm(plan *Plan, evacs []evacApp, cands []*candidate, 
 	}
 	sort.Slice(order, func(a, b int) bool {
 		ia, ib := order[a], order[b]
+		// Class outranks recovered GFLOPS: a latency app is triaged
+		// ahead of any batch app, whatever their marginal scores.
+		ra, rb := ClassRank(evacs[ia].app.Priority), ClassRank(evacs[ib].app.Priority)
+		if ra != rb {
+			return ra > rb
+		}
 		if scores[ia] != scores[ib] {
 			return scores[ia] > scores[ib]
 		}
@@ -490,6 +516,70 @@ func (r *Rebalancer) planStorm(plan *Plan, evacs []evacApp, cands []*candidate, 
 		inbound[d.Member]++
 		budget--
 		moves++
+	}
+	return moves
+}
+
+// planPreempt is the priority-inversion repair pass: a healthy member
+// hosting a higher-class app with more apps than its floor capacity
+// (some app there is starved of its guaranteed core) gets its cheapest
+// lower-class apps evicted until the demand set fits — or until the
+// round budget, the victim supply, or cooldowns stop it. Victims are
+// re-homed, never dropped, by planEvictions; partial relief is fine
+// because evicting every lower-class app already removes the
+// *inversion* even if starvation among equals remains. Returns the
+// number of moves planned.
+func (r *Rebalancer) planPreempt(plan *Plan, members []Member, dup map[string]bool, cands []*candidate, budget *int) int {
+	if r.DisablePreemption {
+		return 0
+	}
+	byID := make(map[string]*candidate, len(cands))
+	for _, c := range cands {
+		byID[c.id] = c
+	}
+	var ranks map[string]int
+	moves := 0
+	for i := range members {
+		m := &members[i]
+		c := byID[m.ID]
+		if c == nil {
+			continue // not a placement candidate (dead, draining, ...)
+		}
+		over := len(c.demand) - FloorCapacity(c.topo)
+		if over <= 0 {
+			continue
+		}
+		top := 0
+		for _, a := range m.Apps {
+			if rk := ClassRank(a.Priority); rk > top {
+				top = rk
+			}
+		}
+		if top == 0 {
+			continue // starved, but all one class: nothing to repair
+		}
+		if *budget <= 0 {
+			plan.Deferred++
+			continue
+		}
+		need := over
+		if need > *budget {
+			need = *budget
+		}
+		if ranks == nil {
+			ranks = hostRanks(members)
+		}
+		skip := func(a PlacedApp) bool {
+			return dup[m.ID+"/"+a.ID] || r.onCooldown(a.Name)
+		}
+		planned := r.Scorer.planEvictions(c, m.Apps, top, need, cands, ranks, skip)
+		for _, mv := range planned {
+			plan.Moves = append(plan.Moves, mv)
+			*budget--
+			moves++
+			r.logf("fleet: preempting %s (%s) off %s -> %s to unstarve class rank %d",
+				mv.AppID, mv.App.Priority, mv.From, mv.To, top)
+		}
 	}
 	return moves
 }
@@ -728,11 +818,8 @@ func (r *Rebalancer) Execute(ctx context.Context, plan *Plan) error {
 			r.Inv.noteDeregistered(mv.From, mv.AppID)
 			r.Inv.noteStale(mv.From, mv.AppID)
 		}
-		r.Inv.noteRegistered(mv.To, PlacedApp{
-			ID: resp.ID, Name: mv.App.Name, AI: mv.App.AI, Placement: mv.App.Placement,
-			HomeNode: mv.App.HomeNode, MaxThreads: mv.App.MaxThreads, TTLMillis: mv.App.TTLMillis,
-		})
-		if mv.Reason == ReasonDrift || mv.Reason == ReasonRebalance {
+		r.Inv.noteRegistered(mv.To, mv.App.placed(resp.ID))
+		if mv.Reason == ReasonDrift || mv.Reason == ReasonRebalance || mv.Reason == ReasonPreempt {
 			r.noteMoved(mv.App.Name)
 		}
 		r.logf("fleet: moved %s: %s -> %s as %s (%s, score %+.1f)",

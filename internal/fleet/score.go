@@ -15,10 +15,14 @@ import (
 
 const (
 	// appSegBytes is the fixed width of one app's demand-key segment:
-	// 8-byte AI float bits, 1 placement byte, 4-byte home node — the
-	// fields SolveTotal's optimum depends on (names and MaxThreads
-	// excluded on purpose, see SolveTotal).
-	appSegBytes = 13
+	// 8-byte AI float bits, 1 placement byte, 4-byte home node, 8-byte
+	// objective weight bits — the fields a solve's optimum can depend
+	// on (names and MaxThreads excluded on purpose, see SolveTotal).
+	// Weight participates even under the default objective — it is
+	// zero for batch apps, so priority-free fleets key exactly as they
+	// would without it, while a weighted-objective Scorer can never
+	// alias two demand sets differing only in class.
+	appSegBytes = 21
 	// maxSolveCacheEntries bounds the fleet-wide solve memo. 4096
 	// distinct (topology, demand multiset) classes is far beyond what a
 	// steady fleet produces in one planning horizon; the LRU keeps the
@@ -82,6 +86,17 @@ type Scorer struct {
 	// decisions.
 	DomainSpread bool
 
+	// Objective selects the per-machine optimization objective; nil
+	// means roofline.ObjTotalGFLOPS, which is bit-identical to the
+	// historical total-GFLOPS scorer. Under any other objective every
+	// solveOutcome.total — and therefore every marginal, placement
+	// score, and Plan aggregate — is in that objective's units, and
+	// decisions maximize it instead of raw throughput. The solve memo
+	// stays sound because one Scorer has one fixed objective and the
+	// demand-key segments include the per-app objective weight. Set
+	// before use; not safe to flip concurrently with decisions.
+	Objective roofline.ObjectiveSpec
+
 	search roofline.Search
 
 	mu      sync.Mutex
@@ -142,6 +157,7 @@ func appendAppSeg(b []byte, a *roofline.App) []byte {
 	binary.BigEndian.PutUint64(seg[0:8], math.Float64bits(a.AI))
 	seg[8] = byte(a.Placement)
 	binary.BigEndian.PutUint32(seg[9:13], uint32(int32(a.HomeNode)))
+	binary.BigEndian.PutUint64(seg[13:21], math.Float64bits(a.Weight))
 	return append(b, seg[:]...)
 }
 
@@ -227,14 +243,25 @@ func (sc *Scorer) solveDemand(m *machine.Machine, demand []roofline.App, hint []
 	if out, ok := sc.lookup(s.key); ok {
 		return out, nil
 	}
-	counts, _, res, err := sc.search.BestPerNodeCountsFloorFrom(hint, m, demand, nil, 1)
+	spec := sc.Objective
+	if spec == nil {
+		spec = roofline.ObjTotalGFLOPS
+	}
+	counts, _, res, err := sc.search.BestPerNodeCountsFloorSpec(spec, hint, m, demand, 1)
 	if errors.Is(err, roofline.ErrNoAllocation) {
-		counts, _, res, err = sc.search.BestPerNodeCountsFloorFrom(hint, m, demand, nil, 0)
+		counts, _, res, err = sc.search.BestPerNodeCountsFloorSpec(spec, hint, m, demand, 0)
 	}
 	if err != nil {
 		return solveOutcome{}, err
 	}
-	out := solveOutcome{total: res.TotalGFLOPS, counts: append([]int(nil), counts...)}
+	total := res.TotalGFLOPS
+	if spec != roofline.ObjTotalGFLOPS {
+		// Non-default objectives score in their own units (weighted
+		// GFLOPS, min-app GFLOPS); the default path never builds the
+		// closure.
+		total = spec.Objective(demand)(res)
+	}
+	out := solveOutcome{total: total, counts: append([]int(nil), counts...)}
 	sc.store(s.key, out)
 	return out, nil
 }

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"repro/internal/ctrlplane"
+	"repro/internal/roofline"
 )
 
 // ServerConfig tunes a fleet Server.
@@ -30,6 +31,14 @@ type ServerConfig struct {
 	// DomainSpread enables the failure-domain anti-affinity tie-break in
 	// placement decisions (see Scorer.DomainSpread).
 	DomainSpread bool
+	// Objective names the placement objective ("" or "total-gflops" for
+	// the default aggregate, "weighted-priority", "max-min"; see
+	// roofline.ObjectiveSpecByName).
+	Objective string
+	// DisablePreemption turns priority preemption off fleet-wide — both
+	// the rebalancer's inversion-repair pass and gang-admission
+	// eviction. A/B experiments only.
+	DisablePreemption bool
 	// StormFraction, StormBudget, and AdmissionCap tune the rebalancer's
 	// mass-failure storm brake (see Rebalancer; zero values take its
 	// defaults).
@@ -77,7 +86,12 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 	}
 	sc := NewScorer()
 	sc.DomainSpread = cfg.DomainSpread
-	pl := &Placer{Inv: cfg.Inventory, Scorer: sc, Logf: cfg.Logf}
+	spec, err := roofline.ObjectiveSpecByName(cfg.Objective)
+	if err != nil {
+		return nil, err
+	}
+	sc.Objective = spec
+	pl := &Placer{Inv: cfg.Inventory, Scorer: sc, DisablePreemption: cfg.DisablePreemption, Logf: cfg.Logf}
 	s := &Server{
 		cfg: cfg,
 		inv: cfg.Inventory,
@@ -86,15 +100,20 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 			Inv: cfg.Inventory, Placer: pl, Scorer: sc,
 			MaxMovesPerRound: cfg.MaxMovesPerRound, Threshold: cfg.Threshold,
 			StormFraction: cfg.StormFraction, StormBudget: cfg.StormBudget,
-			AdmissionCap: cfg.AdmissionCap,
-			Logf:         cfg.Logf,
+			AdmissionCap:      cfg.AdmissionCap,
+			DisablePreemption: cfg.DisablePreemption,
+			Logf:              cfg.Logf,
 		},
 		upg:  &Upgrader{Inv: cfg.Inventory, Logf: cfg.Logf},
 		mux:  http.NewServeMux(),
 		stop: make(chan struct{}),
 		done: make(chan struct{}),
 	}
+	// Gang-admission preemption victims share the rebalancer's cooldown
+	// clock, so an evicted app is damped against follow-up churn.
+	pl.OnMoved = s.reb.noteMoved
 	s.mux.HandleFunc("/v1/fleet/place", s.handlePlace)
+	s.mux.HandleFunc("/v1/fleet/gang", s.handleGang)
 	s.mux.HandleFunc("/v1/fleet/machines", s.handleMachines)
 	s.mux.HandleFunc("/v1/fleet/plan", s.handlePlan)
 	s.mux.HandleFunc("/v1/fleet/drain", s.handleDrain)
@@ -202,6 +221,34 @@ func (s *Server) handlePlace(w http.ResponseWriter, r *http.Request) {
 		Machine: d.Member, ID: placed.ID, Endpoints: member.Endpoints,
 		Score: d.Score, After: d.After,
 	})
+}
+
+func (s *Server) handleGang(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	var g GangSpec
+	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<20)).Decode(&g); err != nil {
+		writeError(w, http.StatusBadRequest, "decoding request: "+err.Error())
+		return
+	}
+	if err := g.validate(); err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	s.placeMu.Lock()
+	res, err := s.pl.PlaceGang(r.Context(), g)
+	s.placeMu.Unlock()
+	if err != nil {
+		status := http.StatusBadGateway
+		if errors.Is(err, ErrNoCandidate) {
+			status = http.StatusServiceUnavailable
+		}
+		writeError(w, status, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
 }
 
 func (s *Server) handleMachines(w http.ResponseWriter, r *http.Request) {

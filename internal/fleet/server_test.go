@@ -3,6 +3,7 @@ package fleet
 import (
 	"context"
 	"net/http/httptest"
+	"strings"
 	"testing"
 )
 
@@ -109,5 +110,64 @@ func TestServerPlaceNoMembers(t *testing.T) {
 	_, fc := newFleetServer(t, inv)
 	if _, err := fc.Place(context.Background(), memSpec("homeless")); err == nil {
 		t.Fatal("placement succeeded on an empty fleet")
+	}
+}
+
+// TestServerGangRoundTrip: POST /v1/fleet/gang admits a gang through
+// the typed client, the machine view shows every member with its
+// priority stamped back, and validation rejects bad specs with 400.
+func TestServerGangRoundTrip(t *testing.T) {
+	ctx := context.Background()
+	inv := NewInventory(InventoryConfig{NewClient: fastClients(nil)})
+	for _, id := range []string{"a", "b"} {
+		if err := inv.Add(id, newCoopd(t).URL); err != nil {
+			t.Fatal(err)
+		}
+	}
+	inv.Poll(ctx)
+	_, fc := newFleetServer(t, inv)
+
+	res, err := fc.PlaceGang(ctx, GangSpec{
+		Name: "web", Replicas: 2, Policy: GangSpread,
+		App: AppSpec{AI: 0.5, TTLMillis: testTTL, Priority: PriorityLatency},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Placements) != 2 || res.Policy != GangSpread {
+		t.Fatalf("gang result %+v, want 2 spread placements", res)
+	}
+	if res.Placements[0].Member == res.Placements[1].Member {
+		t.Fatalf("spread gang co-located on %s", res.Placements[0].Member)
+	}
+
+	inv.Poll(ctx)
+	ms, err := fc.Machines(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := 0
+	for _, m := range ms.Machines {
+		for _, app := range m.Apps {
+			seen++
+			if app.Priority != PriorityLatency {
+				t.Fatalf("member %s lost its class across the poll: %+v", app.Name, app)
+			}
+		}
+	}
+	if seen != 2 {
+		t.Fatalf("machine view shows %d gang members, want 2", seen)
+	}
+
+	for _, bad := range []GangSpec{
+		{Name: "", Replicas: 2, App: AppSpec{AI: 0.5}},
+		{Name: "x", Replicas: 0, App: AppSpec{AI: 0.5}},
+		{Name: "x", Replicas: 2, Policy: "diagonal", App: AppSpec{AI: 0.5}},
+		{Name: "x", Replicas: 2, App: AppSpec{AI: -1}},
+		{Name: "x", Replicas: 2, App: AppSpec{AI: 0.5, Priority: "urgent"}},
+	} {
+		if _, err := fc.PlaceGang(ctx, bad); err == nil || !strings.Contains(err.Error(), "400") {
+			t.Fatalf("gang %+v admitted, want a 400 validation error (got %v)", bad, err)
+		}
 	}
 }

@@ -183,7 +183,14 @@ func (u *Upgrader) Step(ctx context.Context) string {
 		case cur == nil:
 			return u.abortAndUndrain("", fmt.Sprintf("machine %s removed mid-drain", current))
 		case cur.Dead || cur.Quarantined:
-			return u.abortAndUndrain(current, fmt.Sprintf("machine %s failed mid-drain", current))
+			// A genuine failure mid-drain is not the upgrade's to roll
+			// back: undraining would re-admit the machine as a placement
+			// target the moment it revives, racing the urgent evacuation
+			// of its own apps. Abort but leave the drain mark in place —
+			// the rebalancer's machine-lost pass (and, for correlated
+			// failures, the storm brake) owns the apps now.
+			return u.abortAndUndrain("", fmt.Sprintf(
+				"machine %s failed mid-drain; drain left in place, handing off to urgent evacuation", current))
 		case len(cur.Apps) > 0:
 			return "" // drain still converging; check again next round
 		}

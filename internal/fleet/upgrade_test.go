@@ -160,6 +160,70 @@ func TestUpgraderAbortsWhenCurrentDies(t *testing.T) {
 	if st := u.Status(); st.State != UpgradeAborted || !strings.Contains(st.Reason, "failed mid-drain") {
 		t.Fatalf("status %+v, want aborted mid-drain", st)
 	}
+	// The failure hand-off: a dead machine's drain is NOT rolled back —
+	// undraining would re-admit it as a placement target on revival,
+	// racing the urgent evacuation of its own apps.
+	if m, _ := inv.Member("a"); !m.Draining {
+		t.Fatal("abort undrained the dead machine; drain must stay for the failure hand-off")
+	}
+	part.Heal(hosts[0])
+	inv.Poll(ctx)
+	if m, _ := inv.Member("a"); m.Dead || !m.Draining {
+		t.Fatalf("revived machine dead=%v draining=%v, want alive and still draining", m.Dead, m.Draining)
+	}
+}
+
+// TestUpgraderFailureHandsOffToEvacuation: a machine that dies mid-
+// drain while carrying apps aborts the upgrade without undraining, and
+// the very next rebalance round evacuates its apps as machine-lost —
+// the upgrade steps aside and the failure machinery owns the recovery.
+func TestUpgraderFailureHandsOffToEvacuation(t *testing.T) {
+	ctx := context.Background()
+	inv, part, hosts := upgradeFleet(t, 3)
+	cli, err := inv.Client("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, spec := range []AppSpec{memSpec("ten-1"), memSpec("ten-2")} {
+		if _, err := cli.Register(ctx, spec.registerRequest()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	inv.Poll(ctx)
+
+	sc := NewScorer()
+	reb := &Rebalancer{
+		Inv:    inv,
+		Placer: &Placer{Inv: inv, Scorer: sc, Logf: t.Logf},
+		Scorer: sc,
+		Logf:   t.Logf,
+	}
+	u := &Upgrader{Inv: inv, Logf: t.Logf}
+	if _, err := u.Start([]string{"a"}, 0.1); err != nil {
+		t.Fatal(err)
+	}
+	if msg := u.Step(ctx); !strings.Contains(msg, "draining a") {
+		t.Fatalf("step = %q, want draining a", msg)
+	}
+	// The drain is still converging (apps on a) when the machine dies.
+	part.Isolate(hosts[0])
+	inv.Poll(ctx)
+	if msg := u.Step(ctx); !strings.Contains(msg, "handing off") {
+		t.Fatalf("step = %q, want the hand-off abort", msg)
+	}
+
+	plan, err := reb.Round(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Moves) != 2 {
+		t.Fatalf("hand-off round planned %d moves, want both stranded apps", len(plan.Moves))
+	}
+	for _, mv := range plan.Moves {
+		if mv.Reason != ReasonMachineLost || mv.From != "a" {
+			t.Fatalf("move %+v, want machine-lost from a", mv)
+		}
+	}
 }
 
 // TestUpgraderStartValidation covers the Start error surface: floors

@@ -11,6 +11,7 @@ import (
 	"repro/internal/ctrlplane/client"
 	"repro/internal/faultinject"
 	"repro/internal/fleet"
+	"repro/internal/roofline"
 )
 
 // Engine runs one scenario against a live in-process fleet: real
@@ -38,6 +39,12 @@ type Engine struct {
 	lastActive     int
 	driftConfirmed map[string]float64
 	fittedSeen     map[string]float64
+
+	// Simulated clock: the inventory's flap/quarantine timing runs on
+	// epoch + simRound seconds, one tick per round, so backoff expiry is
+	// a property of the trace, not of how fast the host ran the rounds.
+	epoch    time.Time
+	simRound int
 }
 
 // EngineConfig tunes a scenario run.
@@ -65,6 +72,7 @@ func NewEngine(sc *Scenario, cfg EngineConfig) (*Engine, error) {
 		lastActive:     -1,
 		driftConfirmed: map[string]float64{},
 		fittedSeen:     map[string]float64{},
+		epoch:          time.Now(),
 	}
 	e.verdict = &Verdict{
 		Scenario:      sc.Name,
@@ -76,6 +84,7 @@ func NewEngine(sc *Scenario, cfg EngineConfig) (*Engine, error) {
 		NewClient:         e.newClient,
 		FailAfter:         sc.failAfter(),
 		PollTimeout:       5 * time.Second,
+		Clock:             func() time.Time { return e.epoch.Add(time.Duration(e.simRound) * time.Second) },
 		FlapCount:         sc.flapCount(),
 		FlapWindow:        time.Duration(sc.FlapWindowSeconds) * time.Second,
 		QuarantineBackoff: time.Duration(sc.QuarantineBackoffSeconds) * time.Second,
@@ -83,7 +92,16 @@ func NewEngine(sc *Scenario, cfg EngineConfig) (*Engine, error) {
 	})
 	sc2 := fleet.NewScorer()
 	sc2.DomainSpread = sc.DomainSpread
-	e.placer = &fleet.Placer{Inv: e.inv, Scorer: sc2, Logf: e.log}
+	objective, err := roofline.ObjectiveSpecByName(sc.Objective)
+	if err != nil {
+		return nil, err // Validate caught this already; belt and braces
+	}
+	sc2.Objective = objective
+	e.placer = &fleet.Placer{
+		Inv: e.inv, Scorer: sc2,
+		DisablePreemption: sc.DisablePreemption,
+		Logf:              e.log,
+	}
 	cooldown := sc.CooldownRounds
 	if sc.DisableAntiThrash {
 		cooldown = -1
@@ -99,6 +117,7 @@ func NewEngine(sc *Scenario, cfg EngineConfig) (*Engine, error) {
 		StormBudget:       sc.StormBudget,
 		AdmissionCap:      sc.AdmissionCap,
 		DisableStormBrake: sc.DisableStormBrake,
+		DisablePreemption: sc.DisablePreemption,
 		Logf:              e.log,
 	}
 	for _, ms := range sc.Machines {
@@ -170,10 +189,19 @@ func (e *Engine) register(ctx context.Context, def AppDef, machineID string) err
 	spec := fleet.AppSpec{
 		Name: def.Name, AI: def.AI, Placement: def.Placement,
 		HomeNode: def.HomeNode, MaxThreads: def.MaxThreads,
+		Priority: def.Priority,
 	}
 	if machineID == "" {
 		_, _, err := e.placer.Place(ctx, spec)
 		return err
+	}
+	// Pinned registration bypasses the Placer, so the fleet would never
+	// learn the class from the member's priority-less registry; teach
+	// the inventory directly and let the next poll stamp it on.
+	if def.Priority != "" {
+		if err := e.inv.RecordPriority(def.Name, def.Priority); err != nil {
+			return err
+		}
 	}
 	req := ctrlplane.RegisterRequest{
 		Name: spec.Name, AI: spec.AI, Placement: spec.Placement,
@@ -403,6 +431,7 @@ func (e *Engine) Run(ctx context.Context) (*Verdict, error) {
 	e.inv.Poll(ctx)
 	start := time.Now()
 	for round := 0; round < sc.Rounds; round++ {
+		e.simRound = round
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
@@ -428,6 +457,9 @@ func (e *Engine) Run(ctx context.Context) (*Verdict, error) {
 		e.check.checkExactlyOnce(round, e.inv.Snapshot())
 		e.check.checkStorm(round, plan)
 		e.check.checkCapacityFloor(round, e.inv.Snapshot())
+		if e.check.checkPriorityInversion(round, e.inv.Snapshot()) {
+			e.verdict.InversionRounds++
+		}
 
 		e.verdict.TotalMoves += len(plan.Moves)
 		e.verdict.Deferred += plan.Deferred
@@ -467,6 +499,7 @@ func (e *Engine) Run(ctx context.Context) (*Verdict, error) {
 		e.verdict.RoundsPerSec = float64(sc.Rounds) / elapsed.Seconds()
 	}
 
+	e.simRound = sc.Rounds
 	e.inv.Poll(ctx)
 	total := 0.0
 	for _, m := range e.inv.Snapshot() {
@@ -477,6 +510,7 @@ func (e *Engine) Run(ctx context.Context) (*Verdict, error) {
 	e.verdict.FinalAggregateGFLOPS = total
 
 	e.check.checkConvergence(e.lastPerturb, e.lastActive)
+	e.check.checkReadmission(e.inv.Snapshot())
 	e.verdict.LastPerturbRound = e.lastPerturb
 	e.verdict.LastActiveRound = e.lastActive
 	if e.upg != nil {

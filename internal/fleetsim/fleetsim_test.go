@@ -3,6 +3,7 @@ package fleetsim
 import (
 	"context"
 	"encoding/json"
+	"strings"
 	"testing"
 	"time"
 
@@ -37,16 +38,19 @@ func TestCorpusLoadsAndValidates(t *testing.T) {
 		t.Fatalf("Corpus: %v", err)
 	}
 	want := map[string]bool{
-		"diurnal":            false,
-		"flash_crowd":        false,
-		"autoscale_churn":    false,
-		"misdeclared_drift":  false,
-		"flapping":           false,
-		"scale_out":          false,
-		"correlated_failure": false,
-		"partition_flap":     false,
-		"rolling_upgrade":    false,
-		"drift_storm":        false,
+		"diurnal":                false,
+		"flash_crowd":            false,
+		"autoscale_churn":        false,
+		"misdeclared_drift":      false,
+		"flapping":               false,
+		"scale_out":              false,
+		"correlated_failure":     false,
+		"partition_flap":         false,
+		"rolling_upgrade":        false,
+		"drift_storm":            false,
+		"priority_inversion":     false,
+		"quarantine_readmission": false,
+		"upgrade_failure_race":   false,
 	}
 	for _, sc := range corpus {
 		if err := sc.Validate(); err != nil {
@@ -376,6 +380,193 @@ func TestDriftStormBudget(t *testing.T) {
 	if len(v.DriftConfirmed) < 2 {
 		t.Errorf("expected multiple wolves confirmed, DriftConfirmed=%v", v.DriftConfirmed)
 	}
+}
+
+// TestPriorityInversionPreemptionRegression is the A/B pair for the
+// preemption pass: machine loss on a full fleet strands the latency app
+// over a survivor's floor, preemption evicts batch work until the host
+// is floor-feasible again, and the inversion clears inside the
+// tolerance. The same trace with preemption disabled leaves the
+// latency app starved and violates the no-priority-inversion
+// invariant.
+func TestPriorityInversionPreemptionRegression(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipped in -short")
+	}
+	base := corpusScenario(t, "priority_inversion")
+
+	hardened, err := RunScenario(testCtx(t), base, EngineConfig{Logf: t.Logf})
+	if err != nil {
+		t.Fatalf("RunScenario(hardened): %v", err)
+	}
+	if !hardened.Passed {
+		for _, viol := range hardened.Violations {
+			t.Errorf("round %d [%s]: %s", viol.Round, viol.Invariant, viol.Detail)
+		}
+		t.Fatalf("preemption-hardened fleet failed the priority-inversion trace")
+	}
+	if hardened.MovesByReason[fleet.ReasonPreempt] < 1 {
+		t.Errorf("expected preempt moves to repair the inversion, byReason=%v", hardened.MovesByReason)
+	}
+	if hardened.InversionRounds < 1 {
+		t.Errorf("trace never exhibited an inversion — the invariant is vacuous; InversionRounds=%d", hardened.InversionRounds)
+	}
+
+	unpreempted := *base
+	unpreempted.Name = "priority_inversion-unpreempted"
+	unpreempted.DisablePreemption = true
+	// Without the repair pass the fleet may never settle; the inversion
+	// invariant is the one this regression is about.
+	unpreempted.ConvergeWithin = unpreempted.Rounds
+	v, err := RunScenario(testCtx(t), &unpreempted, EngineConfig{Logf: t.Logf})
+	if err != nil {
+		t.Fatalf("RunScenario(unpreempted): %v", err)
+	}
+	if v.Passed {
+		t.Fatalf("preemption-disabled fleet unexpectedly passed the trace (moves=%d)", v.TotalMoves)
+	}
+	sawInversion := false
+	for _, viol := range v.Violations {
+		t.Logf("unpreempted violation: round %d [%s]: %s", viol.Round, viol.Invariant, viol.Detail)
+		if viol.Invariant == "priority-inversion" {
+			sawInversion = true
+		}
+	}
+	if !sawInversion {
+		t.Fatalf("expected a priority-inversion violation without preemption, got %v", v.Violations)
+	}
+	if v.MovesByReason[fleet.ReasonPreempt] != 0 {
+		t.Errorf("disabled preemption still moved apps: byReason=%v", v.MovesByReason)
+	}
+}
+
+// TestQuarantineReadmissionRegression is the A/B pair for quarantine
+// re-admission: the forgiven flapper is re-admitted when its backoff
+// expires and wins the post-readmission flash crowd (final_min_apps);
+// while benched, rogue behind-the-back registrations are pushed off
+// with quarantine moves. The same trace with a 600s backoff never
+// re-admits the member and fails the readmission invariant.
+func TestQuarantineReadmissionRegression(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipped in -short")
+	}
+	base := corpusScenario(t, "quarantine_readmission")
+
+	forgiven, err := RunScenario(testCtx(t), base, EngineConfig{Logf: t.Logf})
+	if err != nil {
+		t.Fatalf("RunScenario(forgiven): %v", err)
+	}
+	if !forgiven.Passed {
+		for _, viol := range forgiven.Violations {
+			t.Errorf("round %d [%s]: %s", viol.Round, viol.Invariant, viol.Detail)
+		}
+		t.Fatalf("forgiven fleet failed the quarantine-readmission trace")
+	}
+	if forgiven.MovesByReason[fleet.ReasonQuarantine] < 2 {
+		t.Errorf("expected the rogue apps pushed off the benched member, byReason=%v", forgiven.MovesByReason)
+	}
+
+	unforgiven := *base
+	unforgiven.Name = "quarantine_readmission-unforgiven"
+	unforgiven.QuarantineBackoffSeconds = 600
+	v, err := RunScenario(testCtx(t), &unforgiven, EngineConfig{Logf: t.Logf})
+	if err != nil {
+		t.Fatalf("RunScenario(unforgiven): %v", err)
+	}
+	if v.Passed {
+		t.Fatalf("never-readmitted member unexpectedly passed the trace")
+	}
+	sawReadmission := false
+	for _, viol := range v.Violations {
+		t.Logf("unforgiven violation: round %d [%s]: %s", viol.Round, viol.Invariant, viol.Detail)
+		if viol.Invariant == "readmission" {
+			sawReadmission = true
+		}
+	}
+	if !sawReadmission {
+		t.Fatalf("expected a readmission violation with the 600s backoff, got %v", v.Violations)
+	}
+}
+
+// TestUpgradeFailureRaceStormHandoff checks the upgrade/failure race:
+// the drain target dies mid-drain, the controller aborts instead of
+// marching on, and the storm brake owns the evacuation — the placeable
+// fraction never goes through the capacity floor, which it would if a
+// second machine were drained with the first already dead.
+func TestUpgradeFailureRaceStormHandoff(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipped in -short")
+	}
+	sc := corpusScenario(t, "upgrade_failure_race")
+	v, err := RunScenario(testCtx(t), sc, EngineConfig{Logf: t.Logf})
+	if err != nil {
+		t.Fatalf("RunScenario: %v", err)
+	}
+	if !v.Passed {
+		for _, viol := range v.Violations {
+			t.Errorf("round %d [%s]: %s", viol.Round, viol.Invariant, viol.Detail)
+		}
+		t.Fatalf("upgrade-failure race failed invariants")
+	}
+	if v.UpgradeState != fleet.UpgradeAborted {
+		t.Errorf("upgrade state %q; want %q", v.UpgradeState, fleet.UpgradeAborted)
+	}
+	if v.Upgraded != 0 {
+		t.Errorf("aborted upgrade reported %d machines upgraded; want 0", v.Upgraded)
+	}
+	if v.StormRounds < 1 {
+		t.Errorf("storm brake never engaged on the dead drain target: StormRounds=%d", v.StormRounds)
+	}
+	if v.MovesByReason[fleet.ReasonMachineLost] < 2 {
+		t.Errorf("expected the dead machine's apps evacuated as machine-lost, byReason=%v", v.MovesByReason)
+	}
+}
+
+// TestFilter exercises the -run selection helper: subsets select, order
+// is preserved, unknown names error and list the corpus, and an
+// all-unknown selection is rejected rather than silently running
+// nothing.
+func TestFilter(t *testing.T) {
+	mk := func(names ...string) []*Scenario {
+		out := make([]*Scenario, len(names))
+		for i, n := range names {
+			out[i] = &Scenario{Name: n}
+		}
+		return out
+	}
+	all := mk("a", "b", "c")
+
+	got, err := Filter(all, "")
+	if err != nil || len(got) != 3 {
+		t.Fatalf("Filter(all, \"\") = %d scenarios, err %v; want all 3", len(got), err)
+	}
+
+	got, err = Filter(all, " c , a ")
+	if err != nil {
+		t.Fatalf("Filter subset: %v", err)
+	}
+	if len(got) != 2 || got[0].Name != "a" || got[1].Name != "c" {
+		t.Fatalf("Filter subset = %v; want corpus-order [a c]", got)
+	}
+
+	if _, err = Filter(all, "a,zzz"); err == nil {
+		t.Fatalf("Filter with unknown name should error")
+	} else if s := err.Error(); !containsAll(s, "zzz", "a", "b", "c") {
+		t.Fatalf("unknown-name error should list the available corpus, got %q", s)
+	}
+
+	if _, err = Filter(all, " , "); err == nil {
+		t.Fatalf("Filter selecting nothing should error")
+	}
+}
+
+func containsAll(s string, subs ...string) bool {
+	for _, sub := range subs {
+		if !strings.Contains(s, sub) {
+			return false
+		}
+	}
+	return true
 }
 
 // TestDriftScenarioConvergesThroughLeaderKill runs the telemetry-driven

@@ -60,6 +60,14 @@ type Verdict struct {
 	// triage (storm brake engaged).
 	StormRounds int `json:"storm_rounds,omitempty"`
 
+	// InversionRounds counts rounds in which at least one member hosted
+	// a priority inversion (a higher-class app starved past the floor
+	// while lower classes held slots). A trace that creates an inversion
+	// should show a positive count even when preemption repairs it well
+	// inside the tolerance — proof the invariant was exercised, not
+	// vacuous.
+	InversionRounds int `json:"inversion_rounds,omitempty"`
+
 	// UpgradeState and Upgraded report the rolling-upgrade controller's
 	// final state and how many machines completed their drain cycle.
 	UpgradeState string `json:"upgrade_state,omitempty"`
@@ -80,10 +88,19 @@ type checker struct {
 	violations []Violation
 	history    map[string][]moveRecord // app name -> executed moves
 	lostFrom   map[string]int          // member ID -> urgent evacuations charged to it
+	// inversionSince tracks, per member, the first round of its current
+	// priority-inversion streak (absent: not inverted); inversionFlagged
+	// marks streaks already reported, so one sustained inversion is one
+	// violation, not one per round past the tolerance.
+	inversionSince   map[string]int
+	inversionFlagged map[string]bool
 }
 
 func newChecker(sc *Scenario) *checker {
-	return &checker{sc: sc, history: map[string][]moveRecord{}, lostFrom: map[string]int{}}
+	return &checker{
+		sc: sc, history: map[string][]moveRecord{}, lostFrom: map[string]int{},
+		inversionSince: map[string]int{}, inversionFlagged: map[string]bool{},
+	}
 }
 
 func (c *checker) violate(round int, invariant, format string, args ...any) {
@@ -233,6 +250,112 @@ func (c *checker) checkCapacityFloor(round int, members []fleet.Member) {
 	if float64(placeable) < f*float64(len(members)) {
 		c.violate(round, "capacity-floor",
 			"only %d/%d members placeable, below floor %.2f", placeable, len(members), f)
+	}
+}
+
+// checkPriorityInversion enforces the no-priority-inversion invariant,
+// armed by InversionToleranceRounds: a healthy, non-draining member
+// whose (non-stale) demand exceeds its floor capacity while it hosts a
+// latency- or system-class app alongside lower-class ones is inverted —
+// the higher class is starved of a guaranteed core while batch work
+// holds slots the preemption pass should reclaim. Transient inversions
+// are expected (an urgent evacuation lands a latency app on a full
+// machine; the repair pass runs on the next quiet round), so only a
+// streak persisting past the tolerance is a violation. Returns whether
+// any member is inverted this round, whatever the tolerance, so the
+// verdict can count exercised rounds.
+func (c *checker) checkPriorityInversion(round int, members []fleet.Member) bool {
+	any := false
+	for i := range members {
+		m := &members[i]
+		inverted := false
+		if m.Healthy() && !m.Draining && m.Topology != nil {
+			stale := map[string]bool{}
+			for _, id := range m.Stale {
+				stale[id] = true
+			}
+			apps, top, classes := 0, 0, map[int]bool{}
+			for _, a := range m.Apps {
+				if stale[a.ID] {
+					continue
+				}
+				apps++
+				rank := fleet.ClassRank(a.Priority)
+				classes[rank] = true
+				if rank > top {
+					top = rank
+				}
+			}
+			lower := false
+			for rank := range classes {
+				if rank < top {
+					lower = true
+				}
+			}
+			inverted = apps > fleet.FloorCapacity(m.Topology) && top > 0 && lower
+		}
+		if !inverted {
+			delete(c.inversionSince, m.ID)
+			delete(c.inversionFlagged, m.ID)
+			continue
+		}
+		any = true
+		since, ok := c.inversionSince[m.ID]
+		if !ok {
+			since = round
+			c.inversionSince[m.ID] = round
+		}
+		tol := c.sc.InversionToleranceRounds
+		if tol > 0 && round-since+1 > tol && !c.inversionFlagged[m.ID] {
+			c.inversionFlagged[m.ID] = true
+			c.violate(round, "priority-inversion",
+				"member %s has hosted a starved higher-class app over its floor capacity for %d rounds (tolerance %d) — preemption never repaired it",
+				m.ID, round-since+1, tol)
+		}
+	}
+	return any
+}
+
+// checkReadmission runs after the last round's poll: every member named
+// in FinalMinApps must host at least that many non-stale apps. This is
+// the quarantine-forgiveness teeth — a member the flap detector benched
+// and later re-admitted must actually win placements back under
+// sustained load, not just flip a health bit.
+func (c *checker) checkReadmission(members []fleet.Member) {
+	if len(c.sc.FinalMinApps) == 0 {
+		return
+	}
+	byID := map[string]*fleet.Member{}
+	for i := range members {
+		byID[members[i].ID] = &members[i]
+	}
+	ids := make([]string, 0, len(c.sc.FinalMinApps))
+	for id := range c.sc.FinalMinApps {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		min := c.sc.FinalMinApps[id]
+		m := byID[id]
+		if m == nil {
+			c.violate(c.sc.Rounds-1, "readmission", "member %s missing from the final snapshot (want >= %d apps)", id, min)
+			continue
+		}
+		stale := map[string]bool{}
+		for _, sid := range m.Stale {
+			stale[sid] = true
+		}
+		apps := 0
+		for _, a := range m.Apps {
+			if !stale[a.ID] {
+				apps++
+			}
+		}
+		if apps < min {
+			c.violate(c.sc.Rounds-1, "readmission",
+				"member %s finished with %d apps, want >= %d (quarantined=%v dead=%v) — never won placements back",
+				id, apps, min, m.Quarantined, m.Dead)
+		}
 	}
 }
 

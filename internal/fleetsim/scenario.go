@@ -37,6 +37,9 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+
+	"repro/internal/fleet"
+	"repro/internal/roofline"
 )
 
 //go:embed scenarios/*.json
@@ -75,6 +78,12 @@ type AppDef struct {
 	MaxThreads int     `json:"max_threads,omitempty"`
 	Placement  string  `json:"placement,omitempty"`
 	HomeNode   int     `json:"home_node,omitempty"`
+	// Priority is the app's scheduling class ("system", "latency", or
+	// "batch", the default). Front-door registrations carry it through
+	// the Placer; machine-pinned registrations teach it to the inventory
+	// via RecordPriority — either way the fleet knows the class, the
+	// member coopd never does.
+	Priority string `json:"priority,omitempty"`
 }
 
 // Arrival is one trace-defined arrival process expanded into per-round
@@ -87,10 +96,11 @@ type Arrival struct {
 	Process string `json:"process"`
 	// Prefix names the process's apps: prefix-0, prefix-1, ...
 	Prefix string `json:"prefix"`
-	// AI / TrueAI / MaxThreads shape every app of the process.
+	// AI / TrueAI / MaxThreads / Priority shape every app of the process.
 	AI         float64 `json:"ai"`
 	TrueAI     float64 `json:"true_ai,omitempty"`
 	MaxThreads int     `json:"max_threads,omitempty"`
+	Priority   string  `json:"priority,omitempty"`
 
 	// Diurnal knobs.
 	Base   int `json:"base,omitempty"`
@@ -166,11 +176,22 @@ type Scenario struct {
 	// FlapCount/FlapWindowSeconds/QuarantineBackoffSeconds tune the
 	// inventory's flap detector; DisableQuarantine (FlapCount = -1) is
 	// the regression knob that lets a flapping machine whipsaw the
-	// rebalancer.
+	// rebalancer. All flap timing runs on the engine's simulated clock
+	// (one second per round), so backoffs expire deterministically at a
+	// round boundary, never on wall-clock luck.
 	FlapCount                int  `json:"flap_count,omitempty"`
 	FlapWindowSeconds        int  `json:"flap_window_seconds,omitempty"`
 	QuarantineBackoffSeconds int  `json:"quarantine_backoff_seconds,omitempty"`
 	DisableQuarantine        bool `json:"disable_quarantine,omitempty"`
+
+	// Priority knobs. Objective selects the Scorer's placement objective
+	// ("", "total-gflops", "weighted-priority", "max-min");
+	// DisablePreemption turns the priority-inversion repair pass and
+	// gang-admission eviction off — the regression knob that
+	// demonstrates the no-priority-inversion invariant failing on a
+	// preemption-free fleet.
+	Objective         string `json:"objective,omitempty"`
+	DisablePreemption bool   `json:"disable_preemption,omitempty"`
 
 	// Invariant tolerances. OscillationWindow defaults to the effective
 	// cooldown (a cooled-down app structurally cannot return inside the
@@ -192,6 +213,19 @@ type Scenario struct {
 	// invariant: after every round at least this fraction of members
 	// must be placeable (healthy and not draining).
 	MinPlaceableFraction float64 `json:"min_placeable_fraction,omitempty"`
+	// InversionToleranceRounds, when positive, arms the
+	// no-priority-inversion invariant: a healthy member hosting a
+	// latency- or system-class app with more apps than its floor
+	// capacity while lower-class apps hold slots there is an inversion;
+	// one that persists for more than this many consecutive rounds is a
+	// violation. Transient inversions (an evacuation just landed, the
+	// preemption pass has not run yet) inside the tolerance are fine.
+	InversionToleranceRounds int `json:"inversion_tolerance_rounds,omitempty"`
+	// FinalMinApps, when set, is checked after the last round's poll:
+	// each named member must host at least that many (non-stale) apps.
+	// The quarantine_readmission trace uses it to prove a forgiven
+	// member actually wins placements back instead of idling forever.
+	FinalMinApps map[string]int `json:"final_min_apps,omitempty"`
 
 	// FailAfter is the inventory's consecutive-failed-polls death
 	// threshold (default 2: a killed machine is declared dead on the
@@ -219,6 +253,9 @@ func (sc *Scenario) Validate() error {
 	}
 	if len(sc.Machines) == 0 {
 		return fmt.Errorf("fleetsim: scenario %s: needs at least one machine", sc.Name)
+	}
+	if _, err := roofline.ObjectiveSpecByName(sc.Objective); err != nil {
+		return fmt.Errorf("fleetsim: scenario %s: %w", sc.Name, err)
 	}
 	ids := map[string]bool{}
 	ha := map[string]bool{}
@@ -251,6 +288,9 @@ func (sc *Scenario) Validate() error {
 		if a.Prefix == "" || a.AI <= 0 {
 			return fmt.Errorf("fleetsim: scenario %s: arrival needs a prefix and positive ai", sc.Name)
 		}
+		if err := fleet.CheckPriority(a.Priority); err != nil {
+			return fmt.Errorf("fleetsim: scenario %s: arrival %s: %w", sc.Name, a.Prefix, err)
+		}
 	}
 	for _, e := range sc.Events {
 		if e.Round < 0 || e.Round >= sc.Rounds {
@@ -260,6 +300,9 @@ func (sc *Scenario) Validate() error {
 		case "register":
 			if e.App == nil || e.App.Name == "" || e.App.AI <= 0 {
 				return fmt.Errorf("fleetsim: scenario %s: register event needs an app with a name and positive ai", sc.Name)
+			}
+			if err := fleet.CheckPriority(e.App.Priority); err != nil {
+				return fmt.Errorf("fleetsim: scenario %s: register %s: %w", sc.Name, e.App.Name, err)
 			}
 		case "deregister":
 			if e.AppName == "" {
@@ -298,6 +341,13 @@ func (sc *Scenario) Validate() error {
 			}
 		default:
 			return fmt.Errorf("fleetsim: scenario %s: unknown event action %q", sc.Name, e.Action)
+		}
+	}
+	// ids now includes mid-run joins, so a FinalMinApps entry may name a
+	// machine that does not exist until its join event fires.
+	for id := range sc.FinalMinApps {
+		if !ids[id] {
+			return fmt.Errorf("fleetsim: scenario %s: final_min_apps names unknown machine %q", sc.Name, id)
 		}
 	}
 	return nil
@@ -388,6 +438,7 @@ func (a *Arrival) app(i int) AppDef {
 		AI:         a.AI,
 		TrueAI:     a.TrueAI,
 		MaxThreads: a.MaxThreads,
+		Priority:   a.Priority,
 	}
 }
 
@@ -413,6 +464,46 @@ func Corpus() ([]*Scenario, error) {
 // LoadDir loads every *.json scenario in a directory.
 func LoadDir(dir string) ([]*Scenario, error) {
 	return loadFS(os.DirFS(dir), ".")
+}
+
+// Filter selects scenarios by a comma-separated name list. An empty
+// list selects everything; names that match nothing are an error that
+// spells out the available scenarios, so a typo in a CI invocation
+// fails loudly instead of silently running an empty (or wrong) subset.
+func Filter(scenarios []*Scenario, run string) ([]*Scenario, error) {
+	if strings.TrimSpace(run) == "" {
+		return scenarios, nil
+	}
+	want := map[string]bool{}
+	for _, name := range strings.Split(run, ",") {
+		if name = strings.TrimSpace(name); name != "" {
+			want[name] = true
+		}
+	}
+	var kept []*Scenario
+	for _, sc := range scenarios {
+		if want[sc.Name] {
+			kept = append(kept, sc)
+			delete(want, sc.Name)
+		}
+	}
+	if len(want) > 0 {
+		missing := make([]string, 0, len(want))
+		for name := range want {
+			missing = append(missing, name)
+		}
+		sort.Strings(missing)
+		available := make([]string, 0, len(scenarios))
+		for _, sc := range scenarios {
+			available = append(available, sc.Name)
+		}
+		return nil, fmt.Errorf("fleetsim: no scenario named %s; available: %s",
+			strings.Join(missing, ", "), strings.Join(available, ", "))
+	}
+	if len(kept) == 0 {
+		return nil, fmt.Errorf("fleetsim: -run selected no scenarios")
+	}
+	return kept, nil
 }
 
 func loadFS(fsys fs.FS, root string) ([]*Scenario, error) {

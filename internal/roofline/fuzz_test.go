@@ -29,5 +29,9 @@ func FuzzEvaluatorEquivalence(f *testing.F) {
 		// And the warm-start equivalence: ±1-app solves seeded from a
 		// neighbour's optimum must stay bit-identical to cold solves.
 		warmStartRound(t, r)
+		// And the objective-spec equivalence: total-GFLOPS through the
+		// ObjectiveSpec interface vs the legacy Search, plus pruned vs
+		// unpruned solves for every bounded objective (admissibility).
+		objectiveRound(t, r)
 	})
 }

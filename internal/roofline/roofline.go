@@ -64,6 +64,10 @@ type App struct {
 	// HomeNode is the node holding all data of a NUMABad application.
 	// Ignored for NUMAPerfect.
 	HomeNode machine.NodeID
+	// Weight scales this app's contribution under weighted objectives
+	// (ObjWeightedPriority). Zero means 1; the analytic model itself
+	// ignores it, so evaluation results never depend on Weight.
+	Weight float64
 }
 
 // demandPerThread returns the bandwidth one thread tries to use when its

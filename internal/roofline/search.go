@@ -63,16 +63,12 @@ type bnbCtx struct {
 	nApps, nNodes int
 	floor         int
 	obj           Objective
-	prune         bool
-
-	// Bound precomputation (valid only when prune): apps sorted by AI
-	// descending, suffix maxima of AI in enumeration order, the
-	// machine-wide peak sum per per-node count, and the bandwidth pool.
-	byAIDesc []int
-	ai       []float64
-	sufMaxAI []float64
-	sumPeak  float64
-	totalBW  float64
+	// bound is the objective's admissible upper bound (see
+	// ObjectiveSpec); nil declares the run bound-free and the search
+	// degrades to the unpruned enumeration over the memoizing
+	// Evaluator.
+	bound BoundFunc
+	prune bool
 
 	best atomic.Uint64 // Float64bits of the best score seen so far
 	next atomic.Int64  // branch work-stealing cursor
@@ -90,55 +86,6 @@ func (c *bnbCtx) raiseBest(v float64) {
 			return
 		}
 	}
-}
-
-// bound is an upper bound on the objective of any completion of the
-// partial assignment counts[0..pos-1] with rem per-node cores left for
-// apps pos..n-1 (see DESIGN.md): every thread computes at most
-// min(peak, granted·AI), nodes hand out at most their bandwidth in
-// total (remote service included), so total GFLOPS is at most the
-// greedy fractional assignment of the machine's bandwidth pool to apps
-// in descending-AI order, each app capped at counts·Σpeak. Unassigned
-// apps collapse into one pseudo-app holding the whole remaining core
-// budget at the suffix-maximum AI.
-func (c *bnbCtx) bound(counts []int, pos, rem int) float64 {
-	pool := c.totalBW
-	ub := 0.0
-	pseudoAI := c.sufMaxAI[pos]
-	pseudoCap := float64(rem) * c.sumPeak
-	pseudoDone := pseudoCap <= 0 || pseudoAI <= 0
-	grant := func(cap, ai float64) float64 {
-		need := cap / ai
-		if need <= pool {
-			pool -= need
-			return cap
-		}
-		g := pool * ai
-		pool = 0
-		return g
-	}
-	for _, i := range c.byAIDesc {
-		if pool <= 0 {
-			break
-		}
-		if !pseudoDone && pseudoAI >= c.ai[i] {
-			ub += grant(pseudoCap, pseudoAI)
-			pseudoDone = true
-			if pool <= 0 {
-				break
-			}
-		}
-		if i >= pos {
-			continue // part of the pseudo-app
-		}
-		if cap := float64(counts[i]) * c.sumPeak; cap > 0 {
-			ub += grant(cap, c.ai[i])
-		}
-	}
-	if !pseudoDone && pool > 0 {
-		ub += grant(pseudoCap, pseudoAI)
-	}
-	return ub
 }
 
 // bnbWorker is one goroutine's private search state.
@@ -235,11 +182,30 @@ func (s *Search) BestPerNodeCountsFloor(m *machine.Machine, apps []App, obj Obje
 // differentially. A prev of any other length, or one infeasible under
 // the requested floor, is ignored (the solve degrades to cold, never
 // errors).
+//
+// A bare Objective carries no bound, so only the recognized
+// TotalGFLOPS function prunes; anything else enumerates unpruned —
+// the exact historical semantics. New callers wanting pruned search
+// under other objectives use BestPerNodeCountsFloorSpec with an
+// ObjectiveSpec supplying its own admissible bound.
 func (s *Search) BestPerNodeCountsFloorFrom(prev []int, m *machine.Machine, apps []App, obj Objective, floor int) ([]int, Allocation, *Result, error) {
-	prune := obj == nil || objIsTotalGFLOPS(obj)
-	if obj == nil {
-		obj = TotalGFLOPS
+	var spec ObjectiveSpec
+	if obj == nil || objIsTotalGFLOPS(obj) {
+		spec = ObjTotalGFLOPS
+	} else {
+		spec = boundFreeSpec{obj}
 	}
+	return s.BestPerNodeCountsFloorSpec(spec, prev, m, apps, floor)
+}
+
+// BestPerNodeCountsFloorSpec is the spec-based core of the search: the
+// objective and its (optional) admissible bound both come from spec.
+// With a bound the branch-and-bound prunes; without one the search
+// degrades to the exhaustive enumeration over the memoizing Evaluator,
+// which is exact for any objective. prev warm-starts exactly as in
+// BestPerNodeCountsFloorFrom.
+func (s *Search) BestPerNodeCountsFloorSpec(spec ObjectiveSpec, prev []int, m *machine.Machine, apps []App, floor int) ([]int, Allocation, *Result, error) {
+	obj := spec.Objective(apps)
 	if floor < 0 {
 		floor = 0
 	}
@@ -270,39 +236,12 @@ func (s *Search) BestPerNodeCountsFloorFrom(prev []int, m *machine.Machine, apps
 		nNodes: m.NumNodes(),
 		floor:  floor,
 		obj:    obj,
-		prune:  prune,
+		bound:  spec.Bound(m, apps),
 	}
+	ctx.prune = ctx.bound != nil
 	ctx.best.Store(math.Float64bits(math.Inf(-1)))
-	if prune {
-		ctx.ai = make([]float64, nApps)
-		for i, a := range apps {
-			ctx.ai[i] = a.AI
-		}
-		ctx.byAIDesc = make([]int, nApps)
-		for i := range ctx.byAIDesc {
-			ctx.byAIDesc[i] = i
-		}
-		// Insertion sort by AI descending (index tie-break for determinism).
-		for a := 1; a < nApps; a++ {
-			x := ctx.byAIDesc[a]
-			b := a
-			for b > 0 && ctx.ai[ctx.byAIDesc[b-1]] < ctx.ai[x] {
-				ctx.byAIDesc[b] = ctx.byAIDesc[b-1]
-				b--
-			}
-			ctx.byAIDesc[b] = x
-		}
-		ctx.sufMaxAI = make([]float64, nApps+1)
-		for i := nApps - 1; i >= 0; i-- {
-			ctx.sufMaxAI[i] = max(ctx.sufMaxAI[i+1], ctx.ai[i])
-		}
-		for _, n := range m.Nodes {
-			ctx.sumPeak += n.PeakGFLOPS
-			ctx.totalBW += n.MemBandwidth
-		}
-	}
 
-	if prune && len(prev) > 0 {
+	if ctx.prune && len(prev) > 0 {
 		s.seedIncumbent(ctx, m, apps, prev, floor, capCores)
 	}
 
@@ -499,8 +438,12 @@ func estimateLeaves(budget, n int) int64 {
 	return v
 }
 
+// totalGFLOPSPtr is TotalGFLOPS's code pointer, captured once so the
+// per-solve identity check below stays off the reflect path.
+var totalGFLOPSPtr = reflect.ValueOf(Objective(TotalGFLOPS)).Pointer()
+
 // objIsTotalGFLOPS reports whether obj is the package's TotalGFLOPS
 // function; the branch-and-bound upper bound is only sound for it.
 func objIsTotalGFLOPS(obj Objective) bool {
-	return reflect.ValueOf(obj).Pointer() == reflect.ValueOf(Objective(TotalGFLOPS)).Pointer()
+	return reflect.ValueOf(obj).Pointer() == totalGFLOPSPtr
 }
